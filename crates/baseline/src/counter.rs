@@ -1,0 +1,100 @@
+//! Work counters for the software baselines.
+//!
+//! The paper's central quantitative claim (§8) is counted in *comparisons*:
+//! "the intersection requires a total of 1.5 x 10^11 bit comparisons, since
+//! we need 1500 bit-comparisons for each of the (10^4)^2 tuple comparisons".
+//! Baselines count the same currency so that systolic comparator-operations
+//! and sequential comparisons are directly comparable (experiment E12).
+
+/// Counts the work a baseline performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Element (word) comparisons executed.
+    pub element_comparisons: u64,
+    /// Tuple-level comparisons started (each costs up to `m` element
+    /// comparisons; short-circuiting makes the element count smaller).
+    pub tuple_comparisons: u64,
+    /// Hash-function evaluations (hash baselines only).
+    pub hash_ops: u64,
+    /// Rows copied into output or scratch structures.
+    pub rows_moved: u64,
+}
+
+impl OpCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compare two rows element-wise with short-circuiting, counting work.
+    pub fn rows_equal(&mut self, a: &[i64], b: &[i64]) -> bool {
+        self.tuple_comparisons += 1;
+        debug_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            self.element_comparisons += 1;
+            if x != y {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Compare two rows element-wise *without* short-circuiting — the work a
+    /// hardware comparison array performs (§3.1 compares all `m` positions
+    /// regardless of early mismatch).
+    pub fn rows_equal_full(&mut self, a: &[i64], b: &[i64]) -> bool {
+        self.tuple_comparisons += 1;
+        debug_assert_eq!(a.len(), b.len());
+        self.element_comparisons += a.len() as u64;
+        a == b
+    }
+
+    /// Record one hash evaluation.
+    pub fn hash(&mut self) {
+        self.hash_ops += 1;
+    }
+
+    /// Record one output/scratch row copy.
+    pub fn moved(&mut self) {
+        self.rows_moved += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_circuit_counts_fewer_element_comparisons() {
+        let mut c = OpCounter::new();
+        assert!(!c.rows_equal(&[1, 2, 3], &[9, 2, 3]));
+        assert_eq!(c.element_comparisons, 1, "mismatch at position 0 stops early");
+        assert_eq!(c.tuple_comparisons, 1);
+    }
+
+    #[test]
+    fn full_comparison_always_costs_m() {
+        let mut c = OpCounter::new();
+        assert!(!c.rows_equal_full(&[1, 2, 3], &[9, 2, 3]));
+        assert_eq!(c.element_comparisons, 3);
+    }
+
+    #[test]
+    fn equal_rows_compare_equal_under_both() {
+        let mut c = OpCounter::new();
+        assert!(c.rows_equal(&[4, 5], &[4, 5]));
+        assert!(c.rows_equal_full(&[4, 5], &[4, 5]));
+        assert_eq!(c.element_comparisons, 4);
+        assert_eq!(c.tuple_comparisons, 2);
+    }
+
+    #[test]
+    fn auxiliary_counters() {
+        let mut c = OpCounter::new();
+        c.hash();
+        c.hash();
+        c.moved();
+        assert_eq!(c.hash_ops, 2);
+        assert_eq!(c.rows_moved, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # systolic-baseline
+//!
+//! Instrumented sequential baselines for the Kung & Lehman (SIGMOD 1980)
+//! reproduction:
+//!
+//! * [`nested_loop`] — the exact sequential analogue of the paper's arrays
+//!   (all-pairs comparisons); doubles as the executable specification the
+//!   systolic simulations are verified against;
+//! * [`hashed`] — hash-based algorithms (the strong software opponent);
+//! * [`sorted`] — sort-merge algorithms;
+//! * [`counter::OpCounter`] — comparison/hash/move counters, so baseline
+//!   work and systolic comparator-operations are measured in the same
+//!   currency (the paper's §8 accounting unit is the comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod hashed;
+pub mod nested_loop;
+pub mod sorted;
+
+pub use counter::OpCounter;

@@ -1,0 +1,59 @@
+//! E1/E2 — tuple-comparison arrays (Figures 3-1..3-4).
+//!
+//! Benchmarks the host cost of cycle-accurately simulating the linear
+//! comparison array across tuple widths and the two-dimensional array
+//! across relation cardinalities. The *hardware* latency (pulses) is
+//! asserted inside the bench: it must match the closed-form schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_bench::workloads;
+use systolic_core::{ComparisonArray2d, LinearComparisonArray};
+use systolic_fabric::Elem;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+fn bench_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01/linear_comparison");
+    for m in [4usize, 16, 64, 256] {
+        let a: Vec<Elem> = (0..m as i64).collect();
+        let arr = LinearComparisonArray::new(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, _| {
+            bch.iter(|| {
+                let out = arr.compare(black_box(&a), black_box(&a), true).unwrap();
+                assert_eq!(out.stats.pulses, m as u64);
+                out.result
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_two_dimensional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02/comparison_2d");
+    for n in [8usize, 32, 128] {
+        let a = workloads::seq_rows(n, 2, 0);
+        let b = workloads::seq_rows(n, 2, (n / 2) as i64);
+        let arr = ComparisonArray2d::equality(2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let out = arr.t_matrix(black_box(&a), black_box(&b), |_, _| true).unwrap();
+                black_box(out.t.count_true())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_linear, bench_two_dimensional
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E3 — the intersection/difference array (Figure 4-1) against the three
+//! software baselines, across cardinality and overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_baseline::{hashed, nested_loop, sorted, OpCounter};
+use systolic_bench::workloads;
+use systolic_core::ops::{self, Execution};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03/intersection_scaling");
+    for n in [32usize, 128, 512] {
+        let (a, b) = workloads::overlap_pair(n, 2, 0.5);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", n), &n, |bch, _| {
+            bch.iter(|| ops::intersect(black_box(&a), black_box(&b), Execution::Marching).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |bch, _| {
+            bch.iter(|| {
+                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new())
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", n), &n, |bch, _| {
+            bch.iter(|| {
+                hashed::intersect(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |bch, _| {
+            bch.iter(|| {
+                sorted::intersect(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03/intersection_overlap");
+    for pct in [0usize, 50, 100] {
+        let (a, b) = workloads::overlap_pair(128, 2, pct as f64 / 100.0);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", pct), &pct, |bch, _| {
+            bch.iter(|| ops::intersect(black_box(&a), black_box(&b), Execution::Marching).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_difference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03/difference");
+    let (a, b) = workloads::overlap_pair(128, 2, 0.5);
+    g.bench_function("systolic_sim/128", |bch| {
+        bch.iter(|| ops::difference(black_box(&a), black_box(&b), Execution::Marching).unwrap())
+    });
+    g.bench_function("nested_loop/128", |bch| {
+        bch.iter(|| {
+            nested_loop::difference(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_scaling, bench_overlap, bench_difference
+}
+criterion_main!(benches);

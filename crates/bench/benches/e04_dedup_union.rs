@@ -1,0 +1,69 @@
+//! E4 — remove-duplicates, union and projection (§5), across duplication
+//! factors, against the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_baseline::{hashed, nested_loop, OpCounter};
+use systolic_bench::workloads;
+use systolic_core::ops::{self, Execution};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04/dedup");
+    for dup in [1usize, 4, 8] {
+        let multi = workloads::duplicated(32, dup, 2);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", dup), &dup, |bch, _| {
+            bch.iter(|| ops::dedup(black_box(&multi), Execution::Marching).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", dup), &dup, |bch, _| {
+            bch.iter(|| nested_loop::dedup(black_box(&multi), &mut OpCounter::new()))
+        });
+        g.bench_with_input(BenchmarkId::new("hash", dup), &dup, |bch, _| {
+            bch.iter(|| hashed::dedup(black_box(&multi), &mut OpCounter::new()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04/union");
+    for n in [32usize, 128] {
+        let a = workloads::seq_multi(n, 2, 0);
+        let b = workloads::seq_multi(n, 2, (n / 2) as i64);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", n), &n, |bch, _| {
+            bch.iter(|| ops::union(black_box(&a), black_box(&b), Execution::Marching).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hash", n), &n, |bch, _| {
+            bch.iter(|| hashed::union(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04/projection");
+    let multi = workloads::duplicated(48, 2, 3);
+    g.bench_function("systolic_sim/48x3->2cols", |bch| {
+        bch.iter(|| ops::project(black_box(&multi), &[0, 2], Execution::Marching).unwrap())
+    });
+    g.bench_function("nested_loop/48x3->2cols", |bch| {
+        bch.iter(|| {
+            nested_loop::project(black_box(&multi), &[0, 2], &mut OpCounter::new()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_dedup, bench_union, bench_projection
+}
+criterion_main!(benches);

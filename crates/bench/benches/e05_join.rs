@@ -1,0 +1,95 @@
+//! E5 — the join array (Figure 6-1): equi, multi-column and theta joins,
+//! across key selectivity and skew, against the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_baseline::{hashed, nested_loop, OpCounter};
+use systolic_bench::workloads;
+use systolic_core::ops::{self, Execution};
+use systolic_core::JoinSpec;
+use systolic_fabric::CompareOp;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_equi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05/equi_join");
+    for (n, keys) in [(32usize, 8usize), (128, 16), (128, 128)] {
+        let (a, b, ka, kb) = workloads::join_pair(n, keys, 0.0);
+        let label = format!("{n}x{keys}keys");
+        g.bench_with_input(BenchmarkId::new("systolic_sim", &label), &n, |bch, _| {
+            bch.iter(|| {
+                ops::join(black_box(&a), black_box(&b), &[JoinSpec::eq(ka, kb)], Execution::Marching)
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", &label), &n, |bch, _| {
+            bch.iter(|| {
+                nested_loop::equi_join(black_box(&a), black_box(&b), &[(ka, kb)], &mut OpCounter::new())
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", &label), &n, |bch, _| {
+            bch.iter(|| {
+                hashed::equi_join(black_box(&a), black_box(&b), &[(ka, kb)], &mut OpCounter::new())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05/join_skew");
+    for skew in [0usize, 12] {
+        let (a, b, ka, kb) = workloads::join_pair(96, 12, skew as f64 / 10.0);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", skew), &skew, |bch, _| {
+            bch.iter(|| {
+                ops::join(black_box(&a), black_box(&b), &[JoinSpec::eq(ka, kb)], Execution::Marching)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05/theta_join");
+    let (a, b, ka, kb) = workloads::join_pair(64, 8, 0.0);
+    for op in [CompareOp::Lt, CompareOp::Ge, CompareOp::Ne] {
+        g.bench_with_input(BenchmarkId::from_parameter(op), &op, |bch, &op| {
+            bch.iter(|| {
+                ops::join(
+                    black_box(&a),
+                    black_box(&b),
+                    &[JoinSpec::theta(ka, kb, op)],
+                    Execution::Marching,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_multi_column(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05/multi_column_join");
+    let (a, b, _, _) = workloads::join_pair(64, 8, 0.0);
+    let specs = [JoinSpec::eq(0, 0), JoinSpec::eq(1, 1)];
+    g.bench_function("systolic_sim/2cols", |bch| {
+        bch.iter(|| ops::join(black_box(&a), black_box(&b), &specs, Execution::Marching).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_equi, bench_skew, bench_theta, bench_multi_column
+}
+criterion_main!(benches);

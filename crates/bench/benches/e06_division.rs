@@ -1,0 +1,97 @@
+//! E6 — the division array (Figures 7-1/7-2), across dividend/divisor
+//! sizes, against the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_baseline::{hashed, nested_loop, OpCounter};
+use systolic_bench::workloads;
+use systolic_core::ops::{self, Execution};
+use systolic_core::DivisionArray;
+use systolic_fabric::Elem;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_division_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06/division");
+    for (xu, dv) in [(8usize, 3usize), (32, 6), (64, 8)] {
+        let (a, b, _) = workloads::division(xu, dv, xu / 3);
+        let label = format!("{xu}keys_{dv}divisor");
+        g.bench_with_input(BenchmarkId::new("systolic_sim", &label), &xu, |bch, _| {
+            bch.iter(|| {
+                ops::divide_binary(black_box(&a), 0, 1, black_box(&b), 0, Execution::Marching)
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", &label), &xu, |bch, _| {
+            bch.iter(|| {
+                nested_loop::divide_binary(
+                    black_box(&a),
+                    0,
+                    1,
+                    black_box(&b),
+                    0,
+                    &mut OpCounter::new(),
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", &label), &xu, |bch, _| {
+            bch.iter(|| {
+                hashed::divide_binary(
+                    black_box(&a),
+                    0,
+                    1,
+                    black_box(&b),
+                    0,
+                    &mut OpCounter::new(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_raw_array(c: &mut Criterion) {
+    // The array alone (keys pre-identified), isolating the §7 hardware from
+    // the remove-duplicates front step.
+    let mut g = c.benchmark_group("e06/division_array_only");
+    for n_pairs in [32usize, 128] {
+        let pairs: Vec<(Elem, Elem)> =
+            (0..n_pairs as i64).map(|p| (p % 8, p / 8)).collect();
+        let keys: Vec<Elem> = (0..8).collect();
+        let divisor: Vec<Elem> = (0..(n_pairs as i64 / 8)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n_pairs), &n_pairs, |bch, _| {
+            bch.iter(|| {
+                DivisionArray
+                    .divide_with_keys(black_box(&pairs), &keys, &divisor, false)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_general_division(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06/general_division");
+    let (a, b, _) = workloads::division(24, 5, 8);
+    g.bench_function("composite_encoding/24keys", |bch| {
+        bch.iter(|| {
+            ops::divide(black_box(&a), &[1], black_box(&b), &[0], Execution::Marching).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_division_scaling, bench_raw_array, bench_general_division
+}
+criterion_main!(benches);

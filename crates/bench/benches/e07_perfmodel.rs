@@ -1,0 +1,80 @@
+//! E7/E8 — the §8 analytic model: evaluation cost of the predictions and
+//! the sweeps that regenerate the 50 ms / 10 ms / disk-rate numbers.
+//!
+//! The predictions themselves are asserted each iteration, so `cargo bench`
+//! re-verifies the paper's numbers on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_perfmodel::{array_keeps_up_with_disk, DiskModel, Prediction, Technology, Workload};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(400))
+}
+
+fn bench_headline_numbers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07/headline_predictions");
+    g.bench_function("conservative_52_5ms", |bch| {
+        bch.iter(|| {
+            let p = Prediction::new(
+                black_box(Technology::paper_conservative()),
+                Workload::paper_typical(),
+            );
+            let ms = p.intersection_ms();
+            assert!((ms - 52.5).abs() < 1e-9);
+            ms
+        })
+    });
+    g.bench_function("optimistic_10ms", |bch| {
+        bch.iter(|| {
+            let p = Prediction::new(
+                black_box(Technology::paper_optimistic()),
+                Workload::paper_typical(),
+            );
+            let ms = p.intersection_ms();
+            assert!((ms - 10.0).abs() < 1e-9);
+            ms
+        })
+    });
+    g.finish();
+}
+
+fn bench_chip_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07/chip_sweep");
+    for chips in [500u64, 1000, 3000] {
+        g.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |bch, &chips| {
+            bch.iter(|| {
+                let tech = Technology { chips, ..Technology::paper_conservative() };
+                Prediction::new(tech, Workload::paper_typical()).intersection_seconds()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08/disk_comparison");
+    g.bench_function("keeps_up_check", |bch| {
+        bch.iter(|| {
+            let p = Prediction::new(
+                Technology::paper_conservative(),
+                black_box(Workload::paper_typical()),
+            );
+            let d = DiskModel::paper_disk();
+            assert!(array_keeps_up_with_disk(&p, &d));
+            d.revolution_ms()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_headline_numbers, bench_chip_sweep, bench_disk_model
+}
+criterion_main!(benches);

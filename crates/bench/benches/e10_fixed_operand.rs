@@ -1,0 +1,63 @@
+//! E10 — the fixed-operand ablation (§8): marching both relations versus
+//! keeping one resident. Hardware quantities (rows, pulses, utilisation)
+//! are asserted every iteration; the bench measures host simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_bench::workloads;
+use systolic_core::{FixedOperandArray, IntersectionArray, SetOpMode};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10/fixed_operand_ablation");
+    for n in [32usize, 128] {
+        let a = workloads::seq_rows(n, 2, 0);
+        g.bench_with_input(BenchmarkId::new("marching", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let out = IntersectionArray::new(2)
+                    .run(black_box(&a), black_box(&a), SetOpMode::Intersect)
+                    .unwrap();
+                assert_eq!(out.stats.pulses, (4 * n - 1) as u64);
+                out.stats.utilisation()
+            })
+        });
+        let fixed = FixedOperandArray::preload(&a);
+        g.bench_with_input(BenchmarkId::new("fixed_operand", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let out = fixed.run(black_box(&a), SetOpMode::Intersect).unwrap();
+                assert_eq!(out.stats.pulses, (2 * n + 1) as u64);
+                out.stats.utilisation()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_regime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10/streaming_regime");
+    let long = workloads::seq_rows(256, 2, 0);
+    let small = workloads::seq_rows(8, 2, 0);
+    let fixed = FixedOperandArray::preload(&small);
+    g.bench_function("256_past_resident_8", |bch| {
+        bch.iter(|| {
+            let out = fixed.run(black_box(&long), SetOpMode::Intersect).unwrap();
+            assert!(out.stats.utilisation() > 0.8);
+            out.stats.pulses
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ablation, bench_streaming_regime
+}
+criterion_main!(benches);

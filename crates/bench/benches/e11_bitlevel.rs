@@ -1,0 +1,63 @@
+//! E11 — word-to-bit-level transformation (§8): bit-parallel equality
+//! arrays and bit-serial magnitude comparators across word widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_core::bitlevel::{BitLinearComparisonArray, BitSerialComparator};
+use systolic_core::LinearComparisonArray;
+use systolic_fabric::{CompareOp, Elem};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+fn bench_bit_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11/bit_parallel_equality");
+    let m = 4usize;
+    let a: Vec<Elem> = vec![170, 85, 255, 0];
+    g.bench_function("word_level", |bch| {
+        let arr = LinearComparisonArray::new(m);
+        bch.iter(|| arr.compare(black_box(&a), black_box(&a), true).unwrap().result)
+    });
+    for w in [8u32, 16, 32] {
+        let arr = BitLinearComparisonArray::new(m, w);
+        g.bench_with_input(BenchmarkId::new("bit_level", w), &w, |bch, &w| {
+            bch.iter(|| {
+                let (v, stats) = arr.compare(black_box(&a), black_box(&a), true).unwrap();
+                assert!(v);
+                assert_eq!(stats.cells, m * w as usize);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bit_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11/bit_serial_magnitude");
+    for w in [8u32, 16, 32] {
+        let cmp = BitSerialComparator::new(w, CompareOp::Lt);
+        let x = (1i64 << (w - 1)) - 3;
+        let y = (1i64 << (w - 1)) + 5;
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |bch, &w| {
+            bch.iter(|| {
+                let (v, stats) = cmp.compare(black_box(x), black_box(y)).unwrap();
+                assert!(v);
+                assert_eq!(stats.pulses, w as u64 + 1);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_bit_parallel, bench_bit_serial
+}
+criterion_main!(benches);

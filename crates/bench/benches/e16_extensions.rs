@@ -1,0 +1,123 @@
+//! E16–E19 — extension experiments: run-time programmable comparators,
+//! the pattern-match chip, the selection array, bit-level operators, and
+//! pipelined tiling. Results are asserted on every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use systolic_bench::workloads;
+use systolic_core::bitlevel::BitLevelIntersectionArray;
+use systolic_core::tiling::{t_matrix_tiled, t_matrix_tiled_pipelined};
+use systolic_core::{
+    ArrayLimits, IntersectionArray, JoinArray, JoinSpec, PatternMatchChip, Predicate,
+    ProgrammableJoinArray, SelectionArray, SetOpMode,
+};
+use systolic_fabric::{CompareOp, Elem};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+fn bench_programmable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16/programmable_join");
+    let a = workloads::seq_rows(32, 1, 0);
+    let b = workloads::seq_rows(32, 1, 16);
+    let prog = ProgrammableJoinArray::new(1);
+    let preloaded = JoinArray::new(vec![JoinSpec::theta(0, 0, CompareOp::Lt)]);
+    g.bench_function("programmed_lt", |bch| {
+        bch.iter(|| {
+            let out = prog.t_matrix(black_box(&a), black_box(&b), &[CompareOp::Lt]).unwrap();
+            out.t.count_true()
+        })
+    });
+    g.bench_function("preloaded_lt", |bch| {
+        bch.iter(|| {
+            let out = preloaded.t_matrix(black_box(&a), black_box(&b)).unwrap();
+            out.t.count_true()
+        })
+    });
+    g.finish();
+}
+
+fn bench_patmatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17/pattern_match");
+    let chip = PatternMatchChip::preload(&[0, 1, 2]);
+    for len in [256usize, 1024] {
+        let text: Vec<Elem> = (0..len as i64).map(|i| i % 4).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bch, &len| {
+            bch.iter(|| {
+                let (hits, _) = chip.search(black_box(&text)).unwrap();
+                assert_eq!(hits.iter().filter(|&&h| h).count(), len / 4);
+                hits.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16/selection_array");
+    let rows = workloads::seq_rows(256, 2, 0);
+    let arr = SelectionArray::new(vec![
+        Predicate::new(0, CompareOp::Ge, 64),
+        Predicate::new(1, CompareOp::Lt, 200),
+    ]);
+    g.bench_function("two_predicates_256", |bch| {
+        bch.iter(|| {
+            let (keep, _) = arr.run(black_box(&rows)).unwrap();
+            keep.iter().filter(|&&k| k).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_bitlevel_intersection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11/bitlevel_intersection");
+    let a = workloads::seq_rows(16, 2, 0);
+    let b = workloads::seq_rows(16, 2, 8);
+    let word = IntersectionArray::new(2);
+    let bit = BitLevelIntersectionArray::new(2, 8);
+    g.bench_function("word_level_16", |bch| {
+        bch.iter(|| word.run(black_box(&a), black_box(&b), SetOpMode::Intersect).unwrap().keep)
+    });
+    g.bench_function("bit_level_16x8", |bch| {
+        bch.iter(|| bit.run(black_box(&a), black_box(&b), SetOpMode::Intersect).unwrap().keep)
+    });
+    g.finish();
+}
+
+fn bench_pipelined_tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e19/pipelined_tiling");
+    let a = workloads::seq_rows(48, 2, 0);
+    let b = workloads::seq_rows(48, 2, 24);
+    let ops = vec![CompareOp::Eq; 2];
+    let limits = ArrayLimits::new(8, 8, 2);
+    g.bench_function("sequential_tiles", |bch| {
+        bch.iter(|| {
+            t_matrix_tiled(black_box(&a), black_box(&b), &ops, limits, |_, _| true)
+                .unwrap()
+                .stats
+                .pulses
+        })
+    });
+    g.bench_function("pipelined_tiles", |bch| {
+        bch.iter(|| {
+            let out =
+                t_matrix_tiled_pipelined(black_box(&a), black_box(&b), &ops, limits, |_, _| true)
+                    .unwrap();
+            out.stats.pulses
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_programmable, bench_patmatch, bench_selection,
+              bench_bitlevel_intersection, bench_pipelined_tiling
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Deterministic workload builders, one family per experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use systolic_relation::gen::{self, synth_schema};
+use systolic_relation::{Elem, MultiRelation, Row};
+
+/// The fixed seed all experiments use — everything in EXPERIMENTS.md is
+/// regenerable bit-for-bit.
+pub const SEED: u64 = 0x19800514; // SIGMOD 1980, May 14: the paper's day.
+
+/// A seeded RNG for an experiment, offset so experiments are independent.
+pub fn rng(offset: u64) -> StdRng {
+    StdRng::seed_from_u64(SEED ^ offset)
+}
+
+/// Sequential-integer rows (deterministic, no RNG): `n` rows of width `m`.
+pub fn seq_rows(n: usize, m: usize, base: i64) -> Vec<Row> {
+    (0..n as i64).map(|i| (0..m as i64).map(|c| base + i + c).collect()).collect()
+}
+
+/// As [`seq_rows`], wrapped in a relation.
+pub fn seq_multi(n: usize, m: usize, base: i64) -> MultiRelation {
+    MultiRelation::new(synth_schema(m), seq_rows(n, m, base)).expect("uniform rows")
+}
+
+/// E3: a pair of relations with controlled overlap.
+pub fn overlap_pair(n: usize, m: usize, overlap: f64) -> (MultiRelation, MultiRelation) {
+    let (a, b) = gen::pair_with_overlap(&mut rng(3), n, n, m, overlap);
+    (a.into_multi(), b.into_multi())
+}
+
+/// E4: a multi-relation with duplication factor `dup`.
+pub fn duplicated(n_unique: usize, dup: usize, m: usize) -> MultiRelation {
+    gen::with_duplicates(&mut rng(4), n_unique, dup, m)
+}
+
+/// E5: a join pair with `keys` distinct join keys and optional Zipf skew.
+pub fn join_pair(
+    n: usize,
+    keys: usize,
+    skew: f64,
+) -> (MultiRelation, MultiRelation, usize, usize) {
+    gen::join_pair(&mut rng(5), n, n, 3, 2, keys, skew)
+}
+
+/// E6: a division instance with a planted quotient.
+pub fn division(x_universe: usize, divisor: usize, quotient: usize) -> (MultiRelation, MultiRelation, Vec<Elem>) {
+    gen::division_instance(&mut rng(6), x_universe, divisor, quotient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let (a1, b1) = overlap_pair(16, 2, 0.5);
+        let (a2, b2) = overlap_pair(16, 2, 0.5);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(duplicated(8, 3, 2), duplicated(8, 3, 2));
+    }
+
+    #[test]
+    fn seq_rows_shape() {
+        let r = seq_rows(3, 2, 10);
+        assert_eq!(r, vec![vec![10, 11], vec![11, 12], vec![12, 13]]);
+    }
+
+    #[test]
+    fn experiment_offsets_give_different_streams() {
+        use rand::Rng;
+        let x: u64 = rng(1).gen();
+        let y: u64 = rng(2).gen();
+        assert_ne!(x, y);
+    }
+}

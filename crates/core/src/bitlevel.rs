@@ -1,0 +1,349 @@
+//! Word-level to bit-level transformation (§8).
+//!
+//! "For simplicity, we have so far assumed that processors in systolic
+//! arrays operate on words. In implementation, each word processor can be
+//! partitioned into bit processors to achieve modularity at the bit-level.
+//! A transformation of a design from word-level to bit-level is demonstrated
+//! in \[3\]." (Foster & Kung's pattern-match chip — "a scaled-down version of
+//! the comparison array in Section 3".)
+//!
+//! Two transformations are provided:
+//!
+//! * **bit-parallel equality**: a `w`-bit word comparator becomes `w`
+//!   single-bit comparators in a row; a tuple comparator becomes `m x w`
+//!   bit cells. Realised by expanding tuples to bit streams and reusing the
+//!   word-level [`LinearComparisonArray`] — the arrays are literally the
+//!   same hardware at a different granularity;
+//! * **bit-serial magnitude comparison**: a single stateful cell consumes
+//!   the two operands MSB-first over `w` pulses and then emits any of the
+//!   six [`CompareOp`] verdicts — the building block for bit-level
+//!   theta-join processors (§6.3.2).
+
+use std::cmp::Ordering;
+
+use systolic_fabric::{Cell, CellIo, CompareOp, Elem, Grid, ScheduleFeeder, Word};
+
+use crate::comparison::LinearComparisonArray;
+use crate::error::{CoreError, Result};
+use crate::stats::ExecStats;
+
+/// Expand a non-negative element into `width` bits, MSB first, each bit as
+/// a 0/1 [`Elem`] suitable for streaming through comparison cells.
+pub fn expand_bits(value: Elem, width: u32) -> Result<Vec<Elem>> {
+    if value < 0 || (width < 63 && value >= (1i64 << width)) {
+        return Err(CoreError::WidthOverflow { value, width });
+    }
+    Ok((0..width).rev().map(|k| (value >> k) & 1).collect())
+}
+
+/// Expand a whole tuple into a concatenated MSB-first bit stream.
+pub fn expand_tuple(tuple: &[Elem], width: u32) -> Result<Vec<Elem>> {
+    let mut out = Vec::with_capacity(tuple.len() * width as usize);
+    for &e in tuple {
+        out.extend(expand_bits(e, width)?);
+    }
+    Ok(out)
+}
+
+/// A bit-level linear tuple-comparison array: `m x width` single-bit
+/// comparators, fed the bit-expanded tuples. Produces exactly the same
+/// verdict as the word-level array of Figure 3-1.
+#[derive(Debug, Clone, Copy)]
+pub struct BitLinearComparisonArray {
+    /// Tuple width in words.
+    pub m: usize,
+    /// Word width in bits.
+    pub width: u32,
+}
+
+impl BitLinearComparisonArray {
+    /// Build for tuples of `m` words of `width` bits each.
+    pub fn new(m: usize, width: u32) -> Self {
+        assert!(m > 0 && width > 0, "dimensions must be positive");
+        BitLinearComparisonArray { m, width }
+    }
+
+    /// Number of bit processors.
+    pub fn cells(&self) -> usize {
+        self.m * self.width as usize
+    }
+
+    /// Compare two tuples at bit granularity.
+    pub fn compare(&self, a: &[Elem], b: &[Elem], initial: bool) -> Result<(bool, ExecStats)> {
+        assert_eq!(a.len(), self.m, "tuple a has wrong width");
+        assert_eq!(b.len(), self.m, "tuple b has wrong width");
+        let ea = expand_tuple(a, self.width)?;
+        let eb = expand_tuple(b, self.width)?;
+        let arr = LinearComparisonArray::new(self.cells());
+        let out = arr.compare(&ea, &eb, initial)?;
+        Ok((out.result, out.stats))
+    }
+}
+
+/// A bit-serial magnitude comparator cell: consumes one bit of each operand
+/// per pulse (MSB first), latching the first difference; a trailing
+/// [`Word::Drain`] flushes the verdict for the configured operator.
+#[derive(Debug, Clone, Copy)]
+pub struct BitSerialMagnitudeCell {
+    /// The comparison verdict to emit.
+    pub op: CompareOp,
+    state: Ordering,
+}
+
+impl BitSerialMagnitudeCell {
+    /// A fresh comparator for `op`.
+    pub fn new(op: CompareOp) -> Self {
+        BitSerialMagnitudeCell { op, state: Ordering::Equal }
+    }
+
+    fn verdict(&self) -> bool {
+        match self.op {
+            CompareOp::Eq => self.state == Ordering::Equal,
+            CompareOp::Ne => self.state != Ordering::Equal,
+            CompareOp::Lt => self.state == Ordering::Less,
+            CompareOp::Le => self.state != Ordering::Greater,
+            CompareOp::Gt => self.state == Ordering::Greater,
+            CompareOp::Ge => self.state != Ordering::Less,
+        }
+    }
+}
+
+impl Cell for BitSerialMagnitudeCell {
+    fn pulse(&mut self, io: &mut CellIo) {
+        if let (Some(a), Some(b)) = (io.a_in.as_elem(), io.b_in.as_elem()) {
+            // MSB-first: the first differing bit decides and stays latched.
+            if self.state == Ordering::Equal {
+                self.state = a.cmp(&b);
+            }
+        }
+        if io.t_in == Word::Drain {
+            io.t_out = Word::Bool(self.verdict());
+            self.state = Ordering::Equal;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = Ordering::Equal;
+    }
+}
+
+/// A single-word bit-serial comparator: one cell, `width + 1` pulses per
+/// comparison (the `+1` is the drain pulse that flushes the verdict).
+#[derive(Debug, Clone, Copy)]
+pub struct BitSerialComparator {
+    /// Word width in bits.
+    pub width: u32,
+    /// Comparison to perform.
+    pub op: CompareOp,
+}
+
+impl BitSerialComparator {
+    /// Build for `width`-bit words under `op`.
+    pub fn new(width: u32, op: CompareOp) -> Self {
+        assert!(width > 0, "width must be positive");
+        BitSerialComparator { width, op }
+    }
+
+    /// Compare two elements serially.
+    pub fn compare(&self, a: Elem, b: Elem) -> Result<(bool, ExecStats)> {
+        let bits_a = expand_bits(a, self.width)?;
+        let bits_b = expand_bits(b, self.width)?;
+        let op = self.op;
+        let mut grid: Grid<BitSerialMagnitudeCell> =
+            Grid::new(1, 1, |_, _| BitSerialMagnitudeCell::new(op));
+        grid.set_north_feeder(ScheduleFeeder::from_entries(
+            bits_a.iter().enumerate().map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
+        ));
+        grid.set_south_feeder(ScheduleFeeder::from_entries(
+            bits_b.iter().enumerate().map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
+        ));
+        grid.set_west_feeder(ScheduleFeeder::from_entries([(
+            self.width as u64,
+            0,
+            Word::Drain,
+        )]));
+        grid.run_until_quiescent(2 * self.width as u64 + 8)?;
+        let verdict = grid
+            .east_emissions()
+            .at(self.width as u64, 0)
+            .and_then(Word::as_bool)
+            .ok_or_else(|| CoreError::ScheduleViolation {
+                detail: "bit-serial comparator produced no verdict".into(),
+            })?;
+        Ok((verdict, ExecStats::from_grid(grid.stats(), 1)))
+    }
+}
+
+/// A complete *bit-level intersection array*: the Figure 4-1 design with
+/// every word comparator partitioned into `width` single-bit comparators —
+/// §8's transformation applied to a whole operator, not just one cell. The
+/// array has `(n_A + n_B - 1) x (m·width + 1)` bit processors and produces
+/// exactly the word-level results.
+#[derive(Debug, Clone, Copy)]
+pub struct BitLevelIntersectionArray {
+    /// Tuple width in words.
+    pub m: usize,
+    /// Word width in bits.
+    pub width: u32,
+}
+
+impl BitLevelIntersectionArray {
+    /// Build for `m`-word tuples of `width`-bit words.
+    pub fn new(m: usize, width: u32) -> Self {
+        assert!(m > 0 && width > 0, "dimensions must be positive");
+        BitLevelIntersectionArray { m, width }
+    }
+
+    /// Run the intersection (or difference) at bit granularity.
+    pub fn run(
+        &self,
+        a: &[Vec<Elem>],
+        b: &[Vec<Elem>],
+        mode: crate::intersection::SetOpMode,
+    ) -> Result<crate::intersection::MembershipOutcome> {
+        let expand = |rows: &[Vec<Elem>]| -> Result<Vec<Vec<Elem>>> {
+            rows.iter().map(|r| expand_tuple(r, self.width)).collect()
+        };
+        let ea = expand(a)?;
+        let eb = expand(b)?;
+        crate::intersection::IntersectionArray::new(self.m * self.width as usize)
+            .run(&ea, &eb, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection::{IntersectionArray, SetOpMode};
+
+    #[test]
+    fn bit_level_intersection_equals_word_level() {
+        let a: Vec<Vec<Elem>> = (0..10).map(|i| vec![i, 255 - i]).collect();
+        let b: Vec<Vec<Elem>> = (5..15).map(|i| vec![i, 255 - i]).collect();
+        let word = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let bit = BitLevelIntersectionArray::new(2, 8)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
+        assert_eq!(word.keep, bit.keep);
+        let word_d = IntersectionArray::new(2).run(&a, &b, SetOpMode::Difference).unwrap();
+        let bit_d = BitLevelIntersectionArray::new(2, 8)
+            .run(&a, &b, SetOpMode::Difference)
+            .unwrap();
+        assert_eq!(word_d.keep, bit_d.keep);
+    }
+
+    #[test]
+    fn bit_level_array_shape_scales_with_width() {
+        let a: Vec<Vec<Elem>> = (0..4).map(|i| vec![i]).collect();
+        let word = IntersectionArray::new(1).run(&a, &a, SetOpMode::Intersect).unwrap();
+        let bit = BitLevelIntersectionArray::new(1, 8)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
+        // (2n-1) x (m·w + 1) bit processors vs (2n-1) x (m + 1) word ones.
+        assert_eq!(word.stats.cells, 7 * 2);
+        assert_eq!(bit.stats.cells, 7 * 9);
+        // Latency grows by the extra column count only (pipeline property).
+        assert_eq!(bit.stats.pulses - word.stats.pulses, 8 - 1);
+    }
+
+    #[test]
+    fn bit_level_rejects_values_exceeding_the_width() {
+        let arr = BitLevelIntersectionArray::new(1, 4);
+        let err = arr.run(&[vec![16]], &[vec![1]], SetOpMode::Intersect).unwrap_err();
+        assert!(matches!(err, CoreError::WidthOverflow { value: 16, width: 4 }));
+    }
+
+    #[test]
+    fn bit_expansion_is_msb_first() {
+        assert_eq!(expand_bits(5, 4).unwrap(), vec![0, 1, 0, 1]);
+        assert_eq!(expand_bits(0, 3).unwrap(), vec![0, 0, 0]);
+        assert_eq!(expand_bits(7, 3).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn expansion_rejects_out_of_range_values() {
+        assert!(matches!(expand_bits(8, 3), Err(CoreError::WidthOverflow { .. })));
+        assert!(matches!(expand_bits(-1, 8), Err(CoreError::WidthOverflow { .. })));
+    }
+
+    #[test]
+    fn tuple_expansion_concatenates_words() {
+        assert_eq!(expand_tuple(&[2, 1], 2).unwrap(), vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn bit_level_equality_agrees_with_word_level() {
+        let word = LinearComparisonArray::new(3);
+        let bit = BitLinearComparisonArray::new(3, 8);
+        for (a, b) in [
+            (vec![1, 2, 3], vec![1, 2, 3]),
+            (vec![1, 2, 3], vec![1, 2, 4]),
+            (vec![255, 0, 128], vec![255, 0, 128]),
+            (vec![255, 0, 128], vec![254, 0, 128]),
+        ] {
+            let w = word.compare(&a, &b, true).unwrap().result;
+            let (v, _) = bit.compare(&a, &b, true).unwrap();
+            assert_eq!(w, v, "tuples {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn bit_level_array_has_m_times_w_cells_and_linear_latency() {
+        let bit = BitLinearComparisonArray::new(2, 8);
+        assert_eq!(bit.cells(), 16);
+        let (_, stats) = bit.compare(&[1, 2], &[1, 2], true).unwrap();
+        assert_eq!(stats.cells, 16);
+        // The verdict forms after m*w pulses (one per bit position).
+        assert_eq!(stats.pulses, 16);
+    }
+
+    #[test]
+    fn bit_serial_comparator_matches_all_six_operators() {
+        for op in CompareOp::ALL {
+            let cmp = BitSerialComparator::new(6, op);
+            for (a, b) in [(0, 0), (5, 9), (9, 5), (63, 63), (1, 0), (0, 63)] {
+                let (v, _) = cmp.compare(a, b).unwrap();
+                assert_eq!(v, op.eval(a, b), "{a} {op} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_comparison_takes_width_plus_one_pulses() {
+        let cmp = BitSerialComparator::new(10, CompareOp::Lt);
+        let (_, stats) = cmp.compare(100, 200).unwrap();
+        assert_eq!(stats.pulses, 11);
+        assert_eq!(stats.cells, 1);
+    }
+
+    #[test]
+    fn serial_cell_state_resets_after_drain() {
+        // Two back-to-back comparisons through one grid must not leak state.
+        let mut grid: Grid<BitSerialMagnitudeCell> =
+            Grid::new(1, 1, |_, _| BitSerialMagnitudeCell::new(CompareOp::Eq));
+        // First comparison: 1 vs 0 (not equal). Second: 1 vs 1 (equal).
+        grid.set_north_feeder(ScheduleFeeder::from_entries([
+            (0, 0, Word::Elem(1)),
+            (2, 0, Word::Elem(1)),
+        ]));
+        grid.set_south_feeder(ScheduleFeeder::from_entries([
+            (0, 0, Word::Elem(0)),
+            (2, 0, Word::Elem(1)),
+        ]));
+        grid.set_west_feeder(ScheduleFeeder::from_entries([
+            (1, 0, Word::Drain),
+            (3, 0, Word::Drain),
+        ]));
+        grid.run_until_quiescent(16).unwrap();
+        assert_eq!(grid.east_emissions().at(1, 0), Some(Word::Bool(false)));
+        assert_eq!(grid.east_emissions().at(3, 0), Some(Word::Bool(true)));
+    }
+
+    #[test]
+    fn wide_words_up_to_62_bits() {
+        let cmp = BitSerialComparator::new(62, CompareOp::Gt);
+        let big = (1i64 << 61) + 12345;
+        let (v, _) = cmp.compare(big, big - 1).unwrap();
+        assert!(v);
+    }
+}

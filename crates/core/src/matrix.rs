@@ -1,0 +1,181 @@
+//! The boolean result matrix `T` (§3.3).
+//!
+//! "Letter T represents a boolean matrix that contains results of logical
+//! operations. The (i,j)-th entry of T ... denote\[s\] the result of a
+//! comparison between the i-th tuple of a relation and the j-th tuple of
+//! another."
+
+/// A dense `n_a x n_b` boolean matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TMatrix {
+    n_a: usize,
+    n_b: usize,
+    bits: Vec<bool>,
+}
+
+impl TMatrix {
+    /// An all-false matrix.
+    pub fn new(n_a: usize, n_b: usize) -> Self {
+        TMatrix { n_a, n_b, bits: vec![false; n_a * n_b] }
+    }
+
+    /// Build from a predicate.
+    pub fn from_fn(n_a: usize, n_b: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = TMatrix::new(n_a, n_b);
+        for i in 0..n_a {
+            for j in 0..n_b {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Rows (`|A|`).
+    pub fn n_a(&self) -> usize {
+        self.n_a
+    }
+
+    /// Columns (`|B|`).
+    pub fn n_b(&self) -> usize {
+        self.n_b
+    }
+
+    /// Entry `t_{ij}`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.n_b + j]
+    }
+
+    /// Set entry `t_{ij}`.
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        self.bits[i * self.n_b + j] = v;
+    }
+
+    /// `t_i = OR_{1<=j<=n} t_{ij}` (equation 4.1) — what the accumulation
+    /// array computes for the intersection.
+    pub fn row_or(&self, i: usize) -> bool {
+        (0..self.n_b).any(|j| self.get(i, j))
+    }
+
+    /// AND across row `i` — what the divisor array computes per row (§7).
+    pub fn row_and(&self, i: usize) -> bool {
+        (0..self.n_b).all(|j| self.get(i, j))
+    }
+
+    /// All row-ORs as a bit vector.
+    pub fn row_ors(&self) -> Vec<bool> {
+        (0..self.n_a).map(|i| self.row_or(i)).collect()
+    }
+
+    /// Number of TRUE entries (the join result size, §6.2).
+    pub fn count_true(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// The TRUE positions in row-major order.
+    pub fn true_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.count_true());
+        for i in 0..self.n_a {
+            for j in 0..self.n_b {
+                if self.get(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pointwise AND with another matrix of the same shape — how column-
+    /// group tiles are combined when a wide tuple is decomposed over a
+    /// narrow array (§8).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn and_assign(&mut self, other: &TMatrix) {
+        assert_eq!(self.n_a, other.n_a, "shape mismatch");
+        assert_eq!(self.n_b, other.n_b, "shape mismatch");
+        for (x, y) in self.bits.iter_mut().zip(&other.bits) {
+            *x &= *y;
+        }
+    }
+
+    /// Copy `block` into this matrix at offset `(i0, j0)` — assembling a
+    /// full `T` from sub-problem pieces (§8: "each of these sub-problems
+    /// would generate a piece of the matrix").
+    ///
+    /// # Panics
+    /// Panics if the block does not fit.
+    pub fn paste(&mut self, i0: usize, j0: usize, block: &TMatrix) {
+        assert!(i0 + block.n_a <= self.n_a && j0 + block.n_b <= self.n_b, "block overflows");
+        for i in 0..block.n_a {
+            for j in 0..block.n_b {
+                self.set(i0 + i, j0 + j, block.get(i, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_row_ops() {
+        let mut m = TMatrix::new(2, 3);
+        m.set(0, 1, true);
+        assert!(m.get(0, 1));
+        assert!(m.row_or(0));
+        assert!(!m.row_or(1));
+        assert!(!m.row_and(0));
+        m.set(0, 0, true);
+        m.set(0, 2, true);
+        assert!(m.row_and(0));
+        assert_eq!(m.count_true(), 3);
+        assert_eq!(m.row_ors(), vec![true, false]);
+    }
+
+    #[test]
+    fn from_fn_and_true_pairs() {
+        let m = TMatrix::from_fn(3, 3, |i, j| i == j);
+        assert_eq!(m.true_pairs(), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn and_assign_is_pointwise() {
+        let mut a = TMatrix::from_fn(2, 2, |i, _| i == 0);
+        let b = TMatrix::from_fn(2, 2, |_, j| j == 0);
+        a.and_assign(&b);
+        assert_eq!(a.true_pairs(), vec![(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn and_assign_checks_shapes() {
+        let mut a = TMatrix::new(2, 2);
+        a.and_assign(&TMatrix::new(2, 3));
+    }
+
+    #[test]
+    fn paste_assembles_blocks() {
+        let mut full = TMatrix::new(4, 4);
+        let block = TMatrix::from_fn(2, 2, |i, j| i == j);
+        full.paste(2, 2, &block);
+        assert!(full.get(2, 2));
+        assert!(full.get(3, 3));
+        assert!(!full.get(2, 3));
+        assert_eq!(full.count_true(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block overflows")]
+    fn paste_checks_bounds() {
+        let mut full = TMatrix::new(2, 2);
+        full.paste(1, 1, &TMatrix::new(2, 2));
+    }
+
+    #[test]
+    fn empty_rows_behave() {
+        let m = TMatrix::new(1, 0);
+        assert!(!m.row_or(0), "OR over empty row is false");
+        assert!(m.row_and(0), "AND over empty row is vacuously true");
+    }
+}

@@ -1,0 +1,597 @@
+//! Relation-level operator front-ends.
+//!
+//! This is the public API a downstream user calls: each function takes
+//! relations from `systolic-relation`, checks the paper's preconditions
+//! (union-compatibility etc.), chooses an array per the requested
+//! [`Execution`] strategy, streams the rows through the simulated hardware,
+//! and assembles the result relation from the bits/matrix the array emits —
+//! exactly the division of labour the paper describes (the array produces
+//! `t` bits or `T`; "it is then a simple matter to use the t_i's to
+//! generate C from A", §4.2).
+
+use systolic_fabric::{CompareOp, Elem};
+use systolic_relation::{MultiRelation, RelationError, Row, Schema};
+
+use crate::dedup::RemoveDuplicatesArray;
+use crate::division::DivisionArray;
+use crate::error::Result;
+use crate::fixed::FixedOperandArray;
+use crate::intersection::{IntersectionArray, SetOpMode};
+use crate::join::{JoinArray, JoinSpec};
+use crate::stats::ExecStats;
+use crate::tiling::{self, ArrayLimits};
+
+/// How to realise an operation in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// The §3–§7 designs: both relations march through an unbounded array.
+    #[default]
+    Marching,
+    /// The §8 optimisation: one relation resident, the other streaming.
+    FixedOperand,
+    /// The §8 decomposition: a fixed-size physical array reused over tiles,
+    /// draining between tiles.
+    Tiled(ArrayLimits),
+    /// As [`Execution::Tiled`], with successive tiles streamed back-to-back
+    /// through the running array (the E19 pipelining). Falls back to
+    /// [`Execution::Tiled`] when `limits.max_cols` cannot cover the
+    /// operation's streamed tuple width (pipelining cannot split columns).
+    TiledPipelined(ArrayLimits),
+}
+
+/// Result of an operator run: the output relation and the hardware cost.
+pub type OpResult = (MultiRelation, ExecStats);
+
+fn membership(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    mode: SetOpMode,
+    exec: Execution,
+) -> Result<OpResult> {
+    a.schema().require_union_compatible(b.schema())?;
+    if a.is_empty() {
+        return Ok((MultiRelation::empty(a.schema().clone()), ExecStats::default()));
+    }
+    if b.is_empty() {
+        // Intersection with nothing is nothing; difference with nothing is A.
+        let out = match mode {
+            SetOpMode::Intersect => MultiRelation::empty(a.schema().clone()),
+            SetOpMode::Difference => a.clone(),
+        };
+        return Ok((out, ExecStats::default()));
+    }
+    let (keep, stats) = match exec {
+        Execution::Marching => {
+            let out = IntersectionArray::new(a.arity()).run(a.rows(), b.rows(), mode)?;
+            (out.keep, out.stats)
+        }
+        Execution::FixedOperand => {
+            let out = FixedOperandArray::preload(b.rows()).run(a.rows(), mode)?;
+            (out.keep, out.stats)
+        }
+        Execution::Tiled(limits) => {
+            tiling::membership_tiled(a.rows(), b.rows(), mode, limits, |_, _| true)?
+        }
+        Execution::TiledPipelined(limits) if limits.max_cols >= a.arity() => {
+            let ops_eq = vec![CompareOp::Eq; a.arity()];
+            let out = tiling::t_matrix_tiled_pipelined(
+                a.rows(),
+                b.rows(),
+                &ops_eq,
+                limits,
+                |_, _| true,
+            )?;
+            let t = out.t.row_ors();
+            let keep = match mode {
+                SetOpMode::Intersect => t,
+                SetOpMode::Difference => t.into_iter().map(|x| !x).collect(),
+            };
+            (keep, out.stats)
+        }
+        Execution::TiledPipelined(limits) => {
+            // Column splitting required: fall back to drain-per-tile.
+            tiling::membership_tiled(a.rows(), b.rows(), mode, limits, |_, _| true)?
+        }
+    };
+    Ok((a.filter_by_index(|i| keep[i]), stats))
+}
+
+/// `C = A ∩ B` (§4). Requires union-compatibility.
+pub fn intersect(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    membership(a, b, SetOpMode::Intersect, exec)
+}
+
+/// `C = A - B` (§4.3). Requires union-compatibility.
+pub fn difference(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    membership(a, b, SetOpMode::Difference, exec)
+}
+
+/// Remove-duplicates (§5): turn a multi-relation into a relation, keeping
+/// each tuple's first occurrence.
+pub fn dedup(a: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    if a.is_empty() {
+        return Ok((a.clone(), ExecStats::default()));
+    }
+    let (dup_flags, stats) = match exec {
+        Execution::Marching => {
+            let out = RemoveDuplicatesArray::new(a.arity()).run(a.rows())?;
+            // RemoveDuplicatesArray already returns keep flags.
+            return Ok((a.filter_by_index(|i| out.keep[i]), out.stats));
+        }
+        Execution::FixedOperand => {
+            let out = FixedOperandArray::preload(a.rows()).run_masked(
+                a.rows(),
+                SetOpMode::Difference,
+                |i, j| i > j,
+            )?;
+            return Ok((a.filter_by_index(|i| out.keep[i]), out.stats));
+        }
+        Execution::Tiled(limits) => tiling::membership_tiled(
+            a.rows(),
+            a.rows(),
+            SetOpMode::Intersect,
+            limits,
+            |i, j| i > j,
+        )?,
+        Execution::TiledPipelined(limits) if limits.max_cols >= a.arity() => {
+            let ops_eq = vec![CompareOp::Eq; a.arity()];
+            let out = tiling::t_matrix_tiled_pipelined(
+                a.rows(),
+                a.rows(),
+                &ops_eq,
+                limits,
+                |i, j| i > j,
+            )?;
+            (out.t.row_ors(), out.stats)
+        }
+        Execution::TiledPipelined(limits) => tiling::membership_tiled(
+            a.rows(),
+            a.rows(),
+            SetOpMode::Intersect,
+            limits,
+            |i, j| i > j,
+        )?,
+    };
+    // Tiled path returns "has an earlier duplicate" flags in intersect mode.
+    Ok((a.filter_by_index(|i| !dup_flags[i]), stats))
+}
+
+/// `C = A ∪ B` (§5): remove-duplicates over the concatenation `A + B`.
+pub fn union(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    let concat = a.concat(b)?;
+    dedup(&concat, exec)
+}
+
+/// Projection (§5): strip columns while the tuples are retrieved, then
+/// remove duplicates with the array.
+pub fn project(a: &MultiRelation, cols: &[usize], exec: Execution) -> Result<OpResult> {
+    let stripped = a.project(cols)?;
+    dedup(&stripped, exec)
+}
+
+/// Join (§6): equi or theta, over one or more column pairs. For pure
+/// equi-joins `B`'s copies of the join columns are dropped from the result
+/// schema; any theta comparator keeps all columns.
+pub fn join(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    specs: &[JoinSpec],
+    exec: Execution,
+) -> Result<OpResult> {
+    if specs.is_empty() {
+        return Err(RelationError::NotUnionCompatible {
+            detail: "join requires at least one column pair".into(),
+        }
+        .into());
+    }
+    let pure_equi = specs.iter().all(|s| s.op == CompareOp::Eq);
+    let schema: Schema = if pure_equi {
+        let pairs: Vec<(usize, usize)> = specs.iter().map(|s| (s.col_a, s.col_b)).collect();
+        a.schema().join(b.schema(), &pairs)?
+    } else {
+        for s in specs {
+            a.schema().column(s.col_a)?;
+            b.schema().column(s.col_b)?;
+        }
+        a.schema().join(b.schema(), &[])?
+    };
+    if a.is_empty() || b.is_empty() {
+        return Ok((MultiRelation::empty(schema), ExecStats::default()));
+    }
+    let arr = JoinArray::new(specs.to_vec());
+    let (t, stats) = match exec {
+        Execution::Marching => {
+            let out = arr.t_matrix(a.rows(), b.rows())?;
+            (out.t, out.stats)
+        }
+        Execution::FixedOperand => {
+            let b_keys: Vec<Row> = b
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_b]).collect())
+                .collect();
+            let a_keys: Vec<Row> = a
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_a]).collect())
+                .collect();
+            let ops: Vec<CompareOp> = specs.iter().map(|s| s.op).collect();
+            FixedOperandArray::preload(&b_keys).t_matrix(&a_keys, &ops)?
+        }
+        Execution::Tiled(limits) | Execution::TiledPipelined(limits) => {
+            let a_keys: Vec<Row> = a
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_a]).collect())
+                .collect();
+            let b_keys: Vec<Row> = b
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_b]).collect())
+                .collect();
+            let ops: Vec<CompareOp> = specs.iter().map(|s| s.op).collect();
+            let pipelined =
+                matches!(exec, Execution::TiledPipelined(_)) && limits.max_cols >= ops.len();
+            let out = if pipelined {
+                tiling::t_matrix_tiled_pipelined(&a_keys, &b_keys, &ops, limits, |_, _| true)?
+            } else {
+                tiling::t_matrix_tiled(&a_keys, &b_keys, &ops, limits, |_, _| true)?
+            };
+            (out.t, out.stats)
+        }
+    };
+    let rows = arr.assemble(a.rows(), b.rows(), &t);
+    Ok((MultiRelation::new(schema, rows)?, stats))
+}
+
+/// Selection (restriction): keep the tuples of `a` satisfying every
+/// predicate. The predicates are resident in a one-row §8-style array and
+/// the relation streams through (see [`crate::select`]); `exec` is accepted
+/// for interface uniformity but selection always uses its dedicated array.
+pub fn select(
+    a: &MultiRelation,
+    predicates: &[crate::select::Predicate],
+    _exec: Execution,
+) -> Result<OpResult> {
+    if predicates.is_empty() {
+        return Err(RelationError::EmptyProjection.into());
+    }
+    for p in predicates {
+        a.schema().column(p.col)?;
+    }
+    if a.is_empty() {
+        return Ok((a.clone(), ExecStats::default()));
+    }
+    let arr = crate::select::SelectionArray::new(predicates.to_vec());
+    let (keep, stats) = arr.run(a.rows())?;
+    Ok((a.filter_by_index(|i| keep[i]), stats))
+}
+
+/// Relational division (§7), restricted case: binary dividend `A`, unary
+/// divisor `B`. `key` is the quotient column of `A` (the paper's `A1`),
+/// `ca` the column compared against `B`'s column `cb`.
+///
+/// The distinct dividend keys are identified with the remove-duplicates
+/// array first (as the paper suggests), then pre-loaded into the division
+/// array; the two runs' statistics are merged sequentially.
+pub fn divide_binary(
+    a: &MultiRelation,
+    key: usize,
+    ca: usize,
+    b: &MultiRelation,
+    cb: usize,
+    exec: Execution,
+) -> Result<OpResult> {
+    a.schema().column(key)?;
+    a.schema().column(ca)?;
+    b.schema().column(cb)?;
+    let schema = a.schema().project(&[key])?;
+    if a.is_empty() {
+        return Ok((MultiRelation::empty(schema), ExecStats::default()));
+    }
+    // Step 1: distinct keys via the remove-duplicates machinery.
+    let key_col = a.project(&[key])?;
+    let (distinct, mut stats) = dedup(&key_col, exec)?;
+    let keys: Vec<Elem> = distinct.rows().iter().map(|r| r[0]).collect();
+    // Step 2: the division array proper.
+    let pairs: Vec<(Elem, Elem)> = a.rows().iter().map(|r| (r[key], r[ca])).collect();
+    let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb]).collect();
+    let out = DivisionArray.divide_with_keys(&pairs, &keys, &divisor, false)?;
+    stats.merge_sequential(&out.stats);
+    let rows: Vec<Row> = out.quotient.iter().map(|&x| vec![x]).collect();
+    Ok((MultiRelation::new(schema, rows)?, stats))
+}
+
+/// General relational division `C = A ÷ B` over column lists (§7: "the
+/// extension from this to the general case is straightforward").
+///
+/// Multi-column keys and values are dictionary-encoded into composite
+/// integers host-side (the same §2.3 trick that turns any domain into
+/// integers), then the binary/unary division array is applied.
+pub fn divide(
+    a: &MultiRelation,
+    ca: &[usize],
+    b: &MultiRelation,
+    cb: &[usize],
+    exec: Execution,
+) -> Result<OpResult> {
+    if ca.len() != cb.len() || ca.is_empty() {
+        return Err(RelationError::NotUnionCompatible {
+            detail: format!("division column lists have lengths {} vs {}", ca.len(), cb.len()),
+        }
+        .into());
+    }
+    for &c in ca {
+        a.schema().column(c)?;
+    }
+    for &c in cb {
+        b.schema().column(c)?;
+    }
+    let key_cols: Vec<usize> = (0..a.arity()).filter(|k| !ca.contains(k)).collect();
+    if key_cols.is_empty() {
+        return Err(RelationError::EmptyProjection.into());
+    }
+    let schema = a.schema().project(&key_cols)?;
+    if a.is_empty() {
+        return Ok((MultiRelation::empty(schema), ExecStats::default()));
+    }
+    // Single compared column: the multi-key division array (§7 general
+    // case) compares the composite key entirely in hardware.
+    if ca.len() == 1 {
+        let rows: Vec<Row> = a
+            .rows()
+            .iter()
+            .map(|row| {
+                let mut r: Row = key_cols.iter().map(|&c| row[c]).collect();
+                r.push(row[ca[0]]);
+                r
+            })
+            .collect();
+        let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb[0]]).collect();
+        let out = crate::division::DivisionArrayMulti::new(key_cols.len())
+            .divide(&rows, &divisor)?;
+        return Ok((MultiRelation::new(schema, out.quotient)?, out.stats));
+    }
+    // Composite encoding: every distinct key-projection / value-projection
+    // row becomes one integer.
+    let mut encode = CompositeEncoder::default();
+    let enc_rows: Vec<Row> = a
+        .rows()
+        .iter()
+        .map(|row| {
+            let k: Row = key_cols.iter().map(|&c| row[c]).collect();
+            let v: Row = ca.iter().map(|&c| row[c]).collect();
+            vec![encode.key(&k), encode.value(&v)]
+        })
+        .collect();
+    let enc_divisor: Vec<Row> = b
+        .rows()
+        .iter()
+        .map(|row| {
+            let v: Row = cb.iter().map(|&c| row[c]).collect();
+            vec![encode.value(&v)]
+        })
+        .collect();
+    let enc_a = MultiRelation::new(Schema::uniform(2, systolic_relation::DomainId(usize::MAX)), enc_rows)?;
+    let enc_b = MultiRelation::new(Schema::uniform(1, systolic_relation::DomainId(usize::MAX)), enc_divisor)?;
+    let (quotient, stats) = divide_binary(&enc_a, 0, 1, &enc_b, 0, exec)?;
+    let rows: Vec<Row> = quotient
+        .rows()
+        .iter()
+        .map(|r| encode.decode_key(r[0]).to_vec())
+        .collect();
+    Ok((MultiRelation::new(schema, rows)?, stats))
+}
+
+/// Interning encoder mapping projection rows to composite integer codes.
+#[derive(Default)]
+struct CompositeEncoder {
+    keys: Vec<Row>,
+    key_index: std::collections::HashMap<Row, Elem>,
+    values: std::collections::HashMap<Row, Elem>,
+}
+
+impl CompositeEncoder {
+    fn key(&mut self, row: &[Elem]) -> Elem {
+        if let Some(&code) = self.key_index.get(row) {
+            return code;
+        }
+        let code = self.keys.len() as Elem;
+        self.keys.push(row.to_vec());
+        self.key_index.insert(row.to_vec(), code);
+        code
+    }
+
+    fn value(&mut self, row: &[Elem]) -> Elem {
+        let next = self.values.len() as Elem;
+        *self.values.entry(row.to_vec()).or_insert(next)
+    }
+
+    fn decode_key(&self, code: Elem) -> &[Elem] {
+        &self.keys[code as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use systolic_baseline::{nested_loop, OpCounter};
+    use systolic_relation::gen::{self, synth_schema};
+
+    const EXECS: [Execution; 4] = [
+        Execution::Marching,
+        Execution::FixedOperand,
+        Execution::Tiled(ArrayLimits { max_a: 4, max_b: 3, max_cols: 2 }),
+        Execution::TiledPipelined(ArrayLimits { max_a: 4, max_b: 3, max_cols: 3 }),
+    ];
+
+    fn multi(m: usize, rows: &[&[Elem]]) -> MultiRelation {
+        MultiRelation::new(synth_schema(m), rows.iter().map(|r| r.to_vec()).collect()).unwrap()
+    }
+
+    #[test]
+    fn set_ops_agree_with_reference_under_every_execution() {
+        let mut rng = StdRng::seed_from_u64(555);
+        for _ in 0..5 {
+            let (a, b) = gen::pair_with_overlap(&mut rng, 11, 9, 2, 0.4);
+            let (a, b) = (a.into_multi(), b.into_multi());
+            let expect_i = nested_loop::intersect(&a, &b, &mut OpCounter::new()).unwrap();
+            let expect_d = nested_loop::difference(&a, &b, &mut OpCounter::new()).unwrap();
+            let expect_u = nested_loop::union(&a, &b, &mut OpCounter::new()).unwrap();
+            for exec in EXECS {
+                let (got, _) = intersect(&a, &b, exec).unwrap();
+                assert!(got.set_eq(&expect_i), "{exec:?} intersection");
+                let (got, _) = difference(&a, &b, exec).unwrap();
+                assert!(got.set_eq(&expect_d), "{exec:?} difference");
+                let (got, _) = union(&a, &b, exec).unwrap();
+                assert!(got.set_eq(&expect_u), "{exec:?} union");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_and_project_agree_with_reference_under_every_execution() {
+        let mut rng = StdRng::seed_from_u64(556);
+        let m = gen::with_duplicates(&mut rng, 7, 3, 3);
+        let expect = nested_loop::dedup(&m, &mut OpCounter::new());
+        let expect_p = nested_loop::project(&m, &[0, 2], &mut OpCounter::new()).unwrap();
+        for exec in EXECS {
+            let (got, _) = dedup(&m, exec).unwrap();
+            assert_eq!(got.rows(), expect.rows(), "{exec:?} dedup order");
+            let (got, _) = project(&m, &[0, 2], exec).unwrap();
+            assert!(got.set_eq(&expect_p), "{exec:?} projection");
+        }
+    }
+
+    #[test]
+    fn join_agrees_with_reference_under_every_execution() {
+        let mut rng = StdRng::seed_from_u64(557);
+        let (a, b, ka, kb) = gen::join_pair(&mut rng, 9, 8, 3, 2, 4, 0.0);
+        let expect = nested_loop::equi_join(&a, &b, &[(ka, kb)], &mut OpCounter::new()).unwrap();
+        for exec in EXECS {
+            let (got, _) = join(&a, &b, &[JoinSpec::eq(ka, kb)], exec).unwrap();
+            assert!(got.set_eq(&expect), "{exec:?} join");
+            assert_eq!(got.len(), expect.len(), "{exec:?} multiplicity");
+        }
+    }
+
+    #[test]
+    fn theta_join_keeps_all_columns() {
+        let a = multi(1, &[&[5], &[1]]);
+        let b = multi(1, &[&[3]]);
+        let (got, _) = join(
+            &a,
+            &b,
+            &[JoinSpec::theta(0, 0, CompareOp::Gt)],
+            Execution::Marching,
+        )
+        .unwrap();
+        assert_eq!(got.rows(), &[vec![5, 3]]);
+        let expect =
+            nested_loop::theta_join(&a, &b, &[(0, 0, CompareOp::Gt)], &mut OpCounter::new())
+                .unwrap();
+        assert!(got.set_eq(&expect));
+    }
+
+    #[test]
+    fn division_agrees_with_reference_under_every_execution() {
+        let mut rng = StdRng::seed_from_u64(558);
+        let (a, b, expected) = gen::division_instance(&mut rng, 8, 3, 3);
+        for exec in EXECS {
+            let (got, _) = divide_binary(&a, 0, 1, &b, 0, exec).unwrap();
+            let mut keys: Vec<Elem> = got.rows().iter().map(|r| r[0]).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, expected, "{exec:?} division");
+        }
+    }
+
+    #[test]
+    fn general_division_with_composite_columns() {
+        // A(x1, x2, y): quotient over (x1, x2) pairs.
+        let a = multi(
+            3,
+            &[
+                &[1, 1, 10],
+                &[1, 1, 11],
+                &[2, 2, 10],
+                &[1, 2, 10],
+                &[1, 2, 11],
+            ],
+        );
+        let b = multi(1, &[&[10], &[11]]);
+        let (got, _) = divide(&a, &[2], &b, &[0], Execution::Marching).unwrap();
+        let expect = nested_loop::divide(&a, &[2], &b, &[0], &mut OpCounter::new()).unwrap();
+        assert!(got.set_eq(&expect));
+        assert_eq!(got.arity(), 2);
+        assert!(got.contains(&[1, 1]));
+        assert!(got.contains(&[1, 2]));
+        assert!(!got.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn empty_relations_short_circuit() {
+        let a = multi(1, &[&[1]]);
+        let empty = MultiRelation::empty(synth_schema(1));
+        let (r, s) = intersect(&a, &empty, Execution::Marching).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(s.pulses, 0, "no array built for an empty operand");
+        let (r, _) = difference(&a, &empty, Execution::Marching).unwrap();
+        assert_eq!(r.rows(), a.rows());
+        let (r, _) = intersect(&empty, &a, Execution::Marching).unwrap();
+        assert!(r.is_empty());
+        let (r, _) = dedup(&empty, Execution::Marching).unwrap();
+        assert!(r.is_empty());
+        let (r, _) = join(&empty, &a, &[JoinSpec::eq(0, 0)], Execution::Marching).unwrap();
+        assert!(r.is_empty());
+        let (r, _) =
+            divide_binary(&empty, 0, 0, &a, 0, Execution::Marching).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_result_is_a_set() {
+        let a = multi(1, &[&[1], &[2]]);
+        let b = multi(1, &[&[2], &[2], &[3]]);
+        let (r, _) = union(&a, &b, Execution::Marching).unwrap();
+        assert!(r.is_set());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn join_without_specs_is_an_error() {
+        let a = multi(1, &[&[1]]);
+        assert!(join(&a, &a, &[], Execution::Marching).is_err());
+    }
+
+    #[test]
+    fn select_filters_and_validates_columns() {
+        use crate::select::Predicate;
+        let a = multi(2, &[&[1, 10], &[2, 20], &[3, 30]]);
+        let (kept, stats) =
+            select(&a, &[Predicate::new(1, CompareOp::Gt, 10)], Execution::Marching).unwrap();
+        assert_eq!(kept.rows(), &[vec![2, 20], vec![3, 30]]);
+        assert!(stats.pulses > 0);
+        // Out-of-range column and empty predicate list are errors.
+        assert!(select(&a, &[Predicate::new(9, CompareOp::Eq, 0)], Execution::Marching).is_err());
+        assert!(select(&a, &[], Execution::Marching).is_err());
+        // Empty input short-circuits.
+        let empty = MultiRelation::empty(synth_schema(2));
+        let (out, s) =
+            select(&empty, &[Predicate::new(0, CompareOp::Eq, 1)], Execution::Marching).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(s.pulses, 0);
+    }
+
+    #[test]
+    fn stats_report_hardware_shape() {
+        let a = multi(2, &[&[1, 1], &[2, 2], &[3, 3]]);
+        let b = multi(2, &[&[2, 2]]);
+        let (_, s) = intersect(&a, &b, Execution::Marching).unwrap();
+        // (3 + 1 - 1) rows x (2 + 1) columns.
+        assert_eq!(s.cells, 9);
+        assert!(s.pulses > 0);
+        assert!(s.utilisation() > 0.0);
+    }
+}

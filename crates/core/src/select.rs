@@ -1,0 +1,158 @@
+//! Selection (restriction) on the array.
+//!
+//! The paper handles simple selections at the disk ("logic-per-track"
+//! devices, §9) — but a selection is also exactly a one-sided comparison
+//! array: every tuple is compared against a *constant* tuple of predicates
+//! resident in a single row of processors (the degenerate `n_B = 1` case of
+//! the fixed-operand layout of §8). This module provides that array, which
+//! completes the relational algebra for hosts whose disks lack track logic.
+
+use systolic_fabric::{CompareOp, Elem};
+
+use crate::error::Result;
+use crate::fixed::FixedOperandArray;
+use crate::stats::ExecStats;
+
+/// One selection predicate: `column <op> constant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// The column tested.
+    pub col: usize,
+    /// The comparison.
+    pub op: CompareOp,
+    /// The constant compared against (already encoded, §2.3).
+    pub value: Elem,
+}
+
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(col: usize, op: CompareOp, value: Elem) -> Self {
+        Predicate { col, op, value }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Elem]) -> bool {
+        self.op.eval(row[self.col], self.value)
+    }
+}
+
+/// The selection array: one resident row of predicate constants, the
+/// relation streaming through, one keep-bit per tuple (the conjunction of
+/// all predicates).
+///
+/// ```
+/// use systolic_core::{Predicate, SelectionArray};
+/// use systolic_fabric::CompareOp;
+/// let arr = SelectionArray::new(vec![Predicate::new(1, CompareOp::Ge, 20)]);
+/// let (keep, _) = arr.run(&[vec![1, 10], vec![2, 25]]).unwrap();
+/// assert_eq!(keep, vec![false, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectionArray {
+    predicates: Vec<Predicate>,
+}
+
+impl SelectionArray {
+    /// Build for a conjunction of predicates.
+    ///
+    /// # Panics
+    /// Panics on an empty predicate list.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        assert!(!predicates.is_empty(), "selection needs at least one predicate");
+        SelectionArray { predicates }
+    }
+
+    /// Stream `rows` through the array; `keep[i]` is TRUE iff row `i`
+    /// satisfies every predicate.
+    pub fn run(&self, rows: &[Vec<Elem>]) -> Result<(Vec<bool>, ExecStats)> {
+        if rows.is_empty() {
+            return Ok((Vec::new(), ExecStats::default()));
+        }
+        // Project the tested columns; the resident "relation" is the single
+        // row of constants, one per predicate column.
+        let keys: Vec<Vec<Elem>> = rows
+            .iter()
+            .map(|row| self.predicates.iter().map(|p| row[p.col]).collect())
+            .collect();
+        let constants: Vec<Vec<Elem>> =
+            vec![self.predicates.iter().map(|p| p.value).collect()];
+        let ops: Vec<CompareOp> = self.predicates.iter().map(|p| p.op).collect();
+        let (t, stats) = FixedOperandArray::preload(&constants).t_matrix(&keys, &ops)?;
+        let keep = (0..rows.len()).map(|i| t.get(i, 0)).collect();
+        Ok((keep, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[&[Elem]]) -> Vec<Vec<Elem>> {
+        vals.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn single_predicate_selection() {
+        let rows = rows(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let arr = SelectionArray::new(vec![Predicate::new(1, CompareOp::Ge, 20)]);
+        let (keep, stats) = arr.run(&rows).unwrap();
+        assert_eq!(keep, vec![false, true, true]);
+        assert_eq!(stats.cells, 1, "one predicate, one resident processor");
+    }
+
+    #[test]
+    fn conjunction_of_predicates() {
+        let rows = rows(&[&[1, 10], &[2, 20], &[3, 30], &[4, 40]]);
+        let arr = SelectionArray::new(vec![
+            Predicate::new(0, CompareOp::Gt, 1),
+            Predicate::new(1, CompareOp::Lt, 40),
+        ]);
+        let (keep, _) = arr.run(&rows).unwrap();
+        assert_eq!(keep, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn agrees_with_direct_evaluation_on_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(606);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..20);
+            let data: Vec<Vec<Elem>> =
+                (0..n).map(|_| (0..3).map(|_| rng.gen_range(0..8)).collect()).collect();
+            let preds = vec![
+                Predicate::new(rng.gen_range(0..3), CompareOp::ALL[rng.gen_range(0..6)], rng.gen_range(0..8)),
+                Predicate::new(rng.gen_range(0..3), CompareOp::ALL[rng.gen_range(0..6)], rng.gen_range(0..8)),
+            ];
+            let arr = SelectionArray::new(preds.clone());
+            let (keep, _) = arr.run(&data).unwrap();
+            for (i, row) in data.iter().enumerate() {
+                assert_eq!(keep[i], preds.iter().all(|p| p.eval(row)), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let arr = SelectionArray::new(vec![Predicate::new(0, CompareOp::Eq, 5)]);
+        let (keep, stats) = arr.run(&[]).unwrap();
+        assert!(keep.is_empty());
+        assert_eq!(stats, ExecStats::default());
+    }
+
+    #[test]
+    fn latency_is_linear_with_constant_hardware() {
+        let data: Vec<Vec<Elem>> = (0..128).map(|i| vec![i]).collect();
+        let arr = SelectionArray::new(vec![Predicate::new(0, CompareOp::Lt, 64)]);
+        let (keep, stats) = arr.run(&data).unwrap();
+        assert_eq!(keep.iter().filter(|&&k| k).count(), 64);
+        assert_eq!(stats.cells, 1);
+        assert!(stats.pulses <= 132);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_predicates_rejected() {
+        SelectionArray::new(vec![]);
+    }
+}

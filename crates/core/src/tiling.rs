@@ -1,0 +1,434 @@
+//! Problem decomposition onto a fixed-size array (§8).
+//!
+//! "While such an array would be large enough for many applications, it is
+//! also possible to use the array to solve problems that will not fit
+//! entirely on it. This calls for the technique of decomposing problems. ...
+//! In the intersection problem, consider the matrix, T, of results. For a
+//! large problem, one can simply partition this matrix into sub-problems
+//! small enough to fit on the array; each of these sub-problems would
+//! generate a piece of the matrix."
+//!
+//! A physical array of bounded size is reused sequentially over tiles of
+//! `A`-rows x `B`-rows x column groups; partial results are combined outside
+//! the array (§9: "results from subrelations must be stored outside the
+//! systolic arrays before they are finally combined") — AND across column
+//! groups, then OR across `B` tiles for membership-style operations.
+
+use systolic_fabric::{CompareOp, Elem};
+
+use crate::comparison::ComparisonArray2d;
+use crate::error::Result;
+use crate::intersection::SetOpMode;
+use crate::matrix::TMatrix;
+use crate::stats::ExecStats;
+
+/// The physical capacity of a fixed systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLimits {
+    /// Maximum `A`-tuples per tile (bounds the rows fed from the top).
+    pub max_a: usize,
+    /// Maximum `B`-tuples per tile (bounds the rows fed from the bottom).
+    pub max_b: usize,
+    /// Maximum processor columns (bounds the tuple width per pass).
+    pub max_cols: usize,
+}
+
+impl ArrayLimits {
+    /// Build limits; every bound must be at least 1.
+    pub fn new(max_a: usize, max_b: usize, max_cols: usize) -> Self {
+        assert!(max_a > 0 && max_b > 0 && max_cols > 0, "limits must be positive");
+        ArrayLimits { max_a, max_b, max_cols }
+    }
+
+    /// Physical processor count of the array these limits describe
+    /// (comparison columns only).
+    pub fn cells(&self) -> usize {
+        (self.max_a + self.max_b - 1) * self.max_cols
+    }
+}
+
+/// Outcome of a tiled run.
+#[derive(Debug, Clone)]
+pub struct TiledOutcome {
+    /// The assembled full matrix `T`.
+    pub t: TMatrix,
+    /// Sequentially merged statistics over all tile runs.
+    pub stats: ExecStats,
+}
+
+/// Compute the full `T` matrix with an array bounded by `limits`, tiling
+/// over `A`-chunks, `B`-chunks and column groups. `initial` supplies the
+/// west-edge seed per *global* pair index; when the tuple width exceeds
+/// `max_cols`, per-group results are ANDed, so the seed is applied to the
+/// first column group only (ANDing it once is ANDing it at all).
+pub fn t_matrix_tiled(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    ops: &[CompareOp],
+    limits: ArrayLimits,
+    mut initial: impl FnMut(usize, usize) -> bool,
+) -> Result<TiledOutcome> {
+    let m = ops.len();
+    assert!(m > 0, "tuple width must be positive");
+    let mut t = TMatrix::new(a.len(), b.len());
+    let mut stats = ExecStats::default();
+    let col_groups: Vec<(usize, usize)> = (0..m)
+        .step_by(limits.max_cols)
+        .map(|start| (start, (start + limits.max_cols).min(m)))
+        .collect();
+    for a0 in (0..a.len()).step_by(limits.max_a) {
+        let a1 = (a0 + limits.max_a).min(a.len());
+        for b0 in (0..b.len()).step_by(limits.max_b) {
+            let b1 = (b0 + limits.max_b).min(b.len());
+            let mut block: Option<TMatrix> = None;
+            for (group_idx, &(c0, c1)) in col_groups.iter().enumerate() {
+                let sub_a: Vec<Vec<Elem>> =
+                    a[a0..a1].iter().map(|row| row[c0..c1].to_vec()).collect();
+                let sub_b: Vec<Vec<Elem>> =
+                    b[b0..b1].iter().map(|row| row[c0..c1].to_vec()).collect();
+                let arr = ComparisonArray2d::with_ops(ops[c0..c1].to_vec());
+                let out = arr.t_matrix(&sub_a, &sub_b, |i, j| {
+                    if group_idx == 0 {
+                        initial(a0 + i, b0 + j)
+                    } else {
+                        true
+                    }
+                })?;
+                stats.merge_sequential(&out.stats);
+                block = Some(match block {
+                    None => out.t,
+                    Some(mut acc) => {
+                        // Tuple equality over all columns = AND over groups.
+                        acc.and_assign(&out.t);
+                        acc
+                    }
+                });
+            }
+            t.paste(a0, b0, &block.expect("at least one column group"));
+        }
+    }
+    Ok(TiledOutcome { t, stats })
+}
+
+/// Compute the full `T` matrix on a bounded array with *pipelined* tiles:
+/// instead of letting the grid drain between sub-problems (as
+/// [`t_matrix_tiled`] does, one `run_until_quiescent` per tile), successive
+/// tiles' input streams are injected back-to-back into the *same running
+/// grid*, separated only by the two-pulse tuple spacing the §3.2 schedule
+/// already requires. This is the "extensive pipelining" of §1 applied
+/// across sub-problems: the fill/drain cost is paid once per *problem*
+/// instead of once per *tile*, roughly halving total pulses for large tile
+/// counts.
+///
+/// Column groups are not supported here (each would need its own pass);
+/// `limits.max_cols` must cover the full tuple width.
+pub fn t_matrix_tiled_pipelined(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    ops: &[CompareOp],
+    limits: ArrayLimits,
+    mut initial: impl FnMut(usize, usize) -> bool,
+) -> Result<TiledOutcome> {
+    use std::collections::HashMap;
+    use systolic_fabric::{CompareSchedule, Grid, ScheduleFeeder, Word};
+
+    let m = ops.len();
+    assert!(m > 0, "tuple width must be positive");
+    assert!(limits.max_cols >= m, "pipelined tiling needs the full tuple width per pass");
+    let tile_a = limits.max_a;
+    let tile_b = limits.max_b;
+    // The physical grid is sized for the largest tile.
+    let rows = (tile_a.min(a.len()) + tile_b.min(b.len())).saturating_sub(1).max(1);
+    let mut grid: Grid<crate::comparison::CompareCell> =
+        Grid::new(rows, m, |_, c| crate::comparison::CompareCell::new(ops[c]));
+
+    let mut north = ScheduleFeeder::new();
+    let mut south = ScheduleFeeder::new();
+    let mut west = ScheduleFeeder::new();
+    // (lane, pulse) -> (global i, global j) for decoding every tile's exits.
+    let mut exit_map: HashMap<(usize, u64), (usize, usize)> = HashMap::new();
+    let mut offset = 0u64;
+    let mut tiles = 0u64;
+    for a0 in (0..a.len()).step_by(tile_a) {
+        let a1 = (a0 + tile_a).min(a.len());
+        for b0 in (0..b.len()).step_by(tile_b) {
+            let b1 = (b0 + tile_b).min(b.len());
+            let sched = CompareSchedule::new(a1 - a0, b1 - b0, m);
+            debug_assert!(sched.rows() <= rows);
+            // Edge tiles are smaller than the physical grid: the schedule's
+            // row arithmetic assumes the B stream enters sched.rows() - 1
+            // rows below the top, but it physically enters at row rows - 1.
+            // Delaying the A stream (and the t seeds, and the exit pulses)
+            // by the difference restores the meeting geometry.
+            let delta = (rows - sched.rows()) as u64;
+            let mut last_inject = 0u64;
+            for (i, row) in a[a0..a1].iter().enumerate() {
+                for (c, &e) in row.iter().enumerate() {
+                    let p = sched.a_injection(i, c) + offset + delta;
+                    north.push(p, c, Word::Elem(e));
+                    last_inject = last_inject.max(p);
+                }
+            }
+            for (j, row) in b[b0..b1].iter().enumerate() {
+                for (c, &e) in row.iter().enumerate() {
+                    let p = sched.b_injection(j, c) + offset;
+                    south.push(p, c, Word::Elem(e));
+                    last_inject = last_inject.max(p);
+                }
+            }
+            for i in 0..(a1 - a0) {
+                for j in 0..(b1 - b0) {
+                    let (lane, pulse) = sched.t_injection(i, j);
+                    west.push(pulse + offset + delta, lane, Word::Bool(initial(a0 + i, b0 + j)));
+                    let exit =
+                        (sched.meeting_row(i, j), sched.t_exit_pulse(i, j) + offset + delta);
+                    let prev = exit_map.insert(exit, (a0 + i, b0 + j));
+                    debug_assert!(prev.is_none(), "tile exit collision at {exit:?}");
+                }
+            }
+            tiles += 1;
+            // The next tile streams in right behind this one: its first
+            // injection lands two pulses (one tuple slot) after our last.
+            offset = last_inject + 2;
+        }
+    }
+    grid.set_north_feeder(north);
+    grid.set_south_feeder(south);
+    grid.set_west_feeder(west);
+    grid.run_until_quiescent(offset + (rows + m) as u64 + 8)?;
+
+    let mut t = TMatrix::new(a.len(), b.len());
+    let mut seen = 0usize;
+    for em in grid.east_emissions().emissions() {
+        match exit_map.get(&(em.lane, em.pulse)) {
+            Some(&(i, j)) => {
+                let v = em.word.as_bool().ok_or_else(|| {
+                    crate::error::CoreError::ScheduleViolation {
+                        detail: format!("non-boolean result {:?}", em.word),
+                    }
+                })?;
+                t.set(i, j, v);
+                seen += 1;
+            }
+            // With tiles streaming back-to-back, words of adjacent tiles
+            // cross inside the grid and compare as they pass; those
+            // don't-care outputs exit at off-schedule pulses and the
+            // controller discards them (exactly as a §9 controller gates
+            // result capture by schedule). The completeness check below
+            // still guarantees every *scheduled* result arrived.
+            None if em.word.as_bool().is_some() => {}
+            None => {
+                return Err(crate::error::CoreError::ScheduleViolation {
+                    detail: format!(
+                        "unexpected non-boolean emission {:?} at row {}, pulse {}",
+                        em.word, em.lane, em.pulse
+                    ),
+                })
+            }
+        }
+    }
+    if seen != a.len() * b.len() {
+        return Err(crate::error::CoreError::ScheduleViolation {
+            detail: format!("expected {} results, saw {seen}", a.len() * b.len()),
+        });
+    }
+    let mut stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
+    stats.array_runs = tiles;
+    Ok(TiledOutcome { t, stats })
+}
+
+/// Membership outcome of a tiled intersection/difference: one keep-flag per
+/// tuple of `A`, computed by ORing partial results across `B`-tiles outside
+/// the array.
+pub fn membership_tiled(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    mode: SetOpMode,
+    limits: ArrayLimits,
+    initial: impl FnMut(usize, usize) -> bool,
+) -> Result<(Vec<bool>, ExecStats)> {
+    let m = a.first().map(|r| r.len()).unwrap_or(1);
+    let ops = vec![CompareOp::Eq; m];
+    let out = t_matrix_tiled(a, b, &ops, limits, initial)?;
+    let t = out.t.row_ors();
+    let keep = match mode {
+        SetOpMode::Intersect => t,
+        SetOpMode::Difference => t.into_iter().map(|x| !x).collect(),
+    };
+    Ok((keep, out.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection::IntersectionArray;
+
+    fn relation(n: usize, m: usize, seed: i64) -> Vec<Vec<Elem>> {
+        // Deterministic pseudo-data with collisions across seeds.
+        (0..n)
+            .map(|i| (0..m).map(|c| ((i as i64 * 7 + seed) % 11) + c as i64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matrix_equals_whole_array_matrix() {
+        let a = relation(13, 3, 0);
+        let b = relation(9, 3, 3);
+        let ops = vec![CompareOp::Eq; 3];
+        let whole = ComparisonArray2d::equality(3).t_matrix(&a, &b, |_, _| true).unwrap();
+        for limits in [
+            ArrayLimits::new(4, 4, 3),
+            ArrayLimits::new(5, 3, 2),
+            ArrayLimits::new(1, 1, 1),
+            ArrayLimits::new(100, 100, 100),
+        ] {
+            let tiled = t_matrix_tiled(&a, &b, &ops, limits, |_, _| true).unwrap();
+            assert_eq!(tiled.t, whole.t, "limits {limits:?}");
+        }
+    }
+
+    #[test]
+    fn tiled_membership_equals_whole_array_membership() {
+        let a = relation(12, 2, 0);
+        let b = relation(10, 2, 5);
+        let whole = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let (keep, _) = membership_tiled(
+            &a,
+            &b,
+            SetOpMode::Intersect,
+            ArrayLimits::new(4, 3, 2),
+            |_, _| true,
+        )
+        .unwrap();
+        assert_eq!(keep, whole.keep);
+        let whole_d = IntersectionArray::new(2).run(&a, &b, SetOpMode::Difference).unwrap();
+        let (keep_d, _) = membership_tiled(
+            &a,
+            &b,
+            SetOpMode::Difference,
+            ArrayLimits::new(4, 3, 2),
+            |_, _| true,
+        )
+        .unwrap();
+        assert_eq!(keep_d, whole_d.keep);
+    }
+
+    #[test]
+    fn masked_tiling_preserves_triangle_suppression() {
+        // Remove-duplicates semantics must survive decomposition.
+        let rows: Vec<Vec<Elem>> = vec![vec![4], vec![4], vec![5], vec![4], vec![5]];
+        let (dup, _) = membership_tiled(
+            &rows,
+            &rows,
+            SetOpMode::Intersect,
+            ArrayLimits::new(2, 2, 1),
+            |i, j| i > j,
+        )
+        .unwrap();
+        // dup[i] TRUE iff an earlier equal tuple exists.
+        assert_eq!(dup, vec![false, true, false, true, true]);
+    }
+
+    #[test]
+    fn column_groups_are_anded() {
+        // Rows equal in the first column group but not the second must not
+        // count as equal.
+        let a = vec![vec![1, 2, 3, 9]];
+        let b = vec![vec![1, 2, 3, 8]];
+        let ops = vec![CompareOp::Eq; 4];
+        let out = t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(4, 4, 2), |_, _| true).unwrap();
+        assert!(!out.t.get(0, 0));
+    }
+
+    #[test]
+    fn tile_count_and_physical_size_are_reported() {
+        let a = relation(8, 2, 0);
+        let b = relation(8, 2, 1);
+        let limits = ArrayLimits::new(4, 4, 2);
+        let ops = vec![CompareOp::Eq; 2];
+        let out = t_matrix_tiled(&a, &b, &ops, limits, |_, _| true).unwrap();
+        assert_eq!(out.stats.array_runs, 4, "2x2 tile grid");
+        // The physical array is never larger than the limits allow.
+        assert!(out.stats.cells <= limits.cells() + limits.max_a + limits.max_b);
+    }
+
+    #[test]
+    fn decomposition_costs_more_total_pulses() {
+        // Sequential reuse of a small array trades time for hardware.
+        let a = relation(16, 2, 0);
+        let b = relation(16, 2, 2);
+        let ops = vec![CompareOp::Eq; 2];
+        let whole =
+            t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(100, 100, 2), |_, _| true).unwrap();
+        let tiled =
+            t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(4, 4, 2), |_, _| true).unwrap();
+        assert!(tiled.stats.pulses > whole.stats.pulses);
+        assert!(tiled.stats.cells < whole.stats.cells);
+        assert_eq!(tiled.t, whole.t);
+    }
+
+    #[test]
+    fn pipelined_tiling_matches_sequential_tiling() {
+        let a = relation(13, 2, 0);
+        let b = relation(17, 2, 3);
+        let ops = vec![CompareOp::Eq; 2];
+        let whole = ComparisonArray2d::equality(2).t_matrix(&a, &b, |_, _| true).unwrap();
+        for limits in [
+            ArrayLimits::new(4, 4, 2),
+            ArrayLimits::new(5, 3, 2),
+            ArrayLimits::new(1, 1, 2),
+            ArrayLimits::new(100, 100, 2),
+        ] {
+            let piped = t_matrix_tiled_pipelined(&a, &b, &ops, limits, |_, _| true).unwrap();
+            assert_eq!(piped.t, whole.t, "limits {limits:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_tiling_is_faster_than_sequential_tiling() {
+        let a = relation(32, 2, 0);
+        let b = relation(32, 2, 5);
+        let ops = vec![CompareOp::Eq; 2];
+        let limits = ArrayLimits::new(4, 4, 2);
+        let sequential = t_matrix_tiled(&a, &b, &ops, limits, |_, _| true).unwrap();
+        let piped = t_matrix_tiled_pipelined(&a, &b, &ops, limits, |_, _| true).unwrap();
+        assert_eq!(sequential.t, piped.t);
+        assert_eq!(sequential.stats.array_runs, piped.stats.array_runs);
+        assert!(
+            piped.stats.pulses * 3 < sequential.stats.pulses * 2,
+            "pipelined {} vs sequential {} pulses",
+            piped.stats.pulses,
+            sequential.stats.pulses
+        );
+    }
+
+    #[test]
+    fn pipelined_tiling_preserves_masks() {
+        let rows: Vec<Vec<Elem>> = vec![vec![4], vec![4], vec![5], vec![4], vec![5]];
+        let ops = vec![CompareOp::Eq];
+        let out = t_matrix_tiled_pipelined(
+            &rows,
+            &rows,
+            &ops,
+            ArrayLimits::new(2, 2, 1),
+            |i, j| i > j,
+        )
+        .unwrap();
+        let expect = TMatrix::from_fn(5, 5, |i, j| i > j && rows[i] == rows[j]);
+        assert_eq!(out.t, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "full tuple width")]
+    fn pipelined_tiling_rejects_column_splitting() {
+        let a = relation(4, 3, 0);
+        let ops = vec![CompareOp::Eq; 3];
+        let _ = t_matrix_tiled_pipelined(&a, &a, &ops, ArrayLimits::new(2, 2, 2), |_, _| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limits_rejected() {
+        ArrayLimits::new(0, 1, 1);
+    }
+}

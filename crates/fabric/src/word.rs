@@ -1,0 +1,216 @@
+//! The unit of data carried by a wire during one systolic pulse.
+//!
+//! Section 2.3 of the paper assumes that every relation element is encoded as
+//! an integer before it enters an array, so the data alphabet of the fabric
+//! is: integers (relation elements), booleans (intermediate comparison
+//! results `t`), a *null* meaning "no data on this wire this pulse", and a
+//! *drain* control word used by the division array (§7) to trigger the
+//! "AND across the row after the dividend passes through".
+
+/// An encoded relation element (see §2.3: all domains are dictionary-encoded
+/// into integers before entering an array).
+pub type Elem = i64;
+
+/// A value present on a wire during a single pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Word {
+    /// No data on the wire this pulse (an idle wire).
+    #[default]
+    Null,
+    /// An encoded relation element.
+    Elem(Elem),
+    /// An intermediate boolean result (a `t` value in the paper's notation).
+    Bool(bool),
+    /// A control word swept through the array after the data stream; the
+    /// division array (§7) uses it to start the AND-accumulation across each
+    /// divisor row.
+    Drain,
+    /// A comparator opcode travelling with the data (§6.3.2: "the particular
+    /// operation to be performed might be encoded in a few bits, and passed
+    /// along with the a_ij"). Programmable cells latch it as their
+    /// comparator and forward it to their neighbour.
+    Op(CompareOp),
+}
+
+impl Word {
+    /// `true` if the wire carries any data this pulse.
+    #[inline]
+    pub fn is_present(self) -> bool {
+        !matches!(self, Word::Null)
+    }
+
+    /// The element carried, if this is an [`Word::Elem`].
+    #[inline]
+    pub fn as_elem(self) -> Option<Elem> {
+        match self {
+            Word::Elem(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The boolean carried, if this is a [`Word::Bool`].
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Word::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<Elem> for Word {
+    fn from(e: Elem) -> Self {
+        Word::Elem(e)
+    }
+}
+
+impl From<bool> for Word {
+    fn from(b: bool) -> Self {
+        Word::Bool(b)
+    }
+}
+
+/// A binary comparison predicate on elements.
+///
+/// §6.3.2 generalises the equi-join "to allow any sort of binary comparison
+/// (e.g. <, >, etc.)"; the comparator a processor applies "might be encoded
+/// in a few bits ... or it might be preloaded into the array of processors".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompareOp {
+    /// Equality (the equi-join / intersection comparator).
+    #[default]
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// Apply the predicate to a pair of encoded elements.
+    #[inline]
+    pub fn eval(self, a: Elem, b: Elem) -> bool {
+        match self {
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt => a < b,
+            CompareOp::Le => a <= b,
+            CompareOp::Gt => a > b,
+            CompareOp::Ge => a >= b,
+        }
+    }
+
+    /// All six predicates, for exhaustive tests and sweeps.
+    pub const ALL: [CompareOp; 6] = [
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+}
+
+impl std::fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Word::Null => write!(f, "."),
+            Word::Elem(e) => write!(f, "{e}"),
+            Word::Bool(true) => write!(f, "T"),
+            Word::Bool(false) => write!(f, "F"),
+            Word::Drain => write!(f, "#"),
+            Word::Op(op) => write!(f, "op{op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_absent_everything_else_is_present() {
+        assert!(!Word::Null.is_present());
+        assert!(Word::Elem(0).is_present());
+        assert!(Word::Bool(false).is_present());
+        assert!(Word::Drain.is_present());
+    }
+
+    #[test]
+    fn accessors_select_the_right_variant() {
+        assert_eq!(Word::Elem(7).as_elem(), Some(7));
+        assert_eq!(Word::Bool(true).as_elem(), None);
+        assert_eq!(Word::Bool(true).as_bool(), Some(true));
+        assert_eq!(Word::Elem(7).as_bool(), None);
+        assert_eq!(Word::Null.as_elem(), None);
+        assert_eq!(Word::Drain.as_bool(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitive_types() {
+        assert_eq!(Word::from(42i64), Word::Elem(42));
+        assert_eq!(Word::from(true), Word::Bool(true));
+    }
+
+    #[test]
+    fn display_is_single_glyph_for_control_words() {
+        assert_eq!(Word::Null.to_string(), ".");
+        assert_eq!(Word::Bool(true).to_string(), "T");
+        assert_eq!(Word::Bool(false).to_string(), "F");
+        assert_eq!(Word::Drain.to_string(), "#");
+        assert_eq!(Word::Elem(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Word::default(), Word::Null);
+    }
+
+    #[test]
+    fn op_words_display_their_comparator() {
+        assert_eq!(Word::Op(CompareOp::Le).to_string(), "op<=");
+        assert!(Word::Op(CompareOp::Eq).is_present());
+        assert_eq!(Word::Op(CompareOp::Eq).as_elem(), None);
+        assert_eq!(Word::Op(CompareOp::Eq).as_bool(), None);
+    }
+
+    #[test]
+    fn compare_ops_match_rust_semantics() {
+        for (a, b) in [(1, 2), (2, 2), (3, 2), (-1, 1)] {
+            assert_eq!(CompareOp::Eq.eval(a, b), a == b);
+            assert_eq!(CompareOp::Ne.eval(a, b), a != b);
+            assert_eq!(CompareOp::Lt.eval(a, b), a < b);
+            assert_eq!(CompareOp::Le.eval(a, b), a <= b);
+            assert_eq!(CompareOp::Gt.eval(a, b), a > b);
+            assert_eq!(CompareOp::Ge.eval(a, b), a >= b);
+        }
+    }
+
+    #[test]
+    fn compare_op_display_and_all() {
+        assert_eq!(CompareOp::ALL.len(), 6);
+        let rendered: Vec<String> = CompareOp::ALL.iter().map(|o| o.to_string()).collect();
+        assert_eq!(rendered, ["=", "!=", "<", "<=", ">", ">="]);
+        assert_eq!(CompareOp::default(), CompareOp::Eq);
+    }
+}

@@ -1,0 +1,430 @@
+//! A small textual front-end for the relational algebra.
+//!
+//! The paper's machine executes "transactions" of relational operations;
+//! this module gives them a written form so tools (and the `sdb` CLI) can
+//! accept queries without constructing [`Expr`] trees in code:
+//!
+//! ```text
+//! scan(emp)
+//! filter(scan(emp), c1 >= 20)           selection on a systolic device
+//! intersect(scan(a), scan(b))           also: difference, union
+//! dedup(scan(a))                        remove-duplicates
+//! project(scan(a), [0, 2])              projection over column indices
+//! join(scan(emp), scan(dept), 1 = 0)    one or more "colA <op> colB" specs
+//! divide(scan(takes), scan(core), 0, 1, 0)   key, ca, cb
+//! ```
+//!
+//! Whitespace is insignificant; operators are `= != < <= > >=`; columns are
+//! written `c<k>` in filters and bare indices elsewhere.
+
+use systolic_core::select::Predicate;
+use systolic_core::JoinSpec;
+use systolic_fabric::CompareOp;
+
+use crate::plan::Expr;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            Some(c) => self.err(format!("expected {expected:?}, found {c:?}")),
+            None => self.err(format!("expected {expected:?}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src[self.pos..]
+            .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an identifier");
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn number(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.src[self.pos..].starts_with('-') {
+            self.pos += 1;
+        }
+        while self.src[self.pos..].starts_with(|c: char| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| ParseError { at: start, message: "expected a number".into() })
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp, ParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let (op, len) = if rest.starts_with("!=") {
+            (CompareOp::Ne, 2)
+        } else if rest.starts_with("<=") {
+            (CompareOp::Le, 2)
+        } else if rest.starts_with(">=") {
+            (CompareOp::Ge, 2)
+        } else if rest.starts_with('=') {
+            (CompareOp::Eq, 1)
+        } else if rest.starts_with('<') {
+            (CompareOp::Lt, 1)
+        } else if rest.starts_with('>') {
+            (CompareOp::Gt, 1)
+        } else {
+            return self.err("expected a comparison operator (= != < <= > >=)");
+        };
+        self.pos += len;
+        Ok(op)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "scan" => {
+                self.eat('(')?;
+                let rel = self.ident()?;
+                self.eat(')')?;
+                Ok(Expr::scan(rel))
+            }
+            "intersect" | "difference" | "union" => {
+                self.eat('(')?;
+                let l = self.expr()?;
+                self.eat(',')?;
+                let r = self.expr()?;
+                self.eat(')')?;
+                Ok(match name.as_str() {
+                    "intersect" => l.intersect(r),
+                    "difference" => l.difference(r),
+                    _ => l.union(r),
+                })
+            }
+            "dedup" => {
+                self.eat('(')?;
+                let e = self.expr()?;
+                self.eat(')')?;
+                Ok(e.dedup())
+            }
+            "project" => {
+                self.eat('(')?;
+                let e = self.expr()?;
+                self.eat(',')?;
+                self.eat('[')?;
+                let mut cols = vec![usize::try_from(self.number()?)
+                    .map_err(|_| ParseError { at: self.pos, message: "negative column".into() })?];
+                while self.peek() == Some(',') {
+                    self.eat(',')?;
+                    cols.push(usize::try_from(self.number()?).map_err(|_| ParseError {
+                        at: self.pos,
+                        message: "negative column".into(),
+                    })?);
+                }
+                self.eat(']')?;
+                self.eat(')')?;
+                Ok(e.project(cols))
+            }
+            "filter" => {
+                self.eat('(')?;
+                let e = self.expr()?;
+                let mut preds = Vec::new();
+                while self.peek() == Some(',') {
+                    self.eat(',')?;
+                    // c<k> <op> <constant>
+                    let col_tok = self.ident()?;
+                    let col = col_tok
+                        .strip_prefix('c')
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| ParseError {
+                            at: self.pos,
+                            message: format!("expected a column like c0, found {col_tok:?}"),
+                        })?;
+                    let op = self.compare_op()?;
+                    let value = self.number()?;
+                    preds.push(Predicate::new(col, op, value));
+                }
+                self.eat(')')?;
+                if preds.is_empty() {
+                    return self.err("filter needs at least one predicate");
+                }
+                Ok(e.select(preds))
+            }
+            "join" => {
+                self.eat('(')?;
+                let l = self.expr()?;
+                self.eat(',')?;
+                let r = self.expr()?;
+                let mut specs = Vec::new();
+                while self.peek() == Some(',') {
+                    self.eat(',')?;
+                    let ca = usize::try_from(self.number()?).map_err(|_| ParseError {
+                        at: self.pos,
+                        message: "negative column".into(),
+                    })?;
+                    let op = self.compare_op()?;
+                    let cb = usize::try_from(self.number()?).map_err(|_| ParseError {
+                        at: self.pos,
+                        message: "negative column".into(),
+                    })?;
+                    specs.push(JoinSpec::theta(ca, cb, op));
+                }
+                self.eat(')')?;
+                if specs.is_empty() {
+                    return self.err("join needs at least one column spec");
+                }
+                Ok(l.join(r, specs))
+            }
+            "divide" => {
+                self.eat('(')?;
+                let l = self.expr()?;
+                self.eat(',')?;
+                let r = self.expr()?;
+                self.eat(',')?;
+                let key = self.number()? as usize;
+                self.eat(',')?;
+                let ca = self.number()? as usize;
+                self.eat(',')?;
+                let cb = self.number()? as usize;
+                self.eat(')')?;
+                Ok(l.divide(r, key, ca, cb))
+            }
+            other => self.err(format!("unknown operation {other:?}")),
+        }
+    }
+}
+
+/// Render an expression in the query syntax. Every construct the parser
+/// accepts round-trips (`parse(&expr.to_string()) == expr`); the two
+/// constructs without surface syntax (track-filtered scans and stores)
+/// render as `scan!(name)` / `store!(...)` pseudo-forms that deliberately
+/// do not parse.
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Scan { name, filter: None } => write!(f, "scan({name})"),
+            Expr::Scan { name, filter: Some(_) } => write!(f, "scan!({name})"),
+            Expr::Intersect(l, r) => write!(f, "intersect({l}, {r})"),
+            Expr::Difference(l, r) => write!(f, "difference({l}, {r})"),
+            Expr::Union(l, r) => write!(f, "union({l}, {r})"),
+            Expr::Dedup(e) => write!(f, "dedup({e})"),
+            Expr::Project(e, cols) => {
+                let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                write!(f, "project({e}, [{}])", cols.join(", "))
+            }
+            Expr::Select(e, preds) => {
+                write!(f, "filter({e}")?;
+                for p in preds {
+                    write!(f, ", c{} {} {}", p.col, p.op, p.value)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Join(l, r, specs) => {
+                write!(f, "join({l}, {r}")?;
+                for spec in specs {
+                    write!(f, ", {} {} {}", spec.col_a, spec.op, spec.col_b)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Divide { dividend, divisor, key, ca, cb } => {
+                write!(f, "divide({dividend}, {divisor}, {key}, {ca}, {cb})")
+            }
+            Expr::Store(e, name) => write!(f, "store!({e}, {name})"),
+        }
+    }
+}
+
+/// Parse a query string into an expression tree.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src);
+    let expr = p.expr()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input after the expression");
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_and_set_operations() {
+        assert_eq!(parse("scan(emp)").unwrap(), Expr::scan("emp"));
+        assert_eq!(
+            parse("intersect(scan(a), scan(b))").unwrap(),
+            Expr::scan("a").intersect(Expr::scan("b"))
+        );
+        assert_eq!(
+            parse(" union ( difference(scan(a),scan(b)) , scan(c) ) ").unwrap(),
+            Expr::scan("a").difference(Expr::scan("b")).union(Expr::scan("c"))
+        );
+    }
+
+    #[test]
+    fn dedup_project_filter() {
+        assert_eq!(parse("dedup(scan(a))").unwrap(), Expr::scan("a").dedup());
+        assert_eq!(
+            parse("project(scan(a), [0, 2])").unwrap(),
+            Expr::scan("a").project(vec![0, 2])
+        );
+        assert_eq!(
+            parse("filter(scan(a), c1 >= 20, c0 != 3)").unwrap(),
+            Expr::scan("a").select(vec![
+                Predicate::new(1, CompareOp::Ge, 20),
+                Predicate::new(0, CompareOp::Ne, 3),
+            ])
+        );
+    }
+
+    #[test]
+    fn joins_with_all_operators() {
+        assert_eq!(
+            parse("join(scan(a), scan(b), 1 = 0)").unwrap(),
+            Expr::scan("a").join(Expr::scan("b"), vec![JoinSpec::eq(1, 0)])
+        );
+        assert_eq!(
+            parse("join(scan(a), scan(b), 0 < 1, 2 = 2)").unwrap(),
+            Expr::scan("a").join(
+                Expr::scan("b"),
+                vec![JoinSpec::theta(0, 1, CompareOp::Lt), JoinSpec::eq(2, 2)]
+            )
+        );
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(
+            parse("divide(scan(takes), scan(core), 0, 1, 0)").unwrap(),
+            Expr::scan("takes").divide(Expr::scan("core"), 0, 1, 0)
+        );
+    }
+
+    #[test]
+    fn nested_queries() {
+        let q = "join(filter(scan(emp), c2 > 50000), project(scan(dept), [0, 1]), 1 = 0)";
+        let e = parse(q).unwrap();
+        assert_eq!(
+            e,
+            Expr::scan("emp")
+                .select(vec![Predicate::new(2, CompareOp::Gt, 50000)])
+                .join(Expr::scan("dept").project(vec![0, 1]), vec![JoinSpec::eq(1, 0)])
+        );
+    }
+
+    #[test]
+    fn errors_carry_position_and_message() {
+        let err = parse("explode(scan(a))").unwrap_err();
+        assert!(err.message.contains("unknown operation"));
+        let err = parse("scan(a) trailing").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse("join(scan(a), scan(b))").unwrap_err();
+        assert!(err.message.contains("at least one column spec"));
+        let err = parse("filter(scan(a))").unwrap_err();
+        assert!(err.message.contains("at least one predicate"));
+        let err = parse("filter(scan(a), x = 1)").unwrap_err();
+        assert!(err.message.contains("column like c0"));
+        let err = parse("intersect(scan(a)").unwrap_err();
+        assert!(err.to_string().contains("parse error at byte"));
+    }
+
+    #[test]
+    fn negative_constants_in_filters() {
+        assert_eq!(
+            parse("filter(scan(a), c0 >= -5)").unwrap(),
+            Expr::scan("a").select(vec![Predicate::new(0, CompareOp::Ge, -5)])
+        );
+    }
+
+    #[test]
+    fn rendering_round_trips_through_the_parser() {
+        for q in [
+            "scan(emp)",
+            "intersect(scan(a), scan(b))",
+            "union(difference(scan(a), scan(b)), scan(c))",
+            "dedup(scan(a))",
+            "project(scan(a), [0, 2])",
+            "filter(scan(a), c1 >= 20, c0 != 3)",
+            "join(scan(a), scan(b), 1 = 0, 0 < 1)",
+            "divide(scan(takes), scan(core), 0, 1, 0)",
+        ] {
+            let expr = parse(q).unwrap();
+            let rendered = expr.to_string();
+            assert_eq!(parse(&rendered).unwrap(), expr, "query {q} via {rendered}");
+        }
+    }
+
+    #[test]
+    fn unparseable_constructs_render_as_pseudo_forms() {
+        use crate::storage::TrackFilter;
+        use systolic_fabric::CompareOp;
+        let f = TrackFilter { col: 0, op: CompareOp::Gt, value: 5 };
+        let e = Expr::scan_filtered("t", f).store("out");
+        let rendered = e.to_string();
+        assert_eq!(rendered, "store!(scan!(t), out)");
+        assert!(parse(&rendered).is_err());
+    }
+
+    #[test]
+    fn parsed_queries_execute_on_the_machine() {
+        use crate::system::System;
+        use systolic_relation::gen::synth_schema;
+        use systolic_relation::MultiRelation;
+        let mut sys = System::default_machine();
+        let rel = |r: std::ops::Range<i64>| {
+            MultiRelation::new(synth_schema(2), r.map(|i| vec![i, i]).collect()).unwrap()
+        };
+        sys.load_base("a", rel(0..10));
+        sys.load_base("b", rel(5..15));
+        let expr = parse("filter(intersect(scan(a), scan(b)), c0 < 8)").unwrap();
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.len(), 3, "tuples 5, 6, 7");
+    }
+}

@@ -1,0 +1,263 @@
+//! Disk and memory modules of the integrated system (Figure 9-1).
+//!
+//! "Initially, the relevant relations are read from disks into memories."
+//! The disk is the rotational, cylinder-per-revolution device of §8; memory
+//! modules are the staging buffers the crossbar connects to the systolic
+//! devices. Disks "with 'logic-per-track' capabilities \[8\] can of course be
+//! incorporated into the system, so that some simple queries never have to
+//! be processed outside the disks" — modelled as a selection predicate
+//! applied during the transfer at no extra cost.
+
+use std::collections::HashMap;
+
+use systolic_fabric::CompareOp;
+use systolic_relation::{Elem, MultiRelation};
+
+use crate::error::{MachineError, Result};
+
+/// Bytes occupied by a relation: rows x arity x word size (§2.3 stores
+/// every element as one integer word).
+pub fn relation_bytes(rel: &MultiRelation, bytes_per_word: u64) -> u64 {
+    rel.len() as u64 * rel.arity() as u64 * bytes_per_word
+}
+
+/// A selection predicate a logic-per-track disk can apply on the fly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackFilter {
+    /// Column tested.
+    pub col: usize,
+    /// Comparison applied.
+    pub op: CompareOp,
+    /// Constant compared against.
+    pub value: Elem,
+}
+
+impl TrackFilter {
+    /// Apply to a relation (used by the disk during a read).
+    pub fn apply(&self, rel: &MultiRelation) -> MultiRelation {
+        let rows = rel.rows();
+        let col = self.col;
+        let op = self.op;
+        let value = self.value;
+        let mut out = MultiRelation::empty(rel.schema().clone());
+        for row in rows {
+            if op.eval(row[col], value) {
+                out.push(row.clone()).expect("same schema");
+            }
+        }
+        out
+    }
+}
+
+/// The rotational disk: stores named base relations, delivers them at the
+/// §8 rate (one cylinder per revolution), optionally filtering on the fly.
+#[derive(Debug)]
+pub struct Disk {
+    relations: HashMap<String, MultiRelation>,
+    /// Bytes transferred per revolution.
+    pub bytes_per_revolution: u64,
+    /// Revolution time in nanoseconds (17 ms for a 3600-rpm disk).
+    pub revolution_ns: u64,
+    /// Word size used for byte accounting.
+    pub bytes_per_word: u64,
+    /// Whether the disk has logic-per-track filtering.
+    pub logic_per_track: bool,
+}
+
+impl Disk {
+    /// The paper's disk: 3600 rpm, 500,000 bytes per revolution, 4-byte
+    /// words, logic-per-track available.
+    pub fn paper_disk() -> Self {
+        Disk {
+            relations: HashMap::new(),
+            bytes_per_revolution: 500_000,
+            revolution_ns: 16_666_667,
+            bytes_per_word: 4,
+            logic_per_track: true,
+        }
+    }
+
+    /// Store a base relation under `name` (overwrites).
+    pub fn store(&mut self, name: impl Into<String>, rel: MultiRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Names of stored relations (unspecified order).
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Look up a stored relation.
+    pub fn get(&self, name: &str) -> Result<&MultiRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Time to deliver `bytes` through the read channel, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        // Rate reasoning as in §8; partial revolutions are prorated.
+        (bytes as u128 * self.revolution_ns as u128 / self.bytes_per_revolution as u128) as u64
+    }
+
+    /// Read a relation, optionally applying a logic-per-track filter.
+    /// Returns the delivered relation and the transfer time. The *full*
+    /// relation crosses the head even when filtered (the filter sits behind
+    /// the head), so transfer time is based on the stored size — but the
+    /// bytes delivered to memory shrink.
+    pub fn read(&self, name: &str, filter: Option<TrackFilter>) -> Result<(MultiRelation, u64)> {
+        let stored = self.get(name)?;
+        let time = self.transfer_ns(relation_bytes(stored, self.bytes_per_word));
+        let delivered = match filter {
+            Some(f) if self.logic_per_track => f.apply(stored),
+            Some(f) => {
+                // No track logic: the filter still happens, but host-side
+                // after a full read; same data, same modelled time.
+                f.apply(stored)
+            }
+            None => stored.clone(),
+        };
+        Ok((delivered, time))
+    }
+}
+
+/// One memory module on the crossbar.
+#[derive(Debug)]
+pub struct MemoryModule {
+    /// Module index (its crossbar port).
+    pub id: usize,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    used: u64,
+    contents: HashMap<String, MultiRelation>,
+    bytes_per_word: u64,
+}
+
+impl MemoryModule {
+    /// An empty module.
+    pub fn new(id: usize, capacity: u64, bytes_per_word: u64) -> Self {
+        MemoryModule { id, capacity, used: 0, contents: HashMap::new(), bytes_per_word }
+    }
+
+    /// Bytes currently used.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Store a relation under `name`, accounting capacity.
+    pub fn store(&mut self, name: impl Into<String>, rel: MultiRelation) -> Result<()> {
+        let bytes = relation_bytes(&rel, self.bytes_per_word);
+        let name = name.into();
+        // Replacing frees the old copy first.
+        if let Some(old) = self.contents.remove(&name) {
+            self.used -= relation_bytes(&old, self.bytes_per_word);
+        }
+        if bytes > self.free() {
+            let res = Err(MachineError::MemoryOverflow {
+                module: self.id,
+                requested: bytes,
+                available: self.free(),
+            });
+            return res;
+        }
+        self.used += bytes;
+        self.contents.insert(name, rel);
+        Ok(())
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&MultiRelation> {
+        self.contents.get(name)
+    }
+
+    /// Drop a relation, freeing its bytes.
+    pub fn evict(&mut self, name: &str) -> Option<MultiRelation> {
+        let rel = self.contents.remove(name)?;
+        self.used -= relation_bytes(&rel, self.bytes_per_word);
+        Some(rel)
+    }
+
+    /// Names held by this module.
+    pub fn names(&self) -> Vec<&str> {
+        self.contents.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_relation::gen::synth_schema;
+
+    fn rel(rows: &[&[Elem]]) -> MultiRelation {
+        MultiRelation::new(synth_schema(2), rows.iter().map(|r| r.to_vec()).collect()).unwrap()
+    }
+
+    #[test]
+    fn disk_transfer_time_matches_the_paper_rate() {
+        let d = Disk::paper_disk();
+        // 500,000 bytes take exactly one revolution.
+        assert_eq!(d.transfer_ns(500_000), d.revolution_ns);
+        // 2 MB takes 4 revolutions.
+        assert_eq!(d.transfer_ns(2_000_000), 4 * d.revolution_ns);
+    }
+
+    #[test]
+    fn disk_read_round_trips_relations() {
+        let mut d = Disk::paper_disk();
+        d.store("emp", rel(&[&[1, 10], &[2, 20]]));
+        let (got, time) = d.read("emp", None).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(time, d.transfer_ns(2 * 2 * 4));
+        assert!(d.read("missing", None).is_err());
+        assert_eq!(d.names().len(), 1);
+    }
+
+    #[test]
+    fn logic_per_track_filters_during_the_read() {
+        let mut d = Disk::paper_disk();
+        d.store("emp", rel(&[&[1, 10], &[2, 20], &[3, 30]]));
+        let f = TrackFilter { col: 1, op: CompareOp::Ge, value: 20 };
+        let (got, time_filtered) = d.read("emp", Some(f)).unwrap();
+        assert_eq!(got.len(), 2);
+        // The whole relation still passes under the head.
+        let (_, time_plain) = d.read("emp", None).unwrap();
+        assert_eq!(time_filtered, time_plain);
+    }
+
+    #[test]
+    fn memory_accounts_capacity_and_rejects_overflow() {
+        let mut m = MemoryModule::new(0, 100, 4);
+        m.store("a", rel(&[&[1, 1], &[2, 2]])).unwrap(); // 16 bytes
+        assert_eq!(m.used(), 16);
+        assert_eq!(m.free(), 84);
+        let big_rows: Vec<Vec<Elem>> = (0..20).map(|i| vec![i, i]).collect();
+        let big = MultiRelation::new(synth_schema(2), big_rows).unwrap(); // 160 bytes
+        assert!(matches!(m.store("b", big), Err(MachineError::MemoryOverflow { .. })));
+        assert!(m.get("a").is_some());
+        assert!(m.get("b").is_none());
+    }
+
+    #[test]
+    fn memory_replacement_frees_the_old_copy() {
+        let mut m = MemoryModule::new(0, 64, 4);
+        m.store("a", rel(&[&[1, 1], &[2, 2], &[3, 3], &[4, 4]])).unwrap(); // 32
+        m.store("a", rel(&[&[9, 9]])).unwrap(); // 8 after freeing 32
+        assert_eq!(m.used(), 8);
+        assert_eq!(m.evict("a").unwrap().len(), 1);
+        assert_eq!(m.used(), 0);
+        assert!(m.evict("a").is_none());
+    }
+
+    #[test]
+    fn track_filter_semantics() {
+        let r = rel(&[&[1, 5], &[2, 9]]);
+        let f = TrackFilter { col: 1, op: CompareOp::Lt, value: 9 };
+        let out = f.apply(&r);
+        assert_eq!(out.rows(), &[vec![1, 5]]);
+    }
+}

@@ -1,0 +1,804 @@
+//! The integrated systolic system of Figure 9-1 and its scheduler.
+//!
+//! "One organization that seems to match the system requirements is the
+//! crossbar switch interconnection. ... Initially, the relevant relations
+//! are read from disks into memories. Then the crossbar switch is
+//! configured so that the relevant memories are connected to the systolic
+//! array that will perform the first operation of the transaction in
+//! question. The data is pipelined from the memories through the switch and
+//! through the processor array. The output of the array is pipelined back
+//! into another memory. This is repeated for each relational operation in
+//! the transaction. Due to the crossbar structure, several operations may
+//! be run concurrently."
+//!
+//! A crossbar is internally non-blocking, so contention exists only at its
+//! *ports*: the disk channel, each memory module's port, and each device.
+//! The scheduler is a deterministic list scheduler over those resources; an
+//! operation holds its input-memory ports, its output-memory port and its
+//! device for the whole (pipelined) run.
+
+use std::collections::HashMap;
+
+use systolic_core::ArrayLimits;
+use systolic_relation::MultiRelation;
+
+use crate::device::{Device, DeviceKind};
+use crate::error::{MachineError, Result};
+use crate::plan::{Action, Expr, Plan};
+use crate::storage::{relation_bytes, Disk, MemoryModule};
+use crate::timeline::Timeline;
+
+/// A schedulable resource (a crossbar port or a device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Res {
+    Disk(usize),
+    Mem(usize),
+    Dev(usize),
+    /// The single shared channel of a bus interconnect (unused under the
+    /// crossbar, which is internally non-blocking).
+    Bus,
+}
+
+/// The interconnection strategy (§9: "many strategies are possible for the
+/// interconnection of the systolic devices").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interconnect {
+    /// The crossbar of Figure 9-1: internally non-blocking, contention
+    /// only at ports.
+    #[default]
+    Crossbar,
+    /// A single shared bus: every transfer (load, operator streaming,
+    /// store) additionally serialises on the one channel — the cheaper
+    /// alternative the crossbar is implicitly compared against.
+    SharedBus,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// The interconnection strategy.
+    pub interconnect: Interconnect,
+    /// Number of disks (base relations are spread round-robin; loads from
+    /// different disks proceed in parallel).
+    pub disks: usize,
+    /// Number of memory modules on the crossbar.
+    pub memories: usize,
+    /// Capacity per module, in bytes.
+    pub memory_capacity: u64,
+    /// Word size for byte accounting.
+    pub bytes_per_word: u64,
+    /// Devices: operator family and physical array capacity each.
+    pub devices: Vec<(DeviceKind, ArrayLimits)>,
+    /// Pulse period in nanoseconds (§8: 350 ns conservative).
+    pub clock_ns: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        let limits = ArrayLimits::new(32, 32, 8);
+        MachineConfig {
+            interconnect: Interconnect::Crossbar,
+            disks: 1,
+            memories: 4,
+            memory_capacity: 64 << 20,
+            bytes_per_word: 4,
+            devices: vec![
+                (DeviceKind::SetOp, limits),
+                (DeviceKind::SetOp, limits),
+                (DeviceKind::Join, limits),
+                (DeviceKind::Divide, limits),
+            ],
+            clock_ns: 350.0,
+        }
+    }
+}
+
+/// Aggregate statistics of a transaction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock (simulated) completion time, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Total array pulses across all operator steps.
+    pub total_pulses: u64,
+    /// Total physical array invocations (tiles).
+    pub array_runs: u64,
+    /// Bytes delivered by the disk.
+    pub bytes_from_disk: u64,
+    /// Maximum number of devices running simultaneously.
+    pub max_device_concurrency: usize,
+}
+
+/// Result of running a transaction.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The final relation.
+    pub result: MultiRelation,
+    /// The full schedule.
+    pub timeline: Timeline,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+}
+
+impl RunOutcome {
+    /// Per-resource busy time and busy fraction of the makespan, sorted by
+    /// resource name — the §9 utilisation picture for one transaction.
+    pub fn resource_report(&self) -> Vec<(String, u64, f64)> {
+        let makespan = self.stats.makespan_ns.max(1) as f64;
+        let mut names: Vec<String> = self
+            .timeline
+            .events()
+            .iter()
+            .map(|e| e.resource.clone())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+            .into_iter()
+            .map(|name| {
+                let busy = self.timeline.busy_ns(&name);
+                (name, busy, busy as f64 / makespan)
+            })
+            .collect()
+    }
+}
+
+/// The integrated machine: disks + memories + systolic devices + crossbar.
+#[derive(Debug)]
+pub struct System {
+    disks: Vec<Disk>,
+    memories: Vec<MemoryModule>,
+    devices: Vec<Device>,
+    interconnect: Interconnect,
+    placement_rr: usize,
+    disk_rr: usize,
+}
+
+impl System {
+    /// Build a machine.
+    pub fn new(config: MachineConfig) -> Result<Self> {
+        if config.memories == 0 || config.devices.is_empty() || config.disks == 0 {
+            return Err(MachineError::EmptyConfiguration);
+        }
+        let memories = (0..config.memories)
+            .map(|id| MemoryModule::new(id, config.memory_capacity, config.bytes_per_word))
+            .collect();
+        let devices = config
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(id, &(kind, limits))| Device::new(id, kind, limits, config.clock_ns))
+            .collect();
+        let disks = (0..config.disks).map(|_| Disk::paper_disk()).collect();
+        Ok(System {
+            disks,
+            memories,
+            devices,
+            interconnect: config.interconnect,
+            placement_rr: 0,
+            disk_rr: 0,
+        })
+    }
+
+    /// A machine with the default configuration.
+    pub fn default_machine() -> Self {
+        Self::new(MachineConfig::default()).expect("default config is non-empty")
+    }
+
+    /// Store a base relation on a disk (round-robin across the disks, so
+    /// consecutive base relations can be loaded in parallel).
+    pub fn load_base(&mut self, name: impl Into<String>, rel: MultiRelation) {
+        let d = self.disk_rr;
+        self.disk_rr = (self.disk_rr + 1) % self.disks.len();
+        self.disks[d].store(name, rel);
+    }
+
+    /// The disk holding a base relation.
+    fn disk_of(&self, name: &str) -> Result<usize> {
+        self.disks
+            .iter()
+            .position(|d| d.get(name).is_ok())
+            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Number of disks.
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The devices, for inspection.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of memory modules.
+    pub fn memory_count(&self) -> usize {
+        self.memories.len()
+    }
+
+    /// Compile and run a transaction.
+    pub fn run(&mut self, expr: &Expr) -> Result<RunOutcome> {
+        let plan = Plan::compile(expr);
+        self.run_plan(&plan)
+    }
+
+    /// Run a *set* of transactions as one schedule (§9 processes "a single
+    /// transaction or a set of transactions"). Plans are merged with
+    /// namespaced temporaries; steps from different transactions interleave
+    /// on the shared resources, so independent transactions overlap on
+    /// distinct devices and memory ports.
+    ///
+    /// Returns one result per transaction plus the combined schedule.
+    pub fn run_batch(&mut self, exprs: &[Expr]) -> Result<(Vec<MultiRelation>, RunOutcome)> {
+        let mut merged = Plan::default();
+        let mut result_names = Vec::with_capacity(exprs.len());
+        for (q, expr) in exprs.iter().enumerate() {
+            let plan = Plan::compile(expr);
+            let offset = merged.steps.len();
+            for step in &plan.steps {
+                let mut step = step.clone();
+                step.id += offset;
+                for d in &mut step.deps {
+                    *d += offset;
+                }
+                // Namespace temporaries and staged copies per query so two
+                // transactions' intermediates never collide.
+                step.output = format!("q{q}:{}", step.output);
+                match &mut step.action {
+                    crate::plan::Action::Op { inputs, .. } => {
+                        for input in inputs {
+                            *input = format!("q{q}:{input}");
+                        }
+                    }
+                    crate::plan::Action::Store { input, .. } => {
+                        *input = format!("q{q}:{input}");
+                    }
+                    crate::plan::Action::Load { .. } => {}
+                }
+                merged.steps.push(step);
+            }
+            result_names.push(format!("q{q}:{}", plan.result_name()));
+        }
+        let outcome = self.run_plan(&merged)?;
+        // run_plan returns the last step's output; collect all of them.
+        let results = result_names
+            .iter()
+            .map(|name| self.find_staged(name))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((results, outcome))
+    }
+
+    /// Find a staged relation by name in any memory module.
+    fn find_staged(&self, name: &str) -> Result<MultiRelation> {
+        self.memories
+            .iter()
+            .find_map(|m| m.get(name))
+            .cloned()
+            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Pick a module with room for `bytes`, preferring the module whose
+    /// port frees earliest (so independent operations land on distinct
+    /// ports — which is what makes concurrent operation possible), then the
+    /// emptiest, breaking remaining ties round-robin.
+    fn choose_memory(&mut self, bytes: u64, free_at: &HashMap<Res, u64>) -> Result<usize> {
+        let n = self.memories.len();
+        let start = self.placement_rr;
+        let mut best: Option<(u64, u64, usize)> = None; // (port_free_at, -free, id)
+        for k in 0..n {
+            let id = (start + k) % n;
+            if self.memories[id].free() < bytes {
+                continue;
+            }
+            let port = free_at.get(&Res::Mem(id)).copied().unwrap_or(0);
+            let key = (port, u64::MAX - self.memories[id].free());
+            if best.is_none_or(|(p, f, _)| key < (p, f)) {
+                best = Some((key.0, key.1, id));
+            }
+        }
+        let (_, _, id) = best.ok_or(MachineError::MemoryOverflow {
+            module: start,
+            requested: bytes,
+            available: self.memories.iter().map(|m| m.free()).max().unwrap_or(0),
+        })?;
+        self.placement_rr = (id + 1) % n;
+        Ok(id)
+    }
+
+    fn fetch(&self, placement: &HashMap<String, usize>, name: &str) -> Result<MultiRelation> {
+        let &home = placement
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })?;
+        self.memories[home]
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Execute a compiled plan.
+    pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
+        let mut timeline = Timeline::default();
+        let mut free_at: HashMap<Res, u64> = HashMap::new();
+        let mut step_end: Vec<u64> = vec![0; plan.steps.len()];
+        let mut placement: HashMap<String, usize> = HashMap::new();
+        let mut stats = RunStats::default();
+
+        for step in &plan.steps {
+            let ready = step.deps.iter().map(|&d| step_end[d]).max().unwrap_or(0);
+            match &step.action {
+                Action::Load { relation, filter } => {
+                    let disk_id = self.disk_of(relation)?;
+                    let (delivered, duration) = self.disks[disk_id].read(relation, *filter)?;
+                    let bytes = relation_bytes(&delivered, self.disks[disk_id].bytes_per_word);
+                    let target = self.choose_memory(bytes, &free_at)?;
+                    let mut resources = vec![Res::Disk(disk_id), Res::Mem(target)];
+                    if self.interconnect == Interconnect::SharedBus {
+                        resources.push(Res::Bus);
+                    }
+                    let start = resources
+                        .iter()
+                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                        .max(ready);
+                    let end = start + duration;
+                    for r in resources {
+                        free_at.insert(r, end);
+                    }
+                    self.memories[target].store(step.output.clone(), delivered)?;
+                    placement.insert(step.output.clone(), target);
+                    stats.bytes_from_disk += bytes;
+                    timeline.push(start, end, format!("disk{disk_id}"), format!("read {relation}"));
+                    timeline.push(
+                        start,
+                        end,
+                        format!("mem{target}"),
+                        format!("receive {}", step.output),
+                    );
+                    step_end[step.id] = end;
+                }
+                Action::Op { op, inputs } => {
+                    let staged: Vec<MultiRelation> = inputs
+                        .iter()
+                        .map(|n| self.fetch(&placement, n))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&MultiRelation> = staged.iter().collect();
+                    // Pick the matching device that frees earliest.
+                    let dev_id = self
+                        .devices
+                        .iter()
+                        .filter(|d| d.can_execute(op))
+                        .min_by_key(|d| free_at.get(&Res::Dev(d.id)).copied().unwrap_or(0))
+                        .map(|d| d.id)
+                        .ok_or_else(|| MachineError::NoDevice { kind: op.label() })?;
+                    let (out, run_stats) = self.devices[dev_id].execute(op, &refs)?;
+                    let duration = self.devices[dev_id].run_ns(&run_stats).max(1);
+                    let out_bytes = relation_bytes(&out, self.disks[0].bytes_per_word);
+                    let target = self.choose_memory(out_bytes, &free_at)?;
+                    let mut resources = vec![Res::Dev(dev_id), Res::Mem(target)];
+                    for n in inputs {
+                        resources.push(Res::Mem(placement[n]));
+                    }
+                    if self.interconnect == Interconnect::SharedBus {
+                        resources.push(Res::Bus);
+                    }
+                    resources.sort_by_key(|r| match r {
+                        Res::Disk(i) => (0usize, *i),
+                        Res::Mem(i) => (1, *i),
+                        Res::Dev(i) => (2, *i),
+                        Res::Bus => (3, 0),
+                    });
+                    resources.dedup();
+                    let start = resources
+                        .iter()
+                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                        .max(ready);
+                    let end = start + duration;
+                    for r in &resources {
+                        free_at.insert(*r, end);
+                    }
+                    self.memories[target].store(step.output.clone(), out)?;
+                    placement.insert(step.output.clone(), target);
+                    stats.total_pulses += run_stats.pulses;
+                    stats.array_runs += run_stats.array_runs;
+                    let dev_name = self.devices[dev_id].name.clone();
+                    timeline.push(start, end, dev_name, format!("{} -> {}", op.label(), step.output));
+                    for r in &resources {
+                        if let Res::Mem(i) = r {
+                            timeline.push(start, end, format!("mem{i}"), format!("port busy: {}", op.label()));
+                        }
+                    }
+                    step_end[step.id] = end;
+                }
+                Action::Store { input, as_name } => {
+                    let rel = self.fetch(&placement, input)?;
+                    let bytes = relation_bytes(&rel, self.disks[0].bytes_per_word);
+                    // Write back to the least-recently-used disk channel.
+                    let disk_id = (0..self.disks.len())
+                        .min_by_key(|d| free_at.get(&Res::Disk(*d)).copied().unwrap_or(0))
+                        .unwrap_or(0);
+                    let duration = self.disks[disk_id].transfer_ns(bytes).max(1);
+                    let mut resources = vec![Res::Disk(disk_id), Res::Mem(placement[input])];
+                    if self.interconnect == Interconnect::SharedBus {
+                        resources.push(Res::Bus);
+                    }
+                    let start = resources
+                        .iter()
+                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                        .max(ready);
+                    let end = start + duration;
+                    for r in resources {
+                        free_at.insert(r, end);
+                    }
+                    self.disks[disk_id].store(as_name.clone(), rel);
+                    timeline.push(start, end, format!("disk{disk_id}"), format!("write {as_name}"));
+                    timeline.push(
+                        start,
+                        end,
+                        format!("mem{}", placement[input]),
+                        format!("drain {input}"),
+                    );
+                    step_end[step.id] = end;
+                }
+            }
+        }
+
+        let result = self.fetch(&placement, plan.result_name())?;
+        stats.makespan_ns = timeline.makespan_ns();
+        stats.max_device_concurrency = timeline.max_concurrency(|r| {
+            r.starts_with("setop") || r.starts_with("join") || r.starts_with("divide")
+        });
+        Ok(RunOutcome { result, timeline, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::JoinSpec;
+    use systolic_relation::gen::synth_schema;
+    use systolic_relation::Row;
+
+    fn rel(rows: Vec<Row>) -> MultiRelation {
+        MultiRelation::new(synth_schema(rows[0].len()), rows).unwrap()
+    }
+
+    fn seq(range: std::ops::Range<i64>) -> MultiRelation {
+        rel(range.map(|i| vec![i, i]).collect())
+    }
+
+    #[test]
+    fn single_operation_transaction() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..10));
+        sys.load_base("b", seq(5..15));
+        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        assert_eq!(out.result.len(), 5);
+        assert!(out.stats.makespan_ns > 0);
+        assert!(out.stats.bytes_from_disk > 0);
+        assert!(out.stats.total_pulses > 0);
+    }
+
+    #[test]
+    fn multi_operator_transaction_produces_the_right_relation() {
+        // ((A ∪ B) - C) with verification against direct operators.
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..8));
+        sys.load_base("b", seq(4..12));
+        sys.load_base("c", seq(0..2));
+        let expr = Expr::scan("a").union(Expr::scan("b")).difference(Expr::scan("c"));
+        let out = sys.run(&expr).unwrap();
+        use systolic_core::ops::{self, Execution};
+        let (u, _) = ops::union(&seq(0..8), &seq(4..12), Execution::Marching).unwrap();
+        let (expect, _) = ops::difference(&u, &seq(0..2), Execution::Marching).unwrap();
+        assert!(out.result.set_eq(&expect));
+        assert_eq!(out.result.len(), 10);
+    }
+
+    #[test]
+    fn independent_operations_run_concurrently() {
+        // (A ∩ B) ∪ (C ∩ D): the two intersections have disjoint inputs and
+        // two set-op devices exist, so they must overlap in time.
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..64));
+        sys.load_base("b", seq(32..96));
+        sys.load_base("c", seq(100..164));
+        sys.load_base("d", seq(132..196));
+        let expr = Expr::scan("a")
+            .intersect(Expr::scan("b"))
+            .union(Expr::scan("c").intersect(Expr::scan("d")));
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.len(), 32 + 32);
+        assert!(
+            out.stats.max_device_concurrency >= 2,
+            "expected overlapping intersections, got concurrency {}",
+            out.stats.max_device_concurrency
+        );
+    }
+
+    #[test]
+    fn joins_route_to_the_join_device() {
+        let mut sys = System::default_machine();
+        sys.load_base("emp", rel(vec![vec![1, 10], vec![2, 20]]));
+        sys.load_base("dept", rel(vec![vec![10, 100], vec![30, 300]]));
+        let expr = Expr::scan("emp").join(Expr::scan("dept"), vec![JoinSpec::eq(1, 0)]);
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.rows(), &[vec![1, 10, 100]]);
+        assert!(out.timeline.events().iter().any(|e| e.resource == "join2"));
+    }
+
+    #[test]
+    fn division_transaction() {
+        let mut sys = System::default_machine();
+        sys.load_base(
+            "takes",
+            rel(vec![vec![1, 10], vec![1, 11], vec![2, 10]]),
+        );
+        sys.load_base("courses", rel(vec![vec![10], vec![11]]));
+        let expr = Expr::scan("takes").divide(Expr::scan("courses"), 0, 1, 0);
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.rows(), &[vec![1]]);
+    }
+
+    #[test]
+    fn logic_per_track_filter_reduces_staged_bytes() {
+        use systolic_fabric::CompareOp;
+        use crate::storage::TrackFilter;
+        let mut sys = System::default_machine();
+        sys.load_base("t", seq(0..100));
+        let f = TrackFilter { col: 0, op: CompareOp::Lt, value: 10 };
+        let expr = Expr::scan_filtered("t", f).dedup();
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.len(), 10);
+        // Only the filtered rows were staged.
+        assert_eq!(out.stats.bytes_from_disk, 10 * 2 * 4);
+    }
+
+    #[test]
+    fn missing_relation_is_reported() {
+        let mut sys = System::default_machine();
+        let err = sys.run(&Expr::scan("ghost").dedup()).unwrap_err();
+        assert!(matches!(err, MachineError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn no_matching_device_is_reported() {
+        let mut sys = System::new(MachineConfig {
+            devices: vec![(DeviceKind::Join, ArrayLimits::new(8, 8, 4))],
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        sys.load_base("a", seq(0..4));
+        let err = sys.run(&Expr::scan("a").dedup()).unwrap_err();
+        assert!(matches!(err, MachineError::NoDevice { .. }));
+    }
+
+    #[test]
+    fn empty_configuration_is_rejected() {
+        assert!(matches!(
+            System::new(MachineConfig { memories: 0, ..MachineConfig::default() }),
+            Err(MachineError::EmptyConfiguration)
+        ));
+        assert!(matches!(
+            System::new(MachineConfig { devices: vec![], ..MachineConfig::default() }),
+            Err(MachineError::EmptyConfiguration)
+        ));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut sys = System::default_machine();
+            sys.load_base("a", seq(0..32));
+            sys.load_base("b", seq(16..48));
+            sys
+        };
+        let expr = Expr::scan("a").intersect(Expr::scan("b")).project(vec![0]);
+        let o1 = build().run(&expr).unwrap();
+        let o2 = build().run(&expr).unwrap();
+        assert_eq!(o1.stats, o2.stats);
+        assert_eq!(o1.result.rows(), o2.result.rows());
+        assert_eq!(o1.timeline.events(), o2.timeline.events());
+    }
+
+    #[test]
+    fn batch_of_transactions_runs_and_returns_per_query_results() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..32));
+        sys.load_base("b", seq(16..48));
+        sys.load_base("c", seq(100..132));
+        let q0 = Expr::scan("a").intersect(Expr::scan("b"));
+        let q1 = Expr::scan("a").difference(Expr::scan("b"));
+        let q2 = Expr::scan("c").dedup();
+        let (results, outcome) = sys.run_batch(&[q0, q1, q2]).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].len(), 16);
+        assert_eq!(results[1].len(), 16);
+        assert_eq!(results[2].len(), 32);
+        assert!(outcome.stats.makespan_ns > 0);
+    }
+
+    #[test]
+    fn independent_batch_queries_overlap_on_devices() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..64));
+        sys.load_base("b", seq(32..96));
+        sys.load_base("c", seq(200..264));
+        sys.load_base("d", seq(232..296));
+        let q0 = Expr::scan("a").intersect(Expr::scan("b"));
+        let q1 = Expr::scan("c").intersect(Expr::scan("d"));
+        let (_, outcome) = sys.run_batch(&[q0, q1]).unwrap();
+        assert!(
+            outcome.stats.max_device_concurrency >= 2,
+            "independent transactions should overlap, got {}",
+            outcome.stats.max_device_concurrency
+        );
+    }
+
+    #[test]
+    fn batch_results_match_individual_runs() {
+        let build = || {
+            let mut sys = System::default_machine();
+            sys.load_base("a", seq(0..24));
+            sys.load_base("b", seq(12..36));
+            sys
+        };
+        let q0 = Expr::scan("a").union(Expr::scan("b"));
+        let q1 = Expr::scan("b").project(vec![0]);
+        let (batch, _) = build().run_batch(&[q0.clone(), q1.clone()]).unwrap();
+        let solo0 = build().run(&q0).unwrap().result;
+        let solo1 = build().run(&q1).unwrap().result;
+        assert!(batch[0].set_eq(&solo0));
+        assert!(batch[1].set_eq(&solo1));
+    }
+
+    #[test]
+    fn gantt_chart_renders() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..16));
+        sys.load_base("b", seq(8..24));
+        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        let gantt = out.timeline.render_gantt(out.stats.makespan_ns / 60 + 1);
+        assert!(gantt.contains("disk"));
+        assert!(gantt.contains("setop0"));
+    }
+
+    #[test]
+    fn multiple_disks_load_in_parallel() {
+        let run_with = |disks: usize| {
+            let mut sys =
+                System::new(MachineConfig { disks, ..MachineConfig::default() }).unwrap();
+            sys.load_base("a", seq(0..512));
+            sys.load_base("b", seq(256..768));
+            sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap()
+        };
+        let one = run_with(1);
+        let two = run_with(2);
+        assert!(one.result.set_eq(&two.result));
+        // With two disks the two loads overlap; the load phase ends sooner.
+        let load_end = |o: &RunOutcome| {
+            o.timeline
+                .events()
+                .iter()
+                .filter(|e| e.resource.starts_with("disk"))
+                .map(|e| e.end_ns)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            load_end(&two) < load_end(&one),
+            "parallel loads should finish earlier: {} vs {}",
+            load_end(&two),
+            load_end(&one)
+        );
+    }
+
+    #[test]
+    fn select_expression_runs_on_a_setop_device() {
+        use systolic_core::select::Predicate;
+        use systolic_fabric::CompareOp;
+        let mut sys = System::default_machine();
+        sys.load_base("t", seq(0..50));
+        let expr = Expr::scan("t").select(vec![Predicate::new(0, CompareOp::Lt, 10)]);
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.len(), 10);
+        assert!(out
+            .timeline
+            .events()
+            .iter()
+            .any(|e| e.resource.starts_with("setop") && e.label.contains("select")));
+    }
+
+    #[test]
+    fn store_writes_the_result_back_to_disk() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..20));
+        sys.load_base("b", seq(10..30));
+        let expr = Expr::scan("a").intersect(Expr::scan("b")).store("a_and_b");
+        let out = sys.run(&expr).unwrap();
+        assert_eq!(out.result.len(), 10);
+        // The written-back relation is now scannable as a base relation.
+        let again = sys.run(&Expr::scan("a_and_b").dedup()).unwrap();
+        assert!(again.result.set_eq(&out.result));
+        // The write-back occupied a disk channel.
+        assert!(out
+            .timeline
+            .events()
+            .iter()
+            .any(|e| e.resource.starts_with("disk") && e.label.contains("write a_and_b")));
+    }
+
+    #[test]
+    fn shared_bus_serialises_what_the_crossbar_overlaps() {
+        let run_with = |interconnect: Interconnect| {
+            let mut sys = System::new(MachineConfig {
+                interconnect,
+                ..MachineConfig::default()
+            })
+            .unwrap();
+            sys.load_base("a", seq(0..64));
+            sys.load_base("b", seq(32..96));
+            sys.load_base("c", seq(200..264));
+            sys.load_base("d", seq(232..296));
+            let expr = Expr::scan("a")
+                .intersect(Expr::scan("b"))
+                .union(Expr::scan("c").intersect(Expr::scan("d")));
+            sys.run(&expr).unwrap()
+        };
+        let xbar = run_with(Interconnect::Crossbar);
+        let bus = run_with(Interconnect::SharedBus);
+        assert!(xbar.result.set_eq(&bus.result), "interconnect cannot change results");
+        assert!(xbar.stats.max_device_concurrency >= 2);
+        assert_eq!(bus.stats.max_device_concurrency, 1, "one bus, one transfer at a time");
+        assert!(bus.stats.makespan_ns > xbar.stats.makespan_ns);
+    }
+
+    #[test]
+    fn resource_report_covers_every_used_resource() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..16));
+        sys.load_base("b", seq(8..24));
+        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        let report = out.resource_report();
+        assert!(report.iter().any(|(n, _, _)| n == "disk0"));
+        assert!(report.iter().any(|(n, _, _)| n == "setop0"));
+        for (name, busy, frac) in &report {
+            assert!(*busy > 0, "{name} appears in the timeline, so it was busy");
+            assert!((0.0..=1.0).contains(frac), "{name} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn selection_pushdown_reduces_staged_bytes_without_changing_results() {
+        use crate::plan::push_selections;
+        use systolic_core::select::Predicate;
+        use systolic_fabric::CompareOp;
+        let query =
+            || Expr::scan("t").select(vec![Predicate::new(0, CompareOp::Lt, 10)]).dedup();
+        let run = |expr: Expr| {
+            let mut sys = System::default_machine();
+            sys.load_base("t", seq(0..100));
+            sys.run(&expr).unwrap()
+        };
+        let plain = run(query());
+        let optimised = run(push_selections(query()));
+        assert!(plain.result.set_eq(&optimised.result));
+        assert!(
+            optimised.stats.bytes_from_disk < plain.stats.bytes_from_disk,
+            "pushdown must stage fewer bytes: {} vs {}",
+            optimised.stats.bytes_from_disk,
+            plain.stats.bytes_from_disk
+        );
+    }
+
+    #[test]
+    fn zero_disks_rejected() {
+        assert!(matches!(
+            System::new(MachineConfig { disks: 0, ..MachineConfig::default() }),
+            Err(MachineError::EmptyConfiguration)
+        ));
+    }
+}

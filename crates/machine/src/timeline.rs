@@ -1,0 +1,156 @@
+//! Execution timelines: who did what, when — the evidence for §9's claim
+//! that "due to the crossbar structure, several operations may be run
+//! concurrently".
+
+/// One scheduled activity on one resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+    /// End time in nanoseconds.
+    pub end_ns: u64,
+    /// The resource (e.g. `disk`, `mem2`, `setop0`).
+    pub resource: String,
+    /// What happened (e.g. `load emp`, `intersect -> tmp4`).
+    pub label: String,
+}
+
+/// The full schedule of a transaction run.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<Event>,
+}
+
+impl Timeline {
+    /// Record an event.
+    pub fn push(&mut self, start_ns: u64, end_ns: u64, resource: impl Into<String>, label: impl Into<String>) {
+        debug_assert!(end_ns >= start_ns);
+        self.events.push(Event {
+            start_ns,
+            end_ns,
+            resource: resource.into(),
+            label: label.into(),
+        });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Completion time of the whole transaction.
+    pub fn makespan_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.end_ns).max().unwrap_or(0)
+    }
+
+    /// Total busy time of a resource.
+    pub fn busy_ns(&self, resource: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.resource == resource)
+            .map(|e| e.end_ns - e.start_ns)
+            .sum()
+    }
+
+    /// Maximum number of *device* events overlapping at any instant, a
+    /// direct measure of operator concurrency. `is_device` selects which
+    /// resources count (e.g. names not starting with `mem`/`disk`).
+    pub fn max_concurrency(&self, mut is_device: impl FnMut(&str) -> bool) -> usize {
+        let mut edges: Vec<(u64, i64)> = Vec::new();
+        for e in &self.events {
+            if is_device(&e.resource) && e.end_ns > e.start_ns {
+                edges.push((e.start_ns, 1));
+                edges.push((e.end_ns, -1));
+            }
+        }
+        // Ends sort before starts at the same instant (half-open intervals).
+        edges.sort_by_key(|&(t, d)| (t, d));
+        let mut cur = 0i64;
+        let mut max = 0i64;
+        for (_, d) in edges {
+            cur += d;
+            max = max.max(cur);
+        }
+        max as usize
+    }
+
+    /// Render a small ASCII Gantt chart: one row per resource, `-` for busy
+    /// spans at `ns_per_char` resolution.
+    pub fn render_gantt(&self, ns_per_char: u64) -> String {
+        let mut resources: Vec<&str> = self.events.iter().map(|e| e.resource.as_str()).collect();
+        resources.sort_unstable();
+        resources.dedup();
+        let width = (self.makespan_ns() / ns_per_char + 1) as usize;
+        let name_w = resources.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for r in resources {
+            let mut row = vec![b'.'; width.min(400)];
+            for e in self.events.iter().filter(|e| e.resource == r) {
+                let s = (e.start_ns / ns_per_char) as usize;
+                let t = ((e.end_ns / ns_per_char) as usize).min(row.len());
+                for cell in row.iter_mut().take(t).skip(s) {
+                    *cell = b'-';
+                }
+            }
+            out.push_str(&format!("{r:<name_w$} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Timeline {
+        let mut t = Timeline::default();
+        t.push(0, 10, "disk", "load a");
+        t.push(10, 30, "setop0", "intersect");
+        t.push(12, 25, "join0", "join");
+        t.push(25, 40, "mem0", "stage");
+        t
+    }
+
+    #[test]
+    fn makespan_and_busy_accounting() {
+        let t = timeline();
+        assert_eq!(t.makespan_ns(), 40);
+        assert_eq!(t.busy_ns("setop0"), 20);
+        assert_eq!(t.busy_ns("disk"), 10);
+        assert_eq!(t.busy_ns("nothing"), 0);
+    }
+
+    #[test]
+    fn concurrency_counts_overlapping_device_events() {
+        let t = timeline();
+        let devices = |r: &str| r.starts_with("setop") || r.starts_with("join");
+        assert_eq!(t.max_concurrency(devices), 2, "intersect and join overlap");
+        assert_eq!(t.max_concurrency(|r| r == "disk"), 1);
+    }
+
+    #[test]
+    fn adjacent_intervals_do_not_overlap() {
+        let mut t = Timeline::default();
+        t.push(0, 10, "d0", "x");
+        t.push(10, 20, "d1", "y");
+        assert_eq!(t.max_concurrency(|_| true), 1);
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_resource() {
+        let g = timeline().render_gantt(5);
+        assert_eq!(g.lines().count(), 4);
+        assert!(g.contains("disk"));
+        assert!(g.lines().next().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let t = Timeline::default();
+        assert_eq!(t.makespan_ns(), 0);
+        assert_eq!(t.max_concurrency(|_| true), 0);
+        assert_eq!(t.render_gantt(10), "");
+    }
+}

@@ -1,0 +1,103 @@
+//! The mass-storage comparison of §8.
+//!
+//! "The processing speed obtainable from these systolic arrays can keep up
+//! with the data rate achievable with the fast mass storage devices
+//! available in present technology. For example, a moving-head disk rotates
+//! at about 3600 r.p.m., or about once every 17ms. Assume that we can read
+//! an entire cylinder in one revolution, as in some of the proposed database
+//! machines. This is a rate of about 500,000 bytes in 17ms. In a comparable
+//! period of time, our systolic array can process (for example, can
+//! intersect) two relations, each of about 2 million bytes."
+
+use crate::predict::Prediction;
+
+/// A rotational disk with cylinder-per-revolution reads (the
+/// "logic-per-track" era assumption, \[8\] in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Rotational speed in revolutions per minute.
+    pub rpm: f64,
+    /// Bytes transferred per revolution (one cylinder).
+    pub bytes_per_revolution: f64,
+}
+
+impl DiskModel {
+    /// The paper's disk: 3600 rpm, 500,000 bytes per revolution.
+    pub fn paper_disk() -> Self {
+        DiskModel { rpm: 3600.0, bytes_per_revolution: 500_000.0 }
+    }
+
+    /// Time for one revolution, in milliseconds ("about once every 17ms").
+    pub fn revolution_ms(&self) -> f64 {
+        60_000.0 / self.rpm
+    }
+
+    /// Sustained transfer rate in bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        self.bytes_per_revolution * self.rpm / 60.0
+    }
+
+    /// Time to read `bytes`, in milliseconds (whole revolutions granularity
+    /// is ignored; the paper reasons in rates).
+    pub fn read_ms(&self, bytes: f64) -> f64 {
+        bytes / self.bytes_per_second() * 1e3
+    }
+}
+
+/// The §8 keep-up claim, evaluated: does the array intersect two relations
+/// at least as fast as the disk can deliver them?
+pub fn array_keeps_up_with_disk(prediction: &Prediction, disk: &DiskModel) -> bool {
+    let total_bytes = prediction.workload.relation_bytes(prediction.workload.n_a)
+        + prediction.workload.relation_bytes(prediction.workload.n_b);
+    prediction.intersection_ms() <= disk.read_ms(total_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::Workload;
+    use crate::technology::Technology;
+
+    #[test]
+    fn revolution_time_is_about_17_ms() {
+        let d = DiskModel::paper_disk();
+        let ms = d.revolution_ms();
+        assert!((ms - 16.666_666_666_666_668).abs() < 1e-9);
+        assert!((ms - 17.0).abs() < 0.5, "'about once every 17ms'");
+    }
+
+    #[test]
+    fn transfer_rate_is_500kb_per_revolution() {
+        let d = DiskModel::paper_disk();
+        // 500 KB / 16.67 ms = 30 MB/s.
+        assert!((d.bytes_per_second() - 30_000_000.0).abs() < 1.0);
+        assert!((d.read_ms(500_000.0) - d.revolution_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_array_keeps_up_with_the_disk() {
+        // Two ~1.9 MB relations: disk delivery takes 125 ms; the
+        // conservative array intersects them in 52.5 ms.
+        let p = Prediction::new(Technology::paper_conservative(), Workload::paper_typical());
+        let d = DiskModel::paper_disk();
+        assert!(array_keeps_up_with_disk(&p, &d));
+        let total = 2.0 * p.workload.relation_bytes(p.workload.n_a);
+        assert!(d.read_ms(total) > p.intersection_ms());
+    }
+
+    #[test]
+    fn optimistic_array_is_an_order_faster_than_the_disk() {
+        let p = Prediction::new(Technology::paper_optimistic(), Workload::paper_typical());
+        let d = DiskModel::paper_disk();
+        let total = 2.0 * p.workload.relation_bytes(p.workload.n_a);
+        assert!(d.read_ms(total) / p.intersection_ms() > 10.0);
+    }
+
+    #[test]
+    fn a_slow_enough_array_would_not_keep_up() {
+        // Sanity: the predicate is falsifiable — one chip cannot keep up.
+        let t = Technology { chips: 1, ..Technology::paper_conservative() };
+        let p = Prediction::new(t, Workload::paper_typical());
+        assert!(!array_keeps_up_with_disk(&p, &DiskModel::paper_disk()));
+    }
+}

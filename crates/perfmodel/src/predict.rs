@@ -1,0 +1,152 @@
+//! The §8 performance predictions.
+//!
+//! "We make the following assumptions concerning the size of a typical
+//! relation: a tuple is of size 1500 bits (or about 200 characters); a
+//! relation is of size 10^4 tuples. ... The intersection requires a total of
+//! 1.5 x 10^11 bit comparisons, since we need 1500 bit-comparisons for each
+//! of the (10^4)^2 tuple comparisons. The time to perform intersection,
+//! therefore, is (1.5 x 10^11 comparisons) x (350ns / 10^6 comparisons),
+//! which is about 50ms. ... If we assume instead, for example,
+//! 200ns/comparison, and 3000 chips, we derive a figure of about 10ms."
+
+use crate::technology::Technology;
+
+/// The relation-size assumptions a prediction is made for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Bits per tuple (the paper's "typical" value is 1500).
+    pub tuple_bits: u64,
+    /// Cardinality of relation `A`.
+    pub n_a: u64,
+    /// Cardinality of relation `B`.
+    pub n_b: u64,
+}
+
+impl Workload {
+    /// The §8 "typical relation" assumptions: 1500-bit tuples, 10^4 tuples
+    /// per relation.
+    pub fn paper_typical() -> Self {
+        Workload { tuple_bits: 1500, n_a: 10_000, n_b: 10_000 }
+    }
+
+    /// Tuple comparisons an intersection needs (`|A| x |B|` — "intersection
+    /// is one of the most computationally demanding relational operations,
+    /// since it requires full tuple comparisons between all possible pairs
+    /// of tuples").
+    pub fn tuple_comparisons(&self) -> u64 {
+        self.n_a * self.n_b
+    }
+
+    /// Total bit comparisons (`tuple_bits` per tuple comparison).
+    pub fn bit_comparisons(&self) -> u64 {
+        self.tuple_bits * self.tuple_comparisons()
+    }
+
+    /// Size of one relation in bytes (`n x tuple_bits / 8`) — the paper's
+    /// "relations, each of about 2 million bytes".
+    pub fn relation_bytes(&self, n: u64) -> f64 {
+        n as f64 * self.tuple_bits as f64 / 8.0
+    }
+}
+
+/// A performance prediction for running `workload` on `technology`.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// The technology assumed.
+    pub technology: Technology,
+    /// The workload assumed.
+    pub workload: Workload,
+}
+
+impl Prediction {
+    /// Build a prediction.
+    pub fn new(technology: Technology, workload: Workload) -> Self {
+        Prediction { technology, workload }
+    }
+
+    /// Intersection time in seconds:
+    /// `bit_comparisons x comparison_time / parallel_comparators`.
+    pub fn intersection_seconds(&self) -> f64 {
+        self.workload.bit_comparisons() as f64 * self.technology.comparison_time_ns * 1e-9
+            / self.technology.parallel_comparators() as f64
+    }
+
+    /// Intersection time in milliseconds.
+    pub fn intersection_ms(&self) -> f64 {
+        self.intersection_seconds() * 1e3
+    }
+
+    /// Sustainable processing rate in bytes per second: the array consumes
+    /// both input relations over the run.
+    pub fn bytes_per_second(&self) -> f64 {
+        let total_bytes = self.workload.relation_bytes(self.workload.n_a)
+            + self.workload.relation_bytes(self.workload.n_b);
+        total_bytes / self.intersection_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_workload_needs_1_5e11_bit_comparisons() {
+        let w = Workload::paper_typical();
+        assert_eq!(w.tuple_comparisons(), 100_000_000);
+        assert_eq!(w.bit_comparisons(), 150_000_000_000);
+    }
+
+    #[test]
+    fn conservative_prediction_is_about_50_ms() {
+        let p = Prediction::new(Technology::paper_conservative(), Workload::paper_typical());
+        let ms = p.intersection_ms();
+        // Exact model value is 52.5 ms; the paper rounds to "about 50ms".
+        assert!((ms - 52.5).abs() < 1e-9, "got {ms} ms");
+    }
+
+    #[test]
+    fn optimistic_prediction_is_10_ms() {
+        let p = Prediction::new(Technology::paper_optimistic(), Workload::paper_typical());
+        let ms = p.intersection_ms();
+        assert!((ms - 10.0).abs() < 1e-9, "got {ms} ms");
+    }
+
+    #[test]
+    fn typical_relation_is_about_two_million_bytes() {
+        let w = Workload::paper_typical();
+        let bytes = w.relation_bytes(w.n_a);
+        // 10^4 x 1500 bits = 1.875 MB, "about 2 million bytes".
+        assert!((bytes - 1_875_000.0).abs() < 1e-6);
+        assert!(bytes > 1.5e6 && bytes < 2.5e6);
+    }
+
+    #[test]
+    fn time_scales_quadratically_with_cardinality() {
+        let t = Technology::paper_conservative();
+        let half = Prediction::new(t, Workload { tuple_bits: 1500, n_a: 5_000, n_b: 5_000 });
+        let full = Prediction::new(t, Workload::paper_typical());
+        let ratio = full.intersection_seconds() / half.intersection_seconds();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scales_inversely_with_chip_count() {
+        let w = Workload::paper_typical();
+        let base = Prediction::new(Technology::paper_conservative(), w);
+        let double = Prediction::new(
+            Technology { chips: 2000, ..Technology::paper_conservative() },
+            w,
+        );
+        let ratio = base.intersection_seconds() / double.intersection_seconds();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_hundreds_of_kilobytes_per_millisecond() {
+        // §9: "a systolic array may process hundreds of thousands of bytes
+        // per millisecond" — under the optimistic technology.
+        let p = Prediction::new(Technology::paper_optimistic(), Workload::paper_typical());
+        let bytes_per_ms = p.bytes_per_second() / 1e3;
+        assert!(bytes_per_ms > 100_000.0, "got {bytes_per_ms} bytes/ms");
+    }
+}

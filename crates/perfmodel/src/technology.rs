@@ -1,0 +1,117 @@
+//! The NMOS technology model of §8.
+//!
+//! "The following (conservative) estimates are typical of results that have
+//! been achieved with present NMOS technology:
+//!   - A bit-comparator ... is about 240µ x 150µ in area. The comparison is
+//!     performed (very conservatively!) in about 350ns, including time for
+//!     on-chip and off-chip data transfer.
+//!   - With present technology, chips are about 6000µ x 6000µ in area.
+//!     Division gives us about 1000 bit-comparators per chip.
+//!   - It is practical to construct devices involving a few thousand chips.
+//!     We assume 1000 chips. This gives us the capability of performing
+//!     10^6 comparisons in parallel."
+
+/// Parameters of a VLSI implementation technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Bit-comparator width in microns.
+    pub comparator_width_um: f64,
+    /// Bit-comparator height in microns.
+    pub comparator_height_um: f64,
+    /// Chip side length in microns (chips assumed square).
+    pub chip_side_um: f64,
+    /// Time for one bit comparison, in nanoseconds (including on-chip and
+    /// off-chip data transfer).
+    pub comparison_time_ns: f64,
+    /// Chips in the device.
+    pub chips: u64,
+    /// Off-chip transfer time per word, in nanoseconds (`<30ns` in §8).
+    pub off_chip_transfer_ns: f64,
+    /// Bits multiplexed per pin during one comparison ("we can multiplex
+    /// about 10 bits on a pin during a single comparison").
+    pub pin_mux_bits: u32,
+}
+
+impl Technology {
+    /// The paper's conservative 1980 NMOS estimates (350 ns, 1000 chips).
+    pub fn paper_conservative() -> Self {
+        Technology {
+            comparator_width_um: 240.0,
+            comparator_height_um: 150.0,
+            chip_side_um: 6000.0,
+            comparison_time_ns: 350.0,
+            chips: 1000,
+            off_chip_transfer_ns: 30.0,
+            pin_mux_bits: 10,
+        }
+    }
+
+    /// The paper's optimistic variant ("if we assume instead, for example,
+    /// 200ns/comparison, and 3000 chips").
+    pub fn paper_optimistic() -> Self {
+        Technology {
+            comparison_time_ns: 200.0,
+            chips: 3000,
+            ..Self::paper_conservative()
+        }
+    }
+
+    /// Bit-comparators that fit on one chip ("division gives us about 1000
+    /// bit-comparators per chip").
+    pub fn comparators_per_chip(&self) -> u64 {
+        let chip_area = self.chip_side_um * self.chip_side_um;
+        let comp_area = self.comparator_width_um * self.comparator_height_um;
+        (chip_area / comp_area) as u64
+    }
+
+    /// Total bit comparisons the device performs in parallel each pulse.
+    pub fn parallel_comparators(&self) -> u64 {
+        self.chips * self.comparators_per_chip()
+    }
+
+    /// §8's pin-limitation check: the off-chip transfer is fast enough,
+    /// relative to a comparison, that pins can be multiplexed and "none of
+    /// the comparators on a chip incurs delay due to pin limitations".
+    pub fn pin_multiplexing_feasible(&self) -> bool {
+        self.off_chip_transfer_ns * self.pin_mux_bits as f64 <= self.comparison_time_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_technology_reproduces_1000_comparators_per_chip() {
+        let t = Technology::paper_conservative();
+        assert_eq!(t.comparators_per_chip(), 1000);
+    }
+
+    #[test]
+    fn conservative_device_performs_ten_to_the_six_parallel_comparisons() {
+        let t = Technology::paper_conservative();
+        assert_eq!(t.parallel_comparators(), 1_000_000);
+    }
+
+    #[test]
+    fn optimistic_device_has_three_million_comparators() {
+        let t = Technology::paper_optimistic();
+        assert_eq!(t.parallel_comparators(), 3_000_000);
+        assert_eq!(t.comparison_time_ns, 200.0);
+    }
+
+    #[test]
+    fn pin_multiplexing_works_out_as_claimed() {
+        // 10 bits x <=30ns < 350ns per comparison.
+        assert!(Technology::paper_conservative().pin_multiplexing_feasible());
+    }
+
+    #[test]
+    fn a_faster_comparator_would_hit_pin_limits() {
+        let t = Technology {
+            comparison_time_ns: 100.0,
+            ..Technology::paper_conservative()
+        };
+        assert!(!t.pin_multiplexing_feasible());
+    }
+}

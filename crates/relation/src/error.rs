@@ -1,0 +1,93 @@
+//! Error type shared by the relational data model.
+
+use std::fmt;
+
+/// Errors raised while constructing or combining relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A row's element count does not match the schema arity.
+    ArityMismatch {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Elements the offending row carried.
+        got: usize,
+    },
+    /// Two relations were combined with an operation (union, intersection,
+    /// difference, concatenation) that requires union-compatibility (§2.4),
+    /// and they are not union-compatible.
+    NotUnionCompatible {
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A `Relation` (a *set* of tuples, §2.3) was constructed from rows that
+    /// contain a duplicate.
+    DuplicateTuple,
+    /// A column name was not found in a schema.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A column index was out of range for a schema.
+    ColumnOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The schema arity.
+        arity: usize,
+    },
+    /// A datum could not be encoded in the target domain (§2.3 requires
+    /// every element to be drawn from the column's underlying domain).
+    DomainMismatch {
+        /// Description of the datum/domain conflict.
+        detail: String,
+    },
+    /// An encoded element had no dictionary entry on decode.
+    DecodeOutOfRange {
+        /// The encoded value that failed to decode.
+        code: i64,
+    },
+    /// A projection list was empty; the result would have no columns.
+    EmptyProjection,
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} elements but schema has {expected} columns")
+            }
+            RelationError::NotUnionCompatible { detail } => {
+                write!(f, "relations are not union-compatible: {detail}")
+            }
+            RelationError::DuplicateTuple => {
+                write!(f, "duplicate tuple in a relation (a relation is a set of tuples)")
+            }
+            RelationError::UnknownColumn { name } => write!(f, "unknown column {name:?}"),
+            RelationError::ColumnOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range for arity {arity}")
+            }
+            RelationError::DomainMismatch { detail } => write!(f, "domain mismatch: {detail}"),
+            RelationError::DecodeOutOfRange { code } => {
+                write!(f, "encoded value {code} has no dictionary entry")
+            }
+            RelationError::EmptyProjection => write!(f, "projection column list is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_details() {
+        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("2 elements"));
+        assert!(e.to_string().contains("3 columns"));
+        let e = RelationError::UnknownColumn { name: "salary".into() };
+        assert!(e.to_string().contains("salary"));
+        let e = RelationError::DecodeOutOfRange { code: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Directory persistence for a set of relations.
+//!
+//! A small, dependency-free on-disk format so a database survives between
+//! runs of a host program (or the `sdb` CLI): one directory containing a
+//! `MANIFEST` describing each relation's schema (column names and domain
+//! kinds) plus one headerless CSV file per relation. String dictionaries are
+//! rebuilt on load by re-interning — §2.3 encodings are stable under
+//! re-interning in file order, and all cross-relation comparisons go
+//! through one shared catalog, so equality semantics are preserved.
+//!
+//! `MANIFEST` format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! relation <name> <file.csv>
+//! column <name> <int|str|bool|date>
+//! column ...
+//! ```
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::catalog::Catalog;
+use crate::csv::{export_csv, import_csv};
+use crate::domain::{DomainId, DomainKind};
+use crate::error::RelationError;
+use crate::relation::MultiRelation;
+use crate::schema::{Column, Schema};
+
+/// Errors raised by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A relation failed to encode/decode.
+    Relation(RelationError),
+    /// The manifest is malformed; the string pinpoints the line.
+    Manifest(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Relation(e) => write!(f, "{e}"),
+            StoreError::Manifest(msg) => write!(f, "bad manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+impl From<RelationError> for StoreError {
+    fn from(e: RelationError) -> Self {
+        StoreError::Relation(e)
+    }
+}
+
+/// A named collection of relations sharing one catalog.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// The shared catalog (domains and dictionaries).
+    pub catalog: Catalog,
+    relations: Vec<(String, MultiRelation)>,
+    /// One shared domain per kind (so same-typed columns compare).
+    kind_domains: HashMap<&'static str, DomainId>,
+}
+
+fn kind_name(kind: DomainKind) -> &'static str {
+    match kind {
+        DomainKind::Int => "int",
+        DomainKind::Str => "str",
+        DomainKind::Bool => "bool",
+        DomainKind::Date => "date",
+    }
+}
+
+fn kind_of(name: &str) -> Option<DomainKind> {
+    match name {
+        "int" => Some(DomainKind::Int),
+        "str" => Some(DomainKind::Str),
+        "bool" => Some(DomainKind::Bool),
+        "date" => Some(DomainKind::Date),
+        _ => None,
+    }
+}
+
+/// A pending manifest entry: (relation name, csv file, columns).
+type PendingEntry = (String, String, Vec<(String, DomainKind)>);
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared domain for a kind (created on first use).
+    pub fn domain(&mut self, kind: DomainKind) -> DomainId {
+        let key = kind_name(kind);
+        if let Some(&id) = self.kind_domains.get(key) {
+            return id;
+        }
+        let id = self.catalog.add_domain(key, kind);
+        self.kind_domains.insert(key, id);
+        id
+    }
+
+    /// Build a schema over the shared per-kind domains.
+    pub fn schema(&mut self, columns: &[(&str, DomainKind)]) -> Schema {
+        Schema::new(
+            columns
+                .iter()
+                .map(|&(name, kind)| Column::new(name, self.domain(kind)))
+                .collect(),
+        )
+    }
+
+    /// Add (or replace) a relation.
+    pub fn put(&mut self, name: impl Into<String>, rel: MultiRelation) {
+        let name = name.into();
+        if let Some(slot) = self.relations.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = rel;
+        } else {
+            self.relations.push((name, rel));
+        }
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&MultiRelation> {
+        self.relations.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Relation names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` if the database holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Persist to a directory (created if absent; existing files replaced).
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = String::from("# systolic-db database manifest\n");
+        for (name, rel) in &self.relations {
+            let file = format!("{name}.csv");
+            manifest.push_str(&format!("relation {name} {file}\n"));
+            for col in rel.schema().columns() {
+                let kind = self.catalog.domain(col.domain).kind();
+                manifest.push_str(&format!("column {} {}\n", col.name, kind_name(kind)));
+            }
+            // export_csv writes a header line; strip it (the manifest is
+            // the source of truth for column names).
+            let csv = export_csv(&self.catalog, rel)?;
+            let body = csv.split_once('\n').map(|(_, b)| b).unwrap_or("");
+            std::fs::write(dir.join(file), body)?;
+        }
+        std::fs::write(dir.join("MANIFEST"), manifest)?;
+        Ok(())
+    }
+
+    /// Load from a directory written by [`Self::save`].
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
+        let mut db = Database::new();
+        // Parse: group "relation" lines with their following "column" lines.
+        let mut pending: Option<PendingEntry> = None;
+        let finish = |db: &mut Database, entry: Option<PendingEntry>| -> Result<(), StoreError> {
+            if let Some((name, file, cols)) = entry {
+                if cols.is_empty() {
+                    return Err(StoreError::Manifest(format!("relation {name} has no columns")));
+                }
+                let columns: Vec<Column> = cols
+                    .iter()
+                    .map(|(n, k)| Column::new(n.clone(), db.domain(*k)))
+                    .collect();
+                let schema = Schema::new(columns);
+                let text = std::fs::read_to_string(dir.join(&file))?;
+                let rel = import_csv(&mut db.catalog, &schema, &text)?;
+                db.put(name, rel);
+            }
+            Ok(())
+        };
+        for (lineno, line) in manifest.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("relation") => {
+                    let name = parts.next().ok_or_else(|| {
+                        StoreError::Manifest(format!("line {}: relation needs a name", lineno + 1))
+                    })?;
+                    let file = parts.next().ok_or_else(|| {
+                        StoreError::Manifest(format!("line {}: relation needs a file", lineno + 1))
+                    })?;
+                    finish(&mut db, pending.take())?;
+                    pending = Some((name.to_string(), file.to_string(), Vec::new()));
+                }
+                Some("column") => {
+                    let name = parts.next().ok_or_else(|| {
+                        StoreError::Manifest(format!("line {}: column needs a name", lineno + 1))
+                    })?;
+                    let kind = parts
+                        .next()
+                        .and_then(kind_of)
+                        .ok_or_else(|| {
+                            StoreError::Manifest(format!(
+                                "line {}: column needs a kind (int|str|bool|date)",
+                                lineno + 1
+                            ))
+                        })?;
+                    match &mut pending {
+                        Some((_, _, cols)) => cols.push((name.to_string(), kind)),
+                        None => {
+                            return Err(StoreError::Manifest(format!(
+                                "line {}: column before any relation",
+                                lineno + 1
+                            )))
+                        }
+                    }
+                }
+                Some(other) => {
+                    return Err(StoreError::Manifest(format!(
+                        "line {}: unknown directive {other:?}",
+                        lineno + 1
+                    )))
+                }
+                None => {}
+            }
+        }
+        finish(&mut db, pending.take())?;
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Datum;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("systolic-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let schema = db.schema(&[("name", DomainKind::Str), ("age", DomainKind::Int)]);
+        let rel = db
+            .catalog
+            .encode_multi(
+                schema,
+                &[
+                    vec![Datum::str("ada"), Datum::Int(36)],
+                    vec![Datum::str("alan"), Datum::Int(41)],
+                ],
+            )
+            .unwrap();
+        db.put("people", rel);
+        let schema2 = db.schema(&[("name", DomainKind::Str)]);
+        let rel2 = db
+            .catalog
+            .encode_multi(schema2, &[vec![Datum::str("ada")]])
+            .unwrap();
+        db.put("admins", rel2);
+        db
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_data_and_comparability() {
+        let dir = tempdir("roundtrip");
+        let db = sample_db();
+        db.save(&dir).unwrap();
+        let loaded = Database::load(&dir).unwrap();
+        assert_eq!(loaded.names(), vec!["people", "admins"]);
+        let people = loaded.get("people").unwrap();
+        assert_eq!(people.len(), 2);
+        // Cross-relation string equality survives the round trip: "ada" in
+        // people encodes equal to "ada" in admins.
+        let admins = loaded.get("admins").unwrap();
+        assert_eq!(people.rows()[0][0], admins.rows()[0][0]);
+        // And the decoded values match the originals.
+        let decoded = loaded
+            .catalog
+            .decode_row(people.schema(), &people.rows()[1])
+            .unwrap();
+        assert_eq!(decoded, vec![Datum::str("alan"), Datum::Int(41)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_replaces_existing_relations() {
+        let mut db = sample_db();
+        let schema = db.schema(&[("name", DomainKind::Str)]);
+        let rel = db.catalog.encode_multi(schema, &[vec![Datum::str("grace")]]).unwrap();
+        db.put("people", rel);
+        assert_eq!(db.get("people").unwrap().len(), 1);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        let dir = tempdir("badmanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (tag, text) in [
+            ("orphan-column", "column x int\n"),
+            ("no-file", "relation foo\n"),
+            ("bad-kind", "relation foo foo.csv\ncolumn x blob\n"),
+            ("unknown", "frobnicate\n"),
+            ("no-columns", "relation foo foo.csv\n"),
+        ] {
+            std::fs::write(dir.join("MANIFEST"), text).unwrap();
+            std::fs::write(dir.join("foo.csv"), "").unwrap();
+            assert!(
+                matches!(Database::load(&dir), Err(StoreError::Manifest(_))),
+                "case {tag} should fail as a manifest error"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let err = Database::load(Path::new("/nonexistent/systolic-db")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let dir = tempdir("comments");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("MANIFEST"),
+            "# a comment\n\nrelation t t.csv\n# another\ncolumn v int\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("t.csv"), "7\n9\n").unwrap();
+        let db = Database::load(&dir).unwrap();
+        assert_eq!(db.get("t").unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,13 @@
+//! `sdb` — run relational-algebra queries on the simulated systolic
+//! database machine (Kung & Lehman, SIGMOD 1980). See `--help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match systolic_db::cli::main_with_args(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The `sdb` command-line front-end: load CSV tables, run a textual
+//! relational-algebra query on the simulated systolic database machine, and
+//! print the result as CSV (optionally with hardware statistics).
+//!
+//! ```console
+//! $ sdb --table emp=emp.csv:int,int,int --table dept=dept.csv:int,str \
+//!       --stats "join(scan(emp), scan(dept), 1 = 0)"
+//! ```
+//!
+//! Column types are `int`, `str`, `bool` or `date`; all columns of a given
+//! type share one underlying domain, so same-typed columns across tables
+//! are comparable (§2.4's union-compatibility by construction).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use systolic_machine::{parse, push_selections, Expr, MachineError, ParseError, System};
+use systolic_relation::{
+    export_csv, import_csv, Catalog, Column, DomainId, DomainKind, RelationError, Schema,
+};
+
+/// CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage; the string is the usage message.
+    Usage(String),
+    /// A CSV file could not be read.
+    Io(std::io::Error),
+    /// A table spec or CSV row failed to parse/encode.
+    Relation(RelationError),
+    /// The query failed to parse.
+    Query(ParseError),
+    /// Execution failed on the machine.
+    Machine(MachineError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Relation(e) => write!(f, "{e}"),
+            CliError::Query(e) => write!(f, "{e}"),
+            CliError::Machine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<RelationError> for CliError {
+    fn from(e: RelationError) -> Self {
+        CliError::Relation(e)
+    }
+}
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Query(e)
+    }
+}
+impl From<MachineError> for CliError {
+    fn from(e: MachineError) -> Self {
+        CliError::Machine(e)
+    }
+}
+
+/// One `--table NAME=PATH:TYPES` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Relation name used in queries.
+    pub name: String,
+    /// CSV file path.
+    pub path: String,
+    /// Column types.
+    pub kinds: Vec<DomainKind>,
+}
+
+/// Parse a `NAME=PATH:TYPES` table specification.
+pub fn parse_table_spec(spec: &str) -> Result<TableSpec, CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "bad table spec {spec:?}: expected NAME=PATH:type,type,... \
+             (types: int, str, bool, date)"
+        ))
+    };
+    let (name, rest) = spec.split_once('=').ok_or_else(usage)?;
+    let (path, types) = rest.rsplit_once(':').ok_or_else(usage)?;
+    if name.is_empty() || path.is_empty() || types.is_empty() {
+        return Err(usage());
+    }
+    let kinds = types
+        .split(',')
+        .map(|t| match t.trim() {
+            "int" => Ok(DomainKind::Int),
+            "str" => Ok(DomainKind::Str),
+            "bool" => Ok(DomainKind::Bool),
+            "date" => Ok(DomainKind::Date),
+            _ => Err(usage()),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TableSpec { name: name.to_string(), path: path.to_string(), kinds })
+}
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+pub struct CliArgs {
+    /// Tables to load.
+    pub tables: Vec<TableSpec>,
+    /// The query text.
+    pub query: String,
+    /// Whether to print hardware statistics after the result.
+    pub stats: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] QUERY
+  types: int, str, bool, date
+  query: scan/filter/intersect/difference/union/dedup/project/join/divide
+  example: sdb --table emp=emp.csv:str,int --stats 'filter(scan(emp), c1 >= 30)'";
+
+/// Parse command-line arguments (excluding `argv[0]`).
+pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
+    let mut args = CliArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--table requires a value".into()))?;
+                args.tables.push(parse_table_spec(spec)?);
+            }
+            "--stats" => args.stats = true,
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
+            other => {
+                return Err(CliError::Usage(format!("unexpected argument {other:?}\n{USAGE}")))
+            }
+        }
+    }
+    if args.query.is_empty() {
+        return Err(CliError::Usage(format!("missing query\n{USAGE}")));
+    }
+    if args.tables.is_empty() {
+        return Err(CliError::Usage(format!("at least one --table is required\n{USAGE}")));
+    }
+    Ok(args)
+}
+
+/// Execute a query over in-memory CSV texts (the testable core; the binary
+/// reads the files and delegates here).
+pub fn run_query(
+    tables: &[(TableSpec, String)],
+    query: &str,
+    stats: bool,
+) -> Result<String, CliError> {
+    let mut catalog = Catalog::new();
+    // One shared domain per kind, so same-typed columns are comparable.
+    let mut domains: HashMap<&'static str, DomainId> = HashMap::new();
+    let mut domain_of = |catalog: &mut Catalog, kind: DomainKind| -> DomainId {
+        let key = match kind {
+            DomainKind::Int => "int",
+            DomainKind::Str => "str",
+            DomainKind::Bool => "bool",
+            DomainKind::Date => "date",
+        };
+        *domains.entry(key).or_insert_with(|| catalog.add_domain(key, kind))
+    };
+    let mut sys = System::default_machine();
+    for (spec, text) in tables {
+        let columns: Vec<Column> = spec
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| Column::new(format!("c{k}"), domain_of(&mut catalog, kind)))
+            .collect();
+        let schema = Schema::new(columns);
+        let rel = import_csv(&mut catalog, &schema, text)?;
+        sys.load_base(spec.name.clone(), rel);
+    }
+    // §9 logic-per-track rewrite: filters over plain scans run at the disk.
+    let expr: Expr = push_selections(parse(query)?);
+    let out = sys.run(&expr)?;
+    let mut rendered = export_csv(&catalog, &out.result)?;
+    if stats {
+        rendered.push_str(&format!(
+            "-- {} tuples; makespan {:.3} ms; {} array pulses over {} tile run(s); \
+             {} bytes from disk; device concurrency {}\n",
+            out.result.len(),
+            out.stats.makespan_ns as f64 / 1e6,
+            out.stats.total_pulses,
+            out.stats.array_runs,
+            out.stats.bytes_from_disk,
+            out.stats.max_device_concurrency,
+        ));
+    }
+    Ok(rendered)
+}
+
+/// Full CLI entry point over argv (reads the CSV files from disk).
+pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
+    let args = parse_args(argv)?;
+    let mut tables = Vec::with_capacity(args.tables.len());
+    for spec in &args.tables {
+        let text = std::fs::read_to_string(&spec.path)?;
+        tables.push((spec.clone(), text));
+    }
+    run_query(&tables, &args.query, args.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, kinds: Vec<DomainKind>) -> TableSpec {
+        TableSpec { name: name.into(), path: String::new(), kinds }
+    }
+
+    #[test]
+    fn table_spec_parsing() {
+        let s = parse_table_spec("emp=data/emp.csv:str,int,bool").unwrap();
+        assert_eq!(s.name, "emp");
+        assert_eq!(s.path, "data/emp.csv");
+        assert_eq!(s.kinds, vec![DomainKind::Str, DomainKind::Int, DomainKind::Bool]);
+        assert!(parse_table_spec("noequals").is_err());
+        assert!(parse_table_spec("a=b").is_err());
+        assert!(parse_table_spec("a=b:blob").is_err());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let argv: Vec<String> =
+            ["--table", "a=a.csv:int", "--stats", "scan(a)"].iter().map(|s| s.to_string()).collect();
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.tables.len(), 1);
+        assert!(args.stats);
+        assert_eq!(args.query, "scan(a)");
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["scan(a)".to_string()]).is_err(), "no tables");
+    }
+
+    #[test]
+    fn end_to_end_join_query() {
+        let emp = (spec("emp", vec![DomainKind::Str, DomainKind::Int]),
+                   "ada,10\ngrace,20\nedsger,30\n".to_string());
+        let dept = (spec("dept", vec![DomainKind::Int, DomainKind::Str]),
+                    "10,storage\n20,query\n".to_string());
+        let out = run_query(&[emp, dept], "join(scan(emp), scan(dept), 1 = 0)", false).unwrap();
+        assert!(out.contains("ada,10,storage"));
+        assert!(out.contains("grace,20,query"));
+        assert!(!out.contains("edsger"));
+    }
+
+    #[test]
+    fn filter_and_stats_footer() {
+        let t = (spec("nums", vec![DomainKind::Int, DomainKind::Int]),
+                 "1,10\n2,20\n3,30\n".to_string());
+        let out = run_query(&[t], "filter(scan(nums), c1 >= 20)", true).unwrap();
+        assert!(out.contains("2,20"));
+        assert!(out.contains("3,30"));
+        assert!(!out.contains("1,10"));
+        assert!(out.contains("-- 2 tuples"));
+        assert!(out.contains("array pulses"));
+    }
+
+    #[test]
+    fn set_operations_across_tables() {
+        let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n".to_string());
+        let b = (spec("b", vec![DomainKind::Int]), "2\n3\n4\n".to_string());
+        let out = run_query(&[a, b], "intersect(scan(a), scan(b))", false).unwrap();
+        let lines: Vec<&str> = out.lines().skip(1).collect();
+        assert_eq!(lines, vec!["2", "3"]);
+    }
+
+    #[test]
+    fn errors_are_surfaced() {
+        let t = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
+        assert!(matches!(
+            run_query(std::slice::from_ref(&t), "explode(scan(a))", false),
+            Err(CliError::Query(_))
+        ));
+        assert!(matches!(
+            run_query(std::slice::from_ref(&t), "scan(missing)", false),
+            Err(CliError::Machine(_))
+        ));
+        assert!(matches!(
+            run_query(&[(t.0.clone(), "notanint\n".to_string())], "scan(a)", false),
+            Err(CliError::Relation(_))
+        ));
+    }
+
+    #[test]
+    fn division_via_the_cli() {
+        let takes = (spec("takes", vec![DomainKind::Str, DomainKind::Str]),
+                     "ida,db\nida,os\njoe,db\n".to_string());
+        let core = (spec("core", vec![DomainKind::Str]), "db\nos\n".to_string());
+        let out = run_query(&[takes, core], "divide(scan(takes), scan(core), 0, 1, 0)", false)
+            .unwrap();
+        assert!(out.contains("ida"));
+        assert!(!out.contains("joe"));
+    }
+}
