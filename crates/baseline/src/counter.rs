@@ -68,7 +68,10 @@ mod tests {
     fn short_circuit_counts_fewer_element_comparisons() {
         let mut c = OpCounter::new();
         assert!(!c.rows_equal(&[1, 2, 3], &[9, 2, 3]));
-        assert_eq!(c.element_comparisons, 1, "mismatch at position 0 stops early");
+        assert_eq!(
+            c.element_comparisons, 1,
+            "mismatch at position 0 stops early"
+        );
         assert_eq!(c.tuple_comparisons, 1);
     }
 

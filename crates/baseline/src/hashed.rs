@@ -208,7 +208,10 @@ mod tests {
         let h = equi_join(&a, &b, &[(ka, kb)], &mut c1).unwrap();
         let n = nested_loop::equi_join(&a, &b, &[(ka, kb)], &mut c2).unwrap();
         assert!(h.set_eq(&n));
-        assert!(!h.is_empty(), "universe of 6 keys over 25x25 rows must match");
+        assert!(
+            !h.is_empty(),
+            "universe of 6 keys over 25x25 rows must match"
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ pub fn theta_join(
         for row_b in b.rows() {
             counter.tuple_comparisons += 1;
             counter.element_comparisons += pairs.len() as u64;
-            if pairs.iter().all(|&(ca, cb, op)| op.eval(row_a[ca], row_b[cb])) {
+            if pairs
+                .iter()
+                .all(|&(ca, cb, op)| op.eval(row_a[ca], row_b[cb]))
+            {
                 let mut joined: Row = row_a.clone();
                 joined.extend(row_b.iter().copied());
                 counter.moved();
@@ -222,7 +225,11 @@ pub fn divide(
 ) -> Result<MultiRelation, RelationError> {
     if ca.len() != cb.len() || ca.is_empty() {
         return Err(RelationError::NotUnionCompatible {
-            detail: format!("division column lists have lengths {} vs {}", ca.len(), cb.len()),
+            detail: format!(
+                "division column lists have lengths {} vs {}",
+                ca.len(),
+                cb.len()
+            ),
         });
     }
     for &c in ca {
@@ -236,8 +243,11 @@ pub fn divide(
         return Err(RelationError::EmptyProjection);
     }
     let schema = a.schema().project(&key_cols)?;
-    let divisor_rows: Vec<Row> =
-        b.rows().iter().map(|r| cb.iter().map(|&c| r[c]).collect()).collect();
+    let divisor_rows: Vec<Row> = b
+        .rows()
+        .iter()
+        .map(|r| cb.iter().map(|&c| r[c]).collect())
+        .collect();
     let mut out = MultiRelation::empty(schema);
     let mut seen_keys: Vec<Row> = Vec::new();
     for row in a.rows() {
@@ -299,9 +309,10 @@ mod tests {
     #[test]
     fn incompatible_schemas_are_rejected() {
         let a = multi(2, &[&[1, 1]]);
-        let b = MultiRelation::new(Schema::uniform(1, systolic_relation::DomainId(0)), vec![vec![
-            1,
-        ]])
+        let b = MultiRelation::new(
+            Schema::uniform(1, systolic_relation::DomainId(0)),
+            vec![vec![1]],
+        )
         .unwrap();
         let mut c = OpCounter::new();
         assert!(intersect(&a, &b, &mut c).is_err());

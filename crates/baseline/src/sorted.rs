@@ -122,10 +122,8 @@ pub fn equi_join_single(
     let mut sb: Vec<Row> = b.rows().to_vec();
     sa.sort_by_key(|r| r[ca]);
     sb.sort_by_key(|r| r[cb]);
-    counter.tuple_comparisons +=
-        ((sa.len().max(1) as f64).log2().ceil() as u64) * sa.len() as u64;
-    counter.tuple_comparisons +=
-        ((sb.len().max(1) as f64).log2().ceil() as u64) * sb.len() as u64;
+    counter.tuple_comparisons += ((sa.len().max(1) as f64).log2().ceil() as u64) * sa.len() as u64;
+    counter.tuple_comparisons += ((sb.len().max(1) as f64).log2().ceil() as u64) * sb.len() as u64;
     let mut out = MultiRelation::empty(schema);
     let (mut i, mut j) = (0, 0);
     while i < sa.len() && j < sb.len() {
@@ -136,13 +134,25 @@ pub fn equi_join_single(
             std::cmp::Ordering::Equal => {
                 // Emit the cross product of the two equal-key runs.
                 let key = sa[i][ca];
-                let i_end = (i..sa.len()).take_while(|&x| sa[x][ca] == key).last().unwrap() + 1;
-                let j_end = (j..sb.len()).take_while(|&x| sb[x][cb] == key).last().unwrap() + 1;
+                let i_end = (i..sa.len())
+                    .take_while(|&x| sa[x][ca] == key)
+                    .last()
+                    .unwrap()
+                    + 1;
+                let j_end = (j..sb.len())
+                    .take_while(|&x| sb[x][cb] == key)
+                    .last()
+                    .unwrap()
+                    + 1;
                 for row_a in &sa[i..i_end] {
                     for row_b in &sb[j..j_end] {
                         let mut joined = row_a.clone();
                         joined.extend(
-                            row_b.iter().enumerate().filter(|(k, _)| *k != cb).map(|(_, &e)| e),
+                            row_b
+                                .iter()
+                                .enumerate()
+                                .filter(|(k, _)| *k != cb)
+                                .map(|(_, &e)| e),
                         );
                         counter.moved();
                         out.push(joined)?;
@@ -207,8 +217,7 @@ mod tests {
     #[test]
     fn duplicate_rows_in_a_appear_once_in_intersection() {
         use systolic_relation::gen::synth_schema;
-        let a =
-            MultiRelation::new(synth_schema(1), vec![vec![1], vec![1], vec![2]]).unwrap();
+        let a = MultiRelation::new(synth_schema(1), vec![vec![1], vec![1], vec![2]]).unwrap();
         let b = MultiRelation::new(synth_schema(1), vec![vec![1]]).unwrap();
         let mut c = OpCounter::new();
         let r = intersect(&a, &b, &mut c).unwrap();

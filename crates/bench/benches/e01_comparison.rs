@@ -43,7 +43,9 @@ fn bench_two_dimensional(c: &mut Criterion) {
         let arr = ComparisonArray2d::equality(2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| {
-                let out = arr.t_matrix(black_box(&a), black_box(&b), |_, _| true).unwrap();
+                let out = arr
+                    .t_matrix(black_box(&a), black_box(&b), |_, _| true)
+                    .unwrap();
                 black_box(out.t.count_true())
             })
         });

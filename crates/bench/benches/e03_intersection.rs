@@ -24,8 +24,7 @@ fn bench_scaling(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |bch, _| {
             bch.iter(|| {
-                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new())
-                    .unwrap()
+                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("hash", n), &n, |bch, _| {

@@ -24,20 +24,35 @@ fn bench_equi(c: &mut Criterion) {
         let label = format!("{n}x{keys}keys");
         g.bench_with_input(BenchmarkId::new("systolic_sim", &label), &n, |bch, _| {
             bch.iter(|| {
-                ops::join(black_box(&a), black_box(&b), &[JoinSpec::eq(ka, kb)], Execution::Marching)
-                    .unwrap()
+                ops::join(
+                    black_box(&a),
+                    black_box(&b),
+                    &[JoinSpec::eq(ka, kb)],
+                    Execution::Marching,
+                )
+                .unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("nested_loop", &label), &n, |bch, _| {
             bch.iter(|| {
-                nested_loop::equi_join(black_box(&a), black_box(&b), &[(ka, kb)], &mut OpCounter::new())
-                    .unwrap()
+                nested_loop::equi_join(
+                    black_box(&a),
+                    black_box(&b),
+                    &[(ka, kb)],
+                    &mut OpCounter::new(),
+                )
+                .unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("hash", &label), &n, |bch, _| {
             bch.iter(|| {
-                hashed::equi_join(black_box(&a), black_box(&b), &[(ka, kb)], &mut OpCounter::new())
-                    .unwrap()
+                hashed::equi_join(
+                    black_box(&a),
+                    black_box(&b),
+                    &[(ka, kb)],
+                    &mut OpCounter::new(),
+                )
+                .unwrap()
             })
         });
     }
@@ -50,8 +65,13 @@ fn bench_skew(c: &mut Criterion) {
         let (a, b, ka, kb) = workloads::join_pair(96, 12, skew as f64 / 10.0);
         g.bench_with_input(BenchmarkId::new("systolic_sim", skew), &skew, |bch, _| {
             bch.iter(|| {
-                ops::join(black_box(&a), black_box(&b), &[JoinSpec::eq(ka, kb)], Execution::Marching)
-                    .unwrap()
+                ops::join(
+                    black_box(&a),
+                    black_box(&b),
+                    &[JoinSpec::eq(ka, kb)],
+                    Execution::Marching,
+                )
+                .unwrap()
             })
         });
     }

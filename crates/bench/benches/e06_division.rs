@@ -43,15 +43,8 @@ fn bench_division_scaling(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("hash", &label), &xu, |bch, _| {
             bch.iter(|| {
-                hashed::divide_binary(
-                    black_box(&a),
-                    0,
-                    1,
-                    black_box(&b),
-                    0,
-                    &mut OpCounter::new(),
-                )
-                .unwrap()
+                hashed::divide_binary(black_box(&a), 0, 1, black_box(&b), 0, &mut OpCounter::new())
+                    .unwrap()
             })
         });
     }
@@ -63,8 +56,7 @@ fn bench_raw_array(c: &mut Criterion) {
     // the remove-duplicates front step.
     let mut g = c.benchmark_group("e06/division_array_only");
     for n_pairs in [32usize, 128] {
-        let pairs: Vec<(Elem, Elem)> =
-            (0..n_pairs as i64).map(|p| (p % 8, p / 8)).collect();
+        let pairs: Vec<(Elem, Elem)> = (0..n_pairs as i64).map(|p| (p % 8, p / 8)).collect();
         let keys: Vec<Elem> = (0..8).collect();
         let divisor: Vec<Elem> = (0..(n_pairs as i64 / 8)).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n_pairs), &n_pairs, |bch, _| {
@@ -83,7 +75,14 @@ fn bench_general_division(c: &mut Criterion) {
     let (a, b, _) = workloads::division(24, 5, 8);
     g.bench_function("composite_encoding/24keys", |bch| {
         bch.iter(|| {
-            ops::divide(black_box(&a), &[1], black_box(&b), &[0], Execution::Marching).unwrap()
+            ops::divide(
+                black_box(&a),
+                &[1],
+                black_box(&b),
+                &[0],
+                Execution::Marching,
+            )
+            .unwrap()
         })
     });
     g.finish();

@@ -48,7 +48,10 @@ fn bench_chip_sweep(c: &mut Criterion) {
     for chips in [500u64, 1000, 3000] {
         g.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |bch, &chips| {
             bch.iter(|| {
-                let tech = Technology { chips, ..Technology::paper_conservative() };
+                let tech = Technology {
+                    chips,
+                    ..Technology::paper_conservative()
+                };
                 Prediction::new(tech, Workload::paper_typical()).intersection_seconds()
             })
         });

@@ -1,11 +1,17 @@
 //! E9 — problem decomposition (§8): cost of solving one problem on
 //! progressively smaller physical arrays. Results are asserted identical to
 //! the unbounded run every iteration.
+//!
+//! The second group compares host wall-clock time of the sequential tiled
+//! executor against the host-parallel one at 1/4/8 worker threads — the
+//! simulated hardware cost is identical by construction (asserted every
+//! iteration), only the host speed changes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use systolic_bench::workloads;
+use systolic_core::executor::t_matrix_tiled_parallel;
 use systolic_core::tiling::{t_matrix_tiled, ArrayLimits};
 use systolic_core::ComparisonArray2d;
 use systolic_fabric::CompareOp;
@@ -21,20 +27,66 @@ fn bench_tiling(c: &mut Criterion) {
     let a = workloads::seq_rows(48, 2, 0);
     let b = workloads::seq_rows(48, 2, 24);
     let ops_eq = vec![CompareOp::Eq; 2];
-    let whole = ComparisonArray2d::equality(2).t_matrix(&a, &b, |_, _| true).unwrap();
+    let whole = ComparisonArray2d::equality(2)
+        .t_matrix(&a, &b, |_, _| true)
+        .unwrap();
     let mut g = c.benchmark_group("e09/tiling");
     for (ma, mb, mc) in [(48usize, 48usize, 2usize), (16, 16, 2), (8, 8, 1)] {
         let limits = ArrayLimits::new(ma, mb, mc);
         let label = format!("{ma}x{mb}x{mc}");
-        g.bench_with_input(BenchmarkId::from_parameter(&label), &limits, |bch, &limits| {
-            bch.iter(|| {
-                let tiled =
-                    t_matrix_tiled(black_box(&a), black_box(&b), &ops_eq, limits, |_, _| true)
-                        .unwrap();
-                assert_eq!(tiled.t, whole.t);
-                tiled.stats.array_runs
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&label),
+            &limits,
+            |bch, &limits| {
+                bch.iter(|| {
+                    let tiled =
+                        t_matrix_tiled(black_box(&a), black_box(&b), &ops_eq, limits, |_, _| true)
+                            .unwrap();
+                    assert_eq!(tiled.t, whole.t);
+                    tiled.stats.array_runs
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_host_parallel(c: &mut Criterion) {
+    let a = workloads::seq_rows(96, 2, 0);
+    let b = workloads::seq_rows(96, 2, 48);
+    let ops_eq = vec![CompareOp::Eq; 2];
+    let limits = ArrayLimits::new(8, 8, 2);
+    let serial = t_matrix_tiled(&a, &b, &ops_eq, limits, |_, _| true).unwrap();
+    let mut g = c.benchmark_group("e09/host-parallel");
+    g.bench_function("serial", |bch| {
+        bch.iter(|| {
+            let out =
+                t_matrix_tiled(black_box(&a), black_box(&b), &ops_eq, limits, |_, _| true).unwrap();
+            assert_eq!(out.t, serial.t);
+            out.stats.pulses
+        })
+    });
+    for threads in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bch, &threads| {
+                bch.iter(|| {
+                    let out = t_matrix_tiled_parallel(
+                        black_box(&a),
+                        black_box(&b),
+                        &ops_eq,
+                        limits,
+                        threads,
+                        |_, _| true,
+                    )
+                    .unwrap();
+                    assert_eq!(out.t, serial.t);
+                    assert_eq!(out.stats, serial.stats);
+                    out.stats.pulses
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -42,6 +94,6 @@ fn bench_tiling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_tiling
+    targets = bench_tiling, bench_host_parallel
 }
 criterion_main!(benches);

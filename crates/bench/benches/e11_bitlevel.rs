@@ -21,7 +21,11 @@ fn bench_bit_parallel(c: &mut Criterion) {
     let a: Vec<Elem> = vec![170, 85, 255, 0];
     g.bench_function("word_level", |bch| {
         let arr = LinearComparisonArray::new(m);
-        bch.iter(|| arr.compare(black_box(&a), black_box(&a), true).unwrap().result)
+        bch.iter(|| {
+            arr.compare(black_box(&a), black_box(&a), true)
+                .unwrap()
+                .result
+        })
     });
     for w in [8u32, 16, 32] {
         let arr = BitLinearComparisonArray::new(m, w);

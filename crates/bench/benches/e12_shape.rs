@@ -27,8 +27,7 @@ fn bench_shape(c: &mut Criterion) {
         let (a, b) = workloads::overlap_pair(n, 2, 0.5);
         g.bench_with_input(BenchmarkId::new("nested_loop_host", n), &n, |bch, _| {
             bch.iter(|| {
-                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new())
-                    .unwrap()
+                nested_loop::intersect(black_box(&a), black_box(&b), &mut OpCounter::new()).unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("hash_host", n), &n, |bch, _| {
@@ -43,7 +42,11 @@ fn bench_shape(c: &mut Criterion) {
             g.bench_with_input(BenchmarkId::new("systolic_sim", n), &n, |bch, &n| {
                 bch.iter(|| {
                     let out = IntersectionArray::new(2)
-                        .run(black_box(a.rows()), black_box(b.rows()), SetOpMode::Intersect)
+                        .run(
+                            black_box(a.rows()),
+                            black_box(b.rows()),
+                            SetOpMode::Intersect,
+                        )
                         .unwrap();
                     assert_eq!(out.stats.pulses, intersection_pulses(n as u64, 2));
                     out.stats.pulses

@@ -57,7 +57,9 @@ fn bench_concurrent_transaction(c: &mut Criterion) {
 
 fn bench_join_transaction(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13/machine");
-    let expr = Expr::scan("a").join(Expr::scan("b"), vec![JoinSpec::eq(0, 0)]).project(vec![0]);
+    let expr = Expr::scan("a")
+        .join(Expr::scan("b"), vec![JoinSpec::eq(0, 0)])
+        .project(vec![0]);
     g.bench_function("join_project_chain", |bch| {
         bch.iter(|| {
             let mut sys = loaded_system();

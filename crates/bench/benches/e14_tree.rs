@@ -32,8 +32,7 @@ fn bench_tree_vs_systolic(c: &mut Criterion) {
                     .keep
             })
         });
-        let stored_rel =
-            MultiRelation::new(synth_schema(2), stored.clone()).unwrap();
+        let stored_rel = MultiRelation::new(synth_schema(2), stored.clone()).unwrap();
         g.bench_with_input(BenchmarkId::new("tree_machine", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut tree = TreeMachine::new(4, 350.0);
@@ -52,25 +51,29 @@ fn bench_device_ablation(c: &mut Criterion) {
         Expr::scan("c").intersect(Expr::scan("d")),
     ];
     for setops in [1usize, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(setops), &setops, |bch, &setops| {
-            bch.iter(|| {
-                let limits = ArrayLimits::new(32, 32, 8);
-                let mut devices = vec![(DeviceKind::SetOp, limits); setops];
-                devices.push((DeviceKind::Join, limits));
-                let mut sys = System::new(MachineConfig {
-                    devices,
-                    ..MachineConfig::default()
+        g.bench_with_input(
+            BenchmarkId::from_parameter(setops),
+            &setops,
+            |bch, &setops| {
+                bch.iter(|| {
+                    let limits = ArrayLimits::new(32, 32, 8);
+                    let mut devices = vec![(DeviceKind::SetOp, limits); setops];
+                    devices.push((DeviceKind::Join, limits));
+                    let mut sys = System::new(MachineConfig {
+                        devices,
+                        ..MachineConfig::default()
+                    })
+                    .unwrap();
+                    sys.load_base("a", workloads::seq_multi(64, 2, 0));
+                    sys.load_base("b", workloads::seq_multi(64, 2, 32));
+                    sys.load_base("c", workloads::seq_multi(64, 2, 200));
+                    sys.load_base("d", workloads::seq_multi(64, 2, 232));
+                    let (_, outcome) = sys.run_batch(black_box(&batch)).unwrap();
+                    assert_eq!(outcome.stats.max_device_concurrency, setops.min(2));
+                    outcome.stats.makespan_ns
                 })
-                .unwrap();
-                sys.load_base("a", workloads::seq_multi(64, 2, 0));
-                sys.load_base("b", workloads::seq_multi(64, 2, 32));
-                sys.load_base("c", workloads::seq_multi(64, 2, 200));
-                sys.load_base("d", workloads::seq_multi(64, 2, 232));
-                let (_, outcome) = sys.run_batch(black_box(&batch)).unwrap();
-                assert_eq!(outcome.stats.max_device_concurrency, setops.min(2));
-                outcome.stats.makespan_ns
-            })
-        });
+            },
+        );
     }
     g.finish();
 }

@@ -29,7 +29,9 @@ fn bench_programmable(c: &mut Criterion) {
     let preloaded = JoinArray::new(vec![JoinSpec::theta(0, 0, CompareOp::Lt)]);
     g.bench_function("programmed_lt", |bch| {
         bch.iter(|| {
-            let out = prog.t_matrix(black_box(&a), black_box(&b), &[CompareOp::Lt]).unwrap();
+            let out = prog
+                .t_matrix(black_box(&a), black_box(&b), &[CompareOp::Lt])
+                .unwrap();
             out.t.count_true()
         })
     });
@@ -81,10 +83,18 @@ fn bench_bitlevel_intersection(c: &mut Criterion) {
     let word = IntersectionArray::new(2);
     let bit = BitLevelIntersectionArray::new(2, 8);
     g.bench_function("word_level_16", |bch| {
-        bch.iter(|| word.run(black_box(&a), black_box(&b), SetOpMode::Intersect).unwrap().keep)
+        bch.iter(|| {
+            word.run(black_box(&a), black_box(&b), SetOpMode::Intersect)
+                .unwrap()
+                .keep
+        })
     });
     g.bench_function("bit_level_16x8", |bch| {
-        bch.iter(|| bit.run(black_box(&a), black_box(&b), SetOpMode::Intersect).unwrap().keep)
+        bch.iter(|| {
+            bit.run(black_box(&a), black_box(&b), SetOpMode::Intersect)
+                .unwrap()
+                .keep
+        })
     });
     g.finish();
 }

@@ -14,8 +14,8 @@ use systolic_core::bitlevel::{BitLinearComparisonArray, BitSerialComparator};
 use systolic_core::ops::{self, Execution};
 use systolic_core::tiling::{membership_tiled, t_matrix_tiled};
 use systolic_core::{
-    ArrayLimits, ComparisonArray2d, DivisionArray, FixedOperandArray, IntersectionArray,
-    JoinSpec, LinearComparisonArray, SetOpMode,
+    ArrayLimits, ComparisonArray2d, DivisionArray, FixedOperandArray, IntersectionArray, JoinSpec,
+    LinearComparisonArray, SetOpMode,
 };
 use systolic_fabric::{CompareOp, Elem};
 use systolic_machine::{Expr, System};
@@ -32,7 +32,14 @@ fn e1_linear_comparison() {
         "linear comparison array (Fig 3-1/3-2, §3.1)",
         "one tuple comparison completes in m pulses; a FALSE input poisons the output",
     );
-    let mut t = Table::new(&["m", "cells", "pulses", "pulses==m", "hw time", "false-poisoned"]);
+    let mut t = Table::new(&[
+        "m",
+        "cells",
+        "pulses",
+        "pulses==m",
+        "hw time",
+        "false-poisoned",
+    ]);
     for m in [1usize, 2, 4, 8, 16, 32, 64] {
         let tup: Vec<Elem> = (0..m as i64).collect();
         let arr = LinearComparisonArray::new(m);
@@ -56,12 +63,22 @@ fn e2_comparison_2d() {
         "two-dimensional comparison array (Fig 3-3/3-4, §3.2)",
         "all |A|x|B| pairs compared on n_A+n_B-1 rows; latency linear in n, not quadratic",
     );
-    let mut t = Table::new(&["n_A=n_B", "m", "rows", "cells", "pulses", "pulses/n", "T correct"]);
+    let mut t = Table::new(&[
+        "n_A=n_B",
+        "m",
+        "rows",
+        "cells",
+        "pulses",
+        "pulses/n",
+        "T correct",
+    ]);
     for n in [4usize, 8, 16, 32, 64, 128] {
         let m = 2;
         let a = workloads::seq_rows(n, m, 0);
         let b = workloads::seq_rows(n, m, (n / 2) as i64);
-        let out = ComparisonArray2d::equality(m).t_matrix(&a, &b, |_, _| true).unwrap();
+        let out = ComparisonArray2d::equality(m)
+            .t_matrix(&a, &b, |_, _| true)
+            .unwrap();
         let correct = (0..n).all(|i| (0..n).all(|j| out.t.get(i, j) == (a[i] == b[j])));
         t.rowd(&[
             n.to_string(),
@@ -84,10 +101,22 @@ fn e3_intersection() {
         "t_i = OR_j t_ij selects members of A∩B; inverter gives A-B; results = set semantics",
     );
     let mut t = Table::new(&[
-        "n", "overlap", "|A∩B|", "|A-B|", "pulses", "hw time", "== reference",
+        "n",
+        "overlap",
+        "|A∩B|",
+        "|A-B|",
+        "pulses",
+        "hw time",
+        "== reference",
     ]);
-    for (n, overlap) in [(32usize, 0.0), (32, 0.25), (32, 0.5), (32, 1.0), (128, 0.5), (256, 0.5)]
-    {
+    for (n, overlap) in [
+        (32usize, 0.0),
+        (32, 0.25),
+        (32, 0.5),
+        (32, 1.0),
+        (128, 0.5),
+        (256, 0.5),
+    ] {
         let (a, b) = workloads::overlap_pair(n, 2, overlap);
         let (inter, s) = ops::intersect(&a, &b, Execution::Marching).unwrap();
         let (diff, _) = ops::difference(&a, &b, Execution::Marching).unwrap();
@@ -111,7 +140,14 @@ fn e4_dedup_union() {
         "remove-duplicates, union, projection (§5)",
         "triangle-masked t inputs keep first occurrences; union = dedup(A+B); projection strips then dedups",
     );
-    let mut t = Table::new(&["n_unique", "dup", "rows in", "rows out", "pulses", "== reference"]);
+    let mut t = Table::new(&[
+        "n_unique",
+        "dup",
+        "rows in",
+        "rows out",
+        "pulses",
+        "== reference",
+    ]);
     for (nu, dup) in [(16usize, 1usize), (16, 2), (16, 4), (16, 8), (64, 4)] {
         let multi = workloads::duplicated(nu, dup, 2);
         let (out, s) = ops::dedup(&multi, Execution::Marching).unwrap();
@@ -129,9 +165,15 @@ fn e4_dedup_union() {
     let a = workloads::seq_multi(24, 2, 0);
     let b = workloads::seq_multi(24, 2, 12);
     let (u, _) = ops::union(&a, &b, Execution::Marching).unwrap();
-    println!("union check: |A|=24, |B|=24, |A∩B|=12 -> |A∪B| = {} (expected 36)", u.len());
+    println!(
+        "union check: |A|=24, |B|=24, |A∩B|=12 -> |A∪B| = {} (expected 36)",
+        u.len()
+    );
     let (p, _) = ops::project(&a, &[0], Execution::Marching).unwrap();
-    println!("projection check: project(A, [c0]) -> {} distinct values (expected 24)", p.len());
+    println!(
+        "projection check: project(A, [c0]) -> {} distinct values (expected 24)",
+        p.len()
+    );
 }
 
 fn e5_join() {
@@ -140,7 +182,15 @@ fn e5_join() {
         "join array (Fig 6-1, §6)",
         "a linear array per join column produces T; |C| can reach |A||B|; any comparator works (§6.3.2)",
     );
-    let mut t = Table::new(&["n", "keys", "skew", "|C|", "pulses", "cells", "== reference"]);
+    let mut t = Table::new(&[
+        "n",
+        "keys",
+        "skew",
+        "|C|",
+        "pulses",
+        "cells",
+        "== reference",
+    ]);
     for (n, keys, skew) in [
         (32usize, 8usize, 0.0f64),
         (32, 8, 1.2),
@@ -166,13 +216,18 @@ fn e5_join() {
     let mut t = Table::new(&["theta op", "|C|", "== reference"]);
     let (a, b, ka, kb) = workloads::join_pair(24, 6, 0.0);
     for op in CompareOp::ALL {
-        let (c, _) = ops::join(&a, &b, &[JoinSpec::theta(ka, kb, op)], Execution::Marching).unwrap();
+        let (c, _) =
+            ops::join(&a, &b, &[JoinSpec::theta(ka, kb, op)], Execution::Marching).unwrap();
         let expect = if op == CompareOp::Eq {
             nested_loop::equi_join(&a, &b, &[(ka, kb)], &mut OpCounter::new()).unwrap()
         } else {
             nested_loop::theta_join(&a, &b, &[(ka, kb, op)], &mut OpCounter::new()).unwrap()
         };
-        t.rowd(&[op.to_string(), c.len().to_string(), c.set_eq(&expect).to_string()]);
+        t.rowd(&[
+            op.to_string(),
+            c.len().to_string(),
+            c.set_eq(&expect).to_string(),
+        ]);
     }
     print!("{}", t.render());
 }
@@ -187,18 +242,39 @@ fn e6_division() {
     let (i, j, k) = (1, 2, 3);
     let (a, b, c, d, e) = (10, 11, 12, 13, 14);
     let pairs = [
-        (i, a), (i, b), (i, c), (j, a), (j, c),
-        (k, a), (i, d), (j, e), (k, c), (k, d),
+        (i, a),
+        (i, b),
+        (i, c),
+        (j, a),
+        (j, c),
+        (k, a),
+        (i, d),
+        (j, e),
+        (k, c),
+        (k, d),
     ];
     let out = DivisionArray.divide(&pairs, &[a, b, c, d]).unwrap();
     println!(
         "figure 7-1 instance: quotient = {:?} (paper: [1] i.e. {{i}}), {} pulses on {} cells",
         out.quotient, out.stats.pulses, out.stats.cells
     );
-    let mut t = Table::new(&["|A1| keys", "|B|", "planted |C|", "measured |C|", "pulses", "correct"]);
-    for (xu, dv, q) in [(8usize, 3usize, 2usize), (16, 4, 5), (32, 6, 10), (64, 8, 16)] {
+    let mut t = Table::new(&[
+        "|A1| keys",
+        "|B|",
+        "planted |C|",
+        "measured |C|",
+        "pulses",
+        "correct",
+    ]);
+    for (xu, dv, q) in [
+        (8usize, 3usize, 2usize),
+        (16, 4, 5),
+        (32, 6, 10),
+        (64, 8, 16),
+    ] {
         let (dividend, divisor, expected) = workloads::division(xu, dv, q);
-        let (got, s) = ops::divide_binary(&dividend, 0, 1, &divisor, 0, Execution::Marching).unwrap();
+        let (got, s) =
+            ops::divide_binary(&dividend, 0, 1, &divisor, 0, Execution::Marching).unwrap();
         let mut keys: Vec<Elem> = got.rows().iter().map(|r| r[0]).collect();
         keys.sort_unstable();
         t.rowd(&[
@@ -235,10 +311,20 @@ fn e7_perfmodel() {
     );
     let w = Workload::paper_typical();
     let mut t = Table::new(&[
-        "technology", "ns/cmp", "chips", "cmp/chip", "parallel", "predicted", "paper says",
+        "technology",
+        "ns/cmp",
+        "chips",
+        "cmp/chip",
+        "parallel",
+        "predicted",
+        "paper says",
     ]);
     for (name, tech, paper) in [
-        ("conservative", Technology::paper_conservative(), "about 50ms"),
+        (
+            "conservative",
+            Technology::paper_conservative(),
+            "about 50ms",
+        ),
         ("optimistic", Technology::paper_optimistic(), "about 10ms"),
     ] {
         let p = Prediction::new(tech, w);
@@ -260,7 +346,10 @@ fn e7_perfmodel() {
     // Sweep: chips vs predicted time (the model's scaling behaviour).
     let mut t = Table::new(&["chips", "predicted intersection"]);
     for chips in [250u64, 500, 1000, 2000, 3000, 4000] {
-        let tech = Technology { chips, ..Technology::paper_conservative() };
+        let tech = Technology {
+            chips,
+            ..Technology::paper_conservative()
+        };
         let p = Prediction::new(tech, w);
         t.rowd(&[chips.to_string(), format!("{:.1} ms", p.intersection_ms())]);
     }
@@ -299,12 +388,36 @@ fn e8_disk() {
     let optimistic = Prediction::new(Technology::paper_optimistic(), w);
     let total_bytes = 2.0 * w.relation_bytes(w.n_a);
     let mut t = Table::new(&["quantity", "measured", "paper says"]);
-    t.rowd(&["revolution time".into(), format!("{:.2} ms", disk.revolution_ms()), "about 17ms".to_string()]);
-    t.rowd(&["relation size".into(), format!("{:.3} MB", w.relation_bytes(w.n_a) / 1e6), "about 2 million bytes".to_string()]);
-    t.rowd(&["disk time, both relations".into(), format!("{:.1} ms", disk.read_ms(total_bytes)), "-".to_string()]);
-    t.rowd(&["array time (conservative)".into(), format!("{:.1} ms", conservative.intersection_ms()), "about 50ms".to_string()]);
-    t.rowd(&["array time (optimistic)".into(), format!("{:.1} ms", optimistic.intersection_ms()), "about 10ms".to_string()]);
-    t.rowd(&["array keeps up with disk".into(), array_keeps_up_with_disk(&conservative, &disk).to_string(), "yes".to_string()]);
+    t.rowd(&[
+        "revolution time".into(),
+        format!("{:.2} ms", disk.revolution_ms()),
+        "about 17ms".to_string(),
+    ]);
+    t.rowd(&[
+        "relation size".into(),
+        format!("{:.3} MB", w.relation_bytes(w.n_a) / 1e6),
+        "about 2 million bytes".to_string(),
+    ]);
+    t.rowd(&[
+        "disk time, both relations".into(),
+        format!("{:.1} ms", disk.read_ms(total_bytes)),
+        "-".to_string(),
+    ]);
+    t.rowd(&[
+        "array time (conservative)".into(),
+        format!("{:.1} ms", conservative.intersection_ms()),
+        "about 50ms".to_string(),
+    ]);
+    t.rowd(&[
+        "array time (optimistic)".into(),
+        format!("{:.1} ms", optimistic.intersection_ms()),
+        "about 10ms".to_string(),
+    ]);
+    t.rowd(&[
+        "array keeps up with disk".into(),
+        array_keeps_up_with_disk(&conservative, &disk).to_string(),
+        "yes".to_string(),
+    ]);
     print!("{}", t.render());
 }
 
@@ -317,8 +430,16 @@ fn e9_tiling() {
     let a = workloads::seq_rows(64, 4, 0);
     let b = workloads::seq_rows(64, 4, 32);
     let ops_eq = vec![CompareOp::Eq; 4];
-    let whole = ComparisonArray2d::equality(4).t_matrix(&a, &b, |_, _| true).unwrap();
-    let mut t = Table::new(&["physical array", "tile runs", "total pulses", "cells", "T identical"]);
+    let whole = ComparisonArray2d::equality(4)
+        .t_matrix(&a, &b, |_, _| true)
+        .unwrap();
+    let mut t = Table::new(&[
+        "physical array",
+        "tile runs",
+        "total pulses",
+        "cells",
+        "T identical",
+    ]);
     t.rowd(&[
         "unbounded".to_string(),
         "1".to_string(),
@@ -326,7 +447,13 @@ fn e9_tiling() {
         whole.stats.cells.to_string(),
         "-".to_string(),
     ]);
-    for (ma, mb, mc) in [(32usize, 32usize, 4usize), (16, 16, 4), (16, 16, 2), (8, 8, 2), (4, 4, 1)] {
+    for (ma, mb, mc) in [
+        (32usize, 32usize, 4usize),
+        (16, 16, 4),
+        (16, 16, 2),
+        (8, 8, 2),
+        (4, 4, 1),
+    ] {
         let limits = ArrayLimits::new(ma, mb, mc);
         let tiled = t_matrix_tiled(&a, &b, &ops_eq, limits, |_, _| true).unwrap();
         t.rowd(&[
@@ -340,13 +467,25 @@ fn e9_tiling() {
     print!("{}", t.render());
     // Membership (intersection) variant.
     let (keep_whole, _) = membership_tiled(
-        &a, &b, SetOpMode::Intersect, ArrayLimits::new(1000, 1000, 4), |_, _| true,
+        &a,
+        &b,
+        SetOpMode::Intersect,
+        ArrayLimits::new(1000, 1000, 4),
+        |_, _| true,
     )
     .unwrap();
-    let (keep_tiled, _) =
-        membership_tiled(&a, &b, SetOpMode::Intersect, ArrayLimits::new(8, 8, 2), |_, _| true)
-            .unwrap();
-    println!("tiled intersection membership identical: {}", keep_whole == keep_tiled);
+    let (keep_tiled, _) = membership_tiled(
+        &a,
+        &b,
+        SetOpMode::Intersect,
+        ArrayLimits::new(8, 8, 2),
+        |_, _| true,
+    )
+    .unwrap();
+    println!(
+        "tiled intersection membership identical: {}",
+        keep_whole == keep_tiled
+    );
 }
 
 fn e10_fixed_operand() {
@@ -356,12 +495,22 @@ fn e10_fixed_operand() {
         "letting one relation stay resident avoids the half-busy inefficiency: fewer rows, fewer pulses, higher utilisation",
     );
     let mut t = Table::new(&[
-        "n", "layout", "rows", "cells", "pulses", "utilisation", "same result",
+        "n",
+        "layout",
+        "rows",
+        "cells",
+        "pulses",
+        "utilisation",
+        "same result",
     ]);
     for n in [16usize, 64, 256] {
         let a = workloads::seq_rows(n, 2, 0);
-        let marching = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
-        let fixed = FixedOperandArray::preload(&a).run(&a, SetOpMode::Intersect).unwrap();
+        let marching = IntersectionArray::new(2)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
+        let fixed = FixedOperandArray::preload(&a)
+            .run(&a, SetOpMode::Intersect)
+            .unwrap();
         let same = marching.keep == fixed.keep;
         t.rowd(&[
             n.to_string(),
@@ -387,7 +536,9 @@ fn e10_fixed_operand() {
     // small resident one.
     let long = workloads::seq_rows(512, 2, 0);
     let small = workloads::seq_rows(16, 2, 0);
-    let streaming = FixedOperandArray::preload(&small).run(&long, SetOpMode::Intersect).unwrap();
+    let streaming = FixedOperandArray::preload(&small)
+        .run(&long, SetOpMode::Intersect)
+        .unwrap();
     println!(
         "streaming regime (|A|=512 past resident |B|=16): utilisation {:.3} (approaches 1)",
         streaming.stats.utilisation()
@@ -400,7 +551,14 @@ fn e11_bitlevel() {
         "word-level to bit-level transformation (§8)",
         "each word processor partitions into bit processors; results identical, cells x width, pulses x width",
     );
-    let mut t = Table::new(&["width w", "word cells", "bit cells", "word pulses", "bit pulses", "agree"]);
+    let mut t = Table::new(&[
+        "width w",
+        "word cells",
+        "bit cells",
+        "word pulses",
+        "bit pulses",
+        "agree",
+    ]);
     for w in [4u32, 8, 16, 32] {
         let m = 3usize;
         let max = (1i64 << w) - 1;
@@ -470,7 +628,9 @@ fn e12_shape() {
     let mut t = Table::new(&["n", "simulated pulses", "formula", "match"]);
     for n in [16usize, 64, 256] {
         let a = workloads::seq_rows(n, 2, 0);
-        let out = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
+        let out = IntersectionArray::new(2)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
         let f = intersection_pulses(n as u64, 2);
         t.rowd(&[
             n.to_string(),
@@ -519,13 +679,25 @@ fn e13_machine() {
     let mut t = Table::new(&["quantity", "value"]);
     t.rowd(&["result tuples".to_string(), out.result.len().to_string()]);
     t.rowd(&["makespan".to_string(), fmt_ns(out.stats.makespan_ns as f64)]);
-    t.rowd(&["array pulses".to_string(), out.stats.total_pulses.to_string()]);
+    t.rowd(&[
+        "array pulses".to_string(),
+        out.stats.total_pulses.to_string(),
+    ]);
     t.rowd(&["tile runs".to_string(), out.stats.array_runs.to_string()]);
-    t.rowd(&["bytes from disk".to_string(), out.stats.bytes_from_disk.to_string()]);
-    t.rowd(&["device concurrency".to_string(), out.stats.max_device_concurrency.to_string()]);
+    t.rowd(&[
+        "bytes from disk".to_string(),
+        out.stats.bytes_from_disk.to_string(),
+    ]);
+    t.rowd(&[
+        "device concurrency".to_string(),
+        out.stats.max_device_concurrency.to_string(),
+    ]);
     print!("{}", t.render());
     println!("schedule:");
-    println!("{}", out.timeline.render_gantt(out.stats.makespan_ns / 64 + 1));
+    println!(
+        "{}",
+        out.timeline.render_gantt(out.stats.makespan_ns / 64 + 1)
+    );
 }
 
 fn e14_tree_machine() {
@@ -545,8 +717,9 @@ fn e14_tree_machine() {
     for n in [16usize, 64, 256] {
         let stored = workloads::seq_rows(n, 2, 0);
         let probes = workloads::seq_rows(n, 2, (n / 2) as i64);
-        let systolic =
-            IntersectionArray::new(2).run(&probes, &stored, SetOpMode::Intersect).unwrap();
+        let systolic = IntersectionArray::new(2)
+            .run(&probes, &stored, SetOpMode::Intersect)
+            .unwrap();
         let mut tree = TreeMachine::new(4, PULSE_NS);
         tree.load(
             &systolic_relation::MultiRelation::new(
@@ -585,7 +758,12 @@ fn e15_machine_ablation() {
         Expr::scan("a").difference(Expr::scan("b")),
         Expr::scan("c").union(Expr::scan("d")),
     ];
-    let mut t = Table::new(&["set-op devices", "memories", "makespan", "device concurrency"]);
+    let mut t = Table::new(&[
+        "set-op devices",
+        "memories",
+        "makespan",
+        "device concurrency",
+    ]);
     for (setops, memories) in [(1usize, 4usize), (2, 4), (4, 8), (4, 12)] {
         let limits = ArrayLimits::new(32, 32, 8);
         let mut devices = vec![(DeviceKind::SetOp, limits); setops];
@@ -614,11 +792,15 @@ fn e15_machine_ablation() {
     // interconnection"): the crossbar against a single shared bus.
     use systolic_machine::Interconnect;
     let mut t = Table::new(&["interconnect", "makespan", "device concurrency"]);
-    for (name, interconnect) in
-        [("crossbar (Fig 9-1)", Interconnect::Crossbar), ("shared bus", Interconnect::SharedBus)]
-    {
-        let mut sys =
-            System::new(MachineConfig { interconnect, ..MachineConfig::default() }).unwrap();
+    for (name, interconnect) in [
+        ("crossbar (Fig 9-1)", Interconnect::Crossbar),
+        ("shared bus", Interconnect::SharedBus),
+    ] {
+        let mut sys = System::new(MachineConfig {
+            interconnect,
+            ..MachineConfig::default()
+        })
+        .unwrap();
         sys.load_base("a", workloads::seq_multi(64, 2, 0));
         sys.load_base("b", workloads::seq_multi(64, 2, 32));
         sys.load_base("c", workloads::seq_multi(64, 2, 200));
@@ -668,7 +850,10 @@ fn e17_pattern_match() {
     let chip = PatternMatchChip::from_bytes(b"syst?lic");
     let text = b"systolic arrays are systalic? no: systolic and systylic";
     let hits = chip.find_in_bytes(text).unwrap();
-    println!("pattern \"syst?lic\" over {:?}:", String::from_utf8_lossy(text));
+    println!(
+        "pattern \"syst?lic\" over {:?}:",
+        String::from_utf8_lossy(text)
+    );
     println!("matches at offsets {hits:?} (wildcard '?' matches o/a/y)");
     let mut t = Table::new(&["text length", "pattern k", "cells", "pulses", "matches"]);
     for len in [64usize, 256, 1024] {
@@ -697,7 +882,12 @@ fn e18_capacity() {
     let w = Workload::paper_typical();
     let t = Technology::paper_conservative();
     let mut tbl = Table::new(&[
-        "layout", "tile (AxB)", "tiles", "pulses/tile", "total time", "vs ideal 52.5 ms",
+        "layout",
+        "tile (AxB)",
+        "tiles",
+        "pulses/tile",
+        "total time",
+        "vs ideal 52.5 ms",
     ]);
     for (name, layout) in [
         ("marching", Layout::Marching),
@@ -732,7 +922,12 @@ fn e19_pipelined_tiles() {
     let b = workloads::seq_rows(64, 2, 32);
     let ops_eq = vec![CompareOp::Eq; 2];
     let mut tbl = Table::new(&[
-        "tile", "tiles", "sequential pulses", "pipelined pulses", "speedup", "T identical",
+        "tile",
+        "tiles",
+        "sequential pulses",
+        "pipelined pulses",
+        "speedup",
+        "T identical",
     ]);
     for (ta, tb) in [(32usize, 32usize), (16, 16), (8, 8), (4, 4)] {
         let limits = ArrayLimits::new(ta, tb, 2);
@@ -743,7 +938,10 @@ fn e19_pipelined_tiles() {
             piped.stats.array_runs.to_string(),
             seq.stats.pulses.to_string(),
             piped.stats.pulses.to_string(),
-            format!("{:.2}x", seq.stats.pulses as f64 / piped.stats.pulses as f64),
+            format!(
+                "{:.2}x",
+                seq.stats.pulses as f64 / piped.stats.pulses as f64
+            ),
             (seq.t == piped.t).to_string(),
         ]);
     }
@@ -755,8 +953,13 @@ fn e19_pipelined_tiles() {
 }
 
 fn main() {
-    println!("# Systolic (VLSI) Arrays for Relational Database Operations — experiment reproduction");
-    println!("(Kung & Lehman, SIGMOD 1980; all workloads seeded with 0x{:x})", workloads::SEED);
+    println!(
+        "# Systolic (VLSI) Arrays for Relational Database Operations — experiment reproduction"
+    );
+    println!(
+        "(Kung & Lehman, SIGMOD 1980; all workloads seeded with 0x{:x})",
+        workloads::SEED
+    );
     e1_linear_comparison();
     e2_comparison_2d();
     e3_intersection();

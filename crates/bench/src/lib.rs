@@ -40,8 +40,9 @@ mod tests {
     fn closed_form_matches_simulation() {
         for n in [2u64, 5, 16, 33] {
             for m in [1u64, 2, 4] {
-                let rows: Vec<Vec<i64>> =
-                    (0..n as i64).map(|i| (0..m as i64).map(|c| i + c).collect()).collect();
+                let rows: Vec<Vec<i64>> = (0..n as i64)
+                    .map(|i| (0..m as i64).map(|c| i + c).collect())
+                    .collect();
                 let out = IntersectionArray::new(m as usize)
                     .run(&rows, &rows, SetOpMode::Intersect)
                     .unwrap();

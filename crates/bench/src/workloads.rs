@@ -17,7 +17,9 @@ pub fn rng(offset: u64) -> StdRng {
 
 /// Sequential-integer rows (deterministic, no RNG): `n` rows of width `m`.
 pub fn seq_rows(n: usize, m: usize, base: i64) -> Vec<Row> {
-    (0..n as i64).map(|i| (0..m as i64).map(|c| base + i + c).collect()).collect()
+    (0..n as i64)
+        .map(|i| (0..m as i64).map(|c| base + i + c).collect())
+        .collect()
 }
 
 /// As [`seq_rows`], wrapped in a relation.
@@ -37,16 +39,16 @@ pub fn duplicated(n_unique: usize, dup: usize, m: usize) -> MultiRelation {
 }
 
 /// E5: a join pair with `keys` distinct join keys and optional Zipf skew.
-pub fn join_pair(
-    n: usize,
-    keys: usize,
-    skew: f64,
-) -> (MultiRelation, MultiRelation, usize, usize) {
+pub fn join_pair(n: usize, keys: usize, skew: f64) -> (MultiRelation, MultiRelation, usize, usize) {
     gen::join_pair(&mut rng(5), n, n, 3, 2, keys, skew)
 }
 
 /// E6: a division instance with a planted quotient.
-pub fn division(x_universe: usize, divisor: usize, quotient: usize) -> (MultiRelation, MultiRelation, Vec<Elem>) {
+pub fn division(
+    x_universe: usize,
+    divisor: usize,
+    quotient: usize,
+) -> (MultiRelation, MultiRelation, Vec<Elem>) {
     gen::division_instance(&mut rng(6), x_universe, divisor, quotient)
 }
 

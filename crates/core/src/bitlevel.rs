@@ -93,7 +93,10 @@ pub struct BitSerialMagnitudeCell {
 impl BitSerialMagnitudeCell {
     /// A fresh comparator for `op`.
     pub fn new(op: CompareOp) -> Self {
-        BitSerialMagnitudeCell { op, state: Ordering::Equal }
+        BitSerialMagnitudeCell {
+            op,
+            state: Ordering::Equal,
+        }
     }
 
     fn verdict(&self) -> bool {
@@ -152,10 +155,16 @@ impl BitSerialComparator {
         let mut grid: Grid<BitSerialMagnitudeCell> =
             Grid::new(1, 1, |_, _| BitSerialMagnitudeCell::new(op));
         grid.set_north_feeder(ScheduleFeeder::from_entries(
-            bits_a.iter().enumerate().map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
+            bits_a
+                .iter()
+                .enumerate()
+                .map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
         ));
         grid.set_south_feeder(ScheduleFeeder::from_entries(
-            bits_b.iter().enumerate().map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
+            bits_b
+                .iter()
+                .enumerate()
+                .map(|(k, &bit)| (k as u64, 0, Word::Elem(bit))),
         ));
         grid.set_west_feeder(ScheduleFeeder::from_entries([(
             self.width as u64,
@@ -220,12 +229,16 @@ mod tests {
     fn bit_level_intersection_equals_word_level() {
         let a: Vec<Vec<Elem>> = (0..10).map(|i| vec![i, 255 - i]).collect();
         let b: Vec<Vec<Elem>> = (5..15).map(|i| vec![i, 255 - i]).collect();
-        let word = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let word = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
         let bit = BitLevelIntersectionArray::new(2, 8)
             .run(&a, &b, SetOpMode::Intersect)
             .unwrap();
         assert_eq!(word.keep, bit.keep);
-        let word_d = IntersectionArray::new(2).run(&a, &b, SetOpMode::Difference).unwrap();
+        let word_d = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Difference)
+            .unwrap();
         let bit_d = BitLevelIntersectionArray::new(2, 8)
             .run(&a, &b, SetOpMode::Difference)
             .unwrap();
@@ -235,7 +248,9 @@ mod tests {
     #[test]
     fn bit_level_array_shape_scales_with_width() {
         let a: Vec<Vec<Elem>> = (0..4).map(|i| vec![i]).collect();
-        let word = IntersectionArray::new(1).run(&a, &a, SetOpMode::Intersect).unwrap();
+        let word = IntersectionArray::new(1)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
         let bit = BitLevelIntersectionArray::new(1, 8)
             .run(&a, &a, SetOpMode::Intersect)
             .unwrap();
@@ -249,8 +264,16 @@ mod tests {
     #[test]
     fn bit_level_rejects_values_exceeding_the_width() {
         let arr = BitLevelIntersectionArray::new(1, 4);
-        let err = arr.run(&[vec![16]], &[vec![1]], SetOpMode::Intersect).unwrap_err();
-        assert!(matches!(err, CoreError::WidthOverflow { value: 16, width: 4 }));
+        let err = arr
+            .run(&[vec![16]], &[vec![1]], SetOpMode::Intersect)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::WidthOverflow {
+                value: 16,
+                width: 4
+            }
+        ));
     }
 
     #[test]
@@ -262,8 +285,14 @@ mod tests {
 
     #[test]
     fn expansion_rejects_out_of_range_values() {
-        assert!(matches!(expand_bits(8, 3), Err(CoreError::WidthOverflow { .. })));
-        assert!(matches!(expand_bits(-1, 8), Err(CoreError::WidthOverflow { .. })));
+        assert!(matches!(
+            expand_bits(8, 3),
+            Err(CoreError::WidthOverflow { .. })
+        ));
+        assert!(matches!(
+            expand_bits(-1, 8),
+            Err(CoreError::WidthOverflow { .. })
+        ));
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl LinearComparisonArray {
     /// An equality-comparison array of width `m`.
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "tuple width must be positive");
-        LinearComparisonArray { m, op: CompareOp::Eq }
+        LinearComparisonArray {
+            m,
+            op: CompareOp::Eq,
+        }
     }
 
     /// Compare two tuples; `initial` is the boolean fed to the leftmost
@@ -113,10 +116,14 @@ impl LinearComparisonArray {
         // of both tuples enters lane k at pulse k, so that a_k and b_k meet
         // the k-th processor at pulse k, together with the running AND.
         grid.set_north_feeder(ScheduleFeeder::from_entries(
-            a.iter().enumerate().map(|(k, &e)| (k as u64, k, Word::Elem(e))),
+            a.iter()
+                .enumerate()
+                .map(|(k, &e)| (k as u64, k, Word::Elem(e))),
         ));
         grid.set_south_feeder(ScheduleFeeder::from_entries(
-            b.iter().enumerate().map(|(k, &e)| (k as u64, k, Word::Elem(e))),
+            b.iter()
+                .enumerate()
+                .map(|(k, &e)| (k as u64, k, Word::Elem(e))),
         ));
         grid.set_west_feeder(ScheduleFeeder::from_entries([(0, 0, Word::Bool(initial))]));
         grid.run_until_quiescent(4 * self.m as u64 + 8)?;
@@ -129,7 +136,11 @@ impl LinearComparisonArray {
                 detail: format!("linear array produced no verdict at pulse {}", self.m - 1),
             })?;
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(LinearOutcome { result, stats, frames: grid.trace_frames().to_vec() })
+        Ok(LinearOutcome {
+            result,
+            stats,
+            frames: grid.trace_frames().to_vec(),
+        })
     }
 }
 
@@ -168,7 +179,9 @@ impl ComparisonArray2d {
     /// An equality array for tuples of width `m` (intersection-style use).
     pub fn equality(m: usize) -> Self {
         assert!(m > 0, "tuple width must be positive");
-        ComparisonArray2d { ops: vec![CompareOp::Eq; m] }
+        ComparisonArray2d {
+            ops: vec![CompareOp::Eq; m],
+        }
     }
 
     /// An array with one comparator per column (theta-join use).
@@ -227,9 +240,12 @@ impl ComparisonArray2d {
                     ),
                 }
             })?;
-            let v = em.word.as_bool().ok_or_else(|| CoreError::ScheduleViolation {
-                detail: format!("non-boolean result {:?} for pair ({i},{j})", em.word),
-            })?;
+            let v = em
+                .word
+                .as_bool()
+                .ok_or_else(|| CoreError::ScheduleViolation {
+                    detail: format!("non-boolean result {:?} for pair ({i},{j})", em.word),
+                })?;
             t.set(i, j, v);
             seen += 1;
         }
@@ -239,7 +255,11 @@ impl ComparisonArray2d {
             });
         }
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(MatrixOutcome { t, stats, frames: grid.trace_frames().to_vec() })
+        Ok(MatrixOutcome {
+            t,
+            stats,
+            frames: grid.trace_frames().to_vec(),
+        })
     }
 }
 
@@ -261,7 +281,11 @@ mod tests {
         // §3.1: "if the initial input is FALSE, then the output at the right
         // side of the array is guaranteed to be false."
         let arr = LinearComparisonArray::new(4);
-        assert!(!arr.compare(&[5, 5, 5, 5], &[5, 5, 5, 5], false).unwrap().result);
+        assert!(
+            !arr.compare(&[5, 5, 5, 5], &[5, 5, 5, 5], false)
+                .unwrap()
+                .result
+        );
     }
 
     #[test]
@@ -269,7 +293,9 @@ mod tests {
         // The result is computed by the rightmost processor at pulse m-1;
         // the grid then needs the remaining in-flight words to drain.
         let arr = LinearComparisonArray::new(5);
-        let out = arr.compare(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5], true).unwrap();
+        let out = arr
+            .compare(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5], true)
+            .unwrap();
         assert!(out.result);
         // Last element injected at pulse m-1 is consumed that same pulse by
         // the single-row grid, so the run is exactly m pulses long.
@@ -289,17 +315,25 @@ mod tests {
         // The 3x3 example of Figures 3-3/3-4.
         let a = vec![vec![1, 2, 3], vec![4, 5, 6], vec![1, 2, 3]];
         let b = vec![vec![4, 5, 6], vec![7, 8, 9], vec![1, 2, 3]];
-        let out = ComparisonArray2d::equality(3).t_matrix(&a, &b, |_, _| true).unwrap();
+        let out = ComparisonArray2d::equality(3)
+            .t_matrix(&a, &b, |_, _| true)
+            .unwrap();
         let expect = TMatrix::from_fn(3, 3, |i, j| a[i] == b[j]);
         assert_eq!(out.t, expect);
-        assert_eq!(out.stats.cells, (3 + 3 - 1) * 3, "n_A+n_B-1 rows of m cells");
+        assert_eq!(
+            out.stats.cells,
+            (3 + 3 - 1) * 3,
+            "n_A+n_B-1 rows of m cells"
+        );
     }
 
     #[test]
     fn asymmetric_cardinalities() {
         let a: Vec<Vec<Elem>> = (0..5).map(|i| vec![i, i]).collect();
         let b: Vec<Vec<Elem>> = (3..10).map(|j| vec![j, j]).collect();
-        let out = ComparisonArray2d::equality(2).t_matrix(&a, &b, |_, _| true).unwrap();
+        let out = ComparisonArray2d::equality(2)
+            .t_matrix(&a, &b, |_, _| true)
+            .unwrap();
         let expect = TMatrix::from_fn(5, 7, |i, j| a[i] == b[j]);
         assert_eq!(out.t, expect);
     }
@@ -363,6 +397,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong width")]
     fn width_mismatch_panics() {
-        LinearComparisonArray::new(2).compare(&[1], &[1, 2], true).unwrap();
+        LinearComparisonArray::new(2)
+            .compare(&[1], &[1, 2], true)
+            .unwrap();
     }
 }

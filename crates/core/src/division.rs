@@ -77,7 +77,10 @@ pub struct DivisorStoreCell {
 impl DivisorStoreCell {
     /// A cell storing `stored`, initially unmatched.
     pub fn new(stored: Elem) -> Self {
-        DivisorStoreCell { stored, matched: false }
+        DivisorStoreCell {
+            stored,
+            matched: false,
+        }
     }
 }
 
@@ -377,7 +380,9 @@ impl DivisionArrayMulti {
         let keys_ref = &keys;
         let mut grid: Grid<DivisionCellMulti> = Grid::new(grid_rows, cols, |r, c| {
             if c < kw {
-                DivisionCellMulti::Key(DividendKeyCellMulti { stored: keys_ref[r][c] })
+                DivisionCellMulti::Key(DividendKeyCellMulti {
+                    stored: keys_ref[r][c],
+                })
             } else if c == kw {
                 DivisionCellMulti::Gate(DividendGateCell)
             } else {
@@ -428,7 +433,12 @@ impl DivisionArrayMulti {
             .map(|(k, _)| k.clone())
             .collect();
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(DivisionMultiOutcome { keys, quotient_flags, quotient, stats })
+        Ok(DivisionMultiOutcome {
+            keys,
+            quotient_flags,
+            quotient,
+            stats,
+        })
     }
 }
 
@@ -460,8 +470,16 @@ mod tests {
     fn reproduces_the_figure_7_1_quotient() {
         let (pairs, divisor) = paper_example();
         let out = DivisionArray.divide(&pairs, &divisor).unwrap();
-        assert_eq!(out.keys, vec![1, 2, 3], "distinct keys in first-occurrence order");
-        assert_eq!(out.quotient, vec![1], "C = {{i}}: only i pairs with all of a,b,c,d");
+        assert_eq!(
+            out.keys,
+            vec![1, 2, 3],
+            "distinct keys in first-occurrence order"
+        );
+        assert_eq!(
+            out.quotient,
+            vec![1],
+            "C = {{i}}: only i pairs with all of a,b,c,d"
+        );
         assert_eq!(out.quotient_flags, vec![true, false, false]);
         // Dividend array is rows x 2; divisor array rows x |B|.
         assert_eq!(out.stats.cells, 3 * (2 + 4));
@@ -499,7 +517,9 @@ mod tests {
 
     #[test]
     fn duplicate_divisor_elements_are_harmless() {
-        let out = DivisionArray.divide(&[(1, 10), (2, 11)], &[10, 10]).unwrap();
+        let out = DivisionArray
+            .divide(&[(1, 10), (2, 11)], &[10, 10])
+            .unwrap();
         assert_eq!(out.quotient, vec![1]);
     }
 
@@ -551,16 +571,20 @@ mod tests {
             let n = rng.gen_range(4..24);
             let rows: Vec<Vec<Elem>> = (0..n)
                 .map(|_| {
-                    vec![rng.gen_range(0..3), rng.gen_range(0..3), rng.gen_range(0..4)]
+                    vec![
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..4),
+                    ]
                 })
                 .collect();
             let divisor: Vec<Elem> = (0..rng.gen_range(1..4)).collect();
             let out = DivisionArrayMulti::new(2).divide(&rows, &divisor).unwrap();
             // Reference: composite key kept iff paired with every divisor y.
             for (key, &flag) in out.keys.iter().zip(&out.quotient_flags) {
-                let expect = divisor.iter().all(|&y| {
-                    rows.iter().any(|r| &r[..2] == key.as_slice() && r[2] == y)
-                });
+                let expect = divisor
+                    .iter()
+                    .all(|&y| rows.iter().any(|r| &r[..2] == key.as_slice() && r[2] == y));
                 assert_eq!(flag, expect, "trial {trial}, key {key:?}");
             }
         }
@@ -568,8 +592,13 @@ mod tests {
 
     #[test]
     fn multi_key_with_width_one_matches_the_restricted_array() {
-        let rows: Vec<Vec<Elem>> =
-            vec![vec![1, 10], vec![1, 11], vec![2, 10], vec![3, 11], vec![3, 10]];
+        let rows: Vec<Vec<Elem>> = vec![
+            vec![1, 10],
+            vec![1, 11],
+            vec![2, 10],
+            vec![3, 11],
+            vec![3, 10],
+        ];
         let divisor = [10, 11];
         let pairs: Vec<(Elem, Elem)> = rows.iter().map(|r| (r[0], r[1])).collect();
         let restricted = DivisionArray.divide(&pairs, &divisor).unwrap();

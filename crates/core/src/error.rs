@@ -77,9 +77,14 @@ mod tests {
         assert!(e.to_string().contains("duplicate"));
         let e: CoreError = NotQuiescent { max_pulses: 5 }.into();
         assert!(e.to_string().contains("5 pulses"));
-        let e = CoreError::WidthOverflow { value: 300, width: 8 };
+        let e = CoreError::WidthOverflow {
+            value: 300,
+            width: 8,
+        };
         assert!(e.to_string().contains("300"));
-        let e = CoreError::ScheduleViolation { detail: "row 3".into() };
+        let e = CoreError::ScheduleViolation {
+            detail: "row 3".into(),
+        };
         assert!(e.to_string().contains("row 3"));
     }
 
@@ -88,7 +93,9 @@ mod tests {
         use std::error::Error;
         let e: CoreError = RelationError::DuplicateTuple.into();
         assert!(e.source().is_some());
-        let e = CoreError::ScheduleViolation { detail: String::new() };
+        let e = CoreError::ScheduleViolation {
+            detail: String::new(),
+        };
         assert!(e.source().is_none());
     }
 }

@@ -12,9 +12,7 @@
 //! `n_A + n_B - 1`, runs in roughly half the pulses, and roughly doubles
 //! utilisation — all measured by experiment E10.
 
-use systolic_fabric::{
-    Cell, CellIo, CompareOp, Elem, FixedSchedule, Grid, Word,
-};
+use systolic_fabric::{Cell, CellIo, CompareOp, Elem, FixedSchedule, Grid, Word};
 
 use crate::error::{CoreError, Result};
 use crate::intersection::{AccumulateCell, MembershipOutcome, SetOpMode};
@@ -81,7 +79,10 @@ impl FixedOperandArray {
     pub fn preload(b: &[Vec<Elem>]) -> Self {
         assert!(!b.is_empty(), "fixed operand must be non-empty");
         let m = b[0].len();
-        assert!(m > 0 && b.iter().all(|r| r.len() == m), "uniform tuple width required");
+        assert!(
+            m > 0 && b.iter().all(|r| r.len() == m),
+            "uniform tuple width required"
+        );
         FixedOperandArray { b: b.to_vec(), m }
     }
 
@@ -116,7 +117,10 @@ impl FixedOperandArray {
         let m = self.m;
         let mut grid: Grid<FixedCell> = Grid::new(sched.rows(), m + 1, |r, c| {
             if c < m {
-                FixedCell::Stored(StoredCompareCell { stored: b[r][c], op: CompareOp::Eq })
+                FixedCell::Stored(StoredCompareCell {
+                    stored: b[r][c],
+                    op: CompareOp::Eq,
+                })
             } else {
                 FixedCell::Accumulate(AccumulateCell)
             }
@@ -134,11 +138,12 @@ impl FixedOperandArray {
             if em.lane != sched.acc_col() {
                 continue;
             }
-            let i = sched.tuple_at_acc_exit(em.pulse).ok_or_else(|| {
-                CoreError::ScheduleViolation {
-                    detail: format!("unexpected accumulator emission at pulse {}", em.pulse),
-                }
-            })?;
+            let i =
+                sched
+                    .tuple_at_acc_exit(em.pulse)
+                    .ok_or_else(|| CoreError::ScheduleViolation {
+                        detail: format!("unexpected accumulator emission at pulse {}", em.pulse),
+                    })?;
             t[i] = em.word.as_bool();
         }
         let t: Vec<bool> = t
@@ -155,7 +160,12 @@ impl FixedOperandArray {
             SetOpMode::Difference => t.iter().map(|&x| !x).collect(),
         };
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(MembershipOutcome { keep, t, stats, frames: Vec::new() })
+        Ok(MembershipOutcome {
+            keep,
+            t,
+            stats,
+            frames: Vec::new(),
+        })
     }
 
     /// Produce the full match matrix `T` (fixed-operand variant of the
@@ -165,9 +175,11 @@ impl FixedOperandArray {
         assert_eq!(ops.len(), self.m, "one comparator per column");
         let sched = FixedSchedule::new(a.len(), self.b.len(), self.m);
         let b = &self.b;
-        let mut grid: Grid<StoredCompareCell> = Grid::new(sched.rows(), self.m, |r, c| {
-            StoredCompareCell { stored: b[r][c], op: ops[c] }
-        });
+        let mut grid: Grid<StoredCompareCell> =
+            Grid::new(sched.rows(), self.m, |r, c| StoredCompareCell {
+                stored: b[r][c],
+                op: ops[c],
+            });
         grid.set_north_feeder(sched.a_feeder(a));
         grid.set_west_feeder(sched.t_feeder(|_, _| true));
         grid.run_until_quiescent(sched.pulse_bound())?;
@@ -179,9 +191,12 @@ impl FixedOperandArray {
                     detail: format!("unexpected emission at row {}, pulse {}", em.lane, em.pulse),
                 }
             })?;
-            let v = em.word.as_bool().ok_or_else(|| CoreError::ScheduleViolation {
-                detail: format!("non-boolean result {:?}", em.word),
-            })?;
+            let v = em
+                .word
+                .as_bool()
+                .ok_or_else(|| CoreError::ScheduleViolation {
+                    detail: format!("non-boolean result {:?}", em.word),
+                })?;
             t.set(i, j, v);
             seen += 1;
         }
@@ -207,11 +222,19 @@ mod tests {
     fn fixed_intersection_agrees_with_the_marching_array() {
         let a = rows(&[&[1, 1], &[2, 2], &[3, 3], &[4, 4]]);
         let b = rows(&[&[2, 2], &[4, 4], &[9, 9]]);
-        let marching = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
-        let fixed = FixedOperandArray::preload(&b).run(&a, SetOpMode::Intersect).unwrap();
+        let marching = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
+        let fixed = FixedOperandArray::preload(&b)
+            .run(&a, SetOpMode::Intersect)
+            .unwrap();
         assert_eq!(marching.keep, fixed.keep);
-        let marching_d = IntersectionArray::new(2).run(&a, &b, SetOpMode::Difference).unwrap();
-        let fixed_d = FixedOperandArray::preload(&b).run(&a, SetOpMode::Difference).unwrap();
+        let marching_d = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Difference)
+            .unwrap();
+        let fixed_d = FixedOperandArray::preload(&b)
+            .run(&a, SetOpMode::Difference)
+            .unwrap();
         assert_eq!(marching_d.keep, fixed_d.keep);
     }
 
@@ -221,8 +244,12 @@ mod tests {
         // the pulses because tuples stream one (not two) pulses apart.
         let n = 16usize;
         let a: Vec<Vec<Elem>> = (0..n as i64).map(|i| vec![i, i]).collect();
-        let marching = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
-        let fixed = FixedOperandArray::preload(&a).run(&a, SetOpMode::Intersect).unwrap();
+        let marching = IntersectionArray::new(2)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
+        let fixed = FixedOperandArray::preload(&a)
+            .run(&a, SetOpMode::Intersect)
+            .unwrap();
         // n rows instead of 2n-1: cells shrink by a factor approaching 2.
         assert!(fixed.stats.cells * 2 <= marching.stats.cells + 2 * (2 + 1));
         assert!(
@@ -237,8 +264,12 @@ mod tests {
     fn fixed_array_roughly_doubles_utilisation() {
         let n = 24usize;
         let a: Vec<Vec<Elem>> = (0..n as i64).map(|i| vec![i, i]).collect();
-        let marching = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
-        let fixed = FixedOperandArray::preload(&a).run(&a, SetOpMode::Intersect).unwrap();
+        let marching = IntersectionArray::new(2)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
+        let fixed = FixedOperandArray::preload(&a)
+            .run(&a, SetOpMode::Intersect)
+            .unwrap();
         // At n = 24 pipeline fill/drain still dilutes both figures; the
         // steady-state ratio approaches 2 as n grows (measured in E10).
         assert!(
@@ -247,8 +278,14 @@ mod tests {
             fixed.stats.utilisation(),
             marching.stats.utilisation()
         );
-        assert!(marching.stats.utilisation() < 0.40, "marching stays below ~50%");
-        assert!(fixed.stats.utilisation() > 0.45, "fixed approaches full utilisation");
+        assert!(
+            marching.stats.utilisation() < 0.40,
+            "marching stays below ~50%"
+        );
+        assert!(
+            fixed.stats.utilisation() > 0.45,
+            "fixed approaches full utilisation"
+        );
     }
 
     #[test]
@@ -266,7 +303,9 @@ mod tests {
     fn fixed_t_matrix_supports_theta_comparators() {
         let a = rows(&[&[5], &[1]]);
         let b = rows(&[&[3]]);
-        let (t, _) = FixedOperandArray::preload(&b).t_matrix(&a, &[CompareOp::Gt]).unwrap();
+        let (t, _) = FixedOperandArray::preload(&b)
+            .t_matrix(&a, &[CompareOp::Gt])
+            .unwrap();
         assert!(t.get(0, 0));
         assert!(!t.get(1, 0));
     }
@@ -275,7 +314,9 @@ mod tests {
     fn single_row_resident_relation() {
         let b = rows(&[&[7, 7]]);
         let a = rows(&[&[7, 7], &[8, 8]]);
-        let out = FixedOperandArray::preload(&b).run(&a, SetOpMode::Intersect).unwrap();
+        let out = FixedOperandArray::preload(&b)
+            .run(&a, SetOpMode::Intersect)
+            .unwrap();
         assert_eq!(out.keep, vec![true, false]);
     }
 

@@ -11,9 +11,7 @@
 //! FALSE for any a_i that was in A, but not in B, which is precisely the
 //! condition for a_i being in the difference" (§4.3).
 
-use systolic_fabric::{
-    Cell, CellIo, CompareOp, CompareSchedule, Elem, Grid, TraceFrame, Word,
-};
+use systolic_fabric::{Cell, CellIo, CompareOp, CompareSchedule, Elem, Grid, TraceFrame, Word};
 
 use crate::comparison::CompareCell;
 use crate::error::{CoreError, Result};
@@ -110,7 +108,12 @@ impl IntersectionArray {
 
     /// Run the array over relations `a` and `b`, producing keep-flags for
     /// the tuples of `a` under `mode`.
-    pub fn run(&self, a: &[Vec<Elem>], b: &[Vec<Elem>], mode: SetOpMode) -> Result<MembershipOutcome> {
+    pub fn run(
+        &self,
+        a: &[Vec<Elem>],
+        b: &[Vec<Elem>],
+        mode: SetOpMode,
+    ) -> Result<MembershipOutcome> {
         self.run_masked(a, b, mode, |_, _| true, false)
     }
 
@@ -157,14 +160,18 @@ impl IntersectionArray {
             if em.lane != sched.acc_col() {
                 continue;
             }
-            let i = sched.tuple_at_acc_exit(em.pulse).ok_or_else(|| {
-                CoreError::ScheduleViolation {
-                    detail: format!("unexpected accumulator emission at pulse {}", em.pulse),
-                }
-            })?;
-            let v = em.word.as_bool().ok_or_else(|| CoreError::ScheduleViolation {
-                detail: format!("non-boolean accumulator output {:?}", em.word),
-            })?;
+            let i =
+                sched
+                    .tuple_at_acc_exit(em.pulse)
+                    .ok_or_else(|| CoreError::ScheduleViolation {
+                        detail: format!("unexpected accumulator emission at pulse {}", em.pulse),
+                    })?;
+            let v = em
+                .word
+                .as_bool()
+                .ok_or_else(|| CoreError::ScheduleViolation {
+                    detail: format!("non-boolean accumulator output {:?}", em.word),
+                })?;
             t[i] = Some(v);
         }
         let t: Vec<bool> = t
@@ -181,7 +188,12 @@ impl IntersectionArray {
             SetOpMode::Difference => t.iter().map(|&b| !b).collect(),
         };
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(MembershipOutcome { keep, t, stats, frames: grid.trace_frames().to_vec() })
+        Ok(MembershipOutcome {
+            keep,
+            t,
+            stats,
+            frames: grid.trace_frames().to_vec(),
+        })
     }
 }
 
@@ -198,7 +210,9 @@ mod tests {
         // Two 3x3 relations, as in the worked example of §4.2.
         let a = rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
         let b = rows(&[&[4, 5, 6], &[0, 0, 0], &[7, 8, 9]]);
-        let out = IntersectionArray::new(3).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let out = IntersectionArray::new(3)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
         assert_eq!(out.keep, vec![false, true, true]);
         // (n_A + n_B - 1) rows of (m comparison + 1 accumulation) cells.
         assert_eq!(out.stats.cells, 5 * 4);
@@ -223,7 +237,9 @@ mod tests {
         // anything.
         let a = rows(&[&[5]]);
         let b = rows(&[&[5], &[5], &[5]]);
-        let out = IntersectionArray::new(1).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let out = IntersectionArray::new(1)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
         assert_eq!(out.keep, vec![true]);
     }
 
@@ -231,9 +247,13 @@ mod tests {
     fn disjoint_relations_intersect_empty() {
         let a = rows(&[&[1], &[2]]);
         let b = rows(&[&[3], &[4], &[5]]);
-        let out = IntersectionArray::new(1).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let out = IntersectionArray::new(1)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
         assert!(out.keep.iter().all(|&k| !k));
-        let out = IntersectionArray::new(1).run(&a, &b, SetOpMode::Difference).unwrap();
+        let out = IntersectionArray::new(1)
+            .run(&a, &b, SetOpMode::Difference)
+            .unwrap();
         assert!(out.keep.iter().all(|&k| k));
     }
 
@@ -258,9 +278,7 @@ mod tests {
         for _ in 0..10 {
             let (a, b) = gen::pair_with_overlap(&mut rng, 12, 9, 2, 0.5);
             let arr = IntersectionArray::new(2);
-            let out = arr
-                .run(a.rows(), b.rows(), SetOpMode::Intersect)
-                .unwrap();
+            let out = arr.run(a.rows(), b.rows(), SetOpMode::Intersect).unwrap();
             for (i, row) in a.rows().iter().enumerate() {
                 assert_eq!(out.keep[i], b.contains(row), "row {i}");
             }
@@ -272,9 +290,14 @@ mod tests {
         // §8: "only half of the processors in a systolic array are busy at
         // any one time" when both relations march.
         let a: Vec<Vec<Elem>> = (0..16).map(|i| vec![i, i]).collect();
-        let out = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
+        let out = IntersectionArray::new(2)
+            .run(&a, &a, SetOpMode::Intersect)
+            .unwrap();
         let u = out.stats.utilisation();
-        assert!(u <= 0.55, "marching arrays should not exceed ~50% utilisation, got {u}");
+        assert!(
+            u <= 0.55,
+            "marching arrays should not exceed ~50% utilisation, got {u}"
+        );
     }
 
     #[test]

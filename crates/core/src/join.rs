@@ -30,7 +30,11 @@ pub struct JoinSpec {
 impl JoinSpec {
     /// An equality condition (`A.col_a = B.col_b`).
     pub fn eq(col_a: usize, col_b: usize) -> Self {
-        JoinSpec { col_a, col_b, op: CompareOp::Eq }
+        JoinSpec {
+            col_a,
+            col_b,
+            op: CompareOp::Eq,
+        }
     }
 
     /// A theta condition.
@@ -89,13 +93,21 @@ impl JoinArray {
     /// As [`Self::t_matrix`], optionally tracing.
     pub fn run(&self, a: &[Vec<Elem>], b: &[Vec<Elem>], trace: bool) -> Result<JoinOutcome> {
         // Extract the join-column projections that actually enter the array.
-        let a_keys: Vec<Vec<Elem>> =
-            a.iter().map(|row| self.specs.iter().map(|s| row[s.col_a]).collect()).collect();
-        let b_keys: Vec<Vec<Elem>> =
-            b.iter().map(|row| self.specs.iter().map(|s| row[s.col_b]).collect()).collect();
+        let a_keys: Vec<Vec<Elem>> = a
+            .iter()
+            .map(|row| self.specs.iter().map(|s| row[s.col_a]).collect())
+            .collect();
+        let b_keys: Vec<Vec<Elem>> = b
+            .iter()
+            .map(|row| self.specs.iter().map(|s| row[s.col_b]).collect())
+            .collect();
         let ops: Vec<CompareOp> = self.specs.iter().map(|s| s.op).collect();
         let out = ComparisonArray2d::with_ops(ops).run(&a_keys, &b_keys, |_, _| true, trace)?;
-        Ok(JoinOutcome { t: out.t, stats: out.stats, frames: out.frames })
+        Ok(JoinOutcome {
+            t: out.t,
+            stats: out.stats,
+            frames: out.frames,
+        })
     }
 
     /// Assemble the joined rows from a match matrix — the host-side step of
@@ -115,7 +127,10 @@ impl JoinArray {
         for (i, j) in t.true_pairs() {
             let mut row = a[i].clone();
             row.extend(
-                b[j].iter().enumerate().filter(|(k, _)| !drop_b[*k]).map(|(_, &e)| e),
+                b[j].iter()
+                    .enumerate()
+                    .filter(|(k, _)| !drop_b[*k])
+                    .map(|(_, &e)| e),
             );
             out.push(row);
         }
@@ -237,20 +252,20 @@ impl ProgrammableJoinArray {
         let mut t = TMatrix::new(a.len(), b.len());
         let mut seen = 0usize;
         for em in grid.east_emissions().emissions() {
-            let (i, j) =
-                sched.pair_at_exit(em.lane, em.pulse - delay).ok_or_else(|| {
-                    crate::error::CoreError::ScheduleViolation {
-                        detail: format!(
-                            "unexpected emission {:?} at row {}, pulse {}",
-                            em.word, em.lane, em.pulse
-                        ),
-                    }
+            let (i, j) = sched
+                .pair_at_exit(em.lane, em.pulse - delay)
+                .ok_or_else(|| crate::error::CoreError::ScheduleViolation {
+                    detail: format!(
+                        "unexpected emission {:?} at row {}, pulse {}",
+                        em.word, em.lane, em.pulse
+                    ),
                 })?;
-            let v = em.word.as_bool().ok_or_else(|| {
-                crate::error::CoreError::ScheduleViolation {
-                    detail: format!("non-boolean result {:?}", em.word),
-                }
-            })?;
+            let v =
+                em.word
+                    .as_bool()
+                    .ok_or_else(|| crate::error::CoreError::ScheduleViolation {
+                        detail: format!("non-boolean result {:?}", em.word),
+                    })?;
             t.set(i, j, v);
             seen += 1;
         }
@@ -260,7 +275,11 @@ impl ProgrammableJoinArray {
             });
         }
         let stats = ExecStats::from_grid(grid.stats(), grid.cell_count());
-        Ok(JoinOutcome { t, stats, frames: Vec::new() })
+        Ok(JoinOutcome {
+            t,
+            stats,
+            frames: Vec::new(),
+        })
     }
 }
 
@@ -303,8 +322,7 @@ mod tests {
         let b = rows(&[&[1, 2, 70], &[1, 9, 80]]);
         let arr = JoinArray::new(vec![JoinSpec::eq(0, 0), JoinSpec::eq(1, 1)]);
         let out = arr.t_matrix(&a, &b).unwrap();
-        let expect =
-            TMatrix::from_fn(2, 2, |i, j| a[i][0] == b[j][0] && a[i][1] == b[j][1]);
+        let expect = TMatrix::from_fn(2, 2, |i, j| a[i][0] == b[j][0] && a[i][1] == b[j][1]);
         assert_eq!(out.t, expect);
         assert_eq!(out.stats.cells, (2 + 2 - 1) * 2, "two processor columns");
         let joined = arr.assemble(&a, &b, &out.t);

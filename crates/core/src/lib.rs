@@ -15,6 +15,7 @@
 //! | §8 fixed-operand optimisation | [`fixed`] |
 //! | §8 word-to-bit-level transformation | [`bitlevel`] |
 //! | §8 problem decomposition | [`tiling`] |
+//! | host-parallel execution of independent tiles | [`executor`] |
 //! | §8 pattern-match chip (ref \[3\]) | [`patmatch`] |
 //! | operator API over relations | [`ops`] |
 //!
@@ -40,6 +41,7 @@ pub mod comparison;
 pub mod dedup;
 pub mod division;
 pub mod error;
+pub mod executor;
 pub mod fixed;
 pub mod intersection;
 pub mod join;
@@ -54,6 +56,7 @@ pub use comparison::{ComparisonArray2d, LinearComparisonArray};
 pub use dedup::RemoveDuplicatesArray;
 pub use division::{DivisionArray, DivisionArrayMulti};
 pub use error::{CoreError, Result};
+pub use executor::HostStats;
 pub use fixed::FixedOperandArray;
 pub use intersection::{IntersectionArray, SetOpMode};
 pub use join::{JoinArray, JoinSpec, ProgrammableJoinArray};

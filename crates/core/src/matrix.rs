@@ -16,7 +16,11 @@ pub struct TMatrix {
 impl TMatrix {
     /// An all-false matrix.
     pub fn new(n_a: usize, n_b: usize) -> Self {
-        TMatrix { n_a, n_b, bits: vec![false; n_a * n_b] }
+        TMatrix {
+            n_a,
+            n_b,
+            bits: vec![false; n_a * n_b],
+        }
     }
 
     /// Build from a predicate.
@@ -105,7 +109,10 @@ impl TMatrix {
     /// # Panics
     /// Panics if the block does not fit.
     pub fn paste(&mut self, i0: usize, j0: usize, block: &TMatrix) {
-        assert!(i0 + block.n_a <= self.n_a && j0 + block.n_b <= self.n_b, "block overflows");
+        assert!(
+            i0 + block.n_a <= self.n_a && j0 + block.n_b <= self.n_b,
+            "block overflows"
+        );
         for i in 0..block.n_a {
             for j in 0..block.n_b {
                 self.set(i0 + i, j0 + j, block.get(i, j));

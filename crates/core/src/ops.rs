@@ -37,6 +37,18 @@ pub enum Execution {
     /// [`Execution::Tiled`] when `limits.max_cols` cannot cover the
     /// operation's streamed tuple width (pipelining cannot split columns).
     TiledPipelined(ArrayLimits),
+    /// As [`Execution::Tiled`], with the independent tile runs fanned over
+    /// host worker threads (see [`crate::executor`]). The result relation
+    /// and the simulated-hardware [`ExecStats`] are bit-identical to
+    /// [`Execution::Tiled`]; only host wall-clock time changes. `threads: 0`
+    /// means "auto" (the `SYSTOLIC_THREADS` environment variable, else
+    /// sequential).
+    Parallel {
+        /// Physical capacity of the simulated array, as for `Tiled`.
+        limits: ArrayLimits,
+        /// Host worker threads (`0` = auto).
+        threads: usize,
+    },
 }
 
 /// Result of an operator run: the output relation and the hardware cost.
@@ -50,7 +62,10 @@ fn membership(
 ) -> Result<OpResult> {
     a.schema().require_union_compatible(b.schema())?;
     if a.is_empty() {
-        return Ok((MultiRelation::empty(a.schema().clone()), ExecStats::default()));
+        return Ok((
+            MultiRelation::empty(a.schema().clone()),
+            ExecStats::default(),
+        ));
     }
     if b.is_empty() {
         // Intersection with nothing is nothing; difference with nothing is A.
@@ -74,13 +89,8 @@ fn membership(
         }
         Execution::TiledPipelined(limits) if limits.max_cols >= a.arity() => {
             let ops_eq = vec![CompareOp::Eq; a.arity()];
-            let out = tiling::t_matrix_tiled_pipelined(
-                a.rows(),
-                b.rows(),
-                &ops_eq,
-                limits,
-                |_, _| true,
-            )?;
+            let out =
+                tiling::t_matrix_tiled_pipelined(a.rows(), b.rows(), &ops_eq, limits, |_, _| true)?;
             let t = out.t.row_ors();
             let keep = match mode {
                 SetOpMode::Intersect => t,
@@ -92,6 +102,14 @@ fn membership(
             // Column splitting required: fall back to drain-per-tile.
             tiling::membership_tiled(a.rows(), b.rows(), mode, limits, |_, _| true)?
         }
+        Execution::Parallel { limits, threads } => crate::executor::membership_tiled_parallel(
+            a.rows(),
+            b.rows(),
+            mode,
+            limits,
+            threads,
+            |_, _| true,
+        )?,
     };
     Ok((a.filter_by_index(|i| keep[i]), stats))
 }
@@ -126,29 +144,30 @@ pub fn dedup(a: &MultiRelation, exec: Execution) -> Result<OpResult> {
             )?;
             return Ok((a.filter_by_index(|i| out.keep[i]), out.stats));
         }
-        Execution::Tiled(limits) => tiling::membership_tiled(
-            a.rows(),
-            a.rows(),
-            SetOpMode::Intersect,
-            limits,
-            |i, j| i > j,
-        )?,
+        Execution::Tiled(limits) => {
+            tiling::membership_tiled(a.rows(), a.rows(), SetOpMode::Intersect, limits, |i, j| {
+                i > j
+            })?
+        }
         Execution::TiledPipelined(limits) if limits.max_cols >= a.arity() => {
             let ops_eq = vec![CompareOp::Eq; a.arity()];
-            let out = tiling::t_matrix_tiled_pipelined(
-                a.rows(),
-                a.rows(),
-                &ops_eq,
-                limits,
-                |i, j| i > j,
-            )?;
+            let out =
+                tiling::t_matrix_tiled_pipelined(a.rows(), a.rows(), &ops_eq, limits, |i, j| {
+                    i > j
+                })?;
             (out.t.row_ors(), out.stats)
         }
-        Execution::TiledPipelined(limits) => tiling::membership_tiled(
+        Execution::TiledPipelined(limits) => {
+            tiling::membership_tiled(a.rows(), a.rows(), SetOpMode::Intersect, limits, |i, j| {
+                i > j
+            })?
+        }
+        Execution::Parallel { limits, threads } => crate::executor::membership_tiled_parallel(
             a.rows(),
             a.rows(),
             SetOpMode::Intersect,
             limits,
+            threads,
             |i, j| i > j,
         )?,
     };
@@ -218,7 +237,9 @@ pub fn join(
             let ops: Vec<CompareOp> = specs.iter().map(|s| s.op).collect();
             FixedOperandArray::preload(&b_keys).t_matrix(&a_keys, &ops)?
         }
-        Execution::Tiled(limits) | Execution::TiledPipelined(limits) => {
+        Execution::Tiled(limits)
+        | Execution::TiledPipelined(limits)
+        | Execution::Parallel { limits, .. } => {
             let a_keys: Vec<Row> = a
                 .rows()
                 .iter()
@@ -234,6 +255,15 @@ pub fn join(
                 matches!(exec, Execution::TiledPipelined(_)) && limits.max_cols >= ops.len();
             let out = if pipelined {
                 tiling::t_matrix_tiled_pipelined(&a_keys, &b_keys, &ops, limits, |_, _| true)?
+            } else if let Execution::Parallel { threads, .. } = exec {
+                crate::executor::t_matrix_tiled_parallel(
+                    &a_keys,
+                    &b_keys,
+                    &ops,
+                    limits,
+                    threads,
+                    |_, _| true,
+                )?
             } else {
                 tiling::t_matrix_tiled(&a_keys, &b_keys, &ops, limits, |_, _| true)?
             };
@@ -317,7 +347,11 @@ pub fn divide(
 ) -> Result<OpResult> {
     if ca.len() != cb.len() || ca.is_empty() {
         return Err(RelationError::NotUnionCompatible {
-            detail: format!("division column lists have lengths {} vs {}", ca.len(), cb.len()),
+            detail: format!(
+                "division column lists have lengths {} vs {}",
+                ca.len(),
+                cb.len()
+            ),
         }
         .into());
     }
@@ -348,8 +382,8 @@ pub fn divide(
             })
             .collect();
         let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb[0]]).collect();
-        let out = crate::division::DivisionArrayMulti::new(key_cols.len())
-            .divide(&rows, &divisor)?;
+        let out =
+            crate::division::DivisionArrayMulti::new(key_cols.len()).divide(&rows, &divisor)?;
         return Ok((MultiRelation::new(schema, out.quotient)?, out.stats));
     }
     // Composite encoding: every distinct key-projection / value-projection
@@ -372,8 +406,14 @@ pub fn divide(
             vec![encode.value(&v)]
         })
         .collect();
-    let enc_a = MultiRelation::new(Schema::uniform(2, systolic_relation::DomainId(usize::MAX)), enc_rows)?;
-    let enc_b = MultiRelation::new(Schema::uniform(1, systolic_relation::DomainId(usize::MAX)), enc_divisor)?;
+    let enc_a = MultiRelation::new(
+        Schema::uniform(2, systolic_relation::DomainId(usize::MAX)),
+        enc_rows,
+    )?;
+    let enc_b = MultiRelation::new(
+        Schema::uniform(1, systolic_relation::DomainId(usize::MAX)),
+        enc_divisor,
+    )?;
     let (quotient, stats) = divide_binary(&enc_a, 0, 1, &enc_b, 0, exec)?;
     let rows: Vec<Row> = quotient
         .rows()
@@ -420,11 +460,35 @@ mod tests {
     use systolic_baseline::{nested_loop, OpCounter};
     use systolic_relation::gen::{self, synth_schema};
 
-    const EXECS: [Execution; 4] = [
+    const EXECS: [Execution; 6] = [
         Execution::Marching,
         Execution::FixedOperand,
-        Execution::Tiled(ArrayLimits { max_a: 4, max_b: 3, max_cols: 2 }),
-        Execution::TiledPipelined(ArrayLimits { max_a: 4, max_b: 3, max_cols: 3 }),
+        Execution::Tiled(ArrayLimits {
+            max_a: 4,
+            max_b: 3,
+            max_cols: 2,
+        }),
+        Execution::TiledPipelined(ArrayLimits {
+            max_a: 4,
+            max_b: 3,
+            max_cols: 3,
+        }),
+        Execution::Parallel {
+            limits: ArrayLimits {
+                max_a: 4,
+                max_b: 3,
+                max_cols: 2,
+            },
+            threads: 1,
+        },
+        Execution::Parallel {
+            limits: ArrayLimits {
+                max_a: 4,
+                max_b: 3,
+                max_cols: 2,
+            },
+            threads: 4,
+        },
     ];
 
     fn multi(m: usize, rows: &[&[Elem]]) -> MultiRelation {
@@ -545,8 +609,7 @@ mod tests {
         assert!(r.is_empty());
         let (r, _) = join(&empty, &a, &[JoinSpec::eq(0, 0)], Execution::Marching).unwrap();
         assert!(r.is_empty());
-        let (r, _) =
-            divide_binary(&empty, 0, 0, &a, 0, Execution::Marching).unwrap();
+        let (r, _) = divide_binary(&empty, 0, 0, &a, 0, Execution::Marching).unwrap();
         assert!(r.is_empty());
     }
 
@@ -569,19 +632,55 @@ mod tests {
     fn select_filters_and_validates_columns() {
         use crate::select::Predicate;
         let a = multi(2, &[&[1, 10], &[2, 20], &[3, 30]]);
-        let (kept, stats) =
-            select(&a, &[Predicate::new(1, CompareOp::Gt, 10)], Execution::Marching).unwrap();
+        let (kept, stats) = select(
+            &a,
+            &[Predicate::new(1, CompareOp::Gt, 10)],
+            Execution::Marching,
+        )
+        .unwrap();
         assert_eq!(kept.rows(), &[vec![2, 20], vec![3, 30]]);
         assert!(stats.pulses > 0);
         // Out-of-range column and empty predicate list are errors.
-        assert!(select(&a, &[Predicate::new(9, CompareOp::Eq, 0)], Execution::Marching).is_err());
+        assert!(select(
+            &a,
+            &[Predicate::new(9, CompareOp::Eq, 0)],
+            Execution::Marching
+        )
+        .is_err());
         assert!(select(&a, &[], Execution::Marching).is_err());
         // Empty input short-circuits.
         let empty = MultiRelation::empty(synth_schema(2));
-        let (out, s) =
-            select(&empty, &[Predicate::new(0, CompareOp::Eq, 1)], Execution::Marching).unwrap();
+        let (out, s) = select(
+            &empty,
+            &[Predicate::new(0, CompareOp::Eq, 1)],
+            Execution::Marching,
+        )
+        .unwrap();
         assert!(out.is_empty());
         assert_eq!(s.pulses, 0);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_tiled() {
+        // Same result rows AND same simulated-hardware stats, any thread
+        // count: host parallelism must be invisible to everything the paper
+        // measures.
+        let mut rng = StdRng::seed_from_u64(559);
+        let (a, b) = gen::pair_with_overlap(&mut rng, 14, 11, 2, 0.4);
+        let (a, b) = (a.into_multi(), b.into_multi());
+        let limits = ArrayLimits::new(4, 3, 2);
+        let (seq, seq_stats) = intersect(&a, &b, Execution::Tiled(limits)).unwrap();
+        let (seq_j, seq_j_stats) =
+            join(&a, &b, &[JoinSpec::eq(0, 0)], Execution::Tiled(limits)).unwrap();
+        for threads in [1, 4] {
+            let exec = Execution::Parallel { limits, threads };
+            let (par, par_stats) = intersect(&a, &b, exec).unwrap();
+            assert_eq!(par.rows(), seq.rows(), "{threads} threads");
+            assert_eq!(par_stats, seq_stats, "{threads} threads");
+            let (par_j, par_j_stats) = join(&a, &b, &[JoinSpec::eq(0, 0)], exec).unwrap();
+            assert_eq!(par_j.rows(), seq_j.rows(), "{threads} threads join");
+            assert_eq!(par_j_stats, seq_j_stats, "{threads} threads join");
+        }
     }
 
     #[test]

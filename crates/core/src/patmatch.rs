@@ -65,7 +65,9 @@ impl PatternMatchChip {
     /// Panics on an empty pattern.
     pub fn preload(pattern: &[Elem]) -> Self {
         assert!(!pattern.is_empty(), "pattern must be non-empty");
-        PatternMatchChip { pattern: pattern.to_vec() }
+        PatternMatchChip {
+            pattern: pattern.to_vec(),
+        }
     }
 
     /// Convenience: pre-load from bytes, `b'?'` as the wildcard.
@@ -202,14 +204,19 @@ mod tests {
             let k = rng.gen_range(1..=4);
             let n = rng.gen_range(k..=24);
             let pattern: Vec<Elem> = (0..k)
-                .map(|_| if rng.gen_bool(0.2) { WILDCARD } else { rng.gen_range(0..3) })
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        WILDCARD
+                    } else {
+                        rng.gen_range(0..3)
+                    }
+                })
                 .collect();
             let text: Vec<Elem> = (0..n).map(|_| rng.gen_range(0..3)).collect();
             let chip = PatternMatchChip::preload(&pattern);
             let (hits, _) = chip.search(&text).unwrap();
             for i in 0..=(n - k) {
-                let expect = (0..k)
-                    .all(|c| pattern[c] == WILDCARD || text[i + c] == pattern[c]);
+                let expect = (0..k).all(|c| pattern[c] == WILDCARD || text[i + c] == pattern[c]);
                 assert_eq!(hits[i], expect, "alignment {i}");
             }
         }

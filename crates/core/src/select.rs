@@ -58,7 +58,10 @@ impl SelectionArray {
     /// # Panics
     /// Panics on an empty predicate list.
     pub fn new(predicates: Vec<Predicate>) -> Self {
-        assert!(!predicates.is_empty(), "selection needs at least one predicate");
+        assert!(
+            !predicates.is_empty(),
+            "selection needs at least one predicate"
+        );
         SelectionArray { predicates }
     }
 
@@ -74,8 +77,7 @@ impl SelectionArray {
             .iter()
             .map(|row| self.predicates.iter().map(|p| row[p.col]).collect())
             .collect();
-        let constants: Vec<Vec<Elem>> =
-            vec![self.predicates.iter().map(|p| p.value).collect()];
+        let constants: Vec<Vec<Elem>> = vec![self.predicates.iter().map(|p| p.value).collect()];
         let ops: Vec<CompareOp> = self.predicates.iter().map(|p| p.op).collect();
         let (t, stats) = FixedOperandArray::preload(&constants).t_matrix(&keys, &ops)?;
         let keep = (0..rows.len()).map(|i| t.get(i, 0)).collect();
@@ -118,11 +120,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(606);
         for _ in 0..10 {
             let n = rng.gen_range(1..20);
-            let data: Vec<Vec<Elem>> =
-                (0..n).map(|_| (0..3).map(|_| rng.gen_range(0..8)).collect()).collect();
+            let data: Vec<Vec<Elem>> = (0..n)
+                .map(|_| (0..3).map(|_| rng.gen_range(0..8)).collect())
+                .collect();
             let preds = vec![
-                Predicate::new(rng.gen_range(0..3), CompareOp::ALL[rng.gen_range(0..6)], rng.gen_range(0..8)),
-                Predicate::new(rng.gen_range(0..3), CompareOp::ALL[rng.gen_range(0..6)], rng.gen_range(0..8)),
+                Predicate::new(
+                    rng.gen_range(0..3),
+                    CompareOp::ALL[rng.gen_range(0..6)],
+                    rng.gen_range(0..8),
+                ),
+                Predicate::new(
+                    rng.gen_range(0..3),
+                    CompareOp::ALL[rng.gen_range(0..6)],
+                    rng.gen_range(0..8),
+                ),
             ];
             let arr = SelectionArray::new(preds.clone());
             let (keep, _) = arr.run(&data).unwrap();

@@ -83,8 +83,20 @@ mod tests {
 
     #[test]
     fn sequential_merge_adds_pulses_and_keeps_max_cells() {
-        let mut a = ExecStats { pulses: 10, cells: 8, busy_cell_pulses: 5, total_cell_pulses: 80, array_runs: 1 };
-        let b = ExecStats { pulses: 20, cells: 4, busy_cell_pulses: 9, total_cell_pulses: 80, array_runs: 1 };
+        let mut a = ExecStats {
+            pulses: 10,
+            cells: 8,
+            busy_cell_pulses: 5,
+            total_cell_pulses: 80,
+            array_runs: 1,
+        };
+        let b = ExecStats {
+            pulses: 20,
+            cells: 4,
+            busy_cell_pulses: 9,
+            total_cell_pulses: 80,
+            array_runs: 1,
+        };
         a.merge_sequential(&b);
         assert_eq!(a.pulses, 30);
         assert_eq!(a.cells, 8);

@@ -36,8 +36,15 @@ pub struct ArrayLimits {
 impl ArrayLimits {
     /// Build limits; every bound must be at least 1.
     pub fn new(max_a: usize, max_b: usize, max_cols: usize) -> Self {
-        assert!(max_a > 0 && max_b > 0 && max_cols > 0, "limits must be positive");
-        ArrayLimits { max_a, max_b, max_cols }
+        assert!(
+            max_a > 0 && max_b > 0 && max_cols > 0,
+            "limits must be positive"
+        );
+        ArrayLimits {
+            max_a,
+            max_b,
+            max_cols,
+        }
     }
 
     /// Physical processor count of the array these limits describe
@@ -127,18 +134,37 @@ pub fn t_matrix_tiled_pipelined(
     b: &[Vec<Elem>],
     ops: &[CompareOp],
     limits: ArrayLimits,
+    initial: impl FnMut(usize, usize) -> bool,
+) -> Result<TiledOutcome> {
+    pipelined_run(a, b, ops, limits, initial, 0)
+}
+
+/// [`t_matrix_tiled_pipelined`] with a pulse budget shrunk by `trim` — only
+/// used by tests to prove the budget is *exact* (trim 1 must fail, trim 0
+/// must succeed).
+fn pipelined_run(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    ops: &[CompareOp],
+    limits: ArrayLimits,
     mut initial: impl FnMut(usize, usize) -> bool,
+    trim: u64,
 ) -> Result<TiledOutcome> {
     use std::collections::HashMap;
     use systolic_fabric::{CompareSchedule, Grid, ScheduleFeeder, Word};
 
     let m = ops.len();
     assert!(m > 0, "tuple width must be positive");
-    assert!(limits.max_cols >= m, "pipelined tiling needs the full tuple width per pass");
+    assert!(
+        limits.max_cols >= m,
+        "pipelined tiling needs the full tuple width per pass"
+    );
     let tile_a = limits.max_a;
     let tile_b = limits.max_b;
     // The physical grid is sized for the largest tile.
-    let rows = (tile_a.min(a.len()) + tile_b.min(b.len())).saturating_sub(1).max(1);
+    let rows = (tile_a.min(a.len()) + tile_b.min(b.len()))
+        .saturating_sub(1)
+        .max(1);
     let mut grid: Grid<crate::comparison::CompareCell> =
         Grid::new(rows, m, |_, c| crate::comparison::CompareCell::new(ops[c]));
 
@@ -149,6 +175,13 @@ pub fn t_matrix_tiled_pipelined(
     let mut exit_map: HashMap<(usize, u64), (usize, usize)> = HashMap::new();
     let mut offset = 0u64;
     let mut tiles = 0u64;
+    // The last pulse at which any word is still inside the grid. Tracking it
+    // per injection yields an *exact* run budget instead of a padded guess:
+    // an A or B word injected at pulse p is processed by one row per pulse
+    // and leaves the plane after row `rows - 1`, i.e. at pulse
+    // p + rows - 1; a t word injected on the west edge at pulse p crosses
+    // one comparison column per pulse and exits east at pulse p + m - 1.
+    let mut last_activity = 0u64;
     for a0 in (0..a.len()).step_by(tile_a) {
         let a1 = (a0 + tile_a).min(a.len());
         for b0 in (0..b.len()).step_by(tile_b) {
@@ -167,6 +200,7 @@ pub fn t_matrix_tiled_pipelined(
                     let p = sched.a_injection(i, c) + offset + delta;
                     north.push(p, c, Word::Elem(e));
                     last_inject = last_inject.max(p);
+                    last_activity = last_activity.max(p + rows as u64 - 1);
                 }
             }
             for (j, row) in b[b0..b1].iter().enumerate() {
@@ -174,14 +208,22 @@ pub fn t_matrix_tiled_pipelined(
                     let p = sched.b_injection(j, c) + offset;
                     south.push(p, c, Word::Elem(e));
                     last_inject = last_inject.max(p);
+                    last_activity = last_activity.max(p + rows as u64 - 1);
                 }
             }
             for i in 0..(a1 - a0) {
                 for j in 0..(b1 - b0) {
                     let (lane, pulse) = sched.t_injection(i, j);
-                    west.push(pulse + offset + delta, lane, Word::Bool(initial(a0 + i, b0 + j)));
-                    let exit =
-                        (sched.meeting_row(i, j), sched.t_exit_pulse(i, j) + offset + delta);
+                    west.push(
+                        pulse + offset + delta,
+                        lane,
+                        Word::Bool(initial(a0 + i, b0 + j)),
+                    );
+                    last_activity = last_activity.max(pulse + offset + delta + m as u64 - 1);
+                    let exit = (
+                        sched.meeting_row(i, j),
+                        sched.t_exit_pulse(i, j) + offset + delta,
+                    );
                     let prev = exit_map.insert(exit, (a0 + i, b0 + j));
                     debug_assert!(prev.is_none(), "tile exit collision at {exit:?}");
                 }
@@ -195,7 +237,14 @@ pub fn t_matrix_tiled_pipelined(
     grid.set_north_feeder(north);
     grid.set_south_feeder(south);
     grid.set_west_feeder(west);
-    grid.run_until_quiescent(offset + (rows + m) as u64 + 8)?;
+    // Exact budget: the last in-flight word is consumed during the step at
+    // pulse `last_activity`, so the grid is quiescent exactly at pulse
+    // `last_activity + 1` and not one pulse sooner (a word is still in a
+    // wire plane — or still owed by a feeder — at every pulse up to and
+    // including `last_activity`). The tightness test below proves both
+    // directions: `trim == 1` must fail with `NotQuiescent`.
+    let budget = last_activity + 1;
+    grid.run_until_quiescent(budget.saturating_sub(trim))?;
 
     let mut t = TMatrix::new(a.len(), b.len());
     let mut seen = 0usize;
@@ -266,7 +315,11 @@ mod tests {
     fn relation(n: usize, m: usize, seed: i64) -> Vec<Vec<Elem>> {
         // Deterministic pseudo-data with collisions across seeds.
         (0..n)
-            .map(|i| (0..m).map(|c| ((i as i64 * 7 + seed) % 11) + c as i64).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|c| ((i as i64 * 7 + seed) % 11) + c as i64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -275,7 +328,9 @@ mod tests {
         let a = relation(13, 3, 0);
         let b = relation(9, 3, 3);
         let ops = vec![CompareOp::Eq; 3];
-        let whole = ComparisonArray2d::equality(3).t_matrix(&a, &b, |_, _| true).unwrap();
+        let whole = ComparisonArray2d::equality(3)
+            .t_matrix(&a, &b, |_, _| true)
+            .unwrap();
         for limits in [
             ArrayLimits::new(4, 4, 3),
             ArrayLimits::new(5, 3, 2),
@@ -291,7 +346,9 @@ mod tests {
     fn tiled_membership_equals_whole_array_membership() {
         let a = relation(12, 2, 0);
         let b = relation(10, 2, 5);
-        let whole = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
+        let whole = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
         let (keep, _) = membership_tiled(
             &a,
             &b,
@@ -301,7 +358,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(keep, whole.keep);
-        let whole_d = IntersectionArray::new(2).run(&a, &b, SetOpMode::Difference).unwrap();
+        let whole_d = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Difference)
+            .unwrap();
         let (keep_d, _) = membership_tiled(
             &a,
             &b,
@@ -360,8 +419,7 @@ mod tests {
         let ops = vec![CompareOp::Eq; 2];
         let whole =
             t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(100, 100, 2), |_, _| true).unwrap();
-        let tiled =
-            t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(4, 4, 2), |_, _| true).unwrap();
+        let tiled = t_matrix_tiled(&a, &b, &ops, ArrayLimits::new(4, 4, 2), |_, _| true).unwrap();
         assert!(tiled.stats.pulses > whole.stats.pulses);
         assert!(tiled.stats.cells < whole.stats.cells);
         assert_eq!(tiled.t, whole.t);
@@ -372,7 +430,9 @@ mod tests {
         let a = relation(13, 2, 0);
         let b = relation(17, 2, 3);
         let ops = vec![CompareOp::Eq; 2];
-        let whole = ComparisonArray2d::equality(2).t_matrix(&a, &b, |_, _| true).unwrap();
+        let whole = ComparisonArray2d::equality(2)
+            .t_matrix(&a, &b, |_, _| true)
+            .unwrap();
         for limits in [
             ArrayLimits::new(4, 4, 2),
             ArrayLimits::new(5, 3, 2),
@@ -406,16 +466,51 @@ mod tests {
     fn pipelined_tiling_preserves_masks() {
         let rows: Vec<Vec<Elem>> = vec![vec![4], vec![4], vec![5], vec![4], vec![5]];
         let ops = vec![CompareOp::Eq];
-        let out = t_matrix_tiled_pipelined(
-            &rows,
-            &rows,
-            &ops,
-            ArrayLimits::new(2, 2, 1),
-            |i, j| i > j,
-        )
-        .unwrap();
+        let out =
+            t_matrix_tiled_pipelined(&rows, &rows, &ops, ArrayLimits::new(2, 2, 1), |i, j| i > j)
+                .unwrap();
         let expect = TMatrix::from_fn(5, 5, |i, j| i > j && rows[i] == rows[j]);
         assert_eq!(out.t, expect);
+    }
+
+    #[test]
+    fn pipelined_pulse_budget_is_exact() {
+        // The derived budget is tight in both directions: the full budget
+        // drains the grid, one pulse less leaves a word in flight.
+        let ops2 = vec![CompareOp::Eq; 2];
+        let ops1 = vec![CompareOp::Eq];
+        let narrow: Vec<Vec<Elem>> = relation(5, 1, 0);
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(Vec<Vec<Elem>>, Vec<Vec<Elem>>, Vec<CompareOp>, ArrayLimits)> = vec![
+            (
+                relation(13, 2, 0),
+                relation(17, 2, 3),
+                ops2.clone(),
+                ArrayLimits::new(4, 4, 2),
+            ),
+            (
+                relation(13, 2, 0),
+                relation(17, 2, 3),
+                ops2.clone(),
+                ArrayLimits::new(100, 100, 2),
+            ),
+            (
+                relation(1, 2, 0),
+                relation(1, 2, 1),
+                ops2,
+                ArrayLimits::new(1, 1, 2),
+            ),
+            (narrow.clone(), narrow, ops1, ArrayLimits::new(2, 2, 1)),
+        ];
+        for (a, b, ops, limits) in cases {
+            let exact = pipelined_run(&a, &b, &ops, limits, |_, _| true, 0);
+            assert!(exact.is_ok(), "budget must suffice for limits {limits:?}");
+            let short = pipelined_run(&a, &b, &ops, limits, |_, _| true, 1);
+            assert!(
+                matches!(short, Err(crate::error::CoreError::Fabric(_))),
+                "budget - 1 must time out for limits {limits:?}, got {short:?}"
+            );
+        }
     }
 
     #[test]

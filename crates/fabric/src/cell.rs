@@ -47,7 +47,12 @@ pub struct CellIo {
 impl CellIo {
     /// A latch set with the given inputs and all outputs null.
     pub fn with_inputs(a_in: Word, b_in: Word, t_in: Word) -> Self {
-        CellIo { a_in, b_in, t_in, ..CellIo::default() }
+        CellIo {
+            a_in,
+            b_in,
+            t_in,
+            ..CellIo::default()
+        }
     }
 
     /// `true` if any input wire carries data this pulse; the utilisation

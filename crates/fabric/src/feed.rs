@@ -16,7 +16,12 @@ use crate::word::Word;
 ///
 /// `lane` is the column index for the north/south edges and the row index for
 /// the west edge (nothing is ever fed from the east: `t` values flow east).
-pub trait Feeder {
+///
+/// `Send` is a supertrait so a fully loaded [`crate::grid::Grid`] can be
+/// handed to a worker thread: the host-parallel executor in `systolic-core`
+/// runs independent tiles on independent grids concurrently. Feeders are
+/// precomputed schedules, so this costs implementations nothing.
+pub trait Feeder: Send {
     /// The word to inject into `lane` at `pulse` (usually `Word::Null`).
     fn feed(&mut self, pulse: u64, lane: usize) -> Word;
 
@@ -96,7 +101,10 @@ impl ScheduleFeeder {
 
 impl Feeder for ScheduleFeeder {
     fn feed(&mut self, pulse: u64, lane: usize) -> Word {
-        self.entries.get(&(pulse, lane)).copied().unwrap_or(Word::Null)
+        self.entries
+            .get(&(pulse, lane))
+            .copied()
+            .unwrap_or(Word::Null)
     }
     fn horizon(&self) -> u64 {
         self.horizon
@@ -168,10 +176,7 @@ mod tests {
 
     #[test]
     fn schedule_feeder_returns_scheduled_words_and_null_otherwise() {
-        let mut f = ScheduleFeeder::from_entries([
-            (0, 0, Word::Elem(5)),
-            (2, 1, Word::Bool(true)),
-        ]);
+        let mut f = ScheduleFeeder::from_entries([(0, 0, Word::Elem(5)), (2, 1, Word::Bool(true))]);
         assert_eq!(f.feed(0, 0), Word::Elem(5));
         assert_eq!(f.feed(0, 1), Word::Null);
         assert_eq!(f.feed(1, 0), Word::Null);

@@ -352,11 +352,14 @@ mod tests {
         g.set_north_feeder(ScheduleFeeder::from_entries([(0, 0, Word::Elem(7))]));
         g.run_until_quiescent(100).unwrap();
         // Injected into row 0 at pulse 0; computed by row 2 at pulse 2.
-        assert_eq!(g.south_emissions().emissions(), &[crate::feed::Emission {
-            pulse: 2,
-            lane: 0,
-            word: Word::Elem(7),
-        }]);
+        assert_eq!(
+            g.south_emissions().emissions(),
+            &[crate::feed::Emission {
+                pulse: 2,
+                lane: 0,
+                word: Word::Elem(7),
+            }]
+        );
         assert_eq!(g.pulse(), 3);
     }
 

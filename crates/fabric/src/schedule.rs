@@ -49,12 +49,21 @@ impl CompareSchedule {
     /// Panics if any dimension is zero; empty relations are handled by the
     /// operator front-ends before an array is ever built.
     pub fn new(n_a: usize, n_b: usize, m: usize) -> Self {
-        assert!(n_a > 0 && n_b > 0 && m > 0, "schedule dimensions must be positive");
+        assert!(
+            n_a > 0 && n_b > 0 && m > 0,
+            "schedule dimensions must be positive"
+        );
         // Choose phases with phase_b - phase_a = n_a - n_b so that pair
         // (i, j) meets in row n_a - 1 + j - i; shift both to be >= 0.
         let phase_a = n_b.saturating_sub(n_a) as u64;
         let phase_b = n_a.saturating_sub(n_b) as u64;
-        CompareSchedule { n_a, n_b, m, phase_a, phase_b }
+        CompareSchedule {
+            n_a,
+            n_b,
+            m,
+            phase_a,
+            phase_b,
+        }
     }
 
     /// Rows required: `n_A + n_B - 1` (§3.2 — every pair must cross).
@@ -114,10 +123,7 @@ impl CompareSchedule {
         // row  = n_a - 1 + j - i        => j - i = row - (n_a - 1)
         // pulse = i + j + (m-1) + phase_a + n_a - 1
         let diff = row as i64 - (self.n_a as i64 - 1);
-        let sum = pulse as i64
-            - (self.m as i64 - 1)
-            - self.phase_a as i64
-            - (self.n_a as i64 - 1);
+        let sum = pulse as i64 - (self.m as i64 - 1) - self.phase_a as i64 - (self.n_a as i64 - 1);
         let two_i = sum - diff;
         let two_j = sum + diff;
         if two_i < 0 || two_j < 0 || two_i % 2 != 0 || two_j % 2 != 0 {
@@ -239,7 +245,10 @@ pub struct FixedSchedule {
 impl FixedSchedule {
     /// Build the schedule. Panics if any dimension is zero.
     pub fn new(n_a: usize, n_b: usize, m: usize) -> Self {
-        assert!(n_a > 0 && n_b > 0 && m > 0, "schedule dimensions must be positive");
+        assert!(
+            n_a > 0 && n_b > 0 && m > 0,
+            "schedule dimensions must be positive"
+        );
         FixedSchedule { n_a, n_b, m }
     }
 
@@ -358,7 +367,10 @@ mod tests {
                     let row = s.meeting_row(i, j);
                     assert!(row < s.rows(), "row {row} out of range");
                     let pulse = s.meeting_pulse(i, j, 0);
-                    assert!(seen.insert((row, pulse)), "pair collision at ({row},{pulse})");
+                    assert!(
+                        seen.insert((row, pulse)),
+                        "pair collision at ({row},{pulse})"
+                    );
                 }
             }
         }
@@ -442,7 +454,11 @@ mod tests {
         // The headline systolic property: total pulses grow additively, not
         // multiplicatively, in n_A, n_B and m.
         let s = CompareSchedule::new(100, 100, 10);
-        assert!(s.pulse_bound() < 450, "bound {} not linear", s.pulse_bound());
+        assert!(
+            s.pulse_bound() < 450,
+            "bound {} not linear",
+            s.pulse_bound()
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct TraceFrame {
 impl TraceFrame {
     /// `true` if no wire carries data at this pulse.
     pub fn is_idle(&self) -> bool {
-        self.a.iter().chain(&self.b).chain(&self.t).all(|w| !w.is_present())
+        self.a
+            .iter()
+            .chain(&self.b)
+            .chain(&self.t)
+            .all(|w| !w.is_present())
     }
 }
 

@@ -22,12 +22,8 @@ fn injections(
     lanes: usize,
     max_count: usize,
 ) -> impl Strategy<Value = Vec<(u64, usize, i64)>> {
-    prop::collection::btree_map(
-        (0..max_pulse, 0..lanes),
-        -100i64..100,
-        0..=max_count,
-    )
-    .prop_map(|m| m.into_iter().map(|((p, l), v)| (p, l, v)).collect())
+    prop::collection::btree_map((0..max_pulse, 0..lanes), -100i64..100, 0..=max_count)
+        .prop_map(|m| m.into_iter().map(|((p, l), v)| (p, l, v)).collect())
 }
 
 proptest! {

@@ -51,7 +51,13 @@ impl Device {
             DeviceKind::Join => format!("join{id}"),
             DeviceKind::Divide => format!("divide{id}"),
         };
-        Device { id, name, kind, limits, clock_ns }
+        Device {
+            id,
+            name,
+            kind,
+            limits,
+            clock_ns,
+        }
     }
 
     /// Whether this device's array family can run `op`.
@@ -129,7 +135,11 @@ mod tests {
         assert!(!setop.can_execute(&PlanOp::Join(vec![JoinSpec::eq(0, 0)])));
         assert!(join.can_execute(&PlanOp::Join(vec![JoinSpec::eq(0, 0)])));
         assert!(!join.can_execute(&PlanOp::Dedup));
-        assert!(div.can_execute(&PlanOp::DivideBinary { key: 0, ca: 1, cb: 0 }));
+        assert!(div.can_execute(&PlanOp::DivideBinary {
+            key: 0,
+            ca: 1,
+            cb: 0
+        }));
         assert!(!div.can_execute(&PlanOp::Union));
     }
 
@@ -159,7 +169,13 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(Device::new(3, DeviceKind::Join, limits(), 1.0).name, "join3");
-        assert_eq!(Device::new(0, DeviceKind::Divide, limits(), 1.0).name, "divide0");
+        assert_eq!(
+            Device::new(3, DeviceKind::Join, limits(), 1.0).name,
+            "join3"
+        );
+        assert_eq!(
+            Device::new(0, DeviceKind::Divide, limits(), 1.0).name,
+            "divide0"
+        );
     }
 }

@@ -41,7 +41,11 @@ impl fmt::Display for MachineError {
             MachineError::NoDevice { kind } => {
                 write!(f, "no systolic device can execute {kind}")
             }
-            MachineError::MemoryOverflow { module, requested, available } => write!(
+            MachineError::MemoryOverflow {
+                module,
+                requested,
+                available,
+            } => write!(
                 f,
                 "memory module {module} overflow: need {requested} bytes, {available} free"
             ),
@@ -86,9 +90,15 @@ mod tests {
         assert!(e.to_string().contains("emp"));
         let e: MachineError = RelationError::DuplicateTuple.into();
         assert!(matches!(e, MachineError::Core(_)));
-        let e = MachineError::MemoryOverflow { module: 2, requested: 10, available: 5 };
+        let e = MachineError::MemoryOverflow {
+            module: 2,
+            requested: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("module 2"));
-        let e = MachineError::NoDevice { kind: "join".into() };
+        let e = MachineError::NoDevice {
+            kind: "join".into(),
+        };
         assert!(e.to_string().contains("join"));
     }
 }

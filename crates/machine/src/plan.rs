@@ -62,12 +62,18 @@ pub enum Expr {
 impl Expr {
     /// Scan a base relation.
     pub fn scan(name: impl Into<String>) -> Expr {
-        Expr::Scan { name: name.into(), filter: None }
+        Expr::Scan {
+            name: name.into(),
+            filter: None,
+        }
     }
 
     /// Scan with a logic-per-track filter.
     pub fn scan_filtered(name: impl Into<String>, filter: TrackFilter) -> Expr {
-        Expr::Scan { name: name.into(), filter: Some(filter) }
+        Expr::Scan {
+            name: name.into(),
+            filter: Some(filter),
+        }
     }
 
     /// `self ∩ other`.
@@ -107,7 +113,13 @@ impl Expr {
 
     /// Divide by `divisor`.
     pub fn divide(self, divisor: Expr, key: usize, ca: usize, cb: usize) -> Expr {
-        Expr::Divide { dividend: Box::new(self), divisor: Box::new(divisor), key, ca, cb }
+        Expr::Divide {
+            dividend: Box::new(self),
+            divisor: Box::new(divisor),
+            key,
+            ca,
+            cb,
+        }
     }
 
     /// Write the result back to disk under `name`.
@@ -130,7 +142,11 @@ pub fn push_selections(expr: Expr) -> Expr {
                 let first = preds.remove(0);
                 let filtered = Expr::Scan {
                     name,
-                    filter: Some(TrackFilter { col: first.col, op: first.op, value: first.value }),
+                    filter: Some(TrackFilter {
+                        col: first.col,
+                        op: first.op,
+                        value: first.value,
+                    }),
                 };
                 if preds.is_empty() {
                     filtered
@@ -153,10 +169,18 @@ pub fn push_selections(expr: Expr) -> Expr {
         }
         Expr::Dedup(e) => Expr::Dedup(Box::new(push_selections(*e))),
         Expr::Project(e, cols) => Expr::Project(Box::new(push_selections(*e)), cols),
-        Expr::Join(l, r, specs) => {
-            Expr::Join(Box::new(push_selections(*l)), Box::new(push_selections(*r)), specs)
-        }
-        Expr::Divide { dividend, divisor, key, ca, cb } => Expr::Divide {
+        Expr::Join(l, r, specs) => Expr::Join(
+            Box::new(push_selections(*l)),
+            Box::new(push_selections(*r)),
+            specs,
+        ),
+        Expr::Divide {
+            dividend,
+            divisor,
+            key,
+            ca,
+            cb,
+        } => Expr::Divide {
             dividend: Box::new(push_selections(*dividend)),
             divisor: Box::new(push_selections(*divisor)),
             key,
@@ -270,12 +294,19 @@ impl Plan {
 
     /// The name of the final result (output of the last step).
     pub fn result_name(&self) -> &str {
-        &self.steps.last().expect("plan has at least one step").output
+        &self
+            .steps
+            .last()
+            .expect("plan has at least one step")
+            .output
     }
 
     /// Number of operator (non-load) steps.
     pub fn op_steps(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s.action, Action::Op { .. })).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.action, Action::Op { .. }))
+            .count()
     }
 
     fn compile_expr(
@@ -285,13 +316,14 @@ impl Plan {
     ) -> usize {
         match expr {
             Expr::Scan { name, filter } => {
-                if let Some(&(_, _, id)) =
-                    scans.iter().find(|(n, f, _)| n == name && f == filter)
-                {
+                if let Some(&(_, _, id)) = scans.iter().find(|(n, f, _)| n == name && f == filter) {
                     return id;
                 }
                 let id = self.push(
-                    Action::Load { relation: name.clone(), filter: *filter },
+                    Action::Load {
+                        relation: name.clone(),
+                        filter: *filter,
+                    },
                     vec![],
                 );
                 scans.push((name.clone(), *filter, id));
@@ -301,8 +333,18 @@ impl Plan {
             Expr::Difference(l, r) => self.binary(PlanOp::Difference, l, r, scans),
             Expr::Union(l, r) => self.binary(PlanOp::Union, l, r, scans),
             Expr::Join(l, r, specs) => self.binary(PlanOp::Join(specs.clone()), l, r, scans),
-            Expr::Divide { dividend, divisor, key, ca, cb } => self.binary(
-                PlanOp::DivideBinary { key: *key, ca: *ca, cb: *cb },
+            Expr::Divide {
+                dividend,
+                divisor,
+                key,
+                ca,
+                cb,
+            } => self.binary(
+                PlanOp::DivideBinary {
+                    key: *key,
+                    ca: *ca,
+                    cb: *cb,
+                },
                 dividend,
                 divisor,
                 scans,
@@ -310,13 +352,22 @@ impl Plan {
             Expr::Dedup(input) => {
                 let dep = self.compile_expr(input, scans);
                 let name = self.steps[dep].output.clone();
-                self.push(Action::Op { op: PlanOp::Dedup, inputs: vec![name] }, vec![dep])
+                self.push(
+                    Action::Op {
+                        op: PlanOp::Dedup,
+                        inputs: vec![name],
+                    },
+                    vec![dep],
+                )
             }
             Expr::Project(input, cols) => {
                 let dep = self.compile_expr(input, scans);
                 let name = self.steps[dep].output.clone();
                 self.push(
-                    Action::Op { op: PlanOp::Project(cols.clone()), inputs: vec![name] },
+                    Action::Op {
+                        op: PlanOp::Project(cols.clone()),
+                        inputs: vec![name],
+                    },
                     vec![dep],
                 )
             }
@@ -324,7 +375,10 @@ impl Plan {
                 let dep = self.compile_expr(input, scans);
                 let name = self.steps[dep].output.clone();
                 self.push(
-                    Action::Op { op: PlanOp::Select(predicates.clone()), inputs: vec![name] },
+                    Action::Op {
+                        op: PlanOp::Select(predicates.clone()),
+                        inputs: vec![name],
+                    },
                     vec![dep],
                 )
             }
@@ -332,7 +386,10 @@ impl Plan {
                 let dep = self.compile_expr(input, scans);
                 let name = self.steps[dep].output.clone();
                 self.push(
-                    Action::Store { input: name, as_name: as_name.clone() },
+                    Action::Store {
+                        input: name,
+                        as_name: as_name.clone(),
+                    },
                     vec![dep],
                 )
             }
@@ -355,13 +412,24 @@ impl Plan {
     fn push(&mut self, action: Action, deps: Vec<usize>) -> usize {
         let id = self.steps.len();
         let output = match &action {
-            Action::Load { relation, filter: None } => format!("{relation}@mem"),
-            Action::Load { relation, filter: Some(_) } => format!("{relation}@mem/filtered"),
+            Action::Load {
+                relation,
+                filter: None,
+            } => format!("{relation}@mem"),
+            Action::Load {
+                relation,
+                filter: Some(_),
+            } => format!("{relation}@mem/filtered"),
             Action::Op { .. } => format!("tmp{id}"),
             // A store passes its staged input through as the plan result.
             Action::Store { input, .. } => input.clone(),
         };
-        self.steps.push(PlanStep { id, action, deps, output });
+        self.steps.push(PlanStep {
+            id,
+            action,
+            deps,
+            output,
+        });
         id
     }
 }
@@ -374,13 +442,25 @@ impl std::fmt::Display for Plan {
             } else {
                 format!(
                     "  <- {}",
-                    step.deps.iter().map(|d| format!("#{d}")).collect::<Vec<_>>().join(", ")
+                    step.deps
+                        .iter()
+                        .map(|d| format!("#{d}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             };
             match &step.action {
                 Action::Load { relation, filter } => {
-                    let filt = if filter.is_some() { " [track-filtered]" } else { "" };
-                    writeln!(f, "#{:<3} load {relation}{filt} -> {}{deps}", step.id, step.output)?;
+                    let filt = if filter.is_some() {
+                        " [track-filtered]"
+                    } else {
+                        ""
+                    };
+                    writeln!(
+                        f,
+                        "#{:<3} load {relation}{filt} -> {}{deps}",
+                        step.id, step.output
+                    )?;
                 }
                 Action::Op { op, inputs } => {
                     writeln!(
@@ -422,7 +502,11 @@ mod tests {
             .intersect(Expr::scan("b"))
             .union(Expr::scan("a").difference(Expr::scan("b")));
         let p = Plan::compile(&e);
-        let loads = p.steps.iter().filter(|s| matches!(s.action, Action::Load { .. })).count();
+        let loads = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s.action, Action::Load { .. }))
+            .count();
         assert_eq!(loads, 2);
         assert_eq!(p.op_steps(), 3);
     }
@@ -430,10 +514,18 @@ mod tests {
     #[test]
     fn filtered_and_unfiltered_scans_are_distinct_loads() {
         use systolic_fabric::CompareOp;
-        let f = TrackFilter { col: 0, op: CompareOp::Gt, value: 5 };
+        let f = TrackFilter {
+            col: 0,
+            op: CompareOp::Gt,
+            value: 5,
+        };
         let e = Expr::scan("a").intersect(Expr::scan_filtered("a", f));
         let p = Plan::compile(&e);
-        let loads = p.steps.iter().filter(|s| matches!(s.action, Action::Load { .. })).count();
+        let loads = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s.action, Action::Load { .. }))
+            .count();
         assert_eq!(loads, 2);
     }
 
@@ -457,7 +549,10 @@ mod tests {
         let p = Plan::compile(&e);
         assert_eq!(p.steps.len(), 3);
         match &p.steps[2].action {
-            Action::Op { op: PlanOp::Dedup, inputs } => {
+            Action::Op {
+                op: PlanOp::Dedup,
+                inputs,
+            } => {
                 assert_eq!(inputs, &[p.steps[1].output.clone()]);
             }
             other => panic!("unexpected action {other:?}"),
@@ -476,7 +571,11 @@ mod tests {
             }
             other => panic!("unexpected action {other:?}"),
         }
-        assert_eq!(p.result_name(), p.steps[1].output, "store passes its input through");
+        assert_eq!(
+            p.result_name(),
+            p.steps[1].output,
+            "store passes its input through"
+        );
     }
 
     #[test]
@@ -496,23 +595,41 @@ mod tests {
         let pred = |c: usize, v: i64| Predicate::new(c, CompareOp::Ge, v);
         // Single predicate: becomes a filtered scan, no device step at all.
         let e = push_selections(Expr::scan("t").select(vec![pred(0, 5)]));
-        assert!(matches!(e, Expr::Scan { filter: Some(_), .. }));
+        assert!(matches!(
+            e,
+            Expr::Scan {
+                filter: Some(_),
+                ..
+            }
+        ));
         // Two predicates: one goes to the disk, one stays on a device.
         let e = push_selections(Expr::scan("t").select(vec![pred(0, 5), pred(1, 9)]));
         match e {
             Expr::Select(inner, preds) => {
-                assert!(matches!(*inner, Expr::Scan { filter: Some(_), .. }));
+                assert!(matches!(
+                    *inner,
+                    Expr::Scan {
+                        filter: Some(_),
+                        ..
+                    }
+                ));
                 assert_eq!(preds.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
         }
         // Selections over non-scans are untouched but recursed into.
         let e = push_selections(
-            Expr::scan("a").intersect(Expr::scan("b")).select(vec![pred(0, 1)]),
+            Expr::scan("a")
+                .intersect(Expr::scan("b"))
+                .select(vec![pred(0, 1)]),
         );
         assert!(matches!(e, Expr::Select(..)));
         // Already-filtered scans are not double-filtered.
-        let tf = TrackFilter { col: 0, op: CompareOp::Lt, value: 3 };
+        let tf = TrackFilter {
+            col: 0,
+            op: CompareOp::Lt,
+            value: 3,
+        };
         let e = push_selections(Expr::scan_filtered("t", tf).select(vec![pred(1, 2)]));
         assert!(matches!(e, Expr::Select(..)));
     }
@@ -522,6 +639,14 @@ mod tests {
         assert_eq!(PlanOp::Intersect.label(), "intersect");
         assert_eq!(PlanOp::Join(vec![JoinSpec::eq(0, 0)]).label(), "join[1]");
         assert!(PlanOp::Project(vec![1, 2]).label().contains("[1, 2]"));
-        assert_eq!(PlanOp::DivideBinary { key: 0, ca: 1, cb: 0 }.label(), "divide");
+        assert_eq!(
+            PlanOp::DivideBinary {
+                key: 0,
+                ca: 1,
+                cb: 0
+            }
+            .label(),
+            "divide"
+        );
     }
 }

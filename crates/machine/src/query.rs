@@ -51,7 +51,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.pos, message: message.into() })
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -79,9 +82,7 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.src[self.pos..]
-            .starts_with(|c: char| c.is_alphanumeric() || c == '_')
-        {
+        while self.src[self.pos..].starts_with(|c: char| c.is_alphanumeric() || c == '_') {
             self.pos += 1;
         }
         if self.pos == start {
@@ -99,9 +100,10 @@ impl<'a> Parser<'a> {
         while self.src[self.pos..].starts_with(|c: char| c.is_ascii_digit()) {
             self.pos += 1;
         }
-        self.src[start..self.pos]
-            .parse()
-            .map_err(|_| ParseError { at: start, message: "expected a number".into() })
+        self.src[start..self.pos].parse().map_err(|_| ParseError {
+            at: start,
+            message: "expected a number".into(),
+        })
     }
 
     fn compare_op(&mut self) -> Result<CompareOp, ParseError> {
@@ -158,8 +160,10 @@ impl<'a> Parser<'a> {
                 let e = self.expr()?;
                 self.eat(',')?;
                 self.eat('[')?;
-                let mut cols = vec![usize::try_from(self.number()?)
-                    .map_err(|_| ParseError { at: self.pos, message: "negative column".into() })?];
+                let mut cols = vec![usize::try_from(self.number()?).map_err(|_| ParseError {
+                    at: self.pos,
+                    message: "negative column".into(),
+                })?];
                 while self.peek() == Some(',') {
                     self.eat(',')?;
                     cols.push(usize::try_from(self.number()?).map_err(|_| ParseError {
@@ -249,7 +253,10 @@ impl std::fmt::Display for Expr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Expr::Scan { name, filter: None } => write!(f, "scan({name})"),
-            Expr::Scan { name, filter: Some(_) } => write!(f, "scan!({name})"),
+            Expr::Scan {
+                name,
+                filter: Some(_),
+            } => write!(f, "scan!({name})"),
             Expr::Intersect(l, r) => write!(f, "intersect({l}, {r})"),
             Expr::Difference(l, r) => write!(f, "difference({l}, {r})"),
             Expr::Union(l, r) => write!(f, "union({l}, {r})"),
@@ -272,7 +279,13 @@ impl std::fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Divide { dividend, divisor, key, ca, cb } => {
+            Expr::Divide {
+                dividend,
+                divisor,
+                key,
+                ca,
+                cb,
+            } => {
                 write!(f, "divide({dividend}, {divisor}, {key}, {ca}, {cb})")
             }
             Expr::Store(e, name) => write!(f, "store!({e}, {name})"),
@@ -304,7 +317,9 @@ mod tests {
         );
         assert_eq!(
             parse(" union ( difference(scan(a),scan(b)) , scan(c) ) ").unwrap(),
-            Expr::scan("a").difference(Expr::scan("b")).union(Expr::scan("c"))
+            Expr::scan("a")
+                .difference(Expr::scan("b"))
+                .union(Expr::scan("c"))
         );
     }
 
@@ -355,7 +370,10 @@ mod tests {
             e,
             Expr::scan("emp")
                 .select(vec![Predicate::new(2, CompareOp::Gt, 50000)])
-                .join(Expr::scan("dept").project(vec![0, 1]), vec![JoinSpec::eq(1, 0)])
+                .join(
+                    Expr::scan("dept").project(vec![0, 1]),
+                    vec![JoinSpec::eq(1, 0)]
+                )
         );
     }
 
@@ -405,7 +423,11 @@ mod tests {
     fn unparseable_constructs_render_as_pseudo_forms() {
         use crate::storage::TrackFilter;
         use systolic_fabric::CompareOp;
-        let f = TrackFilter { col: 0, op: CompareOp::Gt, value: 5 };
+        let f = TrackFilter {
+            col: 0,
+            op: CompareOp::Gt,
+            value: 5,
+        };
         let e = Expr::scan_filtered("t", f).store("out");
         let rendered = e.to_string();
         assert_eq!(rendered, "store!(scan!(t), out)");

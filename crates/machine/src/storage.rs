@@ -91,7 +91,9 @@ impl Disk {
     pub fn get(&self, name: &str) -> Result<&MultiRelation> {
         self.relations
             .get(name)
-            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// Time to deliver `bytes` through the read channel, in nanoseconds.
@@ -136,7 +138,13 @@ pub struct MemoryModule {
 impl MemoryModule {
     /// An empty module.
     pub fn new(id: usize, capacity: u64, bytes_per_word: u64) -> Self {
-        MemoryModule { id, capacity, used: 0, contents: HashMap::new(), bytes_per_word }
+        MemoryModule {
+            id,
+            capacity,
+            used: 0,
+            contents: HashMap::new(),
+            bytes_per_word,
+        }
     }
 
     /// Bytes currently used.
@@ -221,7 +229,11 @@ mod tests {
     fn logic_per_track_filters_during_the_read() {
         let mut d = Disk::paper_disk();
         d.store("emp", rel(&[&[1, 10], &[2, 20], &[3, 30]]));
-        let f = TrackFilter { col: 1, op: CompareOp::Ge, value: 20 };
+        let f = TrackFilter {
+            col: 1,
+            op: CompareOp::Ge,
+            value: 20,
+        };
         let (got, time_filtered) = d.read("emp", Some(f)).unwrap();
         assert_eq!(got.len(), 2);
         // The whole relation still passes under the head.
@@ -237,7 +249,10 @@ mod tests {
         assert_eq!(m.free(), 84);
         let big_rows: Vec<Vec<Elem>> = (0..20).map(|i| vec![i, i]).collect();
         let big = MultiRelation::new(synth_schema(2), big_rows).unwrap(); // 160 bytes
-        assert!(matches!(m.store("b", big), Err(MachineError::MemoryOverflow { .. })));
+        assert!(matches!(
+            m.store("b", big),
+            Err(MachineError::MemoryOverflow { .. })
+        ));
         assert!(m.get("a").is_some());
         assert!(m.get("b").is_none());
     }
@@ -245,7 +260,8 @@ mod tests {
     #[test]
     fn memory_replacement_frees_the_old_copy() {
         let mut m = MemoryModule::new(0, 64, 4);
-        m.store("a", rel(&[&[1, 1], &[2, 2], &[3, 3], &[4, 4]])).unwrap(); // 32
+        m.store("a", rel(&[&[1, 1], &[2, 2], &[3, 3], &[4, 4]]))
+            .unwrap(); // 32
         m.store("a", rel(&[&[9, 9]])).unwrap(); // 8 after freeing 32
         assert_eq!(m.used(), 8);
         assert_eq!(m.evict("a").unwrap().len(), 1);
@@ -256,7 +272,11 @@ mod tests {
     #[test]
     fn track_filter_semantics() {
         let r = rel(&[&[1, 5], &[2, 9]]);
-        let f = TrackFilter { col: 1, op: CompareOp::Lt, value: 9 };
+        let f = TrackFilter {
+            col: 1,
+            op: CompareOp::Lt,
+            value: 9,
+        };
         let out = f.apply(&r);
         assert_eq!(out.rows(), &[vec![1, 5]]);
     }

@@ -71,6 +71,12 @@ pub struct MachineConfig {
     pub devices: Vec<(DeviceKind, ArrayLimits)>,
     /// Pulse period in nanoseconds (§8: 350 ns conservative).
     pub clock_ns: f64,
+    /// Host worker threads for simulating independent plan steps
+    /// concurrently (`0` = auto: the `SYSTOLIC_THREADS` environment
+    /// variable, else sequential). This changes only how fast the *host*
+    /// simulates; the simulated [`Timeline`] and [`RunStats`] are
+    /// bit-identical at every thread count.
+    pub host_threads: usize,
 }
 
 impl Default for MachineConfig {
@@ -89,6 +95,7 @@ impl Default for MachineConfig {
                 (DeviceKind::Divide, limits),
             ],
             clock_ns: 350.0,
+            host_threads: 0,
         }
     }
 }
@@ -117,6 +124,11 @@ pub struct RunOutcome {
     pub timeline: Timeline,
     /// Aggregate statistics.
     pub stats: RunStats,
+    /// Host wall-clock time spent simulating this plan, in nanoseconds.
+    /// Deliberately outside [`RunStats`]: `makespan_ns` is simulated
+    /// hardware time (a property of the design), this is how long the
+    /// simulation took on this machine and run.
+    pub host_wall_ns: u64,
 }
 
 impl RunOutcome {
@@ -151,6 +163,7 @@ pub struct System {
     interconnect: Interconnect,
     placement_rr: usize,
     disk_rr: usize,
+    host_threads: usize,
 }
 
 impl System {
@@ -176,6 +189,7 @@ impl System {
             interconnect: config.interconnect,
             placement_rr: 0,
             disk_rr: 0,
+            host_threads: config.host_threads,
         })
     }
 
@@ -197,7 +211,9 @@ impl System {
         self.disks
             .iter()
             .position(|d| d.get(name).is_ok())
-            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// Number of disks.
@@ -273,7 +289,9 @@ impl System {
             .iter()
             .find_map(|m| m.get(name))
             .cloned()
-            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// Pick a module with room for `bytes`, preferring the module whose
@@ -307,15 +325,109 @@ impl System {
     fn fetch(&self, placement: &HashMap<String, usize>, name: &str) -> Result<MultiRelation> {
         let &home = placement
             .get(name)
-            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })?;
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })?;
         self.memories[home]
             .get(name)
             .cloned()
-            .ok_or_else(|| MachineError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// Simulate every `Op` step's device run ahead of the accounting pass,
+    /// fanning steps of the same dependency level over host worker threads.
+    ///
+    /// This is sound because [`Device::execute`] is a pure function of
+    /// `(op, inputs, device.limits)` — it touches no clocks and no machine
+    /// state — so the result does not depend on *which* eligible device
+    /// instance the scheduler later picks, as long as every eligible device
+    /// has identical limits. Steps that fail that condition (heterogeneous
+    /// limits, or no eligible device at all) are left for the accounting
+    /// pass to execute inline, preserving the sequential error order.
+    ///
+    /// Returns one slot per plan step: `Some(result)` for precomputed `Op`
+    /// steps, `None` where the accounting pass must run the device itself.
+    #[allow(clippy::type_complexity)]
+    fn precompute_ops(
+        &self,
+        plan: &Plan,
+        threads: usize,
+    ) -> Vec<Option<Result<(MultiRelation, systolic_core::ExecStats)>>> {
+        let mut results: Vec<Option<Result<(MultiRelation, systolic_core::ExecStats)>>> =
+            (0..plan.steps.len()).map(|_| None).collect();
+        // Dataflow values by output name (plan steps are topologically
+        // ordered, so a level's inputs are always produced by lower levels).
+        let mut values: HashMap<&str, MultiRelation> = HashMap::new();
+        let mut level: Vec<usize> = vec![0; plan.steps.len()];
+        for step in &plan.steps {
+            level[step.id] = step.deps.iter().map(|&d| level[d] + 1).max().unwrap_or(0);
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        for lv in 0..=max_level {
+            // Non-Op steps of this level feed the dataflow map directly;
+            // errors are ignored here and resurface during accounting.
+            for step in plan.steps.iter().filter(|s| level[s.id] == lv) {
+                if let Action::Load { relation, filter } = &step.action {
+                    if let Ok(disk_id) = self.disk_of(relation) {
+                        if let Ok((delivered, _)) = self.disks[disk_id].read(relation, *filter) {
+                            values.insert(step.output.as_str(), delivered);
+                        }
+                    }
+                }
+            }
+            // Op steps of this level whose inputs resolved and whose
+            // eligible devices all agree on limits run concurrently.
+            let batch: Vec<(&crate::plan::PlanStep, &Device, Vec<&MultiRelation>)> = plan
+                .steps
+                .iter()
+                .filter(|s| level[s.id] == lv)
+                .filter_map(|step| {
+                    let Action::Op { op, inputs } = &step.action else {
+                        return None;
+                    };
+                    let staged: Option<Vec<&MultiRelation>> =
+                        inputs.iter().map(|n| values.get(n.as_str())).collect();
+                    let eligible: Vec<&Device> =
+                        self.devices.iter().filter(|d| d.can_execute(op)).collect();
+                    let first = *eligible.first()?;
+                    if eligible.iter().any(|d| d.limits != first.limits) {
+                        return None;
+                    }
+                    Some((step, first, staged?))
+                })
+                .collect();
+            let outs = systolic_core::executor::run_jobs(threads, batch.len(), |k| {
+                let (step, device, staged) = &batch[k];
+                let Action::Op { op, .. } = &step.action else {
+                    unreachable!()
+                };
+                device.execute(op, staged)
+            });
+            let ids: Vec<(usize, &str)> = batch
+                .iter()
+                .map(|(step, _, _)| (step.id, step.output.as_str()))
+                .collect();
+            for ((id, output), res) in ids.into_iter().zip(outs) {
+                if let Ok((out, _)) = &res {
+                    values.insert(output, out.clone());
+                }
+                results[id] = Some(res);
+            }
+        }
+        results
     }
 
     /// Execute a compiled plan.
     pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
+        let host_start = std::time::Instant::now();
+        let threads = systolic_core::executor::resolve_threads(self.host_threads);
+        let mut precomputed = if threads > 1 {
+            self.precompute_ops(plan, threads)
+        } else {
+            (0..plan.steps.len()).map(|_| None).collect()
+        };
         let mut timeline = Timeline::default();
         let mut free_at: HashMap<Res, u64> = HashMap::new();
         let mut step_end: Vec<u64> = vec![0; plan.steps.len()];
@@ -347,7 +459,12 @@ impl System {
                     self.memories[target].store(step.output.clone(), delivered)?;
                     placement.insert(step.output.clone(), target);
                     stats.bytes_from_disk += bytes;
-                    timeline.push(start, end, format!("disk{disk_id}"), format!("read {relation}"));
+                    timeline.push(
+                        start,
+                        end,
+                        format!("disk{disk_id}"),
+                        format!("read {relation}"),
+                    );
                     timeline.push(
                         start,
                         end,
@@ -370,7 +487,14 @@ impl System {
                         .min_by_key(|d| free_at.get(&Res::Dev(d.id)).copied().unwrap_or(0))
                         .map(|d| d.id)
                         .ok_or_else(|| MachineError::NoDevice { kind: op.label() })?;
-                    let (out, run_stats) = self.devices[dev_id].execute(op, &refs)?;
+                    // Consume the precomputed device run if the parallel
+                    // pass produced one; otherwise simulate inline. Either
+                    // way the value is a pure function of (op, inputs,
+                    // limits), so accounting below is unaffected.
+                    let (out, run_stats) = match precomputed[step.id].take() {
+                        Some(result) => result?,
+                        None => self.devices[dev_id].execute(op, &refs)?,
+                    };
                     let duration = self.devices[dev_id].run_ns(&run_stats).max(1);
                     let out_bytes = relation_bytes(&out, self.disks[0].bytes_per_word);
                     let target = self.choose_memory(out_bytes, &free_at)?;
@@ -403,10 +527,20 @@ impl System {
                     stats.total_pulses += run_stats.pulses;
                     stats.array_runs += run_stats.array_runs;
                     let dev_name = self.devices[dev_id].name.clone();
-                    timeline.push(start, end, dev_name, format!("{} -> {}", op.label(), step.output));
+                    timeline.push(
+                        start,
+                        end,
+                        dev_name,
+                        format!("{} -> {}", op.label(), step.output),
+                    );
                     for r in &resources {
                         if let Res::Mem(i) = r {
-                            timeline.push(start, end, format!("mem{i}"), format!("port busy: {}", op.label()));
+                            timeline.push(
+                                start,
+                                end,
+                                format!("mem{i}"),
+                                format!("port busy: {}", op.label()),
+                            );
                         }
                     }
                     step_end[step.id] = end;
@@ -434,7 +568,12 @@ impl System {
                         free_at.insert(r, end);
                     }
                     self.disks[disk_id].store(as_name.clone(), rel);
-                    timeline.push(start, end, format!("disk{disk_id}"), format!("write {as_name}"));
+                    timeline.push(
+                        start,
+                        end,
+                        format!("disk{disk_id}"),
+                        format!("write {as_name}"),
+                    );
                     timeline.push(
                         start,
                         end,
@@ -451,7 +590,13 @@ impl System {
         stats.max_device_concurrency = timeline.max_concurrency(|r| {
             r.starts_with("setop") || r.starts_with("join") || r.starts_with("divide")
         });
-        Ok(RunOutcome { result, timeline, stats })
+        let host_wall_ns = host_start.elapsed().as_nanos() as u64;
+        Ok(RunOutcome {
+            result,
+            timeline,
+            stats,
+            host_wall_ns,
+        })
     }
 }
 
@@ -475,7 +620,9 @@ mod tests {
         let mut sys = System::default_machine();
         sys.load_base("a", seq(0..10));
         sys.load_base("b", seq(5..15));
-        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        let out = sys
+            .run(&Expr::scan("a").intersect(Expr::scan("b")))
+            .unwrap();
         assert_eq!(out.result.len(), 5);
         assert!(out.stats.makespan_ns > 0);
         assert!(out.stats.bytes_from_disk > 0);
@@ -489,7 +636,9 @@ mod tests {
         sys.load_base("a", seq(0..8));
         sys.load_base("b", seq(4..12));
         sys.load_base("c", seq(0..2));
-        let expr = Expr::scan("a").union(Expr::scan("b")).difference(Expr::scan("c"));
+        let expr = Expr::scan("a")
+            .union(Expr::scan("b"))
+            .difference(Expr::scan("c"));
         let out = sys.run(&expr).unwrap();
         use systolic_core::ops::{self, Execution};
         let (u, _) = ops::union(&seq(0..8), &seq(4..12), Execution::Marching).unwrap();
@@ -533,10 +682,7 @@ mod tests {
     #[test]
     fn division_transaction() {
         let mut sys = System::default_machine();
-        sys.load_base(
-            "takes",
-            rel(vec![vec![1, 10], vec![1, 11], vec![2, 10]]),
-        );
+        sys.load_base("takes", rel(vec![vec![1, 10], vec![1, 11], vec![2, 10]]));
         sys.load_base("courses", rel(vec![vec![10], vec![11]]));
         let expr = Expr::scan("takes").divide(Expr::scan("courses"), 0, 1, 0);
         let out = sys.run(&expr).unwrap();
@@ -545,11 +691,15 @@ mod tests {
 
     #[test]
     fn logic_per_track_filter_reduces_staged_bytes() {
-        use systolic_fabric::CompareOp;
         use crate::storage::TrackFilter;
+        use systolic_fabric::CompareOp;
         let mut sys = System::default_machine();
         sys.load_base("t", seq(0..100));
-        let f = TrackFilter { col: 0, op: CompareOp::Lt, value: 10 };
+        let f = TrackFilter {
+            col: 0,
+            op: CompareOp::Lt,
+            value: 10,
+        };
         let expr = Expr::scan_filtered("t", f).dedup();
         let out = sys.run(&expr).unwrap();
         assert_eq!(out.result.len(), 10);
@@ -579,11 +729,17 @@ mod tests {
     #[test]
     fn empty_configuration_is_rejected() {
         assert!(matches!(
-            System::new(MachineConfig { memories: 0, ..MachineConfig::default() }),
+            System::new(MachineConfig {
+                memories: 0,
+                ..MachineConfig::default()
+            }),
             Err(MachineError::EmptyConfiguration)
         ));
         assert!(matches!(
-            System::new(MachineConfig { devices: vec![], ..MachineConfig::default() }),
+            System::new(MachineConfig {
+                devices: vec![],
+                ..MachineConfig::default()
+            }),
             Err(MachineError::EmptyConfiguration)
         ));
     }
@@ -602,6 +758,100 @@ mod tests {
         assert_eq!(o1.stats, o2.stats);
         assert_eq!(o1.result.rows(), o2.result.rows());
         assert_eq!(o1.timeline.events(), o2.timeline.events());
+    }
+
+    #[test]
+    fn host_parallel_plans_are_bit_identical_to_sequential() {
+        // Host threads must be invisible to everything simulated: same
+        // result rows, same RunStats, same Timeline, event for event.
+        let build = |host_threads: usize| {
+            let mut sys = System::new(MachineConfig {
+                host_threads,
+                ..MachineConfig::default()
+            })
+            .unwrap();
+            sys.load_base("a", seq(0..64));
+            sys.load_base("b", seq(32..96));
+            sys.load_base("c", seq(100..164));
+            sys.load_base("d", seq(132..196));
+            sys
+        };
+        let expr = Expr::scan("a")
+            .intersect(Expr::scan("b"))
+            .union(Expr::scan("c").intersect(Expr::scan("d")))
+            .project(vec![0]);
+        let sequential = build(1).run(&expr).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = build(threads).run(&expr).unwrap();
+            assert_eq!(
+                parallel.result.rows(),
+                sequential.result.rows(),
+                "{threads} threads"
+            );
+            assert_eq!(parallel.stats, sequential.stats, "{threads} threads");
+            assert_eq!(
+                parallel.timeline.events(),
+                sequential.timeline.events(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn host_parallel_batches_are_bit_identical_to_sequential() {
+        let build = |host_threads: usize| {
+            let mut sys = System::new(MachineConfig {
+                host_threads,
+                ..MachineConfig::default()
+            })
+            .unwrap();
+            sys.load_base("a", seq(0..32));
+            sys.load_base("b", seq(16..48));
+            sys.load_base("c", seq(100..132));
+            sys
+        };
+        let queries = [
+            Expr::scan("a").intersect(Expr::scan("b")),
+            Expr::scan("a").difference(Expr::scan("b")),
+            Expr::scan("c").dedup(),
+        ];
+        let (seq_results, seq_out) = build(1).run_batch(&queries).unwrap();
+        let (par_results, par_out) = build(4).run_batch(&queries).unwrap();
+        for (s, p) in seq_results.iter().zip(&par_results) {
+            assert_eq!(s.rows(), p.rows());
+        }
+        assert_eq!(par_out.stats, seq_out.stats);
+        assert_eq!(par_out.timeline.events(), seq_out.timeline.events());
+    }
+
+    #[test]
+    fn heterogeneous_device_limits_fall_back_to_inline_execution() {
+        // Two set-op devices with different limits: the scheduler cannot
+        // precompute (the result depends on which device is picked), so the
+        // parallel path must defer to accounting — and still match the
+        // sequential run exactly.
+        let config = |host_threads: usize| MachineConfig {
+            devices: vec![
+                (DeviceKind::SetOp, ArrayLimits::new(8, 8, 4)),
+                (DeviceKind::SetOp, ArrayLimits::new(16, 16, 4)),
+                (DeviceKind::Join, ArrayLimits::new(8, 8, 4)),
+                (DeviceKind::Divide, ArrayLimits::new(8, 8, 4)),
+            ],
+            host_threads,
+            ..MachineConfig::default()
+        };
+        let build = |host_threads: usize| {
+            let mut sys = System::new(config(host_threads)).unwrap();
+            sys.load_base("a", seq(0..48));
+            sys.load_base("b", seq(24..72));
+            sys
+        };
+        let expr = Expr::scan("a").intersect(Expr::scan("b")).project(vec![0]);
+        let sequential = build(1).run(&expr).unwrap();
+        let parallel = build(4).run(&expr).unwrap();
+        assert_eq!(parallel.result.rows(), sequential.result.rows());
+        assert_eq!(parallel.stats, sequential.stats);
+        assert_eq!(parallel.timeline.events(), sequential.timeline.events());
     }
 
     #[test]
@@ -660,7 +910,9 @@ mod tests {
         let mut sys = System::default_machine();
         sys.load_base("a", seq(0..16));
         sys.load_base("b", seq(8..24));
-        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        let out = sys
+            .run(&Expr::scan("a").intersect(Expr::scan("b")))
+            .unwrap();
         let gantt = out.timeline.render_gantt(out.stats.makespan_ns / 60 + 1);
         assert!(gantt.contains("disk"));
         assert!(gantt.contains("setop0"));
@@ -669,11 +921,15 @@ mod tests {
     #[test]
     fn multiple_disks_load_in_parallel() {
         let run_with = |disks: usize| {
-            let mut sys =
-                System::new(MachineConfig { disks, ..MachineConfig::default() }).unwrap();
+            let mut sys = System::new(MachineConfig {
+                disks,
+                ..MachineConfig::default()
+            })
+            .unwrap();
             sys.load_base("a", seq(0..512));
             sys.load_base("b", seq(256..768));
-            sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap()
+            sys.run(&Expr::scan("a").intersect(Expr::scan("b")))
+                .unwrap()
         };
         let one = run_with(1);
         let two = run_with(2);
@@ -750,9 +1006,15 @@ mod tests {
         };
         let xbar = run_with(Interconnect::Crossbar);
         let bus = run_with(Interconnect::SharedBus);
-        assert!(xbar.result.set_eq(&bus.result), "interconnect cannot change results");
+        assert!(
+            xbar.result.set_eq(&bus.result),
+            "interconnect cannot change results"
+        );
         assert!(xbar.stats.max_device_concurrency >= 2);
-        assert_eq!(bus.stats.max_device_concurrency, 1, "one bus, one transfer at a time");
+        assert_eq!(
+            bus.stats.max_device_concurrency, 1,
+            "one bus, one transfer at a time"
+        );
         assert!(bus.stats.makespan_ns > xbar.stats.makespan_ns);
     }
 
@@ -761,7 +1023,9 @@ mod tests {
         let mut sys = System::default_machine();
         sys.load_base("a", seq(0..16));
         sys.load_base("b", seq(8..24));
-        let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+        let out = sys
+            .run(&Expr::scan("a").intersect(Expr::scan("b")))
+            .unwrap();
         let report = out.resource_report();
         assert!(report.iter().any(|(n, _, _)| n == "disk0"));
         assert!(report.iter().any(|(n, _, _)| n == "setop0"));
@@ -776,8 +1040,11 @@ mod tests {
         use crate::plan::push_selections;
         use systolic_core::select::Predicate;
         use systolic_fabric::CompareOp;
-        let query =
-            || Expr::scan("t").select(vec![Predicate::new(0, CompareOp::Lt, 10)]).dedup();
+        let query = || {
+            Expr::scan("t")
+                .select(vec![Predicate::new(0, CompareOp::Lt, 10)])
+                .dedup()
+        };
         let run = |expr: Expr| {
             let mut sys = System::default_machine();
             sys.load_base("t", seq(0..100));
@@ -797,7 +1064,10 @@ mod tests {
     #[test]
     fn zero_disks_rejected() {
         assert!(matches!(
-            System::new(MachineConfig { disks: 0, ..MachineConfig::default() }),
+            System::new(MachineConfig {
+                disks: 0,
+                ..MachineConfig::default()
+            }),
             Err(MachineError::EmptyConfiguration)
         ));
     }

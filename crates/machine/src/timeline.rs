@@ -23,7 +23,13 @@ pub struct Timeline {
 
 impl Timeline {
     /// Record an event.
-    pub fn push(&mut self, start_ns: u64, end_ns: u64, resource: impl Into<String>, label: impl Into<String>) {
+    pub fn push(
+        &mut self,
+        start_ns: u64,
+        end_ns: u64,
+        resource: impl Into<String>,
+        label: impl Into<String>,
+    ) {
         debug_assert!(end_ns >= start_ns);
         self.events.push(Event {
             start_ns,

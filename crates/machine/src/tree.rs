@@ -73,7 +73,11 @@ impl TreeMachine {
     /// Build an empty machine.
     pub fn new(leaf_capacity: usize, clock_ns: f64) -> Self {
         assert!(leaf_capacity > 0, "leaf capacity must be positive");
-        TreeMachine { leaf_capacity, leaves: Vec::new(), clock_ns }
+        TreeMachine {
+            leaf_capacity,
+            leaves: Vec::new(),
+            clock_ns,
+        }
     }
 
     /// Load a relation into the leaves, `leaf_capacity` tuples per leaf.
@@ -199,7 +203,13 @@ mod tests {
     #[test]
     fn membership_is_exact() {
         let mut t = TreeMachine::new(2, 350.0);
-        t.load(&rel(vec![vec![1, 1], vec![2, 2], vec![3, 3], vec![4, 4], vec![5, 5]]));
+        t.load(&rel(vec![
+            vec![1, 1],
+            vec![2, 2],
+            vec![3, 3],
+            vec![4, 4],
+            vec![5, 5],
+        ]));
         assert_eq!(t.leaf_count(), 3);
         let probes = vec![vec![2, 2], vec![9, 9], vec![5, 5]];
         let (keep, stats) = t.membership(&probes).unwrap();

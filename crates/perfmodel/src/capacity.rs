@@ -95,7 +95,9 @@ impl CapacityPlan {
         let (tile_a, tile_b) = match layout {
             // rows = tile_a + tile_b - 1 with tile_a = tile_b = t.
             Layout::Marching | Layout::MarchingPipelined => {
-                let t = max_rows.div_ceil(2).clamp(1, workload.n_a.max(workload.n_b));
+                let t = max_rows
+                    .div_ceil(2)
+                    .clamp(1, workload.n_a.max(workload.n_b));
                 (t.min(workload.n_a), t.min(workload.n_b))
             }
             // rows = tile_b; the whole of A streams through each pass.
@@ -113,7 +115,15 @@ impl CapacityPlan {
             }
             Layout::FixedOperand => fixed_pulses(tile_a, tile_b, workload.tuple_bits),
         };
-        CapacityPlan { technology, workload, layout, tile_a, tile_b, tiles, pulses_per_tile }
+        CapacityPlan {
+            technology,
+            workload,
+            layout,
+            tile_a,
+            tile_b,
+            tiles,
+            pulses_per_tile,
+        }
     }
 
     /// Total pulses across all tile runs (one physical device, sequential).
@@ -164,7 +174,11 @@ mod tests {
     fn paper_workload_plans_fit_the_device() {
         let w = Workload::paper_typical();
         let t = Technology::paper_conservative();
-        for layout in [Layout::Marching, Layout::MarchingPipelined, Layout::FixedOperand] {
+        for layout in [
+            Layout::Marching,
+            Layout::MarchingPipelined,
+            Layout::FixedOperand,
+        ] {
             let plan = CapacityPlan::plan(t, w, layout);
             let rows = match layout {
                 Layout::Marching | Layout::MarchingPipelined => plan.tile_a + plan.tile_b - 1,
@@ -249,14 +263,9 @@ mod tests {
         let (n, t, m) = (24usize, 4usize, 2usize);
         let rows: Vec<Vec<i64>> = (0..n as i64).map(|i| vec![i, i]).collect();
         let ops = vec![CompareOp::Eq; m];
-        let out = t_matrix_tiled_pipelined(
-            &rows,
-            &rows,
-            &ops,
-            ArrayLimits::new(t, t, m),
-            |_, _| true,
-        )
-        .unwrap();
+        let out =
+            t_matrix_tiled_pipelined(&rows, &rows, &ops, ArrayLimits::new(t, t, m), |_, _| true)
+                .unwrap();
         let tiles = ((n / t) * (n / t)) as u64;
         let span = marching_pipelined_span(t as u64, t as u64, m as u64);
         let modelled = tiles * span;
@@ -275,12 +284,19 @@ mod tests {
         let seq = CapacityPlan::plan(t, w, Layout::Marching);
         let piped = CapacityPlan::plan(t, w, Layout::MarchingPipelined);
         assert!(piped.intersection_ms() < seq.intersection_ms());
-        assert!(piped.intersection_ms() > CapacityPlan::plan(t, w, Layout::FixedOperand).intersection_ms());
+        assert!(
+            piped.intersection_ms()
+                > CapacityPlan::plan(t, w, Layout::FixedOperand).intersection_ms()
+        );
     }
 
     #[test]
     fn tiny_workloads_run_in_one_tile() {
-        let w = Workload { tuple_bits: 64, n_a: 8, n_b: 8 };
+        let w = Workload {
+            tuple_bits: 64,
+            n_a: 8,
+            n_b: 8,
+        };
         let plan = CapacityPlan::plan(Technology::paper_conservative(), w, Layout::Marching);
         assert_eq!(plan.tiles, 1);
         assert_eq!(plan.tile_a, 8);

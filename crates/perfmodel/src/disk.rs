@@ -24,7 +24,10 @@ pub struct DiskModel {
 impl DiskModel {
     /// The paper's disk: 3600 rpm, 500,000 bytes per revolution.
     pub fn paper_disk() -> Self {
-        DiskModel { rpm: 3600.0, bytes_per_revolution: 500_000.0 }
+        DiskModel {
+            rpm: 3600.0,
+            bytes_per_revolution: 500_000.0,
+        }
     }
 
     /// Time for one revolution, in milliseconds ("about once every 17ms").
@@ -96,7 +99,10 @@ mod tests {
     #[test]
     fn a_slow_enough_array_would_not_keep_up() {
         // Sanity: the predicate is falsifiable — one chip cannot keep up.
-        let t = Technology { chips: 1, ..Technology::paper_conservative() };
+        let t = Technology {
+            chips: 1,
+            ..Technology::paper_conservative()
+        };
         let p = Prediction::new(t, Workload::paper_typical());
         assert!(!array_keeps_up_with_disk(&p, &DiskModel::paper_disk()));
     }

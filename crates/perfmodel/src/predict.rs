@@ -26,7 +26,11 @@ impl Workload {
     /// The §8 "typical relation" assumptions: 1500-bit tuples, 10^4 tuples
     /// per relation.
     pub fn paper_typical() -> Self {
-        Workload { tuple_bits: 1500, n_a: 10_000, n_b: 10_000 }
+        Workload {
+            tuple_bits: 1500,
+            n_a: 10_000,
+            n_b: 10_000,
+        }
     }
 
     /// Tuple comparisons an intersection needs (`|A| x |B|` — "intersection
@@ -61,7 +65,10 @@ pub struct Prediction {
 impl Prediction {
     /// Build a prediction.
     pub fn new(technology: Technology, workload: Workload) -> Self {
-        Prediction { technology, workload }
+        Prediction {
+            technology,
+            workload,
+        }
     }
 
     /// Intersection time in seconds:
@@ -123,7 +130,14 @@ mod tests {
     #[test]
     fn time_scales_quadratically_with_cardinality() {
         let t = Technology::paper_conservative();
-        let half = Prediction::new(t, Workload { tuple_bits: 1500, n_a: 5_000, n_b: 5_000 });
+        let half = Prediction::new(
+            t,
+            Workload {
+                tuple_bits: 1500,
+                n_a: 5_000,
+                n_b: 5_000,
+            },
+        );
         let full = Prediction::new(t, Workload::paper_typical());
         let ratio = full.intersection_seconds() / half.intersection_seconds();
         assert!((ratio - 4.0).abs() < 1e-9);
@@ -134,7 +148,10 @@ mod tests {
         let w = Workload::paper_typical();
         let base = Prediction::new(Technology::paper_conservative(), w);
         let double = Prediction::new(
-            Technology { chips: 2000, ..Technology::paper_conservative() },
+            Technology {
+                chips: 2000,
+                ..Technology::paper_conservative()
+            },
             w,
         );
         let ratio = base.intersection_seconds() / double.intersection_seconds();

@@ -48,7 +48,10 @@ impl Catalog {
     /// Encode one typed row against `schema`, interning new string values.
     pub fn encode_row(&mut self, schema: &Schema, row: &[Datum]) -> Result<Row, RelationError> {
         if row.len() != schema.arity() {
-            return Err(RelationError::ArityMismatch { expected: schema.arity(), got: row.len() });
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: row.len(),
+            });
         }
         row.iter()
             .zip(schema.columns())
@@ -87,7 +90,10 @@ impl Catalog {
     /// and decoding are usually only necessary for input or output").
     pub fn decode_row(&self, schema: &Schema, row: &[Elem]) -> Result<Vec<Datum>, RelationError> {
         if row.len() != schema.arity() {
-            return Err(RelationError::ArityMismatch { expected: schema.arity(), got: row.len() });
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: row.len(),
+            });
         }
         row.iter()
             .zip(schema.columns())
@@ -98,8 +104,12 @@ impl Catalog {
     /// Render a multi-relation as a small text table (examples/debugging).
     pub fn render(&self, multi: &MultiRelation) -> Result<String, RelationError> {
         let mut out = String::new();
-        let names: Vec<&str> =
-            multi.schema().columns().iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = multi
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         out.push_str(&names.join(" | "));
         out.push('\n');
         for row in multi.rows() {

@@ -122,13 +122,20 @@ pub fn import_csv(
 /// Export a multi-relation as CSV text with a header line.
 pub fn export_csv(catalog: &Catalog, rel: &MultiRelation) -> Result<String, RelationError> {
     let mut out = String::new();
-    let names: Vec<String> =
-        rel.schema().columns().iter().map(|c| render_field(&c.name)).collect();
+    let names: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| render_field(&c.name))
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in rel.rows() {
         let datums = catalog.decode_row(rel.schema(), row)?;
-        let cells: Vec<String> = datums.iter().map(|d| render_field(&d.to_string())).collect();
+        let cells: Vec<String> = datums
+            .iter()
+            .map(|d| render_field(&d.to_string()))
+            .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -214,8 +221,14 @@ mod tests {
         let dates = cat.add_domain("hired", DomainKind::Date);
         let schema = Schema::new(vec![Column::new("hired", dates)]);
         let rel = import_csv(&mut cat, &schema, "19000\n-3\n").unwrap();
-        assert_eq!(cat.decode_row(&schema, &rel.rows()[0]).unwrap(), vec![Datum::Date(19000)]);
-        assert_eq!(cat.decode_row(&schema, &rel.rows()[1]).unwrap(), vec![Datum::Date(-3)]);
+        assert_eq!(
+            cat.decode_row(&schema, &rel.rows()[0]).unwrap(),
+            vec![Datum::Date(19000)]
+        );
+        assert_eq!(
+            cat.decode_row(&schema, &rel.rows()[1]).unwrap(),
+            vec![Datum::Date(-3)]
+        );
         let text = export_csv(&cat, &rel).unwrap();
         assert!(text.contains("day#19000"));
     }

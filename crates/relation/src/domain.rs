@@ -82,7 +82,12 @@ pub struct Domain {
 impl Domain {
     /// Create a domain of the given kind.
     pub fn new(name: impl Into<String>, kind: DomainKind) -> Self {
-        Domain { name: name.into(), kind, dict: Vec::new(), index: HashMap::new() }
+        Domain {
+            name: name.into(),
+            kind,
+            dict: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// The domain's name.
@@ -120,7 +125,10 @@ impl Domain {
                 }
             }
             (kind, datum) => Err(RelationError::DomainMismatch {
-                detail: format!("datum {datum:?} cannot live in {kind:?} domain {:?}", self.name),
+                detail: format!(
+                    "datum {datum:?} cannot live in {kind:?} domain {:?}",
+                    self.name
+                ),
             }),
         }
     }
@@ -133,12 +141,18 @@ impl Domain {
             (DomainKind::Date, Datum::Date(v)) => Ok(*v),
             (DomainKind::Bool, Datum::Bool(b)) => Ok(*b as Elem),
             (DomainKind::Str, Datum::Str(s)) => {
-                self.index.get(s).copied().ok_or_else(|| RelationError::DomainMismatch {
-                    detail: format!("string {s:?} is not a member of domain {:?}", self.name),
-                })
+                self.index
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| RelationError::DomainMismatch {
+                        detail: format!("string {s:?} is not a member of domain {:?}", self.name),
+                    })
             }
             (kind, datum) => Err(RelationError::DomainMismatch {
-                detail: format!("datum {datum:?} cannot live in {kind:?} domain {:?}", self.name),
+                detail: format!(
+                    "datum {datum:?} cannot live in {kind:?} domain {:?}",
+                    self.name
+                ),
             }),
         }
     }
@@ -195,7 +209,10 @@ mod tests {
         let mut d = Domain::new("flag", DomainKind::Bool);
         assert_eq!(d.encode(&Datum::Bool(true)).unwrap(), 1);
         assert_eq!(d.decode(0).unwrap(), Datum::Bool(false));
-        assert!(matches!(d.decode(7), Err(RelationError::DecodeOutOfRange { code: 7 })));
+        assert!(matches!(
+            d.decode(7),
+            Err(RelationError::DecodeOutOfRange { code: 7 })
+        ));
     }
 
     #[test]
@@ -217,8 +234,14 @@ mod tests {
     #[test]
     fn decode_unknown_string_code_fails() {
         let d = Domain::new("name", DomainKind::Str);
-        assert!(matches!(d.decode(0), Err(RelationError::DecodeOutOfRange { .. })));
-        assert!(matches!(d.decode(-1), Err(RelationError::DecodeOutOfRange { .. })));
+        assert!(matches!(
+            d.decode(0),
+            Err(RelationError::DecodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.decode(-1),
+            Err(RelationError::DecodeOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -53,13 +53,19 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} elements but schema has {expected} columns")
+                write!(
+                    f,
+                    "row has {got} elements but schema has {expected} columns"
+                )
             }
             RelationError::NotUnionCompatible { detail } => {
                 write!(f, "relations are not union-compatible: {detail}")
             }
             RelationError::DuplicateTuple => {
-                write!(f, "duplicate tuple in a relation (a relation is a set of tuples)")
+                write!(
+                    f,
+                    "duplicate tuple in a relation (a relation is a set of tuples)"
+                )
             }
             RelationError::UnknownColumn { name } => write!(f, "unknown column {name:?}"),
             RelationError::ColumnOutOfRange { index, arity } => {
@@ -82,10 +88,15 @@ mod tests {
 
     #[test]
     fn messages_mention_the_relevant_details() {
-        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("2 elements"));
         assert!(e.to_string().contains("3 columns"));
-        let e = RelationError::UnknownColumn { name: "salary".into() };
+        let e = RelationError::UnknownColumn {
+            name: "salary".into(),
+        };
         assert!(e.to_string().contains("salary"));
         let e = RelationError::DecodeOutOfRange { code: 99 };
         assert!(e.to_string().contains("99"));

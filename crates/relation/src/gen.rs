@@ -155,12 +155,16 @@ pub fn join_pair(
     let keys_a = if skew > 0.0 {
         zipf_keys(rng, n_a, key_universe, skew)
     } else {
-        (0..n_a).map(|_| rng.gen_range(0..key_universe as Elem)).collect()
+        (0..n_a)
+            .map(|_| rng.gen_range(0..key_universe as Elem))
+            .collect()
     };
     let keys_b = if skew > 0.0 {
         zipf_keys(rng, n_b, key_universe, skew)
     } else {
-        (0..n_b).map(|_| rng.gen_range(0..key_universe as Elem)).collect()
+        (0..n_b)
+            .map(|_| rng.gen_range(0..key_universe as Elem))
+            .collect()
     };
     let payload_domain = 1_000_000;
     let mut a = MultiRelation::empty(synth_schema(m_a));
@@ -223,8 +227,8 @@ pub fn division_instance(
     let mut seen = HashSet::new();
     rows.retain(|r| seen.insert(r.clone()));
     let dividend = MultiRelation::new(synth_schema(2), rows).expect("arity 2");
-    let divisor =
-        MultiRelation::new(synth_schema(1), ys.iter().map(|&y| vec![y]).collect()).expect("arity 1");
+    let divisor = MultiRelation::new(synth_schema(1), ys.iter().map(|&y| vec![y]).collect())
+        .expect("arity 1");
     let mut quotient = quotient;
     quotient.sort_unstable();
     (dividend, divisor, quotient)
@@ -289,7 +293,10 @@ mod tests {
         let keys = zipf_keys(&mut rng(), 10_000, 100, 1.2);
         let zero = keys.iter().filter(|&&k| k == 0).count();
         let tail = keys.iter().filter(|&&k| k == 99).count();
-        assert!(zero > 10 * tail.max(1), "zipf head {zero} should dwarf tail {tail}");
+        assert!(
+            zero > 10 * tail.max(1),
+            "zipf head {zero} should dwarf tail {tail}"
+        );
         assert!(keys.iter().all(|&k| (0..100).contains(&k)));
     }
 

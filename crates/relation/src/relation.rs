@@ -26,7 +26,10 @@ pub struct MultiRelation {
 impl MultiRelation {
     /// An empty multi-relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
-        MultiRelation { schema, rows: Vec::new() }
+        MultiRelation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build from rows, validating that every row matches the schema arity.
@@ -71,7 +74,10 @@ impl MultiRelation {
     /// Append a row, validating arity.
     pub fn push(&mut self, row: Row) -> Result<(), RelationError> {
         if row.len() != self.schema.arity() {
-            return Err(RelationError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         self.rows.push(row);
         Ok(())
@@ -88,7 +94,10 @@ impl MultiRelation {
         self.schema.require_union_compatible(other.schema())?;
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(MultiRelation { schema: self.schema.clone(), rows })
+        Ok(MultiRelation {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Projection over column indices, producing a multi-relation ("the set
@@ -115,12 +124,19 @@ impl MultiRelation {
             .filter(|(i, _)| keep(*i))
             .map(|(_, r)| r.clone())
             .collect();
-        MultiRelation { schema: self.schema.clone(), rows }
+        MultiRelation {
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Number of *distinct* tuples.
     pub fn distinct_count(&self) -> usize {
-        self.rows.iter().map(|r| r.as_slice()).collect::<HashSet<_>>().len()
+        self.rows
+            .iter()
+            .map(|r| r.as_slice())
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// `true` if no tuple appears twice (i.e. this multi-relation is already
@@ -153,7 +169,9 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
-        Relation { inner: MultiRelation::empty(schema) }
+        Relation {
+            inner: MultiRelation::empty(schema),
+        }
     }
 
     /// Build from rows, *requiring* them to be duplicate-free.
@@ -177,7 +195,12 @@ impl Relation {
                 rows.push(row.clone());
             }
         }
-        Relation { inner: MultiRelation { schema: multi.schema().clone(), rows } }
+        Relation {
+            inner: MultiRelation {
+                schema: multi.schema().clone(),
+                rows,
+            },
+        }
     }
 
     /// View as a multi-relation (every relation is a multi-relation).
@@ -298,7 +321,8 @@ mod tests {
         let a = MultiRelation::new(schema(1), vec![vec![1], vec![2], vec![2]]).unwrap();
         let b = MultiRelation::new(schema(1), vec![vec![2], vec![1]]).unwrap();
         assert!(a.set_eq(&b));
-        let c = MultiRelation::new(Schema::uniform(1, DomainId(9)), vec![vec![1], vec![2]]).unwrap();
+        let c =
+            MultiRelation::new(Schema::uniform(1, DomainId(9)), vec![vec![1], vec![2]]).unwrap();
         assert!(!a.set_eq(&c), "incompatible schemas are never set-equal");
     }
 

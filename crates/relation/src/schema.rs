@@ -15,7 +15,10 @@ pub struct Column {
 impl Column {
     /// Build a column.
     pub fn new(name: impl Into<String>, domain: DomainId) -> Self {
-        Column { name: name.into(), domain }
+        Column {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl Schema {
     /// A schema of `m` columns all drawn from the same `domain`, named
     /// `c0..c{m-1}` — convenient for synthetic workloads.
     pub fn uniform(m: usize, domain: DomainId) -> Self {
-        Schema::new((0..m).map(|k| Column::new(format!("c{k}"), domain)).collect())
+        Schema::new(
+            (0..m)
+                .map(|k| Column::new(format!("c{k}"), domain))
+                .collect(),
+        )
     }
 
     /// Number of columns (the paper's `m`).
@@ -57,7 +64,10 @@ impl Schema {
     pub fn column(&self, index: usize) -> Result<&Column, RelationError> {
         self.columns
             .get(index)
-            .ok_or(RelationError::ColumnOutOfRange { index, arity: self.arity() })
+            .ok_or(RelationError::ColumnOutOfRange {
+                index,
+                arity: self.arity(),
+            })
     }
 
     /// Resolve a column name to its index.
@@ -65,7 +75,9 @@ impl Schema {
         self.columns
             .iter()
             .position(|c| c.name == name)
-            .ok_or_else(|| RelationError::UnknownColumn { name: name.to_string() })
+            .ok_or_else(|| RelationError::UnknownColumn {
+                name: name.to_string(),
+            })
     }
 
     /// §2.4: two relations are union-compatible iff they have the same number
@@ -166,7 +178,10 @@ mod tests {
 
     #[test]
     fn col_index_resolves_names() {
-        let s = Schema::new(vec![Column::new("name", dom(0)), Column::new("salary", dom(1))]);
+        let s = Schema::new(vec![
+            Column::new("name", dom(0)),
+            Column::new("salary", dom(1)),
+        ]);
         assert_eq!(s.col_index("salary").unwrap(), 1);
         assert!(s.col_index("children").is_err());
     }

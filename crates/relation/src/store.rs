@@ -131,7 +131,10 @@ impl Database {
 
     /// Look up a relation.
     pub fn get(&self, name: &str) -> Option<&MultiRelation> {
-        self.relations.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+        self.relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
     }
 
     /// Relation names in insertion order.
@@ -179,7 +182,9 @@ impl Database {
         let finish = |db: &mut Database, entry: Option<PendingEntry>| -> Result<(), StoreError> {
             if let Some((name, file, cols)) = entry {
                 if cols.is_empty() {
-                    return Err(StoreError::Manifest(format!("relation {name} has no columns")));
+                    return Err(StoreError::Manifest(format!(
+                        "relation {name} has no columns"
+                    )));
                 }
                 let columns: Vec<Column> = cols
                     .iter()
@@ -213,15 +218,12 @@ impl Database {
                     let name = parts.next().ok_or_else(|| {
                         StoreError::Manifest(format!("line {}: column needs a name", lineno + 1))
                     })?;
-                    let kind = parts
-                        .next()
-                        .and_then(kind_of)
-                        .ok_or_else(|| {
-                            StoreError::Manifest(format!(
-                                "line {}: column needs a kind (int|str|bool|date)",
-                                lineno + 1
-                            ))
-                        })?;
+                    let kind = parts.next().and_then(kind_of).ok_or_else(|| {
+                        StoreError::Manifest(format!(
+                            "line {}: column needs a kind (int|str|bool|date)",
+                            lineno + 1
+                        ))
+                    })?;
                     match &mut pending {
                         Some((_, _, cols)) => cols.push((name.to_string(), kind)),
                         None => {
@@ -306,7 +308,10 @@ mod tests {
     fn put_replaces_existing_relations() {
         let mut db = sample_db();
         let schema = db.schema(&[("name", DomainKind::Str)]);
-        let rel = db.catalog.encode_multi(schema, &[vec![Datum::str("grace")]]).unwrap();
+        let rel = db
+            .catalog
+            .encode_multi(schema, &[vec![Datum::str("grace")]])
+            .unwrap();
         db.put("people", rel);
         assert_eq!(db.get("people").unwrap().len(), 1);
         assert_eq!(db.len(), 2);

@@ -21,8 +21,7 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("systolic-course-audit-{}", std::process::id()));
     {
         let mut db = Database::new();
-        let takes_schema =
-            db.schema(&[("student", DomainKind::Str), ("course", DomainKind::Str)]);
+        let takes_schema = db.schema(&[("student", DomainKind::Str), ("course", DomainKind::Str)]);
         let takes = db
             .catalog
             .encode_multi(
@@ -44,7 +43,10 @@ fn main() {
         let core_schema = db.schema(&[("course", DomainKind::Str)]);
         let core = db
             .catalog
-            .encode_multi(core_schema, &[vec![Datum::str("db")], vec![Datum::str("os")]])
+            .encode_multi(
+                core_schema,
+                &[vec![Datum::str("db")], vec![Datum::str("os")]],
+            )
             .expect("valid rows");
         db.put("core", core);
         db.save(&dir).expect("save database");
@@ -66,7 +68,10 @@ fn main() {
     let expr = parse(q).expect("valid query");
     let out = sys.run(&expr).expect("run");
     println!("query: {q}");
-    print!("{}", export_csv(&db.catalog, &out.result).expect("decodable"));
+    print!(
+        "{}",
+        export_csv(&db.catalog, &out.result).expect("decodable")
+    );
     println!(
         "   [{} array pulses over {} tile run(s), makespan {:.3} ms]\n",
         out.stats.total_pulses,
@@ -81,7 +86,10 @@ fn main() {
     let expr2 = parse(q2).expect("valid query");
     let out2 = sys.run(&expr2).expect("run follow-up");
     println!("follow-up on the stored result: {q2}");
-    print!("{}", export_csv(&db.catalog, &out2.result).expect("decodable"));
+    print!(
+        "{}",
+        export_csv(&db.catalog, &out2.result).expect("decodable")
+    );
     println!("\n(the stored relation participated in a second transaction, per §9)");
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -17,7 +17,9 @@ use systolic_db::relation::MultiRelation;
 fn seq(range: std::ops::Range<i64>, m: usize) -> MultiRelation {
     MultiRelation::new(
         synth_schema(m),
-        range.map(|i| (0..m).map(|c| i + c as i64).collect()).collect(),
+        range
+            .map(|i| (0..m).map(|c| i + c as i64).collect())
+            .collect(),
     )
     .expect("uniform rows")
 }
@@ -27,7 +29,11 @@ fn main() {
     println!("integrated systolic database machine (Fig 9-1)");
     println!(
         "   devices: {}",
-        sys.devices().iter().map(|d| d.name.as_str()).collect::<Vec<_>>().join(", ")
+        sys.devices()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("   memory modules: {}\n", sys.memory_count());
 
@@ -38,9 +44,14 @@ fn main() {
     sys.load_base("customers", seq(0..64, 2));
 
     // Transaction 1: ((orders ∩ shipped) ∪ flagged) — a chain of set ops.
-    let t1 = Expr::scan("orders").intersect(Expr::scan("shipped")).union(Expr::scan("flagged"));
+    let t1 = Expr::scan("orders")
+        .intersect(Expr::scan("shipped"))
+        .union(Expr::scan("flagged"));
     let out = sys.run(&t1).expect("transaction 1");
-    println!("T1: (orders ∩ shipped) ∪ flagged -> {} tuples", out.result.len());
+    println!(
+        "T1: (orders ∩ shipped) ∪ flagged -> {} tuples",
+        out.result.len()
+    );
     println!(
         "    makespan {:.2} ms, {} array pulses over {} tile runs, {} bytes from disk",
         out.stats.makespan_ns as f64 / 1e6,
@@ -48,7 +59,10 @@ fn main() {
         out.stats.array_runs,
         out.stats.bytes_from_disk
     );
-    println!("{}", out.timeline.render_gantt(out.stats.makespan_ns / 72 + 1));
+    println!(
+        "{}",
+        out.timeline.render_gantt(out.stats.makespan_ns / 72 + 1)
+    );
 
     // Transaction 2: two independent intersections feeding a union — the
     // crossbar runs them concurrently on the two set-op devices.
@@ -66,7 +80,10 @@ fn main() {
         out2.result.len(),
         out2.stats.max_device_concurrency
     );
-    println!("{}", out2.timeline.render_gantt(out2.stats.makespan_ns / 72 + 1));
+    println!(
+        "{}",
+        out2.timeline.render_gantt(out2.stats.makespan_ns / 72 + 1)
+    );
     println!("resource utilisation over T2's makespan:");
     for (name, _, frac) in out2.resource_report() {
         println!("   {name:<8} {:>5.1}%", 100.0 * frac);
@@ -78,7 +95,11 @@ fn main() {
     let mut sys3 = System::default_machine();
     sys3.load_base("orders", seq(0..96, 2));
     sys3.load_base("customers", seq(0..64, 2));
-    let recent = TrackFilter { col: 0, op: CompareOp::Lt, value: 16 };
+    let recent = TrackFilter {
+        col: 0,
+        op: CompareOp::Lt,
+        value: 16,
+    };
     let t3 = Expr::scan_filtered("orders", recent)
         .join(Expr::scan("customers"), vec![JoinSpec::eq(0, 0)]);
     let out3 = sys3.run(&t3).expect("transaction 3");
@@ -87,5 +108,8 @@ fn main() {
         out3.result.len(),
         out3.stats.bytes_from_disk
     );
-    println!("{}", out3.timeline.render_gantt(out3.stats.makespan_ns / 72 + 1));
+    println!(
+        "{}",
+        out3.timeline.render_gantt(out3.stats.makespan_ns / 72 + 1)
+    );
 }

@@ -15,8 +15,7 @@
 //! Run with: `cargo run --example figures`
 
 use systolic_db::arrays::{
-    DivisionArray, IntersectionArray, JoinArray, LinearComparisonArray, PatternMatchChip,
-    SetOpMode,
+    DivisionArray, IntersectionArray, JoinArray, LinearComparisonArray, PatternMatchChip, SetOpMode,
 };
 use systolic_db::fabric::render_animation;
 
@@ -27,7 +26,10 @@ fn main() {
     let arr = LinearComparisonArray::new(3);
     let out = arr.run(&[1, 2, 3], &[1, 2, 3], true, true).expect("run");
     println!("{}", render_animation(&out.frames));
-    println!("verdict: {} (after {} pulses on {} cells)\n", out.result, out.stats.pulses, out.stats.cells);
+    println!(
+        "verdict: {} (after {} pulses on {} cells)\n",
+        out.result, out.stats.pulses, out.stats.cells
+    );
 
     println!("==============================================================");
     println!("Figure 3-4: data moving through the 3x3 comparison array");
@@ -41,7 +43,9 @@ fn main() {
     println!("{}", render_animation(&out.frames));
     println!("result matrix T (t_ij = tuple a_i equals tuple b_j):");
     for i in 0..3 {
-        let row: Vec<&str> = (0..3).map(|j| if out.t.get(i, j) { "T" } else { "F" }).collect();
+        let row: Vec<&str> = (0..3)
+            .map(|j| if out.t.get(i, j) { "T" } else { "F" })
+            .collect();
         println!("   {}", row.join(" "));
     }
     println!();
@@ -68,7 +72,9 @@ fn main() {
     println!("{}", render_animation(&out.frames));
     println!("match matrix T:");
     for i in 0..3 {
-        let row: Vec<&str> = (0..2).map(|j| if out.t.get(i, j) { "T" } else { "F" }).collect();
+        let row: Vec<&str> = (0..2)
+            .map(|j| if out.t.get(i, j) { "T" } else { "F" })
+            .collect();
         println!("   {}", row.join(" "));
     }
     println!("joined tuples: {:?}\n", arr.assemble(&emp, &dept, &out.t));
@@ -95,8 +101,14 @@ fn main() {
         .expect("run");
     println!("{}", render_animation(&out.frames));
     println!("keys (preloaded, = distinct A1): {:?}", out.keys);
-    println!("row verdicts (AND across divisor rows): {:?}", out.quotient_flags);
-    println!("quotient C = A ÷ B: {:?}  (the paper's answer: {{i}} = [1])", out.quotient);
+    println!(
+        "row verdicts (AND across divisor rows): {:?}",
+        out.quotient_flags
+    );
+    println!(
+        "quotient C = A ÷ B: {:?}  (the paper's answer: {{i}} = [1])",
+        out.quotient
+    );
 
     println!("==============================================================");
     println!("Bonus (§8, ref [3]): the pattern-match chip, the comparison");

@@ -59,12 +59,19 @@ fn main() {
     println!("payroll analytics on systolic hardware\n");
 
     // 1. Equi-join employees with their departments (§6).
-    let (staffed, join_stats) =
-        ops::join(&employees, &departments, &[JoinSpec::eq(1, 0)], Execution::Marching)
-            .expect("dept columns share a domain");
+    let (staffed, join_stats) = ops::join(
+        &employees,
+        &departments,
+        &[JoinSpec::eq(1, 0)],
+        Execution::Marching,
+    )
+    .expect("dept columns share a domain");
     println!("employees |x| departments:");
     print!("{}", catalog.render(&staffed).expect("decodable"));
-    println!("   [{} pulses on a {}-cell join array]\n", join_stats.pulses, join_stats.cells);
+    println!(
+        "   [{} pulses on a {}-cell join array]\n",
+        join_stats.pulses, join_stats.cells
+    );
 
     // 2. Theta-join: who earns above their department's per-head budget?
     // staffed columns: name, dept, salary, dept_name, budget_per_head.
@@ -93,9 +100,13 @@ fn main() {
     let tiled = Execution::Tiled(ArrayLimits::new(4, 4, 2));
     let (staffed_tiled, tiled_stats) =
         ops::join(&employees, &departments, &[JoinSpec::eq(1, 0)], tiled).expect("join");
-    let (staffed_fixed, fixed_stats) =
-        ops::join(&employees, &departments, &[JoinSpec::eq(1, 0)], Execution::FixedOperand)
-            .expect("join");
+    let (staffed_fixed, fixed_stats) = ops::join(
+        &employees,
+        &departments,
+        &[JoinSpec::eq(1, 0)],
+        Execution::FixedOperand,
+    )
+    .expect("join");
     assert!(staffed_tiled.set_eq(&staffed));
     assert!(staffed_fixed.set_eq(&staffed));
     println!("same join, three hardware strategies (§8):");

@@ -44,7 +44,11 @@ fn main() {
     let retired = catalog
         .encode_multi(
             schema.clone(),
-            &[row("edsger", "math"), row("alan", "crypto"), row("kurt", "logic")],
+            &[
+                row("edsger", "math"),
+                row("alan", "crypto"),
+                row("kurt", "logic"),
+            ],
         )
         .expect("valid rows");
 
@@ -60,12 +64,19 @@ fn main() {
     show("union: active ∪ retired (§5)", &catalog, &c, &s);
 
     let (c, s) = ops::project(&active, &[1], Execution::Marching).expect("valid column");
-    show("projection on dept, duplicates removed (§5)", &catalog, &c, &s);
+    show(
+        "projection on dept, duplicates removed (§5)",
+        &catalog,
+        &c,
+        &s,
+    );
 
     // A second relation for the join: dept -> building.
     let buildings = catalog.add_domain("buildings", DomainKind::Str);
-    let loc_schema =
-        Schema::new(vec![Column::new("dept", depts), Column::new("building", buildings)]);
+    let loc_schema = Schema::new(vec![
+        Column::new("dept", depts),
+        Column::new("building", buildings),
+    ]);
     let locations = catalog
         .encode_multi(
             loc_schema,
@@ -75,15 +86,22 @@ fn main() {
             ],
         )
         .expect("valid rows");
-    let (c, s) = ops::join(&active, &locations, &[JoinSpec::eq(1, 0)], Execution::Marching)
-        .expect("join columns share a domain");
+    let (c, s) = ops::join(
+        &active,
+        &locations,
+        &[JoinSpec::eq(1, 0)],
+        Execution::Marching,
+    )
+    .expect("join columns share a domain");
     show("equi-join with locations over dept (§6)", &catalog, &c, &s);
 
     // Division: which students take *every* core course?
     let students = catalog.add_domain("students", DomainKind::Str);
     let courses = catalog.add_domain("courses", DomainKind::Str);
-    let takes_schema =
-        Schema::new(vec![Column::new("student", students), Column::new("course", courses)]);
+    let takes_schema = Schema::new(vec![
+        Column::new("student", students),
+        Column::new("course", courses),
+    ]);
     let takes = catalog
         .encode_multi(
             takes_schema,
@@ -99,7 +117,10 @@ fn main() {
         .expect("valid rows");
     let core_schema = Schema::new(vec![Column::new("course", courses)]);
     let core = catalog
-        .encode_multi(core_schema, &[vec![Datum::str("db")], vec![Datum::str("os")]])
+        .encode_multi(
+            core_schema,
+            &[vec![Datum::str("db")], vec![Datum::str("os")]],
+        )
         .expect("valid rows");
     let (c, s) =
         ops::divide_binary(&takes, 0, 1, &core, 0, Execution::Marching).expect("valid columns");
@@ -109,7 +130,10 @@ fn main() {
     let ints = catalog.add_domain("ints", DomainKind::Int);
     let num_schema = Schema::new(vec![Column::new("v", ints)]);
     let lows = catalog
-        .encode_multi(num_schema.clone(), &[vec![Datum::Int(1)], vec![Datum::Int(5)]])
+        .encode_multi(
+            num_schema.clone(),
+            &[vec![Datum::Int(1)], vec![Datum::Int(5)]],
+        )
         .expect("ints");
     let highs = catalog
         .encode_multi(num_schema, &[vec![Datum::Int(3)]])

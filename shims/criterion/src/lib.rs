@@ -1,0 +1,352 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments without access to crates.io, so
+//! the real `criterion` cannot be vendored. This crate reimplements the
+//! API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — measuring plain
+//! wall-clock time with a calibrated iteration count and printing
+//! mean/min/max per benchmark. No statistics engine, plots, or HTML
+//! reports; results go to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: measurement configuration plus the harness mode
+/// parsed from the command line (`--test` runs each benchmark body once,
+/// which is what `cargo test --benches` passes).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags the real harness accepts; measurement proceeds.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other => {
+                    if !other.starts_with('-') && filter.is_none() {
+                        filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the calibration/warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(self, &label, f);
+        self
+    }
+
+    fn skips(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => !label.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+/// A benchmark identifier: either a bare name, a `name/parameter` pair, or
+/// just a parameter (within a group).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter only (the group name disambiguates).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Override the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion, &label, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times the closure under test over a controlled iteration count.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f` (the routine under measurement).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    if criterion.skips(label) {
+        return;
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if criterion.test_mode {
+        f(&mut bencher);
+        println!("test {label} ... ok");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch costs a
+    // measurable slice of the warm-up budget, then estimate ns/iter.
+    let warm_start = Instant::now();
+    let mut per_iter_ns: f64 = 0.0;
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed.as_nanos() > 0 {
+            per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        }
+        if warm_start.elapsed() >= criterion.warm_up || bencher.iters >= (1 << 24) {
+            break;
+        }
+        bencher.iters = bencher.iters.saturating_mul(2);
+    }
+
+    let per_sample = criterion.measurement.as_nanos() as f64 / criterion.sample_size as f64;
+    let iters = ((per_sample / per_iter_ns.max(1.0)) as u64).max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(criterion.sample_size);
+    for _ in 0..criterion.sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Define a group function callable from `criterion_main!`. Both the
+/// `name/config/targets` form and the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the harness `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forced_test_mode() -> Criterion {
+        Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        }
+    }
+
+    #[test]
+    fn groups_and_functions_run_each_body() {
+        let mut c = forced_test_mode();
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("plain", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn measurement_reports_positive_time() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.test_mode = false;
+        c.filter = None;
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(black_box(x))))
+        });
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("n", 4).label, "n/4");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments without access to crates.io, so
+//! the real `proptest` cannot be vendored. This crate reimplements the
+//! subset of the API the workspace's property tests use — `Strategy`,
+//! `prop_map`/`prop_recursive`/`boxed`, integer-range and `&str`-regex
+//! strategies, tuples, `collection::{vec, btree_map}`, `any::<T>()`,
+//! `Just`, `prop_oneof!`, and the `proptest!`/`prop_assert*` macros —
+//! with deterministic per-test seeding and no external dependencies.
+//!
+//! Deliberate simplifications relative to real proptest:
+//! - no shrinking: a failing case reports its inputs verbatim;
+//! - no persistence: `.proptest-regressions` files are ignored;
+//! - cases are drawn from a fixed per-test seed, so every run of a given
+//!   test binary explores the same inputs (reproducible in CI by design).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The user-facing imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_test(x in 0i64..10, v in prop::collection::vec(0..5, 1..4)) { ... }
+/// }
+/// ```
+///
+/// and the same without the `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Bind each strategy once, under its argument's name; the
+                // per-case generated value shadows it inside the loop body.
+                let ($($arg,)+) = ($($strat,)+);
+                let mut __case: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __case < __config.cases {
+                    let ($($arg,)+) =
+                        ($($crate::strategy::Strategy::generate(&$arg, &mut __rng),)+);
+                    let __desc = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(concat!("  ", stringify!($arg), " = "));
+                            __s.push_str(&::std::format!("{:?}\n", &$arg));
+                        )+
+                        __s
+                    };
+                    let __outcome: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { __case += 1; }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < 1000,
+                                "proptest {}: too many rejected cases ({})",
+                                stringify!($name), __why
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__why),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}\ninputs:\n{}",
+                                stringify!($name), __case, __why, __desc
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body (returns a
+/// [`test_runner::TestCaseError`] instead of panicking, so the harness can
+/// report the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($fmt $(, $args)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), __l, __r,
+                    ::std::format!($fmt $(, $args)*),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type (boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

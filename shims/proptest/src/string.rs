@@ -1,0 +1,276 @@
+//! A tiny regex *generator*: given a pattern from the subset below, draw
+//! strings matching it. Supports literals, escaped literals, `.`,
+//! character classes (`[a-z0-9_]`), groups (incl. `(?:...)`), alternation
+//! `|`, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`, `{m,}`.
+//! Unbounded repetitions are capped at 8 extra iterations.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_EXTRA: u32 = 8;
+
+/// One alternative is a sequence of quantified atoms.
+#[derive(Debug)]
+struct Piece {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    /// Inclusive char ranges; a single char `c` is `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Piece>>),
+}
+
+/// Generate one string matching `pattern`. Panics (with the offending
+/// pattern) on syntax this subset does not cover — a loud failure beats
+/// silently generating non-matching data in tests.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = parse(pattern);
+    let mut out = String::new();
+    gen_alts(&ast, rng, &mut out);
+    out
+}
+
+fn gen_alts(alts: &[Vec<Piece>], rng: &mut TestRng, out: &mut String) {
+    let seq = &alts[rng.below(alts.len() as u64) as usize];
+    for piece in seq {
+        let count = rng.in_range_i128(piece.min as i128, piece.max as i128) as u32;
+        for _ in 0..count {
+            match &piece.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                Node::Group(alts) => gen_alts(alts, rng, out),
+            }
+        }
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+        .sum();
+    let mut k = rng.below(total);
+    for (lo, hi) in ranges {
+        let size = (*hi as u64) - (*lo as u64) + 1;
+        if k < size {
+            return char::from_u32(*lo as u32 + k as u32).expect("range stays valid");
+        }
+        k -= size;
+    }
+    unreachable!("index within total")
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+fn parse(pattern: &str) -> Vec<Vec<Piece>> {
+    let mut p = Parser {
+        pattern,
+        chars: pattern.chars().peekable(),
+    };
+    let alts = p.parse_alts();
+    assert!(
+        p.chars.next().is_none(),
+        "unbalanced ')' in regex {pattern:?}"
+    );
+    alts
+}
+
+impl Parser<'_> {
+    fn bail(&self, why: &str) -> ! {
+        panic!("unsupported regex {:?}: {}", self.pattern, why)
+    }
+
+    fn parse_alts(&mut self) -> Vec<Vec<Piece>> {
+        let mut alts = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_seq());
+        }
+        alts
+    }
+
+    fn parse_seq(&mut self) -> Vec<Piece> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let node = self.parse_atom();
+            let (min, max) = self.parse_quantifier();
+            seq.push(Piece { node, min, max });
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().expect("peeked") {
+            '(' => {
+                // Swallow a non-capturing marker; capture groups and
+                // non-capturing groups generate identically.
+                if self.chars.peek() == Some(&'?') {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some(':') => {}
+                        _ => self.bail("only (?:...) groups are supported"),
+                    }
+                }
+                let alts = self.parse_alts();
+                match self.chars.next() {
+                    Some(')') => Node::Group(alts),
+                    _ => self.bail("missing ')'"),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => match self.chars.next() {
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some(c) => Node::Lit(c),
+                None => self.bail("dangling backslash"),
+            },
+            '.' => Node::Class(vec![(' ', '~')]),
+            c @ ('*' | '+' | '?' | '{') => {
+                self.bail(&format!("quantifier {c:?} with nothing to repeat"))
+            }
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.chars.peek() == Some(&'^') {
+            self.bail("negated classes are not supported");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') if !ranges.is_empty() => return Node::Class(ranges),
+                Some('\\') => self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.bail("dangling backslash")),
+                Some(c) => c,
+                None => self.bail("missing ']'"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    // Trailing '-' is a literal, e.g. `[a-z-]`.
+                    Some(']') | None => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().expect("peeked");
+                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_EXTRA)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 1 + UNBOUNDED_EXTRA)
+            }
+            Some('{') => {
+                self.chars.next();
+                let m = self.parse_int();
+                match self.chars.next() {
+                    Some('}') => (m, m),
+                    Some(',') => match self.chars.peek() {
+                        Some('}') => {
+                            self.chars.next();
+                            (m, m + UNBOUNDED_EXTRA)
+                        }
+                        _ => {
+                            let n = self.parse_int();
+                            match self.chars.next() {
+                                Some('}') => (m, n),
+                                _ => self.bail("missing '}'"),
+                            }
+                        }
+                    },
+                    _ => self.bail("malformed {} quantifier"),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_int(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+            self.chars.next();
+            n = n * 10 + c;
+            any = true;
+        }
+        if !any {
+            self.bail("expected a number in {} quantifier");
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn workspace_pattern_generates_matching_strings() {
+        // The exact pattern tests/proptest_roundtrip.rs uses.
+        let mut rng = TestRng::for_test("workspace_pattern");
+        for _ in 0..300 {
+            let s = generate_matching("[a-z]{0,8}(,[a-z]{1,4})?", &mut rng);
+            let parts: Vec<&str> = s.splitn(2, ',').collect();
+            assert!(parts[0].len() <= 8);
+            assert!(parts[0].chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(rest) = parts.get(1) {
+                assert!((1..=4).contains(&rest.len()), "{s:?}");
+                assert!(rest.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_classes_and_quantifiers() {
+        let mut rng = TestRng::for_test("alternation");
+        for _ in 0..200 {
+            let s = generate_matching("(ab|cd)+x?[0-9_]{2}", &mut rng);
+            assert!(s.len() >= 4, "{s:?}");
+            let tail: String = s.chars().rev().take(2).collect();
+            assert!(
+                tail.chars().all(|c| c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_syntax_is_loud() {
+        let mut rng = TestRng::for_test("unsupported");
+        let _ = generate_matching("[^a]", &mut rng);
+    }
+}

@@ -1,0 +1,122 @@
+//! Test configuration, error types, and the deterministic RNG that drives
+//! generation.
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. by `prop_assume!`); it is retried and
+    /// does not count toward the case budget.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// The result type `proptest!` bodies implicitly return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// SplitMix64 generator, seeded deterministically from the test's full
+/// module path so every test explores a stable but distinct input stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a hash).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `lo..=hi` over the i128 domain (covers every
+    /// primitive integer range, including full-width u64).
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo + 1) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn seeding_is_deterministic_and_name_sensitive() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_panic() {
+        let mut rng = TestRng::for_test("full_width");
+        for _ in 0..100 {
+            let _ = rng.in_range_i128(i64::MIN as i128, i64::MAX as i128);
+            let _ = rng.in_range_i128(0, u64::MAX as i128);
+        }
+        assert_eq!(rng.in_range_i128(7, 7), 7);
+    }
+}

@@ -14,7 +14,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use systolic_machine::{parse, push_selections, Expr, MachineError, ParseError, System};
+use systolic_machine::{
+    parse, push_selections, Expr, MachineConfig, MachineError, ParseError, System,
+};
 use systolic_relation::{
     export_csv, import_csv, Catalog, Column, DomainId, DomainKind, RelationError, Schema,
 };
@@ -103,7 +105,11 @@ pub fn parse_table_spec(spec: &str) -> Result<TableSpec, CliError> {
             _ => Err(usage()),
         })
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(TableSpec { name: name.to_string(), path: path.to_string(), kinds })
+    Ok(TableSpec {
+        name: name.to_string(),
+        path: path.to_string(),
+        kinds,
+    })
 }
 
 /// Parsed command line.
@@ -115,12 +121,19 @@ pub struct CliArgs {
     pub query: String,
     /// Whether to print hardware statistics after the result.
     pub stats: bool,
+    /// Host worker threads for the simulation (`0` = auto: the
+    /// `SYSTOLIC_THREADS` environment variable, else sequential). Changes
+    /// only how fast the host simulates, never the simulated results.
+    pub threads: usize,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] QUERY
+pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
+[--threads N] QUERY
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
+  --threads N: simulate independent plan steps on N host threads (0 = auto
+               via SYSTOLIC_THREADS; results and hardware stats unchanged)
   example: sdb --table emp=emp.csv:str,int --stats 'filter(scan(emp), c1 >= 30)'";
 
 /// Parse command-line arguments (excluding `argv[0]`).
@@ -136,10 +149,20 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                 args.tables.push(parse_table_spec(spec)?);
             }
             "--stats" => args.stats = true,
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads requires a value".into()))?;
+                args.threads = value.parse().map_err(|_| {
+                    CliError::Usage(format!("--threads expects a number, got {value:?}"))
+                })?;
+            }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
             other => {
-                return Err(CliError::Usage(format!("unexpected argument {other:?}\n{USAGE}")))
+                return Err(CliError::Usage(format!(
+                    "unexpected argument {other:?}\n{USAGE}"
+                )))
             }
         }
     }
@@ -147,7 +170,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         return Err(CliError::Usage(format!("missing query\n{USAGE}")));
     }
     if args.tables.is_empty() {
-        return Err(CliError::Usage(format!("at least one --table is required\n{USAGE}")));
+        return Err(CliError::Usage(format!(
+            "at least one --table is required\n{USAGE}"
+        )));
     }
     Ok(args)
 }
@@ -158,6 +183,7 @@ pub fn run_query(
     tables: &[(TableSpec, String)],
     query: &str,
     stats: bool,
+    threads: usize,
 ) -> Result<String, CliError> {
     let mut catalog = Catalog::new();
     // One shared domain per kind, so same-typed columns are comparable.
@@ -169,9 +195,15 @@ pub fn run_query(
             DomainKind::Bool => "bool",
             DomainKind::Date => "date",
         };
-        *domains.entry(key).or_insert_with(|| catalog.add_domain(key, kind))
+        *domains
+            .entry(key)
+            .or_insert_with(|| catalog.add_domain(key, kind))
     };
-    let mut sys = System::default_machine();
+    let mut sys = System::new(MachineConfig {
+        host_threads: threads,
+        ..MachineConfig::default()
+    })
+    .map_err(CliError::Machine)?;
     for (spec, text) in tables {
         let columns: Vec<Column> = spec
             .kinds
@@ -198,6 +230,10 @@ pub fn run_query(
             out.stats.bytes_from_disk,
             out.stats.max_device_concurrency,
         ));
+        rendered.push_str(&format!(
+            "-- host: simulated in {:.3} ms\n",
+            out.host_wall_ns as f64 / 1e6,
+        ));
     }
     Ok(rendered)
 }
@@ -210,7 +246,7 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
         let text = std::fs::read_to_string(&spec.path)?;
         tables.push((spec.clone(), text));
     }
-    run_query(&tables, &args.query, args.stats)
+    run_query(&tables, &args.query, args.stats, args.threads)
 }
 
 #[cfg(test)]
@@ -218,7 +254,11 @@ mod tests {
     use super::*;
 
     fn spec(name: &str, kinds: Vec<DomainKind>) -> TableSpec {
-        TableSpec { name: name.into(), path: String::new(), kinds }
+        TableSpec {
+            name: name.into(),
+            path: String::new(),
+            kinds,
+        }
     }
 
     #[test]
@@ -226,7 +266,10 @@ mod tests {
         let s = parse_table_spec("emp=data/emp.csv:str,int,bool").unwrap();
         assert_eq!(s.name, "emp");
         assert_eq!(s.path, "data/emp.csv");
-        assert_eq!(s.kinds, vec![DomainKind::Str, DomainKind::Int, DomainKind::Bool]);
+        assert_eq!(
+            s.kinds,
+            vec![DomainKind::Str, DomainKind::Int, DomainKind::Bool]
+        );
         assert!(parse_table_spec("noequals").is_err());
         assert!(parse_table_spec("a=b").is_err());
         assert!(parse_table_spec("a=b:blob").is_err());
@@ -234,8 +277,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let argv: Vec<String> =
-            ["--table", "a=a.csv:int", "--stats", "scan(a)"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["--table", "a=a.csv:int", "--stats", "scan(a)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let args = parse_args(&argv).unwrap();
         assert_eq!(args.tables.len(), 1);
         assert!(args.stats);
@@ -245,12 +290,46 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parsing() {
+        let argv: Vec<String> = ["--table", "a=a.csv:int", "--threads", "4", "scan(a)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.threads, 4);
+        let bad: Vec<String> = ["--table", "a=a.csv:int", "--threads", "lots", "scan(a)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(parse_args(&bad), Err(CliError::Usage(_))));
+        let missing: Vec<String> = ["--table", "a=a.csv:int", "--threads"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(parse_args(&missing), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn threads_do_not_change_query_output() {
+        let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n4\n".to_string());
+        let b = (spec("b", vec![DomainKind::Int]), "2\n3\n5\n".to_string());
+        let query = "intersect(scan(a), scan(b))";
+        let sequential = run_query(&[a.clone(), b.clone()], query, false, 1).unwrap();
+        let parallel = run_query(&[a, b], query, false, 4).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
     fn end_to_end_join_query() {
-        let emp = (spec("emp", vec![DomainKind::Str, DomainKind::Int]),
-                   "ada,10\ngrace,20\nedsger,30\n".to_string());
-        let dept = (spec("dept", vec![DomainKind::Int, DomainKind::Str]),
-                    "10,storage\n20,query\n".to_string());
-        let out = run_query(&[emp, dept], "join(scan(emp), scan(dept), 1 = 0)", false).unwrap();
+        let emp = (
+            spec("emp", vec![DomainKind::Str, DomainKind::Int]),
+            "ada,10\ngrace,20\nedsger,30\n".to_string(),
+        );
+        let dept = (
+            spec("dept", vec![DomainKind::Int, DomainKind::Str]),
+            "10,storage\n20,query\n".to_string(),
+        );
+        let out = run_query(&[emp, dept], "join(scan(emp), scan(dept), 1 = 0)", false, 0).unwrap();
         assert!(out.contains("ada,10,storage"));
         assert!(out.contains("grace,20,query"));
         assert!(!out.contains("edsger"));
@@ -258,9 +337,11 @@ mod tests {
 
     #[test]
     fn filter_and_stats_footer() {
-        let t = (spec("nums", vec![DomainKind::Int, DomainKind::Int]),
-                 "1,10\n2,20\n3,30\n".to_string());
-        let out = run_query(&[t], "filter(scan(nums), c1 >= 20)", true).unwrap();
+        let t = (
+            spec("nums", vec![DomainKind::Int, DomainKind::Int]),
+            "1,10\n2,20\n3,30\n".to_string(),
+        );
+        let out = run_query(&[t], "filter(scan(nums), c1 >= 20)", true, 0).unwrap();
         assert!(out.contains("2,20"));
         assert!(out.contains("3,30"));
         assert!(!out.contains("1,10"));
@@ -272,7 +353,7 @@ mod tests {
     fn set_operations_across_tables() {
         let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n".to_string());
         let b = (spec("b", vec![DomainKind::Int]), "2\n3\n4\n".to_string());
-        let out = run_query(&[a, b], "intersect(scan(a), scan(b))", false).unwrap();
+        let out = run_query(&[a, b], "intersect(scan(a), scan(b))", false, 0).unwrap();
         let lines: Vec<&str> = out.lines().skip(1).collect();
         assert_eq!(lines, vec!["2", "3"]);
     }
@@ -281,26 +362,38 @@ mod tests {
     fn errors_are_surfaced() {
         let t = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
         assert!(matches!(
-            run_query(std::slice::from_ref(&t), "explode(scan(a))", false),
+            run_query(std::slice::from_ref(&t), "explode(scan(a))", false, 0),
             Err(CliError::Query(_))
         ));
         assert!(matches!(
-            run_query(std::slice::from_ref(&t), "scan(missing)", false),
+            run_query(std::slice::from_ref(&t), "scan(missing)", false, 0),
             Err(CliError::Machine(_))
         ));
         assert!(matches!(
-            run_query(&[(t.0.clone(), "notanint\n".to_string())], "scan(a)", false),
+            run_query(
+                &[(t.0.clone(), "notanint\n".to_string())],
+                "scan(a)",
+                false,
+                0
+            ),
             Err(CliError::Relation(_))
         ));
     }
 
     #[test]
     fn division_via_the_cli() {
-        let takes = (spec("takes", vec![DomainKind::Str, DomainKind::Str]),
-                     "ida,db\nida,os\njoe,db\n".to_string());
+        let takes = (
+            spec("takes", vec![DomainKind::Str, DomainKind::Str]),
+            "ida,db\nida,os\njoe,db\n".to_string(),
+        );
         let core = (spec("core", vec![DomainKind::Str]), "db\nos\n".to_string());
-        let out = run_query(&[takes, core], "divide(scan(takes), scan(core), 0, 1, 0)", false)
-            .unwrap();
+        let out = run_query(
+            &[takes, core],
+            "divide(scan(takes), scan(core), 0, 1, 0)",
+            false,
+            0,
+        )
+        .unwrap();
         assert!(out.contains("ida"));
         assert!(!out.contains("joe"));
     }

@@ -15,7 +15,9 @@ use rand::SeedableRng;
 fn seq(range: std::ops::Range<i64>, m: usize) -> MultiRelation {
     MultiRelation::new(
         synth_schema(m),
-        range.map(|i| (0..m).map(|c| i + c as i64).collect()).collect(),
+        range
+            .map(|i| (0..m).map(|c| i + c as i64).collect())
+            .collect(),
     )
     .unwrap()
 }
@@ -29,11 +31,18 @@ fn typed_data_survives_the_full_pipeline() {
     let a = catalog
         .encode_multi(
             schema.clone(),
-            &[vec![Datum::str("x")], vec![Datum::str("y")], vec![Datum::str("z")]],
+            &[
+                vec![Datum::str("x")],
+                vec![Datum::str("y")],
+                vec![Datum::str("z")],
+            ],
         )
         .unwrap();
     let b = catalog
-        .encode_multi(schema.clone(), &[vec![Datum::str("y")], vec![Datum::str("q")]])
+        .encode_multi(
+            schema.clone(),
+            &[vec![Datum::str("y")], vec![Datum::str("q")]],
+        )
         .unwrap();
     let (c, _) = ops::intersect(&a, &b, Execution::Marching).unwrap();
     let decoded = catalog.decode_row(&schema, &c.rows()[0]).unwrap();
@@ -53,7 +62,9 @@ fn machine_transactions_agree_with_direct_operator_calls() {
     sys.load_base("a", a.clone());
     sys.load_base("b", b.clone());
     sys.load_base("c", c.clone());
-    let expr = Expr::scan("a").intersect(Expr::scan("b")).union(Expr::scan("c"));
+    let expr = Expr::scan("a")
+        .intersect(Expr::scan("b"))
+        .union(Expr::scan("c"));
     let out = sys.run(&expr).unwrap();
 
     let (i, _) = ops::intersect(&a, &b, Execution::Marching).unwrap();
@@ -68,12 +79,20 @@ fn three_baseline_families_and_three_executions_all_agree() {
     let (a, b) = (ra.into_multi(), rb.into_multi());
     let mut c = OpCounter::new();
     let reference = nested_loop::intersect(&a, &b, &mut c).unwrap();
-    assert!(hashed::intersect(&a, &b, &mut c).unwrap().set_eq(&reference));
-    assert!(sorted::intersect(&a, &b, &mut c).unwrap().set_eq(&reference));
+    assert!(hashed::intersect(&a, &b, &mut c)
+        .unwrap()
+        .set_eq(&reference));
+    assert!(sorted::intersect(&a, &b, &mut c)
+        .unwrap()
+        .set_eq(&reference));
     for exec in [
         Execution::Marching,
         Execution::FixedOperand,
         Execution::Tiled(ArrayLimits::new(6, 5, 2)),
+        Execution::Parallel {
+            limits: ArrayLimits::new(6, 5, 2),
+            threads: 4,
+        },
     ] {
         let (got, _) = ops::intersect(&a, &b, exec).unwrap();
         assert!(got.set_eq(&reference), "{exec:?}");
@@ -172,16 +191,27 @@ fn heavily_constrained_machine_still_computes_correctly() {
     let cfg = MachineConfig {
         memories: 2,
         devices: vec![
-            (systolic_db::machine::DeviceKind::SetOp, ArrayLimits::new(3, 3, 1)),
-            (systolic_db::machine::DeviceKind::Join, ArrayLimits::new(3, 3, 1)),
-            (systolic_db::machine::DeviceKind::Divide, ArrayLimits::new(3, 3, 1)),
+            (
+                systolic_db::machine::DeviceKind::SetOp,
+                ArrayLimits::new(3, 3, 1),
+            ),
+            (
+                systolic_db::machine::DeviceKind::Join,
+                ArrayLimits::new(3, 3, 1),
+            ),
+            (
+                systolic_db::machine::DeviceKind::Divide,
+                ArrayLimits::new(3, 3, 1),
+            ),
         ],
         ..MachineConfig::default()
     };
     let mut sys = System::new(cfg).unwrap();
     sys.load_base("a", seq(0..20, 2));
     sys.load_base("b", seq(10..30, 2));
-    let out = sys.run(&Expr::scan("a").intersect(Expr::scan("b"))).unwrap();
+    let out = sys
+        .run(&Expr::scan("a").intersect(Expr::scan("b")))
+        .unwrap();
     assert_eq!(out.result.len(), 10);
     assert!(out.stats.array_runs > 1, "tiny array forces decomposition");
     assert_eq!(out.stats.max_device_concurrency, 1);

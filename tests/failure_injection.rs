@@ -76,12 +76,14 @@ fn truncated_tuple_is_detected_by_the_accumulator_count() {
     // missing while the schedule still claims |A| = 3: only two
     // accumulated t values exit the bottom, and the front-end's
     // completeness check (one t per claimed tuple) detects the shortfall.
-    use systolic_db::arrays::intersection::{AccumulateCell, IntersectCell};
     use systolic_db::arrays::comparison::CompareCell;
+    use systolic_db::arrays::intersection::{AccumulateCell, IntersectCell};
     let a = vec![vec![1i64, 1], vec![2, 2], vec![3, 3]];
     let b = vec![vec![2i64, 2]];
     // Sanity: the untampered public API works.
-    assert!(IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).is_ok());
+    assert!(IntersectionArray::new(2)
+        .run(&a, &b, SetOpMode::Intersect)
+        .is_ok());
     let sched = CompareSchedule::new(3, 1, 2);
     let mut grid: Grid<IntersectCell> = Grid::new(sched.rows(), 3, |_, c| {
         if c < 2 {
@@ -108,7 +110,10 @@ fn truncated_tuple_is_detected_by_the_accumulator_count() {
         .filter(|em| em.lane == sched.acc_col())
         .count();
     assert_eq!(accumulated, 2, "the third tuple's t never materialises");
-    assert_ne!(accumulated, sched.n_a, "shortfall detected by the count check");
+    assert_ne!(
+        accumulated, sched.n_a,
+        "shortfall detected by the count check"
+    );
 }
 
 #[test]
@@ -141,7 +146,10 @@ fn machine_memory_overflow_is_reported_not_truncated() {
     let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i]).collect();
     sys.load_base("big", MultiRelation::new(synth_schema(2), rows).unwrap());
     let err = sys.run(&Expr::scan("big").dedup()).unwrap_err();
-    assert!(matches!(err, MachineError::MemoryOverflow { .. }), "got {err:?}");
+    assert!(
+        matches!(err, MachineError::MemoryOverflow { .. }),
+        "got {err:?}"
+    );
 }
 
 #[test]
@@ -149,7 +157,13 @@ fn bit_width_overflow_is_an_error_not_a_wraparound() {
     use systolic_db::arrays::bitlevel::BitSerialComparator;
     let cmp = BitSerialComparator::new(4, systolic_db::fabric::CompareOp::Eq);
     let err = cmp.compare(16, 1).unwrap_err();
-    assert!(matches!(err, CoreError::WidthOverflow { value: 16, width: 4 }));
+    assert!(matches!(
+        err,
+        CoreError::WidthOverflow {
+            value: 16,
+            width: 4
+        }
+    ));
 }
 
 #[test]
@@ -172,5 +186,8 @@ fn corrupted_word_kind_on_a_result_wire_is_rejected() {
     grid.set_west_feeder(sched.t_feeder(|_, _| true));
     grid.run_until_quiescent(sched.pulse_bound()).unwrap();
     let em = grid.east_emissions().emissions()[0];
-    assert!(em.word.as_bool().is_none(), "a non-boolean verdict is detectable");
+    assert!(
+        em.word.as_bool().is_none(),
+        "a non-boolean verdict is detectable"
+    );
 }

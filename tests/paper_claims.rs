@@ -3,16 +3,20 @@
 
 use systolic_db::arrays::ops::{self, Execution};
 use systolic_db::arrays::{
-    ComparisonArray2d, DivisionArray, FixedOperandArray, IntersectionArray,
-    LinearComparisonArray, SetOpMode,
+    ComparisonArray2d, DivisionArray, FixedOperandArray, IntersectionArray, LinearComparisonArray,
+    SetOpMode,
 };
 use systolic_db::fabric::Elem;
-use systolic_db::perfmodel::{array_keeps_up_with_disk, DiskModel, Prediction, Technology, Workload};
+use systolic_db::perfmodel::{
+    array_keeps_up_with_disk, DiskModel, Prediction, Technology, Workload,
+};
 use systolic_db::relation::gen::synth_schema;
 use systolic_db::relation::MultiRelation;
 
 fn seq(range: std::ops::Range<i64>, m: usize) -> Vec<Vec<Elem>> {
-    range.map(|i| (0..m).map(|c| i + c as i64).collect()).collect()
+    range
+        .map(|i| (0..m).map(|c| i + c as i64).collect())
+        .collect()
 }
 
 /// §3.1: "after m time steps the output at the right-most processor of the
@@ -33,7 +37,9 @@ fn claim_3_1_linear_array_takes_m_steps() {
 fn claim_3_2_all_pairs_compared() {
     let a = seq(0..7, 3);
     let b = seq(3..12, 3);
-    let out = ComparisonArray2d::equality(3).t_matrix(&a, &b, |_, _| true).unwrap();
+    let out = ComparisonArray2d::equality(3)
+        .t_matrix(&a, &b, |_, _| true)
+        .unwrap();
     for (i, ra) in a.iter().enumerate() {
         for (j, rb) in b.iter().enumerate() {
             assert_eq!(out.t.get(i, j), ra == rb, "pair ({i},{j})");
@@ -89,8 +95,16 @@ fn claim_7_division_example() {
     let (i, j, k) = (1, 2, 3);
     let (a, b, c, d, e) = (10, 11, 12, 13, 14);
     let pairs = [
-        (i, a), (i, b), (i, c), (j, a), (j, c),
-        (k, a), (i, d), (j, e), (k, c), (k, d),
+        (i, a),
+        (i, b),
+        (i, c),
+        (j, a),
+        (j, c),
+        (k, a),
+        (i, d),
+        (j, e),
+        (k, c),
+        (k, d),
     ];
     let out = DivisionArray.divide(&pairs, &[a, b, c, d]).unwrap();
     assert_eq!(out.quotient, vec![i]);
@@ -101,8 +115,12 @@ fn claim_7_division_example() {
 #[test]
 fn claim_8_utilisation_and_fixed_operand() {
     let a = seq(0..48, 2);
-    let marching = IntersectionArray::new(2).run(&a, &a, SetOpMode::Intersect).unwrap();
-    let fixed = FixedOperandArray::preload(&a).run(&a, SetOpMode::Intersect).unwrap();
+    let marching = IntersectionArray::new(2)
+        .run(&a, &a, SetOpMode::Intersect)
+        .unwrap();
+    let fixed = FixedOperandArray::preload(&a)
+        .run(&a, SetOpMode::Intersect)
+        .unwrap();
     // Marching two equal relations never exceeds half utilisation (it
     // converges to ~1/3 including fill/drain); the fixed-operand layout
     // converges to ~1/2 at equal cardinalities...
@@ -133,10 +151,22 @@ fn claim_8_performance_model() {
     assert_eq!(w.bit_comparisons(), 150_000_000_000u64);
     let conservative = Prediction::new(Technology::paper_conservative(), w);
     let optimistic = Prediction::new(Technology::paper_optimistic(), w);
-    assert_eq!(Technology::paper_conservative().comparators_per_chip(), 1000);
-    assert_eq!(Technology::paper_conservative().parallel_comparators(), 1_000_000);
-    assert!((conservative.intersection_ms() - 52.5).abs() < 1e-9, "'about 50ms'");
-    assert!((optimistic.intersection_ms() - 10.0).abs() < 1e-9, "'about 10ms'");
+    assert_eq!(
+        Technology::paper_conservative().comparators_per_chip(),
+        1000
+    );
+    assert_eq!(
+        Technology::paper_conservative().parallel_comparators(),
+        1_000_000
+    );
+    assert!(
+        (conservative.intersection_ms() - 52.5).abs() < 1e-9,
+        "'about 50ms'"
+    );
+    assert!(
+        (optimistic.intersection_ms() - 10.0).abs() < 1e-9,
+        "'about 10ms'"
+    );
 }
 
 /// §8: the disk-rate comparison — a 3600 rpm disk revolves in ~17 ms and
@@ -159,10 +189,17 @@ fn claim_8_decomposition() {
     use systolic_db::arrays::tiling::{membership_tiled, ArrayLimits};
     let a = seq(0..40, 2);
     let b = seq(20..60, 2);
-    let whole = IntersectionArray::new(2).run(&a, &b, SetOpMode::Intersect).unwrap();
-    let (tiled, stats) =
-        membership_tiled(&a, &b, SetOpMode::Intersect, ArrayLimits::new(8, 8, 2), |_, _| true)
-            .unwrap();
+    let whole = IntersectionArray::new(2)
+        .run(&a, &b, SetOpMode::Intersect)
+        .unwrap();
+    let (tiled, stats) = membership_tiled(
+        &a,
+        &b,
+        SetOpMode::Intersect,
+        ArrayLimits::new(8, 8, 2),
+        |_, _| true,
+    )
+    .unwrap();
     assert_eq!(tiled, whole.keep);
     assert_eq!(stats.array_runs, 25, "5x5 tile grid");
 }

@@ -33,28 +33,53 @@ fn interpret(expr: &Expr) -> MultiRelation {
             }
         }
         Expr::Intersect(l, r) => {
-            ops::intersect(&interpret(l), &interpret(r), Execution::Marching).unwrap().0
+            ops::intersect(&interpret(l), &interpret(r), Execution::Marching)
+                .unwrap()
+                .0
         }
         Expr::Difference(l, r) => {
-            ops::difference(&interpret(l), &interpret(r), Execution::Marching).unwrap().0
+            ops::difference(&interpret(l), &interpret(r), Execution::Marching)
+                .unwrap()
+                .0
         }
         Expr::Union(l, r) => {
-            ops::union(&interpret(l), &interpret(r), Execution::Marching).unwrap().0
+            ops::union(&interpret(l), &interpret(r), Execution::Marching)
+                .unwrap()
+                .0
         }
         Expr::Dedup(e) => ops::dedup(&interpret(e), Execution::Marching).unwrap().0,
         Expr::Project(e, cols) => {
-            ops::project(&interpret(e), cols, Execution::Marching).unwrap().0
-        }
-        Expr::Select(e, preds) => {
-            ops::select(&interpret(e), preds, Execution::Marching).unwrap().0
-        }
-        Expr::Join(l, r, specs) => {
-            ops::join(&interpret(l), &interpret(r), specs, Execution::Marching).unwrap().0
-        }
-        Expr::Divide { dividend, divisor, key, ca, cb } => {
-            ops::divide_binary(&interpret(dividend), *key, *ca, &interpret(divisor), *cb, Execution::Marching)
+            ops::project(&interpret(e), cols, Execution::Marching)
                 .unwrap()
                 .0
+        }
+        Expr::Select(e, preds) => {
+            ops::select(&interpret(e), preds, Execution::Marching)
+                .unwrap()
+                .0
+        }
+        Expr::Join(l, r, specs) => {
+            ops::join(&interpret(l), &interpret(r), specs, Execution::Marching)
+                .unwrap()
+                .0
+        }
+        Expr::Divide {
+            dividend,
+            divisor,
+            key,
+            ca,
+            cb,
+        } => {
+            ops::divide_binary(
+                &interpret(dividend),
+                *key,
+                *ca,
+                &interpret(divisor),
+                *cb,
+                Execution::Marching,
+            )
+            .unwrap()
+            .0
         }
         // A store is the identity on the result relation.
         Expr::Store(e, _) => interpret(e),
