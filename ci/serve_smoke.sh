@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke-test the live query service end to end:
+#   1. start `sdb serve` in the background,
+#   2. load tables and run a join through `sdb --connect`,
+#   3. check the joined rows arrived,
+#   4. SIGTERM the server and verify it drains and exits 0.
+# Any failure exits nonzero.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:14171
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cargo build --bin sdb
+SDB=target/debug/sdb
+
+printf 'ada,10\ngrace,20\nedsger,30\n' > "$WORK/emp.csv"
+printf '10,storage\n20,query\n' > "$WORK/dept.csv"
+
+"$SDB" serve --addr "$ADDR" > "$WORK/serve.log" 2>&1 &
+SRV=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve.log" && break
+  kill -0 "$SRV" 2>/dev/null || { echo "server died early:"; cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve.log" || { echo "server never came up"; cat "$WORK/serve.log"; exit 1; }
+
+"$SDB" --connect "$ADDR" \
+  --table "emp=$WORK/emp.csv:str,int" \
+  --table "dept=$WORK/dept.csv:int,str" \
+  --stats \
+  'join(scan(emp), scan(dept), 1 = 0)' > "$WORK/out.txt"
+
+echo "--- client output ---"
+cat "$WORK/out.txt"
+
+grep -q 'ada,10,storage' "$WORK/out.txt" || { echo "missing joined row ada"; exit 1; }
+grep -q 'grace,20,query' "$WORK/out.txt" || { echo "missing joined row grace"; exit 1; }
+if grep -q 'edsger' "$WORK/out.txt"; then echo "unjoined row leaked"; exit 1; fi
+grep -q -- '-- 2 tuples' "$WORK/out.txt" || { echo "missing stats footer"; exit 1; }
+
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+  echo "server did not exit cleanly:"; cat "$WORK/serve.log"; exit 1
+fi
+grep -q "shutdown:" "$WORK/serve.log" || { echo "missing shutdown summary"; cat "$WORK/serve.log"; exit 1; }
+
+echo "--- server log ---"
+cat "$WORK/serve.log"
+echo "serve smoke test passed"

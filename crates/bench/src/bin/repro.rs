@@ -952,7 +952,78 @@ fn e19_pipelined_tiles() {
     );
 }
 
+/// `repro serve-throughput`: queries/sec against a live in-process
+/// systolic-server at 1, 4 and 16 concurrent connections.
+fn serve_throughput() {
+    use std::time::Instant;
+    use systolic_server::{spawn, Client, ServerConfig};
+
+    heading(
+        "S1",
+        "systolic-server throughput",
+        "\u{a7}9: the crossbar organisation runs a set of transactions concurrently \u{2014} \
+         here served to TCP clients through the admission scheduler",
+    );
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback server");
+    let addr = handle.addr;
+    let mut setup = Client::connect(addr).unwrap();
+    let a_csv: String = (0..96).map(|i| format!("{}\n", i % 48)).collect();
+    let b_csv: String = (0..96).map(|i| format!("{}\n", (i * 3) % 64)).collect();
+    setup.load_csv("a", "int", &a_csv).unwrap();
+    setup.load_csv("b", "int", &b_csv).unwrap();
+    setup.close().unwrap();
+
+    const QUERIES: &[&str] = &[
+        "intersect(scan(a), scan(b))",
+        "union(scan(a), scan(b))",
+        "difference(scan(a), scan(b))",
+        "dedup(scan(a))",
+    ];
+    const PER_CLIENT: usize = 8;
+
+    let mut t = Table::new(&["connections", "queries", "wall time", "queries/sec"]);
+    for clients in [1usize, 4, 16] {
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for i in 0..clients {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for k in 0..PER_CLIENT {
+                        let q = QUERIES[(i + k) % QUERIES.len()];
+                        client.query(q).unwrap();
+                    }
+                    client.close().unwrap();
+                });
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let total = clients * PER_CLIENT;
+        t.rowd(&[
+            clients.to_string(),
+            total.to_string(),
+            format!("{:.1} ms", elapsed * 1e3),
+            format!("{:.0}", total as f64 / elapsed),
+        ]);
+    }
+    print!("{}", t.render());
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    println!(
+        "(answers are byte-identical to one-shot runs at every concurrency; merged \
+         admission formed {} multi-query schedules, largest batch {})",
+        report.batches, report.max_batch
+    );
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve-throughput") {
+        serve_throughput();
+        return;
+    }
     println!(
         "# Systolic (VLSI) Arrays for Relational Database Operations — experiment reproduction"
     );

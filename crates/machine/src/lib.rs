@@ -40,6 +40,8 @@ pub use error::{MachineError, Result};
 pub use plan::{push_selections, Action, Expr, Plan, PlanOp, PlanStep};
 pub use query::{parse, ParseError};
 pub use storage::{relation_bytes, Disk, MemoryModule, TrackFilter};
-pub use system::{Interconnect, MachineConfig, RunOutcome, RunStats, System};
+pub use system::{
+    BatchOutcome, Interconnect, MachineConfig, QueryOutcome, RunOutcome, RunStats, System,
+};
 pub use timeline::{Event, Timeline};
 pub use tree::{TreeMachine, TreeStats};

@@ -38,6 +38,28 @@ impl std::fmt::Display for ParseError {
     }
 }
 
+impl ParseError {
+    /// Multi-line rendering with the offending query and a caret under the
+    /// stored byte offset — what interactive front-ends should show instead
+    /// of the bare "parse error at byte N" `Display` form.
+    ///
+    /// Falls back to the one-line form when `src` spans several lines (the
+    /// query language itself has no newlines; only hand-fed input does).
+    pub fn pretty(&self, src: &str) -> String {
+        if src.contains('\n') || src.contains('\r') {
+            return self.to_string();
+        }
+        let at = self.at.min(src.len());
+        // The caret lands on a character column, not a byte column.
+        let col = src[..at].chars().count();
+        let mut out = format!("parse error: {}\n  | {src}\n  | ", self.message);
+        out.push_str(&" ".repeat(col));
+        out.push('^');
+        out.push_str(&format!(" at byte {}", self.at));
+        out
+    }
+}
+
 impl std::error::Error for ParseError {}
 
 struct Parser<'a> {
@@ -448,5 +470,26 @@ mod tests {
         let expr = parse("filter(intersect(scan(a), scan(b)), c0 < 8)").unwrap();
         let out = sys.run(&expr).unwrap();
         assert_eq!(out.result.len(), 3, "tuples 5, 6, 7");
+    }
+
+    #[test]
+    fn pretty_errors_point_a_caret_at_the_offset() {
+        let src = "union(scan(a), scann(b))";
+        let err = parse(src).unwrap_err();
+        let pretty = err.pretty(src);
+        let lines: Vec<&str> = pretty.lines().collect();
+        assert_eq!(lines.len(), 3, "message, source, caret: {pretty}");
+        assert_eq!(lines[1], format!("  | {src}"));
+        let caret_col = lines[2].find('^').expect("caret rendered");
+        // "  | " prefix is 4 columns wide; the caret sits at the error byte.
+        assert_eq!(caret_col - 4, err.at, "{pretty}");
+        assert!(lines[2].contains(&format!("at byte {}", err.at)));
+    }
+
+    #[test]
+    fn pretty_errors_fall_back_to_one_line_for_multiline_sources() {
+        let src = "union(scan(a),\nscann(b))";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.pretty(src), err.to_string());
     }
 }

@@ -147,6 +147,11 @@ impl MemoryModule {
         }
     }
 
+    /// Word size used for byte accounting.
+    pub fn bytes_per_word(&self) -> u64 {
+        self.bytes_per_word
+    }
+
     /// Bytes currently used.
     pub fn used(&self) -> u64 {
         self.used

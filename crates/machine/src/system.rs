@@ -16,6 +16,17 @@
 //! The scheduler is a deterministic list scheduler over those resources; an
 //! operation holds its input-memory ports, its output-memory port and its
 //! device for the whole (pipelined) run.
+//!
+//! Scheduling is split into two passes. The execute pass performs
+//! every data-dependent computation — disk reads and device runs, which are
+//! pure functions of disk contents and `(op, inputs, limits)` — and records
+//! the results. The accounting pass then prices those records against a
+//! fresh set of resource clocks. Because the records carry no clock state,
+//! the *same* executions can be accounted more than once: once inside a
+//! merged multi-transaction schedule and once standalone per transaction
+//! (see [`System::run_batch_accounted`]), which is what lets a long-running
+//! query service batch concurrent clients without perturbing per-request
+//! statistics.
 
 use std::collections::HashMap;
 
@@ -154,6 +165,119 @@ impl RunOutcome {
     }
 }
 
+/// One transaction's standalone accounting within a batched run.
+///
+/// Produced by [`System::run_batch_accounted`]: the transaction's recorded
+/// executions replayed against a fresh machine state, so `stats` and
+/// `timeline` are bit-identical to running the transaction alone on a
+/// freshly built [`System`] — independent of what else was in the batch.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The transaction's result relation.
+    pub result: MultiRelation,
+    /// Simulated-hardware statistics of the standalone schedule.
+    pub stats: RunStats,
+    /// The standalone schedule itself.
+    pub timeline: Timeline,
+}
+
+/// Result of [`System::run_batch_accounted`]: the merged §9 schedule plus
+/// per-transaction standalone accounting over the same executions.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One standalone-accounted outcome per submitted transaction.
+    pub queries: Vec<QueryOutcome>,
+    /// The merged schedule — all transactions sharing crossbar ports and
+    /// devices. Its `host_wall_ns` covers the whole batch: the execution
+    /// pass and both accounting passes.
+    pub combined: RunOutcome,
+}
+
+/// The data-dependent part of one plan step, captured ahead of accounting.
+///
+/// Device runs are pure functions of `(op, inputs, limits)` and disk reads
+/// are pure functions of disk contents, so these records carry no clock
+/// state and can be priced under any resource-clock history.
+#[derive(Debug)]
+enum StepExec {
+    /// Outcome of the disk read feeding a `Load` step.
+    Load(Result<LoadExec>),
+    /// Precomputed device run for an `Op` step; `None` when the eligible
+    /// devices disagree on limits (or inputs did not resolve) and the run
+    /// must happen inline during accounting.
+    Op(Option<Result<(MultiRelation, systolic_core::ExecStats)>>),
+    /// `Store` steps move already-staged data; nothing to precompute.
+    Store,
+}
+
+/// What a disk delivered for one `Load` step.
+#[derive(Debug)]
+struct LoadExec {
+    delivered: MultiRelation,
+    duration: u64,
+    disk_id: usize,
+}
+
+/// Per-run scheduler state: staging memories, port clocks and placement.
+///
+/// Every accounting pass starts from a fresh `Transient`, so a long-lived
+/// [`System`] schedules each run exactly as a freshly built machine would —
+/// only disk contents (base relations and `store!` write-backs) persist
+/// across runs.
+#[derive(Debug)]
+struct Transient {
+    memories: Vec<MemoryModule>,
+    free_at: HashMap<Res, u64>,
+    placement: HashMap<String, usize>,
+    placement_rr: usize,
+}
+
+impl Transient {
+    /// Pick a module with room for `bytes`, preferring the module whose
+    /// port frees earliest (so independent operations land on distinct
+    /// ports — which is what makes concurrent operation possible), then the
+    /// emptiest, breaking remaining ties round-robin.
+    fn choose_memory(&mut self, bytes: u64) -> Result<usize> {
+        let n = self.memories.len();
+        let start = self.placement_rr;
+        let mut best: Option<(u64, u64, usize)> = None; // (port_free_at, -free, id)
+        for k in 0..n {
+            let id = (start + k) % n;
+            if self.memories[id].free() < bytes {
+                continue;
+            }
+            let port = self.free_at.get(&Res::Mem(id)).copied().unwrap_or(0);
+            let key = (port, u64::MAX - self.memories[id].free());
+            if best.is_none_or(|(p, f, _)| key < (p, f)) {
+                best = Some((key.0, key.1, id));
+            }
+        }
+        let (_, _, id) = best.ok_or(MachineError::MemoryOverflow {
+            module: start,
+            requested: bytes,
+            available: self.memories.iter().map(|m| m.free()).max().unwrap_or(0),
+        })?;
+        self.placement_rr = (id + 1) % n;
+        Ok(id)
+    }
+
+    /// Look up a staged relation by name.
+    fn fetch(&self, name: &str) -> Result<MultiRelation> {
+        let &home = self
+            .placement
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })?;
+        self.memories[home]
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MachineError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+}
+
 /// The integrated machine: disks + memories + systolic devices + crossbar.
 #[derive(Debug)]
 pub struct System {
@@ -161,7 +285,6 @@ pub struct System {
     memories: Vec<MemoryModule>,
     devices: Vec<Device>,
     interconnect: Interconnect,
-    placement_rr: usize,
     disk_rr: usize,
     host_threads: usize,
 }
@@ -187,7 +310,6 @@ impl System {
             memories,
             devices,
             interconnect: config.interconnect,
-            placement_rr: 0,
             disk_rr: 0,
             host_threads: config.host_threads,
         })
@@ -216,6 +338,11 @@ impl System {
             })
     }
 
+    /// Whether a base relation with this name is stored on some disk.
+    pub fn has_base(&self, name: &str) -> bool {
+        self.disk_of(name).is_ok()
+    }
+
     /// Number of disks.
     pub fn disk_count(&self) -> usize {
         self.disks.len()
@@ -229,6 +356,20 @@ impl System {
     /// Number of memory modules.
     pub fn memory_count(&self) -> usize {
         self.memories.len()
+    }
+
+    /// Fresh per-run scheduler state mirroring this machine's memory shape.
+    fn transient(&self) -> Transient {
+        Transient {
+            memories: self
+                .memories
+                .iter()
+                .map(|m| MemoryModule::new(m.id, m.capacity, m.bytes_per_word()))
+                .collect(),
+            free_at: HashMap::new(),
+            placement: HashMap::new(),
+            placement_rr: 0,
+        }
     }
 
     /// Compile and run a transaction.
@@ -245,138 +386,132 @@ impl System {
     ///
     /// Returns one result per transaction plus the combined schedule.
     pub fn run_batch(&mut self, exprs: &[Expr]) -> Result<(Vec<MultiRelation>, RunOutcome)> {
+        let batch = self.run_batch_accounted(exprs)?;
+        Ok((
+            batch.queries.into_iter().map(|q| q.result).collect(),
+            batch.combined,
+        ))
+    }
+
+    /// Run a set of transactions as one merged schedule *and* account each
+    /// transaction standalone over the very same recorded executions.
+    ///
+    /// The merged pass prices the batch the way §9 describes — independent
+    /// transactions overlapping on distinct crossbar ports and devices —
+    /// while each [`QueryOutcome`] replays that transaction's recorded step
+    /// executions against fresh machine state, so its `stats` and
+    /// `timeline` are bit-identical to running the transaction alone on a
+    /// freshly built [`System`]. This is what lets a long-running service
+    /// batch concurrently-arriving requests for throughput while reporting
+    /// per-request simulated costs that do not depend on what else happened
+    /// to share the batch.
+    pub fn run_batch_accounted(&mut self, exprs: &[Expr]) -> Result<BatchOutcome> {
+        let host_start = std::time::Instant::now();
+        let threads = systolic_core::executor::resolve_threads(self.host_threads);
+        let plans: Vec<Plan> = exprs.iter().map(Plan::compile).collect();
+        let (merged, offsets) = Self::merge_plans(&plans);
+        let records = self.execute_steps(&merged, threads);
+        let mut shared = self.transient();
+        let mut combined = self.account(&merged, &records, &mut shared)?;
+        let mut queries = Vec::with_capacity(plans.len());
+        for (plan, &offset) in plans.iter().zip(&offsets) {
+            let slice = &records[offset..offset + plan.steps.len()];
+            let mut solo = self.transient();
+            let outcome = self.account(plan, slice, &mut solo)?;
+            queries.push(QueryOutcome {
+                result: outcome.result,
+                stats: outcome.stats,
+                timeline: outcome.timeline,
+            });
+        }
+        self.memories = shared.memories;
+        combined.host_wall_ns = host_start.elapsed().as_nanos() as u64;
+        Ok(BatchOutcome { queries, combined })
+    }
+
+    /// Merge per-transaction plans into one, namespacing temporaries and
+    /// staged copies per query (`q0:`, `q1:`, ...) so two transactions'
+    /// intermediates never collide. Returns the merged plan and each
+    /// transaction's step offset within it.
+    fn merge_plans(plans: &[Plan]) -> (Plan, Vec<usize>) {
         let mut merged = Plan::default();
-        let mut result_names = Vec::with_capacity(exprs.len());
-        for (q, expr) in exprs.iter().enumerate() {
-            let plan = Plan::compile(expr);
+        let mut offsets = Vec::with_capacity(plans.len());
+        for (q, plan) in plans.iter().enumerate() {
             let offset = merged.steps.len();
+            offsets.push(offset);
             for step in &plan.steps {
                 let mut step = step.clone();
                 step.id += offset;
                 for d in &mut step.deps {
                     *d += offset;
                 }
-                // Namespace temporaries and staged copies per query so two
-                // transactions' intermediates never collide.
                 step.output = format!("q{q}:{}", step.output);
                 match &mut step.action {
-                    crate::plan::Action::Op { inputs, .. } => {
+                    Action::Op { inputs, .. } => {
                         for input in inputs {
                             *input = format!("q{q}:{input}");
                         }
                     }
-                    crate::plan::Action::Store { input, .. } => {
+                    Action::Store { input, .. } => {
                         *input = format!("q{q}:{input}");
                     }
-                    crate::plan::Action::Load { .. } => {}
+                    Action::Load { .. } => {}
                 }
                 merged.steps.push(step);
             }
-            result_names.push(format!("q{q}:{}", plan.result_name()));
         }
-        let outcome = self.run_plan(&merged)?;
-        // run_plan returns the last step's output; collect all of them.
-        let results = result_names
-            .iter()
-            .map(|name| self.find_staged(name))
-            .collect::<Result<Vec<_>>>()?;
-        Ok((results, outcome))
+        (merged, offsets)
     }
 
-    /// Find a staged relation by name in any memory module.
-    fn find_staged(&self, name: &str) -> Result<MultiRelation> {
-        self.memories
-            .iter()
-            .find_map(|m| m.get(name))
-            .cloned()
-            .ok_or_else(|| MachineError::UnknownRelation {
-                name: name.to_string(),
-            })
-    }
-
-    /// Pick a module with room for `bytes`, preferring the module whose
-    /// port frees earliest (so independent operations land on distinct
-    /// ports — which is what makes concurrent operation possible), then the
-    /// emptiest, breaking remaining ties round-robin.
-    fn choose_memory(&mut self, bytes: u64, free_at: &HashMap<Res, u64>) -> Result<usize> {
-        let n = self.memories.len();
-        let start = self.placement_rr;
-        let mut best: Option<(u64, u64, usize)> = None; // (port_free_at, -free, id)
-        for k in 0..n {
-            let id = (start + k) % n;
-            if self.memories[id].free() < bytes {
-                continue;
-            }
-            let port = free_at.get(&Res::Mem(id)).copied().unwrap_or(0);
-            let key = (port, u64::MAX - self.memories[id].free());
-            if best.is_none_or(|(p, f, _)| key < (p, f)) {
-                best = Some((key.0, key.1, id));
-            }
-        }
-        let (_, _, id) = best.ok_or(MachineError::MemoryOverflow {
-            module: start,
-            requested: bytes,
-            available: self.memories.iter().map(|m| m.free()).max().unwrap_or(0),
-        })?;
-        self.placement_rr = (id + 1) % n;
-        Ok(id)
-    }
-
-    fn fetch(&self, placement: &HashMap<String, usize>, name: &str) -> Result<MultiRelation> {
-        let &home = placement
-            .get(name)
-            .ok_or_else(|| MachineError::UnknownRelation {
-                name: name.to_string(),
-            })?;
-        self.memories[home]
-            .get(name)
-            .cloned()
-            .ok_or_else(|| MachineError::UnknownRelation {
-                name: name.to_string(),
-            })
-    }
-
-    /// Simulate every `Op` step's device run ahead of the accounting pass,
-    /// fanning steps of the same dependency level over host worker threads.
+    /// Run every data-dependent part of a plan ahead of the accounting
+    /// pass: all disk reads, plus every `Op` step's device run, fanning
+    /// steps of the same dependency level over host worker threads.
     ///
-    /// This is sound because [`Device::execute`] is a pure function of
-    /// `(op, inputs, device.limits)` — it touches no clocks and no machine
-    /// state — so the result does not depend on *which* eligible device
-    /// instance the scheduler later picks, as long as every eligible device
-    /// has identical limits. Steps that fail that condition (heterogeneous
-    /// limits, or no eligible device at all) are left for the accounting
-    /// pass to execute inline, preserving the sequential error order.
-    ///
-    /// Returns one slot per plan step: `Some(result)` for precomputed `Op`
-    /// steps, `None` where the accounting pass must run the device itself.
+    /// Precomputing device runs is sound because [`Device::execute`] is a
+    /// pure function of `(op, inputs, device.limits)` — it touches no
+    /// clocks and no machine state — so the result does not depend on
+    /// *which* eligible device instance the accounting pass later picks, as
+    /// long as every eligible device has identical limits. Steps that fail
+    /// that condition (heterogeneous limits, or no eligible device at all)
+    /// are recorded as deferred and executed inline by the accounting pass,
+    /// preserving the sequential error order.
     #[allow(clippy::type_complexity)]
-    fn precompute_ops(
-        &self,
-        plan: &Plan,
-        threads: usize,
-    ) -> Vec<Option<Result<(MultiRelation, systolic_core::ExecStats)>>> {
-        let mut results: Vec<Option<Result<(MultiRelation, systolic_core::ExecStats)>>> =
-            (0..plan.steps.len()).map(|_| None).collect();
+    fn execute_steps(&self, plan: &Plan, threads: usize) -> Vec<StepExec> {
+        let mut records: Vec<StepExec> = plan
+            .steps
+            .iter()
+            .map(|step| match &step.action {
+                Action::Load { relation, filter } => {
+                    StepExec::Load(self.disk_of(relation).and_then(|disk_id| {
+                        self.disks[disk_id]
+                            .read(relation, *filter)
+                            .map(|(delivered, duration)| LoadExec {
+                                delivered,
+                                duration,
+                                disk_id,
+                            })
+                    }))
+                }
+                Action::Op { .. } => StepExec::Op(None),
+                Action::Store { .. } => StepExec::Store,
+            })
+            .collect();
         // Dataflow values by output name (plan steps are topologically
-        // ordered, so a level's inputs are always produced by lower levels).
+        // ordered, so a level's inputs are always produced by lower
+        // levels). Load errors are ignored here and resurface, in step
+        // order, during accounting.
         let mut values: HashMap<&str, MultiRelation> = HashMap::new();
+        for step in &plan.steps {
+            if let StepExec::Load(Ok(load)) = &records[step.id] {
+                values.insert(step.output.as_str(), load.delivered.clone());
+            }
+        }
         let mut level: Vec<usize> = vec![0; plan.steps.len()];
         for step in &plan.steps {
             level[step.id] = step.deps.iter().map(|&d| level[d] + 1).max().unwrap_or(0);
         }
         let max_level = level.iter().copied().max().unwrap_or(0);
         for lv in 0..=max_level {
-            // Non-Op steps of this level feed the dataflow map directly;
-            // errors are ignored here and resurface during accounting.
-            for step in plan.steps.iter().filter(|s| level[s.id] == lv) {
-                if let Action::Load { relation, filter } = &step.action {
-                    if let Ok(disk_id) = self.disk_of(relation) {
-                        if let Ok((delivered, _)) = self.disks[disk_id].read(relation, *filter) {
-                            values.insert(step.output.as_str(), delivered);
-                        }
-                    }
-                }
-            }
             // Op steps of this level whose inputs resolved and whose
             // eligible devices all agree on limits run concurrently.
             let batch: Vec<(&crate::plan::PlanStep, &Device, Vec<&MultiRelation>)> = plan
@@ -413,56 +548,61 @@ impl System {
                 if let Ok((out, _)) = &res {
                     values.insert(output, out.clone());
                 }
-                results[id] = Some(res);
+                records[id] = StepExec::Op(Some(res));
             }
         }
-        results
+        records
     }
 
-    /// Execute a compiled plan.
-    pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
-        let host_start = std::time::Instant::now();
-        let threads = systolic_core::executor::resolve_threads(self.host_threads);
-        let mut precomputed = if threads > 1 {
-            self.precompute_ops(plan, threads)
-        } else {
-            (0..plan.steps.len()).map(|_| None).collect()
-        };
+    /// The accounting pass: walk the plan in step order, allocate memory
+    /// ports and devices under the deterministic list-scheduling policy,
+    /// and price each step's recorded execution against `t`'s resource
+    /// clocks. `records` must be positionally aligned with `plan.steps`.
+    fn account(
+        &mut self,
+        plan: &Plan,
+        records: &[StepExec],
+        t: &mut Transient,
+    ) -> Result<RunOutcome> {
         let mut timeline = Timeline::default();
-        let mut free_at: HashMap<Res, u64> = HashMap::new();
         let mut step_end: Vec<u64> = vec![0; plan.steps.len()];
-        let mut placement: HashMap<String, usize> = HashMap::new();
         let mut stats = RunStats::default();
 
         for step in &plan.steps {
             let ready = step.deps.iter().map(|&d| step_end[d]).max().unwrap_or(0);
             match &step.action {
-                Action::Load { relation, filter } => {
-                    let disk_id = self.disk_of(relation)?;
-                    let (delivered, duration) = self.disks[disk_id].read(relation, *filter)?;
-                    let bytes = relation_bytes(&delivered, self.disks[disk_id].bytes_per_word);
-                    let target = self.choose_memory(bytes, &free_at)?;
-                    let mut resources = vec![Res::Disk(disk_id), Res::Mem(target)];
+                Action::Load { relation, .. } => {
+                    let StepExec::Load(record) = &records[step.id] else {
+                        unreachable!("load step paired with a load record")
+                    };
+                    let load = match record {
+                        Ok(load) => load,
+                        Err(e) => return Err(e.clone()),
+                    };
+                    let bytes =
+                        relation_bytes(&load.delivered, self.disks[load.disk_id].bytes_per_word);
+                    let target = t.choose_memory(bytes)?;
+                    let mut resources = vec![Res::Disk(load.disk_id), Res::Mem(target)];
                     if self.interconnect == Interconnect::SharedBus {
                         resources.push(Res::Bus);
                     }
                     let start = resources
                         .iter()
-                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .map(|r| t.free_at.get(r).copied().unwrap_or(0))
                         .max()
                         .unwrap_or(0)
                         .max(ready);
-                    let end = start + duration;
+                    let end = start + load.duration;
                     for r in resources {
-                        free_at.insert(r, end);
+                        t.free_at.insert(r, end);
                     }
-                    self.memories[target].store(step.output.clone(), delivered)?;
-                    placement.insert(step.output.clone(), target);
+                    t.memories[target].store(step.output.clone(), load.delivered.clone())?;
+                    t.placement.insert(step.output.clone(), target);
                     stats.bytes_from_disk += bytes;
                     timeline.push(
                         start,
                         end,
-                        format!("disk{disk_id}"),
+                        format!("disk{}", load.disk_id),
                         format!("read {relation}"),
                     );
                     timeline.push(
@@ -474,33 +614,36 @@ impl System {
                     step_end[step.id] = end;
                 }
                 Action::Op { op, inputs } => {
-                    let staged: Vec<MultiRelation> = inputs
-                        .iter()
-                        .map(|n| self.fetch(&placement, n))
-                        .collect::<Result<_>>()?;
-                    let refs: Vec<&MultiRelation> = staged.iter().collect();
+                    // Same error order as a purely sequential walk: staged
+                    // inputs first, then device eligibility.
+                    let staged: Vec<MultiRelation> =
+                        inputs.iter().map(|n| t.fetch(n)).collect::<Result<_>>()?;
                     // Pick the matching device that frees earliest.
                     let dev_id = self
                         .devices
                         .iter()
                         .filter(|d| d.can_execute(op))
-                        .min_by_key(|d| free_at.get(&Res::Dev(d.id)).copied().unwrap_or(0))
+                        .min_by_key(|d| t.free_at.get(&Res::Dev(d.id)).copied().unwrap_or(0))
                         .map(|d| d.id)
                         .ok_or_else(|| MachineError::NoDevice { kind: op.label() })?;
-                    // Consume the precomputed device run if the parallel
-                    // pass produced one; otherwise simulate inline. Either
-                    // way the value is a pure function of (op, inputs,
-                    // limits), so accounting below is unaffected.
-                    let (out, run_stats) = match precomputed[step.id].take() {
-                        Some(result) => result?,
-                        None => self.devices[dev_id].execute(op, &refs)?,
+                    // Use the recorded device run if the execution pass
+                    // produced one; otherwise simulate inline. Either way
+                    // the value is a pure function of (op, inputs, limits),
+                    // so the accounting below is unaffected.
+                    let (out, run_stats) = match &records[step.id] {
+                        StepExec::Op(Some(result)) => result.clone()?,
+                        StepExec::Op(None) => {
+                            let refs: Vec<&MultiRelation> = staged.iter().collect();
+                            self.devices[dev_id].execute(op, &refs)?
+                        }
+                        _ => unreachable!("op step paired with an op record"),
                     };
                     let duration = self.devices[dev_id].run_ns(&run_stats).max(1);
                     let out_bytes = relation_bytes(&out, self.disks[0].bytes_per_word);
-                    let target = self.choose_memory(out_bytes, &free_at)?;
+                    let target = t.choose_memory(out_bytes)?;
                     let mut resources = vec![Res::Dev(dev_id), Res::Mem(target)];
                     for n in inputs {
-                        resources.push(Res::Mem(placement[n]));
+                        resources.push(Res::Mem(t.placement[n.as_str()]));
                     }
                     if self.interconnect == Interconnect::SharedBus {
                         resources.push(Res::Bus);
@@ -514,16 +657,16 @@ impl System {
                     resources.dedup();
                     let start = resources
                         .iter()
-                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .map(|r| t.free_at.get(r).copied().unwrap_or(0))
                         .max()
                         .unwrap_or(0)
                         .max(ready);
                     let end = start + duration;
                     for r in &resources {
-                        free_at.insert(*r, end);
+                        t.free_at.insert(*r, end);
                     }
-                    self.memories[target].store(step.output.clone(), out)?;
-                    placement.insert(step.output.clone(), target);
+                    t.memories[target].store(step.output.clone(), out)?;
+                    t.placement.insert(step.output.clone(), target);
                     stats.total_pulses += run_stats.pulses;
                     stats.array_runs += run_stats.array_runs;
                     let dev_name = self.devices[dev_id].name.clone();
@@ -546,26 +689,27 @@ impl System {
                     step_end[step.id] = end;
                 }
                 Action::Store { input, as_name } => {
-                    let rel = self.fetch(&placement, input)?;
+                    let rel = t.fetch(input)?;
                     let bytes = relation_bytes(&rel, self.disks[0].bytes_per_word);
                     // Write back to the least-recently-used disk channel.
                     let disk_id = (0..self.disks.len())
-                        .min_by_key(|d| free_at.get(&Res::Disk(*d)).copied().unwrap_or(0))
+                        .min_by_key(|d| t.free_at.get(&Res::Disk(*d)).copied().unwrap_or(0))
                         .unwrap_or(0);
                     let duration = self.disks[disk_id].transfer_ns(bytes).max(1);
-                    let mut resources = vec![Res::Disk(disk_id), Res::Mem(placement[input])];
+                    let mut resources =
+                        vec![Res::Disk(disk_id), Res::Mem(t.placement[input.as_str()])];
                     if self.interconnect == Interconnect::SharedBus {
                         resources.push(Res::Bus);
                     }
                     let start = resources
                         .iter()
-                        .map(|r| free_at.get(r).copied().unwrap_or(0))
+                        .map(|r| t.free_at.get(r).copied().unwrap_or(0))
                         .max()
                         .unwrap_or(0)
                         .max(ready);
                     let end = start + duration;
                     for r in resources {
-                        free_at.insert(r, end);
+                        t.free_at.insert(r, end);
                     }
                     self.disks[disk_id].store(as_name.clone(), rel);
                     timeline.push(
@@ -577,7 +721,7 @@ impl System {
                     timeline.push(
                         start,
                         end,
-                        format!("mem{}", placement[input]),
+                        format!("mem{}", t.placement[input.as_str()]),
                         format!("drain {input}"),
                     );
                     step_end[step.id] = end;
@@ -585,18 +729,34 @@ impl System {
             }
         }
 
-        let result = self.fetch(&placement, plan.result_name())?;
+        let result = t.fetch(plan.result_name())?;
         stats.makespan_ns = timeline.makespan_ns();
         stats.max_device_concurrency = timeline.max_concurrency(|r| {
             r.starts_with("setop") || r.starts_with("join") || r.starts_with("divide")
         });
-        let host_wall_ns = host_start.elapsed().as_nanos() as u64;
         Ok(RunOutcome {
             result,
             timeline,
             stats,
-            host_wall_ns,
+            host_wall_ns: 0,
         })
+    }
+
+    /// Execute a compiled plan.
+    ///
+    /// Every run is accounted against fresh transient state (empty staging
+    /// memories, idle ports), so a long-lived machine schedules a plan
+    /// exactly as a freshly built one would; only disk contents (base
+    /// relations and `store!` write-backs) persist across runs.
+    pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
+        let host_start = std::time::Instant::now();
+        let threads = systolic_core::executor::resolve_threads(self.host_threads);
+        let records = self.execute_steps(plan, threads);
+        let mut t = self.transient();
+        let mut outcome = self.account(plan, &records, &mut t)?;
+        self.memories = t.memories;
+        outcome.host_wall_ns = host_start.elapsed().as_nanos() as u64;
+        Ok(outcome)
     }
 }
 
@@ -761,6 +921,25 @@ mod tests {
     }
 
     #[test]
+    fn repeated_runs_on_a_long_lived_system_are_bit_identical() {
+        // The property a long-running query service depends on: because
+        // every run accounts against fresh transient state, the Nth run of
+        // a query on one machine equals the 1st run on a fresh machine.
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..32));
+        sys.load_base("b", seq(16..48));
+        let expr = Expr::scan("a").intersect(Expr::scan("b")).project(vec![0]);
+        let other = Expr::scan("b").dedup();
+        let first = sys.run(&expr).unwrap();
+        // Interleave a different query, then repeat the original.
+        sys.run(&other).unwrap();
+        let again = sys.run(&expr).unwrap();
+        assert_eq!(first.result.rows(), again.result.rows());
+        assert_eq!(first.stats, again.stats);
+        assert_eq!(first.timeline.events(), again.timeline.events());
+    }
+
+    #[test]
     fn host_parallel_plans_are_bit_identical_to_sequential() {
         // Host threads must be invisible to everything simulated: same
         // result rows, same RunStats, same Timeline, event for event.
@@ -903,6 +1082,46 @@ mod tests {
         let solo1 = build().run(&q1).unwrap().result;
         assert!(batch[0].set_eq(&solo0));
         assert!(batch[1].set_eq(&solo1));
+    }
+
+    #[test]
+    fn batched_accounting_is_bit_identical_to_fresh_solo_runs() {
+        // The admission-scheduler contract: each QueryOutcome of a batch —
+        // rows, RunStats, Timeline — equals running that query alone on a
+        // freshly built machine, regardless of batch companions.
+        let build = || {
+            let mut sys = System::default_machine();
+            sys.load_base("a", seq(0..64));
+            sys.load_base("b", seq(32..96));
+            sys.load_base("c", seq(200..264));
+            sys
+        };
+        let queries = [
+            Expr::scan("a").intersect(Expr::scan("b")),
+            Expr::scan("c").dedup().project(vec![0]),
+            Expr::scan("a").union(Expr::scan("c")),
+        ];
+        let batch = build().run_batch_accounted(&queries).unwrap();
+        assert_eq!(batch.queries.len(), queries.len());
+        for (q, expr) in batch.queries.iter().zip(&queries) {
+            let solo = build().run(expr).unwrap();
+            assert_eq!(q.result.rows(), solo.result.rows());
+            assert_eq!(q.stats, solo.stats);
+            assert_eq!(q.timeline.events(), solo.timeline.events());
+        }
+        assert!(batch.combined.stats.makespan_ns > 0);
+    }
+
+    #[test]
+    fn batch_with_unknown_relation_fails_as_a_whole() {
+        // The merged schedule aborts on the first failing step; callers that
+        // want per-query error isolation fall back to solo runs.
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..8));
+        let good = Expr::scan("a").dedup();
+        let bad = Expr::scan("ghost").dedup();
+        let err = sys.run_batch(&[good, bad]).unwrap_err();
+        assert!(matches!(err, MachineError::UnknownRelation { .. }));
     }
 
     #[test]

@@ -69,11 +69,17 @@ fn parse_field(kind: DomainKind, field: &str) -> Result<Datum, RelationError> {
             .parse::<i64>()
             .map(Datum::Int)
             .map_err(|e| err(format!("bad integer {field:?}: {e}"))),
-        DomainKind::Date => field
-            .trim()
-            .parse::<i64>()
-            .map(Datum::Date)
-            .map_err(|e| err(format!("bad date {field:?}: {e}"))),
+        DomainKind::Date => {
+            // Accept both a bare day number and the `day#<n>` form that
+            // `Datum::Date` renders (and `export_csv` therefore writes), so
+            // export → import is the identity for date columns too.
+            let trimmed = field.trim();
+            let number = trimmed.strip_prefix("day#").unwrap_or(trimmed);
+            number
+                .parse::<i64>()
+                .map(Datum::Date)
+                .map_err(|e| err(format!("bad date {field:?}: {e}")))
+        }
         DomainKind::Bool => match field.trim() {
             "true" | "1" => Ok(Datum::Bool(true)),
             "false" | "0" => Ok(Datum::Bool(false)),

@@ -1,0 +1,193 @@
+//! A small blocking client for the wire protocol — used by `sdb --connect`,
+//! the end-to-end tests, and the throughput benchmark.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::escape;
+use crate::protocol::{parse_host_frame, parse_result_frame};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent something the client could not interpret.
+    Protocol(String),
+    /// The server answered with an `ERR` frame.
+    Remote {
+        /// The error kind (`parse`, `machine`, `timeout`, ...).
+        kind: String,
+        /// Unescaped human-readable detail (multi-line for parse errors).
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote { kind, detail } => write!(f, "server error ({kind}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful query answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Result row count.
+    pub rows: usize,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Total array pulses.
+    pub total_pulses: u64,
+    /// Physical array invocations.
+    pub array_runs: u64,
+    /// Bytes delivered by the simulated disk.
+    pub bytes_from_disk: u64,
+    /// Maximum simultaneous devices.
+    pub max_device_concurrency: usize,
+    /// Result CSV.
+    pub csv: String,
+    /// Host wall-clock nanoseconds (nondeterministic; from the `HOST`
+    /// frame).
+    pub host_ns: u64,
+    /// The raw `RESULT` frame, byte-for-byte — what determinism tests
+    /// compare.
+    pub raw: String,
+}
+
+/// A connected session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, stream })
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), ClientError> {
+        self.stream.write_all(frame.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Interpret an `ERR` frame as a [`ClientError::Remote`].
+    fn check_err(frame: &str) -> Result<(), ClientError> {
+        let Some(body) = frame.strip_prefix("ERR ") else {
+            return Ok(());
+        };
+        let (kind, detail) = body.split_once(' ').unwrap_or((body, ""));
+        // Parse errors carry a structured `at=<byte>` field before the
+        // detail; fold it into the kind's detail text.
+        let (kind, detail) = match detail.split_once(' ') {
+            Some((at, rest)) if kind == "parse" && at.starts_with("at=") => (kind, rest),
+            _ => (kind, detail),
+        };
+        Err(ClientError::Remote {
+            kind: kind.to_string(),
+            detail: crate::frame::unescape(detail).unwrap_or_else(|_| detail.to_string()),
+        })
+    }
+
+    /// Register a CSV table; `kinds` is the comma-separated type list
+    /// (`int,str,bool,date`). Returns the row count.
+    pub fn load_csv(&mut self, name: &str, kinds: &str, csv: &str) -> Result<usize, ClientError> {
+        self.send(&format!("LOAD {name} {kinds} {}", escape(csv)))?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        frame
+            .strip_prefix(&format!("LOADED {name} rows="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("expected LOADED frame, got {frame:?}")))
+    }
+
+    /// Run a query and parse the answer.
+    pub fn query(&mut self, query: &str) -> Result<QueryResult, ClientError> {
+        let (raw, host) = self.raw_query_frames(query)?;
+        let fields = parse_result_frame(&raw).map_err(ClientError::Protocol)?;
+        let host_ns = parse_host_frame(&host).map_err(ClientError::Protocol)?;
+        Ok(QueryResult {
+            rows: fields.rows,
+            makespan_ns: fields.makespan_ns,
+            total_pulses: fields.total_pulses,
+            array_runs: fields.array_runs,
+            bytes_from_disk: fields.bytes_from_disk,
+            max_device_concurrency: fields.max_device_concurrency,
+            csv: fields.csv,
+            host_ns,
+            raw,
+        })
+    }
+
+    /// Run a query and return the raw (`RESULT`, `HOST`) frame pair —
+    /// what byte-identity checks compare.
+    pub fn raw_query_frames(&mut self, query: &str) -> Result<(String, String), ClientError> {
+        self.send(&format!("QUERY {query}"))?;
+        let result = self.recv()?;
+        Self::check_err(&result)?;
+        if !result.starts_with("RESULT ") {
+            return Err(ClientError::Protocol(format!(
+                "expected RESULT frame, got {result:?}"
+            )));
+        }
+        let host = self.recv()?;
+        Self::check_err(&host)?;
+        Ok((result, host))
+    }
+
+    /// Fetch the raw `STATS` frame.
+    pub fn stats_line(&mut self) -> Result<String, ClientError> {
+        self.send("STATS")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        Ok(frame)
+    }
+
+    /// End the session politely.
+    pub fn close(&mut self) -> Result<(), ClientError> {
+        self.send("CLOSE")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        Ok(())
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,310 @@
+//! Shared catalog + query preparation for the server.
+//!
+//! [`Store`] owns the [`Catalog`] and per-table [`Schema`]s: everything a
+//! worker thread needs to import CSV into encoded relations and render
+//! results back out. It deliberately does *not* own the
+//! [`systolic_machine::System`] — machine runs belong to the admission
+//! scheduler, which serialises them; the store sits behind an `RwLock` so
+//! many connections can render results concurrently.
+//!
+//! [`Engine`] pairs a `Store` with a private `System` for one-shot,
+//! in-process use (tests, the classic CLI path, and the byte-identity
+//! oracle the server is checked against).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use systolic_machine::{
+    parse, push_selections, Expr, MachineConfig, MachineError, ParseError, RunOutcome, System,
+};
+use systolic_relation::{
+    export_csv, import_csv, Catalog, Column, DomainId, DomainKind, MultiRelation, RelationError,
+    Schema,
+};
+
+/// Errors from preparing or running a query against an engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query text failed to parse; keeps the source so the error can be
+    /// rendered with a caret.
+    Parse {
+        /// The parse failure.
+        err: ParseError,
+        /// The query text it occurred in.
+        query: String,
+    },
+    /// CSV import or result rendering failed.
+    Relation(RelationError),
+    /// The machine rejected or failed the plan.
+    Machine(MachineError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { err, query } => write!(f, "{}", err.pretty(query)),
+            EngineError::Relation(e) => write!(f, "{e}"),
+            EngineError::Machine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RelationError> for EngineError {
+    fn from(e: RelationError) -> Self {
+        EngineError::Relation(e)
+    }
+}
+impl From<MachineError> for EngineError {
+    fn from(e: MachineError) -> Self {
+        EngineError::Machine(e)
+    }
+}
+
+/// Map a wire-format type name to a domain kind.
+pub fn kind_of(name: &str) -> Option<DomainKind> {
+    match name {
+        "int" => Some(DomainKind::Int),
+        "str" => Some(DomainKind::Str),
+        "bool" => Some(DomainKind::Bool),
+        "date" => Some(DomainKind::Date),
+        _ => None,
+    }
+}
+
+/// The wire-format name of a domain kind.
+pub fn kind_name(kind: DomainKind) -> &'static str {
+    match kind {
+        DomainKind::Int => "int",
+        DomainKind::Str => "str",
+        DomainKind::Bool => "bool",
+        DomainKind::Date => "date",
+    }
+}
+
+/// Parse a comma-separated type list (`int,str,date`).
+pub fn parse_kinds(list: &str) -> Result<Vec<DomainKind>, String> {
+    list.split(',')
+        .map(|t| {
+            kind_of(t.trim())
+                .ok_or_else(|| format!("unknown column type {:?} (int, str, bool, date)", t.trim()))
+        })
+        .collect()
+}
+
+/// The shared catalog: domains, per-table schemas, and CSV import/render.
+///
+/// Tables get columns named `c0..c{n-1}`, and all columns of a given type
+/// share one underlying domain so same-typed columns across tables are
+/// comparable (§2.4's union-compatibility by construction) — the same
+/// convention the `sdb` one-shot path uses.
+#[derive(Debug, Default)]
+pub struct Store {
+    catalog: Catalog,
+    domains: HashMap<&'static str, DomainId>,
+    schemas: BTreeMap<String, Schema>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    fn domain_of(&mut self, kind: DomainKind) -> DomainId {
+        let key = kind_name(kind);
+        match self.domains.get(key) {
+            Some(&id) => id,
+            None => {
+                let id = self.catalog.add_domain(key, kind);
+                self.domains.insert(key, id);
+                id
+            }
+        }
+    }
+
+    /// Import CSV text as table `name` with the given column kinds,
+    /// remembering its schema. Re-registering a name overwrites its schema.
+    pub fn register(
+        &mut self,
+        name: &str,
+        kinds: &[DomainKind],
+        csv: &str,
+    ) -> Result<MultiRelation, EngineError> {
+        let columns: Vec<Column> = kinds
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| Column::new(format!("c{k}"), self.domain_of(kind)))
+            .collect();
+        let schema = Schema::new(columns);
+        let rel = import_csv(&mut self.catalog, &schema, csv)?;
+        self.schemas.insert(name.to_string(), schema);
+        Ok(rel)
+    }
+
+    /// Whether a table with this name has been registered.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.schemas.contains_key(name)
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Render a result relation as CSV.
+    pub fn render_csv(&self, rel: &MultiRelation) -> Result<String, EngineError> {
+        Ok(export_csv(&self.catalog, rel)?)
+    }
+}
+
+/// Parse query text and apply the §9 logic-per-track rewrite (filters over
+/// plain scans run at the disk).
+pub fn prepare(query: &str) -> Result<Expr, EngineError> {
+    let expr = parse(query).map_err(|err| EngineError::Parse {
+        err,
+        query: query.to_string(),
+    })?;
+    Ok(push_selections(expr))
+}
+
+/// The base-relation names an expression scans, sorted and deduplicated.
+pub fn scan_names(expr: &Expr) -> Vec<String> {
+    fn walk(expr: &Expr, out: &mut Vec<String>) {
+        match expr {
+            Expr::Scan { name, .. } => out.push(name.clone()),
+            Expr::Intersect(a, b)
+            | Expr::Difference(a, b)
+            | Expr::Union(a, b)
+            | Expr::Join(a, b, _) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::Dedup(a) | Expr::Project(a, _) | Expr::Select(a, _) => walk(a, out),
+            Expr::Store(a, _) => walk(a, out),
+            Expr::Divide {
+                dividend, divisor, ..
+            } => {
+                walk(dividend, out);
+                walk(divisor, out);
+            }
+        }
+    }
+    let mut names = Vec::new();
+    walk(expr, &mut names);
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// A store plus a private machine: the one-shot, in-process query path.
+#[derive(Debug)]
+pub struct Engine {
+    store: Store,
+    system: System,
+}
+
+impl Engine {
+    /// Build an engine over a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Result<Self, EngineError> {
+        Ok(Engine {
+            store: Store::new(),
+            system: System::new(config)?,
+        })
+    }
+
+    /// Register a table and load it onto the machine's disk. Returns the
+    /// row count.
+    pub fn load_table(
+        &mut self,
+        name: &str,
+        kinds: &[DomainKind],
+        csv: &str,
+    ) -> Result<usize, EngineError> {
+        let rel = self.store.register(name, kinds, csv)?;
+        let rows = rel.len();
+        self.system.load_base(name.to_string(), rel);
+        Ok(rows)
+    }
+
+    /// Parse, rewrite, and run a query.
+    pub fn run_query(&mut self, query: &str) -> Result<RunOutcome, EngineError> {
+        let expr = prepare(query)?;
+        Ok(self.system.run(&expr)?)
+    }
+
+    /// Render a result relation as CSV.
+    pub fn render_csv(&self, rel: &MultiRelation) -> Result<String, EngineError> {
+        self.store.render_csv(rel)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_runs_a_join_end_to_end() {
+        let mut engine = Engine::new(MachineConfig::default()).unwrap();
+        engine
+            .load_table(
+                "emp",
+                &[DomainKind::Str, DomainKind::Int],
+                "ada,10\ngrace,20\nedsger,30\n",
+            )
+            .unwrap();
+        engine
+            .load_table(
+                "dept",
+                &[DomainKind::Int, DomainKind::Str],
+                "10,storage\n20,query\n",
+            )
+            .unwrap();
+        let out = engine
+            .run_query("join(scan(emp), scan(dept), 1 = 0)")
+            .unwrap();
+        let csv = engine.render_csv(&out.result).unwrap();
+        assert!(csv.contains("ada,10,storage"));
+        assert!(csv.contains("grace,20,query"));
+        assert!(!csv.contains("edsger"));
+    }
+
+    #[test]
+    fn parse_errors_render_with_a_caret() {
+        let mut engine = Engine::new(MachineConfig::default()).unwrap();
+        let err = engine.run_query("explode(scan(a))").unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains('^'), "{rendered}");
+        assert!(rendered.contains("explode(scan(a))"), "{rendered}");
+    }
+
+    #[test]
+    fn scan_names_are_collected_sorted_and_deduped() {
+        let expr = prepare("join(intersect(scan(b), scan(a)), scan(b), 0 = 0)").unwrap();
+        assert_eq!(scan_names(&expr), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn kind_tables_round_trip() {
+        for kind in [
+            DomainKind::Int,
+            DomainKind::Str,
+            DomainKind::Bool,
+            DomainKind::Date,
+        ] {
+            assert_eq!(kind_of(kind_name(kind)), Some(kind));
+        }
+        assert!(kind_of("blob").is_none());
+        assert_eq!(
+            parse_kinds("int, str,date").unwrap(),
+            vec![DomainKind::Int, DomainKind::Str, DomainKind::Date]
+        );
+        assert!(parse_kinds("int,nope").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The textual request/response protocol.
+//!
+//! Requests (one frame each):
+//!
+//! ```text
+//! LOAD <name> <type,type,...> <escaped-csv>
+//! QUERY <query text>
+//! STATS
+//! CLOSE
+//! SHUTDOWN
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! LOADED <name> rows=<n>
+//! RESULT rows=<n> makespan_ns=<n> pulses=<n> array_runs=<n> disk_bytes=<n> \
+//!        concurrency=<n> csv=<escaped-csv>
+//! HOST ns=<n>
+//! STATS tables=<n> queries=<n> loads=<n> batches=<n> max_batch=<n> \
+//!       refused=<n> timeouts=<n> active=<n>
+//! BYE
+//! ERR <kind> [at=<byte>] <escaped detail>
+//! ```
+//!
+//! A `QUERY` answer is exactly two frames: `RESULT` carries everything
+//! deterministic (rows, simulated-hardware stats, CSV) and `HOST` carries
+//! the nondeterministic host wall-clock time — split so byte-comparing
+//! `RESULT` frames across runs is a meaningful determinism check.
+//!
+//! `ERR` kinds: `proto`, `parse` (with `at=<byte>`), `relation`, `machine`,
+//! `timeout`, `overloaded`, `shutting_down`, `too_large`, `conflict`.
+
+use systolic_machine::{ParseError, RunStats};
+use systolic_relation::DomainKind;
+
+use crate::engine::parse_kinds;
+use crate::frame::{escape, unescape};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Register a CSV table.
+    Load {
+        /// Table name.
+        name: String,
+        /// Column kinds.
+        kinds: Vec<DomainKind>,
+        /// Unescaped CSV text.
+        csv: String,
+    },
+    /// Run a query.
+    Query(String),
+    /// Ask for server statistics.
+    Stats,
+    /// End this session.
+    Close,
+    /// Ask the whole server to drain and exit.
+    Shutdown,
+}
+
+/// Parse one request frame. The error string is a human-readable protocol
+/// complaint (sent back as `ERR proto`).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "LOAD" => {
+            let (name, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| "LOAD needs <name> <types> <csv>".to_string())?;
+            // CSV may be empty (header-only tables) so a missing third
+            // field means an empty payload, not a protocol error.
+            let (types, payload) = match rest.split_once(' ') {
+                Some((t, p)) => (t, p),
+                None => (rest, ""),
+            };
+            if name.is_empty() || types.is_empty() {
+                return Err("LOAD needs <name> <types> <csv>".to_string());
+            }
+            let kinds = parse_kinds(types)?;
+            let csv = unescape(payload)?;
+            Ok(Request::Load {
+                name: name.to_string(),
+                kinds,
+                csv,
+            })
+        }
+        "QUERY" => {
+            if rest.is_empty() {
+                return Err("QUERY needs query text".to_string());
+            }
+            Ok(Request::Query(rest.to_string()))
+        }
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "CLOSE" if rest.is_empty() => Ok(Request::Close),
+        "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
+        _ => Err(format!(
+            "unknown request {line:?} (LOAD, QUERY, STATS, CLOSE, SHUTDOWN)"
+        )),
+    }
+}
+
+/// Render the deterministic half of a query answer.
+pub fn result_frame(rows: usize, stats: &RunStats, csv: &str) -> String {
+    format!(
+        "RESULT rows={rows} makespan_ns={} pulses={} array_runs={} disk_bytes={} \
+         concurrency={} csv={}",
+        stats.makespan_ns,
+        stats.total_pulses,
+        stats.array_runs,
+        stats.bytes_from_disk,
+        stats.max_device_concurrency,
+        escape(csv),
+    )
+}
+
+/// Render the nondeterministic half of a query answer.
+pub fn host_frame(host_wall_ns: u64) -> String {
+    format!("HOST ns={host_wall_ns}")
+}
+
+/// Render a successful `LOAD` answer.
+pub fn loaded_frame(name: &str, rows: usize) -> String {
+    format!("LOADED {name} rows={rows}")
+}
+
+/// Render an error frame.
+pub fn err_frame(kind: &str, detail: &str) -> String {
+    format!("ERR {kind} {}", escape(detail))
+}
+
+/// Render a parse-error frame, carrying the byte offset as structured data
+/// and the caret rendering as the detail.
+pub fn parse_err_frame(err: &ParseError, query: &str) -> String {
+    format!("ERR parse at={} {}", err.at, escape(&err.pretty(query)))
+}
+
+/// Client-side view of a `RESULT` + `HOST` frame pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultFields {
+    /// Result row count.
+    pub rows: usize,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Total array pulses.
+    pub total_pulses: u64,
+    /// Physical array invocations.
+    pub array_runs: u64,
+    /// Bytes delivered by the disk.
+    pub bytes_from_disk: u64,
+    /// Maximum simultaneous devices.
+    pub max_device_concurrency: usize,
+    /// Result CSV (unescaped).
+    pub csv: String,
+}
+
+/// Parse a `RESULT` frame back into fields (the client half of
+/// [`result_frame`]).
+pub fn parse_result_frame(frame: &str) -> Result<ResultFields, String> {
+    let body = frame
+        .strip_prefix("RESULT ")
+        .ok_or_else(|| format!("expected RESULT frame, got {frame:?}"))?;
+    // csv= comes last and is the only field whose value the escaping still
+    // allows to contain spaces, so split on its marker rather than on words.
+    let marker = " csv=";
+    let at = body
+        .find(marker)
+        .ok_or_else(|| "RESULT frame is missing csv=".to_string())?;
+    let (head, tail) = body.split_at(at);
+    let csv = unescape(&tail[marker.len()..])?;
+    let mut fields = ResultFields {
+        rows: 0,
+        makespan_ns: 0,
+        total_pulses: 0,
+        array_runs: 0,
+        bytes_from_disk: 0,
+        max_device_concurrency: 0,
+        csv,
+    };
+    for pair in head.split_whitespace() {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad RESULT field {pair:?}"))?;
+        let parse = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad RESULT number {pair:?}"))
+        };
+        match key {
+            "rows" => fields.rows = parse(value)? as usize,
+            "makespan_ns" => fields.makespan_ns = parse(value)?,
+            "pulses" => fields.total_pulses = parse(value)?,
+            "array_runs" => fields.array_runs = parse(value)?,
+            "disk_bytes" => fields.bytes_from_disk = parse(value)?,
+            "concurrency" => fields.max_device_concurrency = parse(value)? as usize,
+            other => return Err(format!("unknown RESULT field {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse a `HOST` frame into nanoseconds.
+pub fn parse_host_frame(frame: &str) -> Result<u64, String> {
+    frame
+        .strip_prefix("HOST ns=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("expected HOST frame, got {frame:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            parse_request("LOAD emp int,str 1,a\\n2,b\\n").unwrap(),
+            Request::Load {
+                name: "emp".into(),
+                kinds: vec![DomainKind::Int, DomainKind::Str],
+                csv: "1,a\n2,b\n".into(),
+            }
+        );
+        assert_eq!(
+            parse_request("QUERY scan(emp)").unwrap(),
+            Request::Query("scan(emp)".into())
+        );
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert!(parse_request("NOPE").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("LOAD emp").is_err());
+        assert!(parse_request("LOAD emp blob x").is_err());
+    }
+
+    #[test]
+    fn result_frames_round_trip() {
+        let stats = RunStats {
+            makespan_ns: 123,
+            total_pulses: 45,
+            array_runs: 6,
+            bytes_from_disk: 789,
+            max_device_concurrency: 2,
+        };
+        let frame = result_frame(3, &stats, "a,b\nc,d\n");
+        assert!(!frame.contains('\n'));
+        let fields = parse_result_frame(&frame).unwrap();
+        assert_eq!(fields.rows, 3);
+        assert_eq!(fields.makespan_ns, 123);
+        assert_eq!(fields.total_pulses, 45);
+        assert_eq!(fields.array_runs, 6);
+        assert_eq!(fields.bytes_from_disk, 789);
+        assert_eq!(fields.max_device_concurrency, 2);
+        assert_eq!(fields.csv, "a,b\nc,d\n");
+        assert_eq!(parse_host_frame("HOST ns=42").unwrap(), 42);
+    }
+
+    #[test]
+    fn parse_error_frames_carry_offset_and_caret() {
+        let err = systolic_machine::parse("explode(scan(a))").unwrap_err();
+        let frame = parse_err_frame(&err, "explode(scan(a))");
+        assert!(frame.starts_with("ERR parse at="));
+        assert!(frame.contains("\\n"), "caret rendering is multi-line");
+    }
+}

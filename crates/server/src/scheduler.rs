@@ -1,0 +1,145 @@
+//! The admission scheduler: the single thread that owns the machine.
+//!
+//! Workers hand it jobs over a channel; it gathers whatever arrives within
+//! a short window (or until the batch cap) and admits the set as *one*
+//! merged dependency-level schedule via
+//! [`System::run_batch_accounted`] — this is where the paper's "set of
+//! transactions" concurrency actually happens: queries from different TCP
+//! connections share crossbar ports and devices inside one simulated
+//! makespan.
+//!
+//! Each query's reply still carries its *standalone* accounting (stats and
+//! timeline priced as if it ran alone), which `run_batch_accounted`
+//! guarantees is bit-identical to a fresh solo run — so batching changes
+//! throughput, never answers.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use systolic_machine::{Expr, MachineError, RunStats, System};
+use systolic_relation::MultiRelation;
+
+use crate::server::Counters;
+
+/// A finished query, as the scheduler reports it to a worker.
+pub(crate) struct QueryReply {
+    /// The result relation (still encoded; the worker renders it).
+    pub result: MultiRelation,
+    /// Standalone simulated-hardware statistics.
+    pub stats: RunStats,
+    /// Host wall-clock nanoseconds for the run that produced this answer
+    /// (the whole batch, when batched — it ran as one schedule).
+    pub host_wall_ns: u64,
+}
+
+/// A unit of work submitted to the scheduler.
+pub(crate) enum Job {
+    /// Run a prepared query.
+    Query {
+        /// The prepared (parsed + rewritten) expression.
+        expr: Expr,
+        /// Where to deliver the answer; capacity-1 channel so the send
+        /// never blocks even if the worker gave up waiting.
+        reply: SyncSender<Result<QueryReply, MachineError>>,
+    },
+    /// Load an encoded relation onto the machine's disk.
+    Load {
+        /// Base-relation name.
+        name: String,
+        /// The encoded relation.
+        rel: MultiRelation,
+        /// Acknowledgement carrying the row count.
+        reply: SyncSender<usize>,
+    },
+}
+
+/// Run the scheduler until every job sender has hung up.
+pub(crate) fn run(
+    mut system: System,
+    jobs: Receiver<Job>,
+    window: Duration,
+    max_batch: usize,
+    counters: Arc<Counters>,
+) {
+    while let Ok(first) = jobs.recv() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        while batch.len() < max_batch.max(1) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match jobs.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Loads first, in arrival order: a query admitted in the same
+        // window as the load it depends on sees the table.
+        let mut queries = Vec::new();
+        for job in batch {
+            match job {
+                Job::Load { name, rel, reply } => {
+                    let rows = rel.len();
+                    system.load_base(name, rel);
+                    counters.loads.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(rows);
+                }
+                Job::Query { expr, reply } => queries.push((expr, reply)),
+            }
+        }
+        counters
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        match queries.len() {
+            0 => {}
+            1 => {
+                let (expr, reply) = queries.pop().expect("len checked");
+                let _ = reply.send(run_solo(&mut system, &expr));
+            }
+            n => {
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                counters.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+                run_merged(&mut system, queries);
+            }
+        }
+    }
+}
+
+fn run_solo(system: &mut System, expr: &Expr) -> Result<QueryReply, MachineError> {
+    let out = system.run(expr)?;
+    Ok(QueryReply {
+        result: out.result,
+        stats: out.stats,
+        host_wall_ns: out.host_wall_ns,
+    })
+}
+
+/// Admit several queries as one merged schedule; on any failure fall back
+/// to per-query solo runs so only the faulty requests see errors.
+fn run_merged(
+    system: &mut System,
+    mut queries: Vec<(Expr, SyncSender<Result<QueryReply, MachineError>>)>,
+) {
+    let exprs: Vec<Expr> = queries.iter().map(|(e, _)| e.clone()).collect();
+    match system.run_batch_accounted(&exprs) {
+        Ok(batch) => {
+            let host_wall_ns = batch.combined.host_wall_ns;
+            for (outcome, (_, reply)) in batch.queries.into_iter().zip(queries) {
+                let _ = reply.send(Ok(QueryReply {
+                    result: outcome.result,
+                    stats: outcome.stats,
+                    host_wall_ns,
+                }));
+            }
+        }
+        Err(_) => {
+            for (expr, reply) in queries.drain(..) {
+                let _ = reply.send(run_solo(system, &expr));
+            }
+        }
+    }
+}

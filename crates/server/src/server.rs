@@ -1,0 +1,536 @@
+//! The TCP service: bounded worker pool, session loop, graceful shutdown.
+//!
+//! Plain `std::net` blocking sockets — no async runtime. The accept loop is
+//! nonblocking and polls a stop flag; connections use short read timeouts
+//! so every thread notices shutdown within ~100ms and drains: in-flight
+//! requests are answered, idle sessions get `BYE`, new work is refused with
+//! `ERR shutting_down`, and queued-but-unserved connections are still
+//! picked up and told the same.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use systolic_machine::{MachineConfig, System};
+
+use crate::engine::{self, EngineError, Store};
+use crate::frame::{read_frame, FrameRead};
+use crate::protocol::{
+    err_frame, host_frame, loaded_frame, parse_err_frame, parse_request, result_frame, Request,
+};
+use crate::scheduler::{self, Job};
+use crate::shutdown;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4171` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads — the number of connections served simultaneously.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker before new
+    /// ones are refused with `ERR overloaded`.
+    pub max_pending: usize,
+    /// Configuration of the shared simulated machine.
+    pub machine: MachineConfig,
+    /// How long a session waits for the scheduler to answer one request
+    /// before giving up with `ERR timeout`.
+    pub request_timeout: Duration,
+    /// How long the admission scheduler gathers concurrently-arriving
+    /// queries before admitting them as one merged schedule.
+    pub batch_window: Duration,
+    /// Largest number of jobs admitted as one batch.
+    pub max_batch: usize,
+    /// Largest accepted request frame, in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4171".to_string(),
+            workers: 32,
+            max_pending: 32,
+            machine: MachineConfig::default(),
+            request_timeout: Duration::from_secs(30),
+            batch_window: Duration::from_millis(2),
+            max_batch: 16,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic service counters, shared between workers and the scheduler.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) loads: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+}
+
+/// A snapshot of service counters, returned when the server exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Queries answered (including failed ones).
+    pub queries: u64,
+    /// Tables loaded.
+    pub loads: u64,
+    /// Multi-query merged schedules admitted.
+    pub batches: u64,
+    /// Largest batch admitted.
+    pub max_batch: u64,
+    /// Connections refused because the pool was full.
+    pub refused: u64,
+    /// Requests that hit the per-request timeout.
+    pub timeouts: u64,
+}
+
+struct Shared {
+    store: RwLock<Store>,
+    counters: Arc<Counters>,
+    active: AtomicUsize,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || shutdown::signalled()
+    }
+
+    fn report(&self) -> ServerReport {
+        ServerReport {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            loads: self.counters.loads.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accepted connections waiting for a worker.
+#[derive(Default)]
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.inner.lock().unwrap().conns.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Next connection, blocking; `None` once closed *and* drained, so
+    /// connections queued before shutdown still get served (and refused
+    /// politely).
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(stream) = inner.conns.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().conns.len()
+    }
+}
+
+/// A running server spawned in the background (the programmatic API; tests
+/// and the throughput bench use this).
+pub struct ServerHandle {
+    /// The bound address — with `addr: "127.0.0.1:0"` this is where the
+    /// kernel actually put the listener.
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: thread::JoinHandle<io::Result<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// Ask the server to drain and exit (what SIGTERM does to `run`).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the server to exit and return its counter snapshot.
+    pub fn join(self) -> io::Result<ServerReport> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Bind and serve in a background thread, returning immediately.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        store: RwLock::new(Store::new()),
+        counters: Arc::new(Counters::default()),
+        active: AtomicUsize::new(0),
+        cfg: config,
+        stop: AtomicBool::new(false),
+    });
+    let serve_shared = Arc::clone(&shared);
+    let join = thread::Builder::new()
+        .name("systolic-serve".to_string())
+        .spawn(move || serve_on(listener, serve_shared))?;
+    Ok(ServerHandle { addr, shared, join })
+}
+
+/// Bind and serve on the calling thread until SIGINT/SIGTERM (the `sdb
+/// serve` path). Prints a `listening on <addr>` line once ready and a
+/// summary line on shutdown.
+pub fn run(config: ServerConfig) -> io::Result<ServerReport> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    shutdown::install();
+    println!("listening on {addr}");
+    io::stdout().flush()?;
+    let shared = Arc::new(Shared {
+        store: RwLock::new(Store::new()),
+        counters: Arc::new(Counters::default()),
+        active: AtomicUsize::new(0),
+        cfg: config,
+        stop: AtomicBool::new(false),
+    });
+    let report = serve_on(listener, Arc::clone(&shared))?;
+    println!(
+        "shutdown: {} queries ({} batched schedules, largest {}), {} loads, \
+         {} refused, {} timeouts",
+        report.queries,
+        report.batches,
+        report.max_batch,
+        report.loads,
+        report.refused,
+        report.timeouts,
+    );
+    Ok(report)
+}
+
+fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerReport> {
+    listener.set_nonblocking(true)?;
+    let system = System::new(shared.cfg.machine.clone()).map_err(io::Error::other)?;
+    let (tx, rx) = mpsc::channel::<Job>();
+    let queue = Arc::new(ConnQueue::default());
+    let mut accept_err: Option<io::Error> = None;
+    thread::scope(|scope| {
+        let window = shared.cfg.batch_window;
+        let max_batch = shared.cfg.max_batch;
+        let sched_counters = Arc::clone(&shared.counters);
+        scope.spawn(move || scheduler::run(system, rx, window, max_batch, sched_counters));
+        let workers = shared.cfg.workers.max(1);
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            scope.spawn(move || worker_loop(&queue, &shared, &tx));
+        }
+        // Workers now hold the only senders the scheduler waits on: once
+        // the queue closes and they exit, the scheduler's channel hangs up
+        // and it exits too, so the scope join is deadlock-free.
+        drop(tx);
+        loop {
+            if shared.stopping() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let busy = shared.active.load(Ordering::SeqCst) + queue.len();
+                    if busy >= workers + shared.cfg.max_pending {
+                        shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        refuse(stream);
+                    } else {
+                        queue.push(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    accept_err = Some(e);
+                    break;
+                }
+            }
+        }
+        queue.close();
+    });
+    match accept_err {
+        Some(e) => Err(e),
+        None => Ok(shared.report()),
+    }
+}
+
+fn refuse(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = writeln!(
+        stream,
+        "{}",
+        err_frame("overloaded", "server is at capacity")
+    );
+    let _ = stream.flush();
+}
+
+fn worker_loop(queue: &ConnQueue, shared: &Shared, tx: &mpsc::Sender<Job>) {
+    while let Some(stream) = queue.pop() {
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let _ = serve_conn(stream, shared, tx);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn send(stream: &mut TcpStream, frame: &str) -> io::Result<()> {
+    stream.write_all(frame.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn engine_err_frame(err: &EngineError) -> String {
+    match err {
+        EngineError::Parse { err, query } => parse_err_frame(err, query),
+        EngineError::Relation(e) => err_frame("relation", &e.to_string()),
+        EngineError::Machine(e) => err_frame("machine", &e.to_string()),
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) -> io::Result<()> {
+    // Short read timeout: between frames every session polls the stop flag,
+    // so shutdown drains idle connections instead of hanging on them.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut partial = Vec::new();
+    loop {
+        let line = match read_frame(&mut reader, &mut partial, shared.cfg.max_request_bytes)? {
+            FrameRead::TimedOut => {
+                if shared.stopping() {
+                    send(&mut stream, "BYE")?;
+                    return Ok(());
+                }
+                continue;
+            }
+            FrameRead::Closed => return Ok(()),
+            FrameRead::TooLong => {
+                // Framing is lost once we stop mid-line; report and hang up.
+                let frame = err_frame(
+                    "too_large",
+                    &format!("frame exceeds {} bytes", shared.cfg.max_request_bytes),
+                );
+                send(&mut stream, &frame)?;
+                return Ok(());
+            }
+            FrameRead::Frame(line) => line,
+        };
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(msg) => {
+                send(&mut stream, &err_frame("proto", &msg))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Close => {
+                send(&mut stream, "BYE")?;
+                return Ok(());
+            }
+            Request::Shutdown => {
+                shared.stop.store(true, Ordering::SeqCst);
+                send(&mut stream, "BYE")?;
+                return Ok(());
+            }
+            Request::Stats => {
+                let frame = stats_frame(shared);
+                send(&mut stream, &frame)?;
+            }
+            _ if shared.stopping() => {
+                send(
+                    &mut stream,
+                    &err_frame("shutting_down", "server is draining; no new work"),
+                )?;
+            }
+            Request::Load { name, kinds, csv } => {
+                let frame = handle_load(shared, tx, &name, &kinds, &csv);
+                send(&mut stream, &frame)?;
+            }
+            Request::Query(query) => {
+                let (result, host) = handle_query(shared, tx, &query);
+                send(&mut stream, &result)?;
+                if let Some(host) = host {
+                    send(&mut stream, &host)?;
+                }
+            }
+        }
+    }
+}
+
+fn stats_frame(shared: &Shared) -> String {
+    let tables = shared.store.read().unwrap().table_count();
+    let report = shared.report();
+    format!(
+        "STATS tables={tables} queries={} loads={} batches={} max_batch={} refused={} \
+         timeouts={} active={}",
+        report.queries,
+        report.loads,
+        report.batches,
+        report.max_batch,
+        report.refused,
+        report.timeouts,
+        shared.active.load(Ordering::SeqCst),
+    )
+}
+
+fn valid_table_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn handle_load(
+    shared: &Shared,
+    tx: &mpsc::Sender<Job>,
+    name: &str,
+    kinds: &[systolic_relation::DomainKind],
+    csv: &str,
+) -> String {
+    if !valid_table_name(name) {
+        return err_frame(
+            "proto",
+            &format!("bad table name {name:?}: letters, digits, underscores"),
+        );
+    }
+    // Register under the write lock, then ship the encoded relation to the
+    // scheduler so it lands on the machine's disk in admission order.
+    let rel = {
+        let mut store = shared.store.write().unwrap();
+        if store.has_table(name) {
+            return err_frame("conflict", &format!("table {name:?} already exists"));
+        }
+        match store.register(name, kinds, csv) {
+            Ok(rel) => rel,
+            Err(e) => return engine_err_frame(&e),
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job::Load {
+        name: name.to_string(),
+        rel,
+        reply: reply_tx,
+    };
+    if tx.send(job).is_err() {
+        return err_frame("shutting_down", "scheduler has exited");
+    }
+    match reply_rx.recv_timeout(shared.cfg.request_timeout) {
+        Ok(rows) => loaded_frame(name, rows),
+        Err(_) => {
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            err_frame("timeout", "load timed out")
+        }
+    }
+}
+
+/// Returns the `RESULT` (or `ERR`) frame plus, on success, the `HOST`
+/// frame.
+fn handle_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str) -> (String, Option<String>) {
+    let expr = match engine::prepare(query) {
+        Ok(expr) => expr,
+        Err(e) => return (engine_err_frame(&e), None),
+    };
+    // Fast-fail unknown relations here so a typo never occupies a slot in a
+    // merged batch schedule.
+    {
+        let store = shared.store.read().unwrap();
+        for name in engine::scan_names(&expr) {
+            if !store.has_table(&name) {
+                return (
+                    err_frame("relation", &format!("unknown relation {name:?}")),
+                    None,
+                );
+            }
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if tx
+        .send(Job::Query {
+            expr,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return (err_frame("shutting_down", "scheduler has exited"), None);
+    }
+    match reply_rx.recv_timeout(shared.cfg.request_timeout) {
+        Ok(Ok(reply)) => {
+            let csv = {
+                let store = shared.store.read().unwrap();
+                store.render_csv(&reply.result)
+            };
+            match csv {
+                Ok(csv) => (
+                    result_frame(reply.result.len(), &reply.stats, &csv),
+                    Some(host_frame(reply.host_wall_ns)),
+                ),
+                Err(e) => (engine_err_frame(&e), None),
+            }
+        }
+        Ok(Err(machine_err)) => (err_frame("machine", &machine_err.to_string()), None),
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            (err_frame("timeout", "query timed out"), None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_names_are_validated() {
+        assert!(valid_table_name("emp"));
+        assert!(valid_table_name("_t2"));
+        assert!(!valid_table_name(""));
+        assert!(!valid_table_name("2fast"));
+        assert!(!valid_table_name("a-b"));
+        assert!(!valid_table_name("a b"));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.workers >= 16, "must sustain 16 concurrent connections");
+        assert!(cfg.max_batch > 1);
+        assert!(cfg.max_request_bytes >= 1 << 20);
+    }
+}

@@ -1,0 +1,50 @@
+//! Minimal SIGINT/SIGTERM latch, dependency-free.
+//!
+//! The handler only flips an `AtomicBool`; the accept loop and connection
+//! workers poll it between short socket timeouts, so a signal turns into a
+//! graceful drain rather than an abort.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed.
+pub(crate) fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: a relaxed store would do, but
+        // SeqCst is equally safe and matches the reader.
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(crate) fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (no-op off Unix). Idempotent.
+pub(crate) fn install() {
+    imp::install();
+}

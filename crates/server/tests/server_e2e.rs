@@ -1,0 +1,268 @@
+//! End-to-end tests against a live TCP server.
+//!
+//! The load-bearing one is `sixteen_concurrent_clients_match_serial_and_one_shot`:
+//! it checks the tentpole guarantee that a shared, long-lived, batching
+//! server returns `RESULT` frames *byte-identical* — rows and simulated
+//! hardware stats both — to (a) the same server queried serially and (b) a
+//! fresh in-process [`Engine`] per the one-shot `sdb` path.
+
+use std::thread;
+use std::time::Duration;
+
+use systolic_machine::MachineConfig;
+use systolic_relation::DomainKind;
+use systolic_server::protocol::result_frame;
+use systolic_server::{spawn, Client, ClientError, Engine, ServerConfig};
+
+/// (name, wire kinds, engine kinds, csv)
+const TABLES: &[(&str, &str, &[DomainKind], &str)] = &[
+    (
+        "emp",
+        "str,int",
+        &[DomainKind::Str, DomainKind::Int],
+        "ada,10\ngrace,20\nedsger,30\n",
+    ),
+    (
+        "dept",
+        "int,str",
+        &[DomainKind::Int, DomainKind::Str],
+        "10,storage\n20,query\n",
+    ),
+    ("a", "int", &[DomainKind::Int], "1\n2\n2\n3\n4\n"),
+    ("b", "int", &[DomainKind::Int], "2\n3\n5\n"),
+    (
+        "takes",
+        "str,str",
+        &[DomainKind::Str, DomainKind::Str],
+        "ida,db\nida,os\njoe,db\n",
+    ),
+    ("core", "str", &[DomainKind::Str], "db\nos\n"),
+];
+
+const QUERIES: &[&str] = &[
+    "join(scan(emp), scan(dept), 1 = 0)",
+    "filter(scan(emp), c1 >= 20)",
+    "intersect(scan(a), scan(b))",
+    "union(scan(a), scan(b))",
+    "difference(scan(a), scan(b))",
+    "dedup(scan(a))",
+    "project(scan(emp), [0])",
+    "divide(scan(takes), scan(core), 0, 1, 0)",
+];
+
+fn local_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+fn load_all(client: &mut Client) {
+    for (name, kinds, _, csv) in TABLES {
+        client.load_csv(name, kinds, csv).unwrap();
+    }
+}
+
+/// What the one-shot `sdb` path would answer: a fresh engine, the same
+/// tables in the same order (string interning order matters), each query
+/// rendered as its deterministic `RESULT` frame.
+fn one_shot_frames() -> Vec<String> {
+    let mut engine = Engine::new(MachineConfig::default()).unwrap();
+    for (name, _, kinds, csv) in TABLES {
+        engine.load_table(name, kinds, csv).unwrap();
+    }
+    QUERIES
+        .iter()
+        .map(|q| {
+            let out = engine.run_query(q).unwrap();
+            let csv = engine.render_csv(&out.result).unwrap();
+            result_frame(out.result.len(), &out.stats, &csv)
+        })
+        .collect()
+}
+
+#[test]
+fn sixteen_concurrent_clients_match_serial_and_one_shot() {
+    const CLIENTS: usize = 16;
+    let handle = spawn(ServerConfig {
+        workers: CLIENTS + 4,
+        ..local_config()
+    })
+    .unwrap();
+    let addr = handle.addr;
+
+    let mut setup = Client::connect(addr).unwrap();
+    load_all(&mut setup);
+
+    // Serial pass over the live server...
+    let serial: Vec<String> = QUERIES
+        .iter()
+        .map(|q| setup.raw_query_frames(q).unwrap().0)
+        .collect();
+    setup.close().unwrap();
+
+    // ...must already match the in-process one-shot oracle.
+    assert_eq!(serial, one_shot_frames());
+
+    // Now 16 clients fire the whole workload concurrently, each starting at
+    // a different offset so every batch the admission scheduler forms mixes
+    // different queries.
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let serial = &serial;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for k in 0..QUERIES.len() {
+                        let q = (i + k) % QUERIES.len();
+                        let (frame, _host) = client.raw_query_frames(QUERIES[q]).unwrap();
+                        assert_eq!(
+                            frame, serial[q],
+                            "client {i} query {q:?} diverged from serial"
+                        );
+                    }
+                    client.close().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    let expected = (CLIENTS * QUERIES.len() + QUERIES.len()) as u64;
+    assert_eq!(report.queries, expected);
+    assert_eq!(report.loads, TABLES.len() as u64);
+    assert_eq!(report.timeouts, 0);
+}
+
+#[test]
+fn requests_time_out_instead_of_hanging() {
+    // A 1ms request timeout against a 200ms admission window: the worker
+    // gives up before the scheduler even forms the batch.
+    let handle = spawn(ServerConfig {
+        request_timeout: Duration::from_millis(1),
+        batch_window: Duration::from_millis(200),
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    // The load's acknowledgement times out too (same regime), but the table
+    // is registered in the store immediately, so the query still gets past
+    // the unknown-relation check and into its own timeout.
+    match client.load_csv("t", "int", "1\n2\n") {
+        Ok(_) | Err(ClientError::Remote { .. }) => {}
+        Err(other) => panic!("unexpected load error {other}"),
+    }
+    match client.query("scan(t)") {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "timeout"),
+        Ok(_) => panic!("query should not beat a 1ms timeout"),
+        Err(other) => panic!("unexpected error {other}"),
+    }
+    client.close().unwrap();
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    assert!(report.timeouts >= 1);
+}
+
+#[test]
+fn overloaded_server_refuses_politely() {
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        max_pending: 0,
+        ..local_config()
+    })
+    .unwrap();
+    // First connection occupies the only worker...
+    let mut first = Client::connect(handle.addr).unwrap();
+    let stats = first.stats_line().unwrap();
+    assert!(stats.contains("active=1"), "{stats}");
+    // ...so the second is refused at the door.
+    let mut second = Client::connect(handle.addr).unwrap();
+    match second.stats_line() {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "overloaded"),
+        other => panic!("expected overloaded refusal, got {other:?}"),
+    }
+    first.close().unwrap();
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    assert!(report.refused >= 1);
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    // A 150ms admission window makes the query in flight for at least that
+    // long — shutdown lands mid-flight and must not eat the answer.
+    let handle = spawn(ServerConfig {
+        batch_window: Duration::from_millis(150),
+        ..local_config()
+    })
+    .unwrap();
+    let addr = handle.addr;
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load_csv("t", "int", "1\n2\n3\n").unwrap();
+
+    let in_flight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query("filter(scan(t), c0 >= 2)")
+    });
+    thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+
+    let result = in_flight.join().unwrap().unwrap();
+    assert_eq!(result.rows, 2);
+
+    // The idle setup connection is told BYE (or sees the listener go away)
+    // rather than hanging; either way the server exits cleanly.
+    if let Err(ClientError::Remote { kind, .. }) = setup.query("scan(t)") {
+        assert_eq!(kind, "shutting_down");
+    }
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_command_over_the_wire_stops_the_server() {
+    let handle = spawn(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client.load_csv("t", "int", "7\n").unwrap();
+    let result = client.query("scan(t)").unwrap();
+    assert_eq!(result.rows, 1);
+    client.shutdown_server().unwrap();
+    let report = handle.join().unwrap();
+    assert_eq!(report.queries, 1);
+    assert_eq!(report.loads, 1);
+}
+
+#[test]
+fn duplicate_loads_conflict_and_errors_are_structured() {
+    let handle = spawn(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client.load_csv("t", "int", "1\n").unwrap();
+    match client.load_csv("t", "int", "2\n") {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "conflict"),
+        other => panic!("expected conflict, got {other:?}"),
+    }
+    match client.query("explode(scan(t))") {
+        Err(ClientError::Remote { kind, detail }) => {
+            assert_eq!(kind, "parse");
+            assert!(detail.contains('^'), "caret rendering travels: {detail}");
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    match client.query("scan(missing)") {
+        Err(ClientError::Remote { kind, detail }) => {
+            assert_eq!(kind, "relation");
+            assert!(detail.contains("missing"));
+        }
+        other => panic!("expected unknown-relation error, got {other:?}"),
+    }
+    match client.load_csv("t2", "int", "notanint\n") {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "relation"),
+        other => panic!("expected relation error, got {other:?}"),
+    }
+    client.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+}

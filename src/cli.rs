@@ -1,6 +1,14 @@
-//! The `sdb` command-line front-end: load CSV tables, run a textual
-//! relational-algebra query on the simulated systolic database machine, and
-//! print the result as CSV (optionally with hardware statistics).
+//! The `sdb` command-line front-end. Three modes:
+//!
+//! * **One-shot** (the original): load CSV tables, run a textual
+//!   relational-algebra query on the simulated systolic database machine,
+//!   and print the result as CSV (optionally with hardware statistics).
+//! * **Serve**: `sdb serve --addr 127.0.0.1:4171` — run the long-lived
+//!   query service from the `systolic-server` crate in the foreground
+//!   until SIGINT/SIGTERM.
+//! * **Connect**: `sdb --connect 127.0.0.1:4171 "scan(emp)"` — talk to a
+//!   running server: optionally load tables, run one query, print the
+//!   result exactly like the one-shot mode.
 //!
 //! ```console
 //! $ sdb --table emp=emp.csv:int,int,int --table dept=dept.csv:int,str \
@@ -11,29 +19,35 @@
 //! type share one underlying domain, so same-typed columns across tables
 //! are comparable (§2.4's union-compatibility by construction).
 
-use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
-use systolic_machine::{
-    parse, push_selections, Expr, MachineConfig, MachineError, ParseError, System,
-};
-use systolic_relation::{
-    export_csv, import_csv, Catalog, Column, DomainId, DomainKind, RelationError, Schema,
-};
+use systolic_machine::{MachineConfig, MachineError, ParseError};
+use systolic_relation::{DomainKind, RelationError};
+use systolic_server::engine::kind_name;
+use systolic_server::{Client, ClientError, Engine, EngineError, ServerConfig};
 
 /// CLI errors.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command-line usage; the string is the usage message.
     Usage(String),
-    /// A CSV file could not be read.
+    /// A CSV file could not be read, or the server socket failed.
     Io(std::io::Error),
     /// A table spec or CSV row failed to parse/encode.
     Relation(RelationError),
-    /// The query failed to parse.
-    Query(ParseError),
+    /// The query failed to parse; keeps the query text so the error can
+    /// point a caret at the offending byte.
+    Query {
+        /// The parse failure.
+        err: ParseError,
+        /// The query it occurred in.
+        query: String,
+    },
     /// Execution failed on the machine.
     Machine(MachineError),
+    /// A remote request over `--connect` failed.
+    Server(ClientError),
 }
 
 impl fmt::Display for CliError {
@@ -42,8 +56,9 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Relation(e) => write!(f, "{e}"),
-            CliError::Query(e) => write!(f, "{e}"),
+            CliError::Query { err, query } => write!(f, "{}", err.pretty(query)),
             CliError::Machine(e) => write!(f, "{e}"),
+            CliError::Server(e) => write!(f, "{e}"),
         }
     }
 }
@@ -60,14 +75,23 @@ impl From<RelationError> for CliError {
         CliError::Relation(e)
     }
 }
-impl From<ParseError> for CliError {
-    fn from(e: ParseError) -> Self {
-        CliError::Query(e)
-    }
-}
 impl From<MachineError> for CliError {
     fn from(e: MachineError) -> Self {
         CliError::Machine(e)
+    }
+}
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Parse { err, query } => CliError::Query { err, query },
+            EngineError::Relation(e) => CliError::Relation(e),
+            EngineError::Machine(e) => CliError::Machine(e),
+        }
+    }
+}
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        CliError::Server(e)
     }
 }
 
@@ -112,7 +136,7 @@ pub fn parse_table_spec(spec: &str) -> Result<TableSpec, CliError> {
     })
 }
 
-/// Parsed command line.
+/// Parsed one-shot command line.
 #[derive(Debug, Default)]
 pub struct CliArgs {
     /// Tables to load.
@@ -127,35 +151,99 @@ pub struct CliArgs {
     pub threads: usize,
 }
 
+/// Parsed `sdb serve` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address.
+    pub addr: String,
+    /// Host simulation threads (as in [`CliArgs::threads`]).
+    pub threads: usize,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Admission window in milliseconds.
+    pub batch_window_ms: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let defaults = ServerConfig::default();
+        ServeArgs {
+            addr: defaults.addr,
+            threads: 0,
+            workers: defaults.workers,
+            batch_window_ms: defaults.batch_window.as_millis() as u64,
+        }
+    }
+}
+
+/// Parsed `sdb --connect` command line.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ConnectArgs {
+    /// Server address.
+    pub addr: String,
+    /// Tables to load before the query (may be empty for a running
+    /// server that already has them).
+    pub tables: Vec<TableSpec>,
+    /// The query text (may be empty when only loading or shutting down).
+    pub query: String,
+    /// Whether to print hardware statistics after the result.
+    pub stats: bool,
+    /// Ask the server to drain and exit afterwards.
+    pub shutdown: bool,
+}
+
+/// Which mode a command line selects.
+#[derive(Debug)]
+pub enum Command {
+    /// Load tables, run one query in-process, print, exit.
+    OneShot(CliArgs),
+    /// Run the TCP query service in the foreground.
+    Serve(ServeArgs),
+    /// Talk to a running service.
+    Connect(ConnectArgs),
+}
+
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
 [--threads N] QUERY
+       sdb serve [--addr HOST:PORT] [--threads N] [--workers N] [--batch-window MS]
+       sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--shutdown] [QUERY]
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
   --threads N: simulate independent plan steps on N host threads (0 = auto
                via SYSTOLIC_THREADS; results and hardware stats unchanged)
+  serve: run the concurrent query service until SIGINT/SIGTERM
+  --connect: run the query on a server instead of in-process
   example: sdb --table emp=emp.csv:str,int --stats 'filter(scan(emp), c1 >= 30)'";
 
-/// Parse command-line arguments (excluding `argv[0]`).
+fn flag_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<&'a String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+fn parse_number(flag: &str, value: &str) -> Result<usize, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} expects a number, got {value:?}")))
+}
+
+/// Parse one-shot command-line arguments (excluding `argv[0]`).
 pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     let mut args = CliArgs::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--table" => {
-                let spec = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--table requires a value".into()))?;
+                let spec = flag_value("--table", &mut it)?;
                 args.tables.push(parse_table_spec(spec)?);
             }
             "--stats" => args.stats = true,
             "--threads" => {
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--threads requires a value".into()))?;
-                args.threads = value.parse().map_err(|_| {
-                    CliError::Usage(format!("--threads expects a number, got {value:?}"))
-                })?;
+                let value = flag_value("--threads", &mut it)?;
+                args.threads = parse_number("--threads", value)?;
             }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
@@ -177,76 +265,195 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     Ok(args)
 }
 
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
+    let mut args = ServeArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = flag_value("--addr", &mut it)?.clone(),
+            "--threads" => {
+                let value = flag_value("--threads", &mut it)?;
+                args.threads = parse_number("--threads", value)?;
+            }
+            "--workers" => {
+                let value = flag_value("--workers", &mut it)?;
+                args.workers = parse_number("--workers", value)?.max(1);
+            }
+            "--batch-window" => {
+                let value = flag_value("--batch-window", &mut it)?;
+                args.batch_window_ms = parse_number("--batch-window", value)? as u64;
+            }
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected serve argument {other:?}\n{USAGE}"
+                )))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
+    let mut args = ConnectArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => args.addr = flag_value("--connect", &mut it)?.clone(),
+            "--table" => {
+                let spec = flag_value("--table", &mut it)?;
+                args.tables.push(parse_table_spec(spec)?);
+            }
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument {other:?}\n{USAGE}"
+                )))
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(CliError::Usage("--connect requires an address".to_string()));
+    }
+    if args.query.is_empty() && args.tables.is_empty() && !args.shutdown {
+        return Err(CliError::Usage(format!(
+            "--connect needs a query, tables to load, or --shutdown\n{USAGE}"
+        )));
+    }
+    Ok(args)
+}
+
+/// Classify and parse a command line into its mode.
+pub fn parse_command(argv: &[String]) -> Result<Command, CliError> {
+    if argv.first().map(String::as_str) == Some("serve") {
+        return Ok(Command::Serve(parse_serve_args(&argv[1..])?));
+    }
+    if argv.iter().any(|a| a == "--connect") {
+        return Ok(Command::Connect(parse_connect_args(argv)?));
+    }
+    Ok(Command::OneShot(parse_args(argv)?))
+}
+
+fn stats_footer(
+    rows: usize,
+    makespan_ns: u64,
+    total_pulses: u64,
+    array_runs: u64,
+    bytes_from_disk: u64,
+    max_device_concurrency: usize,
+    host_wall_ns: u64,
+) -> String {
+    format!(
+        "-- {rows} tuples; makespan {:.3} ms; {total_pulses} array pulses over \
+         {array_runs} tile run(s); {bytes_from_disk} bytes from disk; \
+         device concurrency {max_device_concurrency}\n\
+         -- host: simulated in {:.3} ms\n",
+        makespan_ns as f64 / 1e6,
+        host_wall_ns as f64 / 1e6,
+    )
+}
+
 /// Execute a query over in-memory CSV texts (the testable core; the binary
-/// reads the files and delegates here).
+/// reads the files and delegates here). This is exactly the server's
+/// engine, run in-process for one query.
 pub fn run_query(
     tables: &[(TableSpec, String)],
     query: &str,
     stats: bool,
     threads: usize,
 ) -> Result<String, CliError> {
-    let mut catalog = Catalog::new();
-    // One shared domain per kind, so same-typed columns are comparable.
-    let mut domains: HashMap<&'static str, DomainId> = HashMap::new();
-    let mut domain_of = |catalog: &mut Catalog, kind: DomainKind| -> DomainId {
-        let key = match kind {
-            DomainKind::Int => "int",
-            DomainKind::Str => "str",
-            DomainKind::Bool => "bool",
-            DomainKind::Date => "date",
-        };
-        *domains
-            .entry(key)
-            .or_insert_with(|| catalog.add_domain(key, kind))
-    };
-    let mut sys = System::new(MachineConfig {
+    let mut engine = Engine::new(MachineConfig {
         host_threads: threads,
         ..MachineConfig::default()
-    })
-    .map_err(CliError::Machine)?;
+    })?;
     for (spec, text) in tables {
-        let columns: Vec<Column> = spec
-            .kinds
-            .iter()
-            .enumerate()
-            .map(|(k, &kind)| Column::new(format!("c{k}"), domain_of(&mut catalog, kind)))
-            .collect();
-        let schema = Schema::new(columns);
-        let rel = import_csv(&mut catalog, &schema, text)?;
-        sys.load_base(spec.name.clone(), rel);
+        engine.load_table(&spec.name, &spec.kinds, text)?;
     }
-    // §9 logic-per-track rewrite: filters over plain scans run at the disk.
-    let expr: Expr = push_selections(parse(query)?);
-    let out = sys.run(&expr)?;
-    let mut rendered = export_csv(&catalog, &out.result)?;
+    let out = engine.run_query(query)?;
+    let mut rendered = engine.render_csv(&out.result)?;
     if stats {
-        rendered.push_str(&format!(
-            "-- {} tuples; makespan {:.3} ms; {} array pulses over {} tile run(s); \
-             {} bytes from disk; device concurrency {}\n",
+        rendered.push_str(&stats_footer(
             out.result.len(),
-            out.stats.makespan_ns as f64 / 1e6,
+            out.stats.makespan_ns,
             out.stats.total_pulses,
             out.stats.array_runs,
             out.stats.bytes_from_disk,
             out.stats.max_device_concurrency,
-        ));
-        rendered.push_str(&format!(
-            "-- host: simulated in {:.3} ms\n",
-            out.host_wall_ns as f64 / 1e6,
+            out.host_wall_ns,
         ));
     }
     Ok(rendered)
 }
 
-/// Full CLI entry point over argv (reads the CSV files from disk).
-pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
-    let args = parse_args(argv)?;
-    let mut tables = Vec::with_capacity(args.tables.len());
+fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
+    let defaults = ServerConfig::default();
+    systolic_server::run(ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        machine: MachineConfig {
+            host_threads: args.threads,
+            ..MachineConfig::default()
+        },
+        batch_window: Duration::from_millis(args.batch_window_ms),
+        ..defaults
+    })?;
+    Ok(())
+}
+
+fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
+    let mut client = Client::connect(&args.addr)?;
+    let mut out = String::new();
     for spec in &args.tables {
         let text = std::fs::read_to_string(&spec.path)?;
-        tables.push((spec.clone(), text));
+        let kinds: Vec<&str> = spec.kinds.iter().map(|&k| kind_name(k)).collect();
+        let rows = client.load_csv(&spec.name, &kinds.join(","), &text)?;
+        out.push_str(&format!("loaded {} ({rows} rows)\n", spec.name));
     }
-    run_query(&tables, &args.query, args.stats, args.threads)
+    if !args.query.is_empty() {
+        let result = client.query(&args.query)?;
+        out.push_str(&result.csv);
+        if args.stats {
+            out.push_str(&stats_footer(
+                result.rows,
+                result.makespan_ns,
+                result.total_pulses,
+                result.array_runs,
+                result.bytes_from_disk,
+                result.max_device_concurrency,
+                result.host_ns,
+            ));
+        }
+    }
+    if args.shutdown {
+        client.shutdown_server()?;
+        out.push_str("server shutting down\n");
+    } else {
+        let _ = client.close();
+    }
+    Ok(out)
+}
+
+/// Full CLI entry point over argv (reads CSV files from disk, may serve
+/// forever in `serve` mode).
+pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
+    match parse_command(argv)? {
+        Command::OneShot(args) => {
+            let mut tables = Vec::with_capacity(args.tables.len());
+            for spec in &args.tables {
+                let text = std::fs::read_to_string(&spec.path)?;
+                tables.push((spec.clone(), text));
+            }
+            run_query(&tables, &args.query, args.stats, args.threads)
+        }
+        Command::Serve(args) => {
+            run_serve(&args)?;
+            Ok(String::new())
+        }
+        Command::Connect(args) => run_connect(&args),
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +466,10 @@ mod tests {
             path: String::new(),
             kinds,
         }
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
@@ -277,36 +488,95 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let argv: Vec<String> = ["--table", "a=a.csv:int", "--stats", "scan(a)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let args = parse_args(&argv).unwrap();
+        let args = parse_args(&argv(&["--table", "a=a.csv:int", "--stats", "scan(a)"])).unwrap();
         assert_eq!(args.tables.len(), 1);
         assert!(args.stats);
         assert_eq!(args.query, "scan(a)");
         assert!(parse_args(&[]).is_err());
-        assert!(parse_args(&["scan(a)".to_string()]).is_err(), "no tables");
+        assert!(parse_args(&argv(&["scan(a)"])).is_err(), "no tables");
     }
 
     #[test]
     fn threads_flag_parsing() {
-        let argv: Vec<String> = ["--table", "a=a.csv:int", "--threads", "4", "scan(a)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let args = parse_args(&argv).unwrap();
+        let args = parse_args(&argv(&[
+            "--table",
+            "a=a.csv:int",
+            "--threads",
+            "4",
+            "scan(a)",
+        ]))
+        .unwrap();
         assert_eq!(args.threads, 4);
-        let bad: Vec<String> = ["--table", "a=a.csv:int", "--threads", "lots", "scan(a)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert!(matches!(parse_args(&bad), Err(CliError::Usage(_))));
-        let missing: Vec<String> = ["--table", "a=a.csv:int", "--threads"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert!(matches!(parse_args(&missing), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&argv(&[
+                "--table",
+                "a=a.csv:int",
+                "--threads",
+                "lots",
+                "scan(a)"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["--table", "a=a.csv:int", "--threads"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn command_classification() {
+        assert!(matches!(
+            parse_command(&argv(&["--table", "a=a.csv:int", "scan(a)"])).unwrap(),
+            Command::OneShot(_)
+        ));
+        match parse_command(&argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--threads",
+            "2",
+            "--batch-window",
+            "5",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "127.0.0.1:0");
+                assert_eq!(s.workers, 8);
+                assert_eq!(s.threads, 2);
+                assert_eq!(s.batch_window_ms, 5);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&[
+            "--connect",
+            "127.0.0.1:4171",
+            "--table",
+            "a=a.csv:int",
+            "--stats",
+            "scan(a)",
+        ]))
+        .unwrap()
+        {
+            Command::Connect(c) => {
+                assert_eq!(c.addr, "127.0.0.1:4171");
+                assert_eq!(c.tables.len(), 1);
+                assert!(c.stats);
+                assert_eq!(c.query, "scan(a)");
+                assert!(!c.shutdown);
+            }
+            other => panic!("expected connect, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["--connect", "addr"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command(&argv(&["serve", "--what"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -363,7 +633,7 @@ mod tests {
         let t = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
         assert!(matches!(
             run_query(std::slice::from_ref(&t), "explode(scan(a))", false, 0),
-            Err(CliError::Query(_))
+            Err(CliError::Query { .. })
         ));
         assert!(matches!(
             run_query(std::slice::from_ref(&t), "scan(missing)", false, 0),
@@ -378,6 +648,15 @@ mod tests {
             ),
             Err(CliError::Relation(_))
         ));
+    }
+
+    #[test]
+    fn parse_errors_display_with_a_caret() {
+        let t = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
+        let err = run_query(std::slice::from_ref(&t), "explode(scan(a))", false, 0).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains('^'), "{rendered}");
+        assert!(rendered.contains("explode(scan(a))"), "{rendered}");
     }
 
     #[test]
@@ -396,5 +675,60 @@ mod tests {
         .unwrap();
         assert!(out.contains("ida"));
         assert!(!out.contains("joe"));
+    }
+
+    #[test]
+    fn connect_mode_round_trips_against_a_live_server() {
+        let handle = systolic_server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("sdb-connect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("nums.csv");
+        std::fs::write(&csv, "1,10\n2,20\n3,30\n").unwrap();
+
+        let out = run_connect(&ConnectArgs {
+            addr: handle.addr.to_string(),
+            tables: vec![TableSpec {
+                name: "nums".into(),
+                path: csv.display().to_string(),
+                kinds: vec![DomainKind::Int, DomainKind::Int],
+            }],
+            query: "filter(scan(nums), c1 >= 20)".into(),
+            stats: true,
+            shutdown: false,
+        })
+        .unwrap();
+        assert!(out.contains("loaded nums (3 rows)"), "{out}");
+        assert!(out.contains("2,20"), "{out}");
+        assert!(out.contains("3,30"), "{out}");
+        assert!(out.contains("-- 2 tuples"), "{out}");
+        assert!(out.contains("-- host:"), "{out}");
+
+        // The remote answer matches the in-process one-shot path exactly
+        // (minus the load echo and the nondeterministic host line).
+        let local = run_query(
+            &[(
+                spec("nums", vec![DomainKind::Int, DomainKind::Int]),
+                "1,10\n2,20\n3,30\n".to_string(),
+            )],
+            "filter(scan(nums), c1 >= 20)",
+            false,
+            0,
+        )
+        .unwrap();
+        assert!(out.contains(&local), "{out}\nvs\n{local}");
+
+        let bye = run_connect(&ConnectArgs {
+            addr: handle.addr.to_string(),
+            shutdown: true,
+            ..ConnectArgs::default()
+        })
+        .unwrap();
+        assert!(bye.contains("shutting down"));
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

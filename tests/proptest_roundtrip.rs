@@ -7,17 +7,31 @@ use systolic_db::machine::{parse, Expr};
 use systolic_db::relation::store::Database;
 use systolic_db::relation::{export_csv, import_csv, Datum, DomainKind};
 
-/// Arbitrary typed rows: a string column, an int column, a bool column.
-fn rows() -> impl Strategy<Value = Vec<(String, i64, bool)>> {
+/// Arbitrary typed rows covering all four domain kinds of §2.3: a string
+/// column, an int column, a bool column, and a date column (days since the
+/// epoch, including negative ones).
+fn rows() -> impl Strategy<Value = Vec<(String, i64, bool, i64)>> {
     prop::collection::vec(
-        ("[a-z]{0,8}(,[a-z]{1,4})?", -1000i64..1000, any::<bool>()),
+        (
+            "[a-z]{0,8}(,[a-z]{1,4})?",
+            -1000i64..1000,
+            any::<bool>(),
+            -40000i64..40000,
+        ),
         0..12,
     )
 }
 
-fn to_datums(rows: &[(String, i64, bool)]) -> Vec<Vec<Datum>> {
+fn to_datums(rows: &[(String, i64, bool, i64)]) -> Vec<Vec<Datum>> {
     rows.iter()
-        .map(|(s, i, b)| vec![Datum::str(s.clone()), Datum::Int(*i), Datum::Bool(*b)])
+        .map(|(s, i, b, d)| {
+            vec![
+                Datum::str(s.clone()),
+                Datum::Int(*i),
+                Datum::Bool(*b),
+                Datum::Date(*d),
+            ]
+        })
         .collect()
 }
 
@@ -31,6 +45,7 @@ proptest! {
             ("name", DomainKind::Str),
             ("value", DomainKind::Int),
             ("flag", DomainKind::Bool),
+            ("hired", DomainKind::Date),
         ]);
         let rel = db.catalog.encode_multi(schema.clone(), &to_datums(&data)).unwrap();
         let text = export_csv(&db.catalog, &rel).unwrap();
@@ -54,6 +69,7 @@ proptest! {
             ("name", DomainKind::Str),
             ("value", DomainKind::Int),
             ("flag", DomainKind::Bool),
+            ("hired", DomainKind::Date),
         ]);
         let rel = db.catalog.encode_multi(schema.clone(), &to_datums(&data)).unwrap();
         db.put("t", rel);
