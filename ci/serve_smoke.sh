@@ -3,7 +3,8 @@
 #   1. start `sdb serve` in the background,
 #   2. load tables and run a join through `sdb --connect`,
 #   3. check the joined rows arrived,
-#   4. SIGTERM the server and verify it drains and exits 0.
+#   4. scrape METRICS and verify the exposition parses and counters move,
+#   5. SIGTERM the server and verify it drains and exits 0.
 # Any failure exits nonzero.
 set -euo pipefail
 
@@ -42,6 +43,23 @@ grep -q 'ada,10,storage' "$WORK/out.txt" || { echo "missing joined row ada"; exi
 grep -q 'grace,20,query' "$WORK/out.txt" || { echo "missing joined row grace"; exit 1; }
 if grep -q 'edsger' "$WORK/out.txt"; then echo "unjoined row leaked"; exit 1; fi
 grep -q -- '-- 2 tuples' "$WORK/out.txt" || { echo "missing stats footer"; exit 1; }
+
+# METRICS scrape: the raw exposition must carry the telemetry families, and
+# --check-metrics validates the format and counter monotonicity client-side.
+"$SDB" --connect "$ADDR" --metrics > "$WORK/metrics.txt"
+echo "--- metrics scrape ---"
+cat "$WORK/metrics.txt"
+grep -q '# TYPE sdb_server_queries_total counter' "$WORK/metrics.txt" \
+  || { echo "missing queries counter family"; exit 1; }
+grep -q '# TYPE sdb_request_latency_ns histogram' "$WORK/metrics.txt" \
+  || { echo "missing latency histogram family"; exit 1; }
+grep -q 'sdb_op_pulses_total{op="join"}' "$WORK/metrics.txt" \
+  || { echo "missing per-op pulse counter for the join we ran"; exit 1; }
+
+"$SDB" --connect "$ADDR" --check-metrics > "$WORK/metrics_check.txt"
+cat "$WORK/metrics_check.txt"
+grep -q 'metrics ok:' "$WORK/metrics_check.txt" || { echo "exposition failed validation"; exit 1; }
+grep -q 'counters monotonic' "$WORK/metrics_check.txt" || { echo "counters not monotonic"; exit 1; }
 
 kill -TERM "$SRV"
 if ! wait "$SRV"; then

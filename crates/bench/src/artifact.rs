@@ -1,0 +1,231 @@
+//! `BENCH_<name>.json` artifact writer for `repro --json`.
+//!
+//! Each experiment accumulates a [`Summary`] of the simulated work it
+//! performed; the runner stamps host wall time around the experiment and
+//! hands both to an [`ArtifactSink`], which serialises one flat JSON object
+//! per experiment. The format is hand-rolled (std-only, like the telemetry
+//! crate's Chrome writer) and validated against
+//! [`systolic_telemetry::json`] in tests.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use systolic_core::ExecStats;
+
+/// Aggregated simulated-hardware work performed by one experiment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Total array pulses across every simulated run.
+    pub pulses: u64,
+    /// Busy cell-pulses, where the run reported cell occupancy.
+    pub busy_cell_pulses: u64,
+    /// Total cell-pulses (utilisation denominator), same caveat.
+    pub total_cell_pulses: u64,
+    /// Queries / array runs / model evaluations performed.
+    pub queries: u64,
+}
+
+impl Summary {
+    /// Fold in one array run's [`ExecStats`].
+    pub fn exec(&mut self, s: &ExecStats) {
+        self.pulses += s.pulses;
+        self.busy_cell_pulses += s.busy_cell_pulses;
+        self.total_cell_pulses += s.total_cell_pulses;
+        self.queries += 1;
+    }
+
+    /// Fold in a run that only reports a pulse count (machine transactions,
+    /// the tree machine) — no cell-occupancy contribution.
+    pub fn pulses(&mut self, pulses: u64) {
+        self.pulses += pulses;
+        self.queries += 1;
+    }
+
+    /// Count an evaluation that performed no simulated pulses (the §8
+    /// analytic model experiments).
+    pub fn tick(&mut self) {
+        self.queries += 1;
+    }
+
+    /// Cell utilisation over the runs that reported occupancy; 0 when none
+    /// did.
+    pub fn utilisation(&self) -> f64 {
+        if self.total_cell_pulses == 0 {
+            0.0
+        } else {
+            self.busy_cell_pulses as f64 / self.total_cell_pulses as f64
+        }
+    }
+}
+
+/// Render one experiment's artifact document.
+pub fn render_json(name: &str, sum: &Summary, wall: Duration) -> String {
+    let wall_ns = wall.as_nanos() as u64;
+    let qps = if wall_ns == 0 {
+        0.0
+    } else {
+        sum.queries as f64 / wall.as_secs_f64()
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_str(name));
+    let _ = writeln!(out, "  \"pulses\": {},", sum.pulses);
+    let _ = writeln!(out, "  \"utilisation\": {:.6},", sum.utilisation());
+    let _ = writeln!(out, "  \"busy_cell_pulses\": {},", sum.busy_cell_pulses);
+    let _ = writeln!(out, "  \"total_cell_pulses\": {},", sum.total_cell_pulses);
+    let _ = writeln!(out, "  \"queries\": {},", sum.queries);
+    let _ = writeln!(out, "  \"host_wall_ns\": {wall_ns},");
+    let _ = writeln!(out, "  \"queries_per_sec\": {qps:.3}");
+    out.push_str("}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes `BENCH_<name>.json` files, or swallows records when disabled.
+#[derive(Debug, Default)]
+pub struct ArtifactSink {
+    dir: Option<PathBuf>,
+    /// Paths written so far, in experiment order.
+    pub written: Vec<PathBuf>,
+}
+
+impl ArtifactSink {
+    /// A sink that drops every record (`repro` without `--json`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A sink that writes artifacts into `dir` (created if missing).
+    pub fn to_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactSink {
+            dir: Some(dir),
+            written: Vec::new(),
+        })
+    }
+
+    /// Whether records are being persisted.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Write `BENCH_<name>.json` for one experiment. A no-op when disabled.
+    pub fn record(&mut self, name: &str, sum: &Summary, wall: Duration) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let path = dir.join(format!("BENCH_{name}.json"));
+        write_clean(&path, &render_json(name, sum, wall))?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// Write `text` to `path`; on failure remove any partial file first.
+fn write_clean(path: &Path, text: &str) -> io::Result<()> {
+    match fs::write(path, text) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(path);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_telemetry::json::{self, Json};
+
+    fn sample_summary() -> Summary {
+        let mut sum = Summary::default();
+        sum.exec(&ExecStats {
+            pulses: 100,
+            cells: 10,
+            busy_cell_pulses: 250,
+            total_cell_pulses: 1000,
+            array_runs: 1,
+        });
+        sum.pulses(50);
+        sum.tick();
+        sum
+    }
+
+    #[test]
+    fn summary_accumulates_each_source_kind() {
+        let sum = sample_summary();
+        assert_eq!(sum.pulses, 150);
+        assert_eq!(sum.queries, 3);
+        assert!((sum.utilisation() - 0.25).abs() < 1e-12);
+        assert_eq!(Summary::default().utilisation(), 0.0);
+    }
+
+    #[test]
+    fn rendered_artifact_is_valid_json_with_the_required_fields() {
+        let sum = sample_summary();
+        let text = render_json("e03_intersection", &sum, Duration::from_millis(2));
+        let doc = json::parse(&text).expect("artifact must be valid JSON");
+        assert_eq!(
+            doc.get("name").and_then(Json::as_str),
+            Some("e03_intersection")
+        );
+        assert_eq!(doc.get("pulses").and_then(Json::as_u64), Some(150));
+        assert_eq!(
+            doc.get("host_wall_ns").and_then(Json::as_u64),
+            Some(2_000_000)
+        );
+        assert!((doc.get("utilisation").and_then(Json::as_f64).unwrap() - 0.25).abs() < 1e-9);
+        // 3 queries over 2ms = 1500/s.
+        assert!((doc.get("queries_per_sec").and_then(Json::as_f64).unwrap() - 1500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sink_writes_bench_files_and_disabled_sink_writes_nothing() {
+        let dir = std::env::temp_dir().join(format!("sdb-artifact-test-{}", std::process::id()));
+        let mut sink = ArtifactSink::to_dir(&dir).unwrap();
+        sink.record("e01_demo", &sample_summary(), Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(sink.written.len(), 1);
+        let path = &sink.written[0];
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_e01_demo.json");
+        json::parse(&fs::read_to_string(path).unwrap()).expect("on-disk artifact parses");
+        fs::remove_dir_all(&dir).ok();
+
+        let mut off = ArtifactSink::disabled();
+        assert!(!off.enabled());
+        off.record("e01_demo", &sample_summary(), Duration::from_millis(1))
+            .unwrap();
+        assert!(off.written.is_empty());
+    }
+
+    #[test]
+    fn names_with_special_characters_are_escaped() {
+        let text = render_json("odd \"name\"\\x", &Summary::default(), Duration::ZERO);
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("name").and_then(Json::as_str),
+            Some("odd \"name\"\\x")
+        );
+        assert_eq!(doc.get("queries_per_sec").and_then(Json::as_f64), Some(0.0));
+    }
+}

@@ -5,7 +5,15 @@
 //! Each section corresponds to one experiment id in DESIGN.md §5, and each
 //! states the paper's claim next to the measured value. All workloads are
 //! seeded; the output is deterministic.
+//!
+//! `repro --json [DIR]` additionally writes one `BENCH_<name>.json`
+//! artifact per workload (pulses, utilisation, host wall ns, queries/sec)
+//! into `DIR` (default `bench-artifacts/`), and appends the
+//! `serve_throughput` workload to the run so every workload is covered.
 
+use std::time::Instant;
+
+use systolic_bench::artifact::{ArtifactSink, Summary};
 use systolic_bench::table::{fmt_ns, Table};
 use systolic_bench::{hardware_ns, intersection_pulses, workloads, PULSE_NS};
 
@@ -26,7 +34,8 @@ fn heading(id: &str, title: &str, claim: &str) {
     println!("paper: {claim}\n");
 }
 
-fn e1_linear_comparison() {
+fn e1_linear_comparison() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E1",
         "linear comparison array (Fig 3-1/3-2, §3.1)",
@@ -44,6 +53,7 @@ fn e1_linear_comparison() {
         let tup: Vec<Elem> = (0..m as i64).collect();
         let arr = LinearComparisonArray::new(m);
         let out = arr.compare(&tup, &tup, true).unwrap();
+        sum.exec(&out.stats);
         let poisoned = !arr.compare(&tup, &tup, false).unwrap().result;
         t.rowd(&[
             m.to_string(),
@@ -55,9 +65,11 @@ fn e1_linear_comparison() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e2_comparison_2d() {
+fn e2_comparison_2d() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E2",
         "two-dimensional comparison array (Fig 3-3/3-4, §3.2)",
@@ -79,6 +91,7 @@ fn e2_comparison_2d() {
         let out = ComparisonArray2d::equality(m)
             .t_matrix(&a, &b, |_, _| true)
             .unwrap();
+        sum.exec(&out.stats);
         let correct = (0..n).all(|i| (0..n).all(|j| out.t.get(i, j) == (a[i] == b[j])));
         t.rowd(&[
             n.to_string(),
@@ -92,9 +105,11 @@ fn e2_comparison_2d() {
     }
     print!("{}", t.render());
     println!("(pulses/n converging to a constant = linear pipeline latency)");
+    sum
 }
 
-fn e3_intersection() {
+fn e3_intersection() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E3",
         "intersection & difference array (Fig 4-1, §4)",
@@ -119,7 +134,9 @@ fn e3_intersection() {
     ] {
         let (a, b) = workloads::overlap_pair(n, 2, overlap);
         let (inter, s) = ops::intersect(&a, &b, Execution::Marching).unwrap();
-        let (diff, _) = ops::difference(&a, &b, Execution::Marching).unwrap();
+        let (diff, sd) = ops::difference(&a, &b, Execution::Marching).unwrap();
+        sum.exec(&s);
+        sum.exec(&sd);
         let expect = nested_loop::intersect(&a, &b, &mut OpCounter::new()).unwrap();
         t.rowd(&[
             n.to_string(),
@@ -132,9 +149,11 @@ fn e3_intersection() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e4_dedup_union() {
+fn e4_dedup_union() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E4",
         "remove-duplicates, union, projection (§5)",
@@ -151,6 +170,7 @@ fn e4_dedup_union() {
     for (nu, dup) in [(16usize, 1usize), (16, 2), (16, 4), (16, 8), (64, 4)] {
         let multi = workloads::duplicated(nu, dup, 2);
         let (out, s) = ops::dedup(&multi, Execution::Marching).unwrap();
+        sum.exec(&s);
         let expect = nested_loop::dedup(&multi, &mut OpCounter::new());
         t.rowd(&[
             nu.to_string(),
@@ -164,19 +184,23 @@ fn e4_dedup_union() {
     print!("{}", t.render());
     let a = workloads::seq_multi(24, 2, 0);
     let b = workloads::seq_multi(24, 2, 12);
-    let (u, _) = ops::union(&a, &b, Execution::Marching).unwrap();
+    let (u, su) = ops::union(&a, &b, Execution::Marching).unwrap();
+    sum.exec(&su);
     println!(
         "union check: |A|=24, |B|=24, |A∩B|=12 -> |A∪B| = {} (expected 36)",
         u.len()
     );
-    let (p, _) = ops::project(&a, &[0], Execution::Marching).unwrap();
+    let (p, sp) = ops::project(&a, &[0], Execution::Marching).unwrap();
+    sum.exec(&sp);
     println!(
         "projection check: project(A, [c0]) -> {} distinct values (expected 24)",
         p.len()
     );
+    sum
 }
 
-fn e5_join() {
+fn e5_join() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E5",
         "join array (Fig 6-1, §6)",
@@ -200,6 +224,7 @@ fn e5_join() {
     ] {
         let (a, b, ka, kb) = workloads::join_pair(n, keys, skew);
         let (c, s) = ops::join(&a, &b, &[JoinSpec::eq(ka, kb)], Execution::Marching).unwrap();
+        sum.exec(&s);
         let expect = nested_loop::equi_join(&a, &b, &[(ka, kb)], &mut OpCounter::new()).unwrap();
         t.rowd(&[
             n.to_string(),
@@ -216,8 +241,9 @@ fn e5_join() {
     let mut t = Table::new(&["theta op", "|C|", "== reference"]);
     let (a, b, ka, kb) = workloads::join_pair(24, 6, 0.0);
     for op in CompareOp::ALL {
-        let (c, _) =
+        let (c, st) =
             ops::join(&a, &b, &[JoinSpec::theta(ka, kb, op)], Execution::Marching).unwrap();
+        sum.exec(&st);
         let expect = if op == CompareOp::Eq {
             nested_loop::equi_join(&a, &b, &[(ka, kb)], &mut OpCounter::new()).unwrap()
         } else {
@@ -230,9 +256,11 @@ fn e5_join() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e6_division() {
+fn e6_division() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E6",
         "division array (Fig 7-1/7-2, §7)",
@@ -254,6 +282,7 @@ fn e6_division() {
         (k, d),
     ];
     let out = DivisionArray.divide(&pairs, &[a, b, c, d]).unwrap();
+    sum.exec(&out.stats);
     println!(
         "figure 7-1 instance: quotient = {:?} (paper: [1] i.e. {{i}}), {} pulses on {} cells",
         out.quotient, out.stats.pulses, out.stats.cells
@@ -275,6 +304,7 @@ fn e6_division() {
         let (dividend, divisor, expected) = workloads::division(xu, dv, q);
         let (got, s) =
             ops::divide_binary(&dividend, 0, 1, &divisor, 0, Execution::Marching).unwrap();
+        sum.exec(&s);
         let mut keys: Vec<Elem> = got.rows().iter().map(|r| r[0]).collect();
         keys.sort_unstable();
         t.rowd(&[
@@ -297,13 +327,16 @@ fn e6_division() {
         vec![2, 2, 11],
     ];
     let out = DivisionArrayMulti::new(2).divide(&rows, &[10, 11]).unwrap();
+    sum.exec(&out.stats);
     println!(
         "multi-column keys (general case): quotient over (x1,x2) = {:?} on {} cells",
         out.quotient, out.stats.cells
     );
+    sum
 }
 
-fn e7_perfmodel() {
+fn e7_perfmodel() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E7",
         "the §8 analytic performance model",
@@ -328,6 +361,7 @@ fn e7_perfmodel() {
         ("optimistic", Technology::paper_optimistic(), "about 10ms"),
     ] {
         let p = Prediction::new(tech, w);
+        sum.tick();
         t.rowd(&[
             name.to_string(),
             format!("{:.0}", tech.comparison_time_ns),
@@ -351,6 +385,7 @@ fn e7_perfmodel() {
             ..Technology::paper_conservative()
         };
         let p = Prediction::new(tech, w);
+        sum.tick();
         t.rowd(&[chips.to_string(), format!("{:.1} ms", p.intersection_ms())]);
     }
     print!("{}", t.render());
@@ -366,6 +401,7 @@ fn e7_perfmodel() {
             ..base
         };
         let p = Prediction::new(tech, w);
+        sum.tick();
         t.rowd(&[
             label.to_string(),
             tech.comparators_per_chip().to_string(),
@@ -374,9 +410,11 @@ fn e7_perfmodel() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e8_disk() {
+fn e8_disk() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E8",
         "the §8 disk-rate comparison",
@@ -386,6 +424,8 @@ fn e8_disk() {
     let w = Workload::paper_typical();
     let conservative = Prediction::new(Technology::paper_conservative(), w);
     let optimistic = Prediction::new(Technology::paper_optimistic(), w);
+    sum.tick();
+    sum.tick();
     let total_bytes = 2.0 * w.relation_bytes(w.n_a);
     let mut t = Table::new(&["quantity", "measured", "paper says"]);
     t.rowd(&[
@@ -419,9 +459,11 @@ fn e8_disk() {
         "yes".to_string(),
     ]);
     print!("{}", t.render());
+    sum
 }
 
-fn e9_tiling() {
+fn e9_tiling() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E9",
         "problem decomposition (§8)",
@@ -433,6 +475,7 @@ fn e9_tiling() {
     let whole = ComparisonArray2d::equality(4)
         .t_matrix(&a, &b, |_, _| true)
         .unwrap();
+    sum.exec(&whole.stats);
     let mut t = Table::new(&[
         "physical array",
         "tile runs",
@@ -456,6 +499,7 @@ fn e9_tiling() {
     ] {
         let limits = ArrayLimits::new(ma, mb, mc);
         let tiled = t_matrix_tiled(&a, &b, &ops_eq, limits, |_, _| true).unwrap();
+        sum.exec(&tiled.stats);
         t.rowd(&[
             format!("{ma}x{mb}x{mc}"),
             tiled.stats.array_runs.to_string(),
@@ -466,7 +510,7 @@ fn e9_tiling() {
     }
     print!("{}", t.render());
     // Membership (intersection) variant.
-    let (keep_whole, _) = membership_tiled(
+    let (keep_whole, s_whole) = membership_tiled(
         &a,
         &b,
         SetOpMode::Intersect,
@@ -474,7 +518,7 @@ fn e9_tiling() {
         |_, _| true,
     )
     .unwrap();
-    let (keep_tiled, _) = membership_tiled(
+    let (keep_tiled, s_tiled) = membership_tiled(
         &a,
         &b,
         SetOpMode::Intersect,
@@ -482,13 +526,17 @@ fn e9_tiling() {
         |_, _| true,
     )
     .unwrap();
+    sum.exec(&s_whole);
+    sum.exec(&s_tiled);
     println!(
         "tiled intersection membership identical: {}",
         keep_whole == keep_tiled
     );
+    sum
 }
 
-fn e10_fixed_operand() {
+fn e10_fixed_operand() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E10",
         "fixed-operand ablation (§8)",
@@ -511,6 +559,8 @@ fn e10_fixed_operand() {
         let fixed = FixedOperandArray::preload(&a)
             .run(&a, SetOpMode::Intersect)
             .unwrap();
+        sum.exec(&marching.stats);
+        sum.exec(&fixed.stats);
         let same = marching.keep == fixed.keep;
         t.rowd(&[
             n.to_string(),
@@ -539,13 +589,16 @@ fn e10_fixed_operand() {
     let streaming = FixedOperandArray::preload(&small)
         .run(&long, SetOpMode::Intersect)
         .unwrap();
+    sum.exec(&streaming.stats);
     println!(
         "streaming regime (|A|=512 past resident |B|=16): utilisation {:.3} (approaches 1)",
         streaming.stats.utilisation()
     );
+    sum
 }
 
-fn e11_bitlevel() {
+fn e11_bitlevel() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E11",
         "word-level to bit-level transformation (§8)",
@@ -567,6 +620,8 @@ fn e11_bitlevel() {
         let word = LinearComparisonArray::new(m).compare(&a, &b, true).unwrap();
         let bit = BitLinearComparisonArray::new(m, w);
         let (bv, bs) = bit.compare(&a, &b, true).unwrap();
+        sum.exec(&word.stats);
+        sum.exec(&bs);
         t.rowd(&[
             w.to_string(),
             word.stats.cells.to_string(),
@@ -582,14 +637,17 @@ fn e11_bitlevel() {
     for op in CompareOp::ALL {
         let cmp = BitSerialComparator::new(12, op);
         for (x, y) in [(0, 0), (5, 2000), (2000, 5), (4095, 4095)] {
-            let (v, _) = cmp.compare(x, y).unwrap();
+            let (v, st) = cmp.compare(x, y).unwrap();
+            sum.exec(&st);
             agree &= v == op.eval(x, y);
         }
     }
     println!("bit-serial magnitude comparator agrees with all 6 operators: {agree}");
+    sum
 }
 
-fn e12_shape() {
+fn e12_shape() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E12",
         "shape claim: systolic pipeline vs sequential software (§1/§8)",
@@ -609,6 +667,7 @@ fn e12_shape() {
     for n in [64u64, 256, 1024, 4096, 10_000] {
         let m = 2u64;
         let pulses = intersection_pulses(n, m);
+        sum.tick();
         let hw = hardware_ns(pulses);
         let nl_cmps = n * n * m;
         let nl_time = nl_cmps as f64 * PULSE_NS;
@@ -631,6 +690,7 @@ fn e12_shape() {
         let out = IntersectionArray::new(2)
             .run(&a, &a, SetOpMode::Intersect)
             .unwrap();
+        sum.exec(&out.stats);
         let f = intersection_pulses(n as u64, 2);
         t.rowd(&[
             n.to_string(),
@@ -659,9 +719,11 @@ fn e12_shape() {
         "host wall time at n=512: nested-loop {:?} ({} cmps), hash {:?} ({} hashes), sort {:?} ({} cmps)",
         t_nl, c_nl.element_comparisons, t_h, c_h.hash_ops, t_s, c_s.element_comparisons
     );
+    sum
 }
 
-fn e13_machine() {
+fn e13_machine() -> Summary {
+    let mut sum = Summary::default();
     heading(
         "E13",
         "integrated systolic system (Fig 9-1, §9)",
@@ -676,6 +738,7 @@ fn e13_machine() {
         .intersect(Expr::scan("b"))
         .union(Expr::scan("c").intersect(Expr::scan("d")));
     let out = sys.run(&expr).unwrap();
+    sum.pulses(out.stats.total_pulses);
     let mut t = Table::new(&["quantity", "value"]);
     t.rowd(&["result tuples".to_string(), out.result.len().to_string()]);
     t.rowd(&["makespan".to_string(), fmt_ns(out.stats.makespan_ns as f64)]);
@@ -698,10 +761,12 @@ fn e13_machine() {
         "{}",
         out.timeline.render_gantt(out.stats.makespan_ns / 64 + 1)
     );
+    sum
 }
 
-fn e14_tree_machine() {
+fn e14_tree_machine() -> Summary {
     use systolic_machine::TreeMachine;
+    let mut sum = Summary::default();
     heading(
         "E14",
         "tree machine comparison (§9, Song [9])",
@@ -729,6 +794,8 @@ fn e14_tree_machine() {
             .unwrap(),
         );
         let (tree_keep, tree_stats) = tree.membership(&probes).unwrap();
+        sum.exec(&systolic.stats);
+        sum.pulses(tree_stats.total_pulses());
         t.rowd(&[
             n.to_string(),
             systolic.stats.pulses.to_string(),
@@ -743,10 +810,12 @@ fn e14_tree_machine() {
          only log n, but its root serialises high-fan-out result extraction — see probe_join \
          in systolic_machine::tree)"
     );
+    sum
 }
 
-fn e15_machine_ablation() {
+fn e15_machine_ablation() -> Summary {
     use systolic_machine::{DeviceKind, MachineConfig};
+    let mut sum = Summary::default();
     heading(
         "E15",
         "machine ablation (§9)",
@@ -780,6 +849,7 @@ fn e15_machine_ablation() {
         sys.load_base("c", workloads::seq_multi(64, 2, 200));
         sys.load_base("d", workloads::seq_multi(64, 2, 232));
         let (_, outcome) = sys.run_batch(&batch).unwrap();
+        sum.pulses(outcome.stats.total_pulses);
         t.rowd(&[
             setops.to_string(),
             memories.to_string(),
@@ -806,6 +876,7 @@ fn e15_machine_ablation() {
         sys.load_base("c", workloads::seq_multi(64, 2, 200));
         sys.load_base("d", workloads::seq_multi(64, 2, 232));
         let (_, outcome) = sys.run_batch(&batch).unwrap();
+        sum.pulses(outcome.stats.total_pulses);
         t.rowd(&[
             name.to_string(),
             fmt_ns(outcome.stats.makespan_ns as f64),
@@ -813,10 +884,12 @@ fn e15_machine_ablation() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e16_programmable() {
+fn e16_programmable() -> Summary {
     use systolic_core::ProgrammableJoinArray;
+    let mut sum = Summary::default();
     heading(
         "E16",
         "run-time programmable comparators (§6.3.2)",
@@ -831,6 +904,8 @@ fn e16_programmable() {
         let preloaded = systolic_core::JoinArray::new(vec![JoinSpec::theta(0, 0, op)])
             .t_matrix(&a, &b)
             .unwrap();
+        sum.exec(&programmed.stats);
+        sum.exec(&preloaded.stats);
         t.rowd(&[
             op.to_string(),
             programmed.t.count_true().to_string(),
@@ -838,10 +913,12 @@ fn e16_programmable() {
         ]);
     }
     print!("{}", t.render());
+    sum
 }
 
-fn e17_pattern_match() {
+fn e17_pattern_match() -> Summary {
     use systolic_core::PatternMatchChip;
+    let mut sum = Summary::default();
     heading(
         "E17",
         "the pattern-match chip (§8, ref [3])",
@@ -850,6 +927,7 @@ fn e17_pattern_match() {
     let chip = PatternMatchChip::from_bytes(b"syst?lic");
     let text = b"systolic arrays are systalic? no: systolic and systylic";
     let hits = chip.find_in_bytes(text).unwrap();
+    sum.tick();
     println!(
         "pattern \"syst?lic\" over {:?}:",
         String::from_utf8_lossy(text)
@@ -860,6 +938,7 @@ fn e17_pattern_match() {
         let text: Vec<Elem> = (0..len as i64).map(|i| i % 4).collect();
         let chip = PatternMatchChip::preload(&[0, 1, 2]);
         let (hits, stats) = chip.search(&text).unwrap();
+        sum.exec(&stats);
         t.rowd(&[
             len.to_string(),
             3.to_string(),
@@ -870,10 +949,12 @@ fn e17_pattern_match() {
     }
     print!("{}", t.render());
     println!("(one verdict per text position; pulses linear in text length, k cells total)");
+    sum
 }
 
-fn e18_capacity() {
+fn e18_capacity() -> Summary {
     use systolic_perfmodel::{CapacityPlan, Layout};
+    let mut sum = Summary::default();
     heading(
         "E18",
         "schedule-accurate capacity model (§8 re-derived)",
@@ -895,6 +976,7 @@ fn e18_capacity() {
         ("fixed-operand", Layout::FixedOperand),
     ] {
         let plan = CapacityPlan::plan(t, w, layout);
+        sum.tick();
         tbl.rowd(&[
             name.to_string(),
             format!("{}x{}", plan.tile_a, plan.tile_b),
@@ -909,10 +991,12 @@ fn e18_capacity() {
         "(pulse formulas cross-validated against the cycle-accurate simulator; the fixed-operand \
          layout — §8's own fix — recovers most of the idealised figure)"
     );
+    sum
 }
 
-fn e19_pipelined_tiles() {
+fn e19_pipelined_tiles() -> Summary {
     use systolic_core::tiling::t_matrix_tiled_pipelined;
+    let mut sum = Summary::default();
     heading(
         "E19",
         "pipelined decomposition (§1 'extensive pipelining' across §8 tiles)",
@@ -933,6 +1017,8 @@ fn e19_pipelined_tiles() {
         let limits = ArrayLimits::new(ta, tb, 2);
         let seq = t_matrix_tiled(&a, &b, &ops_eq, limits, |_, _| true).unwrap();
         let piped = t_matrix_tiled_pipelined(&a, &b, &ops_eq, limits, |_, _| true).unwrap();
+        sum.exec(&seq.stats);
+        sum.exec(&piped.stats);
         tbl.rowd(&[
             format!("{ta}x{tb}"),
             piped.stats.array_runs.to_string(),
@@ -950,13 +1036,15 @@ fn e19_pipelined_tiles() {
         "(cross-tile in-flight comparisons produce don't-care outputs that the controller \
          discards by schedule — result capture is gated exactly as in §9)"
     );
+    sum
 }
 
 /// `repro serve-throughput`: queries/sec against a live in-process
 /// systolic-server at 1, 4 and 16 concurrent connections.
-fn serve_throughput() {
-    use std::time::Instant;
+fn serve_throughput() -> Summary {
     use systolic_server::{spawn, Client, ServerConfig};
+
+    let mut sum = Summary::default();
 
     heading(
         "S1",
@@ -988,20 +1076,27 @@ fn serve_throughput() {
     let mut t = Table::new(&["connections", "queries", "wall time", "queries/sec"]);
     for clients in [1usize, 4, 16] {
         let started = Instant::now();
-        std::thread::scope(|scope| {
-            for i in 0..clients {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr).unwrap();
-                    for k in 0..PER_CLIENT {
-                        let q = QUERIES[(i + k) % QUERIES.len()];
-                        client.query(q).unwrap();
-                    }
-                    client.close().unwrap();
-                });
-            }
+        let pulses: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let mut pulses = 0u64;
+                        for k in 0..PER_CLIENT {
+                            let q = QUERIES[(i + k) % QUERIES.len()];
+                            pulses += client.query(q).unwrap().total_pulses;
+                        }
+                        client.close().unwrap();
+                        pulses
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
         });
         let elapsed = started.elapsed().as_secs_f64();
         let total = clients * PER_CLIENT;
+        sum.pulses += pulses;
+        sum.queries += total as u64;
         t.rowd(&[
             clients.to_string(),
             total.to_string(),
@@ -1017,11 +1112,51 @@ fn serve_throughput() {
          admission formed {} multi-query schedules, largest batch {})",
         report.batches, report.max_batch
     );
+    sum
+}
+
+/// Time `f`, then record its summary as `BENCH_<name>.json` (a no-op when
+/// the sink is disabled).
+fn run_exp(sink: &mut ArtifactSink, name: &str, f: impl FnOnce() -> Summary) {
+    let started = Instant::now();
+    let sum = f();
+    if let Err(e) = sink.record(name, &sum, started.elapsed()) {
+        eprintln!("warning: failed to write artifact for {name}: {e}");
+    }
 }
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("serve-throughput") {
-        serve_throughput();
+    let mut serve_only = false;
+    let mut sink = ArtifactSink::disabled();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "serve-throughput" => serve_only = true,
+            "--json" => {
+                let dir = match args.peek() {
+                    Some(d) if !d.starts_with('-') && d.as_str() != "serve-throughput" => {
+                        args.next().unwrap()
+                    }
+                    _ => "bench-artifacts".to_string(),
+                };
+                sink = match ArtifactSink::to_dir(&dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot create artifact directory {dir}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: repro [serve-throughput] [--json [DIR]]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if serve_only {
+        run_exp(&mut sink, "serve_throughput", serve_throughput);
+        finish(&sink);
         return;
     }
     println!(
@@ -1031,24 +1166,38 @@ fn main() {
         "(Kung & Lehman, SIGMOD 1980; all workloads seeded with 0x{:x})",
         workloads::SEED
     );
-    e1_linear_comparison();
-    e2_comparison_2d();
-    e3_intersection();
-    e4_dedup_union();
-    e5_join();
-    e6_division();
-    e7_perfmodel();
-    e8_disk();
-    e9_tiling();
-    e10_fixed_operand();
-    e11_bitlevel();
-    e12_shape();
-    e13_machine();
-    e14_tree_machine();
-    e15_machine_ablation();
-    e16_programmable();
-    e17_pattern_match();
-    e18_capacity();
-    e19_pipelined_tiles();
+    run_exp(&mut sink, "e01_linear_comparison", e1_linear_comparison);
+    run_exp(&mut sink, "e02_comparison_2d", e2_comparison_2d);
+    run_exp(&mut sink, "e03_intersection", e3_intersection);
+    run_exp(&mut sink, "e04_dedup_union", e4_dedup_union);
+    run_exp(&mut sink, "e05_join", e5_join);
+    run_exp(&mut sink, "e06_division", e6_division);
+    run_exp(&mut sink, "e07_perfmodel", e7_perfmodel);
+    run_exp(&mut sink, "e08_disk", e8_disk);
+    run_exp(&mut sink, "e09_tiling", e9_tiling);
+    run_exp(&mut sink, "e10_fixed_operand", e10_fixed_operand);
+    run_exp(&mut sink, "e11_bitlevel", e11_bitlevel);
+    run_exp(&mut sink, "e12_shape", e12_shape);
+    run_exp(&mut sink, "e13_machine", e13_machine);
+    run_exp(&mut sink, "e14_tree_machine", e14_tree_machine);
+    run_exp(&mut sink, "e15_machine_ablation", e15_machine_ablation);
+    run_exp(&mut sink, "e16_programmable", e16_programmable);
+    run_exp(&mut sink, "e17_pattern_match", e17_pattern_match);
+    run_exp(&mut sink, "e18_capacity", e18_capacity);
+    run_exp(&mut sink, "e19_pipelined_tiles", e19_pipelined_tiles);
+    if sink.enabled() {
+        // `--json` covers every workload, the server one included.
+        run_exp(&mut sink, "serve_throughput", serve_throughput);
+    }
     println!("\nAll experiments complete.");
+    finish(&sink);
+}
+
+fn finish(sink: &ArtifactSink) {
+    if sink.enabled() {
+        println!("wrote {} JSON artifacts:", sink.written.len());
+        for path in &sink.written {
+            println!("  {}", path.display());
+        }
+    }
 }

@@ -24,9 +24,10 @@
 //! independent of completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use systolic_fabric::{CompareOp, Elem};
+use systolic_telemetry::metrics::{self, Counter};
 
 use crate::comparison::ComparisonArray2d;
 use crate::error::Result;
@@ -105,6 +106,43 @@ where
         .collect()
 }
 
+struct PoolCounters {
+    sections: Arc<Counter>,
+    jobs: Arc<Counter>,
+    wall_ns: Arc<Counter>,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static CACHE: OnceLock<PoolCounters> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let r = metrics::global();
+        PoolCounters {
+            sections: r.counter(
+                "sdb_executor_sections_total",
+                "Parallel sections executed by the host job pool.",
+            ),
+            jobs: r.counter(
+                "sdb_executor_jobs_total",
+                "Independent tile jobs executed by the host job pool.",
+            ),
+            wall_ns: r.counter(
+                "sdb_executor_wall_ns_total",
+                "Host wall-clock ns spent inside parallel sections.",
+            ),
+        }
+    })
+}
+
+fn record_section(host: HostStats) {
+    if !metrics::metrics_enabled() {
+        return;
+    }
+    let c = pool_counters();
+    c.sections.inc();
+    c.jobs.add(host.jobs as u64);
+    c.wall_ns.add(host.wall_ns);
+}
+
 /// One (A-tile x B-tile x column-group) sub-problem, in the exact order the
 /// sequential executor in [`crate::tiling::t_matrix_tiled`] visits them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +216,9 @@ pub fn t_matrix_tiled_parallel_timed(
     assert!(m > 0, "tuple width must be positive");
     let threads = resolve_threads(threads);
     let jobs = enumerate_jobs(a.len(), b.len(), m, limits);
+    let mut section_span = systolic_telemetry::span("executor.parallel_section");
+    section_span.arg("threads", threads);
+    section_span.arg("jobs", jobs.len());
     let start = std::time::Instant::now();
     let results = run_jobs(threads, jobs.len(), |k| {
         let job = jobs[k];
@@ -205,6 +246,8 @@ pub fn t_matrix_tiled_parallel_timed(
         threads,
         jobs: jobs.len(),
     };
+    drop(section_span);
+    record_section(host);
 
     // Deterministic merge, in the sequential executor's nesting order.
     let mut t = TMatrix::new(a.len(), b.len());

@@ -293,12 +293,14 @@ impl<C: Cell> Grid<C> {
 
     /// Pulse the grid until it drains, or fail after `max_pulses`.
     pub fn run_until_quiescent(&mut self, max_pulses: u64) -> Result<(), NotQuiescent> {
+        let before = self.stats;
         while !self.is_quiescent() {
             if self.pulse >= max_pulses {
                 return Err(NotQuiescent { max_pulses });
             }
             self.step();
         }
+        crate::counters::record_run(before, self.stats);
         Ok(())
     }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+mod counters;
 pub mod feed;
 pub mod grid;
 pub mod schedule;

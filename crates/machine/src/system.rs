@@ -29,15 +29,64 @@
 //! statistics.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use systolic_core::ArrayLimits;
 use systolic_relation::MultiRelation;
+use systolic_telemetry as telemetry;
+use systolic_telemetry::metrics::{self, Counter};
 
 use crate::device::{Device, DeviceKind};
 use crate::error::{MachineError, Result};
 use crate::plan::{Action, Expr, Plan};
 use crate::storage::{relation_bytes, Disk, MemoryModule};
 use crate::timeline::Timeline;
+
+struct MachineCounters {
+    runs: std::sync::Arc<Counter>,
+    pulses: std::sync::Arc<Counter>,
+    array_runs: std::sync::Arc<Counter>,
+    disk_bytes: std::sync::Arc<Counter>,
+}
+
+fn machine_counters() -> &'static MachineCounters {
+    static CACHE: OnceLock<MachineCounters> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let r = metrics::global();
+        MachineCounters {
+            runs: r.counter(
+                "sdb_machine_runs_total",
+                "Transaction schedules priced by the machine (solo runs and merged batches).",
+            ),
+            pulses: r.counter(
+                "sdb_machine_pulses_total",
+                "Simulated array pulses across all machine runs (§8 time unit).",
+            ),
+            array_runs: r.counter(
+                "sdb_machine_array_runs_total",
+                "Physical array runs (tiles) across all machine runs.",
+            ),
+            disk_bytes: r.counter(
+                "sdb_machine_disk_bytes_total",
+                "Bytes read from disk across all machine runs (§9 disk channel).",
+            ),
+        }
+    })
+}
+
+/// Feed the global registry from a completed run's aggregate stats. Called
+/// once per externally observable run (solo, or merged batch) — the
+/// per-query re-accounting inside a batch is *not* counted again.
+fn record_run_metrics(stats: &RunStats) {
+    if !metrics::metrics_enabled() {
+        return;
+    }
+    let c = machine_counters();
+    c.runs.inc();
+    c.pulses.add(stats.total_pulses);
+    c.array_runs.add(stats.array_runs);
+    c.disk_bytes.add(stats.bytes_from_disk);
+}
 
 /// A schedulable resource (a crossbar port or a device).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -374,7 +423,12 @@ impl System {
 
     /// Compile and run a transaction.
     pub fn run(&mut self, expr: &Expr) -> Result<RunOutcome> {
-        let plan = Plan::compile(expr);
+        let plan = {
+            let mut sp = telemetry::span("machine.plan");
+            let plan = Plan::compile(expr);
+            sp.arg("steps", plan.steps.len());
+            plan
+        };
         self.run_plan(&plan)
     }
 
@@ -406,17 +460,30 @@ impl System {
     /// per-request simulated costs that do not depend on what else happened
     /// to share the batch.
     pub fn run_batch_accounted(&mut self, exprs: &[Expr]) -> Result<BatchOutcome> {
+        let mut batch_span = telemetry::span("machine.batch");
+        batch_span.arg("queries", exprs.len());
         let host_start = std::time::Instant::now();
         let threads = systolic_core::executor::resolve_threads(self.host_threads);
-        let plans: Vec<Plan> = exprs.iter().map(Plan::compile).collect();
-        let (merged, offsets) = Self::merge_plans(&plans);
-        let records = self.execute_steps(&merged, threads);
+        let (plans, merged, offsets) = {
+            let _sp = telemetry::span("machine.plan");
+            let plans: Vec<Plan> = exprs.iter().map(Plan::compile).collect();
+            let (merged, offsets) = Self::merge_plans(&plans);
+            (plans, merged, offsets)
+        };
+        let records = {
+            let _sp = telemetry::span("machine.execute");
+            self.execute_steps(&merged, threads)
+        };
         let mut shared = self.transient();
-        let mut combined = self.account(&merged, &records, &mut shared)?;
+        let mut combined = {
+            let _sp = telemetry::span("machine.account");
+            self.account(&merged, &records, &mut shared)?
+        };
         let mut queries = Vec::with_capacity(plans.len());
         for (plan, &offset) in plans.iter().zip(&offsets) {
             let slice = &records[offset..offset + plan.steps.len()];
             let mut solo = self.transient();
+            let _sp = telemetry::span("machine.account_solo");
             let outcome = self.account(plan, slice, &mut solo)?;
             queries.push(QueryOutcome {
                 result: outcome.result,
@@ -426,6 +493,7 @@ impl System {
         }
         self.memories = shared.memories;
         combined.host_wall_ns = host_start.elapsed().as_nanos() as u64;
+        record_run_metrics(&combined.stats);
         Ok(BatchOutcome { queries, combined })
     }
 
@@ -670,11 +738,12 @@ impl System {
                     stats.total_pulses += run_stats.pulses;
                     stats.array_runs += run_stats.array_runs;
                     let dev_name = self.devices[dev_id].name.clone();
-                    timeline.push(
+                    timeline.push_pulsed(
                         start,
                         end,
                         dev_name,
                         format!("{} -> {}", op.label(), step.output),
+                        run_stats.pulses,
                     );
                     for r in &resources {
                         if let Res::Mem(i) = r {
@@ -749,13 +818,21 @@ impl System {
     /// exactly as a freshly built one would; only disk contents (base
     /// relations and `store!` write-backs) persist across runs.
     pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
+        let _run_span = telemetry::span("machine.run");
         let host_start = std::time::Instant::now();
         let threads = systolic_core::executor::resolve_threads(self.host_threads);
-        let records = self.execute_steps(plan, threads);
+        let records = {
+            let _sp = telemetry::span("machine.execute");
+            self.execute_steps(plan, threads)
+        };
         let mut t = self.transient();
-        let mut outcome = self.account(plan, &records, &mut t)?;
+        let mut outcome = {
+            let _sp = telemetry::span("machine.account");
+            self.account(plan, &records, &mut t)?
+        };
         self.memories = t.memories;
         outcome.host_wall_ns = host_start.elapsed().as_nanos() as u64;
+        record_run_metrics(&outcome.stats);
         Ok(outcome)
     }
 }
@@ -1122,6 +1199,99 @@ mod tests {
         let bad = Expr::scan("ghost").dedup();
         let err = sys.run_batch(&[good, bad]).unwrap_err();
         assert!(matches!(err, MachineError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn timeline_pulse_totals_equal_run_stats_exactly() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..40));
+        sys.load_base("b", seq(20..60));
+        sys.load_base("c", seq(0..10));
+        let expr = Expr::scan("a")
+            .intersect(Expr::scan("b"))
+            .union(Expr::scan("c"));
+        let out = sys.run(&expr).unwrap();
+        assert!(out.stats.total_pulses > 0);
+        assert_eq!(out.timeline.pulse_total(), out.stats.total_pulses);
+        for e in out.timeline.events() {
+            let device = e.resource.starts_with("setop")
+                || e.resource.starts_with("join")
+                || e.resource.starts_with("divide");
+            if !device {
+                assert_eq!(e.pulses, 0, "non-array event {e:?} must carry no pulses");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pulse_totals_match_per_query_and_combined_stats() {
+        let mut sys = System::default_machine();
+        sys.load_base("a", seq(0..32));
+        sys.load_base("b", seq(16..48));
+        sys.load_base("c", seq(0..24));
+        let batch = sys
+            .run_batch_accounted(&[
+                Expr::scan("a").intersect(Expr::scan("b")),
+                Expr::scan("c").dedup(),
+            ])
+            .unwrap();
+        assert_eq!(
+            batch.combined.timeline.pulse_total(),
+            batch.combined.stats.total_pulses
+        );
+        for q in &batch.queries {
+            assert_eq!(q.timeline.pulse_total(), q.stats.total_pulses);
+        }
+        assert_eq!(
+            batch.combined.stats.total_pulses,
+            batch
+                .queries
+                .iter()
+                .map(|q| q.stats.total_pulses)
+                .sum::<u64>(),
+            "merged schedule reuses the very same device runs"
+        );
+    }
+
+    #[test]
+    fn machine_spans_nest_under_the_batch() {
+        // The only test in this binary that installs a span collector, so
+        // the process-global collector is not contended.
+        let collector = telemetry::install();
+        let trace_id = {
+            let root = telemetry::root_span("test.root");
+            let ctx = root.ctx().unwrap();
+            let mut sys = System::default_machine();
+            sys.load_base("a", seq(0..16));
+            sys.load_base("b", seq(8..24));
+            sys.run_batch_accounted(&[
+                Expr::scan("a").intersect(Expr::scan("b")),
+                Expr::scan("a").dedup(),
+            ])
+            .unwrap();
+            ctx.trace_id
+        };
+        let spans = collector.drain();
+        telemetry::uninstall();
+        let ours: Vec<_> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+        let batch = ours
+            .iter()
+            .find(|s| s.name == "machine.batch")
+            .expect("batch span recorded");
+        assert_eq!(batch.arg("queries"), Some("2"));
+        for phase in ["machine.plan", "machine.execute", "machine.account"] {
+            let sp = ours
+                .iter()
+                .find(|s| s.name == phase)
+                .unwrap_or_else(|| panic!("{phase} span recorded"));
+            assert_eq!(sp.parent_id, Some(batch.span_id), "{phase} nests in batch");
+            assert!(sp.start_ns >= batch.start_ns && sp.end_ns <= batch.end_ns);
+        }
+        let solos = ours
+            .iter()
+            .filter(|s| s.name == "machine.account_solo")
+            .count();
+        assert_eq!(solos, 2, "one standalone accounting per query");
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Execution timelines: who did what, when — the evidence for §9's claim
 //! that "due to the crossbar structure, several operations may be run
 //! concurrently".
+//!
+//! All times here are **simulated** nanoseconds (pulses x the array clock),
+//! never host wall time; the Chrome export keeps the two on separate
+//! process tracks.
+
+use systolic_telemetry::chrome::{ArgValue, ChromeTrace};
 
 /// One scheduled activity on one resource.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,6 +19,9 @@ pub struct Event {
     pub resource: String,
     /// What happened (e.g. `load emp`, `intersect -> tmp4`).
     pub label: String,
+    /// Simulated pulses this activity consumed (0 for non-array work such
+    /// as disk transfers and memory staging).
+    pub pulses: u64,
 }
 
 /// The full schedule of a transaction run.
@@ -22,7 +31,7 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Record an event.
+    /// Record an event that consumed no array pulses (disk, memory staging).
     pub fn push(
         &mut self,
         start_ns: u64,
@@ -30,12 +39,25 @@ impl Timeline {
         resource: impl Into<String>,
         label: impl Into<String>,
     ) {
+        self.push_pulsed(start_ns, end_ns, resource, label, 0);
+    }
+
+    /// Record an event together with the simulated pulses it consumed.
+    pub fn push_pulsed(
+        &mut self,
+        start_ns: u64,
+        end_ns: u64,
+        resource: impl Into<String>,
+        label: impl Into<String>,
+        pulses: u64,
+    ) {
         debug_assert!(end_ns >= start_ns);
         self.events.push(Event {
             start_ns,
             end_ns,
             resource: resource.into(),
             label: label.into(),
+            pulses,
         });
     }
 
@@ -78,6 +100,36 @@ impl Timeline {
             max = max.max(cur);
         }
         max as usize
+    }
+
+    /// Total simulated pulses recorded across all events.
+    pub fn pulse_total(&self) -> u64 {
+        self.events.iter().map(|e| e.pulses).sum()
+    }
+
+    /// Export onto a [`ChromeTrace`] process group: one named thread track
+    /// per resource (sorted by name, so track ids are deterministic), one
+    /// complete event per timeline event, with `pulses` attached as an
+    /// argument on array work.
+    pub fn to_chrome(&self, trace: &mut ChromeTrace, pid: u32, process_name: &str) {
+        trace.set_process_name(pid, process_name);
+        let mut resources: Vec<&str> = self.events.iter().map(|e| e.resource.as_str()).collect();
+        resources.sort_unstable();
+        resources.dedup();
+        for (i, r) in resources.iter().enumerate() {
+            trace.set_thread_name(pid, i as u32 + 1, r);
+        }
+        for e in &self.events {
+            let tid = resources
+                .binary_search(&e.resource.as_str())
+                .expect("resource indexed above") as u32
+                + 1;
+            let mut args = Vec::new();
+            if e.pulses > 0 {
+                args.push(("pulses".to_string(), ArgValue::U64(e.pulses)));
+            }
+            trace.complete(pid, tid, &e.label, e.start_ns, e.end_ns - e.start_ns, args);
+        }
     }
 
     /// Render a small ASCII Gantt chart: one row per resource, `-` for busy
@@ -158,5 +210,84 @@ mod tests {
         assert_eq!(t.makespan_ns(), 0);
         assert_eq!(t.max_concurrency(|_| true), 0);
         assert_eq!(t.render_gantt(10), "");
+        assert_eq!(t.pulse_total(), 0);
+    }
+
+    #[test]
+    fn gantt_rows_are_sorted_by_resource_regardless_of_insertion_order() {
+        let mut t = Timeline::default();
+        t.push(0, 10, "setop1", "b");
+        t.push(0, 10, "disk", "a");
+        t.push(0, 10, "mem0", "c");
+        t.push(5, 15, "disk", "a2"); // repeated resource must not repeat a row
+        let g = t.render_gantt(5);
+        let rows: Vec<&str> = g
+            .lines()
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert_eq!(rows, vec!["disk", "mem0", "setop1"]);
+    }
+
+    #[test]
+    fn makespan_dominates_every_resource_busy_time() {
+        let t = timeline();
+        let mut resources: Vec<&str> = t.events().iter().map(|e| e.resource.as_str()).collect();
+        resources.sort_unstable();
+        resources.dedup();
+        for r in resources {
+            assert!(
+                t.busy_ns(r) <= t.makespan_ns(),
+                "busy({r}) must not exceed the makespan"
+            );
+        }
+        // And the makespan is exactly the latest end.
+        assert_eq!(
+            t.makespan_ns(),
+            t.events().iter().map(|e| e.end_ns).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn pulse_total_sums_pulsed_events_only() {
+        let mut t = Timeline::default();
+        t.push(0, 10, "disk", "load");
+        t.push_pulsed(10, 20, "setop0", "intersect", 7);
+        t.push_pulsed(20, 30, "join0", "join", 5);
+        assert_eq!(t.pulse_total(), 12);
+    }
+
+    #[test]
+    fn chrome_export_has_sorted_tracks_and_exact_pulse_args() {
+        use systolic_telemetry::json::{self, Json};
+
+        let mut t = Timeline::default();
+        t.push(0, 350, "disk", "load a");
+        t.push_pulsed(350, 1400, "setop0", "intersect -> out", 3);
+        t.push_pulsed(350, 1750, "join0", "join -> out2", 4);
+        let mut trace = systolic_telemetry::chrome::ChromeTrace::new();
+        t.to_chrome(&mut trace, 1, "simulated machine");
+
+        let doc = json::parse(&trace.to_json()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 1 process_name + 3 thread_name + 3 complete events.
+        assert_eq!(events.len(), 7);
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(thread_names, vec!["disk", "join0", "setop0"]);
+        let pulse_sum: u64 = events
+            .iter()
+            .filter_map(|e| e.get("args").and_then(|a| a.get("pulses")))
+            .filter_map(Json::as_u64)
+            .sum();
+        assert_eq!(pulse_sum, t.pulse_total());
+        assert_eq!(pulse_sum, 7);
     }
 }

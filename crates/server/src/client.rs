@@ -6,7 +6,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::escape;
-use crate::protocol::{parse_host_frame, parse_result_frame};
+use crate::protocol::{parse_host_frame, parse_metrics_frame, parse_result_frame};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -173,6 +173,14 @@ impl Client {
         let frame = self.recv()?;
         Self::check_err(&frame)?;
         Ok(frame)
+    }
+
+    /// Fetch the Prometheus-style text exposition (unescaped, multi-line).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        parse_metrics_frame(&frame).map_err(ClientError::Protocol)
     }
 
     /// End the session politely.

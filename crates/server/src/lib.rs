@@ -42,6 +42,7 @@
 pub mod client;
 pub mod engine;
 pub mod frame;
+mod metrics;
 pub mod protocol;
 mod scheduler;
 pub mod server;

@@ -1,0 +1,145 @@
+//! Per-server metric instruments and the `METRICS` exposition.
+//!
+//! Request-level series live in a registry owned by the server instance (so
+//! two servers in one process — common in tests — don't mix request
+//! metrics), while substrate series (grid, executor, machine) accumulate in
+//! the process-global registry. The `METRICS` wire verb renders both.
+
+use std::sync::Arc;
+
+use systolic_telemetry::metrics::{
+    Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS_NS, SIZE_BOUNDS,
+};
+
+/// Instruments for one server instance.
+pub(crate) struct ServerMetrics {
+    registry: Registry,
+    /// End-to-end request latency (receive -> response written), host ns.
+    pub(crate) latency: Arc<Histogram>,
+    /// Queries admitted per merged batch.
+    pub(crate) batch_size: Arc<Histogram>,
+    /// Connections waiting for a worker right now.
+    pub(crate) queue_depth: Arc<Gauge>,
+    /// High-water mark of the connection queue.
+    pub(crate) queue_depth_hwm: Arc<Gauge>,
+    /// Queries answered (including failed ones).
+    pub(crate) queries: Arc<Counter>,
+    /// Tables loaded.
+    pub(crate) loads: Arc<Counter>,
+    /// Merged batch schedules admitted.
+    pub(crate) batches: Arc<Counter>,
+    /// Connections refused with `ERR overloaded`.
+    pub(crate) refused: Arc<Counter>,
+    /// Requests that hit the per-request timeout.
+    pub(crate) timeouts: Arc<Counter>,
+    /// Queries slower than the configured slow-query threshold.
+    pub(crate) slow_queries: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let latency = registry.histogram(
+            "sdb_request_latency_ns",
+            "End-to-end request latency in host nanoseconds.",
+            LATENCY_BOUNDS_NS,
+        );
+        let batch_size = registry.histogram(
+            "sdb_batch_size",
+            "Queries admitted per merged batch schedule.",
+            SIZE_BOUNDS,
+        );
+        let queue_depth = registry.gauge(
+            "sdb_queue_depth",
+            "Accepted connections currently waiting for a worker.",
+        );
+        let queue_depth_hwm = registry.gauge(
+            "sdb_queue_depth_hwm",
+            "High-water mark of the connection wait queue.",
+        );
+        let queries = registry.counter("sdb_server_queries_total", "Queries answered.");
+        let loads = registry.counter("sdb_server_loads_total", "Tables loaded.");
+        let batches = registry.counter(
+            "sdb_server_batches_total",
+            "Merged multi-query schedules admitted.",
+        );
+        let refused = registry.counter(
+            "sdb_server_refused_total",
+            "Connections refused with ERR overloaded.",
+        );
+        let timeouts = registry.counter(
+            "sdb_server_timeouts_total",
+            "Requests that hit the per-request timeout.",
+        );
+        let slow_queries = registry.counter(
+            "sdb_server_slow_queries_total",
+            "Queries slower than the slow-query threshold.",
+        );
+        ServerMetrics {
+            registry,
+            latency,
+            batch_size,
+            queue_depth,
+            queue_depth_hwm,
+            queries,
+            loads,
+            batches,
+            refused,
+            timeouts,
+            slow_queries,
+        }
+    }
+
+    /// The per-operator simulated-pulse counter (`op` is the §8 operator
+    /// label: `intersect`, `join`, ...). Cheap enough for the scheduler
+    /// thread; workers never call this.
+    pub(crate) fn op_pulses(&self, op: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "sdb_op_pulses_total",
+            "Simulated array pulses per relational operator (§8).",
+            &[("op", op)],
+        )
+    }
+
+    /// Render this server's exposition followed by the process-global one.
+    pub(crate) fn exposition(&self) -> String {
+        let mut text = self.registry.render();
+        text.push_str(&systolic_telemetry::metrics::global().render());
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_validates_and_contains_both_registries() {
+        let m = ServerMetrics::new();
+        m.queries.inc();
+        m.latency.observe(1_000_000);
+        m.batch_size.observe(3);
+        m.op_pulses("intersect").add(42);
+        // Make sure at least one global series exists.
+        systolic_telemetry::metrics::global()
+            .counter("sdb_machine_runs_total", "")
+            .add(0);
+        let text = m.exposition();
+        let exp = systolic_telemetry::prom::validate(&text).expect("exposition parses");
+        assert_eq!(exp.value("sdb_server_queries_total", ""), Some(1.0));
+        assert_eq!(
+            exp.value("sdb_op_pulses_total", "{op=\"intersect\"}"),
+            Some(42.0)
+        );
+        assert!(exp.types.contains_key("sdb_request_latency_ns"));
+        assert!(exp.types.contains_key("sdb_machine_runs_total"));
+    }
+
+    #[test]
+    fn two_servers_keep_request_metrics_apart() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.queries.add(5);
+        assert_eq!(b.queries.get(), 0);
+    }
+}

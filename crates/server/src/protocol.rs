@@ -6,6 +6,7 @@
 //! LOAD <name> <type,type,...> <escaped-csv>
 //! QUERY <query text>
 //! STATS
+//! METRICS
 //! CLOSE
 //! SHUTDOWN
 //! ```
@@ -18,7 +19,9 @@
 //!        concurrency=<n> csv=<escaped-csv>
 //! HOST ns=<n>
 //! STATS tables=<n> queries=<n> loads=<n> batches=<n> max_batch=<n> \
-//!       refused=<n> timeouts=<n> active=<n>
+//!       refused=<n> timeouts=<n> active=<n> uptime_ms=<n> queue_hwm=<n> \
+//!       slow=<n> lat_p50_ns=<n> lat_p95_ns=<n> lat_p99_ns=<n> lat_count=<n>
+//! METRICS <escaped Prometheus text exposition>
 //! BYE
 //! ERR <kind> [at=<byte>] <escaped detail>
 //! ```
@@ -53,6 +56,8 @@ pub enum Request {
     Query(String),
     /// Ask for server statistics.
     Stats,
+    /// Ask for the full Prometheus-style metrics exposition.
+    Metrics,
     /// End this session.
     Close,
     /// Ask the whole server to drain and exit.
@@ -95,10 +100,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Query(rest.to_string()))
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
         "CLOSE" if rest.is_empty() => Ok(Request::Close),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         _ => Err(format!(
-            "unknown request {line:?} (LOAD, QUERY, STATS, CLOSE, SHUTDOWN)"
+            "unknown request {line:?} (LOAD, QUERY, STATS, METRICS, CLOSE, SHUTDOWN)"
         )),
     }
 }
@@ -125,6 +131,19 @@ pub fn host_frame(host_wall_ns: u64) -> String {
 /// Render a successful `LOAD` answer.
 pub fn loaded_frame(name: &str, rows: usize) -> String {
     format!("LOADED {name} rows={rows}")
+}
+
+/// Render a `METRICS` answer carrying the escaped text exposition.
+pub fn metrics_frame(exposition: &str) -> String {
+    format!("METRICS {}", escape(exposition))
+}
+
+/// Parse a `METRICS` frame back into the exposition text.
+pub fn parse_metrics_frame(frame: &str) -> Result<String, String> {
+    let body = frame
+        .strip_prefix("METRICS ")
+        .ok_or_else(|| format!("expected METRICS frame, got {frame:?}"))?;
+    unescape(body)
 }
 
 /// Render an error frame.
@@ -228,6 +247,8 @@ mod tests {
             Request::Query("scan(emp)".into())
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert!(parse_request("METRICS now").is_err());
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         assert!(parse_request("NOPE").is_err());
@@ -256,6 +277,14 @@ mod tests {
         assert_eq!(fields.max_device_concurrency, 2);
         assert_eq!(fields.csv, "a,b\nc,d\n");
         assert_eq!(parse_host_frame("HOST ns=42").unwrap(), 42);
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_multiline_expositions() {
+        let text = "# HELP x helps\n# TYPE x counter\nx 1\n";
+        let frame = metrics_frame(text);
+        assert!(!frame.contains('\n'), "frames are single lines");
+        assert_eq!(parse_metrics_frame(&frame).unwrap(), text);
     }
 
     #[test]

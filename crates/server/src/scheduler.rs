@@ -12,16 +12,32 @@
 //! timeline priced as if it ran alone), which `run_batch_accounted`
 //! guarantees is bit-identical to a fresh solo run — so batching changes
 //! throughput, never answers.
+//!
+//! Telemetry: the gather phase runs under a `server.batch_window` span and
+//! each merged admission under a `server.batch` span (the machine's own
+//! spans nest beneath it). Per request, a `server.batch_run` span parented
+//! to *that request's* trace carries the shared batch span id — so two
+//! merged requests keep distinct trace ids while both point at the one
+//! batch that served them.
 
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use systolic_machine::{Expr, MachineError, RunStats, System};
+use systolic_machine::{Expr, MachineError, RunStats, System, Timeline};
 use systolic_relation::MultiRelation;
+use systolic_telemetry::{root_span, span_in, TraceCtx};
 
+use crate::metrics::ServerMetrics;
 use crate::server::Counters;
+
+/// A query waiting in a merged batch: its expression, the submitting
+/// request's trace, and the reply channel.
+type PendingQuery = (
+    Expr,
+    Option<TraceCtx>,
+    SyncSender<Result<QueryReply, MachineError>>,
+);
 
 /// A finished query, as the scheduler reports it to a worker.
 pub(crate) struct QueryReply {
@@ -40,6 +56,9 @@ pub(crate) enum Job {
     Query {
         /// The prepared (parsed + rewritten) expression.
         expr: Expr,
+        /// The submitting request's trace context, so scheduler spans for
+        /// this query land in the request's trace.
+        trace: Option<TraceCtx>,
         /// Where to deliver the answer; capacity-1 channel so the send
         /// never blocks even if the worker gave up waiting.
         reply: SyncSender<Result<QueryReply, MachineError>>,
@@ -62,8 +81,10 @@ pub(crate) fn run(
     window: Duration,
     max_batch: usize,
     counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
 ) {
     while let Ok(first) = jobs.recv() {
+        let mut window_span = root_span("server.batch_window");
         let mut batch = vec![first];
         let deadline = Instant::now() + window;
         while batch.len() < max_batch.max(1) {
@@ -76,6 +97,8 @@ pub(crate) fn run(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        window_span.arg("jobs", batch.len());
+        drop(window_span);
 
         // Loads first, in arrival order: a query admitted in the same
         // window as the load it depends on sees the table.
@@ -85,32 +108,45 @@ pub(crate) fn run(
                 Job::Load { name, rel, reply } => {
                     let rows = rel.len();
                     system.load_base(name, rel);
-                    counters.loads.fetch_add(1, Ordering::Relaxed);
+                    counters.update(|c| c.loads += 1);
+                    metrics.loads.inc();
                     let _ = reply.send(rows);
                 }
-                Job::Query { expr, reply } => queries.push((expr, reply)),
+                Job::Query { expr, trace, reply } => queries.push((expr, trace, reply)),
             }
         }
-        counters
-            .queries
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
-        match queries.len() {
+        let n = queries.len();
+        counters.update(|c| c.queries += n as u64);
+        metrics.queries.add(n as u64);
+        if n > 0 {
+            metrics.batch_size.observe(n as u64);
+        }
+        match n {
             0 => {}
             1 => {
-                let (expr, reply) = queries.pop().expect("len checked");
-                let _ = reply.send(run_solo(&mut system, &expr));
+                let (expr, trace, reply) = queries.pop().expect("len checked");
+                let _span = span_in(trace, "server.run_solo");
+                let _ = reply.send(run_solo(&mut system, &expr, &metrics));
             }
             n => {
-                counters.batches.fetch_add(1, Ordering::Relaxed);
-                counters.max_batch.fetch_max(n as u64, Ordering::Relaxed);
-                run_merged(&mut system, queries);
+                counters.update(|c| {
+                    c.batches += 1;
+                    c.max_batch = c.max_batch.max(n as u64);
+                });
+                metrics.batches.inc();
+                run_merged(&mut system, queries, &metrics);
             }
         }
     }
 }
 
-fn run_solo(system: &mut System, expr: &Expr) -> Result<QueryReply, MachineError> {
+fn run_solo(
+    system: &mut System,
+    expr: &Expr,
+    metrics: &ServerMetrics,
+) -> Result<QueryReply, MachineError> {
     let out = system.run(expr)?;
+    record_op_pulses(metrics, &out.timeline);
     Ok(QueryReply {
         result: out.result,
         stats: out.stats,
@@ -118,17 +154,41 @@ fn run_solo(system: &mut System, expr: &Expr) -> Result<QueryReply, MachineError
     })
 }
 
+/// Feed `sdb_op_pulses_total{op=...}` from timeline device events. Array
+/// work is exactly the events that carry pulses; the op name is the label
+/// up to the ` -> output` suffix, normalised past any `[...]` detail.
+fn record_op_pulses(metrics: &ServerMetrics, timeline: &Timeline) {
+    for event in timeline.events() {
+        if event.pulses == 0 {
+            continue;
+        }
+        let head = event.label.split(" -> ").next().unwrap_or(&event.label);
+        let op = head.split('[').next().unwrap_or(head);
+        metrics.op_pulses(op).add(event.pulses);
+    }
+}
+
 /// Admit several queries as one merged schedule; on any failure fall back
 /// to per-query solo runs so only the faulty requests see errors.
-fn run_merged(
-    system: &mut System,
-    mut queries: Vec<(Expr, SyncSender<Result<QueryReply, MachineError>>)>,
-) {
-    let exprs: Vec<Expr> = queries.iter().map(|(e, _)| e.clone()).collect();
-    match system.run_batch_accounted(&exprs) {
+fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &ServerMetrics) {
+    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _)| e.clone()).collect();
+    // The batch gets its own trace: it belongs to no single request. The
+    // span stays ambient while the machine runs so machine.batch nests here.
+    let mut batch_span = root_span("server.batch");
+    batch_span.arg("size", queries.len());
+    let batch_ctx = batch_span.ctx();
+    let outcome = system.run_batch_accounted(&exprs);
+    drop(batch_span);
+    match outcome {
         Ok(batch) => {
+            record_op_pulses(metrics, &batch.combined.timeline);
             let host_wall_ns = batch.combined.host_wall_ns;
-            for (outcome, (_, reply)) in batch.queries.into_iter().zip(queries) {
+            for (outcome, (_, trace, reply)) in batch.queries.into_iter().zip(queries) {
+                let mut run_span = span_in(trace, "server.batch_run");
+                if let Some(ctx) = batch_ctx {
+                    run_span.arg("batch_span", ctx.span_id);
+                }
+                drop(run_span);
                 let _ = reply.send(Ok(QueryReply {
                     result: outcome.result,
                     stats: outcome.stats,
@@ -137,8 +197,9 @@ fn run_merged(
             }
         }
         Err(_) => {
-            for (expr, reply) in queries.drain(..) {
-                let _ = reply.send(run_solo(system, &expr));
+            for (expr, trace, reply) in queries.drain(..) {
+                let _span = span_in(trace, "server.run_solo");
+                let _ = reply.send(run_solo(system, &expr, metrics));
             }
         }
     }

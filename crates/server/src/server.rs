@@ -10,18 +10,21 @@
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use systolic_machine::{MachineConfig, System};
+use systolic_telemetry::{record_between, root_span, TraceCtx};
 
 use crate::engine::{self, EngineError, Store};
 use crate::frame::{read_frame, FrameRead};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    err_frame, host_frame, loaded_frame, parse_err_frame, parse_request, result_frame, Request,
+    err_frame, host_frame, loaded_frame, metrics_frame, parse_err_frame, parse_request,
+    result_frame, Request,
 };
 use crate::scheduler::{self, Job};
 use crate::shutdown;
@@ -48,6 +51,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Largest accepted request frame, in bytes.
     pub max_request_bytes: usize,
+    /// Queries slower than this (end-to-end host time) are written to the
+    /// slow-query log on stderr; `None` disables the log.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -61,19 +67,45 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 16,
             max_request_bytes: 1 << 20,
+            slow_query: Some(Duration::from_secs(1)),
         }
     }
 }
 
 /// Monotonic service counters, shared between workers and the scheduler.
+///
+/// One mutex guards the whole set, so a concurrent `STATS` probe (or the
+/// final report) always reads a consistent snapshot — it can never see,
+/// say, a batch counted whose queries aren't, the torn view the old
+/// independent atomics allowed.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
-    pub(crate) queries: AtomicU64,
-    pub(crate) loads: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) max_batch: AtomicU64,
-    pub(crate) refused: AtomicU64,
-    pub(crate) timeouts: AtomicU64,
+    state: Mutex<CounterState>,
+}
+
+/// The counter fields; [`Counters::snapshot`] returns a copy of this.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct CounterState {
+    pub(crate) queries: u64,
+    pub(crate) loads: u64,
+    pub(crate) batches: u64,
+    pub(crate) max_batch: u64,
+    pub(crate) refused: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) slow_queries: u64,
+    pub(crate) queue_hwm: u64,
+}
+
+impl Counters {
+    /// Apply one mutation atomically with respect to snapshots.
+    pub(crate) fn update(&self, f: impl FnOnce(&mut CounterState)) {
+        f(&mut self.state.lock().unwrap());
+    }
+
+    /// A consistent copy of every counter.
+    pub(crate) fn snapshot(&self) -> CounterState {
+        *self.state.lock().unwrap()
+    }
 }
 
 /// A snapshot of service counters, returned when the server exits.
@@ -91,29 +123,50 @@ pub struct ServerReport {
     pub refused: u64,
     /// Requests that hit the per-request timeout.
     pub timeouts: u64,
+    /// High-water mark of the connection wait queue.
+    pub queue_hwm: u64,
+    /// Queries slower than the slow-query threshold.
+    pub slow_queries: u64,
 }
 
 struct Shared {
     store: RwLock<Store>,
     counters: Arc<Counters>,
+    metrics: Arc<ServerMetrics>,
     active: AtomicUsize,
     cfg: ServerConfig,
     stop: AtomicBool,
+    started: Instant,
 }
 
 impl Shared {
+    fn new(cfg: ServerConfig) -> Self {
+        Shared {
+            store: RwLock::new(Store::new()),
+            counters: Arc::new(Counters::default()),
+            metrics: Arc::new(ServerMetrics::new()),
+            active: AtomicUsize::new(0),
+            cfg,
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || shutdown::signalled()
     }
 
     fn report(&self) -> ServerReport {
+        let c = self.counters.snapshot();
         ServerReport {
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            loads: self.counters.loads.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
-            refused: self.counters.refused.load(Ordering::Relaxed),
-            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            queries: c.queries,
+            loads: c.loads,
+            batches: c.batches,
+            max_batch: c.max_batch,
+            refused: c.refused,
+            timeouts: c.timeouts,
+            queue_hwm: c.queue_hwm,
+            slow_queries: c.slow_queries,
         }
     }
 }
@@ -127,24 +180,30 @@ struct ConnQueue {
 
 #[derive(Default)]
 struct QueueInner {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
 impl ConnQueue {
-    fn push(&self, stream: TcpStream) {
-        self.inner.lock().unwrap().conns.push_back(stream);
+    /// Enqueue a connection (stamped with its arrival time, so the worker
+    /// that picks it up can record the queue wait) and return the new depth.
+    fn push(&self, stream: TcpStream) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.conns.push_back((stream, Instant::now()));
+        let depth = inner.conns.len();
+        drop(inner);
         self.ready.notify_one();
+        depth
     }
 
-    /// Next connection, blocking; `None` once closed *and* drained, so
-    /// connections queued before shutdown still get served (and refused
-    /// politely).
-    fn pop(&self) -> Option<TcpStream> {
+    /// Next connection plus its enqueue time, blocking; `None` once closed
+    /// *and* drained, so connections queued before shutdown still get
+    /// served (and refused politely).
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(stream) = inner.conns.pop_front() {
-                return Some(stream);
+            if let Some(entry) = inner.conns.pop_front() {
+                return Some(entry);
             }
             if inner.closed {
                 return None;
@@ -191,13 +250,7 @@ impl ServerHandle {
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(Shared {
-        store: RwLock::new(Store::new()),
-        counters: Arc::new(Counters::default()),
-        active: AtomicUsize::new(0),
-        cfg: config,
-        stop: AtomicBool::new(false),
-    });
+    let shared = Arc::new(Shared::new(config));
     let serve_shared = Arc::clone(&shared);
     let join = thread::Builder::new()
         .name("systolic-serve".to_string())
@@ -214,13 +267,7 @@ pub fn run(config: ServerConfig) -> io::Result<ServerReport> {
     shutdown::install();
     println!("listening on {addr}");
     io::stdout().flush()?;
-    let shared = Arc::new(Shared {
-        store: RwLock::new(Store::new()),
-        counters: Arc::new(Counters::default()),
-        active: AtomicUsize::new(0),
-        cfg: config,
-        stop: AtomicBool::new(false),
-    });
+    let shared = Arc::new(Shared::new(config));
     let report = serve_on(listener, Arc::clone(&shared))?;
     println!(
         "shutdown: {} queries ({} batched schedules, largest {}), {} loads, \
@@ -245,7 +292,10 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
         let window = shared.cfg.batch_window;
         let max_batch = shared.cfg.max_batch;
         let sched_counters = Arc::clone(&shared.counters);
-        scope.spawn(move || scheduler::run(system, rx, window, max_batch, sched_counters));
+        let sched_metrics = Arc::clone(&shared.metrics);
+        scope.spawn(move || {
+            scheduler::run(system, rx, window, max_batch, sched_counters, sched_metrics)
+        });
         let workers = shared.cfg.workers.max(1);
         for _ in 0..workers {
             let queue = Arc::clone(&queue);
@@ -265,10 +315,16 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
                 Ok((stream, _)) => {
                     let busy = shared.active.load(Ordering::SeqCst) + queue.len();
                     if busy >= workers + shared.cfg.max_pending {
-                        shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.update(|c| c.refused += 1);
+                        shared.metrics.refused.inc();
                         refuse(stream);
                     } else {
-                        queue.push(stream);
+                        let depth = queue.push(stream) as u64;
+                        shared.metrics.queue_depth.set(depth as f64);
+                        shared.metrics.queue_depth_hwm.set_max(depth as f64);
+                        shared
+                            .counters
+                            .update(|c| c.queue_hwm = c.queue_hwm.max(depth));
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -301,7 +357,9 @@ fn refuse(stream: TcpStream) {
 }
 
 fn worker_loop(queue: &ConnQueue, shared: &Shared, tx: &mpsc::Sender<Job>) {
-    while let Some(stream) = queue.pop() {
+    while let Some((stream, enqueued)) = queue.pop() {
+        shared.metrics.queue_depth.set(queue.len() as f64);
+        record_between("server.queue_wait", None, enqueued, Instant::now());
         shared.active.fetch_add(1, Ordering::SeqCst);
         let _ = serve_conn(stream, shared, tx);
         shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -371,6 +429,11 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) ->
                 let frame = stats_frame(shared);
                 send(&mut stream, &frame)?;
             }
+            Request::Metrics => {
+                // Like STATS: observability stays answerable while draining.
+                let frame = metrics_frame(&shared.metrics.exposition());
+                send(&mut stream, &frame)?;
+            }
             _ if shared.stopping() => {
                 send(
                     &mut stream,
@@ -382,10 +445,25 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) ->
                 send(&mut stream, &frame)?;
             }
             Request::Query(query) => {
-                let (result, host) = handle_query(shared, tx, &query);
+                let started = Instant::now();
+                // A fresh trace per request: concurrent clients must never
+                // share a trace id even when the scheduler merges them into
+                // one batch schedule.
+                let mut span = root_span("server.request");
+                span.arg("query", &query);
+                let trace = span.ctx();
+                let (result, host) = handle_query(shared, tx, &query, trace);
                 send(&mut stream, &result)?;
                 if let Some(host) = host {
                     send(&mut stream, &host)?;
+                }
+                drop(span);
+                let elapsed = started.elapsed();
+                shared.metrics.latency.observe(elapsed.as_nanos() as u64);
+                if let Some(line) = slow_query_line(&query, elapsed, shared.cfg.slow_query) {
+                    shared.counters.update(|c| c.slow_queries += 1);
+                    shared.metrics.slow_queries.inc();
+                    eprintln!("{line}");
                 }
             }
         }
@@ -395,9 +473,13 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) ->
 fn stats_frame(shared: &Shared) -> String {
     let tables = shared.store.read().unwrap().table_count();
     let report = shared.report();
+    let lat = &shared.metrics.latency;
+    // New fields only ever get appended: clients key on names, but scripted
+    // consumers of older servers may still slice by position.
     format!(
         "STATS tables={tables} queries={} loads={} batches={} max_batch={} refused={} \
-         timeouts={} active={}",
+         timeouts={} active={} uptime_ms={} queue_hwm={} slow={} lat_p50_ns={} \
+         lat_p95_ns={} lat_p99_ns={} lat_count={}",
         report.queries,
         report.loads,
         report.batches,
@@ -405,7 +487,27 @@ fn stats_frame(shared: &Shared) -> String {
         report.refused,
         report.timeouts,
         shared.active.load(Ordering::SeqCst),
+        shared.started.elapsed().as_millis(),
+        report.queue_hwm,
+        report.slow_queries,
+        lat.quantile(0.50),
+        lat.quantile(0.95),
+        lat.quantile(0.99),
+        lat.count(),
     )
+}
+
+/// The slow-query log line, if `elapsed` reaches the threshold.
+fn slow_query_line(query: &str, elapsed: Duration, threshold: Option<Duration>) -> Option<String> {
+    let threshold = threshold?;
+    if elapsed < threshold {
+        return None;
+    }
+    Some(format!(
+        "slow-query: {:.3}ms (threshold {}ms) {query}",
+        elapsed.as_secs_f64() * 1e3,
+        threshold.as_millis(),
+    ))
 }
 
 fn valid_table_name(name: &str) -> bool {
@@ -454,7 +556,8 @@ fn handle_load(
     match reply_rx.recv_timeout(shared.cfg.request_timeout) {
         Ok(rows) => loaded_frame(name, rows),
         Err(_) => {
-            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.counters.update(|c| c.timeouts += 1);
+            shared.metrics.timeouts.inc();
             err_frame("timeout", "load timed out")
         }
     }
@@ -462,7 +565,12 @@ fn handle_load(
 
 /// Returns the `RESULT` (or `ERR`) frame plus, on success, the `HOST`
 /// frame.
-fn handle_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str) -> (String, Option<String>) {
+fn handle_query(
+    shared: &Shared,
+    tx: &mpsc::Sender<Job>,
+    query: &str,
+    trace: Option<TraceCtx>,
+) -> (String, Option<String>) {
     let expr = match engine::prepare(query) {
         Ok(expr) => expr,
         Err(e) => return (engine_err_frame(&e), None),
@@ -484,6 +592,7 @@ fn handle_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str) -> (String
     if tx
         .send(Job::Query {
             expr,
+            trace,
             reply: reply_tx,
         })
         .is_err()
@@ -506,7 +615,8 @@ fn handle_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str) -> (String
         }
         Ok(Err(machine_err)) => (err_frame("machine", &machine_err.to_string()), None),
         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.counters.update(|c| c.timeouts += 1);
+            shared.metrics.timeouts.inc();
             (err_frame("timeout", "query timed out"), None)
         }
     }
@@ -532,5 +642,45 @@ mod tests {
         assert!(cfg.workers >= 16, "must sustain 16 concurrent connections");
         assert!(cfg.max_batch > 1);
         assert!(cfg.max_request_bytes >= 1 << 20);
+        assert!(cfg.slow_query.is_some(), "slow-query log on by default");
+    }
+
+    #[test]
+    fn slow_query_log_respects_threshold_and_disable() {
+        let q = "scan(emp)";
+        let ms = Duration::from_millis;
+        assert_eq!(slow_query_line(q, ms(999), Some(ms(1000))), None);
+        assert_eq!(slow_query_line(q, ms(999), None), None);
+        let line = slow_query_line(q, ms(1500), Some(ms(1000))).unwrap();
+        assert!(line.starts_with("slow-query: "));
+        assert!(line.contains("1500.000ms"));
+        assert!(line.contains("(threshold 1000ms)"));
+        assert!(line.ends_with(q));
+    }
+
+    #[test]
+    fn counter_snapshots_are_consistent_under_concurrent_updates() {
+        // Every update bumps queries and loads together under the one lock;
+        // a snapshot must never observe them apart.
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    counters.update(|c| {
+                        c.queries += 1;
+                        c.loads += 1;
+                    });
+                }
+            })
+        };
+        for _ in 0..1000 {
+            let snap = counters.snapshot();
+            assert_eq!(snap.queries, snap.loads, "torn counter snapshot");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

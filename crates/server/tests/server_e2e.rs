@@ -130,9 +130,29 @@ fn sixteen_concurrent_clients_match_serial_and_one_shot() {
         }
     });
 
+    // The acceptance check: after the concurrent run the server answers
+    // METRICS with a request-latency histogram covering every query and the
+    // batch counters, while the RESULT frames above stayed byte-identical.
+    let mut probe = Client::connect(addr).unwrap();
+    let text = probe.metrics().unwrap();
+    probe.close().unwrap();
+    let exp = systolic_telemetry::prom::validate(&text).expect("exposition must validate");
+    let expected = (CLIENTS * QUERIES.len() + QUERIES.len()) as u64;
+    assert_eq!(
+        exp.value("sdb_server_queries_total", ""),
+        Some(expected as f64)
+    );
+    assert_eq!(
+        exp.value("sdb_request_latency_ns_count", ""),
+        Some(expected as f64)
+    );
+    assert!(
+        exp.value("sdb_batch_size_count", "").unwrap_or(0.0) >= 1.0,
+        "batch-size histogram must have observations"
+    );
+
     handle.shutdown();
     let report = handle.join().unwrap();
-    let expected = (CLIENTS * QUERIES.len() + QUERIES.len()) as u64;
     assert_eq!(report.queries, expected);
     assert_eq!(report.loads, TABLES.len() as u64);
     assert_eq!(report.timeouts, 0);
@@ -233,6 +253,166 @@ fn shutdown_command_over_the_wire_stops_the_server() {
     let report = handle.join().unwrap();
     assert_eq!(report.queries, 1);
     assert_eq!(report.loads, 1);
+}
+
+#[test]
+fn metrics_verb_serves_a_valid_monotonic_exposition() {
+    let handle = spawn(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client.load_csv("ma", "int", "1\n2\n3\n").unwrap();
+    client.load_csv("mb", "int", "2\n3\n").unwrap();
+    client.query("intersect(scan(ma), scan(mb))").unwrap();
+    let before = systolic_telemetry::prom::validate(&client.metrics().unwrap()).unwrap();
+    client.query("union(scan(ma), scan(mb))").unwrap();
+    let after = systolic_telemetry::prom::validate(&client.metrics().unwrap()).unwrap();
+
+    // Names and kinds a scraper relies on.
+    assert_eq!(
+        before
+            .types
+            .get("sdb_server_queries_total")
+            .map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        before
+            .types
+            .get("sdb_request_latency_ns")
+            .map(String::as_str),
+        Some("histogram")
+    );
+    assert_eq!(
+        before.types.get("sdb_queue_depth").map(String::as_str),
+        Some("gauge")
+    );
+    // Per-op simulated pulses, labelled by §8 operator.
+    assert!(
+        before
+            .value("sdb_op_pulses_total", "{op=\"intersect\"}")
+            .unwrap_or(0.0)
+            > 0.0,
+        "intersect pulses must be attributed"
+    );
+    // Counters only ever go up between scrapes.
+    systolic_telemetry::prom::counters_monotonic(&before, &after)
+        .expect("counters must be monotonic");
+    assert!(
+        after.value("sdb_server_queries_total", "") > before.value("sdb_server_queries_total", "")
+    );
+
+    client.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn stats_frame_carries_uptime_and_latency_summary() {
+    let handle = spawn(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client.load_csv("s", "int", "5\n6\n").unwrap();
+    client.query("scan(s)").unwrap();
+    let stats = client.stats_line().unwrap();
+    for field in [
+        "uptime_ms=",
+        "queue_hwm=",
+        "slow=",
+        "lat_p50_ns=",
+        "lat_p95_ns=",
+        "lat_p99_ns=",
+        "lat_count=",
+    ] {
+        assert!(stats.contains(field), "missing {field} in {stats}");
+    }
+    let lat_count: u64 = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("lat_count="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(lat_count, 1, "{stats}");
+    let p50: u64 = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("lat_p50_ns="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(p50 > 0, "one observation means a nonzero p50: {stats}");
+    client.close().unwrap();
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    assert_eq!(report.slow_queries, 0);
+}
+
+/// Two requests merged into one admission batch must keep *distinct* trace
+/// ids (each client's story stays separate) while both their
+/// `server.batch_run` spans point at the *same* `server.batch` span.
+///
+/// This is the only test in this binary that installs the global span
+/// collector; concurrent tests' spans land in it too, so everything below
+/// filters by this test's own query text.
+#[test]
+fn merged_requests_keep_distinct_traces_but_share_the_batch_span() {
+    let collector = systolic_telemetry::install();
+    let handle = spawn(ServerConfig {
+        batch_window: Duration::from_millis(300),
+        ..local_config()
+    })
+    .unwrap();
+    let addr = handle.addr;
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load_csv("trc", "int", "1\n2\n3\n").unwrap();
+    setup.close().unwrap();
+
+    let queries = ["filter(scan(trc), c0 >= 1)", "filter(scan(trc), c0 >= 2)"];
+    thread::scope(|scope| {
+        for q in queries {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(q).unwrap();
+                client.close().unwrap();
+            });
+        }
+    });
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    assert!(report.batches >= 1, "the 300ms window must merge both");
+
+    let spans = collector.drain();
+    systolic_telemetry::uninstall();
+    let requests: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "server.request")
+        .filter(|s| queries.contains(&s.arg("query").unwrap_or("")))
+        .collect();
+    assert_eq!(requests.len(), 2, "one request span per client");
+    assert_ne!(
+        requests[0].trace_id, requests[1].trace_id,
+        "merged requests must keep distinct trace ids"
+    );
+
+    let batch_runs: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            spans
+                .iter()
+                .find(|s| s.name == "server.batch_run" && s.trace_id == r.trace_id)
+                .expect("each request trace carries its batch_run span")
+        })
+        .collect();
+    let batch_ids: Vec<&str> = batch_runs
+        .iter()
+        .map(|s| s.arg("batch_span").expect("batch_run names its batch"))
+        .collect();
+    assert_eq!(
+        batch_ids[0], batch_ids[1],
+        "both requests must point at the one shared batch span"
+    );
+    // And that id is a real server.batch span with size=2.
+    let batch = spans
+        .iter()
+        .find(|s| s.name == "server.batch" && s.span_id.to_string() == batch_ids[0])
+        .expect("the shared batch span exists");
+    assert_eq!(batch.arg("size"), Some("2"));
 }
 
 #[test]

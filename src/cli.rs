@@ -20,12 +20,15 @@
 //! are comparable (§2.4's union-compatibility by construction).
 
 use std::fmt;
+use std::path::Path;
 use std::time::Duration;
 
-use systolic_machine::{MachineConfig, MachineError, ParseError};
+use systolic_machine::{MachineConfig, MachineError, ParseError, RunOutcome};
 use systolic_relation::{DomainKind, RelationError};
 use systolic_server::engine::kind_name;
 use systolic_server::{Client, ClientError, Engine, EngineError, ServerConfig};
+use systolic_telemetry::chrome::{ArgValue, ChromeTrace, PID_HOST, PID_SIMULATED};
+use systolic_telemetry::{prom, SpanRecord};
 
 /// CLI errors.
 #[derive(Debug)]
@@ -149,6 +152,9 @@ pub struct CliArgs {
     /// `SYSTOLIC_THREADS` environment variable, else sequential). Changes
     /// only how fast the host simulates, never the simulated results.
     pub threads: usize,
+    /// Write a Chrome-trace-event JSON file merging the simulated-machine
+    /// timeline and the host spans of this run.
+    pub trace_out: Option<String>,
 }
 
 /// Parsed `sdb serve` command line.
@@ -162,6 +168,8 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Admission window in milliseconds.
     pub batch_window_ms: u64,
+    /// Slow-query log threshold in milliseconds; 0 disables the log.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -172,6 +180,10 @@ impl Default for ServeArgs {
             threads: 0,
             workers: defaults.workers,
             batch_window_ms: defaults.batch_window.as_millis() as u64,
+            slow_query_ms: defaults
+                .slow_query
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
         }
     }
 }
@@ -190,6 +202,11 @@ pub struct ConnectArgs {
     pub stats: bool,
     /// Ask the server to drain and exit afterwards.
     pub shutdown: bool,
+    /// Print the server's Prometheus-style metrics exposition.
+    pub metrics: bool,
+    /// Scrape the exposition twice, validating both and checking that
+    /// counters are monotonic between scrapes.
+    pub check_metrics: bool,
 }
 
 /// Which mode a command line selects.
@@ -205,15 +222,22 @@ pub enum Command {
 
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
-[--threads N] QUERY
-       sdb serve [--addr HOST:PORT] [--threads N] [--workers N] [--batch-window MS]
-       sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--shutdown] [QUERY]
+[--threads N] [--trace-out FILE] QUERY
+       sdb serve [--addr HOST:PORT] [--threads N] [--workers N] [--batch-window MS] \
+[--slow-query-ms MS]
+       sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
+[--check-metrics] [--shutdown] [QUERY]
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
   --threads N: simulate independent plan steps on N host threads (0 = auto
                via SYSTOLIC_THREADS; results and hardware stats unchanged)
+  --trace-out FILE: write a Chrome/Perfetto trace of the run (simulated
+               machine and host spans on separate process tracks)
   serve: run the concurrent query service until SIGINT/SIGTERM
+  --slow-query-ms MS: log queries slower than MS to stderr (0 disables)
   --connect: run the query on a server instead of in-process
+  --metrics: print the server's Prometheus text exposition
+  --check-metrics: scrape twice, validate, and check counter monotonicity
   example: sdb --table emp=emp.csv:str,int --stats 'filter(scan(emp), c1 >= 30)'";
 
 fn flag_value<'a>(
@@ -244,6 +268,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
             "--threads" => {
                 let value = flag_value("--threads", &mut it)?;
                 args.threads = parse_number("--threads", value)?;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(flag_value("--trace-out", &mut it)?.clone());
             }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
@@ -283,6 +310,10 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
                 let value = flag_value("--batch-window", &mut it)?;
                 args.batch_window_ms = parse_number("--batch-window", value)? as u64;
             }
+            "--slow-query-ms" => {
+                let value = flag_value("--slow-query-ms", &mut it)?;
+                args.slow_query_ms = parse_number("--slow-query-ms", value)? as u64;
+            }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             other => {
                 return Err(CliError::Usage(format!(
@@ -306,6 +337,8 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
             }
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
+            "--metrics" => args.metrics = true,
+            "--check-metrics" => args.check_metrics = true,
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
             other => {
@@ -318,9 +351,14 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
     if args.addr.is_empty() {
         return Err(CliError::Usage("--connect requires an address".to_string()));
     }
-    if args.query.is_empty() && args.tables.is_empty() && !args.shutdown {
+    if args.query.is_empty()
+        && args.tables.is_empty()
+        && !args.shutdown
+        && !args.metrics
+        && !args.check_metrics
+    {
         return Err(CliError::Usage(format!(
-            "--connect needs a query, tables to load, or --shutdown\n{USAGE}"
+            "--connect needs a query, tables to load, --metrics, or --shutdown\n{USAGE}"
         )));
     }
     Ok(args)
@@ -365,6 +403,44 @@ pub fn run_query(
     stats: bool,
     threads: usize,
 ) -> Result<String, CliError> {
+    run_query_traced(tables, query, stats, threads, None)
+}
+
+/// [`run_query`] plus, when `trace_out` is set, a Chrome-trace-event JSON
+/// file merging the simulated-machine timeline and the host spans of this
+/// run onto separate process tracks.
+pub fn run_query_traced(
+    tables: &[(TableSpec, String)],
+    query: &str,
+    stats: bool,
+    threads: usize,
+    trace_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let collector = trace_out.map(|_| systolic_telemetry::install());
+    let run = run_engine(tables, query, stats, threads);
+    let spans = collector.map(|c| {
+        systolic_telemetry::uninstall();
+        c.drain()
+    });
+    let (rendered, out) = run?;
+    if let (Some(path), Some(spans)) = (trace_out, spans) {
+        let trace = build_chrome_trace(&out, &spans);
+        trace.write_to(path).map_err(|e| {
+            CliError::Io(std::io::Error::new(
+                e.kind(),
+                format!("cannot write trace to {}: {e}", path.display()),
+            ))
+        })?;
+    }
+    Ok(rendered)
+}
+
+fn run_engine(
+    tables: &[(TableSpec, String)],
+    query: &str,
+    stats: bool,
+    threads: usize,
+) -> Result<(String, RunOutcome), CliError> {
     let mut engine = Engine::new(MachineConfig {
         host_threads: threads,
         ..MachineConfig::default()
@@ -385,7 +461,46 @@ pub fn run_query(
             out.host_wall_ns,
         ));
     }
-    Ok(rendered)
+    Ok((rendered, out))
+}
+
+/// The two-clock merge: the machine's timeline goes on the simulated-time
+/// process track (pulse-carrying events and all), the collected host spans
+/// on the host-time track, one thread row per host thread. The clocks are
+/// never mixed — each pid has its own time base.
+fn build_chrome_trace(out: &RunOutcome, spans: &[SpanRecord]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    out.timeline
+        .to_chrome(&mut trace, PID_SIMULATED, "simulated machine (pulse time)");
+    trace.set_process_name(PID_HOST, "host (wall time)");
+    let mut threads: Vec<&str> = spans.iter().map(|s| s.thread.as_str()).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for (i, t) in threads.iter().enumerate() {
+        trace.set_thread_name(PID_HOST, i as u32 + 1, t);
+    }
+    for s in spans {
+        let tid = threads
+            .binary_search(&s.thread.as_str())
+            .expect("thread indexed above") as u32
+            + 1;
+        let mut args = vec![
+            ("trace_id".to_string(), ArgValue::U64(s.trace_id)),
+            ("span_id".to_string(), ArgValue::U64(s.span_id)),
+        ];
+        for (k, v) in &s.args {
+            args.push((k.to_string(), ArgValue::Str(v.clone())));
+        }
+        trace.complete(
+            PID_HOST,
+            tid,
+            s.name,
+            s.start_ns,
+            s.end_ns - s.start_ns,
+            args,
+        );
+    }
+    trace
 }
 
 fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
@@ -398,6 +513,10 @@ fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
             ..MachineConfig::default()
         },
         batch_window: Duration::from_millis(args.batch_window_ms),
+        slow_query: match args.slow_query_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
         ..defaults
     })?;
     Ok(())
@@ -427,6 +546,23 @@ fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
             ));
         }
     }
+    if args.metrics || args.check_metrics {
+        let invalid =
+            |msg: String| CliError::Server(ClientError::Protocol(format!("bad metrics: {msg}")));
+        let first = client.metrics()?;
+        if args.check_metrics {
+            let before = prom::validate(&first).map_err(invalid)?;
+            let after = prom::validate(&client.metrics()?).map_err(invalid)?;
+            prom::counters_monotonic(&before, &after).map_err(invalid)?;
+            out.push_str(&format!(
+                "metrics ok: {} series, {} families, counters monotonic\n",
+                after.samples.len(),
+                after.types.len(),
+            ));
+        } else {
+            out.push_str(&first);
+        }
+    }
     if args.shutdown {
         client.shutdown_server()?;
         out.push_str("server shutting down\n");
@@ -446,7 +582,13 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
                 let text = std::fs::read_to_string(&spec.path)?;
                 tables.push((spec.clone(), text));
             }
-            run_query(&tables, &args.query, args.stats, args.threads)
+            run_query_traced(
+                &tables,
+                &args.query,
+                args.stats,
+                args.threads,
+                args.trace_out.as_deref().map(Path::new),
+            )
         }
         Command::Serve(args) => {
             run_serve(&args)?;
@@ -677,6 +819,156 @@ mod tests {
         assert!(!out.contains("joe"));
     }
 
+    /// Serializes tests that install the process-global span collector.
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn trace_out_merges_sim_and_host_tracks_with_exact_pulse_totals() {
+        use systolic_telemetry::json::{self, Json};
+
+        let _guard = trace_lock();
+        let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n4\n".to_string());
+        let b = (spec("b", vec![DomainKind::Int]), "2\n3\n5\n".to_string());
+        let query = "intersect(scan(a), scan(b))";
+
+        // The oracle: the same deterministic run priced without tracing.
+        let mut engine = Engine::new(MachineConfig::default()).unwrap();
+        for (s, text) in [&a, &b] {
+            engine.load_table(&s.name, &s.kinds, text).unwrap();
+        }
+        let expected_pulses = engine.run_query(query).unwrap().stats.total_pulses;
+        assert!(expected_pulses > 0);
+
+        let dir = std::env::temp_dir().join(format!("sdb-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        run_query_traced(&[a, b], query, false, 0, Some(&path)).unwrap();
+
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let pid_of = |e: &Json| e.get("pid").and_then(Json::as_u64).unwrap();
+        // The simulated track's pulse args must total the run's pulses
+        // exactly — no ns-to-pulse rounding anywhere.
+        let sim_pulses: u64 = events
+            .iter()
+            .filter(|e| pid_of(e) == PID_SIMULATED as u64)
+            .filter_map(|e| e.get("args").and_then(|a| a.get("pulses")))
+            .filter_map(Json::as_u64)
+            .sum();
+        assert_eq!(sim_pulses, expected_pulses);
+        // And the host track carries the machine spans of this run.
+        let host_names: Vec<&str> = events
+            .iter()
+            .filter(|e| pid_of(e) == PID_HOST as u64)
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(host_names.contains(&"machine.run"), "{host_names:?}");
+        assert!(host_names.contains(&"machine.execute"), "{host_names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_to_unwritable_path_fails_cleanly_without_partial_file() {
+        let _guard = trace_lock();
+        let a = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
+        let path = Path::new("/proc/no-such-dir/trace.json");
+        let err = run_query_traced(&[a], "scan(a)", false, 0, Some(path)).unwrap_err();
+        match &err {
+            CliError::Io(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("cannot write trace to"), "{msg}");
+                assert!(msg.contains("/proc/no-such-dir/trace.json"), "{msg}");
+            }
+            other => panic!("expected a clean io error, got {other:?}"),
+        }
+        assert!(!path.exists(), "no partial file may be left behind");
+    }
+
+    #[test]
+    fn connect_metrics_flags_print_and_check_the_exposition() {
+        let handle = systolic_server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("sdb-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("m.csv");
+        std::fs::write(&csv, "1\n2\n").unwrap();
+        let base = ConnectArgs {
+            addr: handle.addr.to_string(),
+            tables: vec![TableSpec {
+                name: "m".into(),
+                path: csv.display().to_string(),
+                kinds: vec![DomainKind::Int],
+            }],
+            query: "scan(m)".into(),
+            ..ConnectArgs::default()
+        };
+
+        let printed = run_connect(&ConnectArgs {
+            metrics: true,
+            ..base.clone()
+        })
+        .unwrap();
+        assert!(
+            printed.contains("# TYPE sdb_server_queries_total counter"),
+            "{printed}"
+        );
+        assert!(
+            printed.contains("sdb_request_latency_ns_bucket"),
+            "{printed}"
+        );
+
+        let checked = run_connect(&ConnectArgs {
+            check_metrics: true,
+            query: String::new(),
+            tables: Vec::new(),
+            ..base
+        })
+        .unwrap();
+        assert!(checked.contains("metrics ok:"), "{checked}");
+        assert!(checked.contains("counters monotonic"), "{checked}");
+
+        run_connect(&ConnectArgs {
+            addr: handle.addr.to_string(),
+            shutdown: true,
+            ..ConnectArgs::default()
+        })
+        .unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn new_flags_parse() {
+        let args = parse_args(&argv(&[
+            "--table",
+            "a=a.csv:int",
+            "--trace-out",
+            "t.json",
+            "scan(a)",
+        ]))
+        .unwrap();
+        assert_eq!(args.trace_out.as_deref(), Some("t.json"));
+        match parse_command(&argv(&["serve", "--slow-query-ms", "250"])).unwrap() {
+            Command::Serve(s) => assert_eq!(s.slow_query_ms, 250),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&["--connect", "127.0.0.1:1", "--check-metrics"])).unwrap() {
+            Command::Connect(c) => {
+                assert!(c.check_metrics);
+                assert!(!c.metrics);
+            }
+            other => panic!("expected connect, got {other:?}"),
+        }
+        // --metrics alone is a complete connect command.
+        assert!(parse_connect_args(&argv(&["--connect", "127.0.0.1:1", "--metrics"])).is_ok());
+    }
+
     #[test]
     fn connect_mode_round_trips_against_a_live_server() {
         let handle = systolic_server::spawn(ServerConfig {
@@ -698,7 +990,7 @@ mod tests {
             }],
             query: "filter(scan(nums), c1 >= 20)".into(),
             stats: true,
-            shutdown: false,
+            ..ConnectArgs::default()
         })
         .unwrap();
         assert!(out.contains("loaded nums (3 rows)"), "{out}");
