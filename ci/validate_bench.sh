@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Validate the `BENCH_<name>.json` experiment artifacts against their
+# schema. With a directory argument, validates artifacts already produced
+# (CI passes the dir the repro step wrote); without one, runs
+# `repro --json` into a temp dir first.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -ge 1 ]]; then
+  DIR=$1
+else
+  DIR=$(mktemp -d)
+  trap 'rm -rf "$DIR"' EXIT
+  cargo run -p systolic-bench --bin repro --release -- --json "$DIR"
+fi
+
+cargo run -p systolic-bench --bin validate_artifacts -- "$DIR"

@@ -1,0 +1,232 @@
+//! Structured diagnostics with stable `SA00N` codes.
+//!
+//! Every rejection the analyzer can produce carries a stable code (so
+//! clients and tests can match on it), a one-line message, and optionally a
+//! byte span into the query source. The three renderings serve the three
+//! consumers: [`Diagnostic::pretty`] draws the caret picture for humans,
+//! [`Diagnostic::wire`] is the single-line machine-readable form carried in
+//! `ERR analysis` frames, and [`Diagnostic::json`] feeds `sdb check --json`.
+
+use systolic_machine::render_caret;
+
+/// The stable diagnostic codes, each enforcing one of the paper's static
+/// correctness conditions (see DESIGN.md for the section mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// SA001 — set-operation operands are not union-compatible (§2.4).
+    UnionIncompatible,
+    /// SA002 — a column index is out of range for its operand (or a column
+    /// list that must be non-empty is empty).
+    ColumnOutOfRange,
+    /// SA003 — the division's divisor column is not drawn from the same
+    /// domain as the compared dividend column (§7's subset-schema rule).
+    DivisorNotSubset,
+    /// SA004 — a predicate constant or comparison is meaningless for the
+    /// column's domain kind, or join columns span different domains (§2.3,
+    /// §6).
+    DomainMismatch,
+    /// SA005 — the §8 tiling decomposition cannot cover the result matrix
+    /// `T` on a configured device (degenerate `ArrayLimits`).
+    TilingUncovered,
+    /// SA006 — the plan exceeds device or memory capacity: an operator has
+    /// no device of the required kind, or the worst-case staged bytes
+    /// overflow a memory module.
+    CapacityExceeded,
+    /// SA007 — a scanned base relation is not in the catalog.
+    UnknownRelation,
+    /// SA008 — a write-back target duplicates or shadows a load: two stores
+    /// to one name, a store to a relation the same query scans, or a store
+    /// over an existing base relation.
+    ShadowedLoad,
+}
+
+impl Code {
+    /// The stable `SA00N` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            Code::UnionIncompatible => "SA001",
+            Code::ColumnOutOfRange => "SA002",
+            Code::DivisorNotSubset => "SA003",
+            Code::DomainMismatch => "SA004",
+            Code::TilingUncovered => "SA005",
+            Code::CapacityExceeded => "SA006",
+            Code::UnknownRelation => "SA007",
+            Code::ShadowedLoad => "SA008",
+        }
+    }
+
+    /// Short human title, stable like the code.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnionIncompatible => "union-incompatible",
+            Code::ColumnOutOfRange => "column out of range",
+            Code::DivisorNotSubset => "divisor not a subset schema",
+            Code::DomainMismatch => "predicate/domain kind mismatch",
+            Code::TilingUncovered => "tiling does not cover T",
+            Code::CapacityExceeded => "plan exceeds device capacity",
+            Code::UnknownRelation => "unknown relation",
+            Code::ShadowedLoad => "duplicate/shadowed load",
+        }
+    }
+
+    /// All eight codes, in order — for exhaustive tests and docs.
+    pub fn all() -> [Code; 8] {
+        [
+            Code::UnionIncompatible,
+            Code::ColumnOutOfRange,
+            Code::DivisorNotSubset,
+            Code::DomainMismatch,
+            Code::TilingUncovered,
+            Code::CapacityExceeded,
+            Code::UnknownRelation,
+            Code::ShadowedLoad,
+        ]
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.title())
+    }
+}
+
+/// One analyzer finding: a stable code, a one-line message, and optionally
+/// the byte span of the offending expression node in the query source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// One-line detail (never contains newlines).
+    pub message: String,
+    /// Byte span of the offending node, when the query came from source.
+    pub span: Option<(usize, usize)>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic; newlines in the message are flattened so the
+    /// wire rendering stays a single line.
+    pub fn new(code: Code, message: impl Into<String>, span: Option<(usize, usize)>) -> Self {
+        let message = message.into().replace(['\n', '\r'], " ");
+        Diagnostic {
+            code,
+            message,
+            span,
+        }
+    }
+
+    /// Caret rendering against the query source — same three-line picture
+    /// as [`systolic_machine::ParseError::pretty`], with the node span
+    /// underlined.
+    pub fn pretty(&self, src: &str) -> String {
+        let head = format!("{}: {}", self.code, self.message);
+        match self.span {
+            Some((start, end)) => render_caret(&head, src, start, end),
+            None => head,
+        }
+    }
+
+    /// Single-line machine-readable rendering for the wire:
+    /// `SA00N at=<start>..<end> <title>: <message>`.
+    pub fn wire(&self) -> String {
+        match self.span {
+            Some((start, end)) => {
+                format!(
+                    "{} at={start}..{end} {}: {}",
+                    self.code.code(),
+                    self.code.title(),
+                    self.message
+                )
+            }
+            None => format!(
+                "{} {}: {}",
+                self.code.code(),
+                self.code.title(),
+                self.message
+            ),
+        }
+    }
+
+    /// JSON object rendering for `sdb check --json`.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\": \"{}\", ", self.code.code()));
+        out.push_str(&format!("\"title\": {}, ", json_str(self.code.title())));
+        out.push_str(&format!("\"message\": {}", json_str(&self.message)));
+        if let Some((start, end)) = self.span {
+            out.push_str(&format!(", \"start\": {start}, \"end\": {end}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Minimal JSON string escaping (std-only, mirrors the bench artifact
+/// writer).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes: Vec<&str> = Code::all().iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            ["SA001", "SA002", "SA003", "SA004", "SA005", "SA006", "SA007", "SA008"]
+        );
+    }
+
+    #[test]
+    fn wire_rendering_is_one_line_with_span() {
+        let d = Diagnostic::new(Code::UnionIncompatible, "arity 2 vs 3", Some((4, 19)));
+        assert_eq!(d.wire(), "SA001 at=4..19 union-incompatible: arity 2 vs 3");
+        let d = Diagnostic::new(Code::CapacityExceeded, "line1\nline2", None);
+        assert_eq!(d.wire(), "SA006 plan exceeds device capacity: line1 line2");
+    }
+
+    #[test]
+    fn pretty_rendering_underlines_the_span() {
+        let src = "union(scan(a), scan(b))";
+        let d = Diagnostic::new(
+            Code::UnionIncompatible,
+            "arity 1 vs 2",
+            Some((0, src.len())),
+        );
+        let pretty = d.pretty(src);
+        assert!(pretty.contains("SA001 union-incompatible: arity 1 vs 2"));
+        assert!(pretty.contains(&format!("  | {src}")));
+        assert!(pretty.contains("^~~~"), "{pretty}");
+        assert!(pretty.contains("line 1, column 1"), "{pretty}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_carries_the_span() {
+        let d = Diagnostic::new(Code::UnknownRelation, "no \"ghost\"", Some((5, 16)));
+        assert_eq!(
+            d.json(),
+            "{\"code\": \"SA007\", \"title\": \"unknown relation\", \
+             \"message\": \"no \\\"ghost\\\"\", \"start\": 5, \"end\": 16}"
+        );
+    }
+}

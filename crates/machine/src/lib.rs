@@ -38,7 +38,7 @@ pub mod tree;
 pub use device::{Device, DeviceKind};
 pub use error::{MachineError, Result};
 pub use plan::{push_selections, Action, Expr, Plan, PlanOp, PlanStep};
-pub use query::{parse, ParseError};
+pub use query::{parse, parse_spanned, render_caret, ParseError};
 pub use storage::{relation_bytes, Disk, MemoryModule, TrackFilter};
 pub use system::{
     BatchOutcome, Interconnect, MachineConfig, QueryOutcome, RunOutcome, RunStats, System,

@@ -12,6 +12,7 @@
 //! project(scan(a), [0, 2])              projection over column indices
 //! join(scan(emp), scan(dept), 1 = 0)    one or more "colA <op> colB" specs
 //! divide(scan(takes), scan(core), 0, 1, 0)   key, ca, cb
+//! store(dedup(scan(a)), result)         §9 write-back under a new name
 //! ```
 //!
 //! Whitespace is insignificant; operators are `= != < <= > >=`; columns are
@@ -39,25 +40,44 @@ impl std::fmt::Display for ParseError {
 }
 
 impl ParseError {
-    /// Multi-line rendering with the offending query and a caret under the
-    /// stored byte offset — what interactive front-ends should show instead
-    /// of the bare "parse error at byte N" `Display` form.
-    ///
-    /// Falls back to the one-line form when `src` spans several lines (the
-    /// query language itself has no newlines; only hand-fed input does).
+    /// Multi-line rendering with the offending source line and a caret under
+    /// the stored byte offset — what interactive front-ends should show
+    /// instead of the bare "parse error at byte N" `Display` form. Multi-line
+    /// sources render the line containing the offset with its line number.
     pub fn pretty(&self, src: &str) -> String {
-        if src.contains('\n') || src.contains('\r') {
-            return self.to_string();
-        }
-        let at = self.at.min(src.len());
-        // The caret lands on a character column, not a byte column.
-        let col = src[..at].chars().count();
-        let mut out = format!("parse error: {}\n  | {src}\n  | ", self.message);
-        out.push_str(&" ".repeat(col));
-        out.push('^');
-        out.push_str(&format!(" at byte {}", self.at));
-        out
+        render_caret(
+            &format!("parse error: {}", self.message),
+            src,
+            self.at,
+            self.at,
+        )
     }
+}
+
+/// Three-line caret rendering shared by parse errors and static-analysis
+/// diagnostics: the message, the source line containing byte `start`, and a
+/// caret row underlining `start..end` (clipped to that line) followed by a
+/// `line L, column C` locator. Both line and column are 1-based; the caret
+/// lands on a character column, not a byte column.
+pub fn render_caret(message: &str, src: &str, start: usize, end: usize) -> String {
+    let at = start.min(src.len());
+    let end = end.clamp(at, src.len());
+    let line_start = src[..at].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let line_end = src[at..].find('\n').map(|p| at + p).unwrap_or(src.len());
+    let line = src[line_start..line_end].trim_end_matches('\r');
+    let line_no = src[..at].matches('\n').count() + 1;
+    let col = src[line_start..at].chars().count() + 1;
+    // The underline never spills past the offending line.
+    let underline_end = end.min(line_end).max(at);
+    let width = src[at..underline_end].chars().count().max(1);
+    let mut out = format!("{message}\n  | {line}\n  | ");
+    out.push_str(&" ".repeat(col - 1));
+    out.push('^');
+    for _ in 1..width {
+        out.push('~');
+    }
+    out.push_str(&format!(" line {line_no}, column {col}"));
+    out
 }
 
 impl std::error::Error for ParseError {}
@@ -65,11 +85,19 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    /// Byte span of every expression node, in pre-order (a node's span is
+    /// recorded before its children's): the static analyzer re-walks the
+    /// tree in the same order to point diagnostics back into the source.
+    spans: Vec<(usize, usize)>,
 }
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0 }
+        Parser {
+            src,
+            pos: 0,
+            spans: Vec::new(),
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -151,6 +179,16 @@ impl<'a> Parser<'a> {
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let idx = self.spans.len();
+        self.spans.push((start, start));
+        let expr = self.expr_inner()?;
+        self.spans[idx].1 = self.pos;
+        Ok(expr)
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseError> {
         let name = self.ident()?;
         match name.as_str() {
             "scan" => {
@@ -261,16 +299,24 @@ impl<'a> Parser<'a> {
                 self.eat(')')?;
                 Ok(l.divide(r, key, ca, cb))
             }
+            "store" => {
+                self.eat('(')?;
+                let e = self.expr()?;
+                self.eat(',')?;
+                let target = self.ident()?;
+                self.eat(')')?;
+                Ok(e.store(target))
+            }
             other => self.err(format!("unknown operation {other:?}")),
         }
     }
 }
 
 /// Render an expression in the query syntax. Every construct the parser
-/// accepts round-trips (`parse(&expr.to_string()) == expr`); the two
-/// constructs without surface syntax (track-filtered scans and stores)
-/// render as `scan!(name)` / `store!(...)` pseudo-forms that deliberately
-/// do not parse.
+/// accepts round-trips (`parse(&expr.to_string()) == expr`); the one
+/// construct without surface syntax (track-filtered scans, produced only by
+/// the §9 pushdown rewrite) renders as a `scan!(name)` pseudo-form that
+/// deliberately does not parse.
 impl std::fmt::Display for Expr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -310,20 +356,30 @@ impl std::fmt::Display for Expr {
             } => {
                 write!(f, "divide({dividend}, {divisor}, {key}, {ca}, {cb})")
             }
-            Expr::Store(e, name) => write!(f, "store!({e}, {name})"),
+            Expr::Store(e, name) => write!(f, "store({e}, {name})"),
         }
     }
 }
 
 /// Parse a query string into an expression tree.
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    parse_spanned(src).map(|(expr, _)| expr)
+}
+
+/// Parse a query string, also returning the byte span of every expression
+/// node in *pre-order* (each node before its children, children left to
+/// right; for [`Expr::Divide`] the dividend precedes the divisor). A
+/// pre-order walk of the returned tree visits node `k` exactly when span
+/// `k` applies — which is how the static analyzer maps diagnostics back to
+/// source positions without the tree carrying spans itself.
+pub fn parse_spanned(src: &str) -> Result<(Expr, Vec<(usize, usize)>), ParseError> {
     let mut p = Parser::new(src);
     let expr = p.expr()?;
     p.skip_ws();
     if p.pos != src.len() {
         return p.err("trailing input after the expression");
     }
-    Ok(expr)
+    Ok((expr, p.spans))
 }
 
 #[cfg(test)]
@@ -424,6 +480,19 @@ mod tests {
     }
 
     #[test]
+    fn store_parses_and_compiles_to_a_write_back() {
+        assert_eq!(
+            parse("store(dedup(scan(a)), result)").unwrap(),
+            Expr::scan("a").dedup().store("result")
+        );
+        assert_eq!(
+            parse("store(scan(t), t)").unwrap(),
+            Expr::scan("t").store("t"),
+            "self-shadowing stores parse; rejecting them is the analyzer's job"
+        );
+    }
+
+    #[test]
     fn rendering_round_trips_through_the_parser() {
         for q in [
             "scan(emp)",
@@ -434,6 +503,7 @@ mod tests {
             "filter(scan(a), c1 >= 20, c0 != 3)",
             "join(scan(a), scan(b), 1 = 0, 0 < 1)",
             "divide(scan(takes), scan(core), 0, 1, 0)",
+            "store(dedup(scan(a)), out)",
         ] {
             let expr = parse(q).unwrap();
             let rendered = expr.to_string();
@@ -452,8 +522,26 @@ mod tests {
         };
         let e = Expr::scan_filtered("t", f).store("out");
         let rendered = e.to_string();
-        assert_eq!(rendered, "store!(scan!(t), out)");
-        assert!(parse(&rendered).is_err());
+        assert_eq!(rendered, "store(scan!(t), out)");
+        assert!(parse(&rendered).is_err(), "scan! is a pseudo-form");
+    }
+
+    #[test]
+    fn spans_cover_each_node_in_pre_order() {
+        let src = " union ( scan(a) , dedup(scan(b)) ) ";
+        let (expr, spans) = parse_spanned(src).unwrap();
+        assert_eq!(expr, Expr::scan("a").union(Expr::scan("b").dedup()));
+        // Pre-order: union, scan(a), dedup, scan(b).
+        let texts: Vec<&str> = spans.iter().map(|&(s, e)| &src[s..e]).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "union ( scan(a) , dedup(scan(b)) )",
+                "scan(a)",
+                "dedup(scan(b))",
+                "scan(b)",
+            ]
+        );
     }
 
     #[test]
@@ -483,13 +571,39 @@ mod tests {
         let caret_col = lines[2].find('^').expect("caret rendered");
         // "  | " prefix is 4 columns wide; the caret sits at the error byte.
         assert_eq!(caret_col - 4, err.at, "{pretty}");
-        assert!(lines[2].contains(&format!("at byte {}", err.at)));
+        assert!(
+            lines[2].contains(&format!("line 1, column {}", err.at + 1)),
+            "{pretty}"
+        );
     }
 
     #[test]
-    fn pretty_errors_fall_back_to_one_line_for_multiline_sources() {
-        let src = "union(scan(a),\nscann(b))";
+    fn pretty_errors_report_line_and_column_in_multiline_sources() {
+        let src = "union(scan(a),\n      scann(b))";
         let err = parse(src).unwrap_err();
-        assert_eq!(err.pretty(src), err.to_string());
+        let pretty = err.pretty(src);
+        let lines: Vec<&str> = pretty.lines().collect();
+        assert_eq!(lines.len(), 3, "message, source line, caret: {pretty}");
+        // Only the offending line is shown, not the whole source.
+        assert_eq!(lines[1], "  |       scann(b))");
+        let caret_col = lines[2].find('^').expect("caret rendered");
+        // "unknown operation" is reported after the identifier, at the "("
+        // — column 12 of line 2 (1-based).
+        assert_eq!(caret_col - 4, 11, "{pretty}");
+        assert!(lines[2].contains("line 2, column 12"), "{pretty}");
+    }
+
+    #[test]
+    fn render_caret_underlines_spans_and_survives_clipping() {
+        let src = "scan(a)\nscan(bb)";
+        // Underline the whole second scan.
+        let out = render_caret("note", src, 8, 16);
+        assert_eq!(out, "note\n  | scan(bb)\n  | ^~~~~~~~ line 2, column 1");
+        // A span past the end of the source clips to a single caret.
+        let out = render_caret("note", src, 100, 200);
+        assert!(out.contains("line 2, column 9"), "{out}");
+        // A span crossing a newline stops at the end of its line.
+        let out = render_caret("note", src, 5, 12);
+        assert_eq!(out, "note\n  | scan(a)\n  |      ^~ line 1, column 6");
     }
 }

@@ -271,7 +271,7 @@ struct LoadExec {
 ///
 /// Every accounting pass starts from a fresh `Transient`, so a long-lived
 /// [`System`] schedules each run exactly as a freshly built machine would —
-/// only disk contents (base relations and `store!` write-backs) persist
+/// only disk contents (base relations and `store(...)` write-backs) persist
 /// across runs.
 #[derive(Debug)]
 struct Transient {
@@ -816,7 +816,7 @@ impl System {
     /// Every run is accounted against fresh transient state (empty staging
     /// memories, idle ports), so a long-lived machine schedules a plan
     /// exactly as a freshly built one would; only disk contents (base
-    /// relations and `store!` write-backs) persist across runs.
+    /// relations and `store(...)` write-backs) persist across runs.
     pub fn run_plan(&mut self, plan: &Plan) -> Result<RunOutcome> {
         let _run_span = telemetry::span("machine.run");
         let host_start = std::time::Instant::now();

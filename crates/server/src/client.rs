@@ -113,6 +113,14 @@ impl Client {
         // detail; fold it into the kind's detail text.
         let (kind, detail) = match detail.split_once(' ') {
             Some((at, rest)) if kind == "parse" && at.starts_with("at=") => (kind, rest),
+            // Analysis frames carry `SA00N [at=<s>..<e>]` before the detail;
+            // the caret rendering repeats the code, so nothing is lost.
+            Some((code, rest)) if kind == "analysis" && code.starts_with("SA") => {
+                match rest.split_once(' ') {
+                    Some((at, tail)) if at.starts_with("at=") => (kind, tail),
+                    _ => (kind, rest),
+                }
+            }
             _ => (kind, detail),
         };
         Err(ClientError::Remote {

@@ -14,8 +14,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
+use systolic_analyzer::{analyze, Analysis, CatalogView, ColumnInfo, Diagnostic};
 use systolic_machine::{
-    parse, push_selections, Expr, MachineConfig, MachineError, ParseError, RunOutcome, System,
+    parse, parse_spanned, push_selections, Expr, MachineConfig, MachineError, ParseError,
+    RunOutcome, System,
 };
 use systolic_relation::{
     export_csv, import_csv, Catalog, Column, DomainId, DomainKind, MultiRelation, RelationError,
@@ -37,6 +39,14 @@ pub enum EngineError {
     Relation(RelationError),
     /// The machine rejected or failed the plan.
     Machine(MachineError),
+    /// The static analyzer rejected the plan before it reached the machine;
+    /// keeps the source so diagnostics can be rendered with carets.
+    Analysis {
+        /// Every finding, in source order.
+        diags: Vec<Diagnostic>,
+        /// The query text the findings point into.
+        query: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +55,10 @@ impl fmt::Display for EngineError {
             EngineError::Parse { err, query } => write!(f, "{}", err.pretty(query)),
             EngineError::Relation(e) => write!(f, "{e}"),
             EngineError::Machine(e) => write!(f, "{e}"),
+            EngineError::Analysis { diags, query } => {
+                let rendered: Vec<String> = diags.iter().map(|d| d.pretty(query)).collect();
+                write!(f, "{}", rendered.join("\n"))
+            }
         }
     }
 }
@@ -104,6 +118,7 @@ pub struct Store {
     catalog: Catalog,
     domains: HashMap<&'static str, DomainId>,
     schemas: BTreeMap<String, Schema>,
+    rows: BTreeMap<String, u64>,
 }
 
 impl Store {
@@ -139,8 +154,33 @@ impl Store {
             .collect();
         let schema = Schema::new(columns);
         let rel = import_csv(&mut self.catalog, &schema, csv)?;
+        self.rows.insert(name.to_string(), rel.len() as u64);
         self.schemas.insert(name.to_string(), schema);
         Ok(rel)
+    }
+
+    /// The registered schema for a table, if any.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    /// Snapshot the catalog as the analyzer's view: per-table column
+    /// domains (identity and kind) plus registration-time row counts.
+    pub fn catalog_view(&self) -> CatalogView {
+        let mut view = CatalogView::new();
+        for (name, schema) in &self.schemas {
+            let columns: Vec<ColumnInfo> = schema
+                .columns()
+                .iter()
+                .map(|col| ColumnInfo {
+                    domain: col.domain,
+                    kind: self.catalog.domain(col.domain).kind(),
+                })
+                .collect();
+            let rows = self.rows.get(name).copied().unwrap_or(0);
+            view.add_table(name.clone(), columns, rows);
+        }
+        view
     }
 
     /// Whether a table with this name has been registered.
@@ -167,6 +207,27 @@ pub fn prepare(query: &str) -> Result<Expr, EngineError> {
         query: query.to_string(),
     })?;
     Ok(push_selections(expr))
+}
+
+/// Parse, statically analyze, and rewrite a query: the server's admission
+/// path. The analyzer sees the parsed tree (so diagnostic spans line up
+/// with the source); only an accepted plan gets the §9 logic-per-track
+/// rewrite. Returns the rewritten expression plus the typed [`Analysis`].
+pub fn prepare_checked(
+    query: &str,
+    view: &CatalogView,
+    machine: &MachineConfig,
+) -> Result<(Expr, Analysis), EngineError> {
+    let (expr, spans) = parse_spanned(query).map_err(|err| EngineError::Parse {
+        err,
+        query: query.to_string(),
+    })?;
+    let analysis =
+        analyze(&expr, view, machine, &spans).map_err(|diags| EngineError::Analysis {
+            diags,
+            query: query.to_string(),
+        })?;
+    Ok((push_selections(expr), analysis))
 }
 
 /// The base-relation names an expression scans, sorted and deduplicated.

@@ -31,9 +31,11 @@
 //! the nondeterministic host wall-clock time — split so byte-comparing
 //! `RESULT` frames across runs is a meaningful determinism check.
 //!
-//! `ERR` kinds: `proto`, `parse` (with `at=<byte>`), `relation`, `machine`,
+//! `ERR` kinds: `proto`, `parse` (with `at=<byte>`), `analysis` (with the
+//! stable `SA00N` code and `at=<start>..<end>`), `relation`, `machine`,
 //! `timeout`, `overloaded`, `shutting_down`, `too_large`, `conflict`.
 
+use systolic_analyzer::Diagnostic;
 use systolic_machine::{ParseError, RunStats};
 use systolic_relation::DomainKind;
 
@@ -155,6 +157,32 @@ pub fn err_frame(kind: &str, detail: &str) -> String {
 /// and the caret rendering as the detail.
 pub fn parse_err_frame(err: &ParseError, query: &str) -> String {
     format!("ERR parse at={} {}", err.at, escape(&err.pretty(query)))
+}
+
+/// Render an analyzer-rejection frame: `ERR analysis SA00N [at=<s>..<e>]
+/// <escaped detail>`. The structured fields come from the first finding (in
+/// source order); the detail carries every finding's caret rendering so
+/// clients can show all of them.
+///
+/// # Panics
+///
+/// `diags` must be non-empty — an analyzer rejection always carries at
+/// least one finding.
+pub fn analysis_err_frame(diags: &[Diagnostic], query: &str) -> String {
+    let first = diags.first().expect("rejection carries >= 1 diagnostic");
+    let rendered: Vec<String> = diags.iter().map(|d| d.pretty(query)).collect();
+    match first.span {
+        Some((start, end)) => format!(
+            "ERR analysis {} at={start}..{end} {}",
+            first.code.code(),
+            escape(&rendered.join("\n"))
+        ),
+        None => format!(
+            "ERR analysis {} {}",
+            first.code.code(),
+            escape(&rendered.join("\n"))
+        ),
+    }
 }
 
 /// Client-side view of a `RESULT` + `HOST` frame pair.
@@ -293,5 +321,24 @@ mod tests {
         let frame = parse_err_frame(&err, "explode(scan(a))");
         assert!(frame.starts_with("ERR parse at="));
         assert!(frame.contains("\\n"), "caret rendering is multi-line");
+    }
+
+    #[test]
+    fn analysis_error_frames_carry_code_span_and_carets() {
+        use systolic_analyzer::Code;
+        let query = "scan(ghost)";
+        let diags = vec![Diagnostic::new(
+            Code::UnknownRelation,
+            "no base relation \"ghost\" in the catalog",
+            Some((0, 11)),
+        )];
+        let frame = analysis_err_frame(&diags, query);
+        assert!(frame.starts_with("ERR analysis SA007 at=0..11 "), "{frame}");
+        assert!(frame.contains("\\n"), "caret rendering is multi-line");
+        // Span-less findings (e.g. batch conflicts) omit at=.
+        let diags = vec![Diagnostic::new(Code::ShadowedLoad, "conflict", None)];
+        let frame = analysis_err_frame(&diags, query);
+        assert!(frame.starts_with("ERR analysis SA008 "), "{frame}");
+        assert!(!frame.contains("at="), "{frame}");
     }
 }

@@ -121,7 +121,27 @@ pub(crate) fn run(
         if n > 0 {
             metrics.batch_size.observe(n as u64);
         }
-        match n {
+        // Cross-query hazard analysis: a query that reads or writes a
+        // relation an earlier admitted query writes must not share the
+        // merged schedule — it is deferred and run solo, after the batch,
+        // in arrival order, so it observes the earlier write-back whole.
+        let mut deferred = Vec::new();
+        if queries.len() > 1 {
+            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _)| e.clone()).collect();
+            let conflicted = systolic_analyzer::deferred_indices(&exprs);
+            if !conflicted.is_empty() {
+                let mut admitted = Vec::new();
+                for (i, q) in queries.into_iter().enumerate() {
+                    if conflicted.contains(&i) {
+                        deferred.push(q);
+                    } else {
+                        admitted.push(q);
+                    }
+                }
+                queries = admitted;
+            }
+        }
+        match queries.len() {
             0 => {}
             1 => {
                 let (expr, trace, reply) = queries.pop().expect("len checked");
@@ -136,6 +156,10 @@ pub(crate) fn run(
                 metrics.batches.inc();
                 run_merged(&mut system, queries, &metrics);
             }
+        }
+        for (expr, trace, reply) in deferred {
+            let _span = span_in(trace, "server.run_solo");
+            let _ = reply.send(run_solo(&mut system, &expr, &metrics));
         }
     }
 }

@@ -23,8 +23,8 @@ use crate::engine::{self, EngineError, Store};
 use crate::frame::{read_frame, FrameRead};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    err_frame, host_frame, loaded_frame, metrics_frame, parse_err_frame, parse_request,
-    result_frame, Request,
+    analysis_err_frame, err_frame, host_frame, loaded_frame, metrics_frame, parse_err_frame,
+    parse_request, result_frame, Request,
 };
 use crate::scheduler::{self, Job};
 use crate::shutdown;
@@ -377,6 +377,7 @@ fn engine_err_frame(err: &EngineError) -> String {
         EngineError::Parse { err, query } => parse_err_frame(err, query),
         EngineError::Relation(e) => err_frame("relation", &e.to_string()),
         EngineError::Machine(e) => err_frame("machine", &e.to_string()),
+        EngineError::Analysis { diags, query } => analysis_err_frame(diags, query),
     }
 }
 
@@ -571,23 +572,17 @@ fn handle_query(
     query: &str,
     trace: Option<TraceCtx>,
 ) -> (String, Option<String>) {
-    let expr = match engine::prepare(query) {
-        Ok(expr) => expr,
-        Err(e) => return (engine_err_frame(&e), None),
-    };
-    // Fast-fail unknown relations here so a typo never occupies a slot in a
-    // merged batch schedule.
-    {
-        let store = shared.store.read().unwrap();
-        for name in engine::scan_names(&expr) {
-            if !store.has_table(&name) {
-                return (
-                    err_frame("relation", &format!("unknown relation {name:?}")),
-                    None,
-                );
-            }
+    // Static analysis before admission: a query that cannot execute (typo'd
+    // relation, type error, capacity overflow, ...) never occupies a slot in
+    // a merged batch schedule, and the client gets a stable SA00N code with
+    // carets instead of a mid-run machine error.
+    let expr = {
+        let view = shared.store.read().unwrap().catalog_view();
+        match engine::prepare_checked(query, &view, &shared.cfg.machine) {
+            Ok((expr, _analysis)) => expr,
+            Err(e) => return (engine_err_frame(&e), None),
         }
-    }
+    };
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     if tx
         .send(Job::Query {

@@ -13,6 +13,12 @@ pub(crate) fn signalled() -> bool {
     SIGNALLED.load(Ordering::SeqCst)
 }
 
+// The crate's one `unsafe_code` exception (the crate root carries
+// `#![deny(unsafe_code)]`): registering `signal(2)` handlers requires an
+// `extern "C"` call. Safety: the handler only performs an async-signal-safe
+// atomic store, the function pointer has the exact C signature `signal`
+// expects, and registration is idempotent.
+#[allow(unsafe_code)]
 #[cfg(unix)]
 mod imp {
     use super::SIGNALLED;

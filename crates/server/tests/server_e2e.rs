@@ -415,6 +415,114 @@ fn merged_requests_keep_distinct_traces_but_share_the_batch_span() {
     assert_eq!(batch.arg("size"), Some("2"));
 }
 
+/// Every statically-checkable SA00N class the default machine can exhibit
+/// is rejected over the wire with its stable code and a caret rendering —
+/// the fabric never sees the query.
+#[test]
+fn analyzer_rejects_each_code_class_over_the_wire() {
+    let handle = spawn(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    load_all(&mut client);
+
+    // (query, code, fragment the human-readable detail must mention)
+    let rejections = [
+        ("union(scan(emp), scan(dept))", "SA001", "domain"),
+        ("project(scan(emp), [9])", "SA002", "column"),
+        ("divide(scan(takes), scan(a), 0, 1, 0)", "SA003", "divisor"),
+        ("filter(scan(emp), c0 < 5)", "SA004", "str"),
+        ("scan(nope)", "SA007", "nope"),
+        ("store(scan(emp), emp)", "SA008", "emp"),
+    ];
+    for (query, code, fragment) in rejections {
+        match client.query(query) {
+            Err(ClientError::Remote { kind, detail }) => {
+                assert_eq!(kind, "analysis", "{query}");
+                assert!(detail.contains(code), "{query}: want {code} in {detail}");
+                assert!(
+                    detail.contains(fragment),
+                    "{query}: want {fragment:?} in {detail}"
+                );
+                assert!(detail.contains('^'), "{query}: caret must travel: {detail}");
+            }
+            other => panic!("{query}: expected analysis rejection, got {other:?}"),
+        }
+    }
+    // A sound query on the same connection still runs — rejection is
+    // per-request, not a session poison.
+    assert_eq!(client.query("dedup(scan(a))").unwrap().rows, 4);
+    client.close().unwrap();
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    // Rejected queries never reach the scheduler, so the machine-level
+    // query counter records only the one sound run.
+    assert_eq!(report.queries, 1);
+}
+
+/// SA005 (uncoverable tiling) and SA006 (capacity) depend on the machine
+/// shape, so each gets a deliberately crippled server: a zero array bound
+/// and a 16-byte memory module respectively. The analyzer refuses up
+/// front instead of letting the fabric panic or thrash.
+#[test]
+fn crippled_machines_are_refused_by_the_analyzer_up_front() {
+    use systolic_core::ArrayLimits;
+    use systolic_machine::DeviceKind;
+
+    // `ArrayLimits::new` asserts bounds >= 1; build the invalid geometry
+    // literally, exactly as a hand-written config file could.
+    let zero = ArrayLimits {
+        max_a: 0,
+        max_b: 32,
+        max_cols: 8,
+    };
+    let handle = spawn(ServerConfig {
+        machine: MachineConfig {
+            devices: vec![
+                (DeviceKind::SetOp, zero),
+                (DeviceKind::Join, ArrayLimits::new(32, 32, 8)),
+                (DeviceKind::Divide, ArrayLimits::new(32, 32, 8)),
+            ],
+            ..MachineConfig::default()
+        },
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client.load_csv("z", "int", "1\n2\n").unwrap();
+    match client.query("intersect(scan(z), scan(z))") {
+        Err(ClientError::Remote { kind, detail }) => {
+            assert_eq!(kind, "analysis");
+            assert!(detail.contains("SA005"), "{detail}");
+        }
+        other => panic!("expected SA005, got {other:?}"),
+    }
+    client.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+
+    let handle = spawn(ServerConfig {
+        machine: MachineConfig {
+            memory_capacity: 16,
+            ..MachineConfig::default()
+        },
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    client
+        .load_csv("big", "int,int", "1,2\n3,4\n5,6\n")
+        .unwrap();
+    match client.query("scan(big)") {
+        Err(ClientError::Remote { kind, detail }) => {
+            assert_eq!(kind, "analysis");
+            assert!(detail.contains("SA006"), "{detail}");
+        }
+        other => panic!("expected SA006, got {other:?}"),
+    }
+    client.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
 #[test]
 fn duplicate_loads_conflict_and_errors_are_structured() {
     let handle = spawn(local_config()).unwrap();
@@ -433,10 +541,12 @@ fn duplicate_loads_conflict_and_errors_are_structured() {
     }
     match client.query("scan(missing)") {
         Err(ClientError::Remote { kind, detail }) => {
-            assert_eq!(kind, "relation");
+            assert_eq!(kind, "analysis");
+            assert!(detail.contains("SA007"), "stable code travels: {detail}");
             assert!(detail.contains("missing"));
+            assert!(detail.contains('^'), "caret rendering travels: {detail}");
         }
-        other => panic!("expected unknown-relation error, got {other:?}"),
+        other => panic!("expected unknown-relation rejection, got {other:?}"),
     }
     match client.load_csv("t2", "int", "notanint\n") {
         Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "relation"),

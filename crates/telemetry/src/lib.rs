@@ -14,6 +14,8 @@
 //! returns an inert guard without allocating, and metric updates are plain
 //! relaxed atomic adds (or skipped entirely when metrics are switched off).
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod json;
 pub mod metrics;

@@ -1,8 +1,12 @@
-//! The `sdb` command-line front-end. Three modes:
+//! The `sdb` command-line front-end. Four modes:
 //!
 //! * **One-shot** (the original): load CSV tables, run a textual
 //!   relational-algebra query on the simulated systolic database machine,
 //!   and print the result as CSV (optionally with hardware statistics).
+//! * **Check**: `sdb check --table emp=emp.csv:str,int "scan(emp)"` — run
+//!   the static analyzer only: print the typed plan summary (schemas, row
+//!   bounds, predicted tiles and pulses) or the `SA00N` diagnostics with
+//!   carets, without touching the machine. Exits nonzero on rejection.
 //! * **Serve**: `sdb serve --addr 127.0.0.1:4171` — run the long-lived
 //!   query service from the `systolic-server` crate in the foreground
 //!   until SIGINT/SIGTERM.
@@ -23,6 +27,8 @@ use std::fmt;
 use std::path::Path;
 use std::time::Duration;
 
+use systolic_analyzer::diagnostics_json;
+use systolic_core::ArrayLimits;
 use systolic_machine::{MachineConfig, MachineError, ParseError, RunOutcome};
 use systolic_relation::{DomainKind, RelationError};
 use systolic_server::engine::kind_name;
@@ -49,6 +55,9 @@ pub enum CliError {
     },
     /// Execution failed on the machine.
     Machine(MachineError),
+    /// The static analyzer rejected the query; the string is the full
+    /// rendering (caret diagnostics, or JSON under `check --json`).
+    Rejected(String),
     /// A remote request over `--connect` failed.
     Server(ClientError),
 }
@@ -61,6 +70,7 @@ impl fmt::Display for CliError {
             CliError::Relation(e) => write!(f, "{e}"),
             CliError::Query { err, query } => write!(f, "{}", err.pretty(query)),
             CliError::Machine(e) => write!(f, "{e}"),
+            CliError::Rejected(rendered) => write!(f, "{rendered}"),
             CliError::Server(e) => write!(f, "{e}"),
         }
     }
@@ -89,6 +99,7 @@ impl From<EngineError> for CliError {
             EngineError::Parse { err, query } => CliError::Query { err, query },
             EngineError::Relation(e) => CliError::Relation(e),
             EngineError::Machine(e) => CliError::Machine(e),
+            rejected @ EngineError::Analysis { .. } => CliError::Rejected(rejected.to_string()),
         }
     }
 }
@@ -188,6 +199,26 @@ impl Default for ServeArgs {
     }
 }
 
+/// Parsed `sdb check` command line.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CheckArgs {
+    /// Tables forming the catalog the query is checked against. CSV files
+    /// are read (for schemas and row counts) but nothing runs.
+    pub tables: Vec<TableSpec>,
+    /// The query text to analyze.
+    pub query: String,
+    /// Emit the machine-readable JSON rendering instead of prose.
+    pub json: bool,
+    /// Override every device's array bounds with `--limits A,B,C`. Zeros
+    /// are allowed — that is the point: probe how the analyzer proves (or
+    /// refutes, SA005) §8 tiling coverage for a hypothetical device.
+    pub limits: Option<(usize, usize, usize)>,
+    /// Override every memory module's capacity (bytes) with `--memory N` —
+    /// probe the §9 staging-capacity check (SA006) for a hypothetical
+    /// machine.
+    pub memory: Option<u64>,
+}
+
 /// Parsed `sdb --connect` command line.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ConnectArgs {
@@ -214,6 +245,8 @@ pub struct ConnectArgs {
 pub enum Command {
     /// Load tables, run one query in-process, print, exit.
     OneShot(CliArgs),
+    /// Statically analyze one query against the tables, without running it.
+    Check(CheckArgs),
     /// Run the TCP query service in the foreground.
     Serve(ServeArgs),
     /// Talk to a running service.
@@ -223,6 +256,7 @@ pub enum Command {
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
 [--threads N] [--trace-out FILE] QUERY
+       sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
        sdb serve [--addr HOST:PORT] [--threads N] [--workers N] [--batch-window MS] \
 [--slow-query-ms MS]
        sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
@@ -233,6 +267,14 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                via SYSTOLIC_THREADS; results and hardware stats unchanged)
   --trace-out FILE: write a Chrome/Perfetto trace of the run (simulated
                machine and host spans on separate process tracks)
+  check: statically verify the query (schemas, domains, tiling coverage,
+               capacity) and print the typed plan summary or the SA00N
+               diagnostics; exits nonzero on rejection, never runs anything
+  --json: (check) machine-readable output
+  --limits A,B,C: (check) analyze against devices bounded by max_a=A,
+               max_b=B, max_cols=C (zeros allowed, to probe SA005)
+  --memory BYTES: (check) analyze against memory modules of BYTES capacity
+               (to probe the SA006 staging bound)
   serve: run the concurrent query service until SIGINT/SIGTERM
   --slow-query-ms MS: log queries slower than MS to stderr (0 disables)
   --connect: run the query on a server instead of in-process
@@ -325,6 +367,52 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
     Ok(args)
 }
 
+fn parse_check_args(argv: &[String]) -> Result<CheckArgs, CliError> {
+    let mut args = CheckArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => {
+                let spec = flag_value("--table", &mut it)?;
+                args.tables.push(parse_table_spec(spec)?);
+            }
+            "--json" => args.json = true,
+            "--limits" => {
+                let value = flag_value("--limits", &mut it)?;
+                let parts: Vec<usize> = value
+                    .split(',')
+                    .map(|p| parse_number("--limits", p.trim()))
+                    .collect::<Result<_, _>>()?;
+                match parts.as_slice() {
+                    &[a, b, c] => args.limits = Some((a, b, c)),
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "--limits expects A,B,C (three numbers), got {value:?}"
+                        )))
+                    }
+                }
+            }
+            "--memory" => {
+                let value = flag_value("--memory", &mut it)?;
+                args.memory = Some(value.parse().map_err(|_| {
+                    CliError::Usage(format!("--memory expects a byte count, got {value:?}"))
+                })?);
+            }
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected check argument {other:?}\n{USAGE}"
+                )))
+            }
+        }
+    }
+    if args.query.is_empty() {
+        return Err(CliError::Usage(format!("check needs a query\n{USAGE}")));
+    }
+    Ok(args)
+}
+
 fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
     let mut args = ConnectArgs::default();
     let mut it = argv.iter();
@@ -368,6 +456,9 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
 pub fn parse_command(argv: &[String]) -> Result<Command, CliError> {
     if argv.first().map(String::as_str) == Some("serve") {
         return Ok(Command::Serve(parse_serve_args(&argv[1..])?));
+    }
+    if argv.first().map(String::as_str) == Some("check") {
+        return Ok(Command::Check(parse_check_args(&argv[1..])?));
     }
     if argv.iter().any(|a| a == "--connect") {
         return Ok(Command::Connect(parse_connect_args(argv)?));
@@ -503,6 +594,54 @@ fn build_chrome_trace(out: &RunOutcome, spans: &[SpanRecord]) -> ChromeTrace {
     trace
 }
 
+/// Statically analyze a query over in-memory CSV texts (the testable core
+/// of `sdb check`; the binary reads the files and delegates here). Builds
+/// the same catalog the one-shot engine would, but never constructs a
+/// `System` — acceptance is a proof, not a dry run.
+pub fn run_check(
+    tables: &[(TableSpec, String)],
+    query: &str,
+    json: bool,
+    limits: Option<(usize, usize, usize)>,
+    memory: Option<u64>,
+) -> Result<String, CliError> {
+    let mut store = systolic_server::engine::Store::new();
+    for (spec, text) in tables {
+        store.register(&spec.name, &spec.kinds, text)?;
+    }
+    let mut machine = MachineConfig::default();
+    if let Some(capacity) = memory {
+        machine.memory_capacity = capacity;
+    }
+    if let Some((max_a, max_b, max_cols)) = limits {
+        // Deliberately a struct literal, not `ArrayLimits::new` (which
+        // asserts positivity): degenerate bounds are exactly what the
+        // SA005 tiling proof exists to catch before a device would.
+        for (_, device_limits) in &mut machine.devices {
+            *device_limits = ArrayLimits {
+                max_a,
+                max_b,
+                max_cols,
+            };
+        }
+    }
+    let view = store.catalog_view();
+    match systolic_server::engine::prepare_checked(query, &view, &machine) {
+        Ok((_, analysis)) => Ok(if json {
+            analysis.json()
+        } else {
+            analysis.render()
+        }),
+        Err(EngineError::Analysis { diags, query }) => Err(CliError::Rejected(if json {
+            diagnostics_json(&diags)
+        } else {
+            let rendered: Vec<String> = diags.iter().map(|d| d.pretty(&query)).collect();
+            rendered.join("\n")
+        })),
+        Err(other) => Err(other.into()),
+    }
+}
+
 fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let defaults = ServerConfig::default();
     systolic_server::run(ServerConfig {
@@ -589,6 +728,14 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
                 args.threads,
                 args.trace_out.as_deref().map(Path::new),
             )
+        }
+        Command::Check(args) => {
+            let mut tables = Vec::with_capacity(args.tables.len());
+            for spec in &args.tables {
+                let text = std::fs::read_to_string(&spec.path)?;
+                tables.push((spec.clone(), text));
+            }
+            run_check(&tables, &args.query, args.json, args.limits, args.memory)
         }
         Command::Serve(args) => {
             run_serve(&args)?;
@@ -719,6 +866,104 @@ mod tests {
             parse_command(&argv(&["serve", "--what"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn check_args_parse() {
+        match parse_command(&argv(&[
+            "check",
+            "--table",
+            "a=a.csv:int",
+            "--json",
+            "--limits",
+            "0,32,8",
+            "scan(a)",
+        ]))
+        .unwrap()
+        {
+            Command::Check(c) => {
+                assert_eq!(c.tables.len(), 1);
+                assert!(c.json);
+                assert_eq!(c.limits, Some((0, 32, 8)));
+                assert_eq!(c.query, "scan(a)");
+            }
+            other => panic!("expected check, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["check"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command(&argv(&["check", "--limits", "1,2", "scan(a)"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn check_accepts_a_sound_plan_with_a_typed_summary() {
+        let emp = (
+            spec("emp", vec![DomainKind::Str, DomainKind::Int]),
+            "ada,10\ngrace,20\n".to_string(),
+        );
+        let dept = (
+            spec("dept", vec![DomainKind::Int, DomainKind::Str]),
+            "10,storage\n".to_string(),
+        );
+        let out = run_check(
+            &[emp.clone(), dept.clone()],
+            "join(scan(emp), scan(dept), 1 = 0)",
+            false,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("plan accepted"), "{out}");
+        assert!(out.contains("(str, int, str)"), "{out}");
+        assert!(out.contains("tiles"), "{out}");
+        let json = run_check(&[emp, dept], "scan(emp)", true, None, None).unwrap();
+        assert!(json.starts_with("{\"accepted\": true"), "{json}");
+    }
+
+    #[test]
+    fn check_rejects_with_stable_codes_and_carets() {
+        let emp = (
+            spec("emp", vec![DomainKind::Str, DomainKind::Int]),
+            "ada,10\n".to_string(),
+        );
+        let err =
+            run_check(std::slice::from_ref(&emp), "scan(ghost)", false, None, None).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("SA007"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+        // JSON rejection carries the code machine-readably.
+        let err = run_check(
+            std::slice::from_ref(&emp),
+            "project(scan(emp), [9])",
+            true,
+            None,
+            None,
+        )
+        .unwrap_err();
+        match &err {
+            CliError::Rejected(json) => {
+                assert!(json.contains("\"accepted\": false"), "{json}");
+                assert!(json.contains("\"code\": \"SA002\""), "{json}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Degenerate --limits trip the SA005 tiling proof.
+        let err = run_check(
+            std::slice::from_ref(&emp),
+            "dedup(scan(emp))",
+            false,
+            Some((0, 32, 8)),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SA005"), "{err}");
+        // A starved --memory override trips the SA006 staging bound.
+        let err = run_check(&[emp], "scan(emp)", false, None, Some(4)).unwrap_err();
+        assert!(err.to_string().contains("SA006"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   contribution);
 //! * [`baseline`] — instrumented sequential baselines;
 //! * [`perfmodel`] — the §8 analytic performance model;
-//! * [`machine`] — the §9 crossbar database machine.
+//! * [`machine`] — the §9 crossbar database machine;
+//! * [`analyzer`] — the static plan/schedule analyzer that verifies
+//!   queries against the paper's correctness conditions before they touch
+//!   the fabric;
+//! * [`server`] — the concurrent TCP query service.
 //!
 //! ## Quickstart
 //!
@@ -36,9 +40,11 @@
 
 pub mod cli;
 
+pub use systolic_analyzer as analyzer;
 pub use systolic_baseline as baseline;
 pub use systolic_core as arrays;
 pub use systolic_fabric as fabric;
 pub use systolic_machine as machine;
 pub use systolic_perfmodel as perfmodel;
 pub use systolic_relation as relation;
+pub use systolic_server as server;
