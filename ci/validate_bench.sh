@@ -16,3 +16,17 @@ else
 fi
 
 cargo run -p systolic-bench --bin validate_artifacts -- "$DIR"
+
+# The cross-backend speedup experiment must be present and must have
+# recorded at least the 5x host-wall-time win the kernel backend promises.
+E21="$DIR/BENCH_e21_backend_speedup.json"
+if [[ ! -f "$E21" ]]; then
+  echo "missing $E21" >&2
+  exit 1
+fi
+SPEEDUP=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$E21")
+if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5.0) }'; then
+  echo "e21 speedup $SPEEDUP is below the required 5x" >&2
+  exit 1
+fi
+echo "e21 kernel-vs-sim speedup: ${SPEEDUP}x (>= 5x)"

@@ -61,8 +61,30 @@ impl Summary {
     }
 }
 
+/// An extra numeric field appended to an artifact document — the
+/// cross-backend comparison experiment records per-operator wall times and
+/// the measured speedup alongside the standard summary keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Extra {
+    /// A non-negative integer field (nanosecond wall times).
+    U64(u64),
+    /// A float field (speedup ratios).
+    F64(f64),
+}
+
 /// Render one experiment's artifact document.
 pub fn render_json(name: &str, sum: &Summary, wall: Duration) -> String {
+    render_json_with(name, sum, wall, &[])
+}
+
+/// [`render_json`] with extra numeric fields appended after the standard
+/// keys, in the order given.
+pub fn render_json_with(
+    name: &str,
+    sum: &Summary,
+    wall: Duration,
+    extras: &[(String, Extra)],
+) -> String {
     let wall_ns = wall.as_nanos() as u64;
     let qps = if wall_ns == 0 {
         0.0
@@ -77,8 +99,19 @@ pub fn render_json(name: &str, sum: &Summary, wall: Duration) -> String {
     let _ = writeln!(out, "  \"total_cell_pulses\": {},", sum.total_cell_pulses);
     let _ = writeln!(out, "  \"queries\": {},", sum.queries);
     let _ = writeln!(out, "  \"host_wall_ns\": {wall_ns},");
-    let _ = writeln!(out, "  \"queries_per_sec\": {qps:.3}");
-    out.push_str("}\n");
+    let _ = write!(out, "  \"queries_per_sec\": {qps:.3}");
+    for (key, value) in extras {
+        out.push_str(",\n");
+        match value {
+            Extra::U64(v) => {
+                let _ = write!(out, "  {}: {v}", json_str(key));
+            }
+            Extra::F64(v) => {
+                let _ = write!(out, "  {}: {v:.3}", json_str(key));
+            }
+        }
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -131,11 +164,23 @@ impl ArtifactSink {
 
     /// Write `BENCH_<name>.json` for one experiment. A no-op when disabled.
     pub fn record(&mut self, name: &str, sum: &Summary, wall: Duration) -> io::Result<()> {
+        self.record_with(name, sum, wall, &[])
+    }
+
+    /// [`ArtifactSink::record`] with extra numeric fields appended to the
+    /// document.
+    pub fn record_with(
+        &mut self,
+        name: &str,
+        sum: &Summary,
+        wall: Duration,
+        extras: &[(String, Extra)],
+    ) -> io::Result<()> {
         let Some(dir) = &self.dir else {
             return Ok(());
         };
         let path = dir.join(format!("BENCH_{name}.json"));
-        write_clean(&path, &render_json(name, sum, wall))?;
+        write_clean(&path, &render_json_with(name, sum, wall, extras))?;
         self.written.push(path);
         Ok(())
     }
@@ -216,6 +261,29 @@ mod tests {
         off.record("e01_demo", &sample_summary(), Duration::from_millis(1))
             .unwrap();
         assert!(off.written.is_empty());
+    }
+
+    #[test]
+    fn extras_append_after_the_standard_keys_and_stay_valid_json() {
+        let extras = vec![
+            ("sim_wall_ns".to_string(), Extra::U64(5_000)),
+            ("speedup".to_string(), Extra::F64(12.5)),
+        ];
+        let text = render_json_with(
+            "e21_backend_speedup",
+            &sample_summary(),
+            Duration::from_millis(2),
+            &extras,
+        );
+        let doc = json::parse(&text).expect("artifact with extras must be valid JSON");
+        assert_eq!(doc.get("sim_wall_ns").and_then(Json::as_u64), Some(5_000));
+        assert_eq!(doc.get("speedup").and_then(Json::as_f64), Some(12.5));
+        // The standard keys are untouched by the extension.
+        assert_eq!(doc.get("pulses").and_then(Json::as_u64), Some(150));
+        assert_eq!(
+            doc.get("host_wall_ns").and_then(Json::as_u64),
+            Some(2_000_000)
+        );
     }
 
     #[test]

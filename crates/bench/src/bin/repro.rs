@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use systolic_bench::artifact::{ArtifactSink, Summary};
+use systolic_bench::artifact::{ArtifactSink, Extra, Summary};
 use systolic_bench::table::{fmt_ns, Table};
 use systolic_bench::{hardware_ns, intersection_pulses, workloads, PULSE_NS};
 
@@ -26,7 +26,7 @@ use systolic_core::{
     LinearComparisonArray, SetOpMode,
 };
 use systolic_fabric::{CompareOp, Elem};
-use systolic_machine::{Expr, System};
+use systolic_machine::{Backend, Expr, System};
 use systolic_perfmodel::{array_keeps_up_with_disk, DiskModel, Prediction, Technology, Workload};
 
 fn heading(id: &str, title: &str, claim: &str) {
@@ -1039,6 +1039,105 @@ fn e19_pipelined_tiles() -> Summary {
     sum
 }
 
+/// E21: host wall time of the pulse-accurate simulator against the
+/// closed-form kernel backend, per operator, asserting bit-identical
+/// output along the way. Returns the per-operator wall times and the
+/// aggregate speedup as artifact extras.
+fn e21_backend_speedup() -> (Summary, Vec<(String, Extra)>) {
+    let mut sum = Summary::default();
+    heading(
+        "E21",
+        "kernel backend vs pulse simulator (host wall time)",
+        "closed-form kernels reproduce the arrays' rows and pulse accounting bit-for-bit without stepping the grid; host time drops >= 5x",
+    );
+    let n = 256;
+    let (sa, sb) = workloads::overlap_pair(n, 2, 0.5);
+    let (ja, jb, ka, kb) = workloads::join_pair(n, 16, 0.0);
+    let (dividend, divisor, _) = workloads::division(64, 8, 16);
+    let exec = Execution::Marching;
+    let join_specs = [JoinSpec::eq(ka, kb)];
+
+    type Run = (systolic_relation::MultiRelation, systolic_core::ExecStats);
+    type Runner<'a> = Box<dyn Fn(Backend) -> Run + 'a>;
+    let runners: Vec<(&str, Runner)> = vec![
+        (
+            "intersect",
+            Box::new(|bk| ops::intersect_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "union",
+            Box::new(|bk| ops::union_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "difference",
+            Box::new(|bk| ops::difference_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "dedup",
+            Box::new(|bk| ops::dedup_with(&sa, exec, bk).unwrap()),
+        ),
+        (
+            "join",
+            Box::new(|bk| ops::join_with(&ja, &jb, &join_specs, exec, bk).unwrap()),
+        ),
+        (
+            "divide",
+            Box::new(|bk| ops::divide_binary_with(&dividend, 0, 1, &divisor, 0, exec, bk).unwrap()),
+        ),
+    ];
+
+    const REPS: usize = 3;
+    let mut extras: Vec<(String, Extra)> = Vec::new();
+    let mut sim_total = 0u64;
+    let mut kernel_total = 0u64;
+    let mut t = Table::new(&["op", "sim wall", "kernel wall", "speedup", "bit-identical"]);
+    for (name, run) in &runners {
+        // Best-of-REPS per backend damps scheduler noise; both backends get
+        // the same treatment.
+        let mut best = |bk: Backend| -> (Run, u64) {
+            let mut best_ns = u64::MAX;
+            let mut out = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let r = run(bk);
+                let ns = t0.elapsed().as_nanos() as u64;
+                sum.exec(&r.1);
+                if ns < best_ns {
+                    best_ns = ns;
+                    out = Some(r);
+                }
+            }
+            (out.unwrap(), best_ns)
+        };
+        let (sim, sim_ns) = best(Backend::Sim);
+        let (fast, kernel_ns) = best(Backend::Kernel);
+        let identical = sim.0.rows() == fast.0.rows() && sim.1 == fast.1;
+        sim_total += sim_ns;
+        kernel_total += kernel_ns;
+        extras.push((format!("sim_ns_{name}"), Extra::U64(sim_ns)));
+        extras.push((format!("kernel_ns_{name}"), Extra::U64(kernel_ns)));
+        t.rowd(&[
+            name.to_string(),
+            fmt_ns(sim_ns as f64),
+            fmt_ns(kernel_ns as f64),
+            format!("{:.1}x", sim_ns as f64 / kernel_ns.max(1) as f64),
+            identical.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let speedup = sim_total as f64 / kernel_total.max(1) as f64;
+    println!(
+        "aggregate: sim {} vs kernel {} -> {speedup:.1}x (target >= 5x: {})",
+        fmt_ns(sim_total as f64),
+        fmt_ns(kernel_total as f64),
+        speedup >= 5.0
+    );
+    extras.push(("sim_wall_ns".to_string(), Extra::U64(sim_total)));
+    extras.push(("kernel_wall_ns".to_string(), Extra::U64(kernel_total)));
+    extras.push(("speedup".to_string(), Extra::F64(speedup)));
+    (sum, extras)
+}
+
 /// `repro serve-throughput`: queries/sec against a live in-process
 /// systolic-server at 1, 4 and 16 concurrent connections.
 fn serve_throughput() -> Summary {
@@ -1118,9 +1217,18 @@ fn serve_throughput() -> Summary {
 /// Time `f`, then record its summary as `BENCH_<name>.json` (a no-op when
 /// the sink is disabled).
 fn run_exp(sink: &mut ArtifactSink, name: &str, f: impl FnOnce() -> Summary) {
+    run_exp_extras(sink, name, || (f(), Vec::new()));
+}
+
+/// [`run_exp`] for experiments that also emit extra artifact fields.
+fn run_exp_extras(
+    sink: &mut ArtifactSink,
+    name: &str,
+    f: impl FnOnce() -> (Summary, Vec<(String, Extra)>),
+) {
     let started = Instant::now();
-    let sum = f();
-    if let Err(e) = sink.record(name, &sum, started.elapsed()) {
+    let (sum, extras) = f();
+    if let Err(e) = sink.record_with(name, &sum, started.elapsed(), &extras) {
         eprintln!("warning: failed to write artifact for {name}: {e}");
     }
 }
@@ -1185,6 +1293,7 @@ fn main() {
     run_exp(&mut sink, "e17_pattern_match", e17_pattern_match);
     run_exp(&mut sink, "e18_capacity", e18_capacity);
     run_exp(&mut sink, "e19_pipelined_tiles", e19_pipelined_tiles);
+    run_exp_extras(&mut sink, "e21_backend_speedup", e21_backend_speedup);
     if sink.enabled() {
         // `--json` covers every workload, the server one included.
         run_exp(&mut sink, "serve_throughput", serve_throughput);

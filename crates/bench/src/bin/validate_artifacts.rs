@@ -27,6 +27,22 @@ const SCHEMA: &[(&str, bool)] = &[
     ("queries_per_sec", false),
 ];
 
+/// Optional keys the cross-backend comparison experiment (`e21`) appends:
+/// aggregate wall times per backend and the measured speedup. Per-operator
+/// wall times use the `sim_ns_<op>` / `kernel_ns_<op>` prefixes.
+const OPTIONAL: &[(&str, bool)] = &[
+    ("sim_wall_ns", true),
+    ("kernel_wall_ns", true),
+    ("speedup", false),
+];
+
+/// Whether `key` is an allowed optional per-operator wall-time field.
+fn per_op_key(key: &str) -> bool {
+    key.strip_prefix("sim_ns_")
+        .or_else(|| key.strip_prefix("kernel_ns_"))
+        .is_some_and(|op| !op.is_empty() && op.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
+}
+
 fn check_file(path: &Path) -> Result<(), Vec<String>> {
     let mut errs = Vec::new();
     let text = match fs::read_to_string(path) {
@@ -69,9 +85,27 @@ fn check_file(path: &Path) -> Result<(), Vec<String>> {
             }
         }
     }
-    for (key, _) in fields {
-        if !SCHEMA.iter().any(|(k, _)| k == key) {
-            errs.push(format!("unknown key {key:?}"));
+    for (key, value) in fields {
+        if SCHEMA.iter().any(|(k, _)| k == key) {
+            continue;
+        }
+        match OPTIONAL.iter().find(|(k, _)| k == key) {
+            Some((_, true)) => {
+                if value.as_u64().is_none() {
+                    errs.push(format!("{key:?} is not a non-negative integer"));
+                }
+            }
+            Some((_, false)) => {
+                if value.as_f64().is_none() {
+                    errs.push(format!("{key:?} is not a number"));
+                }
+            }
+            None if per_op_key(key) => {
+                if value.as_u64().is_none() {
+                    errs.push(format!("{key:?} is not a non-negative integer"));
+                }
+            }
+            None => errs.push(format!("unknown key {key:?}")),
         }
     }
 
@@ -102,6 +136,24 @@ fn check_file(path: &Path) -> Result<(), Vec<String>> {
             errs.push(format!(
                 "queries_per_sec {qps} is not a finite non-negative number"
             ));
+        }
+    }
+    if let (Some(sim), Some(kernel), Some(speedup)) = (
+        doc.get("sim_wall_ns").and_then(Json::as_u64),
+        doc.get("kernel_wall_ns").and_then(Json::as_u64),
+        doc.get("speedup").and_then(Json::as_f64),
+    ) {
+        if kernel == 0 {
+            errs.push("kernel_wall_ns is zero".to_string());
+        } else {
+            let expect = sim as f64 / kernel as f64;
+            // The writer rounds to 3 decimal places.
+            if (speedup - expect).abs() > 5e-4 * expect.max(1.0) {
+                errs.push(format!("speedup {speedup} != sim/kernel = {expect:.3}"));
+            }
+        }
+        if !speedup.is_finite() || speedup < 0.0 {
+            errs.push(format!("speedup {speedup} is not finite and non-negative"));
         }
     }
 

@@ -53,8 +53,12 @@ pub struct HostStats {
     pub jobs: usize,
 }
 
-/// Resolve a requested thread count: `0` means "auto" — take
-/// [`THREADS_ENV`] if set to a positive integer, else run sequentially.
+/// Resolve a requested thread count. Precedence, highest first:
+///
+/// 1. an explicit positive `requested` value;
+/// 2. [`THREADS_ENV`] set to a positive integer (`requested == 0`, "auto");
+/// 3. the host's [`std::thread::available_parallelism`];
+/// 4. sequential (`1`) if even that is unavailable.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
@@ -63,7 +67,11 @@ pub fn resolve_threads(requested: usize) -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// Run `n_jobs` independent jobs on up to `threads` workers and return the
@@ -271,6 +279,46 @@ pub fn t_matrix_tiled_parallel_timed(
     Ok((TiledOutcome { t, stats }, host))
 }
 
+/// Kernel-backend counterpart of [`t_matrix_tiled_parallel`]: the rows of
+/// `A` are split into contiguous chunks, each chunk's block of `T` is
+/// computed with the closed-form comparison kernel on its own worker, and
+/// the blocks are pasted back in row order. The result is bit-identical to
+/// the single-threaded kernel (and therefore to every simulator tiling);
+/// only host wall-clock time changes with `threads` — which honours
+/// [`THREADS_ENV`] exactly as the simulated parallel executor does.
+pub fn kernel_t_matrix_parallel(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    ops: &[CompareOp],
+    threads: usize,
+) -> TMatrix {
+    assert!(!ops.is_empty(), "tuple width must be positive");
+    let threads = resolve_threads(threads);
+    let chunk = a.len().div_ceil(threads.max(1)).max(1);
+    let n_jobs = a.len().div_ceil(chunk);
+    let mut section_span = systolic_telemetry::span("executor.parallel_section");
+    section_span.arg("threads", threads);
+    section_span.arg("jobs", n_jobs);
+    let start = std::time::Instant::now();
+    let blocks = run_jobs(threads, n_jobs, |k| {
+        let lo = k * chunk;
+        let hi = (lo + chunk).min(a.len());
+        crate::kernel::t_matrix(&a[lo..hi], b, ops, |_, _| true)
+    });
+    let host = HostStats {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        threads,
+        jobs: n_jobs,
+    };
+    drop(section_span);
+    record_section(host);
+    let mut t = TMatrix::new(a.len(), b.len());
+    for (k, block) in blocks.iter().enumerate() {
+        t.paste(k * chunk, 0, block);
+    }
+    t
+}
+
 /// Membership (intersection/difference keep-flags) over the parallel tiled
 /// executor — the parallel counterpart of
 /// [`crate::tiling::membership_tiled`].
@@ -378,8 +426,20 @@ mod tests {
     #[test]
     fn resolve_threads_prefers_explicit_request() {
         assert_eq!(resolve_threads(7), 7);
-        // requested == 0 falls back to the environment or 1; either way the
-        // result is positive.
+        // requested == 0 falls back to the environment, then the host's
+        // available parallelism; either way the result is positive.
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn kernel_parallel_matrix_is_bit_identical_to_single_threaded() {
+        let a = relation(13, 3, 0);
+        let b = relation(9, 3, 3);
+        let ops = vec![CompareOp::Eq; 3];
+        let single = crate::kernel::t_matrix(&a, &b, &ops, |_, _| true);
+        for threads in [1, 2, 8, 64] {
+            let par = kernel_t_matrix_parallel(&a, &b, &ops, threads);
+            assert_eq!(par, single, "{threads} threads");
+        }
     }
 }

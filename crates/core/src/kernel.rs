@@ -1,0 +1,677 @@
+//! The kernel execution backend: closed-form results + analytic pulse
+//! accounting, bit-identical to the pulse-accurate simulator.
+//!
+//! The simulator in this crate steps every `fabric::Grid` cell on every
+//! pulse, so an operator costs `O(pulses x cells)` host time even though
+//! the *observable* outcome — the boolean matrix `T` (§3.3), the membership
+//! bits (§4), the quotient flags (§7), and the [`ExecStats`] — is a pure
+//! function of the inputs and the schedule. This module computes those
+//! observables directly:
+//!
+//! * **Results** come from tight host loops over the relations (one
+//!   short-circuit comparison chain per tuple pair; hash-based membership
+//!   and first-occurrence maps where the arrays compute set semantics).
+//! * **Statistics** come from the closed-form injection-pulse arithmetic of
+//!   [`systolic_fabric::CompareSchedule`] / `FixedSchedule`: every word a
+//!   feeder would inject occupies a known set of cell-pulses, and the
+//!   paper's schedules make coincidences (two words meeting in a cell)
+//!   exactly enumerable. Each function documents the word-by-word
+//!   accounting it replaces.
+//!
+//! The invariant — enforced by the differential tests here, in `ops`, and
+//! in `tests/backend_differential.rs` — is **bit-identity**: for every
+//! operator, every [`crate::ops::Execution`] strategy, every tile shape and
+//! thread count, the kernel backend produces the same `TMatrix`, the same
+//! keep/quotient bits, and the same `ExecStats` (pulses, cells, busy/total
+//! cell-pulses, array runs) as running the simulated hardware.
+//!
+//! One observable intentionally differs: the fabric's *telemetry counters*
+//! (`sdb_fabric_*`) do not advance under the kernel backend, because no
+//! grid is ever stepped. Everything derived from `ExecStats` — timelines,
+//! machine `RunStats`, server frames — is identical.
+
+use std::collections::{HashMap, HashSet};
+
+use systolic_fabric::{CompareOp, Elem};
+
+use crate::stats::ExecStats;
+use crate::tiling::ArrayLimits;
+
+/// Environment variable selecting the default backend (`sim` or `kernel`)
+/// when a configuration does not set one explicitly — the CI toggle that
+/// runs the whole test suite once per backend.
+pub const BACKEND_ENV: &str = "SYSTOLIC_BACKEND";
+
+/// How to execute an operator: on the pulse-accurate simulated fabric, or
+/// with the closed-form kernels in this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Step the simulated grid pulse by pulse (the reference semantics).
+    #[default]
+    Sim,
+    /// Closed-form results + analytic stats, bit-identical to [`Self::Sim`].
+    Kernel,
+}
+
+impl Backend {
+    /// Parse a backend name as used by `--backend` and [`BACKEND_ENV`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "kernel" => Some(Backend::Kernel),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI name of this backend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Kernel => "kernel",
+        }
+    }
+
+    /// The default backend: [`BACKEND_ENV`] if set to a valid name, else
+    /// [`Backend::Sim`].
+    pub fn from_env() -> Backend {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .and_then(|v| Backend::parse(&v))
+            .unwrap_or(Backend::Sim)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result kernels (what the arrays compute, as tight host loops)
+// ---------------------------------------------------------------------------
+
+/// The full comparison matrix `T`: `t_{ij} = initial(i, j) AND_c
+/// ops[c](a[i][c], b[j][c])` — exactly the Figure 3-2 AND chain, with the
+/// same short-circuit a FALSE west seed ("poisons the result") provides.
+pub fn t_matrix(
+    a: &[Vec<Elem>],
+    b: &[Vec<Elem>],
+    ops: &[CompareOp],
+    mut initial: impl FnMut(usize, usize) -> bool,
+) -> crate::matrix::TMatrix {
+    let mut t = crate::matrix::TMatrix::new(a.len(), b.len());
+    for (i, ra) in a.iter().enumerate() {
+        for (j, rb) in b.iter().enumerate() {
+            if initial(i, j) && ops.iter().enumerate().all(|(c, op)| op.eval(ra[c], rb[c])) {
+                t.set(i, j, true);
+            }
+        }
+    }
+    t
+}
+
+/// The accumulated membership bits of §4: `t_i = OR_j (a_i == b_j)`.
+/// Equality-only (as every membership path is), so a hash set of `B`'s
+/// tuples replaces the `|A| x |B|` comparison sweep.
+pub fn membership_bits(a: &[Vec<Elem>], b: &[Vec<Elem>]) -> Vec<bool> {
+    let set: HashSet<&[Elem]> = b.iter().map(|r| r.as_slice()).collect();
+    a.iter().map(|r| set.contains(r.as_slice())).collect()
+}
+
+/// The §5 triangle-masked self-membership: `dup[i] = OR_{j < i}
+/// (a_i == a_j)` — TRUE iff an earlier equal tuple exists.
+pub fn duplicate_bits(rows: &[Vec<Elem>]) -> Vec<bool> {
+    let mut first: HashMap<&[Elem], usize> = HashMap::new();
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| *first.entry(r.as_slice()).or_insert(i) < i)
+        .collect()
+}
+
+/// The §7 quotient flags: `flags[r]` is TRUE iff every divisor element is
+/// paired (through some dividend pair) with `keys[r]`. `hits` — the number
+/// of pairs whose key matches a pre-loaded row, which the stats need — is
+/// returned alongside. Keys must be distinct (as the arrays require).
+pub fn quotient_flags(
+    pairs: &[(Elem, Elem)],
+    keys: &[Elem],
+    divisor: &[Elem],
+) -> (Vec<bool>, usize) {
+    let index: HashMap<Elem, usize> = keys.iter().enumerate().map(|(r, &k)| (k, r)).collect();
+    let mut matched: Vec<HashSet<Elem>> = vec![HashSet::new(); keys.len()];
+    let mut hits = 0usize;
+    for &(x, y) in pairs {
+        if let Some(&r) = index.get(&x) {
+            hits += 1;
+            matched[r].insert(y);
+        }
+    }
+    let flags = matched
+        .iter()
+        .map(|set| divisor.iter().all(|y| set.contains(y)))
+        .collect();
+    (flags, hits)
+}
+
+/// Multi-column-key variant of [`quotient_flags`]: rows are
+/// `(x_1..x_K, y)`, keys are composite.
+pub fn quotient_flags_multi(
+    rows: &[Vec<Elem>],
+    keys: &[Vec<Elem>],
+    kw: usize,
+    divisor: &[Elem],
+) -> (Vec<bool>, usize) {
+    let index: HashMap<&[Elem], usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(r, k)| (k.as_slice(), r))
+        .collect();
+    let mut matched: Vec<HashSet<Elem>> = vec![HashSet::new(); keys.len()];
+    let mut hits = 0usize;
+    for row in rows {
+        if let Some(&r) = index.get(&row[..kw]) {
+            hits += 1;
+            matched[r].insert(row[kw]);
+        }
+    }
+    let flags = matched
+        .iter()
+        .map(|set| divisor.iter().all(|y| set.contains(y)))
+        .collect();
+    (flags, hits)
+}
+
+// ---------------------------------------------------------------------------
+// Analytic statistics (what the grid would have counted)
+// ---------------------------------------------------------------------------
+//
+// The grid counts, per pulse: `busy_cell_pulses += cells with any input`,
+// `total_cell_pulses += rows * cols`, and `pulses` is the first pulse at
+// which all feeders are exhausted and all wire planes empty. A word
+// injected at pulse `p` into an `R`-row traversal occupies one cell per
+// pulse for `R` pulses (p .. p+R-1); a `t` word crossing `m` comparison
+// columns occupies `m` cell-pulses. "Busy" counts a cell-pulse ONCE no
+// matter how many words meet there, so coincidences must be subtracted —
+// and the §3.2 schedule makes them exact: `a[i][c]` and `b[j][c]` meet in
+// exactly one cell-pulse per (i, j, c), and every `t` word rides the
+// meeting wavefront (it is always in a cell that already has its `a` word),
+// contributing zero busy of its own.
+
+/// The compare-schedule phases: `phase_b - phase_a = n_a - n_b`, both >= 0.
+fn phases(n_a: usize, n_b: usize) -> (u64, u64) {
+    (
+        n_b.saturating_sub(n_a) as u64,
+        n_a.saturating_sub(n_b) as u64,
+    )
+}
+
+/// One marching [`crate::comparison::ComparisonArray2d`] run over
+/// `n_a x n_b` tuples of width `m` (also the §6 join array):
+/// `rows = n_a + n_b - 1` rows of `m` comparison cells.
+///
+/// * pulses: the last data element is injected at
+///   `max(2(n_a-1) + phase_a, 2(n_b-1) + phase_b) + m - 1` and is consumed
+///   `rows - 1` pulses later; quiescence is detected one pulse after that.
+/// * busy: `(n_a + n_b) * m` data words occupy `rows` cell-pulses each;
+///   each of the `n_a * n_b * m` element meetings coincides two of them.
+pub(crate) fn compare_run_stats(n_a: usize, n_b: usize, m: usize) -> ExecStats {
+    debug_assert!(n_a > 0 && n_b > 0 && m > 0);
+    let rows = n_a + n_b - 1;
+    let cells = rows * m;
+    let (phase_a, phase_b) = phases(n_a, n_b);
+    let last_inject =
+        (2 * (n_a - 1) as u64 + phase_a).max(2 * (n_b - 1) as u64 + phase_b) + (m - 1) as u64;
+    let pulses = last_inject + rows as u64;
+    let busy = (m * (rows * (n_a + n_b) - n_a * n_b)) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+/// One marching [`crate::intersection::IntersectionArray`] run (also the
+/// §5 remove-duplicates array): the comparison array plus an accumulation
+/// column, `rows x (m + 1)` cells.
+///
+/// On top of [`compare_run_stats`]: the `n_a` accumulator words each
+/// occupy `rows` cell-pulses in the extra column (every `t` word entering
+/// the accumulation column coincides with its tuple's accumulator —
+/// `acc_injection(i) + meeting_row(i, j) = t_exit_pulse(i, j) + 1`), and
+/// the last injection is now the accumulator of tuple `n_a - 1` (one pulse
+/// after that tuple's last data element).
+pub(crate) fn marching_membership_stats(n_a: usize, n_b: usize, m: usize) -> ExecStats {
+    debug_assert!(n_a > 0 && n_b > 0 && m > 0);
+    let rows = n_a + n_b - 1;
+    let cells = rows * (m + 1);
+    let (phase_a, phase_b) = phases(n_a, n_b);
+    let last_inject = (2 * (n_a - 1) as u64 + phase_a + m as u64)
+        .max(2 * (n_b - 1) as u64 + phase_b + (m - 1) as u64);
+    let pulses = last_inject + rows as u64;
+    let busy = (m * (rows * (n_a + n_b) - n_a * n_b) + n_a * rows) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+/// One fixed-operand `t_matrix` run (§8, [`crate::fixed::FixedOperandArray`]
+/// with `n_b` resident tuples): `n_b x m` cells, `A` streaming one pulse
+/// per tuple.
+///
+/// * pulses: the last element `a[n_a-1][m-1]` is injected at
+///   `n_a + m - 2` and consumed at row `n_b - 1`, `n_b - 1` pulses later.
+/// * busy: each of the `n_a * m` streamed elements occupies `n_b`
+///   cell-pulses; the resident operand is in cell state, not on wires, and
+///   every `t` word coincides with its streamed element.
+pub(crate) fn fixed_t_matrix_stats(n_a: usize, n_b: usize, m: usize) -> ExecStats {
+    debug_assert!(n_a > 0 && n_b > 0 && m > 0);
+    let cells = n_b * m;
+    let pulses = (n_a + n_b + m - 2) as u64;
+    let busy = (n_a * n_b * m) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+/// One fixed-operand membership run (`run`/`run_masked`): as
+/// [`fixed_t_matrix_stats`] plus the accumulation column — `n_a`
+/// accumulator words occupying `n_b` cell-pulses each, last injection one
+/// pulse later than the plain `t_matrix` layout.
+pub(crate) fn fixed_membership_stats(n_a: usize, n_b: usize, m: usize) -> ExecStats {
+    debug_assert!(n_a > 0 && n_b > 0 && m > 0);
+    let cells = n_b * (m + 1);
+    let pulses = (n_a + n_b + m - 1) as u64;
+    let busy = (n_a * n_b * (m + 1)) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+/// The distinct chunk sizes (and their multiplicities) a length-`n` axis
+/// decomposes into under a per-tile bound of `max`: `n / max` full chunks
+/// and at most one remainder.
+fn chunks(n: usize, max: usize) -> Vec<(usize, u64)> {
+    let mut v = Vec::with_capacity(2);
+    if n / max > 0 {
+        v.push((max, (n / max) as u64));
+    }
+    if !n.is_multiple_of(max) {
+        v.push((n % max, 1));
+    }
+    v
+}
+
+/// A sequential tiled run ([`crate::tiling::t_matrix_tiled`], also the
+/// parallel executor's accounting): one [`compare_run_stats`] grid run per
+/// (A-chunk, B-chunk, column-group) tile, merged sequentially. Tile sizes
+/// take at most two distinct values per axis, so the sum collapses to at
+/// most eight weighted terms.
+pub(crate) fn tiled_stats(n_a: usize, n_b: usize, m: usize, limits: ArrayLimits) -> ExecStats {
+    let mut out = ExecStats::default();
+    for &(ta, ca) in &chunks(n_a, limits.max_a) {
+        for &(tb, cb) in &chunks(n_b, limits.max_b) {
+            for &(w, cw) in &chunks(m, limits.max_cols) {
+                let tile = compare_run_stats(ta, tb, w);
+                let count = ca * cb * cw;
+                out.pulses += tile.pulses * count;
+                out.busy_cell_pulses += tile.busy_cell_pulses * count;
+                out.total_cell_pulses += tile.total_cell_pulses * count;
+                out.cells = out.cells.max(tile.cells);
+                out.array_runs += count;
+            }
+        }
+    }
+    out
+}
+
+/// A pipelined tiled run ([`crate::tiling::t_matrix_tiled_pipelined`]):
+/// every tile's streams injected back-to-back into one running
+/// `rows x m` grid.
+///
+/// This replays the exact injection arithmetic of the simulator's feeder
+/// loop — per tile, the schedule base pulse of each `A` tuple
+/// (`2i + phase_a + offset + delta`) and `B` tuple (`2j + phase_b +
+/// offset`) — without materialising any word. From those bases:
+///
+/// * pulses = (last activity) + 1, where each data word's activity ends
+///   `rows - 1` pulses after its (lane-`m-1`) injection and each `t` seed's
+///   `m - 1` pulses after its meeting-pulse injection;
+/// * busy = `m * (rows * words - D)`: every tuple occupies `rows`
+///   cell-pulses per column; `D` counts the (a, b) base pairs that meet —
+///   `a` at base `s_a` and `b` at base `s_b` share a cell-pulse iff
+///   `|s_a - s_b| <= rows - 1` and `s_a - s_b = rows - 1 (mod 2)` (the
+///   crossing row `rho = (s_b - s_a + rows - 1) / 2` must be integral and
+///   in range) — including *cross-tile* crossings, which is exactly why
+///   this cannot be a per-tile sum. `t` words still ride their own tile's
+///   `A` wavefront and add nothing.
+pub(crate) fn pipelined_stats(n_a: usize, n_b: usize, m: usize, limits: ArrayLimits) -> ExecStats {
+    debug_assert!(n_a > 0 && n_b > 0 && m > 0);
+    let tile_a = limits.max_a;
+    let tile_b = limits.max_b;
+    let rows = (tile_a.min(n_a) + tile_b.min(n_b)).saturating_sub(1).max(1);
+    let mut offset = 0u64;
+    let mut tiles = 0u64;
+    let mut last_activity = 0u64;
+    let mut base_a: Vec<u64> = Vec::new();
+    let mut base_b: Vec<u64> = Vec::new();
+    for a0 in (0..n_a).step_by(tile_a) {
+        let ta = (a0 + tile_a).min(n_a) - a0;
+        for b0 in (0..n_b).step_by(tile_b) {
+            let tb = (b0 + tile_b).min(n_b) - b0;
+            let (phase_a, phase_b) = phases(ta, tb);
+            let delta = (rows - (ta + tb - 1)) as u64;
+            let mut last_inject = 0u64;
+            for i in 0..ta as u64 {
+                let base = 2 * i + phase_a + offset + delta;
+                base_a.push(base);
+                last_inject = last_inject.max(base + (m - 1) as u64);
+                last_activity = last_activity.max(base + (m - 1) as u64 + (rows - 1) as u64);
+            }
+            for j in 0..tb as u64 {
+                let base = 2 * j + phase_b + offset;
+                base_b.push(base);
+                last_inject = last_inject.max(base + (m - 1) as u64);
+                last_activity = last_activity.max(base + (m - 1) as u64 + (rows - 1) as u64);
+            }
+            // Last t seed: pair (ta-1, tb-1) injected at its meeting pulse.
+            let t_last = (ta - 1 + tb - 1) as u64 + phase_a + (ta - 1) as u64 + offset + delta;
+            last_activity = last_activity.max(t_last + (m - 1) as u64);
+            tiles += 1;
+            offset = last_inject + 2;
+        }
+    }
+    let pulses = last_activity + 1;
+
+    // D: meeting (a, b) base pairs, counted by parity-split binary search.
+    let mut by_parity: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    for &s in &base_b {
+        by_parity[(s % 2) as usize].push(s);
+    }
+    debug_assert!(by_parity.iter().all(|v| v.is_sorted()));
+    let span = (rows - 1) as u64;
+    let mut meetings = 0u64;
+    for &s_a in &base_a {
+        let lane = &by_parity[((s_a + span) % 2) as usize];
+        let lo = lane.partition_point(|&s| s < s_a.saturating_sub(span));
+        let hi = lane.partition_point(|&s| s <= s_a + span);
+        meetings += (hi - lo) as u64;
+    }
+    let words = (base_a.len() + base_b.len()) as u64;
+    let busy = m as u64 * (rows as u64 * words - meetings);
+    let cells = rows * m;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: tiles,
+    }
+}
+
+/// One restricted [`crate::division::DivisionArray`] run: `k` key rows of
+/// `2 + nd` cells; `n` pairs streamed, `hits` of them matching a row.
+///
+/// Word accounting: `x` and `y` streams occupy `n * k` cell-pulses each
+/// (every pair visits every row in its column); each matched pair's gated
+/// `y` crosses the `nd` store cells; the drain token occupies `k`
+/// cell-pulses northbound plus `k` at the gates; the per-row AND verdict
+/// crosses `k * nd` store cells. Every key-match boolean reaches the gate
+/// exactly with its pair's `y`, adding nothing. The last verdict is
+/// consumed at pulse `n + k + nd`.
+pub(crate) fn division_stats(n: usize, k: usize, nd: usize, hits: usize) -> ExecStats {
+    debug_assert!(k > 0);
+    let cells = k * (2 + nd);
+    let pulses = (n + k + nd + 1) as u64;
+    let busy = (2 * n * k + 2 * k + k * nd + hits * nd) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+/// One [`crate::division::DivisionArrayMulti`] run (composite keys of
+/// width `kw`): `k` rows of `kw + 1 + nd` cells. As [`division_stats`]
+/// with the key stream `kw` columns wide and the drain crossing the `kw`
+/// key columns before the gate; reduces exactly to the restricted formula
+/// at `kw = 1`.
+pub(crate) fn division_multi_stats(
+    n: usize,
+    k: usize,
+    kw: usize,
+    nd: usize,
+    hits: usize,
+) -> ExecStats {
+    debug_assert!(k > 0 && kw > 0);
+    let cells = k * (kw + 1 + nd);
+    let pulses = (n + k + kw + nd) as u64;
+    let busy = (n * k * (kw + 1) + hits * nd + k * (kw + 1) + k * nd) as u64;
+    ExecStats {
+        pulses,
+        cells,
+        busy_cell_pulses: busy,
+        total_cell_pulses: pulses * cells as u64,
+        array_runs: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparison::ComparisonArray2d;
+    use crate::division::{DivisionArray, DivisionArrayMulti};
+    use crate::fixed::FixedOperandArray;
+    use crate::intersection::{IntersectionArray, SetOpMode};
+    use crate::tiling;
+
+    fn relation(n: usize, m: usize, seed: i64) -> Vec<Vec<Elem>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|c| ((i as i64 * 7 + seed) % 5) + c as i64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backend_parsing_and_labels() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("kernel"), Some(Backend::Kernel));
+        assert_eq!(Backend::parse("fpga"), None);
+        assert_eq!(Backend::Kernel.label(), "kernel");
+        assert_eq!(Backend::default(), Backend::Sim);
+        assert_eq!(format!("{}", Backend::Kernel), "kernel");
+    }
+
+    #[test]
+    fn t_matrix_matches_the_simulated_comparison_array() {
+        let ops = [
+            vec![CompareOp::Eq, CompareOp::Eq],
+            vec![CompareOp::Lt, CompareOp::Eq],
+            vec![CompareOp::Ge, CompareOp::Ne],
+        ];
+        for ops in &ops {
+            for (n_a, n_b) in [(1, 1), (3, 2), (4, 7), (6, 6)] {
+                let a = relation(n_a, 2, 0);
+                let b = relation(n_b, 2, 3);
+                let sim = ComparisonArray2d::with_ops(ops.clone())
+                    .t_matrix(&a, &b, |i, j| (i + j) % 3 != 0)
+                    .unwrap();
+                let fast = t_matrix(&a, &b, ops, |i, j| (i + j) % 3 != 0);
+                assert_eq!(fast, sim.t, "{ops:?} {n_a}x{n_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_run_stats_match_the_simulator_exactly() {
+        for n_a in 1..=5 {
+            for n_b in 1..=5 {
+                for m in 1..=3 {
+                    let a = relation(n_a, m, 0);
+                    let b = relation(n_b, m, 2);
+                    let sim = ComparisonArray2d::equality(m)
+                        .t_matrix(&a, &b, |_, _| true)
+                        .unwrap();
+                    assert_eq!(compare_run_stats(n_a, n_b, m), sim.stats, "{n_a}x{n_b}x{m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marching_membership_stats_match_the_simulator_exactly() {
+        for n_a in 1..=5 {
+            for n_b in 1..=5 {
+                for m in 1..=3 {
+                    let a = relation(n_a, m, 0);
+                    let b = relation(n_b, m, 2);
+                    let sim = IntersectionArray::new(m)
+                        .run_masked(&a, &b, SetOpMode::Intersect, |i, j| i > j, false)
+                        .unwrap();
+                    assert_eq!(
+                        marching_membership_stats(n_a, n_b, m),
+                        sim.stats,
+                        "{n_a}x{n_b}x{m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_stats_match_the_simulator_exactly() {
+        for n_a in 1..=5 {
+            for n_b in 1..=4 {
+                for m in 1..=3 {
+                    let a = relation(n_a, m, 0);
+                    let b = relation(n_b, m, 2);
+                    let arr = FixedOperandArray::preload(&b);
+                    let (_, sim_t) = arr.t_matrix(&a, &vec![CompareOp::Eq; m]).unwrap();
+                    assert_eq!(fixed_t_matrix_stats(n_a, n_b, m), sim_t, "{n_a}x{n_b}x{m}");
+                    let sim_m = arr.run(&a, SetOpMode::Intersect).unwrap();
+                    assert_eq!(
+                        fixed_membership_stats(n_a, n_b, m),
+                        sim_m.stats,
+                        "{n_a}x{n_b}x{m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_stats_match_the_simulator_exactly() {
+        let a = relation(13, 3, 0);
+        let b = relation(9, 3, 3);
+        let ops = vec![CompareOp::Eq; 3];
+        for limits in [
+            ArrayLimits::new(4, 4, 3),
+            ArrayLimits::new(5, 3, 2),
+            ArrayLimits::new(1, 1, 1),
+            ArrayLimits::new(100, 100, 100),
+        ] {
+            let sim = tiling::t_matrix_tiled(&a, &b, &ops, limits, |_, _| true).unwrap();
+            assert_eq!(tiled_stats(13, 9, 3, limits), sim.stats, "{limits:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_stats_match_the_simulator_exactly() {
+        let ops2 = vec![CompareOp::Eq; 2];
+        for (n_a, n_b) in [(13, 17), (1, 1), (5, 1), (2, 9)] {
+            let a = relation(n_a, 2, 0);
+            let b = relation(n_b, 2, 3);
+            for limits in [
+                ArrayLimits::new(4, 4, 2),
+                ArrayLimits::new(5, 3, 2),
+                ArrayLimits::new(1, 1, 2),
+                ArrayLimits::new(100, 100, 2),
+            ] {
+                let sim =
+                    tiling::t_matrix_tiled_pipelined(&a, &b, &ops2, limits, |_, _| true).unwrap();
+                assert_eq!(
+                    pipelined_stats(n_a, n_b, 2, limits),
+                    sim.stats,
+                    "{n_a}x{n_b} {limits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn division_stats_match_the_simulator_exactly() {
+        // Including keys that do not cover every pair (hits < n).
+        let pairs: Vec<(Elem, Elem)> = (0..20).map(|p| (p % 6, p % 4)).collect();
+        let divisor: Vec<Elem> = vec![0, 1, 2, 3];
+        for keys in [vec![0, 1, 2, 3, 4, 5], vec![1, 3], vec![9]] {
+            for nd in [0, 2, 4] {
+                let sim = DivisionArray
+                    .divide_with_keys(&pairs, &keys, &divisor[..nd], false)
+                    .unwrap();
+                let (flags, hits) = quotient_flags(&pairs, &keys, &divisor[..nd]);
+                assert_eq!(flags, sim.quotient_flags, "keys {keys:?} nd {nd}");
+                assert_eq!(
+                    division_stats(pairs.len(), keys.len(), nd, hits),
+                    sim.stats,
+                    "keys {keys:?} nd {nd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn division_multi_stats_match_the_simulator_exactly() {
+        for (n, kw, nd) in [(12, 2, 3), (5, 1, 2), (7, 3, 0), (4, 2, 1)] {
+            let rows: Vec<Vec<Elem>> = (0..n)
+                .map(|p| {
+                    let mut r: Vec<Elem> = (0..kw).map(|c| ((p + c) % 3) as Elem).collect();
+                    r.push((p % 4) as Elem);
+                    r
+                })
+                .collect();
+            let divisor: Vec<Elem> = (0..nd as Elem).collect();
+            let sim = DivisionArrayMulti::new(kw).divide(&rows, &divisor).unwrap();
+            let (flags, hits) = quotient_flags_multi(&rows, &sim.keys, kw, &divisor);
+            assert_eq!(flags, sim.quotient_flags, "n {n} kw {kw} nd {nd}");
+            assert_eq!(
+                division_multi_stats(n, sim.keys.len(), kw, nd, hits),
+                sim.stats,
+                "n {n} kw {kw} nd {nd}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_and_duplicate_bits_match_the_arrays() {
+        let a = relation(11, 2, 0);
+        let b = relation(7, 2, 3);
+        let sim = IntersectionArray::new(2)
+            .run(&a, &b, SetOpMode::Intersect)
+            .unwrap();
+        assert_eq!(membership_bits(&a, &b), sim.t);
+        let dupes = relation(9, 2, 1);
+        let sim = IntersectionArray::new(2)
+            .run_masked(&dupes, &dupes, SetOpMode::Intersect, |i, j| i > j, false)
+            .unwrap();
+        assert_eq!(duplicate_bits(&dupes), sim.t);
+    }
+}

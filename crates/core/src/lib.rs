@@ -16,6 +16,7 @@
 //! | §8 word-to-bit-level transformation | [`bitlevel`] |
 //! | §8 problem decomposition | [`tiling`] |
 //! | host-parallel execution of independent tiles | [`executor`] |
+//! | closed-form kernel backend (analytic stats) | [`kernel`] |
 //! | §8 pattern-match chip (ref \[3\]) | [`patmatch`] |
 //! | operator API over relations | [`ops`] |
 //!
@@ -45,6 +46,7 @@ pub mod executor;
 pub mod fixed;
 pub mod intersection;
 pub mod join;
+pub mod kernel;
 pub mod matrix;
 pub mod ops;
 pub mod patmatch;
@@ -60,6 +62,7 @@ pub use executor::HostStats;
 pub use fixed::FixedOperandArray;
 pub use intersection::{IntersectionArray, SetOpMode};
 pub use join::{JoinArray, JoinSpec, ProgrammableJoinArray};
+pub use kernel::Backend;
 pub use matrix::TMatrix;
 pub use ops::Execution;
 pub use patmatch::PatternMatchChip;

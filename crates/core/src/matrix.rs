@@ -4,22 +4,40 @@
 //! operations. The (i,j)-th entry of T ... denote\[s\] the result of a
 //! comparison between the i-th tuple of a relation and the j-th tuple of
 //! another."
+//!
+//! Storage is u64-bit-packed, row-major: row `i` occupies
+//! `ceil(n_b / 64)` words, and entry `(i, j)` is bit `j % 64` of word
+//! `j / 64`. This is 8x denser than one `bool` per entry and lets the
+//! reductions the paper's arrays perform — the §4 accumulation OR, the §7
+//! division row-AND, and the §8 column-group combination (`and_assign`) —
+//! run a word at a time instead of a bit at a time. As an invariant the
+//! unused high bits of each row's last word are kept zero, so whole-word
+//! equality (`Eq`), population counts, and the row-AND mask test stay
+//! exact.
 
-/// A dense `n_a x n_b` boolean matrix.
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A dense `n_a x n_b` boolean matrix, bit-packed into u64 words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TMatrix {
     n_a: usize,
     n_b: usize,
-    bits: Vec<bool>,
+    /// Words per row: `ceil(n_b / 64)`.
+    words_per_row: usize,
+    /// `n_a * words_per_row` words; bits beyond `n_b` in each row are zero.
+    bits: Vec<u64>,
 }
 
 impl TMatrix {
     /// An all-false matrix.
     pub fn new(n_a: usize, n_b: usize) -> Self {
+        let words_per_row = n_b.div_ceil(WORD_BITS);
         TMatrix {
             n_a,
             n_b,
-            bits: vec![false; n_a * n_b],
+            words_per_row,
+            bits: vec![0; n_a * words_per_row],
         }
     }
 
@@ -44,25 +62,54 @@ impl TMatrix {
         self.n_b
     }
 
+    /// The mask of valid bits in the last word of a row (all ones when
+    /// `n_b` is a multiple of the word size).
+    fn tail_mask(&self) -> u64 {
+        match self.n_b % WORD_BITS {
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    /// The packed words of row `i`.
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
     /// Entry `t_{ij}`.
     pub fn get(&self, i: usize, j: usize) -> bool {
-        self.bits[i * self.n_b + j]
+        assert!(i < self.n_a && j < self.n_b, "index out of bounds");
+        let word = self.bits[i * self.words_per_row + j / WORD_BITS];
+        (word >> (j % WORD_BITS)) & 1 != 0
     }
 
     /// Set entry `t_{ij}`.
     pub fn set(&mut self, i: usize, j: usize, v: bool) {
-        self.bits[i * self.n_b + j] = v;
+        assert!(i < self.n_a && j < self.n_b, "index out of bounds");
+        let word = &mut self.bits[i * self.words_per_row + j / WORD_BITS];
+        let mask = 1u64 << (j % WORD_BITS);
+        if v {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
     }
 
     /// `t_i = OR_{1<=j<=n} t_{ij}` (equation 4.1) — what the accumulation
-    /// array computes for the intersection.
+    /// array computes for the intersection. One word test per 64 columns.
     pub fn row_or(&self, i: usize) -> bool {
-        (0..self.n_b).any(|j| self.get(i, j))
+        self.row(i).iter().any(|&w| w != 0)
     }
 
-    /// AND across row `i` — what the divisor array computes per row (§7).
+    /// AND across row `i` — what the divisor array computes per row (§7):
+    /// every full word must be all ones and the last word must equal the
+    /// tail mask. Vacuously true when there are no columns.
     pub fn row_and(&self, i: usize) -> bool {
-        (0..self.n_b).all(|j| self.get(i, j))
+        let row = self.row(i);
+        let Some((&last, full)) = row.split_last() else {
+            return true; // n_b == 0
+        };
+        full.iter().all(|&w| w == u64::MAX) && last == self.tail_mask()
     }
 
     /// All row-ORs as a bit vector.
@@ -72,16 +119,19 @@ impl TMatrix {
 
     /// Number of TRUE entries (the join result size, §6.2).
     pub fn count_true(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// The TRUE positions in row-major order.
     pub fn true_pairs(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::with_capacity(self.count_true());
         for i in 0..self.n_a {
-            for j in 0..self.n_b {
-                if self.get(i, j) {
-                    out.push((i, j));
+            for (k, &word) in self.row(i).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    out.push((i, k * WORD_BITS + bit));
+                    w &= w - 1;
                 }
             }
         }
@@ -90,7 +140,7 @@ impl TMatrix {
 
     /// Pointwise AND with another matrix of the same shape — how column-
     /// group tiles are combined when a wide tuple is decomposed over a
-    /// narrow array (§8).
+    /// narrow array (§8). One AND per 64 entries.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -184,5 +234,59 @@ mod tests {
         let m = TMatrix::new(1, 0);
         assert!(!m.row_or(0), "OR over empty row is false");
         assert!(m.row_and(0), "AND over empty row is vacuously true");
+    }
+
+    #[test]
+    fn rows_wider_than_one_word() {
+        // 130 columns = two full words plus a 2-bit tail.
+        let m = TMatrix::from_fn(3, 130, |i, j| (i + j) % 7 == 0);
+        for i in 0..3 {
+            for j in 0..130 {
+                assert_eq!(m.get(i, j), (i + j) % 7 == 0, "({i},{j})");
+            }
+        }
+        let expect = (0..3)
+            .flat_map(|i| (0..130).map(move |j| (i, j)))
+            .filter(|&(i, j)| (i + j) % 7 == 0)
+            .count();
+        assert_eq!(m.count_true(), expect);
+        assert_eq!(m.true_pairs().len(), expect);
+    }
+
+    #[test]
+    fn row_and_respects_the_tail_mask() {
+        // An all-true row must be detected across word boundaries, and a
+        // single false bit in the tail word must break it.
+        for n_b in [63, 64, 65, 128, 130] {
+            let mut m = TMatrix::from_fn(1, n_b, |_, _| true);
+            assert!(m.row_and(0), "n_b = {n_b}");
+            m.set(0, n_b - 1, false);
+            assert!(!m.row_and(0), "n_b = {n_b} with last bit cleared");
+            assert_eq!(m.count_true(), n_b - 1);
+        }
+    }
+
+    #[test]
+    fn wide_paste_keeps_surroundings_and_structural_equality() {
+        let mut full = TMatrix::new(2, 200);
+        full.set(0, 0, true);
+        full.set(1, 199, true);
+        let block = TMatrix::from_fn(2, 70, |i, j| (i * 70 + j) % 3 == 0);
+        full.paste(0, 65, &block);
+        for i in 0..2 {
+            for j in 65..135 {
+                assert_eq!(full.get(i, j), (i * 70 + (j - 65)) % 3 == 0, "({i},{j})");
+            }
+        }
+        assert!(full.get(0, 0) && full.get(1, 199));
+        // Structural equality must hold for an identically rebuilt matrix.
+        let rebuilt = TMatrix::from_fn(2, 200, |i, j| full.get(i, j));
+        assert_eq!(full, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_checks_bounds() {
+        TMatrix::new(2, 3).get(0, 3);
     }
 }

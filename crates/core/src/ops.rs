@@ -18,6 +18,7 @@ use crate::error::Result;
 use crate::fixed::FixedOperandArray;
 use crate::intersection::{IntersectionArray, SetOpMode};
 use crate::join::{JoinArray, JoinSpec};
+use crate::kernel::{self, Backend};
 use crate::stats::ExecStats;
 use crate::tiling::{self, ArrayLimits};
 
@@ -41,8 +42,9 @@ pub enum Execution {
     /// host worker threads (see [`crate::executor`]). The result relation
     /// and the simulated-hardware [`ExecStats`] are bit-identical to
     /// [`Execution::Tiled`]; only host wall-clock time changes. `threads: 0`
-    /// means "auto" (the `SYSTOLIC_THREADS` environment variable, else
-    /// sequential).
+    /// means "auto" (the `SYSTOLIC_THREADS` environment variable, else the
+    /// host's available parallelism — see
+    /// [`crate::executor::resolve_threads`]).
     Parallel {
         /// Physical capacity of the simulated array, as for `Tiled`.
         limits: ArrayLimits,
@@ -54,11 +56,29 @@ pub enum Execution {
 /// Result of an operator run: the output relation and the hardware cost.
 pub type OpResult = (MultiRelation, ExecStats);
 
+/// The analytic [`ExecStats`] a membership-style run (intersection,
+/// difference, dedup — the arrays with an accumulation column, except for
+/// the pipelined/tiled paths which use the plain comparison grid) would
+/// have accumulated under each execution strategy.
+fn kernel_membership_stats(exec: Execution, n_a: usize, n_b: usize, m: usize) -> ExecStats {
+    match exec {
+        Execution::Marching => kernel::marching_membership_stats(n_a, n_b, m),
+        Execution::FixedOperand => kernel::fixed_membership_stats(n_a, n_b, m),
+        Execution::TiledPipelined(limits) if limits.max_cols >= m => {
+            kernel::pipelined_stats(n_a, n_b, m, limits)
+        }
+        Execution::Tiled(limits)
+        | Execution::TiledPipelined(limits)
+        | Execution::Parallel { limits, .. } => kernel::tiled_stats(n_a, n_b, m, limits),
+    }
+}
+
 fn membership(
     a: &MultiRelation,
     b: &MultiRelation,
     mode: SetOpMode,
     exec: Execution,
+    backend: Backend,
 ) -> Result<OpResult> {
     a.schema().require_union_compatible(b.schema())?;
     if a.is_empty() {
@@ -74,6 +94,15 @@ fn membership(
             SetOpMode::Difference => a.clone(),
         };
         return Ok((out, ExecStats::default()));
+    }
+    if backend == Backend::Kernel {
+        let hits = kernel::membership_bits(a.rows(), b.rows());
+        let keep: Vec<bool> = match mode {
+            SetOpMode::Intersect => hits,
+            SetOpMode::Difference => hits.into_iter().map(|x| !x).collect(),
+        };
+        let stats = kernel_membership_stats(exec, a.len(), b.len(), a.arity());
+        return Ok((a.filter_by_index(|i| keep[i]), stats));
     }
     let (keep, stats) = match exec {
         Execution::Marching => {
@@ -116,19 +145,51 @@ fn membership(
 
 /// `C = A ∩ B` (§4). Requires union-compatibility.
 pub fn intersect(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
-    membership(a, b, SetOpMode::Intersect, exec)
+    membership(a, b, SetOpMode::Intersect, exec, Backend::Sim)
+}
+
+/// [`intersect`] on an explicit [`Backend`].
+pub fn intersect_with(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    exec: Execution,
+    backend: Backend,
+) -> Result<OpResult> {
+    membership(a, b, SetOpMode::Intersect, exec, backend)
 }
 
 /// `C = A - B` (§4.3). Requires union-compatibility.
 pub fn difference(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
-    membership(a, b, SetOpMode::Difference, exec)
+    membership(a, b, SetOpMode::Difference, exec, Backend::Sim)
+}
+
+/// [`difference`] on an explicit [`Backend`].
+pub fn difference_with(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    exec: Execution,
+    backend: Backend,
+) -> Result<OpResult> {
+    membership(a, b, SetOpMode::Difference, exec, backend)
 }
 
 /// Remove-duplicates (§5): turn a multi-relation into a relation, keeping
 /// each tuple's first occurrence.
 pub fn dedup(a: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    dedup_with(a, exec, Backend::Sim)
+}
+
+/// [`dedup`] on an explicit [`Backend`].
+pub fn dedup_with(a: &MultiRelation, exec: Execution, backend: Backend) -> Result<OpResult> {
     if a.is_empty() {
         return Ok((a.clone(), ExecStats::default()));
+    }
+    if backend == Backend::Kernel {
+        // The §5 array compares A to itself with the strict-lower-triangle
+        // seed: a row is dropped iff an earlier equal row exists.
+        let dup = kernel::duplicate_bits(a.rows());
+        let stats = kernel_membership_stats(exec, a.len(), a.len(), a.arity());
+        return Ok((a.filter_by_index(|i| !dup[i]), stats));
     }
     let (dup_flags, stats) = match exec {
         Execution::Marching => {
@@ -177,15 +238,35 @@ pub fn dedup(a: &MultiRelation, exec: Execution) -> Result<OpResult> {
 
 /// `C = A ∪ B` (§5): remove-duplicates over the concatenation `A + B`.
 pub fn union(a: &MultiRelation, b: &MultiRelation, exec: Execution) -> Result<OpResult> {
+    union_with(a, b, exec, Backend::Sim)
+}
+
+/// [`union`] on an explicit [`Backend`].
+pub fn union_with(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    exec: Execution,
+    backend: Backend,
+) -> Result<OpResult> {
     let concat = a.concat(b)?;
-    dedup(&concat, exec)
+    dedup_with(&concat, exec, backend)
 }
 
 /// Projection (§5): strip columns while the tuples are retrieved, then
 /// remove duplicates with the array.
 pub fn project(a: &MultiRelation, cols: &[usize], exec: Execution) -> Result<OpResult> {
+    project_with(a, cols, exec, Backend::Sim)
+}
+
+/// [`project`] on an explicit [`Backend`].
+pub fn project_with(
+    a: &MultiRelation,
+    cols: &[usize],
+    exec: Execution,
+    backend: Backend,
+) -> Result<OpResult> {
     let stripped = a.project(cols)?;
-    dedup(&stripped, exec)
+    dedup_with(&stripped, exec, backend)
 }
 
 /// Join (§6): equi or theta, over one or more column pairs. For pure
@@ -196,6 +277,17 @@ pub fn join(
     b: &MultiRelation,
     specs: &[JoinSpec],
     exec: Execution,
+) -> Result<OpResult> {
+    join_with(a, b, specs, exec, Backend::Sim)
+}
+
+/// [`join`] on an explicit [`Backend`].
+pub fn join_with(
+    a: &MultiRelation,
+    b: &MultiRelation,
+    specs: &[JoinSpec],
+    exec: Execution,
+    backend: Backend,
 ) -> Result<OpResult> {
     if specs.is_empty() {
         return Err(RelationError::NotUnionCompatible {
@@ -218,6 +310,40 @@ pub fn join(
         return Ok((MultiRelation::empty(schema), ExecStats::default()));
     }
     let arr = JoinArray::new(specs.to_vec());
+    if backend == Backend::Kernel {
+        let a_keys: Vec<Row> = a
+            .rows()
+            .iter()
+            .map(|row| specs.iter().map(|s| row[s.col_a]).collect())
+            .collect();
+        let b_keys: Vec<Row> = b
+            .rows()
+            .iter()
+            .map(|row| specs.iter().map(|s| row[s.col_b]).collect())
+            .collect();
+        let ops: Vec<CompareOp> = specs.iter().map(|s| s.op).collect();
+        // The matrix is independent of the tiling (tiles only partition the
+        // pair space); only the host fan-out differs under `Parallel`.
+        let t = if let Execution::Parallel { threads, .. } = exec {
+            crate::executor::kernel_t_matrix_parallel(&a_keys, &b_keys, &ops, threads)
+        } else {
+            kernel::t_matrix(&a_keys, &b_keys, &ops, |_, _| true)
+        };
+        let stats = match exec {
+            Execution::Marching => kernel::compare_run_stats(a.len(), b.len(), ops.len()),
+            Execution::FixedOperand => kernel::fixed_t_matrix_stats(a.len(), b.len(), ops.len()),
+            Execution::TiledPipelined(limits) if limits.max_cols >= ops.len() => {
+                kernel::pipelined_stats(a.len(), b.len(), ops.len(), limits)
+            }
+            Execution::Tiled(limits)
+            | Execution::TiledPipelined(limits)
+            | Execution::Parallel { limits, .. } => {
+                kernel::tiled_stats(a.len(), b.len(), ops.len(), limits)
+            }
+        };
+        let rows = arr.assemble(a.rows(), b.rows(), &t);
+        return Ok((MultiRelation::new(schema, rows)?, stats));
+    }
     let (t, stats) = match exec {
         Execution::Marching => {
             let out = arr.t_matrix(a.rows(), b.rows())?;
@@ -281,7 +407,17 @@ pub fn join(
 pub fn select(
     a: &MultiRelation,
     predicates: &[crate::select::Predicate],
+    exec: Execution,
+) -> Result<OpResult> {
+    select_with(a, predicates, exec, Backend::Sim)
+}
+
+/// [`select`] on an explicit [`Backend`].
+pub fn select_with(
+    a: &MultiRelation,
+    predicates: &[crate::select::Predicate],
     _exec: Execution,
+    backend: Backend,
 ) -> Result<OpResult> {
     if predicates.is_empty() {
         return Err(RelationError::EmptyProjection.into());
@@ -291,6 +427,17 @@ pub fn select(
     }
     if a.is_empty() {
         return Ok((a.clone(), ExecStats::default()));
+    }
+    if backend == Backend::Kernel {
+        let keep: Vec<bool> = a
+            .rows()
+            .iter()
+            .map(|row| predicates.iter().all(|p| p.eval(row)))
+            .collect();
+        // The selection array is a one-row fixed-operand array: the
+        // predicate constants resident, the relation streaming through.
+        let stats = kernel::fixed_t_matrix_stats(a.len(), 1, predicates.len());
+        return Ok((a.filter_by_index(|i| keep[i]), stats));
     }
     let arr = crate::select::SelectionArray::new(predicates.to_vec());
     let (keep, stats) = arr.run(a.rows())?;
@@ -312,6 +459,19 @@ pub fn divide_binary(
     cb: usize,
     exec: Execution,
 ) -> Result<OpResult> {
+    divide_binary_with(a, key, ca, b, cb, exec, Backend::Sim)
+}
+
+/// [`divide_binary`] on an explicit [`Backend`].
+pub fn divide_binary_with(
+    a: &MultiRelation,
+    key: usize,
+    ca: usize,
+    b: &MultiRelation,
+    cb: usize,
+    exec: Execution,
+    backend: Backend,
+) -> Result<OpResult> {
     a.schema().column(key)?;
     a.schema().column(ca)?;
     b.schema().column(cb)?;
@@ -321,14 +481,29 @@ pub fn divide_binary(
     }
     // Step 1: distinct keys via the remove-duplicates machinery.
     let key_col = a.project(&[key])?;
-    let (distinct, mut stats) = dedup(&key_col, exec)?;
+    let (distinct, mut stats) = dedup_with(&key_col, exec, backend)?;
     let keys: Vec<Elem> = distinct.rows().iter().map(|r| r[0]).collect();
     // Step 2: the division array proper.
     let pairs: Vec<(Elem, Elem)> = a.rows().iter().map(|r| (r[key], r[ca])).collect();
     let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb]).collect();
-    let out = DivisionArray.divide_with_keys(&pairs, &keys, &divisor, false)?;
-    stats.merge_sequential(&out.stats);
-    let rows: Vec<Row> = out.quotient.iter().map(|&x| vec![x]).collect();
+    let rows: Vec<Row> = if backend == Backend::Kernel {
+        let (flags, hits) = kernel::quotient_flags(&pairs, &keys, &divisor);
+        stats.merge_sequential(&kernel::division_stats(
+            pairs.len(),
+            keys.len(),
+            divisor.len(),
+            hits,
+        ));
+        keys.iter()
+            .zip(&flags)
+            .filter(|&(_, &f)| f)
+            .map(|(&k, _)| vec![k])
+            .collect()
+    } else {
+        let out = DivisionArray.divide_with_keys(&pairs, &keys, &divisor, false)?;
+        stats.merge_sequential(&out.stats);
+        out.quotient.iter().map(|&x| vec![x]).collect()
+    };
     Ok((MultiRelation::new(schema, rows)?, stats))
 }
 
@@ -344,6 +519,18 @@ pub fn divide(
     b: &MultiRelation,
     cb: &[usize],
     exec: Execution,
+) -> Result<OpResult> {
+    divide_with(a, ca, b, cb, exec, Backend::Sim)
+}
+
+/// [`divide`] on an explicit [`Backend`].
+pub fn divide_with(
+    a: &MultiRelation,
+    ca: &[usize],
+    b: &MultiRelation,
+    cb: &[usize],
+    exec: Execution,
+    backend: Backend,
 ) -> Result<OpResult> {
     if ca.len() != cb.len() || ca.is_empty() {
         return Err(RelationError::NotUnionCompatible {
@@ -382,6 +569,28 @@ pub fn divide(
             })
             .collect();
         let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb[0]]).collect();
+        if backend == Backend::Kernel {
+            let kw = key_cols.len();
+            // First-occurrence distinct composite keys, as the array's
+            // pre-load step identifies them.
+            let mut keys: Vec<Row> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for row in &rows {
+                if seen.insert(row[..kw].to_vec()) {
+                    keys.push(row[..kw].to_vec());
+                }
+            }
+            let (flags, hits) = kernel::quotient_flags_multi(&rows, &keys, kw, &divisor);
+            let stats =
+                kernel::division_multi_stats(rows.len(), keys.len(), kw, divisor.len(), hits);
+            let quotient: Vec<Row> = keys
+                .into_iter()
+                .zip(&flags)
+                .filter(|&(_, &f)| f)
+                .map(|(k, _)| k)
+                .collect();
+            return Ok((MultiRelation::new(schema, quotient)?, stats));
+        }
         let out =
             crate::division::DivisionArrayMulti::new(key_cols.len()).divide(&rows, &divisor)?;
         return Ok((MultiRelation::new(schema, out.quotient)?, out.stats));
@@ -414,7 +623,7 @@ pub fn divide(
         Schema::uniform(1, systolic_relation::DomainId(usize::MAX)),
         enc_divisor,
     )?;
-    let (quotient, stats) = divide_binary(&enc_a, 0, 1, &enc_b, 0, exec)?;
+    let (quotient, stats) = divide_binary_with(&enc_a, 0, 1, &enc_b, 0, exec, backend)?;
     let rows: Vec<Row> = quotient
         .rows()
         .iter()
@@ -681,6 +890,81 @@ mod tests {
             assert_eq!(par_j.rows(), seq_j.rows(), "{threads} threads join");
             assert_eq!(par_j_stats, seq_j_stats, "{threads} threads join");
         }
+    }
+
+    #[test]
+    fn kernel_backend_is_bit_identical_across_every_execution() {
+        // The tentpole invariant at the ops layer: same result rows, same
+        // ExecStats, for every operator under every execution strategy.
+        let mut rng = StdRng::seed_from_u64(600);
+        let (a, b) = gen::pair_with_overlap(&mut rng, 13, 10, 2, 0.4);
+        let (a, b) = (a.into_multi(), b.into_multi());
+        let dupes = gen::with_duplicates(&mut rng, 9, 3, 3);
+        let (da, db, _) = gen::division_instance(&mut rng, 8, 3, 3);
+        for exec in EXECS {
+            let sim = intersect(&a, &b, exec).unwrap();
+            let fast = intersect_with(&a, &b, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} intersect rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} intersect stats");
+            let sim = difference(&a, &b, exec).unwrap();
+            let fast = difference_with(&a, &b, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} difference rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} difference stats");
+            let sim = union(&a, &b, exec).unwrap();
+            let fast = union_with(&a, &b, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} union rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} union stats");
+            let sim = dedup(&dupes, exec).unwrap();
+            let fast = dedup_with(&dupes, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} dedup rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} dedup stats");
+            let sim = project(&dupes, &[0, 2], exec).unwrap();
+            let fast = project_with(&dupes, &[0, 2], exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} project rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} project stats");
+            let specs = [JoinSpec::eq(0, 0), JoinSpec::theta(1, 1, CompareOp::Le)];
+            let sim = join(&a, &b, &specs, exec).unwrap();
+            let fast = join_with(&a, &b, &specs, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} join rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} join stats");
+            let sim = divide_binary(&da, 0, 1, &db, 0, exec).unwrap();
+            let fast = divide_binary_with(&da, 0, 1, &db, 0, exec, Backend::Kernel).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} divide rows");
+            assert_eq!(fast.1, sim.1, "{exec:?} divide stats");
+        }
+        // Selection and general (multi-column) division ignore the strategy.
+        use crate::select::Predicate;
+        let preds = [
+            Predicate::new(0, CompareOp::Gt, 2),
+            Predicate::new(1, CompareOp::Ne, 5),
+        ];
+        let sim = select(&a, &preds, Execution::Marching).unwrap();
+        let fast = select_with(&a, &preds, Execution::Marching, Backend::Kernel).unwrap();
+        assert_eq!(fast.0.rows(), sim.0.rows(), "select rows");
+        assert_eq!(fast.1, sim.1, "select stats");
+        let wide = multi(
+            3,
+            &[
+                &[1, 1, 10],
+                &[1, 1, 11],
+                &[2, 2, 10],
+                &[1, 2, 10],
+                &[1, 2, 11],
+            ],
+        );
+        let wdiv = multi(1, &[&[10], &[11]]);
+        let sim = divide(&wide, &[2], &wdiv, &[0], Execution::Marching).unwrap();
+        let fast = divide_with(
+            &wide,
+            &[2],
+            &wdiv,
+            &[0],
+            Execution::Marching,
+            Backend::Kernel,
+        )
+        .unwrap();
+        assert_eq!(fast.0.rows(), sim.0.rows(), "multi-divide rows");
+        assert_eq!(fast.1, sim.1, "multi-divide stats");
     }
 
     #[test]

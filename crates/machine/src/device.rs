@@ -8,7 +8,7 @@
 //! the real simulated hardware and the time charged is `pulses x clock`.
 
 use systolic_core::ops::{self, Execution};
-use systolic_core::{ArrayLimits, ExecStats};
+use systolic_core::{ArrayLimits, Backend, ExecStats};
 use systolic_relation::MultiRelation;
 
 use crate::error::{MachineError, Result};
@@ -41,11 +41,20 @@ pub struct Device {
     pub limits: ArrayLimits,
     /// Pulse period in nanoseconds (§8's conservative comparison time).
     pub clock_ns: f64,
+    /// How operator runs are computed: pulse simulation or the closed-form
+    /// kernel. Results and [`ExecStats`] are bit-identical either way.
+    pub backend: Backend,
 }
 
 impl Device {
     /// Build a device.
-    pub fn new(id: usize, kind: DeviceKind, limits: ArrayLimits, clock_ns: f64) -> Self {
+    pub fn new(
+        id: usize,
+        kind: DeviceKind,
+        limits: ArrayLimits,
+        clock_ns: f64,
+        backend: Backend,
+    ) -> Self {
         let name = match kind {
             DeviceKind::SetOp => format!("setop{id}"),
             DeviceKind::Join => format!("join{id}"),
@@ -57,6 +66,7 @@ impl Device {
             kind,
             limits,
             clock_ns,
+            backend,
         }
     }
 
@@ -90,16 +100,17 @@ impl Device {
         // Pipelined tiles when the column budget allows (E19); the operator
         // front-end falls back to drain-per-tile when columns must split.
         let exec = Execution::TiledPipelined(self.limits);
+        let be = self.backend;
         let out = match op {
-            PlanOp::Intersect => ops::intersect(inputs[0], inputs[1], exec)?,
-            PlanOp::Difference => ops::difference(inputs[0], inputs[1], exec)?,
-            PlanOp::Union => ops::union(inputs[0], inputs[1], exec)?,
-            PlanOp::Dedup => ops::dedup(inputs[0], exec)?,
-            PlanOp::Project(cols) => ops::project(inputs[0], cols, exec)?,
-            PlanOp::Select(preds) => ops::select(inputs[0], preds, exec)?,
-            PlanOp::Join(specs) => ops::join(inputs[0], inputs[1], specs, exec)?,
+            PlanOp::Intersect => ops::intersect_with(inputs[0], inputs[1], exec, be)?,
+            PlanOp::Difference => ops::difference_with(inputs[0], inputs[1], exec, be)?,
+            PlanOp::Union => ops::union_with(inputs[0], inputs[1], exec, be)?,
+            PlanOp::Dedup => ops::dedup_with(inputs[0], exec, be)?,
+            PlanOp::Project(cols) => ops::project_with(inputs[0], cols, exec, be)?,
+            PlanOp::Select(preds) => ops::select_with(inputs[0], preds, exec, be)?,
+            PlanOp::Join(specs) => ops::join_with(inputs[0], inputs[1], specs, exec, be)?,
             PlanOp::DivideBinary { key, ca, cb } => {
-                ops::divide_binary(inputs[0], *key, *ca, inputs[1], *cb, exec)?
+                ops::divide_binary_with(inputs[0], *key, *ca, inputs[1], *cb, exec, be)?
             }
         };
         Ok(out)
@@ -127,9 +138,9 @@ mod tests {
 
     #[test]
     fn kind_gating() {
-        let setop = Device::new(0, DeviceKind::SetOp, limits(), 350.0);
-        let join = Device::new(1, DeviceKind::Join, limits(), 350.0);
-        let div = Device::new(2, DeviceKind::Divide, limits(), 350.0);
+        let setop = Device::new(0, DeviceKind::SetOp, limits(), 350.0, Backend::Sim);
+        let join = Device::new(1, DeviceKind::Join, limits(), 350.0, Backend::Sim);
+        let div = Device::new(2, DeviceKind::Divide, limits(), 350.0, Backend::Sim);
         assert!(setop.can_execute(&PlanOp::Intersect));
         assert!(setop.can_execute(&PlanOp::Project(vec![0])));
         assert!(!setop.can_execute(&PlanOp::Join(vec![JoinSpec::eq(0, 0)])));
@@ -150,7 +161,7 @@ mod tests {
         let rows_b: Vec<Vec<i64>> = (5..15).map(|i| vec![i, i]).collect();
         let a = MultiRelation::new(synth_schema(2), rows_a).unwrap();
         let b = MultiRelation::new(synth_schema(2), rows_b).unwrap();
-        let dev = Device::new(0, DeviceKind::SetOp, limits(), 350.0);
+        let dev = Device::new(0, DeviceKind::SetOp, limits(), 350.0, Backend::Sim);
         let (out, stats) = dev.execute(&PlanOp::Intersect, &[&a, &b]).unwrap();
         assert_eq!(out.len(), 5);
         assert!(stats.array_runs > 1, "problem was decomposed");
@@ -159,7 +170,7 @@ mod tests {
 
     #[test]
     fn wrong_device_refuses() {
-        let join = Device::new(0, DeviceKind::Join, limits(), 350.0);
+        let join = Device::new(0, DeviceKind::Join, limits(), 350.0, Backend::Sim);
         let a = rel(&[&[1, 1]]);
         assert!(matches!(
             join.execute(&PlanOp::Dedup, &[&a]),
@@ -170,12 +181,49 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(
-            Device::new(3, DeviceKind::Join, limits(), 1.0).name,
+            Device::new(3, DeviceKind::Join, limits(), 1.0, Backend::Sim).name,
             "join3"
         );
         assert_eq!(
-            Device::new(0, DeviceKind::Divide, limits(), 1.0).name,
+            Device::new(0, DeviceKind::Divide, limits(), 1.0, Backend::Sim).name,
             "divide0"
         );
+    }
+
+    #[test]
+    fn kernel_device_is_bit_identical_to_sim_device() {
+        let rows_a: Vec<Vec<i64>> = (0..10).map(|i| vec![i, i % 3]).collect();
+        let rows_b: Vec<Vec<i64>> = (5..15).map(|i| vec![i, i % 4]).collect();
+        let a = MultiRelation::new(synth_schema(2), rows_a).unwrap();
+        let b = MultiRelation::new(synth_schema(2), rows_b).unwrap();
+        let cases: Vec<(DeviceKind, PlanOp, Vec<&MultiRelation>)> = vec![
+            (DeviceKind::SetOp, PlanOp::Intersect, vec![&a, &b]),
+            (DeviceKind::SetOp, PlanOp::Union, vec![&a, &b]),
+            (DeviceKind::SetOp, PlanOp::Project(vec![1]), vec![&a]),
+            (
+                DeviceKind::Join,
+                PlanOp::Join(vec![JoinSpec::eq(0, 0)]),
+                vec![&a, &b],
+            ),
+            (
+                DeviceKind::Divide,
+                PlanOp::DivideBinary {
+                    key: 1,
+                    ca: 0,
+                    cb: 0,
+                },
+                vec![&a, &b],
+            ),
+        ];
+        for (kind, op, inputs) in cases {
+            let sim = Device::new(0, kind, limits(), 350.0, Backend::Sim)
+                .execute(&op, &inputs)
+                .unwrap();
+            let fast = Device::new(0, kind, limits(), 350.0, Backend::Kernel)
+                .execute(&op, &inputs)
+                .unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{op:?} rows");
+            assert_eq!(fast.1, sim.1, "{op:?} stats");
+        }
     }
 }

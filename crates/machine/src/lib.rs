@@ -43,5 +43,6 @@ pub use storage::{relation_bytes, Disk, MemoryModule, TrackFilter};
 pub use system::{
     BatchOutcome, Interconnect, MachineConfig, QueryOutcome, RunOutcome, RunStats, System,
 };
+pub use systolic_core::Backend;
 pub use timeline::{Event, Timeline};
 pub use tree::{TreeMachine, TreeStats};

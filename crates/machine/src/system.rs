@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use systolic_core::ArrayLimits;
+use systolic_core::{ArrayLimits, Backend};
 use systolic_relation::MultiRelation;
 use systolic_telemetry as telemetry;
 use systolic_telemetry::metrics::{self, Counter};
@@ -133,10 +133,14 @@ pub struct MachineConfig {
     pub clock_ns: f64,
     /// Host worker threads for simulating independent plan steps
     /// concurrently (`0` = auto: the `SYSTOLIC_THREADS` environment
-    /// variable, else sequential). This changes only how fast the *host*
-    /// simulates; the simulated [`Timeline`] and [`RunStats`] are
-    /// bit-identical at every thread count.
+    /// variable, else the host's available parallelism). This changes only
+    /// how fast the *host* simulates; the simulated [`Timeline`] and
+    /// [`RunStats`] are bit-identical at every thread count.
     pub host_threads: usize,
+    /// How devices compute operator runs: the pulse-accurate simulator or
+    /// the closed-form kernel backend. Results, [`RunStats`] and
+    /// [`Timeline`]s are bit-identical either way; only host speed changes.
+    pub backend: Backend,
 }
 
 impl Default for MachineConfig {
@@ -156,6 +160,7 @@ impl Default for MachineConfig {
             ],
             clock_ns: 350.0,
             host_threads: 0,
+            backend: Backend::from_env(),
         }
     }
 }
@@ -351,7 +356,9 @@ impl System {
             .devices
             .iter()
             .enumerate()
-            .map(|(id, &(kind, limits))| Device::new(id, kind, limits, config.clock_ns))
+            .map(|(id, &(kind, limits))| {
+                Device::new(id, kind, limits, config.clock_ns, config.backend)
+            })
             .collect();
         let disks = (0..config.disks).map(|_| Disk::paper_disk()).collect();
         Ok(System {
@@ -1448,6 +1455,56 @@ mod tests {
             optimised.stats.bytes_from_disk,
             plain.stats.bytes_from_disk
         );
+    }
+
+    #[test]
+    fn kernel_backend_runs_are_bit_identical_to_sim() {
+        // The tentpole invariant at the machine layer: same result rows,
+        // same RunStats, same Timeline event for event — the backend is
+        // invisible to everything the paper measures.
+        let build = |backend: Backend| {
+            let mut sys = System::new(MachineConfig {
+                backend,
+                ..MachineConfig::default()
+            })
+            .unwrap();
+            sys.load_base("a", seq(0..48));
+            sys.load_base("b", seq(24..72));
+            sys.load_base("takes", rel(vec![vec![1, 10], vec![1, 11], vec![2, 10]]));
+            sys.load_base("courses", rel(vec![vec![10, 0], vec![11, 0]]));
+            sys
+        };
+        let exprs = [
+            Expr::scan("a")
+                .intersect(Expr::scan("b"))
+                .union(Expr::scan("a").difference(Expr::scan("b")))
+                .project(vec![0]),
+            Expr::scan("a").join(Expr::scan("b"), vec![JoinSpec::eq(0, 0)]),
+            Expr::scan("takes").divide(Expr::scan("courses"), 0, 1, 0),
+        ];
+        for expr in &exprs {
+            let sim = build(Backend::Sim).run(expr).unwrap();
+            let fast = build(Backend::Kernel).run(expr).unwrap();
+            assert_eq!(fast.result.rows(), sim.result.rows());
+            assert_eq!(fast.stats, sim.stats);
+            assert_eq!(fast.timeline.events(), sim.timeline.events());
+        }
+        // And batched: the merged schedule and every standalone accounting.
+        let queries = [exprs[0].clone(), exprs[1].clone()];
+        let sim = build(Backend::Sim).run_batch_accounted(&queries).unwrap();
+        let fast = build(Backend::Kernel)
+            .run_batch_accounted(&queries)
+            .unwrap();
+        assert_eq!(fast.combined.stats, sim.combined.stats);
+        assert_eq!(
+            fast.combined.timeline.events(),
+            sim.combined.timeline.events()
+        );
+        for (f, s) in fast.queries.iter().zip(&sim.queries) {
+            assert_eq!(f.result.rows(), s.result.rows());
+            assert_eq!(f.stats, s.stats);
+            assert_eq!(f.timeline.events(), s.timeline.events());
+        }
     }
 
     #[test]

@@ -90,6 +90,18 @@ impl ServerMetrics {
         }
     }
 
+    /// The backend identity series, `sdb_server_backend_info{backend=...}`:
+    /// set to 1 at startup so a scraper can tell whether this server runs
+    /// the pulse simulator or the closed-form kernel. RESULT frames are
+    /// bit-identical either way; only host speed differs.
+    pub(crate) fn backend_info(&self, backend: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "sdb_server_backend_info",
+            "1 for the operator backend this server was started with.",
+            &[("backend", backend)],
+        )
+    }
+
     /// The per-operator simulated-pulse counter (`op` is the §8 operator
     /// label: `intersect`, `join`, ...). Cheap enough for the scheduler
     /// thread; workers never call this.

@@ -141,10 +141,12 @@ struct Shared {
 
 impl Shared {
     fn new(cfg: ServerConfig) -> Self {
+        let metrics = Arc::new(ServerMetrics::new());
+        metrics.backend_info(cfg.machine.backend.label()).inc();
         Shared {
             store: RwLock::new(Store::new()),
             counters: Arc::new(Counters::default()),
-            metrics: Arc::new(ServerMetrics::new()),
+            metrics,
             active: AtomicUsize::new(0),
             cfg,
             stop: AtomicBool::new(false),
@@ -480,7 +482,7 @@ fn stats_frame(shared: &Shared) -> String {
     format!(
         "STATS tables={tables} queries={} loads={} batches={} max_batch={} refused={} \
          timeouts={} active={} uptime_ms={} queue_hwm={} slow={} lat_p50_ns={} \
-         lat_p95_ns={} lat_p99_ns={} lat_count={}",
+         lat_p95_ns={} lat_p99_ns={} lat_count={} backend={}",
         report.queries,
         report.loads,
         report.batches,
@@ -495,6 +497,7 @@ fn stats_frame(shared: &Shared) -> String {
         lat.quantile(0.95),
         lat.quantile(0.99),
         lat.count(),
+        shared.cfg.machine.backend.label(),
     )
 }
 

@@ -9,7 +9,7 @@
 use std::thread;
 use std::time::Duration;
 
-use systolic_machine::MachineConfig;
+use systolic_machine::{Backend, MachineConfig};
 use systolic_relation::DomainKind;
 use systolic_server::protocol::result_frame;
 use systolic_server::{spawn, Client, ClientError, Engine, ServerConfig};
@@ -156,6 +156,61 @@ fn sixteen_concurrent_clients_match_serial_and_one_shot() {
     assert_eq!(report.queries, expected);
     assert_eq!(report.loads, TABLES.len() as u64);
     assert_eq!(report.timeouts, 0);
+}
+
+/// The ISSUE-5 acceptance check at the wire level: a server running the
+/// closed-form kernel backend answers every query with a `RESULT` frame
+/// *byte-identical* to a pulse-simulator server's — rows, makespan,
+/// pulses, array runs, disk bytes, concurrency, and CSV all included —
+/// while its `STATS` frame and `METRICS` exposition advertise which
+/// backend produced them.
+#[test]
+fn kernel_backend_result_frames_are_byte_identical_to_sim() {
+    let spawn_with = |backend: Backend| {
+        spawn(ServerConfig {
+            machine: MachineConfig {
+                backend,
+                ..MachineConfig::default()
+            },
+            ..local_config()
+        })
+        .unwrap()
+    };
+    let run_all = |handle: &systolic_server::ServerHandle| -> (Vec<String>, String, String) {
+        let mut client = Client::connect(handle.addr).unwrap();
+        load_all(&mut client);
+        let frames = QUERIES
+            .iter()
+            .map(|q| client.raw_query_frames(q).unwrap().0)
+            .collect();
+        let stats = client.stats_line().unwrap();
+        let metrics = client.metrics().unwrap();
+        client.close().unwrap();
+        (frames, stats, metrics)
+    };
+
+    let sim = spawn_with(Backend::Sim);
+    let (sim_frames, sim_stats, _) = run_all(&sim);
+    sim.shutdown();
+    sim.join().unwrap();
+
+    let kernel = spawn_with(Backend::Kernel);
+    let (kernel_frames, kernel_stats, kernel_metrics) = run_all(&kernel);
+    kernel.shutdown();
+    kernel.join().unwrap();
+
+    assert_eq!(
+        kernel_frames, sim_frames,
+        "RESULT frames must be byte-identical across backends"
+    );
+    assert!(sim_stats.contains(" backend=sim"), "{sim_stats}");
+    assert!(kernel_stats.contains(" backend=kernel"), "{kernel_stats}");
+    let exp = systolic_telemetry::prom::validate(&kernel_metrics).unwrap();
+    assert_eq!(
+        exp.value("sdb_server_backend_info", "{backend=\"kernel\"}"),
+        Some(1.0),
+        "kernel server must advertise its backend"
+    );
 }
 
 #[test]
@@ -320,6 +375,7 @@ fn stats_frame_carries_uptime_and_latency_summary() {
         "lat_p95_ns=",
         "lat_p99_ns=",
         "lat_count=",
+        "backend=",
     ] {
         assert!(stats.contains(field), "missing {field} in {stats}");
     }

@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use systolic_analyzer::diagnostics_json;
 use systolic_core::ArrayLimits;
-use systolic_machine::{MachineConfig, MachineError, ParseError, RunOutcome};
+use systolic_machine::{Backend, MachineConfig, MachineError, ParseError, RunOutcome};
 use systolic_relation::{DomainKind, RelationError};
 use systolic_server::engine::kind_name;
 use systolic_server::{Client, ClientError, Engine, EngineError, ServerConfig};
@@ -160,9 +160,15 @@ pub struct CliArgs {
     /// Whether to print hardware statistics after the result.
     pub stats: bool,
     /// Host worker threads for the simulation (`0` = auto: the
-    /// `SYSTOLIC_THREADS` environment variable, else sequential). Changes
-    /// only how fast the host simulates, never the simulated results.
+    /// `SYSTOLIC_THREADS` environment variable, else the host's available
+    /// parallelism). Changes only how fast the host simulates, never the
+    /// simulated results.
     pub threads: usize,
+    /// Operator backend: pulse simulator or closed-form kernel. `None`
+    /// falls back to the `SYSTOLIC_BACKEND` environment variable, else
+    /// the simulator. Results and hardware stats are bit-identical either
+    /// way; only host speed changes.
+    pub backend: Option<Backend>,
     /// Write a Chrome-trace-event JSON file merging the simulated-machine
     /// timeline and the host spans of this run.
     pub trace_out: Option<String>,
@@ -175,6 +181,8 @@ pub struct ServeArgs {
     pub addr: String,
     /// Host simulation threads (as in [`CliArgs::threads`]).
     pub threads: usize,
+    /// Operator backend (as in [`CliArgs::backend`]).
+    pub backend: Option<Backend>,
     /// Connection worker threads.
     pub workers: usize,
     /// Admission window in milliseconds.
@@ -189,6 +197,7 @@ impl Default for ServeArgs {
         ServeArgs {
             addr: defaults.addr,
             threads: 0,
+            backend: None,
             workers: defaults.workers,
             batch_window_ms: defaults.batch_window.as_millis() as u64,
             slow_query_ms: defaults
@@ -255,16 +264,20 @@ pub enum Command {
 
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
-[--threads N] [--trace-out FILE] QUERY
+[--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
        sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
-       sdb serve [--addr HOST:PORT] [--threads N] [--workers N] [--batch-window MS] \
-[--slow-query-ms MS]
+       sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
+[--batch-window MS] [--slow-query-ms MS]
        sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
 [--check-metrics] [--shutdown] [QUERY]
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
   --threads N: simulate independent plan steps on N host threads (0 = auto
-               via SYSTOLIC_THREADS; results and hardware stats unchanged)
+               via SYSTOLIC_THREADS, else the host's parallelism; results
+               and hardware stats unchanged)
+  --backend B: run operators on the pulse simulator (sim, the default) or
+               the closed-form kernel (kernel; same results and hardware
+               stats, much faster host time; default via SYSTOLIC_BACKEND)
   --trace-out FILE: write a Chrome/Perfetto trace of the run (simulated
                machine and host spans on separate process tracks)
   check: statically verify the query (schemas, domains, tiling coverage,
@@ -296,6 +309,11 @@ fn parse_number(flag: &str, value: &str) -> Result<usize, CliError> {
         .map_err(|_| CliError::Usage(format!("{flag} expects a number, got {value:?}")))
 }
 
+fn parse_backend(value: &str) -> Result<Backend, CliError> {
+    Backend::parse(value)
+        .ok_or_else(|| CliError::Usage(format!("--backend expects sim or kernel, got {value:?}")))
+}
+
 /// Parse one-shot command-line arguments (excluding `argv[0]`).
 pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     let mut args = CliArgs::default();
@@ -310,6 +328,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
             "--threads" => {
                 let value = flag_value("--threads", &mut it)?;
                 args.threads = parse_number("--threads", value)?;
+            }
+            "--backend" => {
+                let value = flag_value("--backend", &mut it)?;
+                args.backend = Some(parse_backend(value)?);
             }
             "--trace-out" => {
                 args.trace_out = Some(flag_value("--trace-out", &mut it)?.clone());
@@ -343,6 +365,10 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
             "--threads" => {
                 let value = flag_value("--threads", &mut it)?;
                 args.threads = parse_number("--threads", value)?;
+            }
+            "--backend" => {
+                let value = flag_value("--backend", &mut it)?;
+                args.backend = Some(parse_backend(value)?);
             }
             "--workers" => {
                 let value = flag_value("--workers", &mut it)?;
@@ -494,21 +520,22 @@ pub fn run_query(
     stats: bool,
     threads: usize,
 ) -> Result<String, CliError> {
-    run_query_traced(tables, query, stats, threads, None)
+    run_query_traced(tables, query, stats, threads, None, None)
 }
 
-/// [`run_query`] plus, when `trace_out` is set, a Chrome-trace-event JSON
-/// file merging the simulated-machine timeline and the host spans of this
-/// run onto separate process tracks.
+/// [`run_query`] plus an explicit backend choice and, when `trace_out` is
+/// set, a Chrome-trace-event JSON file merging the simulated-machine
+/// timeline and the host spans of this run onto separate process tracks.
 pub fn run_query_traced(
     tables: &[(TableSpec, String)],
     query: &str,
     stats: bool,
     threads: usize,
+    backend: Option<Backend>,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let collector = trace_out.map(|_| systolic_telemetry::install());
-    let run = run_engine(tables, query, stats, threads);
+    let run = run_engine(tables, query, stats, threads, backend);
     let spans = collector.map(|c| {
         systolic_telemetry::uninstall();
         c.drain()
@@ -531,11 +558,16 @@ fn run_engine(
     query: &str,
     stats: bool,
     threads: usize,
+    backend: Option<Backend>,
 ) -> Result<(String, RunOutcome), CliError> {
-    let mut engine = Engine::new(MachineConfig {
+    let mut config = MachineConfig {
         host_threads: threads,
         ..MachineConfig::default()
-    })?;
+    };
+    if let Some(backend) = backend {
+        config.backend = backend;
+    }
+    let mut engine = Engine::new(config)?;
     for (spec, text) in tables {
         engine.load_table(&spec.name, &spec.kinds, text)?;
     }
@@ -644,13 +676,17 @@ pub fn run_check(
 
 fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let defaults = ServerConfig::default();
+    let mut machine = MachineConfig {
+        host_threads: args.threads,
+        ..MachineConfig::default()
+    };
+    if let Some(backend) = args.backend {
+        machine.backend = backend;
+    }
     systolic_server::run(ServerConfig {
         addr: args.addr.clone(),
         workers: args.workers,
-        machine: MachineConfig {
-            host_threads: args.threads,
-            ..MachineConfig::default()
-        },
+        machine,
         batch_window: Duration::from_millis(args.batch_window_ms),
         slow_query: match args.slow_query_ms {
             0 => None,
@@ -726,6 +762,7 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
                 &args.query,
                 args.stats,
                 args.threads,
+                args.backend,
                 args.trace_out.as_deref().map(Path::new),
             )
         }
@@ -967,6 +1004,61 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_parsing() {
+        let args = parse_args(&argv(&[
+            "--table",
+            "a=a.csv:int",
+            "--backend",
+            "kernel",
+            "scan(a)",
+        ]))
+        .unwrap();
+        assert_eq!(args.backend, Some(Backend::Kernel));
+        assert_eq!(
+            parse_args(&argv(&["--table", "a=a.csv:int", "scan(a)"]))
+                .unwrap()
+                .backend,
+            None,
+            "unset flag defers to SYSTOLIC_BACKEND"
+        );
+        assert!(matches!(
+            parse_args(&argv(&[
+                "--table",
+                "a=a.csv:int",
+                "--backend",
+                "turbo",
+                "scan(a)"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        match parse_command(&argv(&["serve", "--backend", "kernel"])).unwrap() {
+            Command::Serve(s) => assert_eq!(s.backend, Some(Backend::Kernel)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_backend_output_is_identical_to_sim() {
+        let a = (
+            spec("a", vec![DomainKind::Int]),
+            "1\n2\n2\n3\n4\n".to_string(),
+        );
+        let b = (spec("b", vec![DomainKind::Int]), "2\n3\n5\n".to_string());
+        for query in [
+            "intersect(scan(a), scan(b))",
+            "union(scan(a), scan(b))",
+            "dedup(scan(a))",
+            "join(scan(a), scan(b), 0 <= 0)",
+        ] {
+            let tables = [a.clone(), b.clone()];
+            let sim = run_query_traced(&tables, query, false, 0, Some(Backend::Sim), None).unwrap();
+            let kernel =
+                run_query_traced(&tables, query, false, 0, Some(Backend::Kernel), None).unwrap();
+            assert_eq!(kernel, sim, "{query}");
+        }
+    }
+
+    #[test]
     fn threads_do_not_change_query_output() {
         let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n4\n".to_string());
         let b = (spec("b", vec![DomainKind::Int]), "2\n3\n5\n".to_string());
@@ -1090,7 +1182,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sdb-trace-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
-        run_query_traced(&[a, b], query, false, 0, Some(&path)).unwrap();
+        run_query_traced(&[a, b], query, false, 0, None, Some(&path)).unwrap();
 
         let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
         let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
@@ -1120,7 +1212,7 @@ mod tests {
         let _guard = trace_lock();
         let a = (spec("a", vec![DomainKind::Int]), "1\n".to_string());
         let path = Path::new("/proc/no-such-dir/trace.json");
-        let err = run_query_traced(&[a], "scan(a)", false, 0, Some(path)).unwrap_err();
+        let err = run_query_traced(&[a], "scan(a)", false, 0, None, Some(path)).unwrap_err();
         match &err {
             CliError::Io(e) => {
                 let msg = e.to_string();
