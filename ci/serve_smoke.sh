@@ -4,7 +4,11 @@
 #   2. load tables and run a join through `sdb --connect`,
 #   3. check the joined rows arrived,
 #   4. scrape METRICS and verify the exposition parses and counters move,
-#   5. SIGTERM the server and verify it drains and exits 0.
+#   5. SIGTERM the server and verify it drains and exits 0,
+#   6. repeat the workload against `--io poll --shards 2` (the event-driven
+#      front end with a 2-shard router), check the answers match, and check
+#      the router actually routed (sharded counter) and fell back where it
+#      must (the join has no first-column equality, so it runs locally).
 # Any failure exits nonzero.
 set -euo pipefail
 
@@ -69,4 +73,57 @@ grep -q "shutdown:" "$WORK/serve.log" || { echo "missing shutdown summary"; cat 
 
 echo "--- server log ---"
 cat "$WORK/serve.log"
+
+# ---- Round 2: poll(2) front end + 2-shard router ----------------------
+
+ADDR2=127.0.0.1:14172
+"$SDB" serve --addr "$ADDR2" --io poll --shards 2 > "$WORK/serve2.log" 2>&1 &
+SRV2=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve2.log" && break
+  kill -0 "$SRV2" 2>/dev/null || { echo "poll server died early:"; cat "$WORK/serve2.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve2.log" || { echo "poll server never came up"; cat "$WORK/serve2.log"; exit 1; }
+
+# The join's only equality is on column 1, not the partition column, so the
+# router must decline it and the local full-copy system must answer — with
+# exactly the rows the single-System server produced above.
+"$SDB" --connect "$ADDR2" \
+  --table "emp=$WORK/emp.csv:str,int" \
+  --table "dept=$WORK/dept.csv:int,str" \
+  --stats \
+  'join(scan(emp), scan(dept), 1 = 0)' > "$WORK/out2.txt"
+
+echo "--- sharded client output ---"
+cat "$WORK/out2.txt"
+
+grep -q 'ada,10,storage' "$WORK/out2.txt" || { echo "sharded: missing joined row ada"; exit 1; }
+grep -q 'grace,20,query' "$WORK/out2.txt" || { echo "sharded: missing joined row grace"; exit 1; }
+if grep -q 'edsger' "$WORK/out2.txt"; then echo "sharded: unjoined row leaked"; exit 1; fi
+grep -q -- '-- 2 tuples' "$WORK/out2.txt" || { echo "sharded: missing stats footer"; exit 1; }
+
+# A first-column filter is partition-friendly: the router fans it out to
+# both shards and merges. The rows must still be the plain answer.
+"$SDB" --connect "$ADDR2" 'filter(scan(emp), c1 >= 20)' > "$WORK/out3.txt"
+grep -q 'grace,20' "$WORK/out3.txt" || { echo "routed filter: missing grace"; exit 1; }
+grep -q 'edsger,30' "$WORK/out3.txt" || { echo "routed filter: missing edsger"; exit 1; }
+if grep -q 'ada' "$WORK/out3.txt"; then echo "routed filter: unfiltered row leaked"; exit 1; fi
+
+# The router metrics must show both paths were exercised.
+"$SDB" --connect "$ADDR2" --metrics > "$WORK/metrics2.txt"
+awk '$1 == "sdb_server_sharded_total" && $2 >= 1 { found = 1 } END { exit !found }' \
+  "$WORK/metrics2.txt" || { echo "router never routed a query"; cat "$WORK/metrics2.txt"; exit 1; }
+awk '$1 == "sdb_server_shard_fallback_total" && $2 >= 1 { found = 1 } END { exit !found }' \
+  "$WORK/metrics2.txt" || { echo "router never fell back"; cat "$WORK/metrics2.txt"; exit 1; }
+
+kill -TERM "$SRV2"
+if ! wait "$SRV2"; then
+  echo "poll server did not exit cleanly:"; cat "$WORK/serve2.log"; exit 1
+fi
+grep -q "shutdown:" "$WORK/serve2.log" || { echo "missing poll shutdown summary"; cat "$WORK/serve2.log"; exit 1; }
+
+echo "--- poll server log ---"
+cat "$WORK/serve2.log"
 echo "serve smoke test passed"

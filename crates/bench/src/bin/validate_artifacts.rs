@@ -34,6 +34,12 @@ const OPTIONAL: &[(&str, bool)] = &[
     ("sim_wall_ns", true),
     ("kernel_wall_ns", true),
     ("speedup", false),
+    // serve_throughput: shard count behind the poll(2) reactor and the
+    // pipelined queries/sec points at each connection count.
+    ("poll_shards", true),
+    ("poll_conns_64_qps", false),
+    ("poll_conns_256_qps", false),
+    ("poll_conns_1024_qps", false),
 ];
 
 /// Whether `key` is an allowed optional per-operator wall-time field.

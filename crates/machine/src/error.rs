@@ -31,6 +31,12 @@ pub enum MachineError {
     },
     /// The machine has no memory modules / devices at all.
     EmptyConfiguration,
+    /// A plan step's cost is not a pure function of input cardinalities, so
+    /// [`crate::System::price_plan`] cannot reproduce it without the data.
+    Unpriceable {
+        /// The offending step kind (`store`, `divide`, ...).
+        step: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -51,6 +57,9 @@ impl fmt::Display for MachineError {
             ),
             MachineError::EmptyConfiguration => {
                 write!(f, "machine has no memories or devices")
+            }
+            MachineError::Unpriceable { step } => {
+                write!(f, "cannot price {step} from cardinalities alone")
             }
         }
     }

@@ -31,7 +31,7 @@ pub mod schema;
 pub mod store;
 
 pub use catalog::Catalog;
-pub use csv::{export_csv, import_csv};
+pub use csv::{canonical_field, export_csv, import_csv, render_field, split_line};
 pub use domain::{Datum, Domain, DomainId, DomainKind, Elem};
 pub use error::RelationError;
 pub use relation::{MultiRelation, Relation, Row};

@@ -159,10 +159,61 @@ impl Client {
         })
     }
 
+    /// Run a query via `QUERYC` and return the raw `RESULT` frame, the
+    /// per-plan-step output cardinalities from the `CARDS` frame, and the
+    /// host nanoseconds — the shard-router protocol, also usable directly.
+    pub fn query_cards(&mut self, query: &str) -> Result<(String, Vec<u64>, u64), ClientError> {
+        self.send_query_cards(query)?;
+        self.recv_query_cards()
+    }
+
+    /// Send a `QUERYC` frame without waiting for the answer (the router
+    /// fans one out to every shard before reading any reply, so the shards
+    /// compute concurrently).
+    pub(crate) fn send_query_cards(&mut self, query: &str) -> Result<(), ClientError> {
+        self.send(&format!("QUERYC {query}"))
+    }
+
+    /// Read one `QUERYC` answer: `RESULT` + `CARDS` + `HOST`.
+    pub(crate) fn recv_query_cards(&mut self) -> Result<(String, Vec<u64>, u64), ClientError> {
+        let result = self.recv()?;
+        Self::check_err(&result)?;
+        if !result.starts_with("RESULT ") {
+            return Err(ClientError::Protocol(format!(
+                "expected RESULT frame, got {result:?}"
+            )));
+        }
+        let cards_line = self.recv()?;
+        Self::check_err(&cards_line)?;
+        let cards =
+            crate::protocol::parse_cards_frame(&cards_line).map_err(ClientError::Protocol)?;
+        let host = self.recv()?;
+        Self::check_err(&host)?;
+        let host_ns = crate::protocol::parse_host_frame(&host).map_err(ClientError::Protocol)?;
+        Ok((result, cards, host_ns))
+    }
+
     /// Run a query and return the raw (`RESULT`, `HOST`) frame pair —
     /// what byte-identity checks compare.
     pub fn raw_query_frames(&mut self, query: &str) -> Result<(String, String), ClientError> {
-        self.send(&format!("QUERY {query}"))?;
+        self.send_query(query)?;
+        self.recv_query_frames()
+    }
+
+    /// Send one `QUERY` frame without waiting for the answer. Pairs with
+    /// [`Client::recv_query_frames`]; together they let a test or benchmark
+    /// hold requests in flight on *many* connections at once (send on every
+    /// connection first, then collect), which is what the poll front end is
+    /// for.
+    pub fn send_query(&mut self, query: &str) -> Result<(), ClientError> {
+        self.send(&format!("QUERY {query}"))
+    }
+
+    /// Read one (`RESULT`, `HOST`) answer pair for a previously sent
+    /// query. An `ERR` answer is a single frame — this returns the
+    /// [`ClientError::Remote`] after consuming exactly that frame, so the
+    /// connection stays aligned for the next answer.
+    pub fn recv_query_frames(&mut self) -> Result<(String, String), ClientError> {
         let result = self.recv()?;
         Self::check_err(&result)?;
         if !result.starts_with("RESULT ") {
@@ -173,6 +224,38 @@ impl Client {
         let host = self.recv()?;
         Self::check_err(&host)?;
         Ok((result, host))
+    }
+
+    /// Send every query back-to-back without waiting for answers, then
+    /// read the (`RESULT`, `HOST`) frame pairs in request order — the
+    /// pipelined mode the poll front end multiplexes (the threads front
+    /// end also serves pipelined frames, one at a time off its buffer).
+    pub fn pipeline_queries(
+        &mut self,
+        queries: &[&str],
+    ) -> Result<Vec<(String, String)>, ClientError> {
+        let mut batch = String::new();
+        for q in queries {
+            batch.push_str("QUERY ");
+            batch.push_str(q);
+            batch.push('\n');
+        }
+        self.stream.write_all(batch.as_bytes())?;
+        self.stream.flush()?;
+        let mut out = Vec::with_capacity(queries.len());
+        for _ in queries {
+            let result = self.recv()?;
+            Self::check_err(&result)?;
+            if !result.starts_with("RESULT ") {
+                return Err(ClientError::Protocol(format!(
+                    "expected RESULT frame, got {result:?}"
+                )));
+            }
+            let host = self.recv()?;
+            Self::check_err(&host)?;
+            out.push((result, host));
+        }
+        Ok(out)
     }
 
     /// Fetch the raw `STATS` frame.

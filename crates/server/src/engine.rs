@@ -188,6 +188,17 @@ impl Store {
         self.schemas.contains_key(name)
     }
 
+    /// Remove a table registration (schema and row count).
+    ///
+    /// Used to undo a speculative [`Store::register`] when the load it
+    /// belongs to is fenced off (e.g. the client timed out before the
+    /// relation reached the machine), so the catalog never advertises a
+    /// table whose load the client was told failed.
+    pub fn unregister(&mut self, name: &str) {
+        self.schemas.remove(name);
+        self.rows.remove(name);
+    }
+
     /// Number of registered tables.
     pub fn table_count(&self) -> usize {
         self.schemas.len()

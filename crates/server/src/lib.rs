@@ -38,22 +38,26 @@
 //! ```
 
 // `deny` rather than the workspace-wide `forbid`: the [`shutdown`] module
-// carries the crate's single documented exception — two `extern "C"`
-// `signal(2)` registrations behind an `#[allow(unsafe_code)]` that names
-// its safety argument. Everything else in the crate is checked as strictly
-// as a `forbid` would.
+// (two `extern "C"` `signal(2)` registrations) and the reactor's poll(2)
+// binding carry the crate's documented exceptions — each an
+// `#[allow(unsafe_code)]` that names its safety argument. Everything else
+// in the crate is checked as strictly as a `forbid` would.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod engine;
 pub mod frame;
+mod locks;
 mod metrics;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
+mod router;
 mod scheduler;
 pub mod server;
 mod shutdown;
 
 pub use client::{Client, ClientError, QueryResult};
 pub use engine::{Engine, EngineError, Store};
-pub use server::{run, spawn, ServerConfig, ServerHandle, ServerReport};
+pub use server::{run, spawn, IoModel, ServerConfig, ServerHandle, ServerReport};

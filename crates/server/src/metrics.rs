@@ -34,6 +34,10 @@ pub(crate) struct ServerMetrics {
     pub(crate) timeouts: Arc<Counter>,
     /// Queries slower than the configured slow-query threshold.
     pub(crate) slow_queries: Arc<Counter>,
+    /// Queries answered via the shard router (fan-out + merge + re-price).
+    pub(crate) sharded: Arc<Counter>,
+    /// Queries the router declined or failed, served by the local system.
+    pub(crate) shard_fallback: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -75,6 +79,14 @@ impl ServerMetrics {
             "sdb_server_slow_queries_total",
             "Queries slower than the slow-query threshold.",
         );
+        let sharded = registry.counter(
+            "sdb_server_sharded_total",
+            "Queries answered via the shard router.",
+        );
+        let shard_fallback = registry.counter(
+            "sdb_server_shard_fallback_total",
+            "Queries the shard router declined, served by the local system.",
+        );
         ServerMetrics {
             registry,
             latency,
@@ -87,6 +99,8 @@ impl ServerMetrics {
             refused,
             timeouts,
             slow_queries,
+            sharded,
+            shard_fallback,
         }
     }
 

@@ -57,6 +57,11 @@ pub enum Request {
     },
     /// Run a query.
     Query(String),
+    /// Run a query and also report per-plan-step output cardinalities
+    /// (`QUERYC`): the answer is `RESULT` + `CARDS` + `HOST`. This is what a
+    /// shard router sends its shards — the public `QUERY` answer stays
+    /// exactly two frames.
+    QueryCards(String),
     /// Ask for server statistics.
     Stats,
     /// Ask for the full Prometheus-style metrics exposition.
@@ -102,6 +107,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Query(rest.to_string()))
         }
+        "QUERYC" => {
+            if rest.is_empty() {
+                return Err("QUERYC needs query text".to_string());
+            }
+            Ok(Request::QueryCards(rest.to_string()))
+        }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "METRICS" if rest.is_empty() => Ok(Request::Metrics),
         "CLOSE" if rest.is_empty() => Ok(Request::Close),
@@ -129,6 +140,40 @@ pub fn result_frame(rows: usize, stats: &RunStats, csv: &str) -> String {
 /// Render the nondeterministic half of a query answer.
 pub fn host_frame(host_wall_ns: u64) -> String {
     format!("HOST ns={host_wall_ns}")
+}
+
+/// Render a `CARDS` frame: per-plan-step output cardinalities, in step
+/// order (the `QUERYC` extra frame).
+pub fn cards_frame(step_rows: &[u64]) -> String {
+    let rows: Vec<String> = step_rows.iter().map(|r| r.to_string()).collect();
+    format!("CARDS steps={} rows={}", step_rows.len(), rows.join(","))
+}
+
+/// Parse a `CARDS` frame back into per-step cardinalities.
+pub fn parse_cards_frame(frame: &str) -> Result<Vec<u64>, String> {
+    let body = frame
+        .strip_prefix("CARDS steps=")
+        .ok_or_else(|| format!("expected CARDS frame, got {frame:?}"))?;
+    let (steps, rows) = body
+        .split_once(" rows=")
+        .ok_or_else(|| "CARDS frame is missing rows=".to_string())?;
+    let steps: usize = steps
+        .parse()
+        .map_err(|_| format!("bad CARDS steps {steps:?}"))?;
+    let cards: Vec<u64> = if rows.is_empty() {
+        Vec::new()
+    } else {
+        rows.split(',')
+            .map(|v| v.parse().map_err(|_| format!("bad CARDS row count {v:?}")))
+            .collect::<Result<_, String>>()?
+    };
+    if cards.len() != steps {
+        return Err(format!(
+            "CARDS frame claims {steps} steps but lists {}",
+            cards.len()
+        ));
+    }
+    Ok(cards)
 }
 
 /// Render a successful `LOAD` answer.
@@ -275,6 +320,11 @@ mod tests {
             parse_request("QUERY scan(emp)").unwrap(),
             Request::Query("scan(emp)".into())
         );
+        assert_eq!(
+            parse_request("QUERYC scan(emp)").unwrap(),
+            Request::QueryCards("scan(emp)".into())
+        );
+        assert!(parse_request("QUERYC").is_err());
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert!(parse_request("METRICS now").is_err());
@@ -306,6 +356,16 @@ mod tests {
         assert_eq!(fields.max_device_concurrency, 2);
         assert_eq!(fields.csv, "a,b\nc,d\n");
         assert_eq!(parse_host_frame("HOST ns=42").unwrap(), 42);
+    }
+
+    #[test]
+    fn cards_frames_round_trip() {
+        let frame = cards_frame(&[3, 5, 2]);
+        assert_eq!(frame, "CARDS steps=3 rows=3,5,2");
+        assert_eq!(parse_cards_frame(&frame).unwrap(), vec![3, 5, 2]);
+        assert_eq!(parse_cards_frame("CARDS steps=0 rows=").unwrap(), vec![]);
+        assert!(parse_cards_frame("CARDS steps=2 rows=1").is_err());
+        assert!(parse_cards_frame("RESULT rows=1").is_err());
     }
 
     #[test]

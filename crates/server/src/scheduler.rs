@@ -20,11 +20,12 @@
 //! merged requests keep distinct trace ids while both point at the one
 //! batch that served them.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use systolic_machine::{Expr, MachineError, RunStats, System, Timeline};
+use systolic_machine::{Expr, MachineError, Plan, RunStats, System, Timeline};
 use systolic_relation::MultiRelation;
 use systolic_telemetry::{root_span, span_in, TraceCtx};
 
@@ -32,12 +33,24 @@ use crate::metrics::ServerMetrics;
 use crate::server::Counters;
 
 /// A query waiting in a merged batch: its expression, the submitting
-/// request's trace, and the reply channel.
+/// request's trace, its timeout fence, and the reply channel.
 type PendingQuery = (
     Expr,
     Option<TraceCtx>,
+    Arc<AtomicBool>,
     SyncSender<Result<QueryReply, MachineError>>,
 );
+
+/// Claim a job's timeout fence. Exactly one side wins the swap: if the
+/// scheduler wins, the job runs (and its side effects land) and the reply
+/// is delivered, so a worker that times out after losing the swap must keep
+/// waiting for the real answer. If the worker wins (it timed out first),
+/// the scheduler sees `true` here and must skip the job entirely — no run,
+/// no `store(...)` write-back, no catalog change the client was never told
+/// about.
+fn claim(fence: &AtomicBool) -> bool {
+    !fence.swap(true, Ordering::SeqCst)
+}
 
 /// A finished query, as the scheduler reports it to a worker.
 pub(crate) struct QueryReply {
@@ -48,6 +61,10 @@ pub(crate) struct QueryReply {
     /// Host wall-clock nanoseconds for the run that produced this answer
     /// (the whole batch, when batched — it ran as one schedule).
     pub host_wall_ns: u64,
+    /// Per-plan-step output cardinalities (see
+    /// [`systolic_machine::RunOutcome::step_rows`]) — what a shard reports
+    /// via `CARDS` so a router can re-price the merged run.
+    pub step_rows: Vec<u64>,
 }
 
 /// A unit of work submitted to the scheduler.
@@ -59,8 +76,25 @@ pub(crate) enum Job {
         /// The submitting request's trace context, so scheduler spans for
         /// this query land in the request's trace.
         trace: Option<TraceCtx>,
+        /// Timeout fence, shared with the submitting worker (see [`claim`]).
+        fence: Arc<AtomicBool>,
         /// Where to deliver the answer; capacity-1 channel so the send
         /// never blocks even if the worker gave up waiting.
+        reply: SyncSender<Result<QueryReply, MachineError>>,
+    },
+    /// Price a prepared query from per-step cardinalities gathered off the
+    /// machine (the shard router's merge path) — real disk reads for the
+    /// `Load` steps, analytic stats for the `Op` steps, no operator runs.
+    Price {
+        /// The prepared expression (identical to what the shards ran).
+        expr: Expr,
+        /// Summed per-step output cardinalities across the shards.
+        cards: Vec<u64>,
+        /// The submitting request's trace context.
+        trace: Option<TraceCtx>,
+        /// Timeout fence, shared with the submitting worker (see [`claim`]).
+        fence: Arc<AtomicBool>,
+        /// Where to deliver the priced outcome.
         reply: SyncSender<Result<QueryReply, MachineError>>,
     },
     /// Load an encoded relation onto the machine's disk.
@@ -69,6 +103,8 @@ pub(crate) enum Job {
         name: String,
         /// The encoded relation.
         rel: MultiRelation,
+        /// Timeout fence, shared with the submitting worker (see [`claim`]).
+        fence: Arc<AtomicBool>,
         /// Acknowledgement carrying the row count.
         reply: SyncSender<usize>,
     },
@@ -101,25 +137,55 @@ pub(crate) fn run(
         drop(window_span);
 
         // Loads first, in arrival order: a query admitted in the same
-        // window as the load it depends on sees the table.
+        // window as the load it depends on sees the table. A load whose
+        // worker already fenced it off (client told `ERR timeout`) is
+        // skipped whole — its relation must never reach the machine.
         let mut queries = Vec::new();
         for job in batch {
             match job {
-                Job::Load { name, rel, reply } => {
+                Job::Load {
+                    name,
+                    rel,
+                    fence,
+                    reply,
+                } => {
+                    if !claim(&fence) {
+                        continue;
+                    }
                     let rows = rel.len();
                     system.load_base(name, rel);
                     counters.update(|c| c.loads += 1);
                     metrics.loads.inc();
                     let _ = reply.send(rows);
                 }
-                Job::Query { expr, trace, reply } => queries.push((expr, trace, reply)),
+                Job::Price {
+                    expr,
+                    cards,
+                    trace,
+                    fence,
+                    reply,
+                } => {
+                    if !claim(&fence) {
+                        continue;
+                    }
+                    counters.update(|c| c.queries += 1);
+                    metrics.queries.add(1);
+                    let _span = span_in(trace, "server.price");
+                    let plan = Plan::compile(&expr);
+                    let _ = reply.send(system.price_plan(&plan, &cards).map(|o| QueryReply {
+                        result: o.result,
+                        stats: o.stats,
+                        host_wall_ns: o.host_wall_ns,
+                        step_rows: o.step_rows,
+                    }));
+                }
+                Job::Query {
+                    expr,
+                    trace,
+                    fence,
+                    reply,
+                } => queries.push((expr, trace, fence, reply)),
             }
-        }
-        let n = queries.len();
-        counters.update(|c| c.queries += n as u64);
-        metrics.queries.add(n as u64);
-        if n > 0 {
-            metrics.batch_size.observe(n as u64);
         }
         // Cross-query hazard analysis: a query that reads or writes a
         // relation an earlier admitted query writes must not share the
@@ -127,7 +193,7 @@ pub(crate) fn run(
         // in arrival order, so it observes the earlier write-back whole.
         let mut deferred = Vec::new();
         if queries.len() > 1 {
-            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _)| e.clone()).collect();
+            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _)| e.clone()).collect();
             let conflicted = systolic_analyzer::deferred_indices(&exprs);
             if !conflicted.is_empty() {
                 let mut admitted = Vec::new();
@@ -141,10 +207,20 @@ pub(crate) fn run(
                 queries = admitted;
             }
         }
+        // Claim the admitted queries' fences *before* running: a query
+        // whose worker timed out first never runs (no store(...) side
+        // effects can land behind the client's back).
+        queries.retain(|(_, _, fence, _)| claim(fence));
+        let n = queries.len();
+        counters.update(|c| c.queries += n as u64);
+        metrics.queries.add(n as u64);
+        if n > 0 {
+            metrics.batch_size.observe(n as u64);
+        }
         match queries.len() {
             0 => {}
             1 => {
-                let (expr, trace, reply) = queries.pop().expect("len checked");
+                let (expr, trace, _, reply) = queries.pop().expect("len checked");
                 let _span = span_in(trace, "server.run_solo");
                 let _ = reply.send(run_solo(&mut system, &expr, &metrics));
             }
@@ -157,7 +233,12 @@ pub(crate) fn run(
                 run_merged(&mut system, queries, &metrics);
             }
         }
-        for (expr, trace, reply) in deferred {
+        for (expr, trace, fence, reply) in deferred {
+            if !claim(&fence) {
+                continue;
+            }
+            counters.update(|c| c.queries += 1);
+            metrics.queries.add(1);
             let _span = span_in(trace, "server.run_solo");
             let _ = reply.send(run_solo(&mut system, &expr, &metrics));
         }
@@ -175,6 +256,7 @@ fn run_solo(
         result: out.result,
         stats: out.stats,
         host_wall_ns: out.host_wall_ns,
+        step_rows: out.step_rows,
     })
 }
 
@@ -195,7 +277,7 @@ fn record_op_pulses(metrics: &ServerMetrics, timeline: &Timeline) {
 /// Admit several queries as one merged schedule; on any failure fall back
 /// to per-query solo runs so only the faulty requests see errors.
 fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &ServerMetrics) {
-    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _)| e.clone()).collect();
+    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _)| e.clone()).collect();
     // The batch gets its own trace: it belongs to no single request. The
     // span stays ambient while the machine runs so machine.batch nests here.
     let mut batch_span = root_span("server.batch");
@@ -207,7 +289,7 @@ fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &Ser
         Ok(batch) => {
             record_op_pulses(metrics, &batch.combined.timeline);
             let host_wall_ns = batch.combined.host_wall_ns;
-            for (outcome, (_, trace, reply)) in batch.queries.into_iter().zip(queries) {
+            for (outcome, (_, trace, _, reply)) in batch.queries.into_iter().zip(queries) {
                 let mut run_span = span_in(trace, "server.batch_run");
                 if let Some(ctx) = batch_ctx {
                     run_span.arg("batch_span", ctx.span_id);
@@ -217,14 +299,156 @@ fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &Ser
                     result: outcome.result,
                     stats: outcome.stats,
                     host_wall_ns,
+                    step_rows: outcome.step_rows,
                 }));
             }
         }
         Err(_) => {
-            for (expr, trace, reply) in queries.drain(..) {
+            // Fences were already claimed at admission; the fallback must
+            // not re-claim (it would see `true` and wrongly skip).
+            for (expr, trace, _, reply) in queries.drain(..) {
                 let _span = span_in(trace, "server.run_solo");
                 let _ = reply.send(run_solo(system, &expr, metrics));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use systolic_machine::{parse, MachineConfig};
+    use systolic_relation::gen::synth_schema;
+    use systolic_relation::Elem;
+
+    fn rel(rows: &[&[Elem]]) -> MultiRelation {
+        MultiRelation::new(
+            synth_schema(rows[0].len()),
+            rows.iter().map(|r| r.to_vec()).collect(),
+        )
+        .unwrap()
+    }
+
+    /// Feed the jobs through a fresh scheduler until it drains, returning
+    /// the counters it maintained.
+    fn run_jobs(jobs: Vec<Job>) -> Arc<Counters> {
+        let system = System::new(MachineConfig::default()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for job in jobs {
+            tx.send(job).unwrap();
+        }
+        drop(tx);
+        let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(ServerMetrics::new());
+        run(
+            system,
+            rx,
+            Duration::from_millis(1),
+            16,
+            Arc::clone(&counters),
+            metrics,
+        );
+        counters
+    }
+
+    fn fence(claimed_by_worker: bool) -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(claimed_by_worker))
+    }
+
+    #[test]
+    fn a_fenced_load_never_reaches_the_machine() {
+        let (dead_tx, dead_rx) = mpsc::sync_channel(1);
+        let (live_tx, live_rx) = mpsc::sync_channel(1);
+        let counters = run_jobs(vec![
+            Job::Load {
+                name: "dead".into(),
+                rel: rel(&[&[1], &[2], &[3]]),
+                fence: fence(true),
+                reply: dead_tx,
+            },
+            Job::Load {
+                name: "alive".into(),
+                rel: rel(&[&[4], &[5]]),
+                fence: fence(false),
+                reply: live_tx,
+            },
+        ]);
+        assert!(
+            dead_rx.try_recv().is_err(),
+            "a fenced load must never be acknowledged"
+        );
+        assert_eq!(live_rx.try_recv().unwrap(), 2);
+        assert_eq!(counters.snapshot().loads, 1, "only the live load lands");
+    }
+
+    #[test]
+    fn a_fenced_query_is_skipped_whole() {
+        let (load_tx, _load_rx) = mpsc::sync_channel(1);
+        let (dead_tx, dead_rx) = mpsc::sync_channel(1);
+        let (live_tx, live_rx) = mpsc::sync_channel(1);
+        let counters = run_jobs(vec![
+            Job::Load {
+                name: "t".into(),
+                rel: rel(&[&[1], &[2]]),
+                fence: fence(false),
+                reply: load_tx,
+            },
+            Job::Query {
+                expr: parse("scan(t)").unwrap(),
+                trace: None,
+                fence: fence(true),
+                reply: dead_tx,
+            },
+            Job::Query {
+                expr: parse("scan(t)").unwrap(),
+                trace: None,
+                fence: fence(false),
+                reply: live_tx,
+            },
+        ]);
+        assert!(
+            dead_rx.try_recv().is_err(),
+            "a fenced query must never be answered"
+        );
+        let reply = live_rx.try_recv().unwrap().unwrap();
+        assert_eq!(reply.result.len(), 2);
+        assert_eq!(counters.snapshot().queries, 1, "only the live query runs");
+    }
+
+    #[test]
+    fn a_fenced_deferred_query_is_skipped_with_its_side_effects() {
+        // q2 reads what q1 writes, so the hazard pass defers it; its fence
+        // is already claimed, so the deferred pass must drop it — in
+        // particular `store(scan(u), v)` must leave no `v` on the machine.
+        let (load_tx, _load_rx) = mpsc::sync_channel(1);
+        let (q1_tx, q1_rx) = mpsc::sync_channel(1);
+        let (q2_tx, q2_rx) = mpsc::sync_channel(1);
+        let counters = run_jobs(vec![
+            Job::Load {
+                name: "t".into(),
+                rel: rel(&[&[1], &[2]]),
+                fence: fence(false),
+                reply: load_tx,
+            },
+            Job::Query {
+                expr: parse("store(scan(t), u)").unwrap(),
+                trace: None,
+                fence: fence(false),
+                reply: q1_tx,
+            },
+            Job::Query {
+                expr: parse("store(scan(u), v)").unwrap(),
+                trace: None,
+                fence: fence(true),
+                reply: q2_tx,
+            },
+        ]);
+        assert!(q1_rx.try_recv().unwrap().is_ok());
+        assert!(
+            q2_rx.try_recv().is_err(),
+            "a fenced deferred query must never run"
+        );
+        assert_eq!(counters.snapshot().queries, 1);
     }
 }

@@ -21,13 +21,48 @@ use systolic_telemetry::{record_between, root_span, TraceCtx};
 
 use crate::engine::{self, EngineError, Store};
 use crate::frame::{read_frame, FrameRead};
+use crate::locks;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    analysis_err_frame, err_frame, host_frame, loaded_frame, metrics_frame, parse_err_frame,
-    parse_request, result_frame, Request,
+    analysis_err_frame, cards_frame, err_frame, host_frame, loaded_frame, metrics_frame,
+    parse_err_frame, parse_request, result_frame, Request,
 };
+use crate::router::{RouteOutcome, Router};
 use crate::scheduler::{self, Job};
 use crate::shutdown;
+
+/// Which connection front end the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One worker thread per active connection (the classic model): simple,
+    /// but idle connections hold threads and concurrency is capped at the
+    /// pool size.
+    Threads,
+    /// A single poll(2)-based reactor thread multiplexes every connection —
+    /// thousands of idle sessions cost one pollfd each — and dispatches
+    /// complete request frames to the worker pool. Connections may pipeline
+    /// requests; responses come back in request order per connection.
+    Poll,
+}
+
+impl IoModel {
+    /// The CLI/wire name of this model.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoModel::Threads => "threads",
+            IoModel::Poll => "poll",
+        }
+    }
+
+    /// Parse a CLI/wire name.
+    pub fn parse(s: &str) -> Option<IoModel> {
+        match s {
+            "threads" => Some(IoModel::Threads),
+            "poll" => Some(IoModel::Poll),
+            _ => None,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +74,12 @@ pub struct ServerConfig {
     /// Accepted connections allowed to wait for a free worker before new
     /// ones are refused with `ERR overloaded`.
     pub max_pending: usize,
+    /// The connection front end: classic thread-per-connection or the
+    /// poll(2) reactor.
+    pub io: IoModel,
+    /// Number of independent machine shards relations are partitioned
+    /// across; `1` runs the classic single-`System` server.
+    pub shards: usize,
     /// Configuration of the shared simulated machine.
     pub machine: MachineConfig,
     /// How long a session waits for the scheduler to answer one request
@@ -62,6 +103,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:4171".to_string(),
             workers: 32,
             max_pending: 32,
+            io: IoModel::Threads,
+            shards: 1,
             machine: MachineConfig::default(),
             request_timeout: Duration::from_secs(30),
             batch_window: Duration::from_millis(2),
@@ -94,17 +137,19 @@ pub(crate) struct CounterState {
     pub(crate) timeouts: u64,
     pub(crate) slow_queries: u64,
     pub(crate) queue_hwm: u64,
+    pub(crate) sharded: u64,
+    pub(crate) shard_fallback: u64,
 }
 
 impl Counters {
     /// Apply one mutation atomically with respect to snapshots.
     pub(crate) fn update(&self, f: impl FnOnce(&mut CounterState)) {
-        f(&mut self.state.lock().unwrap());
+        f(&mut locks::lock(&self.state));
     }
 
     /// A consistent copy of every counter.
     pub(crate) fn snapshot(&self) -> CounterState {
-        *self.state.lock().unwrap()
+        *locks::lock(&self.state)
     }
 }
 
@@ -127,23 +172,36 @@ pub struct ServerReport {
     pub queue_hwm: u64,
     /// Queries slower than the slow-query threshold.
     pub slow_queries: u64,
+    /// Queries answered by the shard router (fan-out + merge).
+    pub sharded: u64,
+    /// Queries the router declined, served by the local full-copy system.
+    pub shard_fallback: u64,
 }
 
-struct Shared {
-    store: RwLock<Store>,
-    counters: Arc<Counters>,
-    metrics: Arc<ServerMetrics>,
-    active: AtomicUsize,
-    cfg: ServerConfig,
-    stop: AtomicBool,
-    started: Instant,
+pub(crate) struct Shared {
+    pub(crate) store: RwLock<Store>,
+    pub(crate) counters: Arc<Counters>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) active: AtomicUsize,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) stop: AtomicBool,
+    pub(crate) started: Instant,
+    /// The shard router, when `cfg.shards > 1`. The local system always
+    /// holds a full copy of every table, so routing is an optimisation and
+    /// any declined or failed route runs locally instead.
+    pub(crate) router: Option<Router>,
 }
 
 impl Shared {
-    fn new(cfg: ServerConfig) -> Self {
+    fn new(cfg: ServerConfig) -> io::Result<Self> {
         let metrics = Arc::new(ServerMetrics::new());
         metrics.backend_info(cfg.machine.backend.label()).inc();
-        Shared {
+        let router = if cfg.shards > 1 {
+            Some(Router::start(&cfg)?)
+        } else {
+            None
+        };
+        Ok(Shared {
             store: RwLock::new(Store::new()),
             counters: Arc::new(Counters::default()),
             metrics,
@@ -151,10 +209,11 @@ impl Shared {
             cfg,
             stop: AtomicBool::new(false),
             started: Instant::now(),
-        }
+            router,
+        })
     }
 
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || shutdown::signalled()
     }
 
@@ -169,6 +228,8 @@ impl Shared {
             timeouts: c.timeouts,
             queue_hwm: c.queue_hwm,
             slow_queries: c.slow_queries,
+            sharded: c.sharded,
+            shard_fallback: c.shard_fallback,
         }
     }
 }
@@ -190,7 +251,7 @@ impl ConnQueue {
     /// Enqueue a connection (stamped with its arrival time, so the worker
     /// that picks it up can record the queue wait) and return the new depth.
     fn push(&self, stream: TcpStream) -> usize {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locks::lock(&self.inner);
         inner.conns.push_back((stream, Instant::now()));
         let depth = inner.conns.len();
         drop(inner);
@@ -202,7 +263,7 @@ impl ConnQueue {
     /// *and* drained, so connections queued before shutdown still get
     /// served (and refused politely).
     fn pop(&self) -> Option<(TcpStream, Instant)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locks::lock(&self.inner);
         loop {
             if let Some(entry) = inner.conns.pop_front() {
                 return Some(entry);
@@ -210,17 +271,17 @@ impl ConnQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = locks::wait(&self.ready, inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        locks::lock(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().unwrap().conns.len()
+        locks::lock(&self.inner).conns.len()
     }
 }
 
@@ -252,7 +313,7 @@ impl ServerHandle {
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(Shared::new(config));
+    let shared = Arc::new(Shared::new(config)?);
     let serve_shared = Arc::clone(&shared);
     let join = thread::Builder::new()
         .name("systolic-serve".to_string())
@@ -269,7 +330,7 @@ pub fn run(config: ServerConfig) -> io::Result<ServerReport> {
     shutdown::install();
     println!("listening on {addr}");
     io::stdout().flush()?;
-    let shared = Arc::new(Shared::new(config));
+    let shared = Arc::new(Shared::new(config)?);
     let report = serve_on(listener, Arc::clone(&shared))?;
     println!(
         "shutdown: {} queries ({} batched schedules, largest {}), {} loads, \
@@ -288,8 +349,7 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
     listener.set_nonblocking(true)?;
     let system = System::new(shared.cfg.machine.clone()).map_err(io::Error::other)?;
     let (tx, rx) = mpsc::channel::<Job>();
-    let queue = Arc::new(ConnQueue::default());
-    let mut accept_err: Option<io::Error> = None;
+    let mut front_err: Option<io::Error> = None;
     thread::scope(|scope| {
         let window = shared.cfg.batch_window;
         let max_batch = shared.cfg.max_batch;
@@ -298,54 +358,86 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
         scope.spawn(move || {
             scheduler::run(system, rx, window, max_batch, sched_counters, sched_metrics)
         });
-        let workers = shared.cfg.workers.max(1);
-        for _ in 0..workers {
-            let queue = Arc::clone(&queue);
-            let shared = Arc::clone(&shared);
-            let tx = tx.clone();
-            scope.spawn(move || worker_loop(&queue, &shared, &tx));
+        let outcome = match shared.cfg.io {
+            IoModel::Threads => threads_front_end(scope, &listener, &shared, tx),
+            #[cfg(unix)]
+            IoModel::Poll => crate::reactor::serve(scope, &listener, &shared, tx),
+            #[cfg(not(unix))]
+            IoModel::Poll => threads_front_end(scope, &listener, &shared, tx),
+        };
+        if let Err(e) = outcome {
+            shared.stop.store(true, Ordering::SeqCst);
+            front_err = Some(e);
         }
-        // Workers now hold the only senders the scheduler waits on: once
-        // the queue closes and they exit, the scheduler's channel hangs up
-        // and it exits too, so the scope join is deadlock-free.
-        drop(tx);
-        loop {
-            if shared.stopping() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let busy = shared.active.load(Ordering::SeqCst) + queue.len();
-                    if busy >= workers + shared.cfg.max_pending {
-                        shared.counters.update(|c| c.refused += 1);
-                        shared.metrics.refused.inc();
-                        refuse(stream);
-                    } else {
-                        let depth = queue.push(stream) as u64;
-                        shared.metrics.queue_depth.set(depth as f64);
-                        shared.metrics.queue_depth_hwm.set_max(depth as f64);
-                        shared
-                            .counters
-                            .update(|c| c.queue_hwm = c.queue_hwm.max(depth));
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    shared.stop.store(true, Ordering::SeqCst);
-                    accept_err = Some(e);
-                    break;
-                }
-            }
-        }
-        queue.close();
     });
-    match accept_err {
+    if let Some(router) = &shared.router {
+        router.stop();
+    }
+    match front_err {
         Some(e) => Err(e),
         None => Ok(shared.report()),
     }
+}
+
+/// The classic front end: a connection queue feeding thread-per-connection
+/// workers. Returns when the stop flag is raised (or with the fatal
+/// listener error), after closing the queue so workers drain and exit.
+fn threads_front_end<'scope>(
+    scope: &'scope thread::Scope<'scope, '_>,
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    tx: mpsc::Sender<Job>,
+) -> io::Result<()> {
+    let queue = Arc::new(ConnQueue::default());
+    let workers = shared.cfg.workers.max(1);
+    for _ in 0..workers {
+        let queue = Arc::clone(&queue);
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        scope.spawn(move || worker_loop(&queue, &shared, &tx));
+    }
+    // Workers now hold the only senders the scheduler waits on: once
+    // the queue closes and they exit, the scheduler's channel hangs up
+    // and it exits too, so the scope join is deadlock-free.
+    drop(tx);
+    let mut result = Ok(());
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let busy = shared.active.load(Ordering::SeqCst) + queue.len();
+                if busy >= workers + shared.cfg.max_pending {
+                    shared.counters.update(|c| c.refused += 1);
+                    shared.metrics.refused.inc();
+                    refuse(stream);
+                } else {
+                    let depth = queue.push(stream) as u64;
+                    shared.metrics.queue_depth.set(depth as f64);
+                    shared.metrics.queue_depth_hwm.set_max(depth as f64);
+                    shared
+                        .counters
+                        .update(|c| c.queue_hwm = c.queue_hwm.max(depth));
+                }
+            }
+            // Nonblocking "nothing to accept" is `WouldBlock` on Unix
+            // but `TimedOut` on some platforms — treat both as idle.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    queue.close();
+    result
 }
 
 fn refuse(stream: TcpStream) {
@@ -383,6 +475,85 @@ fn engine_err_frame(err: &EngineError) -> String {
     }
 }
 
+/// The frames answering one request, and whether the connection should be
+/// closed after writing them.
+pub(crate) struct Reply {
+    /// Response frames, in order (a `QUERY` answers with `RESULT` + `HOST`).
+    pub(crate) frames: Vec<String>,
+    /// Close the connection after the frames are written.
+    pub(crate) close: bool,
+}
+
+impl Reply {
+    fn frame(frame: String) -> Reply {
+        Reply {
+            frames: vec![frame],
+            close: false,
+        }
+    }
+
+    fn closing(frame: String) -> Reply {
+        Reply {
+            frames: vec![frame],
+            close: true,
+        }
+    }
+}
+
+/// Serve one request line: the dispatcher both connection front ends (the
+/// thread-per-connection loop and the poll reactor's worker pool) share, so
+/// protocol semantics cannot drift between the two I/O models. Blocking is
+/// allowed here — callers run it on worker threads, never on the reactor.
+pub(crate) fn handle_request(shared: &Shared, tx: &mpsc::Sender<Job>, line: &str) -> Reply {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(msg) => return Reply::frame(err_frame("proto", &msg)),
+    };
+    match request {
+        Request::Close => Reply::closing("BYE".to_string()),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Reply::closing("BYE".to_string())
+        }
+        Request::Stats => Reply::frame(stats_frame(shared)),
+        // Like STATS: observability stays answerable while draining.
+        Request::Metrics => Reply::frame(metrics_frame(&shared.metrics.exposition())),
+        _ if shared.stopping() => Reply::frame(err_frame(
+            "shutting_down",
+            "server is draining; no new work",
+        )),
+        Request::Load { name, kinds, csv } => {
+            Reply::frame(handle_load(shared, tx, &name, &kinds, &csv))
+        }
+        Request::Query(query) => respond_query(shared, tx, &query, false),
+        Request::QueryCards(query) => respond_query(shared, tx, &query, true),
+    }
+}
+
+/// Answer a `QUERY` (or, with `want_cards`, a `QUERYC`) under the request
+/// span, latency histogram, and slow-query log.
+fn respond_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str, want_cards: bool) -> Reply {
+    let started = Instant::now();
+    // A fresh trace per request: concurrent clients must never share a
+    // trace id even when the scheduler merges them into one batch schedule.
+    let mut span = root_span("server.request");
+    span.arg("query", query);
+    let trace = span.ctx();
+    let frames = handle_query(shared, tx, query, trace, want_cards);
+    drop(span);
+    let elapsed = started.elapsed();
+    shared.metrics.latency.observe(elapsed.as_nanos() as u64);
+    if let Some(line) = slow_query_line(query, elapsed, shared.cfg.slow_query) {
+        shared.counters.update(|c| c.slow_queries += 1);
+        shared.metrics.slow_queries.inc();
+        eprintln!("{line}");
+    }
+    Reply {
+        frames,
+        close: false,
+    }
+}
+
 fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) -> io::Result<()> {
     // Short read timeout: between frames every session polls the stop flag,
     // so shutdown drains idle connections instead of hanging on them.
@@ -411,70 +582,18 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) ->
             }
             FrameRead::Frame(line) => line,
         };
-        let request = match parse_request(&line) {
-            Ok(request) => request,
-            Err(msg) => {
-                send(&mut stream, &err_frame("proto", &msg))?;
-                continue;
-            }
-        };
-        match request {
-            Request::Close => {
-                send(&mut stream, "BYE")?;
-                return Ok(());
-            }
-            Request::Shutdown => {
-                shared.stop.store(true, Ordering::SeqCst);
-                send(&mut stream, "BYE")?;
-                return Ok(());
-            }
-            Request::Stats => {
-                let frame = stats_frame(shared);
-                send(&mut stream, &frame)?;
-            }
-            Request::Metrics => {
-                // Like STATS: observability stays answerable while draining.
-                let frame = metrics_frame(&shared.metrics.exposition());
-                send(&mut stream, &frame)?;
-            }
-            _ if shared.stopping() => {
-                send(
-                    &mut stream,
-                    &err_frame("shutting_down", "server is draining; no new work"),
-                )?;
-            }
-            Request::Load { name, kinds, csv } => {
-                let frame = handle_load(shared, tx, &name, &kinds, &csv);
-                send(&mut stream, &frame)?;
-            }
-            Request::Query(query) => {
-                let started = Instant::now();
-                // A fresh trace per request: concurrent clients must never
-                // share a trace id even when the scheduler merges them into
-                // one batch schedule.
-                let mut span = root_span("server.request");
-                span.arg("query", &query);
-                let trace = span.ctx();
-                let (result, host) = handle_query(shared, tx, &query, trace);
-                send(&mut stream, &result)?;
-                if let Some(host) = host {
-                    send(&mut stream, &host)?;
-                }
-                drop(span);
-                let elapsed = started.elapsed();
-                shared.metrics.latency.observe(elapsed.as_nanos() as u64);
-                if let Some(line) = slow_query_line(&query, elapsed, shared.cfg.slow_query) {
-                    shared.counters.update(|c| c.slow_queries += 1);
-                    shared.metrics.slow_queries.inc();
-                    eprintln!("{line}");
-                }
-            }
+        let reply = handle_request(shared, tx, &line);
+        for frame in &reply.frames {
+            send(&mut stream, frame)?;
+        }
+        if reply.close {
+            return Ok(());
         }
     }
 }
 
 fn stats_frame(shared: &Shared) -> String {
-    let tables = shared.store.read().unwrap().table_count();
+    let tables = locks::read(&shared.store).table_count();
     let report = shared.report();
     let lat = &shared.metrics.latency;
     // New fields only ever get appended: clients key on names, but scripted
@@ -482,7 +601,8 @@ fn stats_frame(shared: &Shared) -> String {
     format!(
         "STATS tables={tables} queries={} loads={} batches={} max_batch={} refused={} \
          timeouts={} active={} uptime_ms={} queue_hwm={} slow={} lat_p50_ns={} \
-         lat_p95_ns={} lat_p99_ns={} lat_count={} backend={}",
+         lat_p95_ns={} lat_p99_ns={} lat_count={} backend={} sharded={} \
+         shard_fallback={}",
         report.queries,
         report.loads,
         report.batches,
@@ -498,6 +618,8 @@ fn stats_frame(shared: &Shared) -> String {
         lat.quantile(0.99),
         lat.count(),
         shared.cfg.machine.backend.label(),
+        report.sharded,
+        report.shard_fallback,
     )
 }
 
@@ -537,9 +659,13 @@ fn handle_load(
         );
     }
     // Register under the write lock, then ship the encoded relation to the
-    // scheduler so it lands on the machine's disk in admission order.
+    // scheduler so it lands on the machine's disk in admission order. The
+    // registration is speculative until the scheduler acknowledges the
+    // load: if we time out first we win the fence, the scheduler skips the
+    // job, and we unregister — catalog and machine stay in step with what
+    // the client was told.
     let rel = {
-        let mut store = shared.store.write().unwrap();
+        let mut store = locks::write(&shared.store);
         if store.has_table(name) {
             return err_frame("conflict", &format!("table {name:?} already exists"));
         }
@@ -548,75 +674,168 @@ fn handle_load(
             Err(e) => return engine_err_frame(&e),
         }
     };
+    let fence = Arc::new(AtomicBool::new(false));
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job::Load {
         name: name.to_string(),
         rel,
+        fence: Arc::clone(&fence),
         reply: reply_tx,
     };
     if tx.send(job).is_err() {
+        locks::write(&shared.store).unregister(name);
         return err_frame("shutting_down", "scheduler has exited");
     }
     match reply_rx.recv_timeout(shared.cfg.request_timeout) {
-        Ok(rows) => loaded_frame(name, rows),
-        Err(_) => {
-            shared.counters.update(|c| c.timeouts += 1);
-            shared.metrics.timeouts.inc();
-            err_frame("timeout", "load timed out")
+        Ok(rows) => loaded_shard_forwarded(shared, name, kinds, csv, rows),
+        Err(RecvTimeoutError::Timeout) => {
+            if fence.swap(true, Ordering::SeqCst) {
+                // The scheduler claimed the fence first: the load is landing
+                // (or has landed) on the machine, so wait for the real
+                // acknowledgement rather than telling the client a lie.
+                match reply_rx.recv() {
+                    Ok(rows) => loaded_shard_forwarded(shared, name, kinds, csv, rows),
+                    Err(_) => err_frame("shutting_down", "scheduler exited mid-load"),
+                }
+            } else {
+                // We won: the scheduler will skip the job, so the relation
+                // never reaches the machine. Undo the speculative catalog
+                // registration to match.
+                locks::write(&shared.store).unregister(name);
+                shared.counters.update(|c| c.timeouts += 1);
+                shared.metrics.timeouts.inc();
+                err_frame("timeout", "load timed out")
+            }
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            // Scheduler died without acknowledging; the load may or may not
+            // have landed, but no client was told it did — drop it.
+            locks::write(&shared.store).unregister(name);
+            err_frame("shutting_down", "scheduler has exited")
         }
     }
 }
 
-/// Returns the `RESULT` (or `ERR`) frame plus, on success, the `HOST`
-/// frame.
+/// Forward a successfully-loaded table's partitions to the shards (when
+/// routing), then answer `LOADED`. Forwarding failure only degrades the
+/// table to local-only — the local load is the truth the client was told.
+fn loaded_shard_forwarded(
+    shared: &Shared,
+    name: &str,
+    kinds: &[systolic_relation::DomainKind],
+    csv: &str,
+    rows: usize,
+) -> String {
+    if let Some(router) = &shared.router {
+        router.register_load(name, kinds, csv);
+    }
+    loaded_frame(name, rows)
+}
+
+/// Answer one query: the `RESULT` (or `ERR`) frame, the `CARDS` frame when
+/// `want_cards`, and the `HOST` frame on success.
 fn handle_query(
     shared: &Shared,
     tx: &mpsc::Sender<Job>,
     query: &str,
     trace: Option<TraceCtx>,
-) -> (String, Option<String>) {
+    want_cards: bool,
+) -> Vec<String> {
     // Static analysis before admission: a query that cannot execute (typo'd
     // relation, type error, capacity overflow, ...) never occupies a slot in
     // a merged batch schedule, and the client gets a stable SA00N code with
     // carets instead of a mid-run machine error.
     let expr = {
-        let view = shared.store.read().unwrap().catalog_view();
+        let view = locks::read(&shared.store).catalog_view();
         match engine::prepare_checked(query, &view, &shared.cfg.machine) {
             Ok((expr, _analysis)) => expr,
-            Err(e) => return (engine_err_frame(&e), None),
+            Err(e) => return vec![engine_err_frame(&e)],
         }
     };
+    if let Some(router) = &shared.router {
+        match router.try_query(shared, tx, &expr, query, trace) {
+            RouteOutcome::Answered {
+                result,
+                step_rows,
+                host_ns,
+            } => {
+                shared.metrics.sharded.inc();
+                shared.counters.update(|c| c.sharded += 1);
+                let mut frames = vec![result];
+                if want_cards {
+                    frames.push(cards_frame(&step_rows));
+                }
+                frames.push(host_frame(host_ns));
+                return frames;
+            }
+            RouteOutcome::Failed { frame } => return vec![frame],
+            RouteOutcome::NotRouted => {
+                shared.metrics.shard_fallback.inc();
+                shared.counters.update(|c| c.shard_fallback += 1);
+                // The local run may overwrite a routed base table via
+                // `store(...)`; stop routing such tables first.
+                router.invalidate(&expr);
+            }
+        }
+    }
+    let fence = Arc::new(AtomicBool::new(false));
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     if tx
         .send(Job::Query {
             expr,
             trace,
+            fence: Arc::clone(&fence),
             reply: reply_tx,
         })
         .is_err()
     {
-        return (err_frame("shutting_down", "scheduler has exited"), None);
+        return vec![err_frame("shutting_down", "scheduler has exited")];
     }
-    match reply_rx.recv_timeout(shared.cfg.request_timeout) {
-        Ok(Ok(reply)) => {
+    let reply = match reply_rx.recv_timeout(shared.cfg.request_timeout) {
+        Ok(reply) => reply,
+        Err(RecvTimeoutError::Timeout) => {
+            if fence.swap(true, Ordering::SeqCst) {
+                // The scheduler claimed the fence first: the query is
+                // running and its side effects (e.g. `store(...)`) will
+                // land, so block for the real answer — `ERR timeout` here
+                // would let the catalog diverge from what the client heard.
+                match reply_rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        return vec![err_frame("shutting_down", "scheduler exited mid-query")]
+                    }
+                }
+            } else {
+                // We won: the scheduler will skip the query entirely — no
+                // run, no side effects — so `ERR timeout` is the truth.
+                shared.counters.update(|c| c.timeouts += 1);
+                shared.metrics.timeouts.inc();
+                return vec![err_frame("timeout", "query timed out")];
+            }
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            return vec![err_frame("shutting_down", "scheduler has exited")]
+        }
+    };
+    match reply {
+        Ok(reply) => {
             let csv = {
-                let store = shared.store.read().unwrap();
+                let store = locks::read(&shared.store);
                 store.render_csv(&reply.result)
             };
             match csv {
-                Ok(csv) => (
-                    result_frame(reply.result.len(), &reply.stats, &csv),
-                    Some(host_frame(reply.host_wall_ns)),
-                ),
-                Err(e) => (engine_err_frame(&e), None),
+                Ok(csv) => {
+                    let mut frames = vec![result_frame(reply.result.len(), &reply.stats, &csv)];
+                    if want_cards {
+                        frames.push(cards_frame(&reply.step_rows));
+                    }
+                    frames.push(host_frame(reply.host_wall_ns));
+                    frames
+                }
+                Err(e) => vec![engine_err_frame(&e)],
             }
         }
-        Ok(Err(machine_err)) => (err_frame("machine", &machine_err.to_string()), None),
-        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-            shared.counters.update(|c| c.timeouts += 1);
-            shared.metrics.timeouts.inc();
-            (err_frame("timeout", "query timed out"), None)
-        }
+        Err(machine_err) => vec![err_frame("machine", &machine_err.to_string())],
     }
 }
 

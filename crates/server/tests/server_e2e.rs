@@ -12,7 +12,7 @@ use std::time::Duration;
 use systolic_machine::{Backend, MachineConfig};
 use systolic_relation::DomainKind;
 use systolic_server::protocol::result_frame;
-use systolic_server::{spawn, Client, ClientError, Engine, ServerConfig};
+use systolic_server::{spawn, Client, ClientError, Engine, IoModel, ServerConfig};
 
 /// (name, wire kinds, engine kinds, csv)
 const TABLES: &[(&str, &str, &[DomainKind], &str)] = &[
@@ -216,7 +216,9 @@ fn kernel_backend_result_frames_are_byte_identical_to_sim() {
 #[test]
 fn requests_time_out_instead_of_hanging() {
     // A 1ms request timeout against a 200ms admission window: the worker
-    // gives up before the scheduler even forms the batch.
+    // gives up long before the scheduler even forms the batch, wins the
+    // timeout fence, and the load must be skipped whole — the catalog can
+    // never advertise a table whose load the client was told failed.
     let handle = spawn(ServerConfig {
         request_timeout: Duration::from_millis(1),
         batch_window: Duration::from_millis(200),
@@ -224,22 +226,73 @@ fn requests_time_out_instead_of_hanging() {
     })
     .unwrap();
     let mut client = Client::connect(handle.addr).unwrap();
-    // The load's acknowledgement times out too (same regime), but the table
-    // is registered in the store immediately, so the query still gets past
-    // the unknown-relation check and into its own timeout.
     match client.load_csv("t", "int", "1\n2\n") {
-        Ok(_) | Err(ClientError::Remote { .. }) => {}
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "timeout"),
+        Ok(_) => panic!("load should not beat a 1ms timeout with a 200ms window"),
         Err(other) => panic!("unexpected load error {other}"),
     }
+    // The speculative registration was undone with the fence...
+    let stats = client.stats_line().unwrap();
+    assert!(stats.contains(" tables=0 "), "{stats}");
+    // ...so the query is rejected by static analysis (unknown relation)
+    // instead of being answered from a table the client never loaded.
     match client.query("scan(t)") {
-        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "timeout"),
-        Ok(_) => panic!("query should not beat a 1ms timeout"),
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "analysis"),
+        Ok(_) => panic!("query must not see the fenced table"),
         Err(other) => panic!("unexpected error {other}"),
     }
     client.close().unwrap();
     handle.shutdown();
     let report = handle.join().unwrap();
     assert!(report.timeouts >= 1);
+    assert_eq!(
+        report.loads, 0,
+        "a fenced load must never reach the machine"
+    );
+}
+
+/// The poll reactor must answer the whole workload with `RESULT` frames
+/// byte-identical to the threads front end — both serially and with every
+/// frame pipelined onto the socket at once before any response is read.
+#[test]
+fn poll_front_end_matches_threads_and_serves_pipelined_frames() {
+    let threads = spawn(local_config()).unwrap();
+    let mut c = Client::connect(threads.addr).unwrap();
+    load_all(&mut c);
+    let baseline: Vec<String> = QUERIES
+        .iter()
+        .map(|q| c.raw_query_frames(q).unwrap().0)
+        .collect();
+    c.close().unwrap();
+    threads.shutdown();
+    threads.join().unwrap();
+
+    let poll = spawn(ServerConfig {
+        io: IoModel::Poll,
+        ..local_config()
+    })
+    .unwrap();
+    let mut c = Client::connect(poll.addr).unwrap();
+    load_all(&mut c);
+    // Serial pass...
+    let serial: Vec<String> = QUERIES
+        .iter()
+        .map(|q| c.raw_query_frames(q).unwrap().0)
+        .collect();
+    assert_eq!(serial, baseline, "poll backend must match threads backend");
+    // ...and a fully pipelined pass on one connection: all requests hit the
+    // socket before any response is read, and answers come back in order.
+    let pairs = c.pipeline_queries(QUERIES).unwrap();
+    let pipelined: Vec<String> = pairs.into_iter().map(|(result, _host)| result).collect();
+    assert_eq!(
+        pipelined, baseline,
+        "pipelined answers must arrive in order"
+    );
+    c.close().unwrap();
+    poll.shutdown();
+    let report = poll.join().unwrap();
+    assert_eq!(report.queries, 2 * QUERIES.len() as u64);
+    assert_eq!(report.loads, TABLES.len() as u64);
 }
 
 #[test]
@@ -610,5 +663,219 @@ fn duplicate_loads_conflict_and_errors_are_structured() {
     }
     client.close().unwrap();
     handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// The sharding acceptance check: a server partitioning relations across
+/// N machine shards answers the whole e2e workload — shardable fan-outs
+/// and transparent local fallbacks alike — with `RESULT` frames
+/// *byte-identical* to the single-`System` server's, and `QUERYC`'s
+/// per-step cardinalities (summed across shards on the router) match too.
+#[test]
+fn sharded_servers_answer_byte_identically_to_a_single_system() {
+    // store() runs only on the local system (the analyzer guarantees the
+    // target is a fresh name, so shard partitions cannot go stale); the
+    // follow-up re-query proves routing still works after the write-back.
+    const FOLLOW_UPS: &[&str] = &[
+        "store(filter(scan(a), c0 >= 3), b2)",
+        "union(scan(a), scan(b))",
+    ];
+
+    // Single-System oracle: every query, then the store scenario.
+    let baseline = spawn(local_config()).unwrap();
+    let mut c = Client::connect(baseline.addr).unwrap();
+    load_all(&mut c);
+    let expect: Vec<String> = QUERIES
+        .iter()
+        .chain(FOLLOW_UPS)
+        .map(|q| c.raw_query_frames(q).unwrap().0)
+        .collect();
+    let expect_cards: Vec<(String, Vec<u64>)> = QUERIES
+        .iter()
+        .map(|q| {
+            let (frame, cards, _host) = c.query_cards(q).unwrap();
+            (frame, cards)
+        })
+        .collect();
+    c.close().unwrap();
+    baseline.shutdown();
+    baseline.join().unwrap();
+
+    for shards in [2usize, 4] {
+        let handle = spawn(ServerConfig {
+            shards,
+            ..local_config()
+        })
+        .unwrap();
+        let mut c = Client::connect(handle.addr).unwrap();
+        load_all(&mut c);
+        for (i, q) in QUERIES.iter().chain(FOLLOW_UPS).enumerate() {
+            let (frame, _host) = c.raw_query_frames(q).unwrap();
+            assert_eq!(frame, expect[i], "{shards}-shard RESULT diverged on {q:?}");
+        }
+        for (q, (want_frame, want_cards)) in QUERIES.iter().zip(&expect_cards) {
+            let (frame, cards, _host) = c.query_cards(q).unwrap();
+            assert_eq!(
+                &frame, want_frame,
+                "{shards}-shard QUERYC diverged on {q:?}"
+            );
+            assert_eq!(&cards, want_cards, "{shards}-shard CARDS diverged on {q:?}");
+        }
+
+        // Both paths must actually have run: shardable set ops fanned out,
+        // while divide/Str-join/store queries fell back to the local copy.
+        let text = c.metrics().unwrap();
+        let exp = systolic_telemetry::prom::validate(&text).expect("exposition must validate");
+        assert!(
+            exp.value("sdb_server_sharded_total", "").unwrap_or(0.0) >= 1.0,
+            "{shards}-shard server never routed a query:\n{text}"
+        );
+        assert!(
+            exp.value("sdb_server_shard_fallback_total", "")
+                .unwrap_or(0.0)
+                >= 1.0,
+            "{shards}-shard server never fell back:\n{text}"
+        );
+        c.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}
+
+/// Connection scaling: the poll reactor holds 64/256/1024 simultaneous
+/// connections, *all* with requests in flight at once (every frame is
+/// written before any answer is read), and every `RESULT` frame is
+/// byte-identical to the serial baseline. The worker pool stays small —
+/// concurrency comes from the reactor, not from threads.
+#[test]
+fn poll_reactor_keeps_determinism_across_hundreds_of_connections() {
+    let config = || ServerConfig {
+        io: IoModel::Poll,
+        workers: 8,
+        max_pending: 4096,
+        max_batch: 64,
+        ..local_config()
+    };
+    let handle = spawn(config()).unwrap();
+    let addr = handle.addr;
+    let mut setup = Client::connect(addr).unwrap();
+    load_all(&mut setup);
+    let baseline: Vec<String> = QUERIES
+        .iter()
+        .map(|q| setup.raw_query_frames(q).unwrap().0)
+        .collect();
+
+    for conns in [64usize, 256, 1024] {
+        let mut clients: Vec<Client> = (0..conns).map(|_| Client::connect(addr).unwrap()).collect();
+        // Write phase: one query per connection, rotating through the
+        // workload, no answer read until every request is on the wire.
+        for (i, client) in clients.iter_mut().enumerate() {
+            client.send_query(QUERIES[i % QUERIES.len()]).unwrap();
+        }
+        // Read phase: answers must match the serial baseline bytewise.
+        for (i, client) in clients.iter_mut().enumerate() {
+            let (frame, _host) = client.recv_query_frames().unwrap();
+            assert_eq!(
+                frame,
+                baseline[i % QUERIES.len()],
+                "connection {i}/{conns} diverged"
+            );
+        }
+        for client in &mut clients {
+            client.close().unwrap();
+        }
+    }
+
+    setup.close().unwrap();
+    handle.shutdown();
+    let report = handle.join().unwrap();
+    assert_eq!(
+        report.queries,
+        (QUERIES.len() + 64 + 256 + 1024) as u64,
+        "every pipelined query must be served exactly once"
+    );
+    assert_eq!(report.timeouts, 0);
+}
+
+/// Overload under poll: with one worker, no pending allowance, and a long
+/// admission window, a burst of pipelined frames is shed with
+/// `ERR overloaded` — in pipeline order, without wedging the connection —
+/// while at least the first frame is answered for real.
+#[test]
+fn poll_front_end_sheds_pipelined_overload_in_order() {
+    let handle = spawn(ServerConfig {
+        io: IoModel::Poll,
+        workers: 1,
+        max_pending: 0,
+        batch_window: Duration::from_millis(200),
+        ..local_config()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr).unwrap();
+    c.load_csv("t", "int", "1\n2\n3\n").unwrap();
+
+    const BURST: usize = 6;
+    for _ in 0..BURST {
+        c.send_query("filter(scan(t), c0 >= 2)").unwrap();
+    }
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for i in 0..BURST {
+        match c.recv_query_frames() {
+            Ok((frame, _host)) => {
+                assert!(frame.starts_with("RESULT rows=2 "), "answer {i}: {frame}");
+                served += 1;
+            }
+            Err(ClientError::Remote { kind, .. }) => {
+                assert_eq!(kind, "overloaded", "answer {i}");
+                shed += 1;
+            }
+            other => panic!("answer {i}: expected RESULT or overloaded, got {other:?}"),
+        }
+    }
+    assert!(served >= 1, "the occupying query itself must be answered");
+    assert!(shed >= 1, "a 6-deep burst over a 1-worker pool must shed");
+
+    // The connection survives shedding: a fresh query is answered.
+    let result = c.query("filter(scan(t), c0 >= 2)").unwrap();
+    assert_eq!(result.rows, 2);
+    c.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// Drain under poll: shutdown lands while pipelined queries are in flight
+/// behind a long admission window; every already-accepted frame is still
+/// answered before the reactor closes the connection.
+#[test]
+fn poll_shutdown_drains_pipelined_in_flight_queries() {
+    let handle = spawn(ServerConfig {
+        io: IoModel::Poll,
+        batch_window: Duration::from_millis(150),
+        ..local_config()
+    })
+    .unwrap();
+    let addr = handle.addr;
+    let mut setup = Client::connect(addr).unwrap();
+    setup.load_csv("t", "int", "1\n2\n3\n").unwrap();
+
+    let in_flight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        for _ in 0..3 {
+            client.send_query("filter(scan(t), c0 >= 2)").unwrap();
+        }
+        (0..3)
+            .map(|_| client.recv_query_frames().map(|(r, _)| r))
+            .collect::<Result<Vec<_>, _>>()
+    });
+    thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+
+    let frames = in_flight.join().unwrap().unwrap();
+    assert_eq!(frames.len(), 3);
+    for frame in &frames {
+        assert!(frame.starts_with("RESULT rows=2 "), "{frame}");
+    }
+    drop(setup);
     handle.join().unwrap();
 }

@@ -32,7 +32,7 @@ use systolic_core::ArrayLimits;
 use systolic_machine::{Backend, MachineConfig, MachineError, ParseError, RunOutcome};
 use systolic_relation::{DomainKind, RelationError};
 use systolic_server::engine::kind_name;
-use systolic_server::{Client, ClientError, Engine, EngineError, ServerConfig};
+use systolic_server::{Client, ClientError, Engine, EngineError, IoModel, ServerConfig};
 use systolic_telemetry::chrome::{ArgValue, ChromeTrace, PID_HOST, PID_SIMULATED};
 use systolic_telemetry::{prom, SpanRecord};
 
@@ -185,6 +185,11 @@ pub struct ServeArgs {
     pub backend: Option<Backend>,
     /// Connection worker threads.
     pub workers: usize,
+    /// Connection front end: thread-per-connection or the poll(2) reactor.
+    pub io: IoModel,
+    /// Machine shards relations are hash-partitioned across (`1` = the
+    /// classic single-`System` server).
+    pub shards: usize,
     /// Admission window in milliseconds.
     pub batch_window_ms: u64,
     /// Slow-query log threshold in milliseconds; 0 disables the log.
@@ -199,6 +204,8 @@ impl Default for ServeArgs {
             threads: 0,
             backend: None,
             workers: defaults.workers,
+            io: defaults.io,
+            shards: defaults.shards,
             batch_window_ms: defaults.batch_window.as_millis() as u64,
             slow_query_ms: defaults
                 .slow_query
@@ -267,7 +274,7 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
 [--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
        sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
        sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
-[--batch-window MS] [--slow-query-ms MS]
+[--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS]
        sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
 [--check-metrics] [--shutdown] [QUERY]
   types: int, str, bool, date
@@ -289,6 +296,13 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
   --memory BYTES: (check) analyze against memory modules of BYTES capacity
                (to probe the SA006 staging bound)
   serve: run the concurrent query service until SIGINT/SIGTERM
+  --io M: serve connections thread-per-connection (threads, the default) or
+               through a single poll(2) reactor that multiplexes every
+               session and supports pipelined requests (poll)
+  --shards N: hash-partition loaded relations across N independent machine
+               shards; shardable queries fan out and merge, every other
+               query transparently falls back to a full local copy — the
+               RESULT frames are byte-identical either way
   --slow-query-ms MS: log queries slower than MS to stderr (0 disables)
   --connect: run the query on a server instead of in-process
   --metrics: print the server's Prometheus text exposition
@@ -373,6 +387,16 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
             "--workers" => {
                 let value = flag_value("--workers", &mut it)?;
                 args.workers = parse_number("--workers", value)?.max(1);
+            }
+            "--io" => {
+                let value = flag_value("--io", &mut it)?;
+                args.io = IoModel::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!("--io expects threads or poll, got {value:?}"))
+                })?;
+            }
+            "--shards" => {
+                let value = flag_value("--shards", &mut it)?;
+                args.shards = parse_number("--shards", value)?.max(1);
             }
             "--batch-window" => {
                 let value = flag_value("--batch-window", &mut it)?;
@@ -686,6 +710,8 @@ fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     systolic_server::run(ServerConfig {
         addr: args.addr.clone(),
         workers: args.workers,
+        io: args.io,
+        shards: args.shards,
         machine,
         batch_window: Duration::from_millis(args.batch_window_ms),
         slow_query: match args.slow_query_ms {
@@ -865,6 +891,10 @@ mod tests {
             "2",
             "--batch-window",
             "5",
+            "--io",
+            "poll",
+            "--shards",
+            "4",
         ]))
         .unwrap()
         {
@@ -873,9 +903,26 @@ mod tests {
                 assert_eq!(s.workers, 8);
                 assert_eq!(s.threads, 2);
                 assert_eq!(s.batch_window_ms, 5);
+                assert_eq!(s.io, IoModel::Poll);
+                assert_eq!(s.shards, 4);
             }
             other => panic!("expected serve, got {other:?}"),
         }
+        match parse_command(&argv(&["serve"])).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.io, IoModel::Threads, "threads is the default front end");
+                assert_eq!(s.shards, 1, "single-System by default");
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["serve", "--io", "epoll"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command(&argv(&["serve", "--shards", "many"])),
+            Err(CliError::Usage(_))
+        ));
         match parse_command(&argv(&[
             "--connect",
             "127.0.0.1:4171",
