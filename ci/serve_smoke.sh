@@ -8,7 +8,11 @@
 #   6. repeat the workload against `--io poll --shards 2` (the event-driven
 #      front end with a 2-shard router), check the answers match, and check
 #      the router actually routed (sharded counter) and fell back where it
-#      must (the join has no first-column equality, so it runs locally).
+#      must (the join has no first-column equality, so it runs locally),
+#   7. serve with `--data-dir`, load, SIGKILL the process mid-flight,
+#      restart on the same directory, and re-run the join WITHOUT reloading
+#      anything: recovery must produce the same rows, report itself in the
+#      storage metrics, and survive an explicit checkpoint.
 # Any failure exits nonzero.
 set -euo pipefail
 
@@ -16,7 +20,8 @@ cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:14171
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+# On any exit, reap servers a failed assertion left behind, then clean up.
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 cargo build --bin sdb
 SDB=target/debug/sdb
@@ -126,4 +131,82 @@ grep -q "shutdown:" "$WORK/serve2.log" || { echo "missing poll shutdown summary"
 
 echo "--- poll server log ---"
 cat "$WORK/serve2.log"
+
+# ---- Round 3: durability — SIGKILL, restart, recover ------------------
+
+ADDR3=127.0.0.1:14173
+DATA="$WORK/data"
+"$SDB" serve --addr "$ADDR3" --data-dir "$DATA" > "$WORK/serve3.log" 2>&1 &
+SRV3=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve3.log" && break
+  kill -0 "$SRV3" 2>/dev/null || { echo "durable server died early:"; cat "$WORK/serve3.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve3.log" || { echo "durable server never came up"; cat "$WORK/serve3.log"; exit 1; }
+
+"$SDB" --connect "$ADDR3" \
+  --table "emp=$WORK/emp.csv:str,int" \
+  --table "dept=$WORK/dept.csv:int,str" \
+  --stats \
+  'join(scan(emp), scan(dept), 1 = 0)' > "$WORK/out4.txt"
+grep -q -- '-- 2 tuples' "$WORK/out4.txt" || { echo "durable: join failed before the crash"; exit 1; }
+
+# SIGKILL: no drain, no flush — only what the WAL already fsynced survives.
+kill -KILL "$SRV3"
+wait "$SRV3" 2>/dev/null || true
+
+"$SDB" serve --addr "$ADDR3" --data-dir "$DATA" > "$WORK/serve3b.log" 2>&1 &
+SRV3=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve3b.log" && break
+  kill -0 "$SRV3" 2>/dev/null || { echo "restarted server died early:"; cat "$WORK/serve3b.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve3b.log" || { echo "restarted server never came up"; cat "$WORK/serve3b.log"; exit 1; }
+
+# Re-run the join WITHOUT reloading: the tables must come back from the log.
+"$SDB" --connect "$ADDR3" --stats 'join(scan(emp), scan(dept), 1 = 0)' > "$WORK/out5.txt"
+echo "--- recovered client output ---"
+cat "$WORK/out5.txt"
+grep -q 'ada,10,storage' "$WORK/out5.txt" || { echo "recovery lost joined row ada"; exit 1; }
+grep -q 'grace,20,query' "$WORK/out5.txt" || { echo "recovery lost joined row grace"; exit 1; }
+grep -q -- '-- 2 tuples' "$WORK/out5.txt" || { echo "recovered join: missing stats footer"; exit 1; }
+
+# A fresh load after recovery must hit the WAL (append + fsync) like any
+# other acknowledged write.
+"$SDB" --connect "$ADDR3" --table "late=$WORK/emp.csv:str,int" 'dedup(scan(late))' > "$WORK/out6.txt"
+grep -q 'ada,10' "$WORK/out6.txt" || { echo "post-recovery load failed"; exit 1; }
+
+# The storage counters must be on the wire: the redo ran at startup
+# (recovery families) and the fresh load was fsynced (WAL families).
+# Recovery replays through the front door without re-appending, so the
+# restarted process's WAL counters count only post-recovery writes.
+"$SDB" --connect "$ADDR3" --metrics > "$WORK/metrics3.txt"
+grep -q '# TYPE sdb_storage_recovery_records_total counter' "$WORK/metrics3.txt" \
+  || { echo "missing recovery records counter family"; exit 1; }
+grep -q '# TYPE sdb_storage_recovery_ns_total counter' "$WORK/metrics3.txt" \
+  || { echo "missing recovery time counter family"; exit 1; }
+awk '$1 == "sdb_storage_recovery_records_total" && $2 >= 2 { found = 1 } END { exit !found }' \
+  "$WORK/metrics3.txt" || { echo "recovery replayed nothing"; cat "$WORK/metrics3.txt"; exit 1; }
+awk '$1 == "sdb_storage_wal_records_total" && $2 >= 1 { found = 1 } END { exit !found }' \
+  "$WORK/metrics3.txt" || { echo "post-recovery load never reached the WAL"; cat "$WORK/metrics3.txt"; exit 1; }
+awk '$1 == "sdb_storage_wal_fsyncs_total" && $2 >= 1 { found = 1 } END { exit !found }' \
+  "$WORK/metrics3.txt" || { echo "WAL never fsynced"; cat "$WORK/metrics3.txt"; exit 1; }
+
+# Checkpoint through the client: the snapshot absorbs the whole history —
+# the two recovered loads plus the one above.
+"$SDB" --connect "$ADDR3" --checkpoint > "$WORK/ckpt.txt"
+cat "$WORK/ckpt.txt"
+grep -q 'checkpointed 3 records' "$WORK/ckpt.txt" || { echo "checkpoint did not cover the recovered history"; exit 1; }
+
+kill -TERM "$SRV3"
+if ! wait "$SRV3"; then
+  echo "durable server did not exit cleanly:"; cat "$WORK/serve3b.log"; exit 1
+fi
+grep -q "shutdown:" "$WORK/serve3b.log" || { echo "missing durable shutdown summary"; cat "$WORK/serve3b.log"; exit 1; }
+
+echo "--- durable server logs ---"
+cat "$WORK/serve3.log" "$WORK/serve3b.log"
 echo "serve smoke test passed"

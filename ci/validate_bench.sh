@@ -30,3 +30,17 @@ if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5.0) }'; then
   exit 1
 fi
 echo "e21 kernel-vs-sim speedup: ${SPEEDUP}x (>= 5x)"
+
+# The durability experiment must be present with a live WAL append rate —
+# a zero rate would mean the fsynced append path never ran.
+DUR="$DIR/BENCH_durability.json"
+if [[ ! -f "$DUR" ]]; then
+  echo "missing $DUR" >&2
+  exit 1
+fi
+WAL_RATE=$(sed -n 's/.*"wal_append_records_per_sec": \([0-9.]*\).*/\1/p' "$DUR")
+if ! awk -v r="$WAL_RATE" 'BEGIN { exit !(r > 0) }'; then
+  echo "durability wal_append_records_per_sec $WAL_RATE is not positive" >&2
+  exit 1
+fi
+echo "durability WAL append rate: ${WAL_RATE} records/sec (fsync per append)"

@@ -1299,6 +1299,173 @@ fn serve_throughput() -> (Summary, Vec<(String, Extra)>) {
     (sum, extras)
 }
 
+fn durability() -> (Summary, Vec<(String, Extra)>) {
+    use std::sync::Arc;
+    use systolic_storage::{
+        BlobStore, ReplacerKind, SharedBlobStore, StorageEngine, StorageMetrics,
+    };
+    use systolic_telemetry::metrics::Registry;
+
+    let mut sum = Summary::default();
+    let mut extras: Vec<(String, Extra)> = Vec::new();
+
+    heading(
+        "D1",
+        "durable storage engine",
+        "\u{a7}9: the database is disk-resident \u{2014} acknowledged loads and queries \
+         survive power loss. Every number here is host time; none of it ever \
+         enters the simulated pulse accounting (the two-clocks rule)",
+    );
+    let base = std::env::temp_dir().join(format!("sdb_bench_durability_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Act 1: WAL append throughput. Each append is fsynced before it
+    // returns — this is the price of the ack-after-durable discipline.
+    let dir = base.join("wal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut engine, _, _) = StorageEngine::open_with(&dir, 64, ReplacerKind::Clock).unwrap();
+    let kinds = vec!["int".to_string(), "str".to_string()];
+    let csv: String = (0..32).map(|i| format!("{i},row-{i}\n")).collect();
+    const APPENDS: usize = 512;
+    let started = Instant::now();
+    for i in 0..APPENDS {
+        engine.log_load(&format!("r{i}"), &kinds, &csv).unwrap();
+        sum.tick();
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let log_bytes = engine.wal_bytes();
+    drop(engine);
+    let records_per_sec = APPENDS as f64 / wall;
+    let bytes_per_sec = log_bytes as f64 / wall;
+    let mut t = Table::new(&[
+        "appends",
+        "log bytes",
+        "wall time",
+        "records/sec",
+        "MiB/sec",
+    ]);
+    t.rowd(&[
+        APPENDS.to_string(),
+        log_bytes.to_string(),
+        fmt_ns(wall * 1e9),
+        format!("{records_per_sec:.0}"),
+        format!("{:.1}", bytes_per_sec / (1024.0 * 1024.0)),
+    ]);
+    print!("{}", t.render());
+    println!("(each append fsyncs the log before returning: acked => on stable storage)");
+    extras.push((
+        "wal_append_records_per_sec".to_string(),
+        Extra::F64(records_per_sec),
+    ));
+    extras.push((
+        "wal_append_bytes_per_sec".to_string(),
+        Extra::F64(bytes_per_sec),
+    ));
+
+    // Act 2: crash-recovery time against log length. Recovery replays the
+    // logical WAL suffix through the same front door a client would use,
+    // so its cost is linear in the un-checkpointed tail.
+    println!();
+    println!("crash recovery (reopen + logical redo) vs write-ahead log length:");
+    let mut t = Table::new(&["wal records", "replayed", "recovery time"]);
+    for n in [100usize, 400, 1600] {
+        let dir = base.join(format!("recover_{n}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let (mut engine, _, _) =
+                StorageEngine::open_with(&dir, 64, ReplacerKind::Clock).unwrap();
+            for i in 0..n {
+                engine
+                    .log_load(&format!("r{}", i % 8), &kinds, &csv)
+                    .unwrap();
+                sum.tick();
+            }
+        }
+        let (engine, replay, report) =
+            StorageEngine::open_with(&dir, 64, ReplacerKind::Clock).unwrap();
+        assert_eq!(replay.len(), n, "every appended record replays");
+        assert_eq!(engine.wal_records(), n);
+        assert_eq!(
+            report.dropped_tail_bytes, 0,
+            "clean shutdown leaves no torn tail"
+        );
+        t.rowd(&[
+            n.to_string(),
+            report.wal_records.to_string(),
+            fmt_ns(report.recovery_ns as f64),
+        ]);
+        extras.push((format!("recovery_{n}_ns"), Extra::U64(report.recovery_ns)));
+    }
+    print!("{}", t.render());
+
+    // Act 3: buffer-pool hit rate as sessions pile up. A 32-frame pool over
+    // 24 three-page blobs; each session cycles a small working set of its
+    // own, so the rate measures how well the pool holds the sessions' union
+    // as it grows past the frame budget.
+    println!();
+    println!("buffer-pool hit rate under concurrent sessions (32-frame pool, 24 blobs):");
+    const BLOBS: usize = 24;
+    const READS: usize = 64;
+    let blob: Vec<u8> = (0..20 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut t = Table::new(&["sessions", "page reads", "hits", "misses", "hit rate"]);
+    for sessions in [1usize, 4, 16] {
+        let registry = Registry::new();
+        let metrics = Arc::new(StorageMetrics::from_registry(&registry));
+        let dir = base.join(format!("pool_{sessions}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = BlobStore::create(
+            &dir.join("relations.pg"),
+            32,
+            ReplacerKind::Clock,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let store = SharedBlobStore::new(store);
+        for b in 0..BLOBS {
+            store.put_next(&format!("blob{b}"), &blob).unwrap();
+        }
+        let (hits0, misses0) = (metrics.pool_hits.get(), metrics.pool_misses.get());
+        std::thread::scope(|scope| {
+            for s in 0..sessions {
+                let store = &store;
+                let blob_len = blob.len();
+                scope.spawn(move || {
+                    for k in 0..READS {
+                        // Each session cycles its own 6-blob working set,
+                        // offset per session so the union widens with the
+                        // session count.
+                        let b = (s * 5 + k % 6) % BLOBS;
+                        let bytes = store.get(&format!("blob{b}")).unwrap();
+                        assert_eq!(bytes.len(), blob_len);
+                    }
+                });
+            }
+        });
+        let hits = metrics.pool_hits.get() - hits0;
+        let misses = metrics.pool_misses.get() - misses0;
+        assert!(hits + misses > 0, "the read path goes through the pool");
+        let rate = hits as f64 / (hits + misses) as f64;
+        for _ in 0..sessions * READS {
+            sum.tick();
+        }
+        t.rowd(&[
+            sessions.to_string(),
+            (hits + misses).to_string(),
+            hits.to_string(),
+            misses.to_string(),
+            format!("{rate:.3}"),
+        ]);
+        extras.push((
+            format!("pool_hit_rate_{sessions}_sessions"),
+            Extra::F64(rate),
+        ));
+    }
+    print!("{}", t.render());
+
+    let _ = std::fs::remove_dir_all(&base);
+    (sum, extras)
+}
+
 /// Time `f`, then record its summary as `BENCH_<name>.json` (a no-op when
 /// the sink is disabled).
 fn run_exp(sink: &mut ArtifactSink, name: &str, f: impl FnOnce() -> Summary) {
@@ -1379,6 +1546,7 @@ fn main() {
     run_exp(&mut sink, "e18_capacity", e18_capacity);
     run_exp(&mut sink, "e19_pipelined_tiles", e19_pipelined_tiles);
     run_exp_extras(&mut sink, "e21_backend_speedup", e21_backend_speedup);
+    run_exp_extras(&mut sink, "durability", durability);
     if sink.enabled() {
         // `--json` covers every workload, the server one included.
         run_exp_extras(&mut sink, "serve_throughput", serve_throughput);

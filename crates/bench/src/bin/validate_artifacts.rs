@@ -40,6 +40,17 @@ const OPTIONAL: &[(&str, bool)] = &[
     ("poll_conns_64_qps", false),
     ("poll_conns_256_qps", false),
     ("poll_conns_1024_qps", false),
+    // durability: fsynced WAL append throughput, crash-recovery time at
+    // each measured log length, and buffer-pool hit rates per session
+    // count.
+    ("wal_append_records_per_sec", false),
+    ("wal_append_bytes_per_sec", false),
+    ("recovery_100_ns", true),
+    ("recovery_400_ns", true),
+    ("recovery_1600_ns", true),
+    ("pool_hit_rate_1_sessions", false),
+    ("pool_hit_rate_4_sessions", false),
+    ("pool_hit_rate_16_sessions", false),
 ];
 
 /// Whether `key` is an allowed optional per-operator wall-time field.
@@ -142,6 +153,17 @@ fn check_file(path: &Path) -> Result<(), Vec<String>> {
             errs.push(format!(
                 "queries_per_sec {qps} is not a finite non-negative number"
             ));
+        }
+    }
+    for (key, value) in fields {
+        if let Some(rate) = key
+            .starts_with("pool_hit_rate_")
+            .then(|| value.as_f64())
+            .flatten()
+        {
+            if !(0.0..=1.0).contains(&rate) {
+                errs.push(format!("{key:?} {rate} outside [0, 1]"));
+            }
         }
     }
     if let (Some(sim), Some(kernel), Some(speedup)) = (

@@ -37,6 +37,12 @@ pub enum MachineError {
         /// The offending step kind (`store`, `divide`, ...).
         step: String,
     },
+    /// The durable storage layer beneath a disk failed (I/O, corruption).
+    /// Carries the rendered detail: the underlying error is not `Clone`.
+    Storage {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -61,6 +67,7 @@ impl fmt::Display for MachineError {
             MachineError::Unpriceable { step } => {
                 write!(f, "cannot price {step} from cardinalities alone")
             }
+            MachineError::Storage { detail } => write!(f, "storage layer: {detail}"),
         }
     }
 }

@@ -8,10 +8,11 @@
 //! be processed outside the disks" — modelled as a selection predicate
 //! applied during the transfer at no extra cost.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use systolic_fabric::CompareOp;
 use systolic_relation::{Elem, MultiRelation};
+use systolic_storage::{codec, SharedBlobStore};
 
 use crate::error::{MachineError, Result};
 
@@ -49,11 +50,38 @@ impl TrackFilter {
     }
 }
 
+/// The paged backing of one disk: a shared blob store plus this disk's
+/// namespace prefix and the set of names it owns. Each simulated disk keys
+/// its blobs as `d<i>:<name>` so two disks holding the same relation name
+/// (possible when `store(...)` write-backs pick channels by load) never
+/// alias each other's bytes.
+#[derive(Debug)]
+struct Backing {
+    store: SharedBlobStore,
+    prefix: String,
+    owned: HashSet<String>,
+}
+
+impl Backing {
+    fn key(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+}
+
 /// The rotational disk: stores named base relations, delivers them at the
 /// §8 rate (one cylinder per revolution), optionally filtering on the fly.
+///
+/// Unbacked (the default, used by benches and direct simulation), contents
+/// live in a host `HashMap`. With [`Disk::attach_backing`], contents live
+/// in a paged blob store and every read decodes pages fetched through the
+/// buffer pool — the durable-server configuration. Either way the *model*
+/// is identical: transfer time is priced from the relation's §2.3 size, so
+/// `RunStats` are bit-identical between the two modes (two-clocks rule:
+/// host I/O time never leaks into simulated pulses).
 #[derive(Debug)]
 pub struct Disk {
     relations: HashMap<String, MultiRelation>,
+    backing: Option<Backing>,
     /// Bytes transferred per revolution.
     pub bytes_per_revolution: u64,
     /// Revolution time in nanoseconds (17 ms for a 3600-rpm disk).
@@ -70,6 +98,7 @@ impl Disk {
     pub fn paper_disk() -> Self {
         Disk {
             relations: HashMap::new(),
+            backing: None,
             bytes_per_revolution: 500_000,
             revolution_ns: 16_666_667,
             bytes_per_word: 4,
@@ -77,23 +106,94 @@ impl Disk {
         }
     }
 
+    /// Back this disk with a paged store, moving any current contents into
+    /// it under the given namespace `prefix`.
+    pub fn attach_backing(&mut self, store: SharedBlobStore, prefix: String) {
+        let mut backing = Backing {
+            store,
+            prefix,
+            owned: HashSet::new(),
+        };
+        for (name, rel) in self.relations.drain() {
+            // Move-in failures fall through to the map below via re-insert;
+            // in practice this runs on an empty disk at server startup.
+            if backing
+                .store
+                .put_next(&backing.key(&name), &codec::encode_relation(&rel))
+                .is_ok()
+            {
+                backing.owned.insert(name);
+            }
+        }
+        self.backing = Some(backing);
+    }
+
+    /// Whether this disk is backed by a paged store.
+    pub fn is_backed(&self) -> bool {
+        self.backing.is_some()
+    }
+
     /// Store a base relation under `name` (overwrites).
+    ///
+    /// When backed, the relation is encoded into pages through the buffer
+    /// pool. If the paged write fails (host I/O error), the copy is kept
+    /// in memory instead — the paged store is a rebuildable cache, the
+    /// WAL above this layer owns durability, and reads must keep working.
     pub fn store(&mut self, name: impl Into<String>, rel: MultiRelation) {
-        self.relations.insert(name.into(), rel);
+        let name = name.into();
+        if let Some(backing) = &mut self.backing {
+            let key = backing.key(&name);
+            if backing
+                .store
+                .put_next(&key, &codec::encode_relation(&rel))
+                .is_ok()
+            {
+                backing.owned.insert(name);
+                return;
+            }
+        }
+        self.relations.insert(name, rel);
     }
 
     /// Names of stored relations (unspecified order).
-    pub fn names(&self) -> Vec<&str> {
-        self.relations.keys().map(|s| s.as_str()).collect()
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.relations.keys().cloned().collect();
+        if let Some(backing) = &self.backing {
+            out.extend(backing.owned.iter().cloned());
+        }
+        out
     }
 
-    /// Look up a stored relation.
-    pub fn get(&self, name: &str) -> Result<&MultiRelation> {
-        self.relations
-            .get(name)
+    /// Whether a relation with this name is stored here.
+    pub fn has(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+            || self
+                .backing
+                .as_ref()
+                .is_some_and(|b| b.owned.contains(name))
+    }
+
+    /// Fetch a stored relation (decoding from pages when backed).
+    pub fn fetch(&self, name: &str) -> Result<MultiRelation> {
+        if let Some(rel) = self.relations.get(name) {
+            return Ok(rel.clone());
+        }
+        let backing = self
+            .backing
+            .as_ref()
+            .filter(|b| b.owned.contains(name))
             .ok_or_else(|| MachineError::UnknownRelation {
                 name: name.to_string(),
-            })
+            })?;
+        let bytes = backing
+            .store
+            .get(&backing.key(name))
+            .map_err(|e| MachineError::Storage {
+                detail: e.to_string(),
+            })?;
+        codec::decode_relation(&bytes).map_err(|e| MachineError::Storage {
+            detail: e.to_string(),
+        })
     }
 
     /// Time to deliver `bytes` through the read channel, in nanoseconds.
@@ -108,16 +208,16 @@ impl Disk {
     /// the head), so transfer time is based on the stored size — but the
     /// bytes delivered to memory shrink.
     pub fn read(&self, name: &str, filter: Option<TrackFilter>) -> Result<(MultiRelation, u64)> {
-        let stored = self.get(name)?;
-        let time = self.transfer_ns(relation_bytes(stored, self.bytes_per_word));
+        let stored = self.fetch(name)?;
+        let time = self.transfer_ns(relation_bytes(&stored, self.bytes_per_word));
         let delivered = match filter {
-            Some(f) if self.logic_per_track => f.apply(stored),
+            Some(f) if self.logic_per_track => f.apply(&stored),
             Some(f) => {
                 // No track logic: the filter still happens, but host-side
                 // after a full read; same data, same modelled time.
-                f.apply(stored)
+                f.apply(&stored)
             }
-            None => stored.clone(),
+            None => stored,
         };
         Ok((delivered, time))
     }
@@ -272,6 +372,44 @@ mod tests {
         assert_eq!(m.evict("a").unwrap().len(), 1);
         assert_eq!(m.used(), 0);
         assert!(m.evict("a").is_none());
+    }
+
+    #[test]
+    fn backed_disk_round_trips_with_identical_transfer_time() {
+        use systolic_storage::{BlobStore, ReplacerKind, SharedBlobStore, StorageMetrics};
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("sdb_disk_backing_{}.pg", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut plain = Disk::paper_disk();
+        let mut backed = Disk::paper_disk();
+        // Store before attaching: attach must migrate existing contents.
+        backed.store("emp", rel(&[&[1, 10], &[2, 20]]));
+        let store = SharedBlobStore::new(
+            BlobStore::create(&path, 8, ReplacerKind::Clock, StorageMetrics::shared()).unwrap(),
+        );
+        backed.attach_backing(store.clone(), "d0:".into());
+        assert!(backed.is_backed());
+        // And after attaching: writes go straight through.
+        backed.store("dept", rel(&[&[7, 70]]));
+        plain.store("emp", rel(&[&[1, 10], &[2, 20]]));
+        plain.store("dept", rel(&[&[7, 70]]));
+
+        for name in ["emp", "dept"] {
+            let (want, want_ns) = plain.read(name, None).unwrap();
+            let (got, got_ns) = backed.read(name, None).unwrap();
+            assert_eq!(got.rows(), want.rows(), "{name} rows diverge");
+            assert_eq!(got_ns, want_ns, "{name} transfer time diverges");
+        }
+        // The bytes really live in the paged store, under the disk prefix.
+        assert!(store.contains("d0:emp"));
+        assert!(store.contains("d0:dept"));
+        assert!(!backed.has("missing"));
+        let mut names = backed.names();
+        names.sort();
+        assert_eq!(names, vec!["dept".to_string(), "emp".to_string()]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -29,10 +29,12 @@
 //! statistics.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use systolic_core::{ArrayLimits, Backend};
 use systolic_relation::MultiRelation;
+use systolic_storage::pool::Replacer;
+use systolic_storage::{ReplacerKind, SharedBlobStore, StorageMetrics};
 use systolic_telemetry as telemetry;
 use systolic_telemetry::metrics::{self, Counter};
 
@@ -286,12 +288,28 @@ struct LoadExec {
 /// [`System`] schedules each run exactly as a freshly built machine would —
 /// only disk contents (base relations and `store(...)` write-backs) persist
 /// across runs.
-#[derive(Debug)]
 struct Transient {
     memories: Vec<MemoryModule>,
     free_at: HashMap<Res, u64>,
     placement: HashMap<String, usize>,
     placement_rr: usize,
+    /// Remaining *future* uses per staged name (op inputs, store inputs and
+    /// the final result fetch). A name at zero is dead data a full memory
+    /// may reclaim.
+    uses: HashMap<String, usize>,
+    /// Staging replacement policy — the same [`Replacer`] family that
+    /// drives the buffer pool, here keyed by staged-relation name.
+    replacer: Box<dyn Replacer<String>>,
+    storage_metrics: Arc<StorageMetrics>,
+}
+
+impl std::fmt::Debug for Transient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transient")
+            .field("memories", &self.memories)
+            .field("placement", &self.placement)
+            .finish()
+    }
 }
 
 impl Transient {
@@ -299,7 +317,30 @@ impl Transient {
     /// port frees earliest (so independent operations land on distinct
     /// ports — which is what makes concurrent operation possible), then the
     /// emptiest, breaking remaining ties round-robin.
+    ///
+    /// When no module has room, staged relations with no remaining uses
+    /// are evicted — in replacement-policy order — until one does. Runs
+    /// that fit without eviction schedule exactly as before (the eviction
+    /// path only runs where the machine previously failed with
+    /// [`MachineError::MemoryOverflow`]). Dropping a dead staged copy frees
+    /// buffer space without any data movement, so it costs nothing on the
+    /// simulated clocks.
     fn choose_memory(&mut self, bytes: u64) -> Result<usize> {
+        loop {
+            if let Some(id) = self.try_choose(bytes) {
+                return Ok(id);
+            }
+            if !self.evict_one_dead() {
+                return Err(MachineError::MemoryOverflow {
+                    module: self.placement_rr,
+                    requested: bytes,
+                    available: self.memories.iter().map(|m| m.free()).max().unwrap_or(0),
+                });
+            }
+        }
+    }
+
+    fn try_choose(&mut self, bytes: u64) -> Option<usize> {
         let n = self.memories.len();
         let start = self.placement_rr;
         let mut best: Option<(u64, u64, usize)> = None; // (port_free_at, -free, id)
@@ -314,23 +355,60 @@ impl Transient {
                 best = Some((key.0, key.1, id));
             }
         }
-        let (_, _, id) = best.ok_or(MachineError::MemoryOverflow {
-            module: start,
-            requested: bytes,
-            available: self.memories.iter().map(|m| m.free()).max().unwrap_or(0),
-        })?;
+        let (_, _, id) = best?;
         self.placement_rr = (id + 1) % n;
-        Ok(id)
+        Some(id)
+    }
+
+    /// Reclaim one dead staged relation, policy order. Victims that still
+    /// have uses ahead are skipped (and re-tracked). Returns whether any
+    /// bytes were freed.
+    fn evict_one_dead(&mut self) -> bool {
+        let mut skipped: Vec<String> = Vec::new();
+        let mut freed = false;
+        while let Some(name) = self.replacer.victim() {
+            if self.uses.get(&name).copied().unwrap_or(0) > 0 {
+                skipped.push(name);
+                continue;
+            }
+            if let Some(home) = self.placement.remove(&name) {
+                if self.memories[home].evict(&name).is_some() {
+                    self.storage_metrics.staging_evictions.inc();
+                    freed = true;
+                    break;
+                }
+            }
+        }
+        for name in skipped {
+            self.replacer.record_access(&name);
+        }
+        freed
+    }
+
+    /// Stage a relation into `target`, tracking it for replacement.
+    fn stage(&mut self, target: usize, name: &str, rel: MultiRelation) -> Result<()> {
+        self.memories[target].store(name.to_string(), rel)?;
+        self.placement.insert(name.to_string(), target);
+        self.replacer.record_access(&name.to_string());
+        Ok(())
+    }
+
+    /// Note that one pending use of `name` has happened.
+    fn consume(&mut self, name: &str) {
+        if let Some(n) = self.uses.get_mut(name) {
+            *n = n.saturating_sub(1);
+        }
     }
 
     /// Look up a staged relation by name.
-    fn fetch(&self, name: &str) -> Result<MultiRelation> {
+    fn fetch(&mut self, name: &str) -> Result<MultiRelation> {
         let &home = self
             .placement
             .get(name)
             .ok_or_else(|| MachineError::UnknownRelation {
                 name: name.to_string(),
             })?;
+        self.replacer.record_access(&name.to_string());
         self.memories[home]
             .get(name)
             .cloned()
@@ -349,6 +427,8 @@ pub struct System {
     interconnect: Interconnect,
     disk_rr: usize,
     host_threads: usize,
+    staging_replacer: ReplacerKind,
+    storage_metrics: Arc<StorageMetrics>,
 }
 
 impl System {
@@ -376,7 +456,23 @@ impl System {
             interconnect: config.interconnect,
             disk_rr: 0,
             host_threads: config.host_threads,
+            staging_replacer: ReplacerKind::Clock,
+            storage_metrics: StorageMetrics::shared(),
         })
+    }
+
+    /// Back every disk with the given paged store (each disk namespaces its
+    /// blobs as `d<i>:`). Existing disk contents move into the store.
+    pub fn attach_storage(&mut self, store: &SharedBlobStore) {
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            disk.attach_backing(store.clone(), format!("d{i}:"));
+        }
+    }
+
+    /// Select the staging-memory replacement policy (shared with the
+    /// buffer pool's `--replacer` choice).
+    pub fn set_staging_replacer(&mut self, kind: ReplacerKind) {
+        self.staging_replacer = kind;
     }
 
     /// A machine with the default configuration.
@@ -396,7 +492,7 @@ impl System {
     fn disk_of(&self, name: &str) -> Result<usize> {
         self.disks
             .iter()
-            .position(|d| d.get(name).is_ok())
+            .position(|d| d.has(name))
             .ok_or_else(|| MachineError::UnknownRelation {
                 name: name.to_string(),
             })
@@ -433,6 +529,9 @@ impl System {
             free_at: HashMap::new(),
             placement: HashMap::new(),
             placement_rr: 0,
+            uses: HashMap::new(),
+            replacer: self.staging_replacer.build(),
+            storage_metrics: self.storage_metrics.clone(),
         }
     }
 
@@ -653,6 +752,25 @@ impl System {
         let mut step_rows: Vec<u64> = vec![0; plan.steps.len()];
         let mut stats = RunStats::default();
 
+        // Pending-use counts drive staging eviction: a staged name whose
+        // count hits zero is dead and may be reclaimed under memory
+        // pressure. The final result fetch counts as a use.
+        t.uses.clear();
+        for step in &plan.steps {
+            match &step.action {
+                Action::Op { inputs, .. } => {
+                    for n in inputs {
+                        *t.uses.entry(n.clone()).or_insert(0) += 1;
+                    }
+                }
+                Action::Store { input, .. } => {
+                    *t.uses.entry(input.clone()).or_insert(0) += 1;
+                }
+                Action::Load { .. } => {}
+            }
+        }
+        *t.uses.entry(plan.result_name().to_string()).or_insert(0) += 1;
+
         for step in &plan.steps {
             let ready = step.deps.iter().map(|&d| step_end[d]).max().unwrap_or(0);
             match &step.action {
@@ -681,8 +799,7 @@ impl System {
                     for r in resources {
                         t.free_at.insert(r, end);
                     }
-                    t.memories[target].store(step.output.clone(), load.delivered.clone())?;
-                    t.placement.insert(step.output.clone(), target);
+                    t.stage(target, &step.output, load.delivered.clone())?;
                     step_rows[step.id] = load.delivered.len() as u64;
                     stats.bytes_from_disk += bytes;
                     timeline.push(
@@ -704,6 +821,14 @@ impl System {
                     // inputs first, then device eligibility.
                     let staged: Vec<MultiRelation> =
                         inputs.iter().map(|n| t.fetch(n)).collect::<Result<_>>()?;
+                    // Memory ports are charged for the inputs' homes as of
+                    // this step, captured before any eviction can reclaim a
+                    // now-dead input while placing the output.
+                    let input_ports: Vec<usize> =
+                        inputs.iter().map(|n| t.placement[n.as_str()]).collect();
+                    for n in inputs {
+                        t.consume(n);
+                    }
                     // Pick the matching device that frees earliest.
                     let dev_id = self
                         .devices
@@ -728,8 +853,8 @@ impl System {
                     let out_bytes = relation_bytes(&out, self.disks[0].bytes_per_word);
                     let target = t.choose_memory(out_bytes)?;
                     let mut resources = vec![Res::Dev(dev_id), Res::Mem(target)];
-                    for n in inputs {
-                        resources.push(Res::Mem(t.placement[n.as_str()]));
+                    for port in &input_ports {
+                        resources.push(Res::Mem(*port));
                     }
                     if self.interconnect == Interconnect::SharedBus {
                         resources.push(Res::Bus);
@@ -752,8 +877,7 @@ impl System {
                         t.free_at.insert(*r, end);
                     }
                     step_rows[step.id] = out.len() as u64;
-                    t.memories[target].store(step.output.clone(), out)?;
-                    t.placement.insert(step.output.clone(), target);
+                    t.stage(target, &step.output, out)?;
                     stats.total_pulses += run_stats.pulses;
                     stats.array_runs += run_stats.array_runs;
                     let dev_name = self.devices[dev_id].name.clone();
@@ -778,6 +902,8 @@ impl System {
                 }
                 Action::Store { input, as_name } => {
                     let rel = t.fetch(input)?;
+                    let input_port = t.placement[input.as_str()];
+                    t.consume(input);
                     step_rows[step.id] = rel.len() as u64;
                     let bytes = relation_bytes(&rel, self.disks[0].bytes_per_word);
                     // Write back to the least-recently-used disk channel.
@@ -785,8 +911,7 @@ impl System {
                         .min_by_key(|d| t.free_at.get(&Res::Disk(*d)).copied().unwrap_or(0))
                         .unwrap_or(0);
                     let duration = self.disks[disk_id].transfer_ns(bytes).max(1);
-                    let mut resources =
-                        vec![Res::Disk(disk_id), Res::Mem(t.placement[input.as_str()])];
+                    let mut resources = vec![Res::Disk(disk_id), Res::Mem(input_port)];
                     if self.interconnect == Interconnect::SharedBus {
                         resources.push(Res::Bus);
                     }
@@ -810,7 +935,7 @@ impl System {
                     timeline.push(
                         start,
                         end,
-                        format!("mem{}", t.placement[input.as_str()]),
+                        format!("mem{input_port}"),
                         format!("drain {input}"),
                     );
                     step_end[step.id] = end;
@@ -1191,6 +1316,68 @@ mod tests {
         sys.load_base("a", seq(0..4));
         let err = sys.run(&Expr::scan("a").dedup()).unwrap_err();
         assert!(matches!(err, MachineError::NoDevice { .. }));
+    }
+
+    #[test]
+    fn dead_staged_inputs_are_evicted_under_memory_pressure() {
+        use systolic_storage::{ReplacerKind, StorageMetrics};
+        // scan(a).dedup().union(scan(b)) compiles depth-first: by the time
+        // `b` loads, the staged copy of `a` is dead (its only consumer, the
+        // dedup, already ran). One module sized for exactly two 80-byte
+        // relations forces the scheduler to reclaim that dead copy — before
+        // eviction existed this plan failed with MemoryOverflow.
+        let tight = || MachineConfig {
+            memories: 1,
+            memory_capacity: 160,
+            ..MachineConfig::default()
+        };
+        let expr = Expr::scan("a").dedup().union(Expr::scan("b"));
+
+        // Baseline: identical topology, capacity large enough to never
+        // evict. Only the capacity check may differ between the two runs.
+        let mut roomy = System::new(MachineConfig {
+            memories: 1,
+            memory_capacity: 64 << 20,
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        roomy.load_base("a", seq(0..10));
+        roomy.load_base("b", seq(10..20));
+        let want = roomy.run(&expr).unwrap();
+
+        for kind in [ReplacerKind::Clock, ReplacerKind::Lru] {
+            let mut sys = System::new(tight()).unwrap();
+            sys.set_staging_replacer(kind);
+            sys.load_base("a", seq(0..10));
+            sys.load_base("b", seq(10..20));
+            let before = StorageMetrics::shared().staging_evictions.get();
+            let out = sys.run(&expr).unwrap();
+            let after = StorageMetrics::shared().staging_evictions.get();
+            // Eviction is a host-side bookkeeping move: results and every
+            // simulated clock must match the roomy machine bit for bit.
+            assert_eq!(out.result.rows(), want.result.rows());
+            assert_eq!(out.stats, want.stats);
+            assert!(after > before, "no staging eviction counted ({kind:?})");
+        }
+    }
+
+    #[test]
+    fn live_inputs_are_never_evicted() {
+        // Same tight module, but both relations stay live until the union:
+        // nothing is dead when the second load overflows, so the run must
+        // still fail rather than drop a live staged input.
+        let mut sys = System::new(MachineConfig {
+            memories: 1,
+            memory_capacity: 160,
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        sys.load_base("a", seq(0..10));
+        sys.load_base("b", seq(10..30));
+        let err = sys
+            .run(&Expr::scan("a").union(Expr::scan("b")))
+            .unwrap_err();
+        assert!(matches!(err, MachineError::MemoryOverflow { .. }));
     }
 
     #[test]

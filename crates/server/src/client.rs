@@ -6,7 +6,9 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::escape;
-use crate::protocol::{parse_host_frame, parse_metrics_frame, parse_result_frame};
+use crate::protocol::{
+    parse_checkpointed_frame, parse_host_frame, parse_metrics_frame, parse_result_frame,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -272,6 +274,15 @@ impl Client {
         let frame = self.recv()?;
         Self::check_err(&frame)?;
         parse_metrics_frame(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// Ask a durable server to checkpoint its log. Returns the number of
+    /// history records snapshotted and the snapshot's byte size.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), ClientError> {
+        self.send("CHECKPOINT")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        parse_checkpointed_frame(&frame).map_err(ClientError::Protocol)
     }
 
     /// End the session politely.

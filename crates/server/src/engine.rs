@@ -270,6 +270,36 @@ pub fn scan_names(expr: &Expr) -> Vec<String> {
     names
 }
 
+/// The `store(...)` target names in an expression, in tree order.
+pub fn store_names(expr: &Expr) -> Vec<String> {
+    fn walk(expr: &Expr, out: &mut Vec<String>) {
+        match expr {
+            Expr::Scan { .. } => {}
+            Expr::Intersect(a, b)
+            | Expr::Difference(a, b)
+            | Expr::Union(a, b)
+            | Expr::Join(a, b, _) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::Dedup(a) | Expr::Project(a, _) | Expr::Select(a, _) => walk(a, out),
+            Expr::Store(a, name) => {
+                out.push(name.clone());
+                walk(a, out);
+            }
+            Expr::Divide {
+                dividend, divisor, ..
+            } => {
+                walk(dividend, out);
+                walk(divisor, out);
+            }
+        }
+    }
+    let mut names = Vec::new();
+    walk(expr, &mut names);
+    names
+}
+
 /// A store plus a private machine: the one-shot, in-process query path.
 #[derive(Debug)]
 pub struct Engine {
@@ -360,6 +390,14 @@ mod tests {
     fn scan_names_are_collected_sorted_and_deduped() {
         let expr = prepare("join(intersect(scan(b), scan(a)), scan(b), 0 = 0)").unwrap();
         assert_eq!(scan_names(&expr), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn store_names_are_collected() {
+        let expr = prepare("store(union(scan(a), scan(b)), out)").unwrap();
+        assert_eq!(store_names(&expr), vec!["out".to_string()]);
+        let expr = prepare("scan(a)").unwrap();
+        assert!(store_names(&expr).is_empty());
     }
 
     #[test]

@@ -61,3 +61,6 @@ mod shutdown;
 pub use client::{Client, ClientError, QueryResult};
 pub use engine::{Engine, EngineError, Store};
 pub use server::{run, spawn, IoModel, ServerConfig, ServerHandle, ServerReport};
+// Part of [`ServerConfig`]'s public surface: callers pick the buffer-pool
+// replacement policy without depending on the storage crate directly.
+pub use systolic_storage::ReplacerKind;

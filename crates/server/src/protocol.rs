@@ -7,6 +7,7 @@
 //! QUERY <query text>
 //! STATS
 //! METRICS
+//! CHECKPOINT
 //! CLOSE
 //! SHUTDOWN
 //! ```
@@ -23,6 +24,7 @@
 //!       slow=<n> lat_p50_ns=<n> lat_p95_ns=<n> lat_p99_ns=<n> lat_count=<n> \
 //!       backend=<sim|kernel>
 //! METRICS <escaped Prometheus text exposition>
+//! CHECKPOINTED records=<n> bytes=<n>
 //! BYE
 //! ERR <kind> [at=<byte>] <escaped detail>
 //! ```
@@ -66,6 +68,8 @@ pub enum Request {
     Stats,
     /// Ask for the full Prometheus-style metrics exposition.
     Metrics,
+    /// Snapshot the durable history and reset the write-ahead log.
+    Checkpoint,
     /// End this session.
     Close,
     /// Ask the whole server to drain and exit.
@@ -115,10 +119,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+        "CHECKPOINT" if rest.is_empty() => Ok(Request::Checkpoint),
         "CLOSE" if rest.is_empty() => Ok(Request::Close),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         _ => Err(format!(
-            "unknown request {line:?} (LOAD, QUERY, STATS, METRICS, CLOSE, SHUTDOWN)"
+            "unknown request {line:?} (LOAD, QUERY, STATS, METRICS, CHECKPOINT, CLOSE, SHUTDOWN)"
         )),
     }
 }
@@ -179,6 +184,29 @@ pub fn parse_cards_frame(frame: &str) -> Result<Vec<u64>, String> {
 /// Render a successful `LOAD` answer.
 pub fn loaded_frame(name: &str, rows: usize) -> String {
     format!("LOADED {name} rows={rows}")
+}
+
+/// Render a successful `CHECKPOINT` answer: logical records snapshotted and
+/// the snapshot size in bytes.
+pub fn checkpointed_frame(records: u64, bytes: u64) -> String {
+    format!("CHECKPOINTED records={records} bytes={bytes}")
+}
+
+/// Parse a `CHECKPOINTED` frame back into (records, bytes).
+pub fn parse_checkpointed_frame(frame: &str) -> Result<(u64, u64), String> {
+    let body = frame
+        .strip_prefix("CHECKPOINTED records=")
+        .ok_or_else(|| format!("expected CHECKPOINTED frame, got {frame:?}"))?;
+    let (records, bytes) = body
+        .split_once(" bytes=")
+        .ok_or_else(|| "CHECKPOINTED frame is missing bytes=".to_string())?;
+    let records = records
+        .parse()
+        .map_err(|_| format!("bad CHECKPOINTED records {records:?}"))?;
+    let bytes = bytes
+        .parse()
+        .map_err(|_| format!("bad CHECKPOINTED bytes {bytes:?}"))?;
+    Ok((records, bytes))
 }
 
 /// Render a `METRICS` answer carrying the escaped text exposition.
@@ -328,6 +356,8 @@ mod tests {
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert!(parse_request("METRICS now").is_err());
+        assert_eq!(parse_request("CHECKPOINT").unwrap(), Request::Checkpoint);
+        assert!(parse_request("CHECKPOINT now").is_err());
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         assert!(parse_request("NOPE").is_err());
@@ -366,6 +396,15 @@ mod tests {
         assert_eq!(parse_cards_frame("CARDS steps=0 rows=").unwrap(), vec![]);
         assert!(parse_cards_frame("CARDS steps=2 rows=1").is_err());
         assert!(parse_cards_frame("RESULT rows=1").is_err());
+    }
+
+    #[test]
+    fn checkpointed_frames_round_trip() {
+        let frame = checkpointed_frame(12, 4096);
+        assert_eq!(frame, "CHECKPOINTED records=12 bytes=4096");
+        assert_eq!(parse_checkpointed_frame(&frame).unwrap(), (12, 4096));
+        assert!(parse_checkpointed_frame("CHECKPOINTED records=x bytes=1").is_err());
+        assert!(parse_checkpointed_frame("LOADED t rows=1").is_err());
     }
 
     #[test]

@@ -58,7 +58,7 @@ use systolic_relation::DomainKind;
 use systolic_telemetry::{span_in, TraceCtx};
 
 use crate::client::{Client, ClientError};
-use crate::engine::kind_name;
+use crate::engine::{kind_name, store_names};
 use crate::locks;
 use crate::protocol::{err_frame, parse_result_frame, result_frame};
 use crate::scheduler::Job;
@@ -145,7 +145,7 @@ impl Router {
     /// connect the fan-out pool.
     pub(crate) fn start(cfg: &ServerConfig) -> io::Result<Router> {
         let shards = cfg.shards;
-        let inner_cfg = |_: usize| ServerConfig {
+        let inner_cfg = |i: usize| ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: POOL_SETS,
             max_pending: POOL_SETS,
@@ -159,6 +159,11 @@ impl Router {
             // The outer server already logs slow queries; shard echoes
             // would double-count them.
             slow_query: None,
+            // Each shard persists (and recovers) its own partition under
+            // its own subdirectory of the outer server's data dir.
+            data_dir: cfg.data_dir.as_ref().map(|d| d.join(format!("shard-{i}"))),
+            pool_pages: cfg.pool_pages,
+            replacer: cfg.replacer,
         };
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
@@ -234,6 +239,22 @@ impl Router {
             },
         );
         Ok(())
+    }
+
+    /// Rebuild the router's text-level cache for a relation replayed from
+    /// the outer server's WAL. The shards recover their partitions from
+    /// their *own* WALs, so nothing is forwarded here — only the cache the
+    /// classifier and merge verifier consult is restored.
+    pub(crate) fn register_recovered(&self, name: &str, kinds: &[DomainKind], csv: &str) {
+        if let Some(rows) = canonical_rows(kinds, csv) {
+            locks::write(&self.tables).insert(
+                name.to_string(),
+                ShardedTable {
+                    rows,
+                    kinds: kinds.to_vec(),
+                },
+            );
+        }
     }
 
     /// Drop cached tables an expression's `store(...)` targets overwrite:
@@ -486,36 +507,6 @@ fn verify_shards(shard_csvs: &[String], expected: &[Vec<&str>]) -> Option<String
         }
     }
     header.map(str::to_string)
-}
-
-/// The `store(...)` target names in an expression.
-fn store_names(expr: &Expr) -> Vec<String> {
-    fn walk(expr: &Expr, out: &mut Vec<String>) {
-        match expr {
-            Expr::Scan { .. } => {}
-            Expr::Intersect(a, b)
-            | Expr::Difference(a, b)
-            | Expr::Union(a, b)
-            | Expr::Join(a, b, _) => {
-                walk(a, out);
-                walk(b, out);
-            }
-            Expr::Dedup(a) | Expr::Project(a, _) | Expr::Select(a, _) => walk(a, out),
-            Expr::Store(a, name) => {
-                out.push(name.clone());
-                walk(a, out);
-            }
-            Expr::Divide {
-                dividend, divisor, ..
-            } => {
-                walk(dividend, out);
-                walk(divisor, out);
-            }
-        }
-    }
-    let mut names = Vec::new();
-    walk(expr, &mut names);
-    names
 }
 
 /// Parse a canonical field's comparable value for a non-string column.
@@ -844,11 +835,5 @@ mod tests {
         assert!(verify_shards(&csvs, &[vec!["1", "3", "9"], vec!["2"]]).is_none());
         let bad = vec!["c0\n1\n3\n".to_string(), "c9\n2\n".to_string()];
         assert!(verify_shards(&bad, &expected).is_none());
-    }
-
-    #[test]
-    fn store_names_are_collected() {
-        let expr = systolic_machine::parse("store(union(scan(a), scan(b)), out)").unwrap();
-        assert_eq!(store_names(&expr), vec!["out".to_string()]);
     }
 }

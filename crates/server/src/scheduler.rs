@@ -26,20 +26,74 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use systolic_machine::{Expr, MachineError, Plan, RunStats, System, Timeline};
-use systolic_relation::MultiRelation;
+use systolic_relation::{DomainKind, MultiRelation};
+use systolic_storage::StorageEngine;
 use systolic_telemetry::{root_span, span_in, TraceCtx};
 
+use crate::engine::{kind_name, store_names};
 use crate::metrics::ServerMetrics;
-use crate::server::Counters;
+use crate::server::{Counters, DurableStats};
 
-/// A query waiting in a merged batch: its expression, the submitting
-/// request's trace, its timeout fence, and the reply channel.
+/// A query waiting in a merged batch: its expression and source text, the
+/// submitting request's trace, its timeout fence, and the reply channel.
 type PendingQuery = (
     Expr,
+    String,
     Option<TraceCtx>,
     Arc<AtomicBool>,
     SyncSender<Result<QueryReply, MachineError>>,
 );
+
+/// The scheduler's durable half: the storage engine (WAL + paged store)
+/// plus the gauges `STATS` reads. Owned by the scheduler thread, so every
+/// log append happens in admission order — the order recovery replays.
+pub(crate) struct Durable {
+    pub(crate) engine: StorageEngine,
+    pub(crate) stats: Arc<DurableStats>,
+}
+
+impl Durable {
+    fn refresh(&self) {
+        self.stats
+            .wal_bytes
+            .store(self.engine.wal_bytes(), Ordering::SeqCst);
+        self.stats
+            .wal_records
+            .store(self.engine.wal_records() as u64, Ordering::SeqCst);
+    }
+
+    /// Write-ahead a load. A failed append degrades durability, not
+    /// service: the load still lands and the client is still answered.
+    fn log_load(&mut self, name: &str, kinds: &[DomainKind], csv: &str) {
+        let kinds: Vec<String> = kinds.iter().map(|&k| kind_name(k).to_string()).collect();
+        if let Err(e) = self.engine.log_load(name, &kinds, csv) {
+            eprintln!("wal: failed to log load {name:?}: {e}");
+        }
+        self.refresh();
+    }
+
+    /// Write-ahead a query, but only when it has `store(...)` side effects —
+    /// read-only queries change no durable state and replay would only
+    /// slow recovery down.
+    fn log_query(&mut self, expr: &Expr, text: &str) {
+        if store_names(expr).is_empty() {
+            return;
+        }
+        if let Err(e) = self.engine.log_query(text) {
+            eprintln!("wal: failed to log query {text:?}: {e}");
+        }
+        self.refresh();
+    }
+
+    /// Snapshot the history and reset the log; returns (records, snapshot
+    /// bytes).
+    fn checkpoint(&mut self) -> Result<(u64, u64), String> {
+        let report = self.engine.checkpoint().map_err(|e| e.to_string())?;
+        self.stats.checkpoints.fetch_add(1, Ordering::SeqCst);
+        self.refresh();
+        Ok((report.records as u64, report.bytes))
+    }
+}
 
 /// Claim a job's timeout fence. Exactly one side wins the swap: if the
 /// scheduler wins, the job runs (and its side effects land) and the reply
@@ -73,6 +127,9 @@ pub(crate) enum Job {
     Query {
         /// The prepared (parsed + rewritten) expression.
         expr: Expr,
+        /// The original query text, as logged to the WAL when the query has
+        /// durable side effects.
+        text: String,
         /// The submitting request's trace context, so scheduler spans for
         /// this query land in the request's trace.
         trace: Option<TraceCtx>,
@@ -103,10 +160,20 @@ pub(crate) enum Job {
         name: String,
         /// The encoded relation.
         rel: MultiRelation,
+        /// Column kinds, for the write-ahead log record.
+        kinds: Vec<DomainKind>,
+        /// The original CSV text, for the write-ahead log record (replay
+        /// re-imports it so §2.3 dictionary codes come out identical).
+        csv: String,
         /// Timeout fence, shared with the submitting worker (see [`claim`]).
         fence: Arc<AtomicBool>,
         /// Acknowledgement carrying the row count.
         reply: SyncSender<usize>,
+    },
+    /// Snapshot the durable history and reset the WAL.
+    Checkpoint {
+        /// Delivers (records, snapshot bytes) or the rendered error.
+        reply: SyncSender<Result<(u64, u64), String>>,
     },
 }
 
@@ -118,6 +185,7 @@ pub(crate) fn run(
     max_batch: usize,
     counters: Arc<Counters>,
     metrics: Arc<ServerMetrics>,
+    mut durable: Option<Durable>,
 ) {
     while let Ok(first) = jobs.recv() {
         let mut window_span = root_span("server.batch_window");
@@ -146,17 +214,31 @@ pub(crate) fn run(
                 Job::Load {
                     name,
                     rel,
+                    kinds,
+                    csv,
                     fence,
                     reply,
                 } => {
                     if !claim(&fence) {
                         continue;
                     }
+                    // Write-ahead: the log record lands (and is fsynced)
+                    // before the relation reaches the machine.
+                    if let Some(d) = durable.as_mut() {
+                        d.log_load(&name, &kinds, &csv);
+                    }
                     let rows = rel.len();
                     system.load_base(name, rel);
                     counters.update(|c| c.loads += 1);
                     metrics.loads.inc();
                     let _ = reply.send(rows);
+                }
+                Job::Checkpoint { reply } => {
+                    let answer = match durable.as_mut() {
+                        Some(d) => d.checkpoint(),
+                        None => Err("server is running without --data-dir".to_string()),
+                    };
+                    let _ = reply.send(answer);
                 }
                 Job::Price {
                     expr,
@@ -181,10 +263,11 @@ pub(crate) fn run(
                 }
                 Job::Query {
                     expr,
+                    text,
                     trace,
                     fence,
                     reply,
-                } => queries.push((expr, trace, fence, reply)),
+                } => queries.push((expr, text, trace, fence, reply)),
             }
         }
         // Cross-query hazard analysis: a query that reads or writes a
@@ -193,7 +276,7 @@ pub(crate) fn run(
         // in arrival order, so it observes the earlier write-back whole.
         let mut deferred = Vec::new();
         if queries.len() > 1 {
-            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _)| e.clone()).collect();
+            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _, _)| e.clone()).collect();
             let conflicted = systolic_analyzer::deferred_indices(&exprs);
             if !conflicted.is_empty() {
                 let mut admitted = Vec::new();
@@ -210,7 +293,16 @@ pub(crate) fn run(
         // Claim the admitted queries' fences *before* running: a query
         // whose worker timed out first never runs (no store(...) side
         // effects can land behind the client's back).
-        queries.retain(|(_, _, fence, _)| claim(fence));
+        queries.retain(|(_, _, _, fence, _)| claim(fence));
+        // Write-ahead the admitted queries' side effects in admission
+        // order — the order the merged run's write-backs are equivalent to
+        // (hazard analysis deferred anything that could tell the
+        // difference).
+        if let Some(d) = durable.as_mut() {
+            for (expr, text, _, _, _) in &queries {
+                d.log_query(expr, text);
+            }
+        }
         let n = queries.len();
         counters.update(|c| c.queries += n as u64);
         metrics.queries.add(n as u64);
@@ -220,7 +312,7 @@ pub(crate) fn run(
         match queries.len() {
             0 => {}
             1 => {
-                let (expr, trace, _, reply) = queries.pop().expect("len checked");
+                let (expr, _, trace, _, reply) = queries.pop().expect("len checked");
                 let _span = span_in(trace, "server.run_solo");
                 let _ = reply.send(run_solo(&mut system, &expr, &metrics));
             }
@@ -233,9 +325,12 @@ pub(crate) fn run(
                 run_merged(&mut system, queries, &metrics);
             }
         }
-        for (expr, trace, fence, reply) in deferred {
+        for (expr, text, trace, fence, reply) in deferred {
             if !claim(&fence) {
                 continue;
+            }
+            if let Some(d) = durable.as_mut() {
+                d.log_query(&expr, &text);
             }
             counters.update(|c| c.queries += 1);
             metrics.queries.add(1);
@@ -277,7 +372,7 @@ fn record_op_pulses(metrics: &ServerMetrics, timeline: &Timeline) {
 /// Admit several queries as one merged schedule; on any failure fall back
 /// to per-query solo runs so only the faulty requests see errors.
 fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &ServerMetrics) {
-    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _)| e.clone()).collect();
+    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _, _)| e.clone()).collect();
     // The batch gets its own trace: it belongs to no single request. The
     // span stays ambient while the machine runs so machine.batch nests here.
     let mut batch_span = root_span("server.batch");
@@ -289,7 +384,7 @@ fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &Ser
         Ok(batch) => {
             record_op_pulses(metrics, &batch.combined.timeline);
             let host_wall_ns = batch.combined.host_wall_ns;
-            for (outcome, (_, trace, _, reply)) in batch.queries.into_iter().zip(queries) {
+            for (outcome, (_, _, trace, _, reply)) in batch.queries.into_iter().zip(queries) {
                 let mut run_span = span_in(trace, "server.batch_run");
                 if let Some(ctx) = batch_ctx {
                     run_span.arg("batch_span", ctx.span_id);
@@ -306,7 +401,7 @@ fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &Ser
         Err(_) => {
             // Fences were already claimed at admission; the fallback must
             // not re-claim (it would see `true` and wrongly skip).
-            for (expr, trace, _, reply) in queries.drain(..) {
+            for (expr, _, trace, _, reply) in queries.drain(..) {
                 let _span = span_in(trace, "server.run_solo");
                 let _ = reply.send(run_solo(system, &expr, metrics));
             }
@@ -348,8 +443,39 @@ mod tests {
             16,
             Arc::clone(&counters),
             metrics,
+            None,
         );
         counters
+    }
+
+    fn load_job(
+        name: &str,
+        rel: MultiRelation,
+        f: Arc<AtomicBool>,
+        reply: SyncSender<usize>,
+    ) -> Job {
+        Job::Load {
+            name: name.into(),
+            rel,
+            kinds: Vec::new(),
+            csv: String::new(),
+            fence: f,
+            reply,
+        }
+    }
+
+    fn query_job(
+        text: &str,
+        f: Arc<AtomicBool>,
+        reply: SyncSender<Result<QueryReply, MachineError>>,
+    ) -> Job {
+        Job::Query {
+            expr: parse(text).unwrap(),
+            text: text.into(),
+            trace: None,
+            fence: f,
+            reply,
+        }
     }
 
     fn fence(claimed_by_worker: bool) -> Arc<AtomicBool> {
@@ -361,18 +487,8 @@ mod tests {
         let (dead_tx, dead_rx) = mpsc::sync_channel(1);
         let (live_tx, live_rx) = mpsc::sync_channel(1);
         let counters = run_jobs(vec![
-            Job::Load {
-                name: "dead".into(),
-                rel: rel(&[&[1], &[2], &[3]]),
-                fence: fence(true),
-                reply: dead_tx,
-            },
-            Job::Load {
-                name: "alive".into(),
-                rel: rel(&[&[4], &[5]]),
-                fence: fence(false),
-                reply: live_tx,
-            },
+            load_job("dead", rel(&[&[1], &[2], &[3]]), fence(true), dead_tx),
+            load_job("alive", rel(&[&[4], &[5]]), fence(false), live_tx),
         ]);
         assert!(
             dead_rx.try_recv().is_err(),
@@ -388,24 +504,9 @@ mod tests {
         let (dead_tx, dead_rx) = mpsc::sync_channel(1);
         let (live_tx, live_rx) = mpsc::sync_channel(1);
         let counters = run_jobs(vec![
-            Job::Load {
-                name: "t".into(),
-                rel: rel(&[&[1], &[2]]),
-                fence: fence(false),
-                reply: load_tx,
-            },
-            Job::Query {
-                expr: parse("scan(t)").unwrap(),
-                trace: None,
-                fence: fence(true),
-                reply: dead_tx,
-            },
-            Job::Query {
-                expr: parse("scan(t)").unwrap(),
-                trace: None,
-                fence: fence(false),
-                reply: live_tx,
-            },
+            load_job("t", rel(&[&[1], &[2]]), fence(false), load_tx),
+            query_job("scan(t)", fence(true), dead_tx),
+            query_job("scan(t)", fence(false), live_tx),
         ]);
         assert!(
             dead_rx.try_recv().is_err(),
@@ -425,24 +526,9 @@ mod tests {
         let (q1_tx, q1_rx) = mpsc::sync_channel(1);
         let (q2_tx, q2_rx) = mpsc::sync_channel(1);
         let counters = run_jobs(vec![
-            Job::Load {
-                name: "t".into(),
-                rel: rel(&[&[1], &[2]]),
-                fence: fence(false),
-                reply: load_tx,
-            },
-            Job::Query {
-                expr: parse("store(scan(t), u)").unwrap(),
-                trace: None,
-                fence: fence(false),
-                reply: q1_tx,
-            },
-            Job::Query {
-                expr: parse("store(scan(u), v)").unwrap(),
-                trace: None,
-                fence: fence(true),
-                reply: q2_tx,
-            },
+            load_job("t", rel(&[&[1], &[2]]), fence(false), load_tx),
+            query_job("store(scan(t), u)", fence(false), q1_tx),
+            query_job("store(scan(u), v)", fence(true), q2_tx),
         ]);
         assert!(q1_rx.try_recv().unwrap().is_ok());
         assert!(

@@ -10,13 +10,15 @@
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use systolic_machine::{MachineConfig, System};
+use systolic_storage::{LockMode, LockTable, ReplacerKind, StorageEngine, WalRecord};
 use systolic_telemetry::{record_between, root_span, TraceCtx};
 
 use crate::engine::{self, EngineError, Store};
@@ -24,8 +26,8 @@ use crate::frame::{read_frame, FrameRead};
 use crate::locks;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    analysis_err_frame, cards_frame, err_frame, host_frame, loaded_frame, metrics_frame,
-    parse_err_frame, parse_request, result_frame, Request,
+    analysis_err_frame, cards_frame, checkpointed_frame, err_frame, host_frame, loaded_frame,
+    metrics_frame, parse_err_frame, parse_request, result_frame, Request,
 };
 use crate::router::{RouteOutcome, Router};
 use crate::scheduler::{self, Job};
@@ -95,6 +97,18 @@ pub struct ServerConfig {
     /// Queries slower than this (end-to-end host time) are written to the
     /// slow-query log on stderr; `None` disables the log.
     pub slow_query: Option<Duration>,
+    /// Durable storage directory. When set, every `LOAD` and every query
+    /// with a `store(...)` side effect is written-ahead to a log under this
+    /// directory, and startup replays the log (from the last checkpoint)
+    /// before the listener starts answering — so a killed server restarted
+    /// on the same directory serves byte-identical `RESULT` frames. `None`
+    /// runs fully in memory, exactly as before.
+    pub data_dir: Option<PathBuf>,
+    /// Buffer-pool capacity of the paged relation store, in 8 KiB pages.
+    pub pool_pages: usize,
+    /// Page replacement policy for the buffer pool and the machine's
+    /// staging-memory eviction.
+    pub replacer: ReplacerKind,
 }
 
 impl Default for ServerConfig {
@@ -111,8 +125,24 @@ impl Default for ServerConfig {
             max_batch: 16,
             max_request_bytes: 1 << 20,
             slow_query: Some(Duration::from_secs(1)),
+            data_dir: None,
+            pool_pages: 256,
+            replacer: ReplacerKind::Clock,
         }
     }
+}
+
+/// Live durability gauges the scheduler maintains and `STATS` reads.
+#[derive(Debug, Default)]
+pub(crate) struct DurableStats {
+    /// Current WAL file length in bytes (drops to 0 at a checkpoint).
+    pub(crate) wal_bytes: AtomicU64,
+    /// Logical records in the durable history (checkpoint + WAL).
+    pub(crate) wal_records: AtomicU64,
+    /// Checkpoints taken since startup.
+    pub(crate) checkpoints: AtomicU64,
+    /// Records replayed during startup recovery.
+    pub(crate) recovered: AtomicU64,
 }
 
 /// Monotonic service counters, shared between workers and the scheduler.
@@ -190,6 +220,12 @@ pub(crate) struct Shared {
     /// holds a full copy of every table, so routing is an optimisation and
     /// any declined or failed route runs locally instead.
     pub(crate) router: Option<Router>,
+    /// Relation-name lock table: `LOAD` and `store(...)` take exclusive
+    /// locks, scans take shared ones, so a concurrent reader can never
+    /// observe a partially-loaded relation.
+    pub(crate) lock_table: LockTable,
+    /// Durability gauges, present when `cfg.data_dir` is set.
+    pub(crate) durable: Option<Arc<DurableStats>>,
 }
 
 impl Shared {
@@ -201,6 +237,10 @@ impl Shared {
         } else {
             None
         };
+        let durable = cfg
+            .data_dir
+            .as_ref()
+            .map(|_| Arc::new(DurableStats::default()));
         Ok(Shared {
             store: RwLock::new(Store::new()),
             counters: Arc::new(Counters::default()),
@@ -210,6 +250,8 @@ impl Shared {
             stop: AtomicBool::new(false),
             started: Instant::now(),
             router,
+            lock_table: LockTable::new(),
+            durable,
         })
     }
 
@@ -317,21 +359,23 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let serve_shared = Arc::clone(&shared);
     let join = thread::Builder::new()
         .name("systolic-serve".to_string())
-        .spawn(move || serve_on(listener, serve_shared))?;
+        .spawn(move || serve_on(listener, serve_shared, || ()))?;
     Ok(ServerHandle { addr, shared, join })
 }
 
 /// Bind and serve on the calling thread until SIGINT/SIGTERM (the `sdb
-/// serve` path). Prints a `listening on <addr>` line once ready and a
-/// summary line on shutdown.
+/// serve` path). Prints a `listening on <addr>` line once ready — after
+/// crash recovery has replayed the log, so a client connecting on that cue
+/// sees the fully recovered catalog — and a summary line on shutdown.
 pub fn run(config: ServerConfig) -> io::Result<ServerReport> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     shutdown::install();
-    println!("listening on {addr}");
-    io::stdout().flush()?;
     let shared = Arc::new(Shared::new(config)?);
-    let report = serve_on(listener, Arc::clone(&shared))?;
+    let report = serve_on(listener, Arc::clone(&shared), move || {
+        println!("listening on {addr}");
+        let _ = io::stdout().flush();
+    })?;
     println!(
         "shutdown: {} queries ({} batched schedules, largest {}), {} loads, \
          {} refused, {} timeouts",
@@ -345,9 +389,44 @@ pub fn run(config: ServerConfig) -> io::Result<ServerReport> {
     Ok(report)
 }
 
-fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerReport> {
+fn serve_on(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    ready: impl FnOnce(),
+) -> io::Result<ServerReport> {
     listener.set_nonblocking(true)?;
-    let system = System::new(shared.cfg.machine.clone()).map_err(io::Error::other)?;
+    let mut system = System::new(shared.cfg.machine.clone()).map_err(io::Error::other)?;
+    // Crash recovery happens before `ready()` fires and before any frame is
+    // answered: open the durable engine, back the machine's disks with its
+    // paged store, and redo the logged history in its original order.
+    let durable = match &shared.cfg.data_dir {
+        Some(dir) => {
+            let (engine, records, report) =
+                StorageEngine::open_with(dir, shared.cfg.pool_pages, shared.cfg.replacer)
+                    .map_err(io::Error::other)?;
+            system.attach_storage(&engine.blobs());
+            system.set_staging_replacer(shared.cfg.replacer);
+            replay(&shared, &mut system, &records);
+            let stats = shared
+                .durable
+                .as_ref()
+                .expect("durable stats exist when data_dir is set");
+            stats.wal_bytes.store(engine.wal_bytes(), Ordering::SeqCst);
+            stats
+                .wal_records
+                .store(engine.wal_records() as u64, Ordering::SeqCst);
+            stats.recovered.store(
+                (report.checkpoint_records + report.wal_records) as u64,
+                Ordering::SeqCst,
+            );
+            Some(scheduler::Durable {
+                engine,
+                stats: Arc::clone(stats),
+            })
+        }
+        None => None,
+    };
+    ready();
     let (tx, rx) = mpsc::channel::<Job>();
     let mut front_err: Option<io::Error> = None;
     thread::scope(|scope| {
@@ -356,7 +435,15 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
         let sched_counters = Arc::clone(&shared.counters);
         let sched_metrics = Arc::clone(&shared.metrics);
         scope.spawn(move || {
-            scheduler::run(system, rx, window, max_batch, sched_counters, sched_metrics)
+            scheduler::run(
+                system,
+                rx,
+                window,
+                max_batch,
+                sched_counters,
+                sched_metrics,
+                durable,
+            )
         });
         let outcome = match shared.cfg.io {
             IoModel::Threads => threads_front_end(scope, &listener, &shared, tx),
@@ -376,6 +463,56 @@ fn serve_on(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ServerRepo
     match front_err {
         Some(e) => Err(e),
         None => Ok(shared.report()),
+    }
+}
+
+/// Redo the durable history against a fresh system: loads re-register and
+/// re-intern in original order (so §2.3 dictionary codes — and therefore
+/// every rendered result — come out identical to the pre-crash server), and
+/// logged `store(...)` queries re-run to rebuild their disk write-backs.
+/// Individual record failures are logged and skipped: a deterministic
+/// failure now also failed before the crash, so skipping reproduces the
+/// pre-crash state.
+fn replay(shared: &Shared, system: &mut System, records: &[WalRecord]) {
+    for record in records {
+        match record {
+            WalRecord::Load { name, kinds, csv } => {
+                let parsed: Option<Vec<systolic_relation::DomainKind>> =
+                    kinds.iter().map(|k| engine::kind_of(k)).collect();
+                let Some(parsed) = parsed else {
+                    eprintln!("recovery: load {name:?} has unknown column kinds; skipped");
+                    continue;
+                };
+                let rel = match locks::write(&shared.store).register(name, &parsed, csv) {
+                    Ok(rel) => rel,
+                    Err(e) => {
+                        eprintln!("recovery: load {name:?} failed to re-register: {e}");
+                        continue;
+                    }
+                };
+                system.load_base(name.clone(), rel);
+                if let Some(router) = &shared.router {
+                    // The shards recovered their partitions from their own
+                    // logs; only the router's text-level cache needs
+                    // rebuilding — without re-forwarding the rows.
+                    router.register_recovered(name, &parsed, csv);
+                }
+            }
+            WalRecord::Query { text } => {
+                // Only queries with store(...) side effects are logged; the
+                // run rebuilds the write-back. Errors were deterministic
+                // before the crash too.
+                match engine::prepare(text) {
+                    Ok(expr) => {
+                        if let Err(e) = system.run(&expr) {
+                            eprintln!("recovery: logged query failed to re-run: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("recovery: logged query failed to parse: {e}"),
+                }
+            }
+            WalRecord::Checkpoint => {}
+        }
     }
 }
 
@@ -527,6 +664,29 @@ pub(crate) fn handle_request(shared: &Shared, tx: &mpsc::Sender<Job>, line: &str
         }
         Request::Query(query) => respond_query(shared, tx, &query, false),
         Request::QueryCards(query) => respond_query(shared, tx, &query, true),
+        Request::Checkpoint => Reply::frame(handle_checkpoint(shared, tx)),
+    }
+}
+
+/// Answer a `CHECKPOINT`: ask the scheduler (the thread that owns the WAL)
+/// to snapshot the history and reset the log.
+fn handle_checkpoint(shared: &Shared, tx: &mpsc::Sender<Job>) -> String {
+    if shared.cfg.data_dir.is_none() {
+        return err_frame("not_durable", "server is running without --data-dir");
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if tx.send(Job::Checkpoint { reply: reply_tx }).is_err() {
+        return err_frame("shutting_down", "scheduler has exited");
+    }
+    match reply_rx.recv_timeout(shared.cfg.request_timeout) {
+        Ok(Ok((records, bytes))) => checkpointed_frame(records, bytes),
+        Ok(Err(detail)) => err_frame("storage", &detail),
+        Err(RecvTimeoutError::Timeout) => {
+            shared.counters.update(|c| c.timeouts += 1);
+            shared.metrics.timeouts.inc();
+            err_frame("timeout", "checkpoint timed out")
+        }
+        Err(RecvTimeoutError::Disconnected) => err_frame("shutting_down", "scheduler has exited"),
     }
 }
 
@@ -596,13 +756,24 @@ fn stats_frame(shared: &Shared) -> String {
     let tables = locks::read(&shared.store).table_count();
     let report = shared.report();
     let lat = &shared.metrics.latency;
+    let (durable, wal_records, wal_bytes, checkpoints, recovered) = match &shared.durable {
+        Some(d) => (
+            1,
+            d.wal_records.load(Ordering::SeqCst),
+            d.wal_bytes.load(Ordering::SeqCst),
+            d.checkpoints.load(Ordering::SeqCst),
+            d.recovered.load(Ordering::SeqCst),
+        ),
+        None => (0, 0, 0, 0, 0),
+    };
     // New fields only ever get appended: clients key on names, but scripted
     // consumers of older servers may still slice by position.
     format!(
         "STATS tables={tables} queries={} loads={} batches={} max_batch={} refused={} \
          timeouts={} active={} uptime_ms={} queue_hwm={} slow={} lat_p50_ns={} \
          lat_p95_ns={} lat_p99_ns={} lat_count={} backend={} sharded={} \
-         shard_fallback={}",
+         shard_fallback={} durable={durable} wal_records={wal_records} \
+         wal_bytes={wal_bytes} checkpoints={checkpoints} recovered={recovered}",
         report.queries,
         report.loads,
         report.batches,
@@ -658,6 +829,10 @@ fn handle_load(
             &format!("bad table name {name:?}: letters, digits, underscores"),
         );
     }
+    // Exclusive relation lock for the whole load: a concurrent query
+    // scanning this name blocks until the relation is fully registered,
+    // loaded, and acknowledged — it can never observe a partial load.
+    let _lock = shared.lock_table.acquire(name, LockMode::Exclusive);
     // Register under the write lock, then ship the encoded relation to the
     // scheduler so it lands on the machine's disk in admission order. The
     // registration is speculative until the scheduler acknowledges the
@@ -679,6 +854,8 @@ fn handle_load(
     let job = Job::Load {
         name: name.to_string(),
         rel,
+        kinds: kinds.to_vec(),
+        csv: csv.to_string(),
         fence: Arc::clone(&fence),
         reply: reply_tx,
     };
@@ -752,6 +929,20 @@ fn handle_query(
             Err(e) => return vec![engine_err_frame(&e)],
         }
     };
+    // Relation locks for the whole request: shared on every scanned name,
+    // exclusive on every `store(...)` target. All-or-nothing acquisition
+    // (sorted, no hold-and-wait) keeps concurrent sessions deadlock-free,
+    // and a reader can never interleave with a load or store of its input.
+    let mut wants: Vec<(String, LockMode)> = engine::scan_names(&expr)
+        .into_iter()
+        .map(|n| (n, LockMode::Shared))
+        .collect();
+    wants.extend(
+        engine::store_names(&expr)
+            .into_iter()
+            .map(|n| (n, LockMode::Exclusive)),
+    );
+    let _lock = shared.lock_table.acquire_all(wants);
     if let Some(router) = &shared.router {
         match router.try_query(shared, tx, &expr, query, trace) {
             RouteOutcome::Answered {
@@ -783,6 +974,7 @@ fn handle_query(
     if tx
         .send(Job::Query {
             expr,
+            text: query.to_string(),
             trace,
             fence: Arc::clone(&fence),
             reply: reply_tx,

@@ -879,3 +879,98 @@ fn poll_shutdown_drains_pipelined_in_flight_queries() {
     drop(setup);
     handle.join().unwrap();
 }
+
+/// Durability across graceful restarts: a server opened on a `--data-dir`
+/// recovers every load and every logged `store(...)` query from its WAL,
+/// so the whole workload answers *byte-identically* after a restart — at
+/// one shard and at two (each shard recovering its own partition). A
+/// `CHECKPOINT` mid-sequence snapshots the history and the next recovery
+/// (snapshot + empty tail) must answer identically again.
+#[test]
+fn durable_servers_answer_byte_identically_after_restart() {
+    let root = std::env::temp_dir().join(format!("sdb_srv_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    for shards in [1usize, 2] {
+        let data_dir = root.join(format!("s{shards}"));
+        let config = || ServerConfig {
+            shards,
+            data_dir: Some(data_dir.clone()),
+            ..local_config()
+        };
+
+        // Generation 0: load, run a store(...) so a query lands in the WAL,
+        // then capture the post-store answers as the oracle.
+        let handle = spawn(config()).unwrap();
+        let mut c = Client::connect(handle.addr).unwrap();
+        load_all(&mut c);
+        c.query("store(filter(scan(a), c0 >= 3), a_big)").unwrap();
+        let expect: Vec<String> = QUERIES
+            .iter()
+            .map(|q| c.raw_query_frames(q).unwrap().0)
+            .collect();
+        let stats = c.stats_line().unwrap();
+        assert!(stats.contains("durable=1"), "{stats}");
+        assert!(
+            stats.contains(" wal_records=7"),
+            "6 loads + 1 store: {stats}"
+        );
+        c.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+
+        // Generation 1: recovered purely from the WAL.
+        let handle = spawn(config()).unwrap();
+        let mut c = Client::connect(handle.addr).unwrap();
+        let stats = c.stats_line().unwrap();
+        assert!(stats.contains(" recovered=7"), "{stats}");
+        for (q, want) in QUERIES.iter().zip(&expect) {
+            let (frame, _host) = c.raw_query_frames(q).unwrap();
+            assert_eq!(
+                &frame, want,
+                "{shards}-shard WAL recovery diverged on {q:?}"
+            );
+        }
+        // Snapshot the history; the log resets but nothing is forgotten.
+        let (records, bytes) = c.checkpoint().unwrap();
+        assert_eq!(records, 7, "all history records snapshotted");
+        assert!(bytes > 0);
+        let stats = c.stats_line().unwrap();
+        assert!(stats.contains(" wal_records=0"), "log reset: {stats}");
+        assert!(stats.contains(" checkpoints=1"), "{stats}");
+        c.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+
+        // Generation 2: recovered from the checkpoint snapshot alone.
+        let handle = spawn(config()).unwrap();
+        let mut c = Client::connect(handle.addr).unwrap();
+        let stats = c.stats_line().unwrap();
+        assert!(stats.contains(" recovered=7"), "{stats}");
+        for (q, want) in QUERIES.iter().zip(&expect) {
+            let (frame, _host) = c.raw_query_frames(q).unwrap();
+            assert_eq!(
+                &frame, want,
+                "{shards}-shard snapshot recovery diverged on {q:?}"
+            );
+        }
+        c.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    // A server without a data dir refuses CHECKPOINT with a stable kind.
+    let handle = spawn(local_config()).unwrap();
+    let mut c = Client::connect(handle.addr).unwrap();
+    match c.checkpoint() {
+        Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, "not_durable"),
+        other => panic!("expected not_durable, got {other:?}"),
+    }
+    let stats = c.stats_line().unwrap();
+    assert!(stats.contains("durable=0"), "{stats}");
+    c.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,210 @@
+//! Fixed-size pages with checksummed headers.
+//!
+//! Every on-disk unit is exactly [`PAGE_SIZE`] bytes: a 33-byte header
+//! followed by payload. The header carries a magic number, the page's kind
+//! and identity, the LSN current when the page was written, the payload
+//! length, and an FNV-1a-64 checksum over the *entire* page (with the
+//! checksum field zeroed). A write that is torn mid-page — the classic
+//! failure a 512-byte-sector disk inflicts on an 8 KiB page — leaves a
+//! checksum mismatch, so [`Page::decode`] refuses it rather than serving
+//! half-old half-new bytes.
+
+use crate::error::{Result, StorageError};
+use crate::fnv1a64;
+
+/// Page size in bytes. 8 KiB: large enough that a cylinder-sized relation
+/// spans few pages, small enough that the buffer pool's units are real.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Header layout: magic(4) kind(1) page_id(8) lsn(8) len(4) checksum(8).
+pub const HEADER_LEN: usize = 33;
+
+/// Payload capacity of one page.
+pub const PAYLOAD_CAP: usize = PAGE_SIZE - HEADER_LEN;
+
+/// "SDBP" — systolic-db page.
+pub const MAGIC: u32 = 0x5344_4250;
+
+const CHECKSUM_OFFSET: usize = 25;
+
+/// What a page holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// Unused (or logically deleted) page.
+    Free = 0,
+    /// First page of a blob: payload starts with the blob directory entry.
+    BlobHead = 1,
+    /// Continuation page of a blob.
+    BlobCont = 2,
+}
+
+impl PageKind {
+    fn from_byte(b: u8) -> Result<PageKind> {
+        match b {
+            0 => Ok(PageKind::Free),
+            1 => Ok(PageKind::BlobHead),
+            2 => Ok(PageKind::BlobCont),
+            other => Err(StorageError::Corrupt {
+                detail: format!("unknown page kind {other}"),
+            }),
+        }
+    }
+}
+
+/// One decoded page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// What the page holds.
+    pub kind: PageKind,
+    /// Position in the page file; also stored in the header so a page read
+    /// from the wrong offset (misdirected write) is caught.
+    pub page_id: u64,
+    /// LSN current when the page was written. When two head pages claim the
+    /// same blob name, the higher LSN wins.
+    pub lsn: u64,
+    /// Payload bytes (at most [`PAYLOAD_CAP`]).
+    pub payload: Vec<u8>,
+}
+
+impl Page {
+    /// Build a page, panicking if the payload exceeds capacity (callers
+    /// split blobs into chunks before constructing pages).
+    pub fn new(kind: PageKind, page_id: u64, lsn: u64, payload: Vec<u8>) -> Page {
+        assert!(
+            payload.len() <= PAYLOAD_CAP,
+            "payload {} exceeds page capacity {PAYLOAD_CAP}",
+            payload.len()
+        );
+        Page {
+            kind,
+            page_id,
+            lsn,
+            payload,
+        }
+    }
+
+    /// Serialize to exactly [`PAGE_SIZE`] bytes with the checksum filled in.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[4] = self.kind as u8;
+        buf[5..13].copy_from_slice(&self.page_id.to_le_bytes());
+        buf[13..21].copy_from_slice(&self.lsn.to_le_bytes());
+        buf[21..25].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        // Checksum field is zero while hashing.
+        buf[HEADER_LEN..HEADER_LEN + self.payload.len()].copy_from_slice(&self.payload);
+        let sum = fnv1a64(&buf);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode and verify a page read from position `expect_id`.
+    ///
+    /// Rejects short buffers, bad magic, checksum mismatches (torn writes),
+    /// out-of-range lengths and identity mismatches.
+    pub fn decode(bytes: &[u8], expect_id: u64) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt {
+                detail: format!("page {expect_id}: short read ({} bytes)", bytes.len()),
+            });
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt {
+                detail: format!("page {expect_id}: bad magic {magic:#x}"),
+            });
+        }
+        let stored_sum = u64::from_le_bytes(
+            bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8]
+                .try_into()
+                .unwrap(),
+        );
+        let mut zeroed = bytes.to_vec();
+        zeroed[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
+        let computed = fnv1a64(&zeroed);
+        if stored_sum != computed {
+            return Err(StorageError::Corrupt {
+                detail: format!("page {expect_id}: checksum mismatch (torn write?)"),
+            });
+        }
+        let kind = PageKind::from_byte(bytes[4])?;
+        let page_id = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+        if page_id != expect_id {
+            return Err(StorageError::Corrupt {
+                detail: format!("page {expect_id}: header claims id {page_id}"),
+            });
+        }
+        let lsn = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[21..25].try_into().unwrap()) as usize;
+        if len > PAYLOAD_CAP {
+            return Err(StorageError::Corrupt {
+                detail: format!("page {expect_id}: payload length {len} exceeds capacity"),
+            });
+        }
+        Ok(Page {
+            kind,
+            page_id,
+            lsn,
+            payload: bytes[HEADER_LEN..HEADER_LEN + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_round_trips() {
+        let p = Page::new(PageKind::BlobHead, 7, 42, b"hello pages".to_vec());
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        let back = Page::decode(&bytes, 7).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let p = Page::new(PageKind::BlobCont, 3, 9, vec![0xAB; 64]);
+        let bytes = p.encode();
+        // Flip one bit in each of a spread of positions: header, payload,
+        // checksum itself, and the zero padding after the payload.
+        for pos in [
+            0usize,
+            4,
+            6,
+            14,
+            22,
+            26,
+            HEADER_LEN + 1,
+            HEADER_LEN + 63,
+            PAGE_SIZE - 1,
+        ] {
+            let mut broken = bytes.clone();
+            broken[pos] ^= 0x01;
+            assert!(
+                Page::decode(&broken, 3).is_err(),
+                "bit flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn misdirected_reads_are_caught() {
+        let p = Page::new(PageKind::Free, 5, 0, vec![]);
+        let bytes = p.encode();
+        let err = Page::decode(&bytes, 6).unwrap_err();
+        assert!(err.to_string().contains("claims id 5"), "{err}");
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        assert!(Page::decode(&[0u8; 100], 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page capacity")]
+    fn oversized_payload_panics() {
+        Page::new(PageKind::BlobHead, 0, 0, vec![0; PAYLOAD_CAP + 1]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the lock table under real thread interleavings.
+//!
+//! The serializability claim the server relies on: a reader holding shared
+//! locks can never observe a relation mid-write. Writers here deliberately
+//! publish their data in several steps with yields in between — the only
+//! thing standing between a reader and a half-written relation is the lock
+//! table. A brief `Mutex` guards each individual step for memory safety
+//! (this crate forbids `unsafe`), so any torn observation the reader could
+//! make is the lock table's fault alone.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use proptest::prelude::*;
+use systolic_storage::{LockMode, LockTable};
+
+/// Elements each completed write publishes. Intermediate states are
+/// strictly shorter, so "complete" is recognisable from the data alone.
+const LEN: usize = 8;
+
+const NAMES: &[&str] = &["r0", "r1", "r2"];
+
+type Shelf = Arc<Mutex<HashMap<String, Vec<u64>>>>;
+
+/// Write `vec![value; LEN]` under an exclusive lock, one element per step,
+/// yielding between steps so concurrent threads get every chance to
+/// interleave. Without the exclusive lock a reader would routinely see a
+/// prefix.
+fn write_relation(table: &LockTable, shelf: &Shelf, name: &str, value: u64) {
+    let _guard = table.acquire(name, LockMode::Exclusive);
+    {
+        let mut data = shelf.lock().unwrap();
+        data.insert(name.to_string(), Vec::new());
+    }
+    for _ in 0..LEN {
+        {
+            let mut data = shelf.lock().unwrap();
+            data.get_mut(name).unwrap().push(value);
+        }
+        thread::yield_now();
+    }
+}
+
+/// Read every requested relation under one all-or-nothing shared grant and
+/// check each is either absent or complete and uniform.
+fn read_relations(table: &LockTable, shelf: &Shelf, names: &[&str]) -> Result<(), String> {
+    let wants: Vec<(String, LockMode)> = names
+        .iter()
+        .map(|n| (n.to_string(), LockMode::Shared))
+        .collect();
+    let _guard = table.acquire_all(wants);
+    for name in names {
+        let snapshot = {
+            let data = shelf.lock().unwrap();
+            data.get(*name).cloned()
+        };
+        thread::yield_now();
+        // Re-read: under a correct shared lock the relation cannot change
+        // while we hold it, so both observations must agree.
+        let again = {
+            let data = shelf.lock().unwrap();
+            data.get(*name).cloned()
+        };
+        if snapshot != again {
+            return Err(format!("{name}: relation mutated under a shared lock"));
+        }
+        let Some(rows) = snapshot else { continue };
+        if rows.len() != LEN {
+            return Err(format!(
+                "{name}: observed partial load of {} / {LEN} rows",
+                rows.len()
+            ));
+        }
+        if rows.iter().any(|&v| v != rows[0]) {
+            return Err(format!("{name}: observed rows from two writers: {rows:?}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixes of concurrent writers and multi-name readers: no reader
+    /// ever sees a partial or torn relation, and the table drains to idle.
+    #[test]
+    fn readers_never_observe_partially_loaded_relations(
+        writer_ops in prop::collection::vec((0usize..3, 1u64..1000), 4..24),
+        reader_ops in prop::collection::vec(0usize..3, 4..24),
+    ) {
+        let table = Arc::new(LockTable::new());
+        let shelf: Shelf = Arc::new(Mutex::new(HashMap::new()));
+        let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+        thread::scope(|scope| {
+            // Writers: each claims a slice of the op list.
+            for chunk in writer_ops.chunks(writer_ops.len().div_ceil(3).max(1)) {
+                let table = Arc::clone(&table);
+                let shelf = Arc::clone(&shelf);
+                scope.spawn(move || {
+                    for &(name_idx, value) in chunk {
+                        write_relation(&table, &shelf, NAMES[name_idx], value);
+                    }
+                });
+            }
+            // Readers: each op reads one name, plus a periodic read of the
+            // whole set under a single all-or-nothing grant.
+            for chunk in reader_ops.chunks(reader_ops.len().div_ceil(3).max(1)) {
+                let table = Arc::clone(&table);
+                let shelf = Arc::clone(&shelf);
+                let errors = Arc::clone(&errors);
+                scope.spawn(move || {
+                    for (i, &name_idx) in chunk.iter().enumerate() {
+                        let names: Vec<&str> = if i % 3 == 0 {
+                            NAMES.to_vec()
+                        } else {
+                            vec![NAMES[name_idx]]
+                        };
+                        if let Err(e) = read_relations(&table, &shelf, &names) {
+                            errors.lock().unwrap().push(e);
+                        }
+                    }
+                });
+            }
+        });
+
+        let errors = errors.lock().unwrap();
+        prop_assert!(errors.is_empty(), "isolation violations: {errors:?}");
+        prop_assert_eq!(table.held_names(), 0, "all grants released");
+
+        // Every surviving relation is some writer's complete output.
+        let data = shelf.lock().unwrap();
+        for (name, rows) in data.iter() {
+            prop_assert_eq!(rows.len(), LEN, "{} left partial", name);
+            let value = rows[0];
+            prop_assert!(rows.iter().all(|&v| v == value));
+            prop_assert!(
+                writer_ops
+                    .iter()
+                    .any(|&(idx, v)| NAMES[idx] == name && v == value),
+                "{} holds a value no writer produced",
+                name
+            );
+        }
+    }
+
+    /// Writers wanting overlapping name sets in conflicting orders cannot
+    /// deadlock: all-or-nothing acquisition has no hold-and-wait. The test
+    /// simply completing (threads joined by scope exit) is the assertion.
+    #[test]
+    fn conflicting_multi_name_writers_always_complete(
+        sets in prop::collection::vec(prop::collection::vec(0usize..3, 1..4), 4..16),
+    ) {
+        let table = Arc::new(LockTable::new());
+        thread::scope(|scope| {
+            for set in &sets {
+                let table = Arc::clone(&table);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let wants: Vec<(String, LockMode)> = set
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &idx)| {
+                                let mode = if i % 2 == 0 {
+                                    LockMode::Exclusive
+                                } else {
+                                    LockMode::Shared
+                                };
+                                (NAMES[idx].to_string(), mode)
+                            })
+                            .collect();
+                        let guard = table.acquire_all(wants);
+                        // Duplicates collapsed: names are unique and sorted.
+                        let held = guard.held();
+                        for pair in held.windows(2) {
+                            assert!(pair[0].0 < pair[1].0, "held set sorted/deduped");
+                        }
+                        thread::yield_now();
+                        drop(guard);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(table.held_names(), 0);
+    }
+}

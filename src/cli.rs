@@ -32,7 +32,9 @@ use systolic_core::ArrayLimits;
 use systolic_machine::{Backend, MachineConfig, MachineError, ParseError, RunOutcome};
 use systolic_relation::{DomainKind, RelationError};
 use systolic_server::engine::kind_name;
-use systolic_server::{Client, ClientError, Engine, EngineError, IoModel, ServerConfig};
+use systolic_server::{
+    Client, ClientError, Engine, EngineError, IoModel, ReplacerKind, ServerConfig,
+};
 use systolic_telemetry::chrome::{ArgValue, ChromeTrace, PID_HOST, PID_SIMULATED};
 use systolic_telemetry::{prom, SpanRecord};
 
@@ -194,6 +196,13 @@ pub struct ServeArgs {
     pub batch_window_ms: u64,
     /// Slow-query log threshold in milliseconds; 0 disables the log.
     pub slow_query_ms: u64,
+    /// Durable data directory (`None` = in-memory only). With `--shards N`
+    /// each shard persists under `DIR/shard-i`.
+    pub data_dir: Option<String>,
+    /// Buffer-pool capacity of the paged store, in 8 KiB pages.
+    pub pool_pages: usize,
+    /// Buffer-pool (and staging-memory) replacement policy.
+    pub replacer: ReplacerKind,
 }
 
 impl Default for ServeArgs {
@@ -211,6 +220,9 @@ impl Default for ServeArgs {
                 .slow_query
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
+            data_dir: None,
+            pool_pages: defaults.pool_pages,
+            replacer: defaults.replacer,
         }
     }
 }
@@ -254,6 +266,8 @@ pub struct ConnectArgs {
     /// Scrape the exposition twice, validating both and checking that
     /// counters are monotonic between scrapes.
     pub check_metrics: bool,
+    /// Ask a durable server to checkpoint its log.
+    pub checkpoint: bool,
 }
 
 /// Which mode a command line selects.
@@ -274,9 +288,10 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
 [--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
        sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
        sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
-[--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS]
+[--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS] \
+[--data-dir DIR] [--pool-pages N] [--replacer clock|lru]
        sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
-[--check-metrics] [--shutdown] [QUERY]
+[--check-metrics] [--checkpoint] [--shutdown] [QUERY]
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
   --threads N: simulate independent plan steps on N host threads (0 = auto
@@ -304,9 +319,15 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                query transparently falls back to a full local copy — the
                RESULT frames are byte-identical either way
   --slow-query-ms MS: log queries slower than MS to stderr (0 disables)
+  --data-dir DIR: persist loads and store(...) queries to a write-ahead log
+               under DIR and recover them (byte-identically) on restart;
+               with --shards N each shard persists under DIR/shard-i
+  --pool-pages N: buffer-pool capacity of the paged store, in 8 KiB pages
+  --replacer P: buffer-pool replacement policy, clock (default) or lru
   --connect: run the query on a server instead of in-process
   --metrics: print the server's Prometheus text exposition
   --check-metrics: scrape twice, validate, and check counter monotonicity
+  --checkpoint: snapshot a durable server's history and truncate its log
   example: sdb --table emp=emp.csv:str,int --stats 'filter(scan(emp), c1 >= 30)'";
 
 fn flag_value<'a>(
@@ -406,6 +427,19 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
                 let value = flag_value("--slow-query-ms", &mut it)?;
                 args.slow_query_ms = parse_number("--slow-query-ms", value)? as u64;
             }
+            "--data-dir" => {
+                args.data_dir = Some(flag_value("--data-dir", &mut it)?.clone());
+            }
+            "--pool-pages" => {
+                let value = flag_value("--pool-pages", &mut it)?;
+                args.pool_pages = parse_number("--pool-pages", value)?.max(1);
+            }
+            "--replacer" => {
+                let value = flag_value("--replacer", &mut it)?;
+                args.replacer = ReplacerKind::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!("--replacer expects clock or lru, got {value:?}"))
+                })?;
+            }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             other => {
                 return Err(CliError::Usage(format!(
@@ -477,6 +511,7 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
             "--shutdown" => args.shutdown = true,
             "--metrics" => args.metrics = true,
             "--check-metrics" => args.check_metrics = true,
+            "--checkpoint" => args.checkpoint = true,
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
             other => {
@@ -494,9 +529,10 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
         && !args.shutdown
         && !args.metrics
         && !args.check_metrics
+        && !args.checkpoint
     {
         return Err(CliError::Usage(format!(
-            "--connect needs a query, tables to load, --metrics, or --shutdown\n{USAGE}"
+            "--connect needs a query, tables to load, --metrics, --checkpoint, or --shutdown\n{USAGE}"
         )));
     }
     Ok(args)
@@ -718,6 +754,9 @@ fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
+        data_dir: args.data_dir.as_deref().map(std::path::PathBuf::from),
+        pool_pages: args.pool_pages,
+        replacer: args.replacer,
         ..defaults
     })?;
     Ok(())
@@ -763,6 +802,10 @@ fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
         } else {
             out.push_str(&first);
         }
+    }
+    if args.checkpoint {
+        let (records, bytes) = client.checkpoint()?;
+        out.push_str(&format!("checkpointed {records} records ({bytes} bytes)\n"));
     }
     if args.shutdown {
         client.shutdown_server()?;
@@ -912,8 +955,39 @@ mod tests {
             Command::Serve(s) => {
                 assert_eq!(s.io, IoModel::Threads, "threads is the default front end");
                 assert_eq!(s.shards, 1, "single-System by default");
+                assert_eq!(s.data_dir, None, "in-memory by default");
+                assert_eq!(s.replacer, ReplacerKind::Clock);
             }
             other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&[
+            "serve",
+            "--data-dir",
+            "/tmp/sdb-data",
+            "--pool-pages",
+            "64",
+            "--replacer",
+            "lru",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.data_dir.as_deref(), Some("/tmp/sdb-data"));
+                assert_eq!(s.pool_pages, 64);
+                assert_eq!(s.replacer, ReplacerKind::Lru);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["serve", "--replacer", "fifo"])),
+            Err(CliError::Usage(_))
+        ));
+        match parse_command(&argv(&["--connect", "127.0.0.1:4171", "--checkpoint"])).unwrap() {
+            Command::Connect(c) => {
+                assert!(c.checkpoint, "--checkpoint alone is a valid connect");
+                assert!(c.query.is_empty());
+            }
+            other => panic!("expected connect, got {other:?}"),
         }
         assert!(matches!(
             parse_command(&argv(&["serve", "--io", "epoll"])),
