@@ -12,7 +12,11 @@
 #   7. serve with `--data-dir`, load, SIGKILL the process mid-flight,
 #      restart on the same directory, and re-run the join WITHOUT reloading
 #      anything: recovery must produce the same rows, report itself in the
-#      storage metrics, and survive an explicit checkpoint.
+#      storage metrics, and survive an explicit checkpoint,
+#   8. serve with `--shards 2 --profile-history 2 --trace-out`, PROFILE a
+#      fanned-out query (budget must bound the actual pulses, which must
+#      equal the RESULT RunStats), overflow and dump the flight recorder,
+#      and check the shutdown trace merged the shard fan-out spans.
 # Any failure exits nonzero.
 set -euo pipefail
 
@@ -209,4 +213,81 @@ grep -q "shutdown:" "$WORK/serve3b.log" || { echo "missing durable shutdown summ
 
 echo "--- durable server logs ---"
 cat "$WORK/serve3.log" "$WORK/serve3b.log"
+
+# ---- Round 4: observability — PROFILE, PROFILES, trace-out -------------
+
+ADDR4=127.0.0.1:14174
+TRACE="$WORK/trace.json"
+"$SDB" serve --addr "$ADDR4" --shards 2 --profile-history 2 --trace-out "$TRACE" \
+  > "$WORK/serve4.log" 2>&1 &
+SRV4=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve4.log" && break
+  kill -0 "$SRV4" 2>/dev/null || { echo "profiled server died early:"; cat "$WORK/serve4.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve4.log" || { echo "profiled server never came up"; cat "$WORK/serve4.log"; exit 1; }
+
+# PROFILE a fan-out query: the result rows and stats footer arrive as
+# usual, plus one `-- profile:` JSON line. The analyzer's pulse budget
+# must bound the actual pulses, and the profile's actual pulses must be
+# the same number the RESULT frame's RunStats printed in the footer.
+# An intersect on the partition column routes to both shards AND runs a
+# real array pass, so the pulse numbers are nonzero.
+printf '1\n2\n3\n4\n' > "$WORK/a.csv"
+printf '2\n4\n5\n' > "$WORK/b.csv"
+"$SDB" --connect "$ADDR4" \
+  --table "emp=$WORK/emp.csv:str,int" \
+  --table "a=$WORK/a.csv:int" \
+  --table "b=$WORK/b.csv:int" \
+  --stats --profile \
+  'intersect(scan(a), scan(b))' > "$WORK/out7.txt"
+
+echo "--- profiled client output ---"
+cat "$WORK/out7.txt"
+
+grep -q '^2$' "$WORK/out7.txt" || { echo "profiled intersect: missing row 2"; exit 1; }
+grep -q '^4$' "$WORK/out7.txt" || { echo "profiled intersect: missing row 4"; exit 1; }
+grep -q -- '-- profile: {' "$WORK/out7.txt" || { echo "missing profile line"; exit 1; }
+BUDGET=$(sed -n 's/.*"predicted":{"pulse_budget":\([0-9]*\).*/\1/p' "$WORK/out7.txt")
+ACTUAL=$(sed -n 's/.*"actual":{"pulses":\([0-9]*\).*/\1/p' "$WORK/out7.txt")
+FOOTER=$(sed -n 's/.*-- [0-9]* tuples.*; \([0-9]*\) array pulses.*/\1/p' "$WORK/out7.txt")
+if ! awk -v b="$BUDGET" -v a="$ACTUAL" 'BEGIN { exit !(b >= a && a > 0) }'; then
+  echo "profile budget $BUDGET does not bound actual pulses $ACTUAL" >&2
+  exit 1
+fi
+if [[ "$ACTUAL" != "$FOOTER" ]]; then
+  echo "profile actual pulses $ACTUAL != RESULT RunStats pulses $FOOTER" >&2
+  exit 1
+fi
+echo "profile: budget $BUDGET >= actual $ACTUAL == RunStats $FOOTER"
+
+# Fill the flight recorder past its 2-slot capacity, then dump it: only
+# the newest 2 profiles survive, newest first.
+"$SDB" --connect "$ADDR4" 'dedup(scan(emp))' > /dev/null
+"$SDB" --connect "$ADDR4" 'filter(scan(emp), c1 >= 10)' > /dev/null
+"$SDB" --connect "$ADDR4" --profiles > "$WORK/out8.txt"
+echo "--- flight recorder dump ---"
+cat "$WORK/out8.txt"
+grep -q -- '-- flight recorder: 2 profile(s)' "$WORK/out8.txt" \
+  || { echo "recorder did not retain exactly 2 profiles"; exit 1; }
+sed -n 2p "$WORK/out8.txt" | grep -q 'filter(scan(emp), c1 >= 10)' \
+  || { echo "recorder dump is not newest first"; exit 1; }
+if grep -q '"query":"intersect(scan(a), scan(b))"' "$WORK/out8.txt"; then
+  echo "recorder retained an evicted profile"; exit 1
+fi
+
+kill -TERM "$SRV4"
+if ! wait "$SRV4"; then
+  echo "profiled server did not exit cleanly:"; cat "$WORK/serve4.log"; exit 1
+fi
+# The shutdown trace must merge spans from the router and both shards into
+# one Chrome JSON on the two-clock pid convention.
+[[ -f "$TRACE" ]] || { echo "shutdown wrote no trace"; cat "$WORK/serve4.log"; exit 1; }
+grep -q '"traceEvents"' "$TRACE" || { echo "trace is not Chrome JSON"; exit 1; }
+grep -q 'server.shard_fanout' "$TRACE" || { echo "trace has no fan-out span"; exit 1; }
+
+echo "--- profiled server log ---"
+cat "$WORK/serve4.log"
 echo "serve smoke test passed"

@@ -44,3 +44,23 @@ if ! awk -v r="$WAL_RATE" 'BEGIN { exit !(r > 0) }'; then
   exit 1
 fi
 echo "durability WAL append rate: ${WAL_RATE} records/sec (fsync per append)"
+
+# The observability experiment must be present with a full flight recorder
+# and a non-empty merged shard trace — an empty trace would mean the
+# cross-shard span trailers never reached the merge.
+OBS="$DIR/BENCH_observability.json"
+if [[ ! -f "$OBS" ]]; then
+  echo "missing $OBS" >&2
+  exit 1
+fi
+PROFILES=$(sed -n 's/.*"flight_recorder_profiles": \([0-9]*\).*/\1/p' "$OBS")
+if ! awk -v p="$PROFILES" 'BEGIN { exit !(p > 0) }'; then
+  echo "observability flight_recorder_profiles $PROFILES is not positive" >&2
+  exit 1
+fi
+TRACE_EVENTS=$(sed -n 's/.*"trace_events": \([0-9]*\).*/\1/p' "$OBS")
+if ! awk -v e="$TRACE_EVENTS" 'BEGIN { exit !(e > 0) }'; then
+  echo "observability trace_events $TRACE_EVENTS is not positive" >&2
+  exit 1
+fi
+echo "observability: ${PROFILES} profiles retained, ${TRACE_EVENTS} merged trace events"

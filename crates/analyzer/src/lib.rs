@@ -433,8 +433,10 @@ impl Walker<'_> {
                     .tiles
                     .saturating_mul(marching_pulses(tile_a, tile_b, tile_m))
             };
-            self.nodes[node].tiles = proof.tiles;
-            self.nodes[node].pulse_budget = pulses;
+            // Accumulate: an operator that runs several device passes
+            // (division's dedup pre-pass, §7) calls this once per pass.
+            self.nodes[node].tiles = self.nodes[node].tiles.saturating_add(proof.tiles);
+            self.nodes[node].pulse_budget = self.nodes[node].pulse_budget.saturating_add(pulses);
             self.tiles = self.tiles.saturating_add(proof.tiles);
             self.pulses = self.pulses.saturating_add(pulses);
         }
@@ -532,7 +534,15 @@ impl Walker<'_> {
                 } else {
                     lr
                 };
-                self.device_check(node, DeviceKind::SetOp, lr, rr, lc.len() as u64, span);
+                // Union runs as remove-duplicates over the *concatenation*
+                // (§5), so both the tiling proof and the pulse budget must
+                // cover an (|A|+|B|) × (|A|+|B|) pass — budgeting the raw
+                // (|A|, |B|) shape would under-predict the device's work.
+                if matches!(expr, Expr::Union(..)) {
+                    self.device_check(node, DeviceKind::SetOp, rows, rows, lc.len() as u64, span);
+                } else {
+                    self.device_check(node, DeviceKind::SetOp, lr, rr, lc.len() as u64, span);
+                }
                 self.stage_op_output(rows, lc.len());
                 Some((lc, rows))
             }
@@ -721,6 +731,10 @@ impl Walker<'_> {
                     }
                 }
                 let out = vec![*dc.get(*key)?];
+                // Division first identifies the distinct dividend keys with
+                // the remove-duplicates array (§7), then streams the pairs
+                // through the division array: budget both passes.
+                self.device_check(node, DeviceKind::SetOp, dr, dr, 1, span);
                 self.device_check(node, DeviceKind::Divide, dr, vr, 1, span);
                 self.stage_op_output(dr, 1);
                 Some((out, dr))
@@ -850,6 +864,85 @@ pub fn analyze(
         tiles: w.tiles,
         pulse_budget: w.pulses,
     })
+}
+
+/// Map every `Plan` step (in `Plan::compile` order) to the pre-order
+/// [`Analysis::nodes`] index of the expression node it executes, so a query
+/// profile can sit the analyzer's per-node prediction next to the runtime's
+/// per-step actuals.
+///
+/// Mirrors `Plan::compile`'s traversal exactly: children before the parent's
+/// step, scans deduplicated on `(name, filter)` so a repeated scan advances
+/// the pre-order node counter but maps back to the first scan's load step.
+/// Call it on the **same** expression the plan was compiled from (i.e. the
+/// `push_selections`-rewritten tree) with an [`analyze`] run on that same
+/// tree; `alignment[step] = node` then holds for every step.
+pub fn plan_alignment(expr: &Expr) -> Vec<usize> {
+    struct Align {
+        /// Pre-order node counter, advancing at every node entry exactly as
+        /// [`Walker::walk`] does.
+        next: usize,
+        /// `steps[step_id] = node_index`, in `Plan::compile` push order.
+        steps: Vec<usize>,
+        /// Deduped scans: `(name, filter, step_id)`, mirroring the compiler's
+        /// shared-load rule.
+        scans: Vec<(String, Option<systolic_machine::TrackFilter>, usize)>,
+    }
+
+    impl Align {
+        fn push(&mut self, node: usize) -> usize {
+            self.steps.push(node);
+            self.steps.len() - 1
+        }
+
+        fn go(&mut self, expr: &Expr) -> usize {
+            let node = self.next;
+            self.next += 1;
+            match expr {
+                Expr::Scan { name, filter } => {
+                    if let Some(&(_, _, id)) =
+                        self.scans.iter().find(|(n, f, _)| n == name && f == filter)
+                    {
+                        return id;
+                    }
+                    let id = self.push(node);
+                    self.scans.push((name.clone(), *filter, id));
+                    id
+                }
+                Expr::Intersect(l, r)
+                | Expr::Difference(l, r)
+                | Expr::Union(l, r)
+                | Expr::Join(l, r, _) => {
+                    self.go(l);
+                    self.go(r);
+                    self.push(node)
+                }
+                Expr::Dedup(inner) | Expr::Project(inner, _) | Expr::Select(inner, _) => {
+                    self.go(inner);
+                    self.push(node)
+                }
+                Expr::Divide {
+                    dividend, divisor, ..
+                } => {
+                    self.go(dividend);
+                    self.go(divisor);
+                    self.push(node)
+                }
+                Expr::Store(inner, _) => {
+                    self.go(inner);
+                    self.push(node)
+                }
+            }
+        }
+    }
+
+    let mut a = Align {
+        next: 0,
+        steps: Vec::new(),
+        scans: Vec::new(),
+    };
+    a.go(expr);
+    a.steps
 }
 
 /// The relation names an expression scans and stores.
@@ -1246,6 +1339,59 @@ mod tests {
         ])[0]
             .diagnostic();
         assert_eq!(d.code, Code::ShadowedLoad);
+    }
+
+    #[test]
+    fn plan_alignment_mirrors_the_compiler_step_order() {
+        use systolic_machine::{parse, Action, Plan};
+
+        // Child loads, then the op step; alignment points each step at its
+        // pre-order analysis node.
+        let expr = parse("join(scan(emp), scan(dept), 1 = 0)").unwrap();
+        let align = plan_alignment(&expr);
+        assert_eq!(align, vec![1, 2, 0]);
+
+        // Repeated scans advance the node counter but share the first load.
+        let expr =
+            parse("union(intersect(scan(emp), scan(emp)), difference(scan(emp), scan(emp)))")
+                .unwrap();
+        let align = plan_alignment(&expr);
+        // Steps: load emp, intersect, difference, union.
+        assert_eq!(align, vec![2, 1, 4, 0]);
+
+        // Alignment length always equals the compiled step count, and every
+        // step's node carries a label consistent with the step action.
+        for src in [
+            "join(scan(emp), scan(dept), 1 = 0)",
+            "union(intersect(scan(takes), scan(takes)), scan(takes))",
+            "store(dedup(scan(takes)), fresh)",
+            "divide(scan(takes), scan(courses), 0, 1, 0)",
+            "project(filter(scan(flags), c0 = 1), [0])",
+        ] {
+            let expr = parse(src).unwrap();
+            let plan = Plan::compile(&expr);
+            let align = plan_alignment(&expr);
+            let analysis = analyze(&expr, &view(), &MachineConfig::default(), &[]).unwrap();
+            assert_eq!(align.len(), plan.steps.len(), "{src}");
+            for (step, &node) in plan.steps.iter().zip(&align) {
+                let label = &analysis.nodes[node].label;
+                match &step.action {
+                    Action::Load { relation, .. } => {
+                        assert!(label.contains(relation.as_str()), "{src}: {label}")
+                    }
+                    Action::Op { op, .. } => {
+                        let op_head = op.label();
+                        let head = op_head.split('[').next().unwrap();
+                        // The analyzer labels Select as "filter".
+                        let head = if head == "select" { "filter" } else { head };
+                        assert!(label.starts_with(head), "{src}: {label} vs {op_head}")
+                    }
+                    Action::Store { as_name, .. } => {
+                        assert!(label.contains(as_name.as_str()), "{src}: {label}")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

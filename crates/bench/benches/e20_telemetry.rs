@@ -92,6 +92,44 @@ fn bench_machine_run_with_telemetry_off(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_server_plain_path_with_profiling_off(c: &mut Criterion) {
+    use systolic_server::{spawn, Client, ServerConfig};
+
+    // The plain QUERY path against a live server, with the flight recorder
+    // disabled (history 0) and enabled (the default ring): the always-on
+    // recorder must not tax the un-PROFILE'd path beyond the ring push.
+    // Tracing stays off in both runs — no collector, so the span layer is
+    // the no-op guard measured above.
+    uninstall();
+    assert!(
+        !enabled(),
+        "collector must be absent for the server benches"
+    );
+    let mut g = c.benchmark_group("e20/server");
+    for (label, history) in [("query_recorder_off", 0usize), ("query_recorder_on", 16)] {
+        let handle = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            profile_history: history,
+            ..ServerConfig::default()
+        })
+        .expect("bind a loopback server");
+        let mut client = Client::connect(handle.addr).unwrap();
+        let csv: String = (0..64).map(|i| format!("{}\n", i % 32)).collect();
+        client.load_csv("a", "int", &csv).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = client.query(black_box("dedup(scan(a))")).unwrap();
+                assert_eq!(out.rows, 32);
+                out.total_pulses
+            })
+        });
+        client.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+    g.finish();
+}
+
 fn bench_disabled_counter(c: &mut Criterion) {
     let mut g = c.benchmark_group("e20/metrics");
     let counter = Counter::new();
@@ -110,6 +148,7 @@ criterion_group! {
     targets = bench_disabled_spans,
         bench_enabled_spans,
         bench_machine_run_with_telemetry_off,
+        bench_server_plain_path_with_profiling_off,
         bench_disabled_counter
 }
 criterion_main!(benches);

@@ -1466,6 +1466,180 @@ fn durability() -> (Summary, Vec<(String, Extra)>) {
     (sum, extras)
 }
 
+/// `repro` O1 — observability: what a `PROFILE`d query costs next to the
+/// plain path (the `RESULT` frame must stay byte-identical), how long the
+/// shutdown trace merge takes with a 2-shard fan-out feeding it, and how
+/// much memory the flight recorder's retained profiles occupy.
+fn observability() -> (Summary, Vec<(String, Extra)>) {
+    use systolic_server::{spawn, Client, ServerConfig};
+    use systolic_telemetry::json::{self, Json};
+
+    let mut sum = Summary::default();
+    let mut extras: Vec<(String, Extra)> = Vec::new();
+
+    heading(
+        "O1",
+        "end-to-end query profiles",
+        "\u{a7}8: the analyzer's pulse budgets are sound upper bounds \u{2014} the \
+         profile lines them up against the machine's actual accounting on \
+         every served query, and the flight recorder keeps the recent ones",
+    );
+
+    let trace_path =
+        std::env::temp_dir().join(format!("sdb_bench_obs_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    const HISTORY: usize = 64;
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        trace_out: Some(trace_path.clone()),
+        profile_history: HISTORY,
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback server");
+    let mut client = Client::connect(handle.addr).unwrap();
+    let a_csv: String = (0..96).map(|i| format!("{}\n", i % 48)).collect();
+    let b_csv: String = (0..96).map(|i| format!("{}\n", (i * 3) % 64)).collect();
+    client.load_csv("a", "int", &a_csv).unwrap();
+    client.load_csv("b", "int", &b_csv).unwrap();
+
+    const QUERIES: &[&str] = &[
+        "intersect(scan(a), scan(b))",
+        "union(scan(a), scan(b))",
+        "difference(scan(a), scan(b))",
+        "dedup(scan(a))",
+    ];
+    const ROUNDS: usize = 32;
+
+    // Act 1: profile overhead. The same queries plain and PROFILE'd; every
+    // profiled RESULT frame must equal the plain one byte for byte, and
+    // the budget must bound the actual pulses on every single profile.
+    let baseline: Vec<String> = QUERIES
+        .iter()
+        .map(|q| client.raw_query_frames(q).unwrap().0)
+        .collect();
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        for q in QUERIES {
+            sum.pulses += client.query(q).unwrap().total_pulses;
+            sum.queries += 1;
+        }
+    }
+    let plain_wall = started.elapsed().as_secs_f64().max(1e-9);
+    let started = Instant::now();
+    let mut min_drift = i64::MAX;
+    for _ in 0..ROUNDS {
+        for (i, q) in QUERIES.iter().enumerate() {
+            let (result, profile) = client.profile(q).unwrap();
+            assert_eq!(result.raw, baseline[i], "PROFILE changed the RESULT frame");
+            let doc = json::parse(&profile).expect("profile is one JSON line");
+            let budget = doc
+                .get("predicted")
+                .and_then(|p| p.get("pulse_budget"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            let pulses = doc
+                .get("actual")
+                .and_then(|a| a.get("pulses"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(
+                budget >= pulses,
+                "{q}: predicted budget {budget} < actual {pulses}"
+            );
+            assert_eq!(pulses, result.total_pulses, "profile vs RESULT pulses");
+            min_drift = min_drift.min(budget as i64 - pulses as i64);
+            sum.pulses += pulses;
+            sum.queries += 1;
+        }
+    }
+    let profile_wall = started.elapsed().as_secs_f64().max(1e-9);
+    let n = (ROUNDS * QUERIES.len()) as f64;
+    let overhead_ns = (profile_wall - plain_wall) * 1e9 / n;
+    let ratio = profile_wall / plain_wall;
+    let mut t = Table::new(&[
+        "path",
+        "queries",
+        "wall time",
+        "ns/query",
+        "overhead ns/query",
+    ]);
+    t.rowd(&[
+        "QUERY".into(),
+        format!("{}", n as u64),
+        format!("{:.1} ms", plain_wall * 1e3),
+        format!("{:.0}", plain_wall * 1e9 / n),
+        "-".into(),
+    ]);
+    t.rowd(&[
+        "PROFILE".into(),
+        format!("{}", n as u64),
+        format!("{:.1} ms", profile_wall * 1e3),
+        format!("{:.0}", profile_wall * 1e9 / n),
+        format!("{overhead_ns:.0}"),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "(every PROFILE'd RESULT frame byte-identical to the plain path; \
+         worst drift: budget - actual = {min_drift} pulses, never negative)"
+    );
+    extras.push(("profile_overhead_ratio".to_string(), Extra::F64(ratio)));
+    extras.push((
+        "profile_plain_ns_per_query".to_string(),
+        Extra::F64(plain_wall * 1e9 / n),
+    ));
+    extras.push((
+        "profile_profiled_ns_per_query".to_string(),
+        Extra::F64(profile_wall * 1e9 / n),
+    ));
+
+    // Act 2: flight-recorder memory — the retained dump is exactly what
+    // `PROFILES` ships, so its JSON byte total is the recorder's live
+    // payload.
+    let dump = client.profiles().unwrap();
+    assert_eq!(dump.len(), HISTORY, "recorder full after {} queries", n);
+    let recorder_bytes: usize = dump.iter().map(String::len).sum();
+    println!(
+        "flight recorder: {} profiles retained, {} bytes ({} bytes/profile)",
+        dump.len(),
+        recorder_bytes,
+        recorder_bytes / dump.len().max(1)
+    );
+    extras.push((
+        "flight_recorder_profiles".to_string(),
+        Extra::U64(dump.len() as u64),
+    ));
+    extras.push((
+        "flight_recorder_bytes".to_string(),
+        Extra::U64(recorder_bytes as u64),
+    ));
+    client.close().unwrap();
+
+    // Act 3: the shutdown trace merge — collector drain + shard trailer
+    // dedup + Chrome render + write, timed as the shutdown's cost.
+    handle.shutdown();
+    let started = Instant::now();
+    handle.join().unwrap();
+    let merge_ns = started.elapsed().as_nanos() as u64;
+    let trace = std::fs::read_to_string(&trace_path).expect("shutdown wrote the trace");
+    let events = json::parse(&trace)
+        .expect("trace is valid JSON")
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    assert!(events > 0, "the merged trace has events");
+    println!(
+        "shutdown trace merge: {} events, {} bytes, {} to merge and write",
+        events,
+        trace.len(),
+        fmt_ns(merge_ns as f64)
+    );
+    extras.push(("trace_merge_ns".to_string(), Extra::U64(merge_ns)));
+    extras.push(("trace_events".to_string(), Extra::U64(events as u64)));
+    let _ = std::fs::remove_file(&trace_path);
+    (sum, extras)
+}
+
 /// Time `f`, then record its summary as `BENCH_<name>.json` (a no-op when
 /// the sink is disabled).
 fn run_exp(sink: &mut ArtifactSink, name: &str, f: impl FnOnce() -> Summary) {
@@ -1547,6 +1721,7 @@ fn main() {
     run_exp(&mut sink, "e19_pipelined_tiles", e19_pipelined_tiles);
     run_exp_extras(&mut sink, "e21_backend_speedup", e21_backend_speedup);
     run_exp_extras(&mut sink, "durability", durability);
+    run_exp_extras(&mut sink, "observability", observability);
     if sink.enabled() {
         // `--json` covers every workload, the server one included.
         run_exp_extras(&mut sink, "serve_throughput", serve_throughput);

@@ -51,6 +51,15 @@ const OPTIONAL: &[(&str, bool)] = &[
     ("pool_hit_rate_1_sessions", false),
     ("pool_hit_rate_4_sessions", false),
     ("pool_hit_rate_16_sessions", false),
+    // observability: the PROFILE path's cost next to the plain path, the
+    // shutdown trace merge, and the flight recorder's retained payload.
+    ("profile_overhead_ratio", false),
+    ("profile_plain_ns_per_query", false),
+    ("profile_profiled_ns_per_query", false),
+    ("flight_recorder_profiles", true),
+    ("flight_recorder_bytes", true),
+    ("trace_merge_ns", true),
+    ("trace_events", true),
 ];
 
 /// Whether `key` is an allowed optional per-operator wall-time field.

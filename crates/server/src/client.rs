@@ -5,9 +5,12 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use systolic_telemetry::TraceCtx;
+
 use crate::frame::escape;
 use crate::protocol::{
-    parse_checkpointed_frame, parse_host_frame, parse_metrics_frame, parse_result_frame,
+    parse_checkpointed_frame, parse_host_frame, parse_metrics_frame, parse_profile_frame,
+    parse_profiles_frame, parse_result_frame, parse_spans_frame, queryc_request,
 };
 
 /// Client-side failures.
@@ -165,19 +168,29 @@ impl Client {
     /// per-plan-step output cardinalities from the `CARDS` frame, and the
     /// host nanoseconds — the shard-router protocol, also usable directly.
     pub fn query_cards(&mut self, query: &str) -> Result<(String, Vec<u64>, u64), ClientError> {
-        self.send_query_cards(query)?;
-        self.recv_query_cards()
+        self.send_query_cards(query, None)?;
+        let (result, cards, host_ns, _spans) = self.recv_query_cards(false)?;
+        Ok((result, cards, host_ns))
     }
 
     /// Send a `QUERYC` frame without waiting for the answer (the router
     /// fans one out to every shard before reading any reply, so the shards
-    /// compute concurrently).
-    pub(crate) fn send_query_cards(&mut self, query: &str) -> Result<(), ClientError> {
-        self.send(&format!("QUERYC {query}"))
+    /// compute concurrently). A `trace` stamp asks the shard to trail its
+    /// answer with a `SPANS` batch parented under that context.
+    pub(crate) fn send_query_cards(
+        &mut self,
+        query: &str,
+        trace: Option<TraceCtx>,
+    ) -> Result<(), ClientError> {
+        self.send(&queryc_request(query, trace))
     }
 
-    /// Read one `QUERYC` answer: `RESULT` + `CARDS` + `HOST`.
-    pub(crate) fn recv_query_cards(&mut self) -> Result<(String, Vec<u64>, u64), ClientError> {
+    /// Read one `QUERYC` answer: `RESULT` + `CARDS` + `HOST`, plus the
+    /// `SPANS` trailer when the request carried a trace stamp.
+    pub(crate) fn recv_query_cards(
+        &mut self,
+        expect_spans: bool,
+    ) -> Result<(String, Vec<u64>, u64, Option<String>), ClientError> {
         let result = self.recv()?;
         Self::check_err(&result)?;
         if !result.starts_with("RESULT ") {
@@ -192,7 +205,58 @@ impl Client {
         let host = self.recv()?;
         Self::check_err(&host)?;
         let host_ns = crate::protocol::parse_host_frame(&host).map_err(ClientError::Protocol)?;
-        Ok((result, cards, host_ns))
+        let spans = if expect_spans {
+            let frame = self.recv()?;
+            Self::check_err(&frame)?;
+            Some(parse_spans_frame(&frame).map_err(ClientError::Protocol)?)
+        } else {
+            None
+        };
+        Ok((result, cards, host_ns, spans))
+    }
+
+    /// Run a query via `PROFILE` and return the parsed answer plus the
+    /// single-line JSON query profile the server inserted between the
+    /// (byte-identical) `RESULT` frame and `HOST`.
+    pub fn profile(&mut self, query: &str) -> Result<(QueryResult, String), ClientError> {
+        self.send(&format!("PROFILE {query}"))?;
+        let raw = self.recv()?;
+        Self::check_err(&raw)?;
+        if !raw.starts_with("RESULT ") {
+            return Err(ClientError::Protocol(format!(
+                "expected RESULT frame, got {raw:?}"
+            )));
+        }
+        let profile_line = self.recv()?;
+        Self::check_err(&profile_line)?;
+        let profile = parse_profile_frame(&profile_line).map_err(ClientError::Protocol)?;
+        let host = self.recv()?;
+        Self::check_err(&host)?;
+        let fields = parse_result_frame(&raw).map_err(ClientError::Protocol)?;
+        let host_ns = parse_host_frame(&host).map_err(ClientError::Protocol)?;
+        Ok((
+            QueryResult {
+                rows: fields.rows,
+                makespan_ns: fields.makespan_ns,
+                total_pulses: fields.total_pulses,
+                array_runs: fields.array_runs,
+                bytes_from_disk: fields.bytes_from_disk,
+                max_device_concurrency: fields.max_device_concurrency,
+                csv: fields.csv,
+                host_ns,
+                raw,
+            },
+            profile,
+        ))
+    }
+
+    /// Dump the server's flight recorder: the retained recent query
+    /// profiles as single-line JSON texts, newest first.
+    pub fn profiles(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send("PROFILES")?;
+        let frame = self.recv()?;
+        Self::check_err(&frame)?;
+        parse_profiles_frame(&frame).map_err(ClientError::Protocol)
     }
 
     /// Run a query and return the raw (`RESULT`, `HOST`) frame pair —

@@ -50,6 +50,7 @@ pub mod engine;
 pub mod frame;
 mod locks;
 mod metrics;
+mod profile;
 pub mod protocol;
 #[cfg(unix)]
 mod reactor;

@@ -5,6 +5,8 @@
 //! ```text
 //! LOAD <name> <type,type,...> <escaped-csv>
 //! QUERY <query text>
+//! PROFILE <query text>
+//! PROFILES
 //! STATS
 //! METRICS
 //! CHECKPOINT
@@ -18,7 +20,10 @@
 //! LOADED <name> rows=<n>
 //! RESULT rows=<n> makespan_ns=<n> pulses=<n> array_runs=<n> disk_bytes=<n> \
 //!        concurrency=<n> csv=<escaped-csv>
+//! PROFILE <escaped single-line JSON profile>
 //! HOST ns=<n>
+//! SPANS <escaped JSON-lines span batch>
+//! PROFILES count=<n> json=<escaped JSON-lines, newest first>
 //! STATS tables=<n> queries=<n> loads=<n> batches=<n> max_batch=<n> \
 //!       refused=<n> timeouts=<n> active=<n> uptime_ms=<n> queue_hwm=<n> \
 //!       slow=<n> lat_p50_ns=<n> lat_p95_ns=<n> lat_p99_ns=<n> lat_count=<n> \
@@ -32,7 +37,14 @@
 //! A `QUERY` answer is exactly two frames: `RESULT` carries everything
 //! deterministic (rows, simulated-hardware stats, CSV) and `HOST` carries
 //! the nondeterministic host wall-clock time — split so byte-comparing
-//! `RESULT` frames across runs is a meaningful determinism check.
+//! `RESULT` frames across runs is a meaningful determinism check. A
+//! `PROFILE` answer keeps that `RESULT` frame byte-identical and inserts
+//! exactly one `PROFILE` frame between it and `HOST`.
+//!
+//! `QUERYC` (the shard-router verb) accepts an optional distributed-tracing
+//! stamp, `QUERYC trace=<id> parent=<id> <query>`; a stamped request's
+//! answer grows a trailing `SPANS` frame carrying the shard's span batch so
+//! the router can merge every shard's spans into one trace.
 //!
 //! `ERR` kinds: `proto`, `parse` (with `at=<byte>`), `analysis` (with the
 //! stable `SA00N` code and `at=<start>..<end>`), `relation`, `machine`,
@@ -41,6 +53,7 @@
 use systolic_analyzer::Diagnostic;
 use systolic_machine::{ParseError, RunStats};
 use systolic_relation::DomainKind;
+use systolic_telemetry::TraceCtx;
 
 use crate::engine::parse_kinds;
 use crate::frame::{escape, unescape};
@@ -59,11 +72,25 @@ pub enum Request {
     },
     /// Run a query.
     Query(String),
+    /// Run a query and also return its end-to-end profile (`PROFILE`): the
+    /// answer is the byte-identical `RESULT` frame, one `PROFILE` frame
+    /// carrying the escaped JSON profile, then `HOST`.
+    Profile(String),
+    /// Dump the flight recorder (`PROFILES`): the retained recent query
+    /// profiles, newest first, in one `PROFILES` frame.
+    Profiles,
     /// Run a query and also report per-plan-step output cardinalities
     /// (`QUERYC`): the answer is `RESULT` + `CARDS` + `HOST`. This is what a
     /// shard router sends its shards — the public `QUERY` answer stays
     /// exactly two frames.
-    QueryCards(String),
+    QueryCards {
+        /// The query text.
+        query: String,
+        /// Distributed-tracing stamp: the router's trace id and the span to
+        /// parent this shard's spans under. When present, the answer grows
+        /// a trailing `SPANS` frame.
+        trace: Option<TraceCtx>,
+    },
     /// Ask for server statistics.
     Stats,
     /// Ask for the full Prometheus-style metrics exposition.
@@ -111,11 +138,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Query(rest.to_string()))
         }
-        "QUERYC" => {
+        "PROFILE" => {
             if rest.is_empty() {
+                return Err("PROFILE needs query text".to_string());
+            }
+            Ok(Request::Profile(rest.to_string()))
+        }
+        "PROFILES" if rest.is_empty() => Ok(Request::Profiles),
+        "QUERYC" => {
+            let (trace, query) = parse_trace_stamp(rest);
+            if query.is_empty() {
                 return Err("QUERYC needs query text".to_string());
             }
-            Ok(Request::QueryCards(rest.to_string()))
+            Ok(Request::QueryCards {
+                query: query.to_string(),
+                trace,
+            })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
         "METRICS" if rest.is_empty() => Ok(Request::Metrics),
@@ -123,8 +161,46 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "CLOSE" if rest.is_empty() => Ok(Request::Close),
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         _ => Err(format!(
-            "unknown request {line:?} (LOAD, QUERY, STATS, METRICS, CHECKPOINT, CLOSE, SHUTDOWN)"
+            "unknown request {line:?} (LOAD, QUERY, PROFILE, PROFILES, STATS, METRICS, \
+             CHECKPOINT, CLOSE, SHUTDOWN)"
         )),
+    }
+}
+
+/// Split an optional `trace=<id> parent=<id> ` stamp off the front of a
+/// `QUERYC` body. Both fields must be present and numeric to count as a
+/// stamp; anything else is treated as plain query text.
+fn parse_trace_stamp(rest: &str) -> (Option<TraceCtx>, &str) {
+    let Some(after_trace) = rest.strip_prefix("trace=") else {
+        return (None, rest);
+    };
+    let Some((trace_id, tail)) = after_trace.split_once(' ') else {
+        return (None, rest);
+    };
+    let Ok(trace_id) = trace_id.parse::<u64>() else {
+        return (None, rest);
+    };
+    let Some(after_parent) = tail.strip_prefix("parent=") else {
+        return (None, rest);
+    };
+    let Some((span_id, query)) = after_parent.split_once(' ') else {
+        return (None, rest);
+    };
+    let Ok(span_id) = span_id.parse::<u64>() else {
+        return (None, rest);
+    };
+    (Some(TraceCtx { trace_id, span_id }), query)
+}
+
+/// Render a `QUERYC` request line, stamping the optional tracing context
+/// (the builder half of [`parse_trace_stamp`]).
+pub fn queryc_request(query: &str, trace: Option<TraceCtx>) -> String {
+    match trace {
+        Some(ctx) => format!(
+            "QUERYC trace={} parent={} {query}",
+            ctx.trace_id, ctx.span_id
+        ),
+        None => format!("QUERYC {query}"),
     }
 }
 
@@ -220,6 +296,70 @@ pub fn parse_metrics_frame(frame: &str) -> Result<String, String> {
         .strip_prefix("METRICS ")
         .ok_or_else(|| format!("expected METRICS frame, got {frame:?}"))?;
     unescape(body)
+}
+
+/// Render a `PROFILE` answer frame carrying the escaped single-line JSON
+/// query profile.
+pub fn profile_frame(json: &str) -> String {
+    format!("PROFILE {}", escape(json))
+}
+
+/// Parse a `PROFILE` frame back into the JSON profile text.
+pub fn parse_profile_frame(frame: &str) -> Result<String, String> {
+    let body = frame
+        .strip_prefix("PROFILE ")
+        .ok_or_else(|| format!("expected PROFILE frame, got {frame:?}"))?;
+    unescape(body)
+}
+
+/// Render a `SPANS` trailer frame carrying an escaped JSON-lines span batch
+/// (see `systolic_telemetry::batch`).
+pub fn spans_frame(batch: &str) -> String {
+    format!("SPANS {}", escape(batch))
+}
+
+/// Parse a `SPANS` frame back into the JSON-lines span batch text.
+pub fn parse_spans_frame(frame: &str) -> Result<String, String> {
+    let body = frame
+        .strip_prefix("SPANS ")
+        .ok_or_else(|| format!("expected SPANS frame, got {frame:?}"))?;
+    unescape(body)
+}
+
+/// Render a `PROFILES` answer: the flight recorder's retained profiles,
+/// newest first, as escaped JSON lines.
+pub fn profiles_frame(profiles: &[String]) -> String {
+    format!(
+        "PROFILES count={} json={}",
+        profiles.len(),
+        escape(&profiles.join("\n"))
+    )
+}
+
+/// Parse a `PROFILES` frame back into individual JSON profile lines.
+pub fn parse_profiles_frame(frame: &str) -> Result<Vec<String>, String> {
+    let body = frame
+        .strip_prefix("PROFILES count=")
+        .ok_or_else(|| format!("expected PROFILES frame, got {frame:?}"))?;
+    let (count, json) = body
+        .split_once(" json=")
+        .ok_or_else(|| "PROFILES frame is missing json=".to_string())?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("bad PROFILES count {count:?}"))?;
+    let text = unescape(json)?;
+    let profiles: Vec<String> = if text.is_empty() {
+        Vec::new()
+    } else {
+        text.lines().map(str::to_string).collect()
+    };
+    if profiles.len() != count {
+        return Err(format!(
+            "PROFILES frame claims {count} profiles but lists {}",
+            profiles.len()
+        ));
+    }
+    Ok(profiles)
 }
 
 /// Render an error frame.
@@ -350,9 +490,19 @@ mod tests {
         );
         assert_eq!(
             parse_request("QUERYC scan(emp)").unwrap(),
-            Request::QueryCards("scan(emp)".into())
+            Request::QueryCards {
+                query: "scan(emp)".into(),
+                trace: None,
+            }
         );
         assert!(parse_request("QUERYC").is_err());
+        assert_eq!(
+            parse_request("PROFILE scan(emp)").unwrap(),
+            Request::Profile("scan(emp)".into())
+        );
+        assert!(parse_request("PROFILE").is_err());
+        assert_eq!(parse_request("PROFILES").unwrap(), Request::Profiles);
+        assert!(parse_request("PROFILES now").is_err());
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert!(parse_request("METRICS now").is_err());
@@ -405,6 +555,70 @@ mod tests {
         assert_eq!(parse_checkpointed_frame(&frame).unwrap(), (12, 4096));
         assert!(parse_checkpointed_frame("CHECKPOINTED records=x bytes=1").is_err());
         assert!(parse_checkpointed_frame("LOADED t rows=1").is_err());
+    }
+
+    #[test]
+    fn queryc_trace_stamps_round_trip() {
+        let ctx = TraceCtx {
+            trace_id: 12345,
+            span_id: 678,
+        };
+        let line = queryc_request("scan(emp)", Some(ctx));
+        assert_eq!(line, "QUERYC trace=12345 parent=678 scan(emp)");
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::QueryCards {
+                query: "scan(emp)".into(),
+                trace: Some(ctx),
+            }
+        );
+        assert_eq!(
+            parse_request(&queryc_request("scan(emp)", None)).unwrap(),
+            Request::QueryCards {
+                query: "scan(emp)".into(),
+                trace: None,
+            }
+        );
+        // A query that merely *starts* with trace= but carries no numeric
+        // stamp stays plain query text.
+        assert_eq!(
+            parse_request("QUERYC trace=x parent=1 q").unwrap(),
+            Request::QueryCards {
+                query: "trace=x parent=1 q".into(),
+                trace: None,
+            }
+        );
+        // A stamp with no query text after it is an error.
+        assert!(parse_request("QUERYC trace=1 parent=2 ").is_err());
+    }
+
+    #[test]
+    fn profile_and_spans_frames_round_trip() {
+        let json = "{\"query\":\"scan(emp)\",\"steps\":[]}";
+        let frame = profile_frame(json);
+        assert!(!frame.contains('\n'));
+        assert_eq!(parse_profile_frame(&frame).unwrap(), json);
+        assert!(parse_profile_frame("RESULT rows=1").is_err());
+
+        let batch = "{\"name\":\"a\"}\n{\"name\":\"b\"}";
+        let frame = spans_frame(batch);
+        assert!(!frame.contains('\n'));
+        assert_eq!(parse_spans_frame(&frame).unwrap(), batch);
+        assert!(parse_spans_frame("HOST ns=1").is_err());
+    }
+
+    #[test]
+    fn profiles_frames_round_trip() {
+        let profiles = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        let frame = profiles_frame(&profiles);
+        assert!(!frame.contains('\n'));
+        assert_eq!(parse_profiles_frame(&frame).unwrap(), profiles);
+        assert_eq!(
+            parse_profiles_frame(&profiles_frame(&[])).unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(parse_profiles_frame("PROFILES count=3 json=").is_err());
+        assert!(parse_profiles_frame("STATS tables=0").is_err());
     }
 
     #[test]

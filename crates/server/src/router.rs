@@ -48,6 +48,7 @@ use std::io;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use systolic_core::select::Predicate;
 use systolic_core::JoinSpec;
@@ -55,13 +56,14 @@ use systolic_fabric::CompareOp;
 use systolic_machine::{Expr, TrackFilter};
 use systolic_relation::csv::{canonical_field, render_field, split_line};
 use systolic_relation::DomainKind;
+use systolic_telemetry::batch::parse_batch;
 use systolic_telemetry::{span_in, TraceCtx};
 
 use crate::client::{Client, ClientError};
 use crate::engine::{kind_name, store_names};
 use crate::locks;
 use crate::protocol::{err_frame, parse_result_frame, result_frame};
-use crate::scheduler::Job;
+use crate::scheduler::{Job, QueryReply};
 use crate::server::{IoModel, ServerConfig, ServerHandle, Shared};
 
 /// Client connection sets the fan-out rotates over, so several worker
@@ -70,8 +72,9 @@ use crate::server::{IoModel, ServerConfig, ServerHandle, Shared};
 const POOL_SETS: usize = 4;
 
 /// One shard's `QUERYC` answer: the raw `RESULT` frame, the per-plan-step
-/// output cardinalities, and the (discarded) host nanoseconds.
-type CardsReply = Result<(String, Vec<u64>, u64), ClientError>;
+/// output cardinalities, the (discarded) host nanoseconds, and — when the
+/// request was trace-stamped — the shard's span batch.
+type CardsReply = Result<(String, Vec<u64>, u64, Option<String>), ClientError>;
 
 /// FNV-1a over the rendered text of a row's first field: the partition
 /// function. Stable and platform-independent, so a given row always lands
@@ -108,15 +111,15 @@ struct Node {
 pub(crate) enum RouteOutcome {
     /// The query is not shardable (or routing failed); run it locally.
     NotRouted,
-    /// Routed: the `RESULT` frame, the priced per-step cardinalities, and
-    /// the host nanoseconds for the `HOST` frame.
+    /// Routed: the `RESULT` frame (built from the merged shard rows) plus
+    /// the full pricing reply — stats, per-step cardinalities, the priced
+    /// timeline and host waits — so the caller can build cards, host, and
+    /// profile frames exactly as it would from a local run.
     Answered {
         /// The complete `RESULT` frame.
         result: String,
-        /// Per-plan-step output cardinalities from the priced run.
-        step_rows: Vec<u64>,
-        /// Host wall-clock nanoseconds of the pricing run.
-        host_ns: u64,
+        /// The pricing run's reply.
+        reply: QueryReply,
     },
     /// Routing surfaced a client-visible failure (e.g. the pricing run
     /// timed out after the shards already ran); answer with this frame.
@@ -164,6 +167,12 @@ impl Router {
             data_dir: cfg.data_dir.as_ref().map(|d| d.join(format!("shard-{i}"))),
             pool_pages: cfg.pool_pages,
             replacer: cfg.replacer,
+            // Shards never write their own trace files: the outer server's
+            // collector (plus the SPANS trailers) already sees their spans.
+            trace_out: None,
+            // Shard-local flight recorders only need a short memory; the
+            // outer server records the merged profile for every query.
+            profile_history: 16,
         };
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
@@ -298,9 +307,13 @@ impl Router {
             expected[home_shard(&row[0], self.shards)].push(line.as_str());
         }
 
-        // Fan the query out and read every shard's RESULT + CARDS.
+        // Fan the query out and read every shard's RESULT + CARDS. When
+        // tracing is live the fan-out span's context is stamped onto each
+        // shard's QUERYC, and every shard answers with a SPANS trailer whose
+        // spans parent under this span in the merged trace.
         let replies = {
-            let _span = span_in(trace, "server.shard_fanout");
+            let span = span_in(trace, "server.shard_fanout");
+            let stamp = span.ctx();
             let set = &self.pool[self.next.fetch_add(1, Ordering::Relaxed) % self.pool.len()];
             let mut set = locks::lock(set);
             let Some(clients) = set.clients.as_mut() else {
@@ -311,7 +324,7 @@ impl Router {
             };
             let mut sent = true;
             for client in clients.iter_mut() {
-                if client.send_query_cards(query).is_err() {
+                if client.send_query_cards(query, stamp).is_err() {
                     sent = false;
                     break;
                 }
@@ -322,8 +335,10 @@ impl Router {
             }
             // Read every pending reply even after an error, so the
             // connections stay frame-aligned for the next query.
-            let replies: Vec<CardsReply> =
-                clients.iter_mut().map(|c| c.recv_query_cards()).collect();
+            let replies: Vec<CardsReply> = clients
+                .iter_mut()
+                .map(|c| c.recv_query_cards(stamp.is_some()))
+                .collect();
             if replies
                 .iter()
                 .any(|r| matches!(r, Err(ClientError::Io(_) | ClientError::Protocol(_))))
@@ -335,9 +350,17 @@ impl Router {
         let mut shard_csvs = Vec::with_capacity(self.shards);
         let mut summed: Option<Vec<u64>> = None;
         for reply in replies {
-            let Ok((result, cards, _host)) = reply else {
+            let Ok((result, cards, _host, spans)) = reply else {
                 return RouteOutcome::NotRouted;
             };
+            if let Some(batch) = spans {
+                // Keep the shard's span batch for the server's merged trace
+                // file; duplicates of locally collected spans (in-process
+                // shards share the collector) are deduped at export.
+                if let Ok(mut parsed) = parse_batch(&batch) {
+                    locks::lock(&shared.remote_spans).append(&mut parsed);
+                }
+            }
             let Ok(fields) = parse_result_frame(&result) else {
                 return RouteOutcome::NotRouted;
             };
@@ -386,8 +409,7 @@ impl Router {
                 }
                 RouteOutcome::Answered {
                     result: result_frame(reply.result.len(), &reply.stats, &csv),
-                    step_rows: reply.step_rows,
-                    host_ns: reply.host_wall_ns,
+                    reply,
                 }
             }
             PriceOutcome::Fallback => RouteOutcome::NotRouted,
@@ -413,6 +435,7 @@ impl Router {
             trace,
             fence: Arc::clone(&fence),
             reply: reply_tx,
+            submitted: Instant::now(),
         };
         if tx.send(job).is_err() {
             return PriceOutcome::Fallback;

@@ -35,14 +35,22 @@ use crate::metrics::ServerMetrics;
 use crate::server::{Counters, DurableStats};
 
 /// A query waiting in a merged batch: its expression and source text, the
-/// submitting request's trace, its timeout fence, and the reply channel.
-type PendingQuery = (
-    Expr,
-    String,
-    Option<TraceCtx>,
-    Arc<AtomicBool>,
-    SyncSender<Result<QueryReply, MachineError>>,
-);
+/// submitting request's trace, its timeout fence, the reply channel, and the
+/// host-side waits measured on its way through the scheduler.
+struct PendingQuery {
+    expr: Expr,
+    text: String,
+    trace: Option<TraceCtx>,
+    fence: Arc<AtomicBool>,
+    reply: SyncSender<Result<QueryReply, MachineError>>,
+    /// When the submitting worker handed the job to the scheduler.
+    submitted: Instant,
+    /// Host ns from submission to admission (queue + gather window).
+    queue_wait_ns: u64,
+    /// Host ns spent write-ahead-logging this query (0 when read-only or
+    /// not durable).
+    wal_fsync_ns: u64,
+}
 
 /// The scheduler's durable half: the storage engine (WAL + paged store)
 /// plus the gauges `STATS` reads. Owned by the scheduler thread, so every
@@ -119,6 +127,19 @@ pub(crate) struct QueryReply {
     /// [`systolic_machine::RunOutcome::step_rows`]) — what a shard reports
     /// via `CARDS` so a router can re-price the merged run.
     pub step_rows: Vec<u64>,
+    /// The query's standalone simulated schedule (solo-accounted even when
+    /// it ran in a merged batch) — what the profiler mines for per-step
+    /// actual pulses and device occupancy.
+    pub timeline: Timeline,
+    /// Host ns the job waited between submission and admission.
+    pub queue_wait_ns: u64,
+    /// Host ns spent write-ahead-logging this query (0 when read-only).
+    pub wal_fsync_ns: u64,
+    /// Buffer-pool hits observed process-wide across this run (batch-scoped
+    /// when the query ran in a merged batch — best-effort attribution).
+    pub pool_hits: u64,
+    /// Buffer-pool misses over the same interval as `pool_hits`.
+    pub pool_misses: u64,
 }
 
 /// A unit of work submitted to the scheduler.
@@ -138,6 +159,9 @@ pub(crate) enum Job {
         /// Where to deliver the answer; capacity-1 channel so the send
         /// never blocks even if the worker gave up waiting.
         reply: SyncSender<Result<QueryReply, MachineError>>,
+        /// When the worker submitted the job (host clock; feeds the
+        /// profile's queue-wait, never pulse accounting).
+        submitted: Instant,
     },
     /// Price a prepared query from per-step cardinalities gathered off the
     /// machine (the shard router's merge path) — real disk reads for the
@@ -153,6 +177,8 @@ pub(crate) enum Job {
         fence: Arc<AtomicBool>,
         /// Where to deliver the priced outcome.
         reply: SyncSender<Result<QueryReply, MachineError>>,
+        /// When the worker submitted the job (host clock).
+        submitted: Instant,
     },
     /// Load an encoded relation onto the machine's disk.
     Load {
@@ -246,12 +272,14 @@ pub(crate) fn run(
                     trace,
                     fence,
                     reply,
+                    submitted,
                 } => {
                     if !claim(&fence) {
                         continue;
                     }
                     counters.update(|c| c.queries += 1);
                     metrics.queries.add(1);
+                    let queue_wait_ns = submitted.elapsed().as_nanos() as u64;
                     let _span = span_in(trace, "server.price");
                     let plan = Plan::compile(&expr);
                     let _ = reply.send(system.price_plan(&plan, &cards).map(|o| QueryReply {
@@ -259,6 +287,11 @@ pub(crate) fn run(
                         stats: o.stats,
                         host_wall_ns: o.host_wall_ns,
                         step_rows: o.step_rows,
+                        timeline: o.timeline,
+                        queue_wait_ns,
+                        wal_fsync_ns: 0,
+                        pool_hits: 0,
+                        pool_misses: 0,
                     }));
                 }
                 Job::Query {
@@ -267,7 +300,17 @@ pub(crate) fn run(
                     trace,
                     fence,
                     reply,
-                } => queries.push((expr, text, trace, fence, reply)),
+                    submitted,
+                } => queries.push(PendingQuery {
+                    expr,
+                    text,
+                    trace,
+                    fence,
+                    reply,
+                    submitted,
+                    queue_wait_ns: 0,
+                    wal_fsync_ns: 0,
+                }),
             }
         }
         // Cross-query hazard analysis: a query that reads or writes a
@@ -276,7 +319,7 @@ pub(crate) fn run(
         // in arrival order, so it observes the earlier write-back whole.
         let mut deferred = Vec::new();
         if queries.len() > 1 {
-            let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _, _)| e.clone()).collect();
+            let exprs: Vec<Expr> = queries.iter().map(|q| q.expr.clone()).collect();
             let conflicted = systolic_analyzer::deferred_indices(&exprs);
             if !conflicted.is_empty() {
                 let mut admitted = Vec::new();
@@ -293,14 +336,20 @@ pub(crate) fn run(
         // Claim the admitted queries' fences *before* running: a query
         // whose worker timed out first never runs (no store(...) side
         // effects can land behind the client's back).
-        queries.retain(|(_, _, _, fence, _)| claim(fence));
+        queries.retain(|q| claim(&q.fence));
+        // Admission: the queue wait ends here, whatever happens next.
+        for q in &mut queries {
+            q.queue_wait_ns = q.submitted.elapsed().as_nanos() as u64;
+        }
         // Write-ahead the admitted queries' side effects in admission
         // order — the order the merged run's write-backs are equivalent to
         // (hazard analysis deferred anything that could tell the
         // difference).
         if let Some(d) = durable.as_mut() {
-            for (expr, text, _, _, _) in &queries {
-                d.log_query(expr, text);
+            for q in &mut queries {
+                let logged = Instant::now();
+                d.log_query(&q.expr, &q.text);
+                q.wal_fsync_ns = logged.elapsed().as_nanos() as u64;
             }
         }
         let n = queries.len();
@@ -312,9 +361,11 @@ pub(crate) fn run(
         match queries.len() {
             0 => {}
             1 => {
-                let (expr, _, trace, _, reply) = queries.pop().expect("len checked");
-                let _span = span_in(trace, "server.run_solo");
-                let _ = reply.send(run_solo(&mut system, &expr, &metrics));
+                let q = queries.pop().expect("len checked");
+                let _span = span_in(q.trace, "server.run_solo");
+                let _ = q
+                    .reply
+                    .send(run_solo(&mut system, &q.expr, &metrics).map(|r| q.host_waits(r)));
             }
             n => {
                 counters.update(|c| {
@@ -325,18 +376,32 @@ pub(crate) fn run(
                 run_merged(&mut system, queries, &metrics);
             }
         }
-        for (expr, text, trace, fence, reply) in deferred {
-            if !claim(&fence) {
+        for mut q in deferred {
+            if !claim(&q.fence) {
                 continue;
             }
+            q.queue_wait_ns = q.submitted.elapsed().as_nanos() as u64;
             if let Some(d) = durable.as_mut() {
-                d.log_query(&expr, &text);
+                let logged = Instant::now();
+                d.log_query(&q.expr, &q.text);
+                q.wal_fsync_ns = logged.elapsed().as_nanos() as u64;
             }
             counters.update(|c| c.queries += 1);
             metrics.queries.add(1);
-            let _span = span_in(trace, "server.run_solo");
-            let _ = reply.send(run_solo(&mut system, &expr, &metrics));
+            let _span = span_in(q.trace, "server.run_solo");
+            let _ = q
+                .reply
+                .send(run_solo(&mut system, &q.expr, &metrics).map(|r| q.host_waits(r)));
         }
+    }
+}
+
+impl PendingQuery {
+    /// Stamp the host-side waits measured for this job onto its reply.
+    fn host_waits(&self, mut reply: QueryReply) -> QueryReply {
+        reply.queue_wait_ns = self.queue_wait_ns;
+        reply.wal_fsync_ns = self.wal_fsync_ns;
+        reply
     }
 }
 
@@ -345,6 +410,8 @@ fn run_solo(
     expr: &Expr,
     metrics: &ServerMetrics,
 ) -> Result<QueryReply, MachineError> {
+    let storage = systolic_storage::StorageMetrics::shared();
+    let (hits0, misses0) = (storage.pool_hits.get(), storage.pool_misses.get());
     let out = system.run(expr)?;
     record_op_pulses(metrics, &out.timeline);
     Ok(QueryReply {
@@ -352,6 +419,11 @@ fn run_solo(
         stats: out.stats,
         host_wall_ns: out.host_wall_ns,
         step_rows: out.step_rows,
+        timeline: out.timeline,
+        queue_wait_ns: 0,
+        wal_fsync_ns: 0,
+        pool_hits: storage.pool_hits.get().saturating_sub(hits0),
+        pool_misses: storage.pool_misses.get().saturating_sub(misses0),
     })
 }
 
@@ -372,38 +444,49 @@ fn record_op_pulses(metrics: &ServerMetrics, timeline: &Timeline) {
 /// Admit several queries as one merged schedule; on any failure fall back
 /// to per-query solo runs so only the faulty requests see errors.
 fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &ServerMetrics) {
-    let exprs: Vec<Expr> = queries.iter().map(|(e, _, _, _, _)| e.clone()).collect();
+    let exprs: Vec<Expr> = queries.iter().map(|q| q.expr.clone()).collect();
     // The batch gets its own trace: it belongs to no single request. The
     // span stays ambient while the machine runs so machine.batch nests here.
     let mut batch_span = root_span("server.batch");
     batch_span.arg("size", queries.len());
     let batch_ctx = batch_span.ctx();
+    let storage = systolic_storage::StorageMetrics::shared();
+    let (hits0, misses0) = (storage.pool_hits.get(), storage.pool_misses.get());
     let outcome = system.run_batch_accounted(&exprs);
+    let pool_hits = storage.pool_hits.get().saturating_sub(hits0);
+    let pool_misses = storage.pool_misses.get().saturating_sub(misses0);
     drop(batch_span);
     match outcome {
         Ok(batch) => {
             record_op_pulses(metrics, &batch.combined.timeline);
             let host_wall_ns = batch.combined.host_wall_ns;
-            for (outcome, (_, _, trace, _, reply)) in batch.queries.into_iter().zip(queries) {
-                let mut run_span = span_in(trace, "server.batch_run");
+            for (outcome, q) in batch.queries.into_iter().zip(queries) {
+                let mut run_span = span_in(q.trace, "server.batch_run");
                 if let Some(ctx) = batch_ctx {
                     run_span.arg("batch_span", ctx.span_id);
                 }
                 drop(run_span);
-                let _ = reply.send(Ok(QueryReply {
+                let _ = q.reply.send(Ok(QueryReply {
                     result: outcome.result,
                     stats: outcome.stats,
                     host_wall_ns,
                     step_rows: outcome.step_rows,
+                    timeline: outcome.timeline,
+                    queue_wait_ns: q.queue_wait_ns,
+                    wal_fsync_ns: q.wal_fsync_ns,
+                    pool_hits,
+                    pool_misses,
                 }));
             }
         }
         Err(_) => {
             // Fences were already claimed at admission; the fallback must
             // not re-claim (it would see `true` and wrongly skip).
-            for (expr, _, trace, _, reply) in queries.drain(..) {
-                let _span = span_in(trace, "server.run_solo");
-                let _ = reply.send(run_solo(system, &expr, metrics));
+            for q in queries.drain(..) {
+                let _span = span_in(q.trace, "server.run_solo");
+                let _ = q
+                    .reply
+                    .send(run_solo(system, &q.expr, metrics).map(|r| q.host_waits(r)));
             }
         }
     }
@@ -475,6 +558,7 @@ mod tests {
             trace: None,
             fence: f,
             reply,
+            submitted: Instant::now(),
         }
     }
 

@@ -17,17 +17,21 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use systolic_machine::{MachineConfig, System};
+use systolic_machine::{MachineConfig, Plan, System};
 use systolic_storage::{LockMode, LockTable, ReplacerKind, StorageEngine, WalRecord};
-use systolic_telemetry::{record_between, root_span, TraceCtx};
+use systolic_telemetry::batch::{render_batch, SpanData};
+use systolic_telemetry::metrics::QuantileSummary;
+use systolic_telemetry::{record_between, root_span, span_in, TraceCtx};
 
 use crate::engine::{self, EngineError, Store};
 use crate::frame::{read_frame, FrameRead};
 use crate::locks;
 use crate::metrics::ServerMetrics;
+use crate::profile::{self, FlightRecorder, QueryProfile};
 use crate::protocol::{
     analysis_err_frame, cards_frame, checkpointed_frame, err_frame, host_frame, loaded_frame,
-    metrics_frame, parse_err_frame, parse_request, result_frame, Request,
+    metrics_frame, parse_err_frame, parse_request, profile_frame, profiles_frame, result_frame,
+    spans_frame, Request,
 };
 use crate::router::{RouteOutcome, Router};
 use crate::scheduler::{self, Job};
@@ -109,6 +113,15 @@ pub struct ServerConfig {
     /// Page replacement policy for the buffer pool and the machine's
     /// staging-memory eviction.
     pub replacer: ReplacerKind,
+    /// Chrome-trace output path. When set, the server installs the process
+    /// span collector at startup and, at shutdown, writes one merged trace
+    /// covering its own spans, every shard's trailer span batches, and the
+    /// flight recorder's simulated per-step schedule — host time on pid 2,
+    /// pulse time on pid 1, never mixed.
+    pub trace_out: Option<PathBuf>,
+    /// Flight-recorder capacity: how many recent query profiles the server
+    /// retains for `PROFILES` and the shutdown trace (0 disables it).
+    pub profile_history: usize,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +141,8 @@ impl Default for ServerConfig {
             data_dir: None,
             pool_pages: 256,
             replacer: ReplacerKind::Clock,
+            trace_out: None,
+            profile_history: 64,
         }
     }
 }
@@ -226,6 +241,12 @@ pub(crate) struct Shared {
     pub(crate) lock_table: LockTable,
     /// Durability gauges, present when `cfg.data_dir` is set.
     pub(crate) durable: Option<Arc<DurableStats>>,
+    /// The always-on ring of recent query profiles (`PROFILES`, the
+    /// slow-query dump, the shutdown trace's simulated track).
+    pub(crate) recorder: FlightRecorder,
+    /// Span batches shards returned in `SPANS` trailers, buffered for the
+    /// shutdown trace merge.
+    pub(crate) remote_spans: Mutex<Vec<SpanData>>,
 }
 
 impl Shared {
@@ -241,6 +262,7 @@ impl Shared {
             .data_dir
             .as_ref()
             .map(|_| Arc::new(DurableStats::default()));
+        let recorder = FlightRecorder::new(cfg.profile_history);
         Ok(Shared {
             store: RwLock::new(Store::new()),
             counters: Arc::new(Counters::default()),
@@ -252,6 +274,8 @@ impl Shared {
             router,
             lock_table: LockTable::new(),
             durable,
+            recorder,
+            remote_spans: Mutex::new(Vec::new()),
         })
     }
 
@@ -395,6 +419,15 @@ fn serve_on(
     ready: impl FnOnce(),
 ) -> io::Result<ServerReport> {
     listener.set_nonblocking(true)?;
+    // Tracing on: install the process-global collector before any request
+    // runs. In-process shard servers share it, so their spans land here
+    // directly *and* arrive again via `SPANS` trailers — the shutdown merge
+    // deduplicates by (trace, span) id.
+    let trace_collector = shared
+        .cfg
+        .trace_out
+        .as_ref()
+        .map(|_| systolic_telemetry::install());
     let mut system = System::new(shared.cfg.machine.clone()).map_err(io::Error::other)?;
     // Crash recovery happens before `ready()` fires and before any frame is
     // answered: open the durable engine, back the machine's disks with its
@@ -459,6 +492,15 @@ fn serve_on(
     });
     if let Some(router) = &shared.router {
         router.stop();
+    }
+    if let (Some(path), Some(collector)) = (&shared.cfg.trace_out, trace_collector) {
+        systolic_telemetry::uninstall();
+        let mut spans: Vec<SpanData> = collector.drain().iter().map(SpanData::from).collect();
+        spans.append(&mut locks::lock(&shared.remote_spans));
+        let trace = profile::server_trace(&spans, &shared.recorder.profiles());
+        if let Err(e) = trace.write_to(path) {
+            eprintln!("trace-out: failed to write {}: {e}", path.display());
+        }
     }
     match front_err {
         Some(e) => Err(e),
@@ -655,6 +697,7 @@ pub(crate) fn handle_request(shared: &Shared, tx: &mpsc::Sender<Job>, line: &str
         Request::Stats => Reply::frame(stats_frame(shared)),
         // Like STATS: observability stays answerable while draining.
         Request::Metrics => Reply::frame(metrics_frame(&shared.metrics.exposition())),
+        Request::Profiles => Reply::frame(profiles_frame(&shared.recorder.dump_json())),
         _ if shared.stopping() => Reply::frame(err_frame(
             "shutting_down",
             "server is draining; no new work",
@@ -662,10 +705,27 @@ pub(crate) fn handle_request(shared: &Shared, tx: &mpsc::Sender<Job>, line: &str
         Request::Load { name, kinds, csv } => {
             Reply::frame(handle_load(shared, tx, &name, &kinds, &csv))
         }
-        Request::Query(query) => respond_query(shared, tx, &query, false),
-        Request::QueryCards(query) => respond_query(shared, tx, &query, true),
+        Request::Query(query) => respond_query(shared, tx, &query, QueryMode::Plain, None),
+        Request::Profile(query) => respond_query(shared, tx, &query, QueryMode::Profile, None),
+        Request::QueryCards { query, trace } => {
+            respond_query(shared, tx, &query, QueryMode::Cards, trace)
+        }
         Request::Checkpoint => Reply::frame(handle_checkpoint(shared, tx)),
     }
+}
+
+/// How a query's answer is framed: `QUERY` (two frames), `QUERYC` (plus
+/// `CARDS`, and a `SPANS` trailer when trace-stamped), or `PROFILE` (plus
+/// the inline `PROFILE` frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryMode {
+    /// Public `QUERY`: `RESULT` + `HOST`, byte-identical with or without
+    /// profiling anywhere else in the system.
+    Plain,
+    /// Shard-router `QUERYC`: `RESULT` + `CARDS` + `HOST`.
+    Cards,
+    /// `PROFILE`: `RESULT` + `PROFILE` + `HOST`.
+    Profile,
 }
 
 /// Answer a `CHECKPOINT`: ask the scheduler (the thread that owns the WAL)
@@ -690,23 +750,74 @@ fn handle_checkpoint(shared: &Shared, tx: &mpsc::Sender<Job>) -> String {
     }
 }
 
-/// Answer a `QUERY` (or, with `want_cards`, a `QUERYC`) under the request
-/// span, latency histogram, and slow-query log.
-fn respond_query(shared: &Shared, tx: &mpsc::Sender<Job>, query: &str, want_cards: bool) -> Reply {
+/// Answer a `QUERY`/`QUERYC`/`PROFILE` under the request span, latency
+/// histogram, flight recorder, and slow-query log. Both connection front
+/// ends route every query (local or shard-fanned-out) through here, so the
+/// slow-query log and the recorder fire identically under `--io threads`
+/// and `--io poll`, sharded or not.
+fn respond_query(
+    shared: &Shared,
+    tx: &mpsc::Sender<Job>,
+    query: &str,
+    mode: QueryMode,
+    stamp: Option<TraceCtx>,
+) -> Reply {
     let started = Instant::now();
     // A fresh trace per request: concurrent clients must never share a
     // trace id even when the scheduler merges them into one batch schedule.
-    let mut span = root_span("server.request");
+    // A stamped `QUERYC` instead joins the router's trace, parented under
+    // its fan-out span, so all shards' spans merge into one tree.
+    let mut span = match stamp {
+        Some(parent) => span_in(Some(parent), "server.request"),
+        None => root_span("server.request"),
+    };
     span.arg("query", query);
     let trace = span.ctx();
-    let frames = handle_query(shared, tx, query, trace, want_cards);
+    let (mut frames, profile) = handle_query(shared, tx, query, trace, mode);
     drop(span);
     let elapsed = started.elapsed();
     shared.metrics.latency.observe(elapsed.as_nanos() as u64);
-    if let Some(line) = slow_query_line(query, elapsed, shared.cfg.slow_query) {
+    let trace_id = trace.map_or(0, |c| c.trace_id);
+    // Every query — not just `PROFILE` — feeds the flight recorder, and
+    // failures are recorded (and dumped) too: post-hoc diagnosis must not
+    // require reproduction.
+    let failed = frames.first().is_some_and(|f| f.starts_with("ERR "));
+    let recorded = match profile {
+        Some(p) => Some(p),
+        None if failed => Some(QueryProfile::error(
+            query,
+            trace_id,
+            shared.cfg.machine.backend.label(),
+            &frames[0],
+        )),
+        None => None,
+    };
+    let slow = slow_query_line(query, elapsed, shared.cfg.slow_query, trace_id);
+    if let Some(p) = recorded {
+        if failed || slow.is_some() {
+            eprintln!("flight-recorder: {}", p.to_json());
+        }
+        shared.recorder.record(p);
+    }
+    if let Some(line) = slow {
         shared.counters.update(|c| c.slow_queries += 1);
         shared.metrics.slow_queries.inc();
         eprintln!("{line}");
+    }
+    // A trace-stamped shard answer grows its `SPANS` trailer after the
+    // request span has closed, so the batch includes it.
+    if mode == QueryMode::Cards {
+        if let Some(parent) = stamp {
+            let batch: Vec<SpanData> = systolic_telemetry::collector()
+                .map(|c| {
+                    c.trace_spans(parent.trace_id)
+                        .iter()
+                        .map(SpanData::from)
+                        .collect()
+                })
+                .unwrap_or_default();
+            frames.push(spans_frame(&render_batch(&batch)));
+        }
     }
     Reply {
         frames,
@@ -755,7 +866,9 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Job>) ->
 fn stats_frame(shared: &Shared) -> String {
     let tables = locks::read(&shared.store).table_count();
     let report = shared.report();
-    let lat = &shared.metrics.latency;
+    // The one shared reading of the latency histogram: `STATS` and the
+    // profile output render the same digits by construction.
+    let lat = QuantileSummary::from_histogram(&shared.metrics.latency);
     let (durable, wal_records, wal_bytes, checkpoints, recovered) = match &shared.durable {
         Some(d) => (
             1,
@@ -784,24 +897,31 @@ fn stats_frame(shared: &Shared) -> String {
         shared.started.elapsed().as_millis(),
         report.queue_hwm,
         report.slow_queries,
-        lat.quantile(0.50),
-        lat.quantile(0.95),
-        lat.quantile(0.99),
-        lat.count(),
+        lat.p50,
+        lat.p95,
+        lat.p99,
+        lat.count,
         shared.cfg.machine.backend.label(),
         report.sharded,
         report.shard_fallback,
     )
 }
 
-/// The slow-query log line, if `elapsed` reaches the threshold.
-fn slow_query_line(query: &str, elapsed: Duration, threshold: Option<Duration>) -> Option<String> {
+/// The slow-query log line, if `elapsed` reaches the threshold. Carries the
+/// request's trace id (0 when tracing is off) so log lines join against
+/// Chrome traces and flight-recorder profiles.
+fn slow_query_line(
+    query: &str,
+    elapsed: Duration,
+    threshold: Option<Duration>,
+    trace_id: u64,
+) -> Option<String> {
     let threshold = threshold?;
     if elapsed < threshold {
         return None;
     }
     Some(format!(
-        "slow-query: {:.3}ms (threshold {}ms) {query}",
+        "slow-query: {:.3}ms (threshold {}ms) trace={trace_id} {query}",
         elapsed.as_secs_f64() * 1e3,
         threshold.as_millis(),
     ))
@@ -909,26 +1029,35 @@ fn loaded_shard_forwarded(
     loaded_frame(name, rows)
 }
 
-/// Answer one query: the `RESULT` (or `ERR`) frame, the `CARDS` frame when
-/// `want_cards`, and the `HOST` frame on success.
+/// Answer one query: the `RESULT` (or `ERR`) frame, the `CARDS` frame for
+/// `QUERYC`, the `PROFILE` frame for `PROFILE`, and the `HOST` frame on
+/// success — plus the built [`QueryProfile`] for the flight recorder.
 fn handle_query(
     shared: &Shared,
     tx: &mpsc::Sender<Job>,
     query: &str,
     trace: Option<TraceCtx>,
-    want_cards: bool,
-) -> Vec<String> {
+    mode: QueryMode,
+) -> (Vec<String>, Option<QueryProfile>) {
     // Static analysis before admission: a query that cannot execute (typo'd
     // relation, type error, capacity overflow, ...) never occupies a slot in
     // a merged batch schedule, and the client gets a stable SA00N code with
     // carets instead of a mid-run machine error.
-    let expr = {
+    let (expr, analysis) = {
         let view = locks::read(&shared.store).catalog_view();
-        match engine::prepare_checked(query, &view, &shared.cfg.machine) {
-            Ok((expr, _analysis)) => expr,
-            Err(e) => return vec![engine_err_frame(&e)],
-        }
+        let expr = match engine::prepare_checked(query, &view, &shared.cfg.machine) {
+            Ok((expr, _pre)) => expr,
+            Err(e) => return (vec![engine_err_frame(&e)], None),
+        };
+        // The profile's per-step predictions come from re-analyzing the
+        // *rewritten* tree — the shape `Plan::compile` actually runs —
+        // under the same catalog read, before execution can register
+        // `store(...)` targets and change what the analyzer would say.
+        let analysis = systolic_analyzer::analyze(&expr, &view, &shared.cfg.machine, &[]).ok();
+        (expr, analysis)
     };
+    let alignment = systolic_analyzer::plan_alignment(&expr);
+    let plan = Plan::compile(&expr);
     // Relation locks for the whole request: shared on every scanned name,
     // exclusive on every `store(...)` target. All-or-nothing acquisition
     // (sorted, no hold-and-wait) keeps concurrent sessions deadlock-free,
@@ -942,24 +1071,42 @@ fn handle_query(
             .into_iter()
             .map(|n| (n, LockMode::Exclusive)),
     );
+    let lock_started = Instant::now();
     let _lock = shared.lock_table.acquire_all(wants);
+    let lock_wait_ns = lock_started.elapsed().as_nanos() as u64;
+    let finish = |result: String, reply: &scheduler::QueryReply, rows: u64| {
+        let built = profile::build(
+            query,
+            trace.map_or(0, |c| c.trace_id),
+            shared.cfg.machine.backend.label(),
+            analysis.as_ref(),
+            &alignment,
+            &plan,
+            reply,
+            rows,
+            lock_wait_ns,
+            QuantileSummary::from_histogram(&shared.metrics.latency),
+        );
+        let mut frames = vec![result];
+        match mode {
+            QueryMode::Plain => {}
+            QueryMode::Cards => frames.push(cards_frame(&reply.step_rows)),
+            QueryMode::Profile => frames.push(profile_frame(&built.to_json())),
+        }
+        frames.push(host_frame(reply.host_wall_ns));
+        (frames, Some(built))
+    };
     if let Some(router) = &shared.router {
         match router.try_query(shared, tx, &expr, query, trace) {
-            RouteOutcome::Answered {
-                result,
-                step_rows,
-                host_ns,
-            } => {
+            RouteOutcome::Answered { result, reply } => {
                 shared.metrics.sharded.inc();
                 shared.counters.update(|c| c.sharded += 1);
-                let mut frames = vec![result];
-                if want_cards {
-                    frames.push(cards_frame(&step_rows));
-                }
-                frames.push(host_frame(host_ns));
-                return frames;
+                // The routed result frame was built from the merged rows;
+                // the router verified `step_rows.last()` equals its count.
+                let rows = reply.step_rows.last().copied().unwrap_or(0);
+                return finish(result, &reply, rows);
             }
-            RouteOutcome::Failed { frame } => return vec![frame],
+            RouteOutcome::Failed { frame } => return (vec![frame], None),
             RouteOutcome::NotRouted => {
                 shared.metrics.shard_fallback.inc();
                 shared.counters.update(|c| c.shard_fallback += 1);
@@ -978,10 +1125,14 @@ fn handle_query(
             trace,
             fence: Arc::clone(&fence),
             reply: reply_tx,
+            submitted: Instant::now(),
         })
         .is_err()
     {
-        return vec![err_frame("shutting_down", "scheduler has exited")];
+        return (
+            vec![err_frame("shutting_down", "scheduler has exited")],
+            None,
+        );
     }
     let reply = match reply_rx.recv_timeout(shared.cfg.request_timeout) {
         Ok(reply) => reply,
@@ -994,7 +1145,10 @@ fn handle_query(
                 match reply_rx.recv() {
                     Ok(reply) => reply,
                     Err(_) => {
-                        return vec![err_frame("shutting_down", "scheduler exited mid-query")]
+                        return (
+                            vec![err_frame("shutting_down", "scheduler exited mid-query")],
+                            None,
+                        )
                     }
                 }
             } else {
@@ -1002,11 +1156,14 @@ fn handle_query(
                 // run, no side effects — so `ERR timeout` is the truth.
                 shared.counters.update(|c| c.timeouts += 1);
                 shared.metrics.timeouts.inc();
-                return vec![err_frame("timeout", "query timed out")];
+                return (vec![err_frame("timeout", "query timed out")], None);
             }
         }
         Err(RecvTimeoutError::Disconnected) => {
-            return vec![err_frame("shutting_down", "scheduler has exited")]
+            return (
+                vec![err_frame("shutting_down", "scheduler has exited")],
+                None,
+            )
         }
     };
     match reply {
@@ -1017,17 +1174,13 @@ fn handle_query(
             };
             match csv {
                 Ok(csv) => {
-                    let mut frames = vec![result_frame(reply.result.len(), &reply.stats, &csv)];
-                    if want_cards {
-                        frames.push(cards_frame(&reply.step_rows));
-                    }
-                    frames.push(host_frame(reply.host_wall_ns));
-                    frames
+                    let result = result_frame(reply.result.len(), &reply.stats, &csv);
+                    finish(result, &reply, reply.result.len() as u64)
                 }
-                Err(e) => vec![engine_err_frame(&e)],
+                Err(e) => (vec![engine_err_frame(&e)], None),
             }
         }
-        Err(machine_err) => vec![err_frame("machine", &machine_err.to_string())],
+        Err(machine_err) => (vec![err_frame("machine", &machine_err.to_string())], None),
     }
 }
 
@@ -1058,12 +1211,13 @@ mod tests {
     fn slow_query_log_respects_threshold_and_disable() {
         let q = "scan(emp)";
         let ms = Duration::from_millis;
-        assert_eq!(slow_query_line(q, ms(999), Some(ms(1000))), None);
-        assert_eq!(slow_query_line(q, ms(999), None), None);
-        let line = slow_query_line(q, ms(1500), Some(ms(1000))).unwrap();
+        assert_eq!(slow_query_line(q, ms(999), Some(ms(1000)), 0), None);
+        assert_eq!(slow_query_line(q, ms(999), None, 7), None);
+        let line = slow_query_line(q, ms(1500), Some(ms(1000)), 42).unwrap();
         assert!(line.starts_with("slow-query: "));
         assert!(line.contains("1500.000ms"));
         assert!(line.contains("(threshold 1000ms)"));
+        assert!(line.contains("trace=42"), "{line}");
         assert!(line.ends_with(q));
     }
 

@@ -452,15 +452,23 @@ fn stats_frame_carries_uptime_and_latency_summary() {
     assert_eq!(report.slow_queries, 0);
 }
 
+/// Serializes the tests that install the process-global span collector
+/// (directly or via a server's `trace_out`).
+fn collector_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Two requests merged into one admission batch must keep *distinct* trace
 /// ids (each client's story stays separate) while both their
 /// `server.batch_run` spans point at the *same* `server.batch` span.
 ///
-/// This is the only test in this binary that installs the global span
-/// collector; concurrent tests' spans land in it too, so everything below
-/// filters by this test's own query text.
+/// Holds [`collector_lock`]: the span collector is process-global, and
+/// concurrent tests' spans land in it too, so everything below filters by
+/// this test's own query text.
 #[test]
 fn merged_requests_keep_distinct_traces_but_share_the_batch_span() {
+    let _guard = collector_lock();
     let collector = systolic_telemetry::install();
     let handle = spawn(ServerConfig {
         batch_window: Duration::from_millis(300),
@@ -877,6 +885,239 @@ fn poll_shutdown_drains_pipelined_in_flight_queries() {
         assert!(frame.starts_with("RESULT rows=2 "), "{frame}");
     }
     drop(setup);
+    handle.join().unwrap();
+}
+
+/// The observability acceptance check, half one: `PROFILE` answers with a
+/// `RESULT` frame *byte-identical* to `QUERY`'s for the same query — at one
+/// and two shards, on both front ends, and on both backends — and the
+/// profile itself is internally consistent: the analyzer's predicted pulse
+/// budget bounds the actual pulses, and the actual pulses equal the
+/// `RESULT` frame's own `RunStats` pulses.
+#[test]
+fn profile_results_are_byte_identical_and_bounded_by_the_budget() {
+    use systolic_telemetry::json::{self, Json};
+
+    let configs = [
+        ("threads", local_config()),
+        (
+            "poll",
+            ServerConfig {
+                io: IoModel::Poll,
+                ..local_config()
+            },
+        ),
+        (
+            "2-shard",
+            ServerConfig {
+                shards: 2,
+                ..local_config()
+            },
+        ),
+        (
+            "kernel",
+            ServerConfig {
+                machine: MachineConfig {
+                    backend: Backend::Kernel,
+                    ..MachineConfig::default()
+                },
+                ..local_config()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        let handle = spawn(config).unwrap();
+        let mut c = Client::connect(handle.addr).unwrap();
+        load_all(&mut c);
+        for q in QUERIES {
+            let (plain, _host) = c.raw_query_frames(q).unwrap();
+            let (profiled, profile) = c.profile(q).unwrap();
+            assert_eq!(
+                profiled.raw, plain,
+                "{label}: profiling changed the RESULT frame for {q:?}"
+            );
+            let doc = json::parse(&profile).expect("profile is valid JSON");
+            assert_eq!(doc.get("query").and_then(Json::as_str), Some(*q), "{label}");
+            let budget = doc
+                .get("predicted")
+                .and_then(|p| p.get("pulse_budget"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            let pulses = doc
+                .get("actual")
+                .and_then(|a| a.get("pulses"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(
+                budget >= pulses,
+                "{label}: {q:?} predicted budget {budget} < actual {pulses}"
+            );
+            assert_eq!(
+                pulses, profiled.total_pulses,
+                "{label}: {q:?} profile pulses diverge from RunStats"
+            );
+            assert_eq!(
+                doc.get("actual")
+                    .and_then(|a| a.get("rows"))
+                    .and_then(Json::as_u64),
+                Some(profiled.rows as u64),
+                "{label}: {q:?}"
+            );
+            // Drift is the budget's slack, as a first-class field.
+            assert_eq!(
+                doc.get("drift_pulses").and_then(Json::as_f64),
+                Some(budget as f64 - pulses as f64),
+                "{label}: {q:?}"
+            );
+            // Every plan step pairs a prediction with its actuals.
+            let steps = doc.get("steps").and_then(Json::as_array).unwrap();
+            assert!(!steps.is_empty(), "{label}: {q:?}");
+            let step_pulses: u64 = steps
+                .iter()
+                .filter_map(|s| s.get("actual_pulses").and_then(Json::as_u64))
+                .sum();
+            assert_eq!(step_pulses, pulses, "{label}: {q:?} step pulses must sum");
+        }
+        c.close().unwrap();
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}
+
+/// The observability acceptance check, half two: a two-shard server with
+/// `trace_out` writes ONE merged Chrome trace in which every shard's
+/// `server.request` span (returned over the wire in `SPANS` trailers)
+/// parents under the router's `server.shard_fanout` span, which itself
+/// parents under the outer request's root span — one trace id end to end.
+///
+/// Holds [`collector_lock`]: `trace_out` installs the process-global
+/// collector for the server's lifetime.
+#[test]
+fn sharded_trace_out_parents_shard_spans_under_the_fanout() {
+    use systolic_telemetry::json::{self, Json};
+
+    let _guard = collector_lock();
+    let dir = std::env::temp_dir().join(format!("sdb-e2e-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("merged.json");
+
+    let handle = spawn(ServerConfig {
+        shards: 2,
+        trace_out: Some(path.clone()),
+        ..local_config()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr).unwrap();
+    load_all(&mut c);
+    // A shardable query, so the router actually fans out.
+    let shardable = "intersect(scan(a), scan(b))";
+    c.query(shardable).unwrap();
+    let text = c.metrics().unwrap();
+    let exp = systolic_telemetry::prom::validate(&text).unwrap();
+    assert!(
+        exp.value("sdb_server_sharded_total", "").unwrap_or(0.0) >= 1.0,
+        "query must have routed:\n{text}"
+    );
+    c.close().unwrap();
+    handle.shutdown();
+    handle.join().unwrap();
+
+    let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid trace JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let arg = |e: &Json, k: &str| e.get("args").and_then(|a| a.get(k)).and_then(Json::as_u64);
+    let named = |n: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some(n))
+            .collect::<Vec<_>>()
+    };
+
+    let fanouts = named("server.shard_fanout");
+    assert_eq!(
+        fanouts.len(),
+        1,
+        "one fan-out span for the one routed query"
+    );
+    let fanout = fanouts[0];
+    let trace_id = arg(fanout, "trace_id").unwrap();
+    let fanout_span = arg(fanout, "span_id").unwrap();
+
+    // The fan-out parents under the outer request's root span...
+    let requests = named("server.request");
+    let root = requests
+        .iter()
+        .find(|e| arg(e, "trace_id") == Some(trace_id) && arg(e, "parent_id").is_none())
+        .expect("the outer request is the trace's root span");
+    assert_eq!(arg(fanout, "parent_id"), arg(root, "span_id"));
+
+    // ...and both shards' request spans parent under the fan-out, on the
+    // same trace id, each exactly once (the SPANS trailer duplicates the
+    // in-process collector's copy; the merge must dedup).
+    let shard_requests: Vec<_> = requests
+        .iter()
+        .filter(|e| arg(e, "parent_id") == Some(fanout_span))
+        .collect();
+    assert_eq!(
+        shard_requests.len(),
+        2,
+        "both shard request spans, deduped, under the fan-out"
+    );
+    for e in &shard_requests {
+        assert_eq!(arg(e, "trace_id"), Some(trace_id), "one trace end to end");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The flight recorder retains the last N profiles — queries, `PROFILE`
+/// runs, and failures alike — and `PROFILES` dumps them newest first.
+#[test]
+fn flight_recorder_retains_newest_profiles_and_records_errors() {
+    use systolic_telemetry::json::{self, Json};
+
+    let handle = spawn(ServerConfig {
+        profile_history: 2,
+        ..local_config()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr).unwrap();
+    c.load_csv("fr", "int", "1\n2\n3\n").unwrap();
+
+    c.query("filter(scan(fr), c0 >= 1)").unwrap();
+    c.query("filter(scan(fr), c0 >= 2)").unwrap();
+    c.query("filter(scan(fr), c0 >= 3)").unwrap();
+    let dumped = c.profiles().unwrap();
+    assert_eq!(dumped.len(), 2, "history of 2 retains the 2 newest");
+    let queries: Vec<_> = dumped
+        .iter()
+        .map(|line| {
+            let doc = json::parse(line).expect("each dumped profile is valid JSON");
+            doc.get("query").and_then(Json::as_str).unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(
+        queries,
+        vec!["filter(scan(fr), c0 >= 3)", "filter(scan(fr), c0 >= 2)"],
+        "newest first"
+    );
+
+    // A failing query lands in the recorder too, with its error frame.
+    assert!(c.query("scan(ghost)").is_err());
+    let dumped = c.profiles().unwrap();
+    let newest = json::parse(&dumped[0]).unwrap();
+    assert_eq!(
+        newest.get("query").and_then(Json::as_str),
+        Some("scan(ghost)")
+    );
+    assert!(
+        newest
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("analysis")),
+        "{}",
+        dumped[0]
+    );
+    c.close().unwrap();
+    handle.shutdown();
     handle.join().unwrap();
 }
 

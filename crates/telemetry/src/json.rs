@@ -61,6 +61,29 @@ impl Json {
     }
 }
 
+/// Append `s` to `out` as a quoted JSON string literal, escaping quotes,
+/// backslashes and control characters. The one string *writer* shared by
+/// every JSON emitter in the workspace (Chrome traces, span batches, query
+/// profiles) so they all escape identically.
+pub fn write_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Parse a complete JSON document. Trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();

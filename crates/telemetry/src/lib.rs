@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
@@ -23,6 +24,6 @@ pub mod prom;
 pub mod span;
 
 pub use span::{
-    current_ctx, enabled, install, record_between, root_span, span, span_in, uninstall, Collector,
-    SpanGuard, SpanRecord, TraceCtx,
+    collector, current_ctx, enabled, install, record_between, root_span, span, span_in, uninstall,
+    Collector, SpanGuard, SpanRecord, TraceCtx,
 };

@@ -215,6 +215,33 @@ impl Histogram {
     }
 }
 
+/// The p50/p95/p99 latency summary rendered by `STATS` and by query profiles —
+/// one shared reading of a [`Histogram`] so both surfaces agree on the digits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantileSummary {
+    /// Median (bucket upper bound, capped at the observed max).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Number of observations the quantiles summarise.
+    pub count: u64,
+}
+
+impl QuantileSummary {
+    /// Read p50/p95/p99 and the observation count out of `h` in one pass of
+    /// calls. All zeros when the histogram is empty.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        QuantileSummary {
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            count: h.count(),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Counter,
@@ -449,6 +476,24 @@ mod tests {
         // Falls in the +Inf bucket: report the observed max.
         assert_eq!(h.quantile(1.0), 5000);
         assert_eq!(Histogram::new(&[10]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_summary_matches_direct_reads() {
+        let _l = locked();
+        let h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(
+            QuantileSummary::from_histogram(&h),
+            QuantileSummary::default()
+        );
+        for v in [1, 5, 10, 11, 90, 5000] {
+            h.observe(v);
+        }
+        let s = QuantileSummary::from_histogram(&h);
+        assert_eq!(s.p50, h.quantile(0.50));
+        assert_eq!(s.p95, h.quantile(0.95));
+        assert_eq!(s.p99, h.quantile(0.99));
+        assert_eq!(s.count, 6);
     }
 
     #[test]

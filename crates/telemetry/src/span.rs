@@ -104,6 +104,19 @@ impl Collector {
         self.spans.lock().unwrap().clone()
     }
 
+    /// Copies of the completed spans belonging to one trace, leaving the
+    /// collector untouched — what a shard mines to answer a stamped
+    /// `QUERYC` with its span batch without disturbing other traces.
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
         self.spans.lock().unwrap().len()
@@ -145,7 +158,8 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-fn collector() -> Option<Arc<Collector>> {
+/// A handle to the installed global collector, if recording is enabled.
+pub fn collector() -> Option<Arc<Collector>> {
     if !enabled() {
         return None;
     }
@@ -295,16 +309,20 @@ pub fn record_between(
     Some(TraceCtx { trace_id, span_id })
 }
 
+// Span tests (here and in sibling modules) share the process-global
+// collector, so they must not run concurrently with each other.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Span tests share the process-global collector, so they must not run
-    // concurrently with each other.
-    static LOCK: Mutex<()> = Mutex::new(());
-
     fn locked() -> std::sync::MutexGuard<'static, ()> {
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        test_guard()
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `sdb` command-line front-end. Four modes:
+//! The `sdb` command-line front-end. Five modes:
 //!
 //! * **One-shot** (the original): load CSV tables, run a textual
 //!   relational-algebra query on the simulated systolic database machine,
@@ -7,12 +7,18 @@
 //!   the static analyzer only: print the typed plan summary (schemas, row
 //!   bounds, predicted tiles and pulses) or the `SA00N` diagnostics with
 //!   carets, without touching the machine. Exits nonzero on rejection.
+//! * **Profile**: `sdb profile --table emp=emp.csv:str,int "scan(emp)"` —
+//!   run the query through the server's `PROFILE` verb on an ephemeral
+//!   in-process server and print the result plus the end-to-end profile:
+//!   the analyzer's predictions (rows, tiles, pulse budget) next to the
+//!   actuals per plan step, with the drift as a first-class field.
 //! * **Serve**: `sdb serve --addr 127.0.0.1:4171` — run the long-lived
 //!   query service from the `systolic-server` crate in the foreground
 //!   until SIGINT/SIGTERM.
 //! * **Connect**: `sdb --connect 127.0.0.1:4171 "scan(emp)"` — talk to a
 //!   running server: optionally load tables, run one query, print the
-//!   result exactly like the one-shot mode.
+//!   result exactly like the one-shot mode. `--profile` asks the server
+//!   for the query's profile too; `--profiles` dumps its flight recorder.
 //!
 //! ```console
 //! $ sdb --table emp=emp.csv:int,int,int --table dept=dept.csv:int,str \
@@ -203,6 +209,12 @@ pub struct ServeArgs {
     pub pool_pages: usize,
     /// Buffer-pool (and staging-memory) replacement policy.
     pub replacer: ReplacerKind,
+    /// Write one merged Chrome/Perfetto trace covering every query (and,
+    /// with `--shards N`, every shard) on shutdown.
+    pub trace_out: Option<String>,
+    /// Flight-recorder depth: how many recent query profiles `PROFILES`
+    /// retains (0 disables the recorder).
+    pub profile_history: usize,
 }
 
 impl Default for ServeArgs {
@@ -223,6 +235,8 @@ impl Default for ServeArgs {
             data_dir: None,
             pool_pages: defaults.pool_pages,
             replacer: defaults.replacer,
+            trace_out: None,
+            profile_history: defaults.profile_history,
         }
     }
 }
@@ -268,6 +282,26 @@ pub struct ConnectArgs {
     pub check_metrics: bool,
     /// Ask a durable server to checkpoint its log.
     pub checkpoint: bool,
+    /// Run the query via `PROFILE` and print its end-to-end profile JSON
+    /// after the result.
+    pub profile: bool,
+    /// Dump the server's flight recorder (`PROFILES`), newest first.
+    pub profiles: bool,
+}
+
+/// Parsed `sdb profile` command line.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProfileArgs {
+    /// Tables to load.
+    pub tables: Vec<TableSpec>,
+    /// The query text.
+    pub query: String,
+    /// Whether to print the stats footer after the result too.
+    pub stats: bool,
+    /// Host simulation threads (as in [`CliArgs::threads`]).
+    pub threads: usize,
+    /// Operator backend (as in [`CliArgs::backend`]).
+    pub backend: Option<Backend>,
 }
 
 /// Which mode a command line selects.
@@ -277,6 +311,9 @@ pub enum Command {
     OneShot(CliArgs),
     /// Statically analyze one query against the tables, without running it.
     Check(CheckArgs),
+    /// Run one query through an ephemeral in-process server's `PROFILE`
+    /// verb and print its end-to-end profile.
+    Profile(ProfileArgs),
     /// Run the TCP query service in the foreground.
     Serve(ServeArgs),
     /// Talk to a running service.
@@ -287,11 +324,13 @@ pub enum Command {
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
 [--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
        sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
+       sdb profile --table NAME=PATH:type,... [--stats] [--threads N] [--backend sim|kernel] QUERY
        sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
 [--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS] \
-[--data-dir DIR] [--pool-pages N] [--replacer clock|lru]
-       sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--metrics] \
-[--check-metrics] [--checkpoint] [--shutdown] [QUERY]
+[--data-dir DIR] [--pool-pages N] [--replacer clock|lru] [--trace-out FILE] \
+[--profile-history N]
+       sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--profile] \
+[--profiles] [--metrics] [--check-metrics] [--checkpoint] [--shutdown] [QUERY]
   types: int, str, bool, date
   query: scan/filter/intersect/difference/union/dedup/project/join/divide
   --threads N: simulate independent plan steps on N host threads (0 = auto
@@ -306,6 +345,10 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                capacity) and print the typed plan summary or the SA00N
                diagnostics; exits nonzero on rejection, never runs anything
   --json: (check) machine-readable output
+  profile: run the query via the server's PROFILE verb (on an ephemeral
+               in-process server) and print the end-to-end profile — the
+               analyzer's predicted rows/tiles/pulse budget next to the
+               actuals per plan step, plus queue/lock/WAL waits
   --limits A,B,C: (check) analyze against devices bounded by max_a=A,
                max_b=B, max_cols=C (zeros allowed, to probe SA005)
   --memory BYTES: (check) analyze against memory modules of BYTES capacity
@@ -324,7 +367,14 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                with --shards N each shard persists under DIR/shard-i
   --pool-pages N: buffer-pool capacity of the paged store, in 8 KiB pages
   --replacer P: buffer-pool replacement policy, clock (default) or lru
+  --trace-out FILE: (serve) write one merged Chrome/Perfetto trace covering
+               every query — and with --shards N, every shard's spans,
+               parented under the router's fan-out — on shutdown
+  --profile-history N: (serve) flight-recorder depth: how many recent query
+               profiles PROFILES retains (0 disables)
   --connect: run the query on a server instead of in-process
+  --profile: (connect) run the query via PROFILE and print the profile JSON
+  --profiles: (connect) dump the server's flight recorder, newest first
   --metrics: print the server's Prometheus text exposition
   --check-metrics: scrape twice, validate, and check counter monotonicity
   --checkpoint: snapshot a durable server's history and truncate its log
@@ -440,6 +490,13 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
                     CliError::Usage(format!("--replacer expects clock or lru, got {value:?}"))
                 })?;
             }
+            "--trace-out" => {
+                args.trace_out = Some(flag_value("--trace-out", &mut it)?.clone());
+            }
+            "--profile-history" => {
+                let value = flag_value("--profile-history", &mut it)?;
+                args.profile_history = parse_number("--profile-history", value)?;
+            }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             other => {
                 return Err(CliError::Usage(format!(
@@ -512,6 +569,8 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
             "--metrics" => args.metrics = true,
             "--check-metrics" => args.check_metrics = true,
             "--checkpoint" => args.checkpoint = true,
+            "--profile" => args.profile = true,
+            "--profiles" => args.profiles = true,
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
             other => {
@@ -530,9 +589,54 @@ fn parse_connect_args(argv: &[String]) -> Result<ConnectArgs, CliError> {
         && !args.metrics
         && !args.check_metrics
         && !args.checkpoint
+        && !args.profiles
     {
         return Err(CliError::Usage(format!(
-            "--connect needs a query, tables to load, --metrics, --checkpoint, or --shutdown\n{USAGE}"
+            "--connect needs a query, tables to load, --metrics, --profiles, --checkpoint, \
+             or --shutdown\n{USAGE}"
+        )));
+    }
+    if args.profile && args.query.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--profile needs a query to profile\n{USAGE}"
+        )));
+    }
+    Ok(args)
+}
+
+fn parse_profile_args(argv: &[String]) -> Result<ProfileArgs, CliError> {
+    let mut args = ProfileArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => {
+                let spec = flag_value("--table", &mut it)?;
+                args.tables.push(parse_table_spec(spec)?);
+            }
+            "--stats" => args.stats = true,
+            "--threads" => {
+                let value = flag_value("--threads", &mut it)?;
+                args.threads = parse_number("--threads", value)?;
+            }
+            "--backend" => {
+                let value = flag_value("--backend", &mut it)?;
+                args.backend = Some(parse_backend(value)?);
+            }
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            q if !q.starts_with('-') && args.query.is_empty() => args.query = q.to_string(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected profile argument {other:?}\n{USAGE}"
+                )))
+            }
+        }
+    }
+    if args.query.is_empty() {
+        return Err(CliError::Usage(format!("profile needs a query\n{USAGE}")));
+    }
+    if args.tables.is_empty() {
+        return Err(CliError::Usage(format!(
+            "profile needs at least one --table\n{USAGE}"
         )));
     }
     Ok(args)
@@ -545,6 +649,9 @@ pub fn parse_command(argv: &[String]) -> Result<Command, CliError> {
     }
     if argv.first().map(String::as_str) == Some("check") {
         return Ok(Command::Check(parse_check_args(&argv[1..])?));
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        return Ok(Command::Profile(parse_profile_args(&argv[1..])?));
     }
     if argv.iter().any(|a| a == "--connect") {
         return Ok(Command::Connect(parse_connect_args(argv)?));
@@ -757,9 +864,59 @@ fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
         data_dir: args.data_dir.as_deref().map(std::path::PathBuf::from),
         pool_pages: args.pool_pages,
         replacer: args.replacer,
+        trace_out: args.trace_out.as_deref().map(std::path::PathBuf::from),
+        profile_history: args.profile_history,
         ..defaults
     })?;
     Ok(())
+}
+
+/// Run one query through an ephemeral in-process server's `PROFILE` verb —
+/// the testable core of `sdb profile`. Using the real server (rather than
+/// re-deriving the profile here) guarantees the printed profile is exactly
+/// what a long-lived server would report for the same query.
+pub fn run_profile(tables: &[(TableSpec, String)], args: &ProfileArgs) -> Result<String, CliError> {
+    let mut machine = MachineConfig {
+        host_threads: args.threads,
+        ..MachineConfig::default()
+    };
+    if let Some(backend) = args.backend {
+        machine.backend = backend;
+    }
+    let handle = systolic_server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        machine,
+        ..ServerConfig::default()
+    })?;
+    let run = || -> Result<String, CliError> {
+        let mut client = Client::connect(handle.addr)?;
+        for (spec, text) in tables {
+            let kinds: Vec<&str> = spec.kinds.iter().map(|&k| kind_name(k)).collect();
+            client.load_csv(&spec.name, &kinds.join(","), text)?;
+        }
+        let (result, profile) = client.profile(&args.query)?;
+        let _ = client.close();
+        let mut out = result.csv.clone();
+        if args.stats {
+            out.push_str(&stats_footer(
+                result.rows,
+                result.makespan_ns,
+                result.total_pulses,
+                result.array_runs,
+                result.bytes_from_disk,
+                result.max_device_concurrency,
+                result.host_ns,
+            ));
+        }
+        out.push_str("-- profile: ");
+        out.push_str(&profile);
+        out.push('\n');
+        Ok(out)
+    };
+    let out = run();
+    handle.shutdown();
+    let _ = handle.join();
+    out
 }
 
 fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
@@ -772,7 +929,12 @@ fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
         out.push_str(&format!("loaded {} ({rows} rows)\n", spec.name));
     }
     if !args.query.is_empty() {
-        let result = client.query(&args.query)?;
+        let (result, profile) = if args.profile {
+            let (result, profile) = client.profile(&args.query)?;
+            (result, Some(profile))
+        } else {
+            (client.query(&args.query)?, None)
+        };
         out.push_str(&result.csv);
         if args.stats {
             out.push_str(&stats_footer(
@@ -784,6 +946,22 @@ fn run_connect(args: &ConnectArgs) -> Result<String, CliError> {
                 result.max_device_concurrency,
                 result.host_ns,
             ));
+        }
+        if let Some(profile) = profile {
+            out.push_str("-- profile: ");
+            out.push_str(&profile);
+            out.push('\n');
+        }
+    }
+    if args.profiles {
+        let dumped = client.profiles()?;
+        out.push_str(&format!(
+            "-- flight recorder: {} profile(s)\n",
+            dumped.len()
+        ));
+        for line in &dumped {
+            out.push_str(line);
+            out.push('\n');
         }
     }
     if args.metrics || args.check_metrics {
@@ -842,6 +1020,14 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
                 tables.push((spec.clone(), text));
             }
             run_check(&tables, &args.query, args.json, args.limits, args.memory)
+        }
+        Command::Profile(args) => {
+            let mut tables = Vec::with_capacity(args.tables.len());
+            for spec in &args.tables {
+                let text = std::fs::read_to_string(&spec.path)?;
+                tables.push((spec.clone(), text));
+            }
+            run_profile(&tables, &args)
         }
         Command::Serve(args) => {
             run_serve(&args)?;
@@ -1391,6 +1577,138 @@ mod tests {
         assert!(checked.contains("metrics ok:"), "{checked}");
         assert!(checked.contains("counters monotonic"), "{checked}");
 
+        run_connect(&ConnectArgs {
+            addr: handle.addr.to_string(),
+            shutdown: true,
+            ..ConnectArgs::default()
+        })
+        .unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_args_parse() {
+        match parse_command(&argv(&[
+            "profile",
+            "--table",
+            "a=a.csv:int",
+            "--stats",
+            "--backend",
+            "kernel",
+            "scan(a)",
+        ]))
+        .unwrap()
+        {
+            Command::Profile(p) => {
+                assert_eq!(p.tables.len(), 1);
+                assert!(p.stats);
+                assert_eq!(p.backend, Some(Backend::Kernel));
+                assert_eq!(p.query, "scan(a)");
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["profile", "scan(a)"])),
+            Err(CliError::Usage(_)),
+        ));
+        assert!(matches!(
+            parse_command(&argv(&["profile", "--table", "a=a.csv:int"])),
+            Err(CliError::Usage(_)),
+        ));
+        match parse_command(&argv(&[
+            "serve",
+            "--trace-out",
+            "all.json",
+            "--profile-history",
+            "8",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.trace_out.as_deref(), Some("all.json"));
+                assert_eq!(s.profile_history, 8);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&["--connect", "127.0.0.1:1", "--profile", "scan(a)"])).unwrap() {
+            Command::Connect(c) => assert!(c.profile),
+            other => panic!("expected connect, got {other:?}"),
+        }
+        // --profile without a query is incomplete; --profiles alone is fine.
+        assert!(matches!(
+            parse_command(&argv(&["--connect", "127.0.0.1:1", "--profile"])),
+            Err(CliError::Usage(_)),
+        ));
+        match parse_command(&argv(&["--connect", "127.0.0.1:1", "--profiles"])).unwrap() {
+            Command::Connect(c) => assert!(c.profiles),
+            other => panic!("expected connect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_mode_prints_result_and_one_line_profile() {
+        use systolic_telemetry::json::{self, Json};
+
+        let nums = (
+            spec("nums", vec![DomainKind::Int, DomainKind::Int]),
+            "1,10\n2,20\n3,30\n".to_string(),
+        );
+        let args = ProfileArgs {
+            query: "filter(scan(nums), c1 >= 20)".into(),
+            stats: true,
+            ..ProfileArgs::default()
+        };
+        let out = run_profile(std::slice::from_ref(&nums), &args).unwrap();
+        assert!(out.contains("2,20"), "{out}");
+        assert!(out.contains("-- 2 tuples"), "{out}");
+        let profile_line = out
+            .lines()
+            .find_map(|l| l.strip_prefix("-- profile: "))
+            .expect("profile line");
+        let doc = json::parse(profile_line).expect("profile is valid JSON");
+        assert_eq!(
+            doc.get("query").and_then(Json::as_str),
+            Some("filter(scan(nums), c1 >= 20)")
+        );
+        let predicted = doc.get("predicted").unwrap();
+        let actual = doc.get("actual").unwrap();
+        let budget = predicted
+            .get("pulse_budget")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let pulses = actual.get("pulses").and_then(Json::as_u64).unwrap();
+        assert!(budget >= pulses, "budget {budget} < actual {pulses}");
+        assert_eq!(actual.get("rows").and_then(Json::as_u64), Some(2));
+        assert!(doc.get("steps").and_then(Json::as_array).is_some());
+    }
+
+    #[test]
+    fn connect_profile_and_profiles_flags_round_trip() {
+        let handle = systolic_server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("sdb-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("p.csv");
+        std::fs::write(&csv, "1\n2\n").unwrap();
+        let out = run_connect(&ConnectArgs {
+            addr: handle.addr.to_string(),
+            tables: vec![TableSpec {
+                name: "p".into(),
+                path: csv.display().to_string(),
+                kinds: vec![DomainKind::Int],
+            }],
+            query: "scan(p)".into(),
+            profile: true,
+            profiles: true,
+            ..ConnectArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("-- profile: {\"query\":\"scan(p)\""), "{out}");
+        assert!(out.contains("-- flight recorder: 1 profile(s)"), "{out}");
         run_connect(&ConnectArgs {
             addr: handle.addr.to_string(),
             shutdown: true,
