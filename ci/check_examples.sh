@@ -66,6 +66,43 @@ accept 'store(dedup(union(scan(a), scan(b))), merged)'
 grep -q '"accepted": true' "$WORK/json.txt" \
   || { echo "FAIL: JSON acceptance missing"; cat "$WORK/json.txt"; exit 1; }
 
+# --- the plan compiler explains itself, pinned against golden plans -----
+# `--explain` output for each query is compared byte-for-byte against
+# ci/golden-plans/<name>.txt; regenerate with UPDATE_GOLDEN=1 after an
+# intentional change and review the diff like any other code change.
+GOLDEN=ci/golden-plans
+explain() {
+  local name=$1; shift
+  local query=$1; shift
+  if ! "$SDB" check "${TABLES[@]}" --explain "$query" > "$WORK/explain.txt" 2>&1; then
+    echo "FAIL: --explain rejected sound query: $query"; cat "$WORK/explain.txt"; exit 1
+  fi
+  if [[ -n "${UPDATE_GOLDEN:-}" ]]; then
+    mkdir -p "$GOLDEN"
+    cp "$WORK/explain.txt" "$GOLDEN/$name.txt"
+    echo "regenerated $GOLDEN/$name.txt"
+    return
+  fi
+  if [[ ! -f "$GOLDEN/$name.txt" ]]; then
+    echo "FAIL: missing golden plan $GOLDEN/$name.txt; run with UPDATE_GOLDEN=1"; exit 1
+  fi
+  diff -u "$GOLDEN/$name.txt" "$WORK/explain.txt" \
+    || { echo "FAIL: golden plan drifted for: $query (UPDATE_GOLDEN=1 to regenerate)"; exit 1; }
+  echo "ok (explain) $query"
+}
+
+explain dedup_union 'dedup(union(scan(a), scan(b)))'
+explain project_fuse 'project(project(scan(emp), [1, 0]), [0])'
+explain filter_push 'filter(intersect(scan(a), scan(b)), c0 >= 2)'
+explain no_rewrite 'scan(emp)'
+
+# The JSON explain rendering is machine-readable and reports the rewrites.
+"$SDB" check "${TABLES[@]}" --explain --json 'dedup(union(scan(a), scan(b)))' > "$WORK/ejson.txt"
+grep -q '^{"optimizer":' "$WORK/ejson.txt" \
+  || { echo "FAIL: JSON explain envelope missing"; cat "$WORK/ejson.txt"; exit 1; }
+grep -q '"rule": "dedup-elim"' "$WORK/ejson.txt" \
+  || { echo "FAIL: JSON explain missing dedup-elim rewrite"; cat "$WORK/ejson.txt"; exit 1; }
+
 # --- all eight SA00N classes are rejected with stable codes -------------
 reject SA001 'union(scan(emp), scan(dept))'
 reject SA002 'project(scan(emp), [9])'
@@ -85,4 +122,4 @@ grep -q '"accepted": false' "$WORK/jerr.txt" \
 grep -q '"code": "SA007"' "$WORK/jerr.txt" \
   || { echo "FAIL: JSON rejection code missing"; cat "$WORK/jerr.txt"; exit 1; }
 
-echo "sdb check examples passed: 5 accepted, 8 rejection classes verified"
+echo "sdb check examples passed: 5 accepted, 4 golden plans, 8 rejection classes verified"

@@ -64,3 +64,29 @@ if ! awk -v e="$TRACE_EVENTS" 'BEGIN { exit !(e > 0) }'; then
   exit 1
 fi
 echo "observability: ${PROFILES} profiles retained, ${TRACE_EVENTS} merged trace events"
+
+# The plan-compiler experiment must be present, must have saved pulses
+# (pulses_optimized <= pulses_baseline with a real reduction), and must
+# have recorded actual rewrite activity.
+OPT="$DIR/BENCH_optimizer.json"
+if [[ ! -f "$OPT" ]]; then
+  echo "missing $OPT" >&2
+  exit 1
+fi
+P_BASE=$(sed -n 's/.*"pulses_baseline": \([0-9]*\).*/\1/p' "$OPT")
+P_OPT=$(sed -n 's/.*"pulses_optimized": \([0-9]*\).*/\1/p' "$OPT")
+if ! awk -v b="$P_BASE" -v o="$P_OPT" 'BEGIN { exit !(o+0 <= b+0 && b+0 > 0) }'; then
+  echo "optimizer pulses_optimized $P_OPT exceeds pulses_baseline $P_BASE" >&2
+  exit 1
+fi
+HITS=$(sed -n 's/.*"rewrite_hits": \([0-9]*\).*/\1/p' "$OPT")
+if ! awk -v h="$HITS" 'BEGIN { exit !(h > 0) }'; then
+  echo "optimizer rewrite_hits $HITS is not positive" >&2
+  exit 1
+fi
+RULES=$(sed -n 's/.*"rules_fired": \([0-9]*\).*/\1/p' "$OPT")
+if ! awk -v r="$RULES" 'BEGIN { exit !(r >= 4) }'; then
+  echo "optimizer rules_fired $RULES is below the required 4 distinct rules" >&2
+  exit 1
+fi
+echo "optimizer: $P_BASE -> $P_OPT pulses, $HITS rewrite sites across $RULES rules"

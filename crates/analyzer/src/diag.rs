@@ -38,6 +38,15 @@ pub enum Code {
     /// to one name, a store to a relation the same query scans, or a store
     /// over an existing base relation.
     ShadowedLoad,
+    /// SA009 — a planner rewrite misfired: the candidate plan's inferred
+    /// result schema differs from the original plan's (or the candidate no
+    /// longer analyzes at all), so the rule's static equivalence
+    /// justification does not hold at this site.
+    RewriteSchemaChanged,
+    /// SA010 — a planner rewrite regressed the §8 pulse budget: the
+    /// candidate plan would cost more predicted pulses than the plan it
+    /// rewrites, violating the optimizer's cost-monotonicity contract.
+    RewriteCostRegressed,
 }
 
 impl Code {
@@ -52,6 +61,8 @@ impl Code {
             Code::CapacityExceeded => "SA006",
             Code::UnknownRelation => "SA007",
             Code::ShadowedLoad => "SA008",
+            Code::RewriteSchemaChanged => "SA009",
+            Code::RewriteCostRegressed => "SA010",
         }
     }
 
@@ -66,11 +77,13 @@ impl Code {
             Code::CapacityExceeded => "plan exceeds device capacity",
             Code::UnknownRelation => "unknown relation",
             Code::ShadowedLoad => "duplicate/shadowed load",
+            Code::RewriteSchemaChanged => "rewrite changes the result schema",
+            Code::RewriteCostRegressed => "rewrite regresses the pulse budget",
         }
     }
 
-    /// All eight codes, in order — for exhaustive tests and docs.
-    pub fn all() -> [Code; 8] {
+    /// All ten codes, in order — for exhaustive tests and docs.
+    pub fn all() -> [Code; 10] {
         [
             Code::UnionIncompatible,
             Code::ColumnOutOfRange,
@@ -80,6 +93,8 @@ impl Code {
             Code::CapacityExceeded,
             Code::UnknownRelation,
             Code::ShadowedLoad,
+            Code::RewriteSchemaChanged,
+            Code::RewriteCostRegressed,
         ]
     }
 }
@@ -193,7 +208,10 @@ mod tests {
         let codes: Vec<&str> = Code::all().iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            ["SA001", "SA002", "SA003", "SA004", "SA005", "SA006", "SA007", "SA008"]
+            [
+                "SA001", "SA002", "SA003", "SA004", "SA005", "SA006", "SA007", "SA008", "SA009",
+                "SA010"
+            ]
         );
     }
 

@@ -116,6 +116,12 @@ impl CatalogView {
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }
+
+    /// Iterate the registered tables in name order (deterministic — the
+    /// view is a `BTreeMap`), for catalog fingerprinting and introspection.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &TableInfo)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
 }
 
 /// The outcome of proving §8 tile coverage for one operator on one device.

@@ -60,12 +60,23 @@ const OPTIONAL: &[(&str, bool)] = &[
     ("flight_recorder_bytes", true),
     ("trace_merge_ns", true),
     ("trace_events", true),
+    // optimizer: the plan compiler's aggregate pulse accounting over the
+    // workload, rewrite activity, and host-side compile time. Per-rule hit
+    // counts use the `rewrites_<rule>` prefix.
+    ("pulses_baseline", true),
+    ("pulses_optimized", true),
+    ("pulses_saved", true),
+    ("rewrite_hits", true),
+    ("rules_fired", true),
+    ("plan_compile_ns", true),
 ];
 
-/// Whether `key` is an allowed optional per-operator wall-time field.
+/// Whether `key` is an allowed optional per-operator wall-time field or a
+/// per-rule rewrite hit count.
 fn per_op_key(key: &str) -> bool {
     key.strip_prefix("sim_ns_")
         .or_else(|| key.strip_prefix("kernel_ns_"))
+        .or_else(|| key.strip_prefix("rewrites_"))
         .is_some_and(|op| !op.is_empty() && op.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
 }
 

@@ -38,6 +38,13 @@ pub(crate) struct ServerMetrics {
     pub(crate) sharded: Arc<Counter>,
     /// Queries the router declined or failed, served by the local system.
     pub(crate) shard_fallback: Arc<Counter>,
+    /// Queries whose optimized plan was served from the plan cache.
+    pub(crate) plan_cache_hits: Arc<Counter>,
+    /// Queries that went through the full plan compiler.
+    pub(crate) plan_cache_misses: Arc<Counter>,
+    /// Batched queries answered by sharing an identical query's slot
+    /// (batch-window common-subexpression elimination).
+    pub(crate) cse_hits: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -87,6 +94,18 @@ impl ServerMetrics {
             "sdb_server_shard_fallback_total",
             "Queries the shard router declined, served by the local system.",
         );
+        let plan_cache_hits = registry.counter(
+            "sdb_plan_cache_hits_total",
+            "Queries whose optimized plan came from the plan cache.",
+        );
+        let plan_cache_misses = registry.counter(
+            "sdb_plan_cache_misses_total",
+            "Queries compiled by the cost-based planner (cache misses).",
+        );
+        let cse_hits = registry.counter(
+            "sdb_batch_cse_hits_total",
+            "Batched queries that shared an identical query's slot.",
+        );
         ServerMetrics {
             registry,
             latency,
@@ -101,6 +120,9 @@ impl ServerMetrics {
             slow_queries,
             sharded,
             shard_fallback,
+            plan_cache_hits,
+            plan_cache_misses,
+            cse_hits,
         }
     }
 
@@ -124,6 +146,17 @@ impl ServerMetrics {
             "sdb_op_pulses_total",
             "Simulated array pulses per relational operator (§8).",
             &[("op", op)],
+        )
+    }
+
+    /// The per-rule planner rewrite counter
+    /// (`sdb_planner_rewrites_total{rule=...}`): how many sites each
+    /// algebraic rewrite rule fired on across compiled queries.
+    pub(crate) fn rewrite_hits(&self, rule: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "sdb_planner_rewrites_total",
+            "Accepted planner rewrite sites per rule.",
+            &[("rule", rule)],
         )
     }
 

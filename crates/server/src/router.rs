@@ -173,6 +173,10 @@ impl Router {
             // Shard-local flight recorders only need a short memory; the
             // outer server records the merged profile for every query.
             profile_history: 16,
+            // The outer server already ran the plan compiler before routing;
+            // shards must execute exactly the expression they were sent so
+            // their step cardinalities align with the router's merge plan.
+            optimize: false,
         };
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {

@@ -373,7 +373,7 @@ pub(crate) fn run(
                     c.max_batch = c.max_batch.max(n as u64);
                 });
                 metrics.batches.inc();
-                run_merged(&mut system, queries, &metrics);
+                run_merged(&mut system, queries, &counters, &metrics);
             }
         }
         for mut q in deferred {
@@ -443,24 +443,61 @@ fn record_op_pulses(metrics: &ServerMetrics, timeline: &Timeline) {
 
 /// Admit several queries as one merged schedule; on any failure fall back
 /// to per-query solo runs so only the faulty requests see errors.
-fn run_merged(system: &mut System, mut queries: Vec<PendingQuery>, metrics: &ServerMetrics) {
-    let exprs: Vec<Expr> = queries.iter().map(|q| q.expr.clone()).collect();
+///
+/// Batch-window common-subexpression elimination: queries in the window
+/// whose prepared trees are identical and free of `store(...)` side effects
+/// share one slot in the merged schedule, and the duplicates' replies are
+/// clones of the shared outcome. Sound because `run_batch_accounted` prices
+/// every query solo — the clone is bit-identical to what a separate slot
+/// would have produced — and the plan compiler upstream normalises
+/// equivalent texts toward the same tree, widening what "identical" catches.
+fn run_merged(
+    system: &mut System,
+    mut queries: Vec<PendingQuery>,
+    counters: &Counters,
+    metrics: &ServerMetrics,
+) {
+    let mut unique: Vec<Expr> = Vec::new();
+    let mut slots: Vec<usize> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        // Identical exprs have identical store sets, so a sharable query
+        // can only ever match a sharable slot.
+        let hit = if store_names(&q.expr).is_empty() {
+            unique.iter().position(|u| *u == q.expr)
+        } else {
+            None
+        };
+        match hit {
+            Some(i) => slots.push(i),
+            None => {
+                slots.push(unique.len());
+                unique.push(q.expr.clone());
+            }
+        }
+    }
+    let cse_hits = (queries.len() - unique.len()) as u64;
     // The batch gets its own trace: it belongs to no single request. The
     // span stays ambient while the machine runs so machine.batch nests here.
     let mut batch_span = root_span("server.batch");
     batch_span.arg("size", queries.len());
+    batch_span.arg("unique", unique.len());
     let batch_ctx = batch_span.ctx();
     let storage = systolic_storage::StorageMetrics::shared();
     let (hits0, misses0) = (storage.pool_hits.get(), storage.pool_misses.get());
-    let outcome = system.run_batch_accounted(&exprs);
+    let outcome = system.run_batch_accounted(&unique);
     let pool_hits = storage.pool_hits.get().saturating_sub(hits0);
     let pool_misses = storage.pool_misses.get().saturating_sub(misses0);
     drop(batch_span);
     match outcome {
         Ok(batch) => {
+            if cse_hits > 0 {
+                counters.update(|c| c.cse_hits += cse_hits);
+                metrics.cse_hits.add(cse_hits);
+            }
             record_op_pulses(metrics, &batch.combined.timeline);
             let host_wall_ns = batch.combined.host_wall_ns;
-            for (outcome, q) in batch.queries.into_iter().zip(queries) {
+            for (slot, q) in slots.into_iter().zip(queries) {
+                let outcome = batch.queries[slot].clone();
                 let mut run_span = span_in(q.trace, "server.batch_run");
                 if let Some(ctx) = batch_ctx {
                     run_span.arg("batch_span", ctx.span_id);

@@ -7,7 +7,7 @@
 //! `ERR shutting_down`, and queued-but-unserved connections are still
 //! picked up and told the same.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use systolic_machine::{MachineConfig, Plan, System};
+use systolic_machine::{Expr, MachineConfig, Plan, System};
 use systolic_storage::{LockMode, LockTable, ReplacerKind, StorageEngine, WalRecord};
 use systolic_telemetry::batch::{render_batch, SpanData};
 use systolic_telemetry::metrics::QuantileSummary;
@@ -122,6 +122,12 @@ pub struct ServerConfig {
     /// Flight-recorder capacity: how many recent query profiles the server
     /// retains for `PROFILES` and the shutdown trace (0 disables it).
     pub profile_history: usize,
+    /// Route admitted queries through the cost-based plan compiler
+    /// (`sdb serve --optimize on|off`). Every accepted rewrite is proven
+    /// schema-preserving and never pulse-regressing by the planner, so
+    /// result rows are byte-identical either way; only the pulse accounting
+    /// (which prices the cheaper chosen plan) changes.
+    pub optimize: bool,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +149,7 @@ impl Default for ServerConfig {
             replacer: ReplacerKind::Clock,
             trace_out: None,
             profile_history: 64,
+            optimize: true,
         }
     }
 }
@@ -184,6 +191,9 @@ pub(crate) struct CounterState {
     pub(crate) queue_hwm: u64,
     pub(crate) sharded: u64,
     pub(crate) shard_fallback: u64,
+    pub(crate) rewrites: u64,
+    pub(crate) plan_cache_hits: u64,
+    pub(crate) cse_hits: u64,
 }
 
 impl Counters {
@@ -221,6 +231,13 @@ pub struct ServerReport {
     pub sharded: u64,
     /// Queries the router declined, served by the local full-copy system.
     pub shard_fallback: u64,
+    /// Planner rewrites accepted across all compiled queries.
+    pub rewrites: u64,
+    /// Queries whose optimized plan came from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Queries answered by sharing another identical query's slot in a
+    /// merged batch (batch-window common-subexpression elimination).
+    pub cse_hits: u64,
 }
 
 pub(crate) struct Shared {
@@ -247,7 +264,17 @@ pub(crate) struct Shared {
     /// Span batches shards returned in `SPANS` trailers, buffered for the
     /// shutdown trace merge.
     pub(crate) remote_spans: Mutex<Vec<SpanData>>,
+    /// Compiled-plan cache: query text + catalog fingerprint → the chosen
+    /// expression. The fingerprint covers every table's name, arity, row
+    /// count, and column domains, so a `LOAD` or `store(...)` that changes
+    /// what the cost model would predict silently invalidates stale entries.
+    pub(crate) plan_cache: Mutex<HashMap<(String, u64), Expr>>,
 }
+
+/// Entries the plan cache holds before it is wholesale cleared. Compiling a
+/// plan is microseconds, so an occasional cold restart is cheaper than
+/// tracking recency.
+const PLAN_CACHE_CAP: usize = 1024;
 
 impl Shared {
     fn new(cfg: ServerConfig) -> io::Result<Self> {
@@ -276,6 +303,7 @@ impl Shared {
             durable,
             recorder,
             remote_spans: Mutex::new(Vec::new()),
+            plan_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -296,6 +324,9 @@ impl Shared {
             slow_queries: c.slow_queries,
             sharded: c.sharded,
             shard_fallback: c.shard_fallback,
+            rewrites: c.rewrites,
+            plan_cache_hits: c.plan_cache_hits,
+            cse_hits: c.cse_hits,
         }
     }
 }
@@ -886,7 +917,8 @@ fn stats_frame(shared: &Shared) -> String {
          timeouts={} active={} uptime_ms={} queue_hwm={} slow={} lat_p50_ns={} \
          lat_p95_ns={} lat_p99_ns={} lat_count={} backend={} sharded={} \
          shard_fallback={} durable={durable} wal_records={wal_records} \
-         wal_bytes={wal_bytes} checkpoints={checkpoints} recovered={recovered}",
+         wal_bytes={wal_bytes} checkpoints={checkpoints} recovered={recovered} \
+         optimize={optimize} rewrites={} plan_cache_hits={} cse_hits={}",
         report.queries,
         report.loads,
         report.batches,
@@ -904,6 +936,10 @@ fn stats_frame(shared: &Shared) -> String {
         shared.cfg.machine.backend.label(),
         report.sharded,
         report.shard_fallback,
+        report.rewrites,
+        report.plan_cache_hits,
+        report.cse_hits,
+        optimize = u8::from(shared.cfg.optimize),
     )
 }
 
@@ -1029,6 +1065,56 @@ fn loaded_shard_forwarded(
     loaded_frame(name, rows)
 }
 
+/// Run the cost-based plan compiler over a checked expression, consulting
+/// the plan cache first. Cache keys pair the query text with the catalog
+/// fingerprint, so catalog changes (loads, `store(...)` write-backs) route
+/// the next occurrence back through the compiler instead of serving a plan
+/// costed against stale cardinalities.
+///
+/// The compiler only errs when the input does not analyze — impossible
+/// here, `prepare_checked` just accepted it — but if it ever does, the
+/// checked tree runs unoptimized rather than failing the query.
+fn optimize_plan(
+    shared: &Shared,
+    query: &str,
+    view: &systolic_analyzer::CatalogView,
+    expr: Expr,
+) -> Expr {
+    let key = (
+        query.to_string(),
+        systolic_planner::catalog_fingerprint(view),
+    );
+    {
+        let cache = locks::lock(&shared.plan_cache);
+        if let Some(plan) = cache.get(&key) {
+            shared.metrics.plan_cache_hits.inc();
+            shared.counters.update(|c| c.plan_cache_hits += 1);
+            return plan.clone();
+        }
+    }
+    shared.metrics.plan_cache_misses.inc();
+    match systolic_planner::optimize(&expr, view, &shared.cfg.machine) {
+        Ok(choice) => {
+            for event in &choice.rewrites {
+                shared
+                    .metrics
+                    .rewrite_hits(event.rule)
+                    .add(event.sites as u64);
+            }
+            shared
+                .counters
+                .update(|c| c.rewrites += choice.rewrites.len() as u64);
+            let mut cache = locks::lock(&shared.plan_cache);
+            if cache.len() >= PLAN_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, choice.expr.clone());
+            choice.expr
+        }
+        Err(_) => expr,
+    }
+}
+
 /// Answer one query: the `RESULT` (or `ERR`) frame, the `CARDS` frame for
 /// `QUERYC`, the `PROFILE` frame for `PROFILE`, and the `HOST` frame on
 /// success — plus the built [`QueryProfile`] for the flight recorder.
@@ -1048,6 +1134,15 @@ fn handle_query(
         let expr = match engine::prepare_checked(query, &view, &shared.cfg.machine) {
             Ok((expr, _pre)) => expr,
             Err(e) => return (vec![engine_err_frame(&e)], None),
+        };
+        // Cost-based compilation between checking and admission: the chosen
+        // plan replaces the checked one, so everything downstream — the
+        // re-analysis below, `Plan::compile`, the scheduler, PROFILE's
+        // drift accounting — sees only the optimized tree.
+        let expr = if shared.cfg.optimize {
+            optimize_plan(shared, query, &view, expr)
+        } else {
+            expr
         };
         // The profile's per-step predictions come from re-analyzing the
         // *rewritten* tree — the shape `Plan::compile` actually runs —

@@ -215,6 +215,9 @@ pub struct ServeArgs {
     /// Flight-recorder depth: how many recent query profiles `PROFILES`
     /// retains (0 disables the recorder).
     pub profile_history: usize,
+    /// Route admitted queries through the cost-based plan compiler
+    /// (`--optimize on|off`, default on).
+    pub optimize: bool,
 }
 
 impl Default for ServeArgs {
@@ -237,6 +240,7 @@ impl Default for ServeArgs {
             replacer: defaults.replacer,
             trace_out: None,
             profile_history: defaults.profile_history,
+            optimize: defaults.optimize,
         }
     }
 }
@@ -251,6 +255,9 @@ pub struct CheckArgs {
     pub query: String,
     /// Emit the machine-readable JSON rendering instead of prose.
     pub json: bool,
+    /// Run the cost-based plan compiler and print the before/after plans
+    /// with per-step costs, accepted rewrites, and device placement.
+    pub explain: bool,
     /// Override every device's array bounds with `--limits A,B,C`. Zeros
     /// are allowed — that is the point: probe how the analyzer proves (or
     /// refutes, SA005) §8 tiling coverage for a hypothetical device.
@@ -323,12 +330,13 @@ pub enum Command {
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
 [--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
-       sdb check [--table NAME=PATH:type,...] [--json] [--limits A,B,C] [--memory BYTES] QUERY
+       sdb check [--table NAME=PATH:type,...] [--json] [--explain] [--limits A,B,C] \
+[--memory BYTES] QUERY
        sdb profile --table NAME=PATH:type,... [--stats] [--threads N] [--backend sim|kernel] QUERY
        sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
 [--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS] \
 [--data-dir DIR] [--pool-pages N] [--replacer clock|lru] [--trace-out FILE] \
-[--profile-history N]
+[--profile-history N] [--optimize on|off]
        sdb --connect HOST:PORT [--table NAME=PATH:type,...] [--stats] [--profile] \
 [--profiles] [--metrics] [--check-metrics] [--checkpoint] [--shutdown] [QUERY]
   types: int, str, bool, date
@@ -345,6 +353,10 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                capacity) and print the typed plan summary or the SA00N
                diagnostics; exits nonzero on rejection, never runs anything
   --json: (check) machine-readable output
+  --explain: (check) run the cost-based plan compiler and print the chosen
+               plan next to the unoptimized one — accepted rewrites (with
+               their algebraic law ids), per-step predicted pulses, §9
+               device placement, and the pulses the rewrites save
   profile: run the query via the server's PROFILE verb (on an ephemeral
                in-process server) and print the end-to-end profile — the
                analyzer's predicted rows/tiles/pulse budget next to the
@@ -372,6 +384,10 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
                parented under the router's fan-out — on shutdown
   --profile-history N: (serve) flight-recorder depth: how many recent query
                profiles PROFILES retains (0 disables)
+  --optimize on|off: (serve) route admitted queries through the cost-based
+               plan compiler (on, the default); result rows are
+               byte-identical either way — off exists to measure the pulse
+               difference
   --connect: run the query on a server instead of in-process
   --profile: (connect) run the query via PROFILE and print the profile JSON
   --profiles: (connect) dump the server's flight recorder, newest first
@@ -497,6 +513,18 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, CliError> {
                 let value = flag_value("--profile-history", &mut it)?;
                 args.profile_history = parse_number("--profile-history", value)?;
             }
+            "--optimize" => {
+                let value = flag_value("--optimize", &mut it)?;
+                args.optimize = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--optimize expects on or off, got {other:?}"
+                        )))
+                    }
+                };
+            }
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             other => {
                 return Err(CliError::Usage(format!(
@@ -518,6 +546,7 @@ fn parse_check_args(argv: &[String]) -> Result<CheckArgs, CliError> {
                 args.tables.push(parse_table_spec(spec)?);
             }
             "--json" => args.json = true,
+            "--explain" => args.explain = true,
             "--limits" => {
                 let value = flag_value("--limits", &mut it)?;
                 let parts: Vec<usize> = value
@@ -801,6 +830,7 @@ pub fn run_check(
     tables: &[(TableSpec, String)],
     query: &str,
     json: bool,
+    explain: bool,
     limits: Option<(usize, usize, usize)>,
     memory: Option<u64>,
 ) -> Result<String, CliError> {
@@ -826,11 +856,31 @@ pub fn run_check(
     }
     let view = store.catalog_view();
     match systolic_server::engine::prepare_checked(query, &view, &machine) {
-        Ok((_, analysis)) => Ok(if json {
-            analysis.json()
-        } else {
-            analysis.render()
-        }),
+        Ok((expr, analysis)) => {
+            if explain {
+                // The query just analyzed, so the compiler cannot refuse
+                // it; surface the impossible arm as a rejection anyway
+                // rather than panicking in a CLI.
+                return match systolic_planner::optimize(&expr, &view, &machine) {
+                    Ok(choice) => Ok(if json {
+                        systolic_planner::json_explain(&choice)
+                    } else {
+                        systolic_planner::render_explain(&choice)
+                    }),
+                    Err(diags) => Err(CliError::Rejected(if json {
+                        diagnostics_json(&diags)
+                    } else {
+                        let rendered: Vec<String> = diags.iter().map(|d| d.pretty(query)).collect();
+                        rendered.join("\n")
+                    })),
+                };
+            }
+            Ok(if json {
+                analysis.json()
+            } else {
+                analysis.render()
+            })
+        }
         Err(EngineError::Analysis { diags, query }) => Err(CliError::Rejected(if json {
             diagnostics_json(&diags)
         } else {
@@ -866,6 +916,7 @@ fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
         replacer: args.replacer,
         trace_out: args.trace_out.as_deref().map(std::path::PathBuf::from),
         profile_history: args.profile_history,
+        optimize: args.optimize,
         ..defaults
     })?;
     Ok(())
@@ -1019,7 +1070,14 @@ pub fn main_with_args(argv: &[String]) -> Result<String, CliError> {
                 let text = std::fs::read_to_string(&spec.path)?;
                 tables.push((spec.clone(), text));
             }
-            run_check(&tables, &args.query, args.json, args.limits, args.memory)
+            run_check(
+                &tables,
+                &args.query,
+                args.json,
+                args.explain,
+                args.limits,
+                args.memory,
+            )
         }
         Command::Profile(args) => {
             let mut tables = Vec::with_capacity(args.tables.len());
@@ -1210,6 +1268,18 @@ mod tests {
             parse_command(&argv(&["serve", "--what"])),
             Err(CliError::Usage(_))
         ));
+        match parse_command(&argv(&["serve"])).unwrap() {
+            Command::Serve(s) => assert!(s.optimize, "the plan compiler defaults to on"),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&["serve", "--optimize", "off"])).unwrap() {
+            Command::Serve(s) => assert!(!s.optimize),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&argv(&["serve", "--optimize", "maybe"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -1228,9 +1298,22 @@ mod tests {
             Command::Check(c) => {
                 assert_eq!(c.tables.len(), 1);
                 assert!(c.json);
+                assert!(!c.explain);
                 assert_eq!(c.limits, Some((0, 32, 8)));
                 assert_eq!(c.query, "scan(a)");
             }
+            other => panic!("expected check, got {other:?}"),
+        }
+        match parse_command(&argv(&[
+            "check",
+            "--table",
+            "a=a.csv:int",
+            "--explain",
+            "scan(a)",
+        ]))
+        .unwrap()
+        {
+            Command::Check(c) => assert!(c.explain),
             other => panic!("expected check, got {other:?}"),
         }
         assert!(matches!(
@@ -1257,6 +1340,7 @@ mod tests {
             &[emp.clone(), dept.clone()],
             "join(scan(emp), scan(dept), 1 = 0)",
             false,
+            false,
             None,
             None,
         )
@@ -1264,7 +1348,7 @@ mod tests {
         assert!(out.contains("plan accepted"), "{out}");
         assert!(out.contains("(str, int, str)"), "{out}");
         assert!(out.contains("tiles"), "{out}");
-        let json = run_check(&[emp, dept], "scan(emp)", true, None, None).unwrap();
+        let json = run_check(&[emp, dept], "scan(emp)", true, false, None, None).unwrap();
         assert!(json.starts_with("{\"accepted\": true"), "{json}");
     }
 
@@ -1274,8 +1358,15 @@ mod tests {
             spec("emp", vec![DomainKind::Str, DomainKind::Int]),
             "ada,10\n".to_string(),
         );
-        let err =
-            run_check(std::slice::from_ref(&emp), "scan(ghost)", false, None, None).unwrap_err();
+        let err = run_check(
+            std::slice::from_ref(&emp),
+            "scan(ghost)",
+            false,
+            false,
+            None,
+            None,
+        )
+        .unwrap_err();
         let rendered = err.to_string();
         assert!(rendered.contains("SA007"), "{rendered}");
         assert!(rendered.contains('^'), "{rendered}");
@@ -1284,6 +1375,7 @@ mod tests {
             std::slice::from_ref(&emp),
             "project(scan(emp), [9])",
             true,
+            false,
             None,
             None,
         )
@@ -1300,14 +1392,46 @@ mod tests {
             std::slice::from_ref(&emp),
             "dedup(scan(emp))",
             false,
+            false,
             Some((0, 32, 8)),
             None,
         )
         .unwrap_err();
         assert!(err.to_string().contains("SA005"), "{err}");
         // A starved --memory override trips the SA006 staging bound.
-        let err = run_check(&[emp], "scan(emp)", false, None, Some(4)).unwrap_err();
+        let err = run_check(&[emp], "scan(emp)", false, false, None, Some(4)).unwrap_err();
         assert!(err.to_string().contains("SA006"), "{err}");
+    }
+
+    #[test]
+    fn check_explain_reports_rewrites_and_placement() {
+        let a = (spec("a", vec![DomainKind::Int]), "1\n2\n3\n".to_string());
+        let b = (spec("b", vec![DomainKind::Int]), "2\n4\n".to_string());
+        // Union output is distinct by construction, so the trailing dedup
+        // is provably redundant and the compiler removes it.
+        let out = run_check(
+            &[a.clone(), b.clone()],
+            "dedup(union(scan(a), scan(b)))",
+            false,
+            true,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("plan compiler:"), "{out}");
+        assert!(out.contains("dedup-elim"), "{out}");
+        assert!(out.contains("-> setop"), "{out}");
+        let json = run_check(
+            &[a, b],
+            "dedup(union(scan(a), scan(b)))",
+            true,
+            true,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(json.starts_with("{\"optimizer\":"), "{json}");
+        assert!(json.contains("\"rule\": \"dedup-elim\""), "{json}");
     }
 
     #[test]

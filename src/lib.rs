@@ -19,6 +19,9 @@
 //! * [`analyzer`] — the static plan/schedule analyzer that verifies
 //!   queries against the paper's correctness conditions before they touch
 //!   the fabric;
+//! * [`planner`] — the cost-based plan compiler (typed IR, verified
+//!   algebraic rewrites, §9 device placement) built on the analyzer's §8
+//!   pulse model;
 //! * [`server`] — the concurrent TCP query service.
 //!
 //! ## Quickstart
@@ -46,5 +49,6 @@ pub use systolic_core as arrays;
 pub use systolic_fabric as fabric;
 pub use systolic_machine as machine;
 pub use systolic_perfmodel as perfmodel;
+pub use systolic_planner as planner;
 pub use systolic_relation as relation;
 pub use systolic_server as server;

@@ -110,6 +110,55 @@ fn check_golden(code: &str, query: &str, machine: &MachineConfig) {
     );
 }
 
+/// Pin an *accepted* plan's prose and JSON renderings — the budgets the
+/// planner costs candidates against. `ACCEPT_union` pins the union budget
+/// as concat-then-dedup over `|A|+|B|` rows (not `max(|A|,|B|)`), and
+/// `ACCEPT_divide` pins division as a dedup pre-pass over the dividend
+/// plus the divide pass proper — the two budget fixes the §8 model needs
+/// to price the paper's reduce-to-remove-duplicates trick correctly.
+fn accept_golden(name: &str, query: &str) {
+    let (expr, spans) = parse_spanned(query).expect("golden queries parse");
+    let analysis = analyze(&expr, &view(), &MachineConfig::default(), &spans)
+        .unwrap_or_else(|d| panic!("expected acceptance for {query:?}, got {d:?}"));
+    let banner = format!(
+        "query: {query}\n\n{}\n--- json ---\n{}\n",
+        analysis.render(),
+        analysis.json()
+    )
+    .replace(" \n", "\n");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &banner).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, banner,
+        "golden mismatch for {name}; run with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn accepted_union_budget_prices_concat_then_dedup() {
+    accept_golden("ACCEPT_union", "union(scan(takes), scan(takes))");
+}
+
+#[test]
+fn accepted_divide_budget_prices_the_dedup_prepass() {
+    accept_golden(
+        "ACCEPT_divide",
+        "divide(scan(takes), scan(courses), 0, 1, 0)",
+    );
+}
+
 #[test]
 fn sa001_union_incompatible() {
     check_golden(
