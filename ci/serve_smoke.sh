@@ -16,7 +16,12 @@
 #   8. serve with `--shards 2 --profile-history 2 --trace-out`, PROFILE a
 #      fanned-out query (budget must bound the actual pulses, which must
 #      equal the RESULT RunStats), overflow and dump the flight recorder,
-#      and check the shutdown trace merged the shard fan-out spans.
+#      and check the shutdown trace merged the shard fan-out spans,
+#   9. serve with `--backend columnar --batch-window 300`, fire concurrent
+#      clients with DISTINCT filter values over one shared table, check
+#      every fused answer byte-matches its solo run, and check the
+#      `sdb_columnar_*` metrics advanced (word planes packed at ingest,
+#      shared-operand scans actually fused).
 # Any failure exits nonzero.
 set -euo pipefail
 
@@ -290,4 +295,86 @@ grep -q 'server.shard_fanout' "$TRACE" || { echo "trace has no fan-out span"; ex
 
 echo "--- profiled server log ---"
 cat "$WORK/serve4.log"
+
+# ---- Round 5: columnar backend — fused shared-operand batches ----------
+
+ADDR5=127.0.0.1:14175
+"$SDB" serve --addr "$ADDR5" --backend columnar --batch-window 300 > "$WORK/serve5.log" 2>&1 &
+SRV5=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve5.log" && break
+  kill -0 "$SRV5" 2>/dev/null || { echo "columnar server died early:"; cat "$WORK/serve5.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve5.log" || { echo "columnar server never came up"; cat "$WORK/serve5.log"; exit 1; }
+
+# Load once, then take solo baselines: each filter runs alone, so no
+# fusion partner exists and the answer is the plain per-query one. (The
+# load is its own invocation so the baselines don't carry its banner.)
+"$SDB" --connect "$ADDR5" --table "emp=$WORK/emp.csv:str,int" 'dedup(scan(emp))' > /dev/null
+"$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 10)' > "$WORK/solo10.txt"
+"$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 20)' > "$WORK/solo20.txt"
+"$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 30)' > "$WORK/solo30.txt"
+grep -q 'ada,10' "$WORK/solo10.txt" || { echo "columnar solo filter lost a row"; exit 1; }
+grep -q 'edsger,30' "$WORK/solo30.txt" || { echo "columnar solo filter lost a row"; exit 1; }
+
+# The LOAD must have packed word planes on the zero-detour path, and the
+# backend identity series must say columnar.
+"$SDB" --connect "$ADDR5" --metrics > "$WORK/metrics5a.txt"
+grep -q 'sdb_server_backend_info{backend="columnar"} 1' "$WORK/metrics5a.txt" \
+  || { echo "server is not running the columnar backend"; cat "$WORK/metrics5a.txt"; exit 1; }
+awk '$1 == "sdb_columnar_builds" && $2 >= 1 { found = 1 } END { exit !found }' \
+  "$WORK/metrics5a.txt" || { echo "columnar ingest never packed word planes"; cat "$WORK/metrics5a.txt"; exit 1; }
+BATCHES_BEFORE=$(awk '$1 == "sdb_columnar_fused_batches_total" { print $2 }' "$WORK/metrics5a.txt")
+STEPS_BEFORE=$(awk '$1 == "sdb_columnar_fused_steps_total" { print $2 }' "$WORK/metrics5a.txt")
+BATCHES_BEFORE=${BATCHES_BEFORE:-0}
+STEPS_BEFORE=${STEPS_BEFORE:-0}
+
+# Concurrent clients with DISTINCT filter values land in one 300 ms
+# admission window. Distinct values keep the scheduler's CSE out of it,
+# so the merged batch really evaluates three predicates — the columnar
+# backend answers them with one fused pass over emp's word planes while
+# pricing each query exactly as its solo run. Scheduling can in principle
+# split the batch, so give the merge a few attempts before failing.
+for attempt in 1 2 3; do
+  "$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 10)' > "$WORK/fused10.txt" &
+  C1=$!
+  "$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 20)' > "$WORK/fused20.txt" &
+  C2=$!
+  "$SDB" --connect "$ADDR5" 'filter(scan(emp), c1 >= 30)' > "$WORK/fused30.txt" &
+  C3=$!
+  wait "$C1" "$C2" "$C3"
+  "$SDB" --connect "$ADDR5" --metrics > "$WORK/metrics5b.txt"
+  BATCHES_NOW=$(awk '$1 == "sdb_columnar_fused_batches_total" { print $2 }' "$WORK/metrics5b.txt")
+  BATCHES_NOW=${BATCHES_NOW:-0}
+  if awk -v a="$BATCHES_NOW" -v b="$BATCHES_BEFORE" 'BEGIN { exit !(a > b) }'; then
+    break
+  fi
+  echo "attempt $attempt: concurrent clients were not admitted as one batch, retrying"
+done
+
+# Every fused answer must byte-match its solo baseline.
+for v in 10 20 30; do
+  cmp -s "$WORK/solo$v.txt" "$WORK/fused$v.txt" \
+    || { echo "fused answer for c1 >= $v diverged from its solo run"; \
+         diff "$WORK/solo$v.txt" "$WORK/fused$v.txt" || true; exit 1; }
+done
+
+# The fused-scan counters must have advanced: at least one fused batch
+# covering at least two of the shared-operand steps.
+awk -v b="$BATCHES_BEFORE" '$1 == "sdb_columnar_fused_batches_total" && $2 > b+0 { found = 1 } END { exit !found }' \
+  "$WORK/metrics5b.txt" || { echo "no fused batch was recorded"; cat "$WORK/metrics5b.txt"; exit 1; }
+awk -v s="$STEPS_BEFORE" '$1 == "sdb_columnar_fused_steps_total" && $2 >= s+2 { found = 1 } END { exit !found }' \
+  "$WORK/metrics5b.txt" || { echo "fused batch covered fewer than two steps"; cat "$WORK/metrics5b.txt"; exit 1; }
+echo "columnar: fused answers match solo; fused batches $BATCHES_BEFORE -> $(awk '$1 == "sdb_columnar_fused_batches_total" { print $2 }' "$WORK/metrics5b.txt")"
+
+kill -TERM "$SRV5"
+if ! wait "$SRV5"; then
+  echo "columnar server did not exit cleanly:"; cat "$WORK/serve5.log"; exit 1
+fi
+grep -q "shutdown:" "$WORK/serve5.log" || { echo "missing columnar shutdown summary"; cat "$WORK/serve5.log"; exit 1; }
+
+echo "--- columnar server log ---"
+cat "$WORK/serve5.log"
 echo "serve smoke test passed"

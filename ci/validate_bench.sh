@@ -90,3 +90,24 @@ if ! awk -v r="$RULES" 'BEGIN { exit !(r >= 4) }'; then
   exit 1
 fi
 echo "optimizer: $P_BASE -> $P_OPT pulses, $HITS rewrite sites across $RULES rules"
+
+# The columnar experiment must be present, the word-plane scans must be at
+# least as fast as the scalar kernel in aggregate, and fused shared-operand
+# batches must not lose to running the same batch unfused.
+E22="$DIR/BENCH_e22_columnar.json"
+if [[ ! -f "$E22" ]]; then
+  echo "missing $E22" >&2
+  exit 1
+fi
+COL_SPEEDUP=$(sed -n 's/.*"columnar_vs_kernel_speedup": \([0-9.]*\).*/\1/p' "$E22")
+if ! awk -v s="$COL_SPEEDUP" 'BEGIN { exit !(s >= 1.0) }'; then
+  echo "e22 columnar_vs_kernel_speedup $COL_SPEEDUP is below the required 1x" >&2
+  exit 1
+fi
+FUSED=$(sed -n 's/.*"fused_qps_16": \([0-9.]*\).*/\1/p' "$E22")
+UNFUSED=$(sed -n 's/.*"unfused_qps_16": \([0-9.]*\).*/\1/p' "$E22")
+if ! awk -v f="$FUSED" -v u="$UNFUSED" 'BEGIN { exit !(f+0 >= u+0 && f+0 > 0) }'; then
+  echo "e22 fused_qps_16 $FUSED is below unfused_qps_16 $UNFUSED" >&2
+  exit 1
+fi
+echo "e22 columnar-vs-kernel speedup: ${COL_SPEEDUP}x (>= 1x); fused 16-client batch: ${FUSED} q/s vs ${UNFUSED} unfused"

@@ -1039,15 +1039,16 @@ fn e19_pipelined_tiles() -> Summary {
     sum
 }
 
-/// E21: host wall time of the pulse-accurate simulator against the
-/// closed-form kernel backend, per operator, asserting bit-identical
-/// output along the way. Returns the per-operator wall times and the
-/// aggregate speedup as artifact extras.
+/// E21: host wall time of the pulse-accurate simulator against the two
+/// closed-form backends — the scalar kernel and the bit-packed columnar
+/// scanner — per operator, asserting bit-identical output along the way.
+/// Returns the per-operator wall times and the aggregate kernel speedup
+/// as artifact extras.
 fn e21_backend_speedup() -> (Summary, Vec<(String, Extra)>) {
     let mut sum = Summary::default();
     heading(
         "E21",
-        "kernel backend vs pulse simulator (host wall time)",
+        "closed-form backends vs pulse simulator (host wall time)",
         "closed-form kernels reproduce the arrays' rows and pulse accounting bit-for-bit without stepping the grid; host time drops >= 5x",
     );
     let n = 256;
@@ -1090,11 +1091,21 @@ fn e21_backend_speedup() -> (Summary, Vec<(String, Extra)>) {
     let mut extras: Vec<(String, Extra)> = Vec::new();
     let mut sim_total = 0u64;
     let mut kernel_total = 0u64;
-    let mut t = Table::new(&["op", "sim wall", "kernel wall", "speedup", "bit-identical"]);
+    let mut columnar_total = 0u64;
+    let mut t = Table::new(&[
+        "op",
+        "sim wall",
+        "kernel wall",
+        "columnar wall",
+        "bit-identical",
+    ]);
     for (name, run) in &runners {
-        // Best-of-REPS per backend damps scheduler noise; both backends get
-        // the same treatment.
+        // One untimed warm-up iteration per backend primes allocator and
+        // cache state — for the columnar backend that includes the one-time
+        // word-plane pack — then best-of-REPS damps scheduler noise. Every
+        // backend gets the same treatment.
         let mut best = |bk: Backend| -> (Run, u64) {
+            let _ = run(bk);
             let mut best_ns = u64::MAX;
             let mut out = None;
             for _ in 0..REPS {
@@ -1111,30 +1122,298 @@ fn e21_backend_speedup() -> (Summary, Vec<(String, Extra)>) {
         };
         let (sim, sim_ns) = best(Backend::Sim);
         let (fast, kernel_ns) = best(Backend::Kernel);
-        let identical = sim.0.rows() == fast.0.rows() && sim.1 == fast.1;
+        let (packed, columnar_ns) = best(Backend::Columnar);
+        let identical = sim.0.rows() == fast.0.rows()
+            && sim.1 == fast.1
+            && sim.0.rows() == packed.0.rows()
+            && sim.1 == packed.1;
         sim_total += sim_ns;
         kernel_total += kernel_ns;
+        columnar_total += columnar_ns;
         extras.push((format!("sim_ns_{name}"), Extra::U64(sim_ns)));
         extras.push((format!("kernel_ns_{name}"), Extra::U64(kernel_ns)));
+        extras.push((format!("columnar_ns_{name}"), Extra::U64(columnar_ns)));
         t.rowd(&[
             name.to_string(),
             fmt_ns(sim_ns as f64),
             fmt_ns(kernel_ns as f64),
-            format!("{:.1}x", sim_ns as f64 / kernel_ns.max(1) as f64),
+            fmt_ns(columnar_ns as f64),
             identical.to_string(),
         ]);
     }
     print!("{}", t.render());
     let speedup = sim_total as f64 / kernel_total.max(1) as f64;
     println!(
-        "aggregate: sim {} vs kernel {} -> {speedup:.1}x (target >= 5x: {})",
+        "aggregate: sim {} vs kernel {} -> {speedup:.1}x (target >= 5x: {}); \
+         columnar {} (E22 compares the closed forms head to head)",
         fmt_ns(sim_total as f64),
         fmt_ns(kernel_total as f64),
-        speedup >= 5.0
+        speedup >= 5.0,
+        fmt_ns(columnar_total as f64),
     );
     extras.push(("sim_wall_ns".to_string(), Extra::U64(sim_total)));
     extras.push(("kernel_wall_ns".to_string(), Extra::U64(kernel_total)));
+    extras.push(("columnar_wall_ns".to_string(), Extra::U64(columnar_total)));
     extras.push(("speedup".to_string(), Extra::F64(speedup)));
+    (sum, extras)
+}
+
+/// E22: the columnar backend on its own terms. Three acts: per-operator
+/// wall time against the scalar kernel baseline at a size where the
+/// word-parallel planes matter; fused shared-operand batch throughput at
+/// 1/4/16 concurrent queries over one relation (the columnar backend
+/// answers them in a single word-plane pass, per-query accounting
+/// untouched); and ingest bandwidth of the zero-detour columnar CSV path
+/// against parse-rows-then-pack.
+fn e22_columnar() -> (Summary, Vec<(String, Extra)>) {
+    use systolic_machine::{MachineConfig, TrackFilter};
+    use systolic_relation::{import_csv, import_csv_columnar, Catalog, Column, DomainKind, Schema};
+
+    let mut sum = Summary::default();
+    let mut extras: Vec<(String, Extra)> = Vec::new();
+    heading(
+        "E22",
+        "columnar word-plane execution (host wall time)",
+        "\u{a7}2.3 domain coding packs tuples into bit planes; one 64-bit word then carries 64 tuples per host op, and queries sharing an operand share its scan",
+    );
+
+    // Act 1: per-operator closed-form comparison, kernel (scalar rows) vs
+    // columnar (bit-packed word planes). The simulator is out of the
+    // picture, so the workloads can be big enough for the word-level
+    // parallelism to show: n = 2048 where E21 used 256.
+    let n = 2048;
+    let (sa, sb) = workloads::overlap_pair(n, 2, 0.5);
+    let (ja, jb, ka, kb) = workloads::join_pair(n, 64, 0.0);
+    let (dividend, divisor, _) = workloads::division(256, 8, 32);
+    let exec = Execution::Marching;
+    let join_specs = [JoinSpec::eq(ka, kb)];
+
+    type Run = (systolic_relation::MultiRelation, systolic_core::ExecStats);
+    type Runner<'a> = Box<dyn Fn(Backend) -> Run + 'a>;
+    let runners: Vec<(&str, Runner)> = vec![
+        (
+            "intersect",
+            Box::new(|bk| ops::intersect_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "union",
+            Box::new(|bk| ops::union_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "difference",
+            Box::new(|bk| ops::difference_with(&sa, &sb, exec, bk).unwrap()),
+        ),
+        (
+            "dedup",
+            Box::new(|bk| ops::dedup_with(&sa, exec, bk).unwrap()),
+        ),
+        (
+            "join",
+            Box::new(|bk| ops::join_with(&ja, &jb, &join_specs, exec, bk).unwrap()),
+        ),
+        (
+            "divide",
+            Box::new(|bk| ops::divide_binary_with(&dividend, 0, 1, &divisor, 0, exec, bk).unwrap()),
+        ),
+    ];
+
+    const REPS: usize = 3;
+    let mut kernel_total = 0u64;
+    let mut columnar_total = 0u64;
+    let mut t = Table::new(&[
+        "op",
+        "n",
+        "kernel wall",
+        "columnar wall",
+        "speedup",
+        "bit-identical",
+    ]);
+    for (name, run) in &runners {
+        // Same discipline as E21: one untimed warm-up (which also performs
+        // the one-time word-plane pack), then best-of-REPS.
+        let mut best = |bk: Backend| -> (Run, u64) {
+            let _ = run(bk);
+            let mut best_ns = u64::MAX;
+            let mut out = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let r = run(bk);
+                let ns = t0.elapsed().as_nanos() as u64;
+                sum.exec(&r.1);
+                if ns < best_ns {
+                    best_ns = ns;
+                    out = Some(r);
+                }
+            }
+            (out.unwrap(), best_ns)
+        };
+        let (scalar, kernel_ns) = best(Backend::Kernel);
+        let (packed, columnar_ns) = best(Backend::Columnar);
+        let identical = scalar.0.rows() == packed.0.rows() && scalar.1 == packed.1;
+        kernel_total += kernel_ns;
+        columnar_total += columnar_ns;
+        extras.push((format!("kernel_ns_{name}"), Extra::U64(kernel_ns)));
+        extras.push((format!("columnar_ns_{name}"), Extra::U64(columnar_ns)));
+        t.rowd(&[
+            name.to_string(),
+            n.to_string(),
+            fmt_ns(kernel_ns as f64),
+            fmt_ns(columnar_ns as f64),
+            format!("{:.1}x", kernel_ns as f64 / columnar_ns.max(1) as f64),
+            identical.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let speedup = kernel_total as f64 / columnar_total.max(1) as f64;
+    println!(
+        "aggregate: kernel {} vs columnar {} -> {speedup:.1}x (target >= 1x: {})",
+        fmt_ns(kernel_total as f64),
+        fmt_ns(columnar_total as f64),
+        speedup >= 1.0
+    );
+    extras.push(("kernel_wall_ns".to_string(), Extra::U64(kernel_total)));
+    extras.push(("columnar_wall_ns".to_string(), Extra::U64(columnar_total)));
+    extras.push((
+        "columnar_vs_kernel_speedup".to_string(),
+        Extra::F64(speedup),
+    ));
+
+    // Act 2: fused shared-operand batches. C concurrent point queries hit
+    // the same 64k-row relation; under the columnar backend the machine
+    // answers all C with one fused pass over the operand's word planes
+    // (per-request pulse accounting still priced solo — the machine suite
+    // proves bit-identity), while the kernel backend runs C independent
+    // scalar scans. Distinct filter values keep the admission scheduler's
+    // CSE out of the way: this measures fusion, not deduplication.
+    println!();
+    println!("fused shared-operand batches (64k-row operand, point filters):");
+    let emp = workloads::seq_multi(65_536, 2, 0);
+    let mut t = Table::new(&[
+        "clients",
+        "unfused (kernel) q/s",
+        "fused (columnar) q/s",
+        "fused answers match",
+    ]);
+    for &clients in &[1usize, 4, 16] {
+        let queries: Vec<Expr> = (0..clients)
+            .map(|i| {
+                Expr::scan_filtered(
+                    "emp",
+                    TrackFilter {
+                        col: 0,
+                        op: CompareOp::Eq,
+                        value: ((i as i64) * 4099 + 17) % 65_536,
+                    },
+                )
+            })
+            .collect();
+        let mut best = |bk: Backend| {
+            let mut best_ns = u64::MAX;
+            let mut out = None;
+            for rep in 0..=REPS {
+                let mut sys = System::new(MachineConfig {
+                    backend: bk,
+                    ..MachineConfig::default()
+                })
+                .unwrap();
+                sys.load_base("emp", emp.clone());
+                let t0 = Instant::now();
+                let batch = sys.run_batch_accounted(&queries).unwrap();
+                let ns = t0.elapsed().as_nanos() as u64;
+                if rep == 0 {
+                    // Warm-up: pays the one-time word-plane pack (shared
+                    // by every later clone of `emp`), never timed.
+                    out = Some(batch);
+                    continue;
+                }
+                sum.pulses(batch.combined.stats.total_pulses);
+                if ns < best_ns {
+                    best_ns = ns;
+                    out = Some(batch);
+                }
+            }
+            (out.unwrap(), best_ns)
+        };
+        let (unfused, kernel_ns) = best(Backend::Kernel);
+        let (fused, columnar_ns) = best(Backend::Columnar);
+        let matches = unfused
+            .queries
+            .iter()
+            .zip(&fused.queries)
+            .all(|(u, f)| u.result.rows() == f.result.rows() && u.stats == f.stats);
+        let unfused_qps = clients as f64 / (kernel_ns as f64 / 1e9);
+        let fused_qps = clients as f64 / (columnar_ns as f64 / 1e9);
+        extras.push((format!("unfused_qps_{clients}"), Extra::F64(unfused_qps)));
+        extras.push((format!("fused_qps_{clients}"), Extra::F64(fused_qps)));
+        t.rowd(&[
+            clients.to_string(),
+            format!("{unfused_qps:.0}"),
+            format!("{fused_qps:.0}"),
+            matches.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Act 3: ingest bandwidth. The zero-detour path packs word planes
+    // while parsing; the detour path parses rows first and packs after —
+    // same catalog, same CSV, both ending with rows AND planes in memory.
+    println!();
+    println!("CSV ingest to rows + word planes (50k rows x 4 int columns):");
+    let rows = 50_000i64;
+    let csv: String = (0..rows)
+        .map(|i| format!("{},{},{},{}\n", i, (i * 7) % 1000, i % 97, (i * 13) % 8191))
+        .collect();
+    let mb = csv.len() as f64 / 1e6;
+    let mut cat = Catalog::new();
+    let schema = Schema::new(
+        (0..4)
+            .map(|c| {
+                Column::new(
+                    format!("c{c}"),
+                    cat.add_domain(format!("d{c}"), DomainKind::Int),
+                )
+            })
+            .collect(),
+    );
+    let mut best_ingest = |zero_detour: bool| -> u64 {
+        let mut best_ns = u64::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let rel = if zero_detour {
+                import_csv_columnar(&mut cat, &schema, &csv).unwrap()
+            } else {
+                let rel = import_csv(&mut cat, &schema, &csv).unwrap();
+                rel.columnar();
+                rel
+            };
+            let ns = t0.elapsed().as_nanos() as u64;
+            assert_eq!(rel.len(), rows as usize);
+            sum.tick();
+            best_ns = best_ns.min(ns);
+        }
+        best_ns
+    };
+    let row_ns = best_ingest(false);
+    let columnar_ns = best_ingest(true);
+    let row_rate = mb / (row_ns as f64 / 1e9);
+    let columnar_rate = mb / (columnar_ns as f64 / 1e9);
+    let mut t = Table::new(&["path", "wall", "MB/s"]);
+    t.rowd(&[
+        "rows, then pack".to_string(),
+        fmt_ns(row_ns as f64),
+        format!("{row_rate:.0}"),
+    ]);
+    t.rowd(&[
+        "zero-detour columnar".to_string(),
+        fmt_ns(columnar_ns as f64),
+        format!("{columnar_rate:.0}"),
+    ]);
+    print!("{}", t.render());
+    extras.push(("ingest_row_mb_per_sec".to_string(), Extra::F64(row_rate)));
+    extras.push((
+        "ingest_columnar_mb_per_sec".to_string(),
+        Extra::F64(columnar_rate),
+    ));
     (sum, extras)
 }
 
@@ -1905,6 +2184,7 @@ fn main() {
     run_exp(&mut sink, "e18_capacity", e18_capacity);
     run_exp(&mut sink, "e19_pipelined_tiles", e19_pipelined_tiles);
     run_exp_extras(&mut sink, "e21_backend_speedup", e21_backend_speedup);
+    run_exp_extras(&mut sink, "e22_columnar", e22_columnar);
     run_exp_extras(&mut sink, "durability", durability);
     run_exp_extras(&mut sink, "observability", observability);
     run_exp_extras(&mut sink, "optimizer", optimizer);

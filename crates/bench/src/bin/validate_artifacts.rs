@@ -27,13 +27,27 @@ const SCHEMA: &[(&str, bool)] = &[
     ("queries_per_sec", false),
 ];
 
-/// Optional keys the cross-backend comparison experiment (`e21`) appends:
-/// aggregate wall times per backend and the measured speedup. Per-operator
-/// wall times use the `sim_ns_<op>` / `kernel_ns_<op>` prefixes.
+/// Optional keys the cross-backend comparison experiments (`e21`, `e22`)
+/// append: aggregate wall times per backend and the measured speedups.
+/// Per-operator wall times use the `sim_ns_<op>` / `kernel_ns_<op>` /
+/// `columnar_ns_<op>` prefixes.
 const OPTIONAL: &[(&str, bool)] = &[
     ("sim_wall_ns", true),
     ("kernel_wall_ns", true),
+    ("columnar_wall_ns", true),
     ("speedup", false),
+    // e22_columnar: kernel-vs-columnar closed-form aggregate, fused
+    // shared-operand batch throughput at each client count, and the two
+    // CSV ingest bandwidths (rows-then-pack vs zero-detour).
+    ("columnar_vs_kernel_speedup", false),
+    ("fused_qps_1", false),
+    ("fused_qps_4", false),
+    ("fused_qps_16", false),
+    ("unfused_qps_1", false),
+    ("unfused_qps_4", false),
+    ("unfused_qps_16", false),
+    ("ingest_row_mb_per_sec", false),
+    ("ingest_columnar_mb_per_sec", false),
     // serve_throughput: shard count behind the poll(2) reactor and the
     // pipelined queries/sec points at each connection count.
     ("poll_shards", true),
@@ -76,6 +90,7 @@ const OPTIONAL: &[(&str, bool)] = &[
 fn per_op_key(key: &str) -> bool {
     key.strip_prefix("sim_ns_")
         .or_else(|| key.strip_prefix("kernel_ns_"))
+        .or_else(|| key.strip_prefix("columnar_ns_"))
         .or_else(|| key.strip_prefix("rewrites_"))
         .is_some_and(|op| !op.is_empty() && op.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
 }
@@ -202,6 +217,28 @@ fn check_file(path: &Path) -> Result<(), Vec<String>> {
         }
         if !speedup.is_finite() || speedup < 0.0 {
             errs.push(format!("speedup {speedup} is not finite and non-negative"));
+        }
+    }
+    if let (Some(kernel), Some(columnar), Some(speedup)) = (
+        doc.get("kernel_wall_ns").and_then(Json::as_u64),
+        doc.get("columnar_wall_ns").and_then(Json::as_u64),
+        doc.get("columnar_vs_kernel_speedup").and_then(Json::as_f64),
+    ) {
+        if columnar == 0 {
+            errs.push("columnar_wall_ns is zero".to_string());
+        } else {
+            let expect = kernel as f64 / columnar as f64;
+            // The writer rounds to 3 decimal places.
+            if (speedup - expect).abs() > 5e-4 * expect.max(1.0) {
+                errs.push(format!(
+                    "columnar_vs_kernel_speedup {speedup} != kernel/columnar = {expect:.3}"
+                ));
+            }
+        }
+        if !speedup.is_finite() || speedup < 0.0 {
+            errs.push(format!(
+                "columnar_vs_kernel_speedup {speedup} is not finite and non-negative"
+            ));
         }
     }
 

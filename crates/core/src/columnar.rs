@@ -1,0 +1,542 @@
+//! Columnar scan kernels: the [`Backend::Columnar`] result paths.
+//!
+//! [`crate::kernel`] already computes every operator's observable result in
+//! closed form, but its hot loops still walk row-oriented `Vec<Vec<Elem>>`
+//! relations one tuple-pair comparison chain at a time. This module
+//! re-expresses those loops over the bit-packed word planes of
+//! [`systolic_relation::ColumnarRelation`] (one `u64` plane per significant
+//! bit of a column's §2.3 offset codes, 64 rows per word):
+//!
+//! * [`t_matrix`] assembles whole `TMatrix` rows at a time — per streamed
+//!   `A` tuple, each comparison column becomes `width` branch-free word
+//!   operations over `B`'s planes instead of `|B|` scalar compare chains.
+//! * [`membership_bits`] / [`duplicate_bits`] replace tuple hashing with
+//!   `u64` *composite-code* hashing when the column widths fit one word
+//!   (foreign tuples outside a packed range cannot match and are rejected
+//!   before hashing), falling back to the row kernels when they do not.
+//! * [`quotient_flags`] / [`quotient_flags_multi`] replace the per-key
+//!   `HashSet<Elem>` of matched divisor values with a bit set over the
+//!   distinct divisor elements, reducing the §7 all-present test to a
+//!   popcount.
+//! * [`fused_select`] is the multi-query scan: when several admitted
+//!   queries share an operand relation, each *distinct* predicate mask is
+//!   computed once over the shared planes and the per-query keep vectors
+//!   are ANDed from those masks — one pass over the operand, per-query
+//!   results identical to running [`select_bits`] separately.
+//!
+//! Everything here is a *result* kernel only. The analytic `ExecStats`
+//! formulas in [`crate::kernel`] are shared verbatim by the kernel and
+//! columnar backends, which is why stats, timelines, and RESULT frames are
+//! bit-identical by construction; the differential tests additionally pin
+//! the result bits against both the row kernels and the pulse simulator.
+
+use std::collections::{HashMap, HashSet};
+
+use systolic_fabric::{CompareOp, Elem};
+use systolic_relation::columnar::CmpMasks;
+use systolic_relation::{ColumnarRelation, Row};
+
+use crate::kernel;
+use crate::matrix::TMatrix;
+use crate::select::Predicate;
+
+#[allow(unused_imports)] // rustdoc link target
+use crate::kernel::Backend;
+
+/// Combine the three primitive masks into the mask of rows `r` satisfying
+/// `packed[r] <op> constant` (the packed value on the *left*). `live` is
+/// the all-rows mask a `Ne` needs to complement against.
+fn combine_left(op: CompareOp, m: &CmpMasks, live: impl Fn(usize) -> u64, out: &mut [u64]) {
+    match op {
+        CompareOp::Eq => out.copy_from_slice(&m.eq),
+        CompareOp::Ne => {
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = !m.eq[w] & live(w);
+            }
+        }
+        CompareOp::Lt => out.copy_from_slice(&m.lt),
+        CompareOp::Le => {
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = m.eq[w] | m.lt[w];
+            }
+        }
+        CompareOp::Gt => out.copy_from_slice(&m.gt),
+        CompareOp::Ge => {
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = m.eq[w] | m.gt[w];
+            }
+        }
+    }
+}
+
+/// Mirror a comparison so the packed operand moves to the left-hand side:
+/// `a <op> b  ⟺  b <mirror(op)> a`.
+fn mirror(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Eq => CompareOp::Eq,
+        CompareOp::Ne => CompareOp::Ne,
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::Le => CompareOp::Ge,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::Ge => CompareOp::Le,
+    }
+}
+
+/// The live-row mask of word `w` in a `words`-word plane with tail `tail`.
+#[inline]
+fn live_mask(words: usize, tail: u64) -> impl Fn(usize) -> u64 {
+    move |w| if w + 1 == words { tail } else { u64::MAX }
+}
+
+/// The comparison matrix `T` over word planes: `t_{ij} = AND_c
+/// ops[c](a[i][cols_a[c]], b[cols_b[c]])`, bit-identical to
+/// [`kernel::t_matrix`] over the corresponding key projections.
+///
+/// `B` is the packed operand; each streamed `A` tuple produces one packed
+/// `TMatrix` row as `width`-bounded word loops over `B`'s planes (the
+/// per-column masks ANDed word-wise), instead of `|B|` scalar comparison
+/// chains.
+pub fn t_matrix(
+    a: &[Row],
+    cols_a: &[usize],
+    b: &ColumnarRelation,
+    cols_b: &[usize],
+    ops: &[CompareOp],
+) -> TMatrix {
+    debug_assert_eq!(cols_a.len(), ops.len());
+    debug_assert_eq!(cols_b.len(), ops.len());
+    let mut t = TMatrix::new(a.len(), b.n_rows());
+    t_matrix_into(a, cols_a, b, cols_b, ops, &mut t, 0);
+    t
+}
+
+/// [`t_matrix`] writing rows `row0..row0 + a.len()` of an existing matrix
+/// (the parallel executor's chunked form; see
+/// [`crate::executor::columnar_t_matrix_parallel`]).
+pub(crate) fn t_matrix_into(
+    a: &[Row],
+    cols_a: &[usize],
+    b: &ColumnarRelation,
+    cols_b: &[usize],
+    ops: &[CompareOp],
+    t: &mut TMatrix,
+    row0: usize,
+) {
+    let words = b.words();
+    let tail = b.tail_mask();
+    let live = live_mask(words, tail);
+    let mut masks = CmpMasks::default();
+    let mut col_mask = vec![0u64; words];
+    let mut acc = vec![0u64; words];
+    for (i, row) in a.iter().enumerate() {
+        // Seed all-live, then AND each comparison column's mask in.
+        for (w, x) in acc.iter_mut().enumerate() {
+            *x = live(w);
+        }
+        for (c, &op) in ops.iter().enumerate() {
+            b.cmp_masks_into(cols_b[c], row[cols_a[c]], &mut masks);
+            combine_left(mirror(op), &masks, &live, &mut col_mask);
+            for (x, &m) in acc.iter_mut().zip(&col_mask) {
+                *x &= m;
+            }
+        }
+        t.row_words_mut(row0 + i).copy_from_slice(&acc);
+    }
+}
+
+/// [`kernel::membership_bits`] over composite codes: `t_i = OR_j
+/// (a_i == b_j)` with `B`'s tuples hashed as single `u64` codes when the
+/// packed column widths sum to at most 64 bits (rows of `A` outside a
+/// packed range cannot match and short-circuit to FALSE). Falls back to
+/// the row kernel when the widths do not fit.
+pub fn membership_bits(a: &[Row], b_rows: &[Row], b: &ColumnarRelation) -> Vec<bool> {
+    let Some(spec) = b.composite_spec() else {
+        return kernel::membership_bits(a, b_rows);
+    };
+    let set: HashSet<u64> = b_rows
+        .iter()
+        .map(|r| ColumnarRelation::composite_code(&spec, r))
+        .collect();
+    a.iter()
+        .map(|r| {
+            b.try_composite_code(&spec, r)
+                .is_some_and(|code| set.contains(&code))
+        })
+        .collect()
+}
+
+/// [`kernel::duplicate_bits`] over composite codes: `dup[i] = OR_{j < i}
+/// (a_i == a_j)` with first occurrences tracked in a `u64`-keyed map.
+/// Falls back to the row kernel when the widths do not fit one word.
+pub fn duplicate_bits(rows: &[Row], packed: &ColumnarRelation) -> Vec<bool> {
+    let Some(spec) = packed.composite_spec() else {
+        return kernel::duplicate_bits(rows);
+    };
+    let mut first: HashMap<u64, usize> = HashMap::with_capacity(rows.len());
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let code = ColumnarRelation::composite_code(&spec, r);
+            *first.entry(code).or_insert(i) < i
+        })
+        .collect()
+}
+
+/// Set bit `d` of the `words`-word bit set starting at `r * words`.
+#[inline]
+fn set_bit(bits: &mut [u64], r: usize, words: usize, d: usize) {
+    bits[r * words + d / 64] |= 1u64 << (d % 64);
+}
+
+/// Whether key row `r`'s bit set covers all `nd` distinct divisor ids.
+#[inline]
+fn all_covered(bits: &[u64], r: usize, words: usize, nd: usize) -> bool {
+    let row = &bits[r * words..(r + 1) * words];
+    let pop: u32 = row.iter().map(|w| w.count_ones()).sum();
+    pop as usize == nd
+}
+
+/// [`kernel::quotient_flags`] with the per-key matched set held as a bit
+/// set over the *distinct* divisor elements: `flags[r]` is TRUE iff every
+/// divisor element is paired with `keys[r]`, decided by a popcount instead
+/// of `nd` hash probes per key. `hits` is identical to the row kernel's.
+pub fn quotient_flags(
+    pairs: &[(Elem, Elem)],
+    keys: &[Elem],
+    divisor: &[Elem],
+) -> (Vec<bool>, usize) {
+    let mut div_id: HashMap<Elem, usize> = HashMap::with_capacity(divisor.len());
+    for &y in divisor {
+        let next = div_id.len();
+        div_id.entry(y).or_insert(next);
+    }
+    let nd = div_id.len();
+    let words = nd.div_ceil(64).max(1);
+    let index: HashMap<Elem, usize> = keys.iter().enumerate().map(|(r, &k)| (k, r)).collect();
+    let mut bits = vec![0u64; keys.len() * words];
+    let mut hits = 0usize;
+    for &(x, y) in pairs {
+        if let Some(&r) = index.get(&x) {
+            hits += 1;
+            if let Some(&d) = div_id.get(&y) {
+                set_bit(&mut bits, r, words, d);
+            }
+        }
+    }
+    let flags = (0..keys.len())
+        .map(|r| all_covered(&bits, r, words, nd))
+        .collect();
+    (flags, hits)
+}
+
+/// [`kernel::quotient_flags_multi`] with divisor bit sets (as
+/// [`quotient_flags`]) and, when the key columns fit one composite word,
+/// `u64`-keyed row→key lookup via `keys_packed`'s composite codes.
+pub fn quotient_flags_multi(
+    rows: &[Vec<Elem>],
+    keys: &[Vec<Elem>],
+    keys_packed: &ColumnarRelation,
+    kw: usize,
+    divisor: &[Elem],
+) -> (Vec<bool>, usize) {
+    let mut div_id: HashMap<Elem, usize> = HashMap::with_capacity(divisor.len());
+    for &y in divisor {
+        let next = div_id.len();
+        div_id.entry(y).or_insert(next);
+    }
+    let nd = div_id.len();
+    let words = nd.div_ceil(64).max(1);
+    let mut bits = vec![0u64; keys.len() * words];
+    let mut hits = 0usize;
+    if let Some(spec) = keys_packed.composite_spec() {
+        let index: HashMap<u64, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(r, k)| (ColumnarRelation::composite_code(&spec, k), r))
+            .collect();
+        for row in rows {
+            let Some(code) = keys_packed.try_composite_code(&spec, &row[..kw]) else {
+                continue;
+            };
+            if let Some(&r) = index.get(&code) {
+                hits += 1;
+                if let Some(&d) = div_id.get(&row[kw]) {
+                    set_bit(&mut bits, r, words, d);
+                }
+            }
+        }
+    } else {
+        let index: HashMap<&[Elem], usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(r, k)| (k.as_slice(), r))
+            .collect();
+        for row in rows {
+            if let Some(&r) = index.get(&row[..kw]) {
+                hits += 1;
+                if let Some(&d) = div_id.get(&row[kw]) {
+                    set_bit(&mut bits, r, words, d);
+                }
+            }
+        }
+    }
+    let flags = (0..keys.len())
+        .map(|r| all_covered(&bits, r, words, nd))
+        .collect();
+    (flags, hits)
+}
+
+/// The packed keep mask of rows satisfying every predicate: each
+/// predicate's `(col, op, value)` becomes one plane scan, the masks AND
+/// word-wise. Out-of-range constants resolve without touching a plane.
+fn select_mask(packed: &ColumnarRelation, predicates: &[Predicate]) -> Vec<u64> {
+    let words = packed.words();
+    let tail = packed.tail_mask();
+    let live = live_mask(words, tail);
+    let mut masks = CmpMasks::default();
+    let mut col_mask = vec![0u64; words];
+    let mut acc: Vec<u64> = (0..words).map(&live).collect();
+    for p in predicates {
+        packed.cmp_masks_into(p.col, p.value, &mut masks);
+        combine_left(p.op, &masks, &live, &mut col_mask);
+        for (x, &m) in acc.iter_mut().zip(&col_mask) {
+            *x &= m;
+        }
+    }
+    acc
+}
+
+/// Unpack a word mask into per-row booleans.
+fn mask_to_bits(mask: &[u64], n: usize) -> Vec<bool> {
+    (0..n)
+        .map(|i| (mask[i / 64] >> (i % 64)) & 1 == 1)
+        .collect()
+}
+
+/// Selection keep flags over word planes, bit-identical to evaluating
+/// `predicates.iter().all(|p| p.eval(row))` per row.
+pub fn select_bits(packed: &ColumnarRelation, predicates: &[Predicate]) -> Vec<bool> {
+    mask_to_bits(&select_mask(packed, predicates), packed.n_rows())
+}
+
+/// The fused multi-query scan: evaluate many queries' predicate lists in
+/// **one pass** over a shared operand's word planes. Each *distinct*
+/// `(col, op, value)` mask across all queries is computed once, then every
+/// query's keep vector is the word-wise AND of its predicates' masks —
+/// exactly [`select_bits`] per query, with the shared-mask work deduped.
+pub fn fused_select(packed: &ColumnarRelation, queries: &[&[Predicate]]) -> Vec<Vec<bool>> {
+    let words = packed.words();
+    let tail = packed.tail_mask();
+    let live = live_mask(words, tail);
+    let mut masks = CmpMasks::default();
+    let mut cache: HashMap<(usize, CompareOp, Elem), Vec<u64>> = HashMap::new();
+    let mut out = Vec::with_capacity(queries.len());
+    for preds in queries {
+        let mut acc: Vec<u64> = (0..words).map(&live).collect();
+        for p in *preds {
+            let mask = cache.entry((p.col, p.op, p.value)).or_insert_with(|| {
+                packed.cmp_masks_into(p.col, p.value, &mut masks);
+                let mut m = vec![0u64; words];
+                combine_left(p.op, &masks, &live, &mut m);
+                m
+            });
+            for (x, &m) in acc.iter_mut().zip(mask.iter()) {
+                *x &= m;
+            }
+        }
+        out.push(mask_to_bits(&acc, packed.n_rows()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relation(n: usize, m: usize, seed: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|c| ((i as i64 * 7 + seed) % 5) + c as i64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn pack(rows: &[Row], m: usize) -> ColumnarRelation {
+        ColumnarRelation::from_rows(rows, m)
+    }
+
+    #[test]
+    fn t_matrix_matches_the_row_kernel_for_every_op() {
+        for ops in [
+            vec![CompareOp::Eq, CompareOp::Eq],
+            vec![CompareOp::Lt, CompareOp::Ge],
+            vec![CompareOp::Ne, CompareOp::Le],
+            vec![CompareOp::Gt, CompareOp::Eq],
+        ] {
+            for (n_a, n_b) in [(1, 1), (3, 2), (7, 13), (5, 64), (6, 65), (4, 130)] {
+                let a = relation(n_a, 2, 0);
+                let b = relation(n_b, 2, 3);
+                let packed = pack(&b, 2);
+                let reference = kernel::t_matrix(&a, &b, &ops, |_, _| true);
+                let got = t_matrix(&a, &[0, 1], &packed, &[0, 1], &ops);
+                assert_eq!(got, reference, "{ops:?} {n_a}x{n_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_matrix_handles_out_of_range_stream_values() {
+        // Streamed constants below/above B's packed range exercise the
+        // no-plane short-circuits for every operator.
+        let b: Vec<Row> = vec![vec![10], vec![12], vec![11]];
+        let packed = pack(&b, 1);
+        let a: Vec<Row> = vec![vec![-5], vec![10], vec![11], vec![99], vec![i64::MIN]];
+        for op in CompareOp::ALL {
+            let ops = [op];
+            let reference = kernel::t_matrix(&a, &b, &ops, |_, _| true);
+            let got = t_matrix(&a, &[0], &packed, &[0], &ops);
+            assert_eq!(got, reference, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn membership_and_duplicates_match_the_row_kernels() {
+        let a = relation(23, 2, 0);
+        let b = relation(17, 2, 3);
+        let packed = pack(&b, 2);
+        assert_eq!(
+            membership_bits(&a, &b, &packed),
+            kernel::membership_bits(&a, &b)
+        );
+        // Foreign values far outside B's packed range.
+        let wild: Vec<Row> = vec![vec![i64::MIN, 0], vec![0, i64::MAX], b[0].clone()];
+        assert_eq!(
+            membership_bits(&wild, &b, &packed),
+            kernel::membership_bits(&wild, &b)
+        );
+        let dupes = relation(31, 3, 1);
+        let packed = pack(&dupes, 3);
+        assert_eq!(
+            duplicate_bits(&dupes, &packed),
+            kernel::duplicate_bits(&dupes)
+        );
+    }
+
+    #[test]
+    fn overwide_relations_fall_back_to_the_row_kernels() {
+        // Two full-width columns cannot composite-code; results must still
+        // match via the fallback.
+        let b: Vec<Row> = vec![vec![i64::MIN, 0], vec![i64::MAX, i64::MAX], vec![0, 5]];
+        let packed = pack(&b, 2);
+        assert!(packed.composite_spec().is_none());
+        let a: Vec<Row> = vec![vec![0, 5], vec![1, 1], vec![i64::MAX, i64::MAX]];
+        assert_eq!(
+            membership_bits(&a, &b, &packed),
+            kernel::membership_bits(&a, &b)
+        );
+        let mut dupes = b.clone();
+        dupes.extend_from_slice(&b);
+        let packed = pack(&dupes, 2);
+        assert_eq!(
+            duplicate_bits(&dupes, &packed),
+            kernel::duplicate_bits(&dupes)
+        );
+    }
+
+    #[test]
+    fn quotient_flags_match_the_row_kernel() {
+        let pairs: Vec<(Elem, Elem)> = (0..40).map(|p| (p % 6, p % 5)).collect();
+        let divisor: Vec<Elem> = vec![0, 1, 2, 3, 2, 0]; // duplicates allowed
+        for keys in [vec![0, 1, 2, 3, 4, 5], vec![1, 3], vec![9], vec![]] {
+            for nd in [0, 3, divisor.len()] {
+                let expect = kernel::quotient_flags(&pairs, &keys, &divisor[..nd]);
+                let got = quotient_flags(&pairs, &keys, &divisor[..nd]);
+                assert_eq!(got, expect, "keys {keys:?} nd {nd}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_flags_multi_match_the_row_kernel() {
+        for (n, kw, nd) in [(12, 2, 3), (5, 1, 2), (7, 3, 0), (4, 2, 1)] {
+            let rows: Vec<Vec<Elem>> = (0..n)
+                .map(|p| {
+                    let mut r: Vec<Elem> = (0..kw).map(|c| ((p + c) % 3) as Elem).collect();
+                    r.push((p % 4) as Elem);
+                    r
+                })
+                .collect();
+            let mut keys: Vec<Vec<Elem>> = Vec::new();
+            let mut seen = HashSet::new();
+            for row in &rows {
+                if seen.insert(row[..kw].to_vec()) {
+                    keys.push(row[..kw].to_vec());
+                }
+            }
+            let divisor: Vec<Elem> = (0..nd as Elem).collect();
+            let packed = pack(&keys, kw);
+            let expect = kernel::quotient_flags_multi(&rows, &keys, kw, &divisor);
+            let got = quotient_flags_multi(&rows, &keys, &packed, kw, &divisor);
+            assert_eq!(got, expect, "n {n} kw {kw} nd {nd}");
+        }
+    }
+
+    #[test]
+    fn select_bits_match_scalar_predicate_evaluation() {
+        let rows = relation(70, 3, 2);
+        let packed = pack(&rows, 3);
+        for preds in [
+            vec![Predicate::new(0, CompareOp::Gt, 2)],
+            vec![
+                Predicate::new(0, CompareOp::Ge, 1),
+                Predicate::new(2, CompareOp::Ne, 4),
+            ],
+            vec![Predicate::new(1, CompareOp::Lt, -100)], // below range
+            vec![Predicate::new(1, CompareOp::Le, 1000)], // above range
+        ] {
+            let expect: Vec<bool> = rows
+                .iter()
+                .map(|r| preds.iter().all(|p| p.eval(r)))
+                .collect();
+            assert_eq!(select_bits(&packed, &preds), expect, "{preds:?}");
+        }
+    }
+
+    #[test]
+    fn fused_select_matches_solo_scans() {
+        let rows = relation(130, 3, 5);
+        let packed = pack(&rows, 3);
+        let q1 = vec![Predicate::new(0, CompareOp::Gt, 2)];
+        let q2 = vec![
+            Predicate::new(0, CompareOp::Gt, 2), // shared mask with q1
+            Predicate::new(1, CompareOp::Le, 3),
+        ];
+        let q3 = vec![Predicate::new(2, CompareOp::Eq, 4)];
+        let q4: Vec<Predicate> = vec![]; // empty predicate list keeps all
+        let queries: Vec<&[Predicate]> = vec![&q1, &q2, &q3, &q4];
+        let fused = fused_select(&packed, &queries);
+        assert_eq!(fused.len(), 4);
+        for (k, preds) in queries.iter().enumerate() {
+            assert_eq!(fused[k], select_bits(&packed, preds), "query {k}");
+        }
+        assert!(fused[3].iter().all(|&x| x), "empty query keeps every row");
+    }
+
+    #[test]
+    fn empty_relations_produce_empty_masks() {
+        let packed = pack(&[], 2);
+        assert!(select_bits(&packed, &[Predicate::new(0, CompareOp::Eq, 1)]).is_empty());
+        let t = t_matrix(
+            &relation(3, 2, 0),
+            &[0, 1],
+            &packed,
+            &[0, 1],
+            &[CompareOp::Eq, CompareOp::Eq],
+        );
+        assert_eq!(t.n_a(), 3);
+        assert_eq!(t.n_b(), 0);
+        assert_eq!(t.count_true(), 0);
+    }
+}

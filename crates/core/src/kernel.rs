@@ -37,9 +37,9 @@ use systolic_fabric::{CompareOp, Elem};
 use crate::stats::ExecStats;
 use crate::tiling::ArrayLimits;
 
-/// Environment variable selecting the default backend (`sim` or `kernel`)
-/// when a configuration does not set one explicitly — the CI toggle that
-/// runs the whole test suite once per backend.
+/// Environment variable selecting the default backend (`sim`, `kernel`, or
+/// `columnar`) when a configuration does not set one explicitly — the CI
+/// toggle that runs the whole test suite once per backend.
 pub const BACKEND_ENV: &str = "SYSTOLIC_BACKEND";
 
 /// How to execute an operator: on the pulse-accurate simulated fabric, or
@@ -51,6 +51,10 @@ pub enum Backend {
     Sim,
     /// Closed-form results + analytic stats, bit-identical to [`Self::Sim`].
     Kernel,
+    /// Closed-form results computed by bit-sliced word-plane scans
+    /// ([`crate::columnar`]); stats identical to [`Self::Kernel`] because
+    /// both share the analytic formulas.
+    Columnar,
 }
 
 impl Backend {
@@ -59,6 +63,7 @@ impl Backend {
         match s {
             "sim" => Some(Backend::Sim),
             "kernel" => Some(Backend::Kernel),
+            "columnar" => Some(Backend::Columnar),
             _ => None,
         }
     }
@@ -68,7 +73,14 @@ impl Backend {
         match self {
             Backend::Sim => "sim",
             Backend::Kernel => "kernel",
+            Backend::Columnar => "columnar",
         }
+    }
+
+    /// Whether this backend computes results in closed form (no grid is
+    /// stepped) — everything except the pulse-accurate simulator.
+    pub fn is_closed_form(self) -> bool {
+        self != Backend::Sim
     }
 
     /// The default backend: [`BACKEND_ENV`] if set to a valid name, else
@@ -495,10 +507,15 @@ mod tests {
     fn backend_parsing_and_labels() {
         assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
         assert_eq!(Backend::parse("kernel"), Some(Backend::Kernel));
+        assert_eq!(Backend::parse("columnar"), Some(Backend::Columnar));
         assert_eq!(Backend::parse("fpga"), None);
         assert_eq!(Backend::Kernel.label(), "kernel");
+        assert_eq!(Backend::Columnar.label(), "columnar");
         assert_eq!(Backend::default(), Backend::Sim);
         assert_eq!(format!("{}", Backend::Kernel), "kernel");
+        assert!(!Backend::Sim.is_closed_form());
+        assert!(Backend::Kernel.is_closed_form());
+        assert!(Backend::Columnar.is_closed_form());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bitlevel;
+pub mod columnar;
 pub mod comparison;
 pub mod dedup;
 pub mod division;
@@ -54,6 +55,7 @@ pub mod select;
 pub mod stats;
 pub mod tiling;
 
+pub use columnar::fused_select;
 pub use comparison::{ComparisonArray2d, LinearComparisonArray};
 pub use dedup::RemoveDuplicatesArray;
 pub use division::{DivisionArray, DivisionArrayMulti};

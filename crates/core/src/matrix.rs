@@ -76,6 +76,14 @@ impl TMatrix {
         &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
     }
 
+    /// Mutable packed words of row `i`, for kernels that assemble whole
+    /// rows at a time (the columnar word-plane scans). Callers must keep
+    /// the structural invariant: bits at and beyond `n_b` in the last word
+    /// stay zero — [`Self::tail_mask`] is the mask to apply.
+    pub(crate) fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
     /// Entry `t_{ij}`.
     pub fn get(&self, i: usize, j: usize) -> bool {
         assert!(i < self.n_a && j < self.n_b, "index out of bounds");
@@ -288,5 +296,55 @@ mod tests {
     #[should_panic(expected = "index out of bounds")]
     fn get_checks_bounds() {
         TMatrix::new(2, 3).get(0, 3);
+    }
+
+    #[test]
+    fn count_true_is_exact_at_word_boundaries() {
+        // The final-partial-word invariant (tail bits zero) is what makes
+        // `count_true` a plain popcount sum: pin it at every boundary shape
+        // the vectorized writers must preserve — widths 63/64/65 and a
+        // zero-width row.
+        for n_b in [63usize, 64, 65] {
+            let m = TMatrix::from_fn(2, n_b, |_, _| true);
+            assert_eq!(m.count_true(), 2 * n_b, "all-true n_b={n_b}");
+            let m = TMatrix::from_fn(2, n_b, |i, j| (i + j) % 2 == 0);
+            let expect = (0..2)
+                .flat_map(|i| (0..n_b).map(move |j| (i + j) % 2))
+                .filter(|&x| x == 0)
+                .count();
+            assert_eq!(m.count_true(), expect, "checker n_b={n_b}");
+        }
+        let m = TMatrix::new(3, 0);
+        assert_eq!(m.count_true(), 0, "zero-width matrix");
+        assert!(m.true_pairs().is_empty());
+    }
+
+    #[test]
+    fn row_words_mut_round_trips_under_the_tail_invariant() {
+        // Writing whole rows through the packed accessor (as the columnar
+        // scan kernels do) must be indistinguishable from bit-by-bit sets.
+        for n_b in [1usize, 63, 64, 65, 130] {
+            let reference = TMatrix::from_fn(2, n_b, |i, j| (i * 3 + j) % 5 != 0);
+            let mut direct = TMatrix::new(2, n_b);
+            for i in 0..2 {
+                let tail = direct.tail_mask();
+                let words = direct.row_words_mut(i);
+                for (k, w) in words.iter_mut().enumerate() {
+                    let mut bits = 0u64;
+                    for b in 0..64 {
+                        let j = k * 64 + b;
+                        if j < n_b && (i * 3 + j) % 5 != 0 {
+                            bits |= 1 << b;
+                        }
+                    }
+                    *w = bits;
+                }
+                if let Some(last) = direct.row_words_mut(i).last_mut() {
+                    *last &= tail;
+                }
+            }
+            assert_eq!(direct, reference, "n_b={n_b}");
+            assert_eq!(direct.count_true(), reference.count_true());
+        }
     }
 }

@@ -155,8 +155,12 @@ fn membership(
         };
         return Ok((out, ExecStats::default()));
     }
-    if backend == Backend::Kernel {
-        let hits = kernel::membership_bits(a.rows(), b.rows());
+    if backend.is_closed_form() {
+        let hits = if backend == Backend::Columnar {
+            crate::columnar::membership_bits(a.rows(), b.rows(), &b.columnar())
+        } else {
+            kernel::membership_bits(a.rows(), b.rows())
+        };
         let keep: Vec<bool> = match mode {
             SetOpMode::Intersect => hits,
             SetOpMode::Difference => hits.into_iter().map(|x| !x).collect(),
@@ -244,10 +248,14 @@ pub fn dedup_with(a: &MultiRelation, exec: Execution, backend: Backend) -> Resul
     if a.is_empty() {
         return Ok((a.clone(), ExecStats::default()));
     }
-    if backend == Backend::Kernel {
+    if backend.is_closed_form() {
         // The §5 array compares A to itself with the strict-lower-triangle
         // seed: a row is dropped iff an earlier equal row exists.
-        let dup = kernel::duplicate_bits(a.rows());
+        let dup = if backend == Backend::Columnar {
+            crate::columnar::duplicate_bits(a.rows(), &a.columnar())
+        } else {
+            kernel::duplicate_bits(a.rows())
+        };
         let stats = kernel_membership_stats(exec, a.len(), a.len(), a.arity());
         return Ok((a.filter_by_index(|i| !dup[i]), stats));
     }
@@ -370,24 +378,44 @@ pub fn join_with(
         return Ok((MultiRelation::empty(schema), ExecStats::default()));
     }
     let arr = JoinArray::new(specs.to_vec());
-    if backend == Backend::Kernel {
-        let a_keys: Vec<Row> = a
-            .rows()
-            .iter()
-            .map(|row| specs.iter().map(|s| row[s.col_a]).collect())
-            .collect();
-        let b_keys: Vec<Row> = b
-            .rows()
-            .iter()
-            .map(|row| specs.iter().map(|s| row[s.col_b]).collect())
-            .collect();
+    if backend.is_closed_form() {
         let ops: Vec<CompareOp> = specs.iter().map(|s| s.op).collect();
         // The matrix is independent of the tiling (tiles only partition the
         // pair space); only the host fan-out differs under `Parallel`.
-        let t = if let Execution::Parallel { threads, .. } = exec {
-            crate::executor::kernel_t_matrix_parallel(&a_keys, &b_keys, &ops, threads)
+        let t = if backend == Backend::Columnar {
+            // Scan B's cached word planes column by column — no key
+            // projections are materialized at all.
+            let cols_a: Vec<usize> = specs.iter().map(|s| s.col_a).collect();
+            let cols_b: Vec<usize> = specs.iter().map(|s| s.col_b).collect();
+            let packed = b.columnar();
+            if let Execution::Parallel { threads, .. } = exec {
+                crate::executor::columnar_t_matrix_parallel(
+                    a.rows(),
+                    &cols_a,
+                    &packed,
+                    &cols_b,
+                    &ops,
+                    threads,
+                )
+            } else {
+                crate::columnar::t_matrix(a.rows(), &cols_a, &packed, &cols_b, &ops)
+            }
         } else {
-            kernel::t_matrix(&a_keys, &b_keys, &ops, |_, _| true)
+            let a_keys: Vec<Row> = a
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_a]).collect())
+                .collect();
+            let b_keys: Vec<Row> = b
+                .rows()
+                .iter()
+                .map(|row| specs.iter().map(|s| row[s.col_b]).collect())
+                .collect();
+            if let Execution::Parallel { threads, .. } = exec {
+                crate::executor::kernel_t_matrix_parallel(&a_keys, &b_keys, &ops, threads)
+            } else {
+                kernel::t_matrix(&a_keys, &b_keys, &ops, |_, _| true)
+            }
         };
         let stats = match exec {
             Execution::Marching => kernel::compare_run_stats(a.len(), b.len(), ops.len()),
@@ -488,12 +516,15 @@ pub fn select_with(
     if a.is_empty() {
         return Ok((a.clone(), ExecStats::default()));
     }
-    if backend == Backend::Kernel {
-        let keep: Vec<bool> = a
-            .rows()
-            .iter()
-            .map(|row| predicates.iter().all(|p| p.eval(row)))
-            .collect();
+    if backend.is_closed_form() {
+        let keep: Vec<bool> = if backend == Backend::Columnar {
+            crate::columnar::select_bits(&a.columnar(), predicates)
+        } else {
+            a.rows()
+                .iter()
+                .map(|row| predicates.iter().all(|p| p.eval(row)))
+                .collect()
+        };
         // The selection array is a one-row fixed-operand array: the
         // predicate constants resident, the relation streaming through.
         let stats = kernel::fixed_t_matrix_stats(a.len(), 1, predicates.len());
@@ -546,8 +577,12 @@ pub fn divide_binary_with(
     // Step 2: the division array proper.
     let pairs: Vec<(Elem, Elem)> = a.rows().iter().map(|r| (r[key], r[ca])).collect();
     let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb]).collect();
-    let rows: Vec<Row> = if backend == Backend::Kernel {
-        let (flags, hits) = kernel::quotient_flags(&pairs, &keys, &divisor);
+    let rows: Vec<Row> = if backend.is_closed_form() {
+        let (flags, hits) = if backend == Backend::Columnar {
+            crate::columnar::quotient_flags(&pairs, &keys, &divisor)
+        } else {
+            kernel::quotient_flags(&pairs, &keys, &divisor)
+        };
         stats.merge_sequential(&kernel::division_stats(
             pairs.len(),
             keys.len(),
@@ -629,7 +664,7 @@ pub fn divide_with(
             })
             .collect();
         let divisor: Vec<Elem> = b.rows().iter().map(|r| r[cb[0]]).collect();
-        if backend == Backend::Kernel {
+        if backend.is_closed_form() {
             let kw = key_cols.len();
             // First-occurrence distinct composite keys, as the array's
             // pre-load step identifies them.
@@ -640,7 +675,12 @@ pub fn divide_with(
                     keys.push(row[..kw].to_vec());
                 }
             }
-            let (flags, hits) = kernel::quotient_flags_multi(&rows, &keys, kw, &divisor);
+            let (flags, hits) = if backend == Backend::Columnar {
+                let packed = systolic_relation::ColumnarRelation::from_rows(&keys, kw);
+                crate::columnar::quotient_flags_multi(&rows, &keys, &packed, kw, &divisor)
+            } else {
+                kernel::quotient_flags_multi(&rows, &keys, kw, &divisor)
+            };
             let stats =
                 kernel::division_multi_stats(rows.len(), keys.len(), kw, divisor.len(), hits);
             let quotient: Vec<Row> = keys
@@ -953,78 +993,74 @@ mod tests {
     }
 
     #[test]
-    fn kernel_backend_is_bit_identical_across_every_execution() {
+    fn closed_form_backends_are_bit_identical_across_every_execution() {
         // The tentpole invariant at the ops layer: same result rows, same
-        // ExecStats, for every operator under every execution strategy.
+        // ExecStats, for every operator under every execution strategy —
+        // for BOTH closed-form backends (row kernels and columnar scans).
         let mut rng = StdRng::seed_from_u64(600);
         let (a, b) = gen::pair_with_overlap(&mut rng, 13, 10, 2, 0.4);
         let (a, b) = (a.into_multi(), b.into_multi());
         let dupes = gen::with_duplicates(&mut rng, 9, 3, 3);
         let (da, db, _) = gen::division_instance(&mut rng, 8, 3, 3);
-        for exec in EXECS {
-            let sim = intersect(&a, &b, exec).unwrap();
-            let fast = intersect_with(&a, &b, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} intersect rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} intersect stats");
-            let sim = difference(&a, &b, exec).unwrap();
-            let fast = difference_with(&a, &b, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} difference rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} difference stats");
-            let sim = union(&a, &b, exec).unwrap();
-            let fast = union_with(&a, &b, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} union rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} union stats");
-            let sim = dedup(&dupes, exec).unwrap();
-            let fast = dedup_with(&dupes, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} dedup rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} dedup stats");
-            let sim = project(&dupes, &[0, 2], exec).unwrap();
-            let fast = project_with(&dupes, &[0, 2], exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} project rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} project stats");
-            let specs = [JoinSpec::eq(0, 0), JoinSpec::theta(1, 1, CompareOp::Le)];
-            let sim = join(&a, &b, &specs, exec).unwrap();
-            let fast = join_with(&a, &b, &specs, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} join rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} join stats");
-            let sim = divide_binary(&da, 0, 1, &db, 0, exec).unwrap();
-            let fast = divide_binary_with(&da, 0, 1, &db, 0, exec, Backend::Kernel).unwrap();
-            assert_eq!(fast.0.rows(), sim.0.rows(), "{exec:?} divide rows");
-            assert_eq!(fast.1, sim.1, "{exec:?} divide stats");
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            for exec in EXECS {
+                let sim = intersect(&a, &b, exec).unwrap();
+                let fast = intersect_with(&a, &b, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} intersect");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} intersect stats");
+                let sim = difference(&a, &b, exec).unwrap();
+                let fast = difference_with(&a, &b, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} difference");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} difference stats");
+                let sim = union(&a, &b, exec).unwrap();
+                let fast = union_with(&a, &b, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} union");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} union stats");
+                let sim = dedup(&dupes, exec).unwrap();
+                let fast = dedup_with(&dupes, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} dedup");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} dedup stats");
+                let sim = project(&dupes, &[0, 2], exec).unwrap();
+                let fast = project_with(&dupes, &[0, 2], exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} project");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} project stats");
+                let specs = [JoinSpec::eq(0, 0), JoinSpec::theta(1, 1, CompareOp::Le)];
+                let sim = join(&a, &b, &specs, exec).unwrap();
+                let fast = join_with(&a, &b, &specs, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} join");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} join stats");
+                let sim = divide_binary(&da, 0, 1, &db, 0, exec).unwrap();
+                let fast = divide_binary_with(&da, 0, 1, &db, 0, exec, backend).unwrap();
+                assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} {exec:?} divide");
+                assert_eq!(fast.1, sim.1, "{backend} {exec:?} divide stats");
+            }
+            // Selection and general (multi-column) division ignore the
+            // strategy.
+            use crate::select::Predicate;
+            let preds = [
+                Predicate::new(0, CompareOp::Gt, 2),
+                Predicate::new(1, CompareOp::Ne, 5),
+            ];
+            let sim = select(&a, &preds, Execution::Marching).unwrap();
+            let fast = select_with(&a, &preds, Execution::Marching, backend).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} select rows");
+            assert_eq!(fast.1, sim.1, "{backend} select stats");
+            let wide = multi(
+                3,
+                &[
+                    &[1, 1, 10],
+                    &[1, 1, 11],
+                    &[2, 2, 10],
+                    &[1, 2, 10],
+                    &[1, 2, 11],
+                ],
+            );
+            let wdiv = multi(1, &[&[10], &[11]]);
+            let sim = divide(&wide, &[2], &wdiv, &[0], Execution::Marching).unwrap();
+            let fast = divide_with(&wide, &[2], &wdiv, &[0], Execution::Marching, backend).unwrap();
+            assert_eq!(fast.0.rows(), sim.0.rows(), "{backend} multi-divide rows");
+            assert_eq!(fast.1, sim.1, "{backend} multi-divide stats");
         }
-        // Selection and general (multi-column) division ignore the strategy.
-        use crate::select::Predicate;
-        let preds = [
-            Predicate::new(0, CompareOp::Gt, 2),
-            Predicate::new(1, CompareOp::Ne, 5),
-        ];
-        let sim = select(&a, &preds, Execution::Marching).unwrap();
-        let fast = select_with(&a, &preds, Execution::Marching, Backend::Kernel).unwrap();
-        assert_eq!(fast.0.rows(), sim.0.rows(), "select rows");
-        assert_eq!(fast.1, sim.1, "select stats");
-        let wide = multi(
-            3,
-            &[
-                &[1, 1, 10],
-                &[1, 1, 11],
-                &[2, 2, 10],
-                &[1, 2, 10],
-                &[1, 2, 11],
-            ],
-        );
-        let wdiv = multi(1, &[&[10], &[11]]);
-        let sim = divide(&wide, &[2], &wdiv, &[0], Execution::Marching).unwrap();
-        let fast = divide_with(
-            &wide,
-            &[2],
-            &wdiv,
-            &[0],
-            Execution::Marching,
-            Backend::Kernel,
-        )
-        .unwrap();
-        assert_eq!(fast.0.rows(), sim.0.rows(), "multi-divide rows");
-        assert_eq!(fast.1, sim.1, "multi-divide stats");
     }
 
     #[test]

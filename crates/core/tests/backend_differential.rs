@@ -1,9 +1,10 @@
 //! The cross-backend differential harness: for every operator, every
 //! execution strategy, and randomly drawn relations, comparator vectors,
-//! and tile shapes, the closed-form kernel backend must agree with the
-//! pulse-accurate simulator bit-for-bit — the same result rows, the same
-//! `TMatrix`, and the same `ExecStats` (pulses, busy/total cell-pulses,
-//! array runs) the grid would have counted.
+//! and tile shapes, BOTH closed-form backends — the row kernels and the
+//! bit-sliced columnar scans — must agree with the pulse-accurate
+//! simulator bit-for-bit: the same result rows, the same `TMatrix`, and
+//! the same `ExecStats` (pulses, busy/total cell-pulses, array runs) the
+//! grid would have counted.
 //!
 //! The unit tests inside `core::kernel` pin each analytic formula to its
 //! array over exhaustive small-shape sweeps; this suite completes the
@@ -84,34 +85,36 @@ proptest! {
         };
         let a = rel(m, trim(seed_a));
         let b = rel(m, trim(seed_b));
-        for (label, sim, fast) in [
-            (
-                "intersect",
-                ops::intersect_with(&a, &b, exec, Backend::Sim),
-                ops::intersect_with(&a, &b, exec, Backend::Kernel),
-            ),
-            (
-                "difference",
-                ops::difference_with(&a, &b, exec, Backend::Sim),
-                ops::difference_with(&a, &b, exec, Backend::Kernel),
-            ),
-            (
-                "union",
-                ops::union_with(&a, &b, exec, Backend::Sim),
-                ops::union_with(&a, &b, exec, Backend::Kernel),
-            ),
-            (
-                "dedup",
-                ops::dedup_with(&a, exec, Backend::Sim),
-                ops::dedup_with(&a, exec, Backend::Kernel),
-            ),
-            (
-                "project",
-                ops::project_with(&a, &[0], exec, Backend::Sim),
-                ops::project_with(&a, &[0], exec, Backend::Kernel),
-            ),
-        ] {
-            assert_identical(label, &sim.unwrap(), &fast.unwrap())?;
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            for (label, sim, fast) in [
+                (
+                    "intersect",
+                    ops::intersect_with(&a, &b, exec, Backend::Sim),
+                    ops::intersect_with(&a, &b, exec, backend),
+                ),
+                (
+                    "difference",
+                    ops::difference_with(&a, &b, exec, Backend::Sim),
+                    ops::difference_with(&a, &b, exec, backend),
+                ),
+                (
+                    "union",
+                    ops::union_with(&a, &b, exec, Backend::Sim),
+                    ops::union_with(&a, &b, exec, backend),
+                ),
+                (
+                    "dedup",
+                    ops::dedup_with(&a, exec, Backend::Sim),
+                    ops::dedup_with(&a, exec, backend),
+                ),
+                (
+                    "project",
+                    ops::project_with(&a, &[0], exec, Backend::Sim),
+                    ops::project_with(&a, &[0], exec, backend),
+                ),
+            ] {
+                assert_identical(label, &sim.unwrap(), &fast.unwrap())?;
+            }
         }
     }
 
@@ -131,8 +134,10 @@ proptest! {
             .map(|(ca, cb, op)| JoinSpec::theta(ca, cb, op))
             .collect();
         let sim = ops::join_with(&a, &b, &specs, exec, Backend::Sim).unwrap();
-        let fast = ops::join_with(&a, &b, &specs, exec, Backend::Kernel).unwrap();
-        assert_identical("join", &sim, &fast)?;
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            let fast = ops::join_with(&a, &b, &specs, exec, backend).unwrap();
+            assert_identical("join", &sim, &fast)?;
+        }
     }
 
     /// The kernel's closed-form `T` equals the programmable array's, entry
@@ -159,7 +164,12 @@ proptest! {
             .t_matrix(&a, &b, &ops_vec)
             .unwrap();
         let fast = kernel::t_matrix(&a, &b, &ops_vec, |_, _| true);
-        prop_assert_eq!(fast, sim.t);
+        prop_assert_eq!(&fast, &sim.t);
+        let packed = systolic_relation::ColumnarRelation::from_rows(&b, m);
+        let cols: Vec<usize> = (0..m).collect();
+        let cols_scan =
+            systolic_core::columnar::t_matrix(&a, &cols, &packed, &cols, &ops_vec);
+        prop_assert_eq!(cols_scan, sim.t);
     }
 
     /// Division (§7): binary dividend against a random divisor, with keys
@@ -173,8 +183,10 @@ proptest! {
         let a = rel(2, seed_a);
         let b = rel(1, seed_b);
         let sim = ops::divide_binary_with(&a, 0, 1, &b, 0, exec, Backend::Sim).unwrap();
-        let fast = ops::divide_binary_with(&a, 0, 1, &b, 0, exec, Backend::Kernel).unwrap();
-        assert_identical("divide", &sim, &fast)?;
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            let fast = ops::divide_binary_with(&a, 0, 1, &b, 0, exec, backend).unwrap();
+            assert_identical("divide", &sim, &fast)?;
+        }
     }
 
     /// Selection: random predicate columns and constants.
@@ -199,8 +211,10 @@ proptest! {
             })
             .collect();
         let sim = ops::select_with(&a, &preds, Execution::Marching, Backend::Sim).unwrap();
-        let fast = ops::select_with(&a, &preds, Execution::Marching, Backend::Kernel).unwrap();
-        assert_identical("select", &sim, &fast)?;
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            let fast = ops::select_with(&a, &preds, Execution::Marching, backend).unwrap();
+            assert_identical("select", &sim, &fast)?;
+        }
     }
 }
 
@@ -252,32 +266,34 @@ fn empty_and_exact_fit_shapes_agree() {
                     "{label} stats ({rows_a:?} vs {rows_b:?}, {exec:?})"
                 );
             };
-            ident(
-                "intersect",
-                ops::intersect_with(&a, &b, exec, Backend::Sim).unwrap(),
-                ops::intersect_with(&a, &b, exec, Backend::Kernel).unwrap(),
-            );
-            ident(
-                "union",
-                ops::union_with(&a, &b, exec, Backend::Sim).unwrap(),
-                ops::union_with(&a, &b, exec, Backend::Kernel).unwrap(),
-            );
-            ident(
-                "dedup",
-                ops::dedup_with(&a, exec, Backend::Sim).unwrap(),
-                ops::dedup_with(&a, exec, Backend::Kernel).unwrap(),
-            );
-            let specs = [JoinSpec::eq(0, 0)];
-            ident(
-                "join",
-                ops::join_with(&a, &b, &specs, exec, Backend::Sim).unwrap(),
-                ops::join_with(&a, &b, &specs, exec, Backend::Kernel).unwrap(),
-            );
-            ident(
-                "divide",
-                ops::divide_binary_with(&a, 0, 1, &b, 0, exec, Backend::Sim).unwrap(),
-                ops::divide_binary_with(&a, 0, 1, &b, 0, exec, Backend::Kernel).unwrap(),
-            );
+            for backend in [Backend::Kernel, Backend::Columnar] {
+                ident(
+                    "intersect",
+                    ops::intersect_with(&a, &b, exec, Backend::Sim).unwrap(),
+                    ops::intersect_with(&a, &b, exec, backend).unwrap(),
+                );
+                ident(
+                    "union",
+                    ops::union_with(&a, &b, exec, Backend::Sim).unwrap(),
+                    ops::union_with(&a, &b, exec, backend).unwrap(),
+                );
+                ident(
+                    "dedup",
+                    ops::dedup_with(&a, exec, Backend::Sim).unwrap(),
+                    ops::dedup_with(&a, exec, backend).unwrap(),
+                );
+                let specs = [JoinSpec::eq(0, 0)];
+                ident(
+                    "join",
+                    ops::join_with(&a, &b, &specs, exec, Backend::Sim).unwrap(),
+                    ops::join_with(&a, &b, &specs, exec, backend).unwrap(),
+                );
+                ident(
+                    "divide",
+                    ops::divide_binary_with(&a, 0, 1, &b, 0, exec, Backend::Sim).unwrap(),
+                    ops::divide_binary_with(&a, 0, 1, &b, 0, exec, backend).unwrap(),
+                );
+            }
         }
     }
 }

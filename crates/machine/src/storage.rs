@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use systolic_core::select::Predicate;
 use systolic_fabric::CompareOp;
 use systolic_relation::{Elem, MultiRelation};
 use systolic_storage::{codec, SharedBlobStore};
@@ -221,6 +222,58 @@ impl Disk {
         };
         Ok((delivered, time))
     }
+
+    /// Read a relation once and deliver it under several per-request track
+    /// filters — the fused-scan variant of [`Disk::read`].
+    ///
+    /// The *model* is unchanged: each request is an independent read whose
+    /// full stored relation crosses the head, so every entry is priced
+    /// exactly as a solo [`Disk::read`] and delivers the same rows. Only
+    /// the host-side work is shared: the relation is fetched (and, when
+    /// backed, page-decoded) once, and all filters are evaluated in one
+    /// fused pass over its bit-packed word planes instead of one row scan
+    /// per request.
+    pub fn read_many(
+        &self,
+        name: &str,
+        filters: &[Option<TrackFilter>],
+    ) -> Result<Vec<(MultiRelation, u64)>> {
+        let stored = self.fetch(name)?;
+        let time = self.transfer_ns(relation_bytes(&stored, self.bytes_per_word));
+        let arity = stored.arity();
+        // The fused path mirrors `TrackFilter::apply` bit for bit (the
+        // differential suite pins columnar selection to the scalar scan);
+        // out-of-range columns fall back so they fail exactly as a solo
+        // read would.
+        let fusable = !stored.is_empty() && filters.iter().flatten().all(|f| f.col < arity);
+        let some: Vec<usize> = (0..filters.len())
+            .filter(|&i| filters[i].is_some())
+            .collect();
+        let mut delivered: Vec<Option<MultiRelation>> = vec![None; filters.len()];
+        if fusable && some.len() >= 2 {
+            let packed = stored.columnar();
+            let preds: Vec<Vec<Predicate>> = some
+                .iter()
+                .map(|&i| {
+                    let f = filters[i].expect("index of a Some filter");
+                    vec![Predicate::new(f.col, f.op, f.value)]
+                })
+                .collect();
+            let queries: Vec<&[Predicate]> = preds.iter().map(Vec::as_slice).collect();
+            let keeps = systolic_core::fused_select(&packed, &queries);
+            for (&i, keep) in some.iter().zip(&keeps) {
+                delivered[i] = Some(stored.filter_by_index(|r| keep[r]));
+            }
+        } else {
+            for &i in &some {
+                delivered[i] = Some(filters[i].expect("index of a Some filter").apply(&stored));
+            }
+        }
+        Ok(delivered
+            .into_iter()
+            .map(|d| (d.unwrap_or_else(|| stored.clone()), time))
+            .collect())
+    }
 }
 
 /// One memory module on the crossbar.
@@ -410,6 +463,44 @@ mod tests {
         names.sort();
         assert_eq!(names, vec!["dept".to_string(), "emp".to_string()]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fused_read_many_matches_solo_reads_exactly() {
+        let mut d = Disk::paper_disk();
+        let rows: Vec<Vec<Elem>> = (0..130).map(|i| vec![i, i % 7]).collect();
+        d.store("emp", MultiRelation::new(synth_schema(2), rows).unwrap());
+        let filters = [
+            None,
+            Some(TrackFilter {
+                col: 1,
+                op: CompareOp::Lt,
+                value: 3,
+            }),
+            Some(TrackFilter {
+                col: 0,
+                op: CompareOp::Ge,
+                value: 100,
+            }),
+            Some(TrackFilter {
+                col: 1,
+                op: CompareOp::Eq,
+                value: 6,
+            }),
+        ];
+        let fused = d.read_many("emp", &filters).unwrap();
+        assert_eq!(fused.len(), filters.len());
+        for (filter, (got, got_ns)) in filters.iter().zip(&fused) {
+            let (want, want_ns) = d.read("emp", *filter).unwrap();
+            assert_eq!(got.rows(), want.rows(), "{filter:?} rows diverge");
+            assert_eq!(got_ns, &want_ns, "{filter:?} must price as a solo read");
+        }
+        assert!(d.read_many("missing", &filters).is_err());
+        // Empty relations take the scalar fallback and still agree.
+        d.store("none", MultiRelation::empty(synth_schema(2)));
+        for (got, _) in d.read_many("none", &filters).unwrap() {
+            assert!(got.is_empty());
+        }
     }
 
     #[test]

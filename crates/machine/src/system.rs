@@ -40,8 +40,8 @@ use systolic_telemetry::metrics::{self, Counter};
 
 use crate::device::{Device, DeviceKind};
 use crate::error::{MachineError, Result};
-use crate::plan::{Action, Expr, Plan};
-use crate::storage::{relation_bytes, Disk, MemoryModule};
+use crate::plan::{Action, Expr, Plan, PlanOp};
+use crate::storage::{relation_bytes, Disk, MemoryModule, TrackFilter};
 use crate::timeline::Timeline;
 
 struct MachineCounters {
@@ -49,6 +49,8 @@ struct MachineCounters {
     pulses: std::sync::Arc<Counter>,
     array_runs: std::sync::Arc<Counter>,
     disk_bytes: std::sync::Arc<Counter>,
+    fused_batches: std::sync::Arc<Counter>,
+    fused_steps: std::sync::Arc<Counter>,
 }
 
 fn machine_counters() -> &'static MachineCounters {
@@ -72,8 +74,28 @@ fn machine_counters() -> &'static MachineCounters {
                 "sdb_machine_disk_bytes_total",
                 "Bytes read from disk across all machine runs (§9 disk channel).",
             ),
+            fused_batches: r.counter(
+                "sdb_columnar_fused_batches_total",
+                "Fused columnar scans: groups of plan steps sharing an operand relation answered by one pass over its word planes.",
+            ),
+            fused_steps: r.counter(
+                "sdb_columnar_fused_steps_total",
+                "Plan steps whose execution was covered by a fused columnar scan.",
+            ),
         }
     })
+}
+
+/// Count one fused columnar scan covering `steps` plan steps. The fused
+/// pass changes host work only — results, stats and timelines stay
+/// bit-identical — so these counters are the observable trace of it.
+fn record_fused_batch(steps: usize) {
+    if !metrics::metrics_enabled() {
+        return;
+    }
+    let c = machine_counters();
+    c.fused_batches.inc();
+    c.fused_steps.add(steps as u64);
 }
 
 /// Feed the global registry from a completed run's aggregate stats. Called
@@ -660,20 +682,84 @@ impl System {
     /// preserving the sequential error order.
     #[allow(clippy::type_complexity)]
     fn execute_steps(&self, plan: &Plan, threads: usize) -> Vec<StepExec> {
+        let fuse = self.backend() == Backend::Columnar;
+        // Under the columnar backend, Load steps of one base relation are
+        // grouped into a single fused disk scan: the relation is fetched
+        // once and every group member's track filter is evaluated in one
+        // pass over its word planes. Each member is still priced as its
+        // own full transfer, so accounting is unchanged.
+        let mut fused_loads: HashMap<usize, Result<LoadExec>> = HashMap::new();
+        if fuse {
+            let mut order: Vec<&str> = Vec::new();
+            let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+            for step in &plan.steps {
+                if let Action::Load { relation, .. } = &step.action {
+                    groups
+                        .entry(relation.as_str())
+                        .or_insert_with(|| {
+                            order.push(relation.as_str());
+                            Vec::new()
+                        })
+                        .push(step.id);
+                }
+            }
+            for name in order {
+                let ids = &groups[name];
+                if ids.len() < 2 {
+                    continue;
+                }
+                let filters: Vec<Option<TrackFilter>> = ids
+                    .iter()
+                    .map(|&id| match &plan.steps[id].action {
+                        Action::Load { filter, .. } => *filter,
+                        _ => unreachable!("load group holds load steps"),
+                    })
+                    .collect();
+                let fused = self.disk_of(name).and_then(|disk_id| {
+                    Ok((disk_id, self.disks[disk_id].read_many(name, &filters)?))
+                });
+                match fused {
+                    Ok((disk_id, outs)) => {
+                        let mut sp = telemetry::span("machine.fused_load");
+                        sp.arg("relation", name);
+                        sp.arg("steps", ids.len());
+                        record_fused_batch(ids.len());
+                        for (&id, (delivered, duration)) in ids.iter().zip(outs) {
+                            fused_loads.insert(
+                                id,
+                                Ok(LoadExec {
+                                    delivered,
+                                    duration,
+                                    disk_id,
+                                }),
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        for &id in ids {
+                            fused_loads.insert(id, Err(e.clone()));
+                        }
+                    }
+                }
+            }
+        }
         let mut records: Vec<StepExec> = plan
             .steps
             .iter()
             .map(|step| match &step.action {
                 Action::Load { relation, filter } => {
-                    StepExec::Load(self.disk_of(relation).and_then(|disk_id| {
-                        self.disks[disk_id]
-                            .read(relation, *filter)
-                            .map(|(delivered, duration)| LoadExec {
-                                delivered,
-                                duration,
-                                disk_id,
-                            })
-                    }))
+                    StepExec::Load(match fused_loads.remove(&step.id) {
+                        Some(record) => record,
+                        None => self.disk_of(relation).and_then(|disk_id| {
+                            self.disks[disk_id].read(relation, *filter).map(
+                                |(delivered, duration)| LoadExec {
+                                    delivered,
+                                    duration,
+                                    disk_id,
+                                },
+                            )
+                        }),
+                    })
                 }
                 Action::Op { .. } => StepExec::Op(None),
                 Action::Store { .. } => StepExec::Store,
@@ -716,16 +802,97 @@ impl System {
                     Some((step, first, staged?))
                 })
                 .collect();
-            let outs = systolic_core::executor::run_jobs(threads, batch.len(), |k| {
-                let (step, device, staged) = &batch[k];
+            // Under the columnar backend, Select steps of this level whose
+            // staged inputs are clones of one relation (they share a
+            // columnar cache cell) are answered by a single fused pass
+            // over its word planes. Results and stats are exactly what
+            // each device run would produce: the keep vectors equal
+            // `select_bits` per query, and the selection array's stats are
+            // a closed-form function of the input shape.
+            let mut fused: HashMap<usize, Result<(MultiRelation, systolic_core::ExecStats)>> =
+                HashMap::new();
+            if fuse {
+                let mut order: Vec<usize> = Vec::new();
+                let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+                for (k, (step, _, staged)) in batch.iter().enumerate() {
+                    let Action::Op {
+                        op: PlanOp::Select(preds),
+                        ..
+                    } = &step.action
+                    else {
+                        continue;
+                    };
+                    let [input] = staged.as_slice() else { continue };
+                    // Mirror `select_with`'s guards so the fused path and
+                    // a solo device run agree on errors and on the
+                    // empty-input fast path.
+                    if input.is_empty()
+                        || preds.is_empty()
+                        || preds.iter().any(|p| p.col >= input.arity())
+                    {
+                        continue;
+                    }
+                    groups
+                        .entry(input.columnar_token())
+                        .or_insert_with(|| {
+                            order.push(input.columnar_token());
+                            Vec::new()
+                        })
+                        .push(k);
+                }
+                for token in order {
+                    let idxs = &groups[&token];
+                    if idxs.len() < 2 {
+                        continue;
+                    }
+                    let mut sp = telemetry::span("machine.fused_select");
+                    sp.arg("steps", idxs.len());
+                    let shared = batch[idxs[0]].2[0];
+                    let packed = shared.columnar();
+                    let queries: Vec<&[systolic_core::select::Predicate]> = idxs
+                        .iter()
+                        .map(|&k| {
+                            let Action::Op {
+                                op: PlanOp::Select(preds),
+                                ..
+                            } = &batch[k].0.action
+                            else {
+                                unreachable!("select group holds select steps")
+                            };
+                            preds.as_slice()
+                        })
+                        .collect();
+                    let keeps = systolic_core::fused_select(&packed, &queries);
+                    record_fused_batch(idxs.len());
+                    for ((&k, preds), keep) in idxs.iter().zip(&queries).zip(&keeps) {
+                        let input = batch[k].2[0];
+                        let out = input.filter_by_index(|i| keep[i]);
+                        let stats = systolic_core::ops::price_select(input.len(), preds.len());
+                        fused.insert(k, Ok((out, stats)));
+                    }
+                }
+            }
+            let live: Vec<usize> = (0..batch.len())
+                .filter(|k| !fused.contains_key(k))
+                .collect();
+            let outs = systolic_core::executor::run_jobs(threads, live.len(), |j| {
+                let (step, device, staged) = &batch[live[j]];
                 let Action::Op { op, .. } = &step.action else {
                     unreachable!()
                 };
                 device.execute(op, staged)
             });
-            let ids: Vec<(usize, &str)> = batch
+            let ids: Vec<(usize, &str)> = live
                 .iter()
-                .map(|(step, _, _)| (step.id, step.output.as_str()))
+                .map(|&k| (batch[k].0.id, batch[k].0.output.as_str()))
+                .collect();
+            let fused_out: Vec<(
+                usize,
+                &str,
+                Result<(MultiRelation, systolic_core::ExecStats)>,
+            )> = fused
+                .into_iter()
+                .map(|(k, res)| (batch[k].0.id, batch[k].0.output.as_str(), res))
                 .collect();
             for ((id, output), res) in ids.into_iter().zip(outs) {
                 if let Ok((out, _)) = &res {
@@ -733,8 +900,20 @@ impl System {
                 }
                 records[id] = StepExec::Op(Some(res));
             }
+            for (id, output, res) in fused_out {
+                if let Ok((out, _)) = &res {
+                    values.insert(output, out.clone());
+                }
+                records[id] = StepExec::Op(Some(res));
+            }
         }
         records
+    }
+
+    /// The backend every device computes with (all devices share the
+    /// configured backend).
+    fn backend(&self) -> Backend {
+        self.devices[0].backend
     }
 
     /// The accounting pass: walk the plan in step order, allocate memory
@@ -1892,28 +2071,117 @@ mod tests {
             Expr::scan("a").join(Expr::scan("b"), vec![JoinSpec::eq(0, 0)]),
             Expr::scan("takes").divide(Expr::scan("courses"), 0, 1, 0),
         ];
-        for expr in &exprs {
-            let sim = build(Backend::Sim).run(expr).unwrap();
-            let fast = build(Backend::Kernel).run(expr).unwrap();
-            assert_eq!(fast.result.rows(), sim.result.rows());
-            assert_eq!(fast.stats, sim.stats);
-            assert_eq!(fast.timeline.events(), sim.timeline.events());
+        for backend in [Backend::Kernel, Backend::Columnar] {
+            for expr in &exprs {
+                let sim = build(Backend::Sim).run(expr).unwrap();
+                let fast = build(backend).run(expr).unwrap();
+                assert_eq!(fast.result.rows(), sim.result.rows());
+                assert_eq!(fast.stats, sim.stats);
+                assert_eq!(fast.timeline.events(), sim.timeline.events());
+            }
+            // And batched: the merged schedule and every standalone
+            // accounting.
+            let queries = [exprs[0].clone(), exprs[1].clone()];
+            let sim = build(Backend::Sim).run_batch_accounted(&queries).unwrap();
+            let fast = build(backend).run_batch_accounted(&queries).unwrap();
+            assert_eq!(fast.combined.stats, sim.combined.stats);
+            assert_eq!(
+                fast.combined.timeline.events(),
+                sim.combined.timeline.events()
+            );
+            for (f, s) in fast.queries.iter().zip(&sim.queries) {
+                assert_eq!(f.result.rows(), s.result.rows());
+                assert_eq!(f.stats, s.stats);
+                assert_eq!(f.timeline.events(), s.timeline.events());
+            }
         }
-        // And batched: the merged schedule and every standalone accounting.
-        let queries = [exprs[0].clone(), exprs[1].clone()];
+    }
+
+    #[test]
+    fn columnar_batches_fuse_shared_operand_scans_without_observable_change() {
+        use systolic_core::select::Predicate;
+        use systolic_fabric::CompareOp;
+
+        // A batch where several queries share operand relations: two
+        // track-filtered loads of `emp` (fused into one disk scan), two
+        // on-device selections over unfiltered `emp` clones (fused into
+        // one word-plane pass), and one selection over `dept` that must
+        // not join either group.
+        let build = |backend: Backend| {
+            let mut sys = System::new(MachineConfig {
+                backend,
+                ..MachineConfig::default()
+            })
+            .unwrap();
+            let emp: Vec<Vec<i64>> = (0..60).map(|i| vec![i, i % 7]).collect();
+            let dept: Vec<Vec<i64>> = (0..20).map(|i| vec![i, i % 3]).collect();
+            sys.load_base("emp", rel(emp));
+            sys.load_base("dept", rel(dept));
+            sys
+        };
+        let queries = [
+            Expr::scan_filtered(
+                "emp",
+                TrackFilter {
+                    col: 0,
+                    op: CompareOp::Ge,
+                    value: 40,
+                },
+            ),
+            Expr::scan_filtered(
+                "emp",
+                TrackFilter {
+                    col: 1,
+                    op: CompareOp::Lt,
+                    value: 3,
+                },
+            ),
+            Expr::scan("emp").select(vec![
+                Predicate::new(0, CompareOp::Lt, 30),
+                Predicate::new(1, CompareOp::Ne, 2),
+            ]),
+            Expr::scan("emp").select(vec![Predicate::new(1, CompareOp::Ge, 5)]),
+            Expr::scan("dept").select(vec![Predicate::new(1, CompareOp::Eq, 0)]),
+        ];
+        let before = (
+            machine_counters().fused_batches.get(),
+            machine_counters().fused_steps.get(),
+        );
         let sim = build(Backend::Sim).run_batch_accounted(&queries).unwrap();
-        let fast = build(Backend::Kernel)
+        let kernel = build(Backend::Kernel)
             .run_batch_accounted(&queries)
             .unwrap();
-        assert_eq!(fast.combined.stats, sim.combined.stats);
-        assert_eq!(
-            fast.combined.timeline.events(),
-            sim.combined.timeline.events()
-        );
-        for (f, s) in fast.queries.iter().zip(&sim.queries) {
-            assert_eq!(f.result.rows(), s.result.rows());
-            assert_eq!(f.stats, s.stats);
-            assert_eq!(f.timeline.events(), s.timeline.events());
+        let columnar = build(Backend::Columnar)
+            .run_batch_accounted(&queries)
+            .unwrap();
+        // The fused scans really ran: the two shared-`emp` loads and the
+        // two shared-`emp` selects each form one batch (counters are
+        // global, so concurrent tests may add more on top).
+        if systolic_telemetry::metrics::metrics_enabled() {
+            assert!(
+                machine_counters().fused_batches.get() >= before.0 + 2,
+                "expected at least two fused batches"
+            );
+            assert!(
+                machine_counters().fused_steps.get() >= before.1 + 4,
+                "expected at least four fused steps"
+            );
+        }
+        for other in [&kernel, &columnar] {
+            assert_eq!(other.combined.stats, sim.combined.stats);
+            assert_eq!(
+                other.combined.timeline.events(),
+                sim.combined.timeline.events()
+            );
+            for (o, s) in other.queries.iter().zip(&sim.queries) {
+                assert_eq!(o.result.rows(), s.result.rows());
+                assert_eq!(o.stats, s.stats);
+                assert_eq!(o.timeline.events(), s.timeline.events());
+            }
+        }
+        // The batch was not degenerate: every query delivered rows.
+        for q in &sim.queries {
+            assert!(!q.result.is_empty());
         }
     }
 

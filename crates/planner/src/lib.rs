@@ -72,8 +72,9 @@ pub struct StepPlacement {
     pub device: String,
     /// Predicted pulses on the chosen device(s).
     pub pulses: u64,
-    /// Backend recommendation (`sim` or `kernel`) — advisory: both
-    /// backends are bit-identical, only host wall time differs.
+    /// Backend recommendation (`sim`, `kernel` or `columnar`) —
+    /// advisory: all backends are bit-identical, only host wall time
+    /// differs.
     pub backend: &'static str,
 }
 
@@ -108,6 +109,10 @@ impl PlanChoice {
 /// Past this predicted budget the vectorised kernel backend amortises its
 /// setup cost over enough pulses to beat the cycle-accurate simulator.
 const KERNEL_PULSE_THRESHOLD: u64 = 4096;
+
+/// Past this predicted budget the bit-packed columnar backend amortises
+/// plane packing over enough data to beat even the row-at-a-time kernel.
+const COLUMNAR_PULSE_THRESHOLD: u64 = 65_536;
 
 /// How many full rule sweeps the engine runs before declaring fixpoint.
 const MAX_PASSES: usize = 8;
@@ -375,7 +380,9 @@ fn place(expr: &Expr, view: &CatalogView, machine: &MachineConfig) -> Vec<StepPl
             label: op.label(),
             device: devices.join("+"),
             pulses: total,
-            backend: if total >= KERNEL_PULSE_THRESHOLD {
+            backend: if total >= COLUMNAR_PULSE_THRESHOLD {
+                "columnar"
+            } else if total >= KERNEL_PULSE_THRESHOLD {
                 "kernel"
             } else {
                 "sim"
@@ -517,6 +524,32 @@ mod tests {
 
     fn opt(expr: &Expr) -> PlanChoice {
         optimize(expr, &view(), &MachineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn backend_recommendation_has_three_tiers() {
+        // sim below the kernel threshold, kernel between the two, columnar
+        // once the predicted budget is large enough to amortise packing.
+        let mut v = CatalogView::new();
+        for (name, rows) in [
+            ("tiny_a", 3),
+            ("tiny_b", 3),
+            ("mid_a", 256),
+            ("mid_b", 256),
+            ("big_a", 1024),
+            ("big_b", 1024),
+        ] {
+            v.add_table(name, vec![col(0, DomainKind::Int)], rows);
+        }
+        let tier = |a: &str, b: &str| {
+            let e = Expr::scan(a).intersect(Expr::scan(b));
+            let c = optimize(&e, &v, &MachineConfig::default()).unwrap();
+            assert_eq!(c.placement.len(), 1);
+            c.placement[0].backend
+        };
+        assert_eq!(tier("tiny_a", "tiny_b"), "sim");
+        assert_eq!(tier("mid_a", "mid_b"), "kernel");
+        assert_eq!(tier("big_a", "big_b"), "columnar");
     }
 
     #[test]
@@ -743,7 +776,7 @@ mod tests {
         assert_eq!(c.placement.len(), plan.op_steps());
         for p in &c.placement {
             assert!(!p.device.is_empty(), "{p:?}");
-            assert!(p.backend == "sim" || p.backend == "kernel");
+            assert!(["sim", "kernel", "columnar"].contains(&p.backend));
         }
         // Division lists both its dedup pre-pass and division devices.
         let div = c.placement.iter().find(|p| p.label == "divide").unwrap();

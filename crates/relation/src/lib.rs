@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columnar;
 pub mod csv;
 pub mod domain;
 pub mod error;
@@ -31,7 +32,10 @@ pub mod schema;
 pub mod store;
 
 pub use catalog::Catalog;
-pub use csv::{canonical_field, export_csv, import_csv, render_field, split_line};
+pub use columnar::{ColumnarBuilder, ColumnarRelation};
+pub use csv::{
+    canonical_field, export_csv, import_csv, import_csv_columnar, render_field, split_line,
+};
 pub use domain::{Datum, Domain, DomainId, DomainKind, Elem};
 pub use error::RelationError;
 pub use relation::{MultiRelation, Relation, Row};

@@ -8,7 +8,9 @@
 //! particular fashion", so equality of relations is set equality.
 
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
+use crate::columnar::ColumnarRelation;
 use crate::domain::Elem;
 use crate::error::RelationError;
 use crate::schema::Schema;
@@ -16,12 +18,30 @@ use crate::schema::Schema;
 /// A tuple as stored: one encoded element per column.
 pub type Row = Vec<Elem>;
 
+/// The memoized bit-packed view of a multi-relation's rows.
+///
+/// Clones of a relation share the cell, so a relation packed once at
+/// ingest stays packed across every staged copy, disk clone and batch
+/// slice — and is dropped with the last clone (eviction frees it).
+/// Deliberately excluded from equality: the cache is derived state.
+#[derive(Debug, Clone, Default)]
+struct ColumnarCache(Arc<OnceLock<Arc<ColumnarRelation>>>);
+
 /// A collection of tuples in which duplicates are allowed (§2.5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MultiRelation {
     schema: Schema,
     rows: Vec<Row>,
+    cache: ColumnarCache,
 }
+
+impl PartialEq for MultiRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for MultiRelation {}
 
 impl MultiRelation {
     /// An empty multi-relation over `schema`.
@@ -29,6 +49,7 @@ impl MultiRelation {
         MultiRelation {
             schema,
             rows: Vec::new(),
+            cache: ColumnarCache::default(),
         }
     }
 
@@ -42,7 +63,42 @@ impl MultiRelation {
                 });
             }
         }
-        Ok(MultiRelation { schema, rows })
+        Ok(MultiRelation {
+            schema,
+            rows,
+            cache: ColumnarCache::default(),
+        })
+    }
+
+    /// The bit-packed columnar view of this relation, built on first use
+    /// and shared (via [`Arc`]) with every clone taken before or after.
+    pub fn columnar(&self) -> Arc<ColumnarRelation> {
+        self.cache
+            .0
+            .get_or_init(|| Arc::new(ColumnarRelation::from_rows(&self.rows, self.schema.arity())))
+            .clone()
+    }
+
+    /// Whether the columnar view has already been packed (by this relation
+    /// or any clone sharing its cache).
+    pub fn columnar_built(&self) -> bool {
+        self.cache.0.get().is_some()
+    }
+
+    /// Install a columnar view packed elsewhere (the zero-detour ingest
+    /// path packs planes *while parsing* and lands them here). A no-op if
+    /// a view is already cached.
+    pub fn install_columnar(&self, packed: ColumnarRelation) {
+        debug_assert_eq!(packed.n_rows(), self.rows.len());
+        let _ = self.cache.0.set(Arc::new(packed));
+    }
+
+    /// An identity token for the shared cache cell: two relations return
+    /// the same token iff they are clones sharing one columnar view —
+    /// which is how a batch recognizes queries scanning the same staged
+    /// operand.
+    pub fn columnar_token(&self) -> usize {
+        Arc::as_ptr(&self.cache.0) as usize
     }
 
     /// The schema.
@@ -71,13 +127,18 @@ impl MultiRelation {
         &self.rows
     }
 
-    /// Append a row, validating arity.
+    /// Append a row, validating arity. Detaches any packed columnar view
+    /// (this copy's rows change; clones keep the view consistent with
+    /// *their* unchanged rows).
     pub fn push(&mut self, row: Row) -> Result<(), RelationError> {
         if row.len() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 expected: self.schema.arity(),
                 got: row.len(),
             });
+        }
+        if self.cache.0.get().is_some() {
+            self.cache = ColumnarCache::default();
         }
         self.rows.push(row);
         Ok(())
@@ -97,6 +158,7 @@ impl MultiRelation {
         Ok(MultiRelation {
             schema: self.schema.clone(),
             rows,
+            cache: ColumnarCache::default(),
         })
     }
 
@@ -110,7 +172,11 @@ impl MultiRelation {
             .iter()
             .map(|row| cols.iter().map(|&c| row[c]).collect())
             .collect();
-        Ok(MultiRelation { schema, rows })
+        Ok(MultiRelation {
+            schema,
+            rows,
+            cache: ColumnarCache::default(),
+        })
     }
 
     /// Keep the rows whose index satisfies `keep` — how a host assembles an
@@ -127,6 +193,7 @@ impl MultiRelation {
         MultiRelation {
             schema: self.schema.clone(),
             rows,
+            cache: ColumnarCache::default(),
         }
     }
 
@@ -199,6 +266,7 @@ impl Relation {
             inner: MultiRelation {
                 schema: multi.schema().clone(),
                 rows,
+                cache: ColumnarCache::default(),
             },
         }
     }

@@ -45,6 +45,11 @@ pub(crate) struct ServerMetrics {
     /// Batched queries answered by sharing an identical query's slot
     /// (batch-window common-subexpression elimination).
     pub(crate) cse_hits: Arc<Counter>,
+    /// Columnar word-plane packs performed process-wide, synced from the
+    /// relation crate's counter at exposition time (ingest-time packs and
+    /// lazy packs both count; a low number relative to loads means the
+    /// zero-detour path is doing its job).
+    pub(crate) columnar_builds: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -106,6 +111,10 @@ impl ServerMetrics {
             "sdb_batch_cse_hits_total",
             "Batched queries that shared an identical query's slot.",
         );
+        let columnar_builds = registry.gauge(
+            "sdb_columnar_builds",
+            "Columnar word-plane packs performed by this process (ingest-time and lazy).",
+        );
         ServerMetrics {
             registry,
             latency,
@@ -123,6 +132,7 @@ impl ServerMetrics {
             plan_cache_hits,
             plan_cache_misses,
             cse_hits,
+            columnar_builds,
         }
     }
 
@@ -162,6 +172,10 @@ impl ServerMetrics {
 
     /// Render this server's exposition followed by the process-global one.
     pub(crate) fn exposition(&self) -> String {
+        // The relation crate cannot depend on the telemetry registry, so
+        // its pack counter is bridged into the exposition here.
+        self.columnar_builds
+            .set(systolic_relation::columnar::build_count() as f64);
         let mut text = self.registry.render();
         text.push_str(&systolic_telemetry::metrics::global().render());
         text

@@ -193,7 +193,7 @@ fn parse_trace_stamp(rest: &str) -> (Option<TraceCtx>, &str) {
 }
 
 /// Render a `QUERYC` request line, stamping the optional tracing context
-/// (the builder half of [`parse_trace_stamp`]).
+/// (the builder half of `parse_trace_stamp`).
 pub fn queryc_request(query: &str, trace: Option<TraceCtx>) -> String {
     match trace {
         Some(ctx) => format!(

@@ -158,14 +158,14 @@ fn sixteen_concurrent_clients_match_serial_and_one_shot() {
     assert_eq!(report.timeouts, 0);
 }
 
-/// The ISSUE-5 acceptance check at the wire level: a server running the
-/// closed-form kernel backend answers every query with a `RESULT` frame
-/// *byte-identical* to a pulse-simulator server's — rows, makespan,
-/// pulses, array runs, disk bytes, concurrency, and CSV all included —
-/// while its `STATS` frame and `METRICS` exposition advertise which
-/// backend produced them.
+/// The ISSUE-5 (and ISSUE-10) acceptance check at the wire level: servers
+/// running the closed-form kernel and bit-packed columnar backends answer
+/// every query with `RESULT` frames *byte-identical* to a pulse-simulator
+/// server's — rows, makespan, pulses, array runs, disk bytes, concurrency,
+/// and CSV all included — while their `STATS` frames and `METRICS`
+/// expositions advertise which backend produced them.
 #[test]
-fn kernel_backend_result_frames_are_byte_identical_to_sim() {
+fn closed_form_backend_result_frames_are_byte_identical_to_sim() {
     let spawn_with = |backend: Backend| {
         spawn(ServerConfig {
             machine: MachineConfig {
@@ -193,24 +193,36 @@ fn kernel_backend_result_frames_are_byte_identical_to_sim() {
     let (sim_frames, sim_stats, _) = run_all(&sim);
     sim.shutdown();
     sim.join().unwrap();
-
-    let kernel = spawn_with(Backend::Kernel);
-    let (kernel_frames, kernel_stats, kernel_metrics) = run_all(&kernel);
-    kernel.shutdown();
-    kernel.join().unwrap();
-
-    assert_eq!(
-        kernel_frames, sim_frames,
-        "RESULT frames must be byte-identical across backends"
-    );
     assert!(sim_stats.contains(" backend=sim"), "{sim_stats}");
-    assert!(kernel_stats.contains(" backend=kernel"), "{kernel_stats}");
-    let exp = systolic_telemetry::prom::validate(&kernel_metrics).unwrap();
-    assert_eq!(
-        exp.value("sdb_server_backend_info", "{backend=\"kernel\"}"),
-        Some(1.0),
-        "kernel server must advertise its backend"
-    );
+
+    for backend in [Backend::Kernel, Backend::Columnar] {
+        let label = backend.label();
+        let server = spawn_with(backend);
+        let (frames, stats, metrics) = run_all(&server);
+        server.shutdown();
+        server.join().unwrap();
+
+        assert_eq!(
+            frames, sim_frames,
+            "{label} RESULT frames must be byte-identical to sim"
+        );
+        assert!(stats.contains(&format!(" backend={label}")), "{stats}");
+        let exp = systolic_telemetry::prom::validate(&metrics).unwrap();
+        assert_eq!(
+            exp.value(
+                "sdb_server_backend_info",
+                &format!("{{backend=\"{label}\"}}")
+            ),
+            Some(1.0),
+            "{label} server must advertise its backend"
+        );
+        // Every LOAD packs word planes while parsing (zero-detour ingest),
+        // so the pack gauge must be visible and non-zero by now.
+        assert!(
+            exp.value("sdb_columnar_builds", "").unwrap_or(0.0) >= TABLES.len() as f64,
+            "ingest must have packed columnar planes"
+        );
+    }
 }
 
 #[test]

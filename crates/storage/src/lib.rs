@@ -12,7 +12,7 @@
 //! * [`pool`] — a buffer pool with a pluggable replacement policy
 //!   ([`pool::Replacer`]: clock or LRU) fronting the page files.
 //! * [`blob`] — named byte blobs (encoded relations) laid out across pages;
-//!   the backing store for [`Disk::read`] in the machine crate.
+//!   the backing store for `Disk::read` in the machine crate.
 //! * [`wal`] — a redo-only write-ahead log of *logical* operations
 //!   (`LOAD`s and store-queries), LSN-stamped, fsynced before the server
 //!   acknowledges. Logical redo is what makes recovered `RESULT` frames

@@ -329,11 +329,11 @@ pub enum Command {
 
 /// Usage text.
 pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...] [--stats] \
-[--threads N] [--backend sim|kernel] [--trace-out FILE] QUERY
+[--threads N] [--backend sim|kernel|columnar] [--trace-out FILE] QUERY
        sdb check [--table NAME=PATH:type,...] [--json] [--explain] [--limits A,B,C] \
 [--memory BYTES] QUERY
-       sdb profile --table NAME=PATH:type,... [--stats] [--threads N] [--backend sim|kernel] QUERY
-       sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel] [--workers N] \
+       sdb profile --table NAME=PATH:type,... [--stats] [--threads N] [--backend sim|kernel|columnar] QUERY
+       sdb serve [--addr HOST:PORT] [--threads N] [--backend sim|kernel|columnar] [--workers N] \
 [--io threads|poll] [--shards N] [--batch-window MS] [--slow-query-ms MS] \
 [--data-dir DIR] [--pool-pages N] [--replacer clock|lru] [--trace-out FILE] \
 [--profile-history N] [--optimize on|off]
@@ -344,9 +344,10 @@ pub const USAGE: &str = "usage: sdb --table NAME=PATH:type,type,... [--table ...
   --threads N: simulate independent plan steps on N host threads (0 = auto
                via SYSTOLIC_THREADS, else the host's parallelism; results
                and hardware stats unchanged)
-  --backend B: run operators on the pulse simulator (sim, the default) or
-               the closed-form kernel (kernel; same results and hardware
-               stats, much faster host time; default via SYSTOLIC_BACKEND)
+  --backend B: run operators on the pulse simulator (sim, the default),
+               the closed-form kernel (kernel) or the bit-packed columnar
+               scanner (columnar); same results and hardware stats, much
+               faster host time; default via SYSTOLIC_BACKEND
   --trace-out FILE: write a Chrome/Perfetto trace of the run (simulated
                machine and host spans on separate process tracks)
   check: statically verify the query (schemas, domains, tiling coverage,
@@ -411,8 +412,11 @@ fn parse_number(flag: &str, value: &str) -> Result<usize, CliError> {
 }
 
 fn parse_backend(value: &str) -> Result<Backend, CliError> {
-    Backend::parse(value)
-        .ok_or_else(|| CliError::Usage(format!("--backend expects sim or kernel, got {value:?}")))
+    Backend::parse(value).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--backend expects sim, kernel or columnar, got {value:?}"
+        ))
+    })
 }
 
 /// Parse one-shot command-line arguments (excluding `argv[0]`).
@@ -1464,6 +1468,10 @@ mod tests {
         ));
         match parse_command(&argv(&["serve", "--backend", "kernel"])).unwrap() {
             Command::Serve(s) => assert_eq!(s.backend, Some(Backend::Kernel)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse_command(&argv(&["serve", "--backend", "columnar"])).unwrap() {
+            Command::Serve(s) => assert_eq!(s.backend, Some(Backend::Columnar)),
             other => panic!("expected serve, got {other:?}"),
         }
     }
